@@ -1,0 +1,212 @@
+package facloc
+
+// Benchmarks: one per experiment table (E1–E13, see DESIGN.md §4 and
+// EXPERIMENTS.md) plus micro-benchmarks of the §2 primitives and scaling
+// benchmarks of each solver. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Benchmark_E* entries regenerate the corresponding experiment at quick
+// sizes, so `-bench Benchmark_E` is a fast end-to-end sanity pass over every
+// paper claim.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/domset"
+	"repro/internal/par"
+)
+
+func benchTable(b *testing.B, run func(bench.Sizes) *bench.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := run(bench.Quick)
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func Benchmark_E1_GreedyQuality(b *testing.B)    { benchTable(b, bench.E1GreedyQuality) }
+func Benchmark_E2_Subselection(b *testing.B)     { benchTable(b, bench.E2SubselectionRounds) }
+func Benchmark_E3_PrimalDual(b *testing.B)       { benchTable(b, bench.E3PrimalDual) }
+func Benchmark_E4_KCenter(b *testing.B)          { benchTable(b, bench.E4KCenter) }
+func Benchmark_E5_LPRounding(b *testing.B)       { benchTable(b, bench.E5LPRounding) }
+func Benchmark_E6_LocalSearch(b *testing.B)      { benchTable(b, bench.E6LocalSearch) }
+func Benchmark_E7_DominatorSets(b *testing.B)    { benchTable(b, bench.E7DominatorSets) }
+func Benchmark_E8_LPDuality(b *testing.B)        { benchTable(b, bench.E8LPDuality) }
+func Benchmark_E10_GammaBounds(b *testing.B)     { benchTable(b, bench.E10GammaBounds) }
+func Benchmark_E11_CrossAlgorithm(b *testing.B)  { benchTable(b, bench.E11CrossAlgorithm) }
+func Benchmark_E12_EpsilonTradeoff(b *testing.B) { benchTable(b, bench.E12EpsilonTradeoff) }
+func Benchmark_E13_PSwapAblation(b *testing.B)   { benchTable(b, bench.E13PSwapAblation) }
+func Benchmark_E14_UFLLocalSearch(b *testing.B)  { benchTable(b, bench.E14UFLLocalSearch) }
+
+// E9 (primitive timing) is benchmarked directly below rather than through
+// the table (which itself runs timers).
+
+func BenchmarkPrimitiveSum(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		xs := make([]float64, n)
+		rng := rand.New(rand.NewSource(1))
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		for _, workers := range []int{1, 2} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				c := &par.Ctx{Workers: workers}
+				b.SetBytes(int64(n * 8))
+				for i := 0; i < b.N; i++ {
+					par.SumFloat(c, xs)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPrimitiveScan(b *testing.B) {
+	n := 1 << 18
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i % 7)
+	}
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := &par.Ctx{Workers: workers}
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				par.PrefixSums(c, xs)
+			}
+		})
+	}
+}
+
+func BenchmarkPrimitiveSort(b *testing.B) {
+	n := 1 << 16
+	base := make([]float64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range base {
+		base[i] = rng.Float64()
+	}
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := &par.Ctx{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				xs := append([]float64(nil), base...)
+				par.SortFloats(c, xs)
+			}
+		})
+	}
+}
+
+func BenchmarkMaxDom(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		rng := rand.New(rand.NewSource(3))
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 4.0/float64(n) {
+					adj[i][j], adj[j][i] = true, true
+				}
+			}
+		}
+		oracle := func(i, j int) bool { return adj[i][j] }
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				domset.MaxDom(nil, n, oracle, nil, rand.New(rand.NewSource(int64(i))))
+			}
+		})
+	}
+}
+
+func benchUFL(b *testing.B, run func(in *Instance)) {
+	for _, size := range [][2]int{{8, 32}, {16, 96}, {24, 192}} {
+		in := GenerateUniform(7, size[0], size[1], 1, 6)
+		b.Run(fmt.Sprintf("m=%d", in.M()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run(in)
+			}
+		})
+	}
+}
+
+func BenchmarkGreedyParallel(b *testing.B) {
+	benchUFL(b, func(in *Instance) { GreedyParallel(in, Options{Epsilon: 0.3, Seed: 1}) })
+}
+
+func BenchmarkGreedySequential(b *testing.B) {
+	benchUFL(b, func(in *Instance) { GreedySequential(in, Options{}) })
+}
+
+func BenchmarkPrimalDualParallel(b *testing.B) {
+	benchUFL(b, func(in *Instance) { PrimalDualParallel(in, Options{Epsilon: 0.3, Seed: 1}) })
+}
+
+func BenchmarkPrimalDualSequential(b *testing.B) {
+	benchUFL(b, func(in *Instance) { PrimalDualSequential(in, Options{}) })
+}
+
+func BenchmarkLPRound(b *testing.B) {
+	in := GenerateUniform(7, 8, 32, 1, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := LPRound(in, Options{Epsilon: 0.3, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKCenterParallel(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		ki := GenerateKUniform(5, n, 4)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				KCenterParallel(ki, Options{Seed: int64(i)})
+			}
+		})
+	}
+}
+
+func BenchmarkKMedianLocalSearch(b *testing.B) {
+	for _, n := range []int{32, 96} {
+		ki := GenerateKClustered(5, n, 4)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				KMedianLocalSearch(ki, Options{Epsilon: 0.3, Seed: 1})
+			}
+		})
+	}
+}
+
+// BenchmarkWorkScaling_Greedy verifies the Theorem 4.9 work bound shape at
+// benchmark time: counted work divided by m·log²₍₁₊ε₎m should stay roughly
+// flat across sizes (reported as the custom metric work/m·log²).
+func BenchmarkWorkScaling_Greedy(b *testing.B) {
+	for _, size := range [][2]int{{8, 32}, {16, 96}, {24, 192}} {
+		in := GenerateUniform(9, size[0], size[1], 1, 6)
+		b.Run(fmt.Sprintf("m=%d", in.M()), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				r := GreedyParallel(in, Options{Epsilon: 0.3, Seed: 1, TrackCost: true})
+				last = float64(r.Stats.Work)
+			}
+			m := float64(in.M())
+			lg := logBaseBench(1.3, m)
+			b.ReportMetric(last/(m*lg*lg), "work/m·log²")
+		})
+	}
+}
+
+func logBaseBench(base, x float64) float64 {
+	l := 0.0
+	for v := 1.0; v < x; v *= base {
+		l++
+	}
+	return l
+}

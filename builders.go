@@ -1,0 +1,157 @@
+package facloc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+func seededRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// NewInstance builds a facility-location instance from explicit opening
+// costs and an nf×nc facility-to-client distance matrix. The matrix must
+// come from an underlying metric on facilities ∪ clients for the
+// approximation guarantees to apply (see Instance.CheckBipartiteMetric).
+func NewInstance(facilityCosts []float64, dist [][]float64) (*Instance, error) {
+	nf := len(facilityCosts)
+	if nf == 0 || len(dist) != nf {
+		return nil, fmt.Errorf("facloc: %d facilities but %d distance rows", nf, len(dist))
+	}
+	nc := len(dist[0])
+	d := par.NewDense[float64](nf, nc)
+	for i, row := range dist {
+		if len(row) != nc {
+			return nil, fmt.Errorf("facloc: ragged distance row %d", i)
+		}
+		copy(d.Row(i), row)
+	}
+	in := &Instance{NF: nf, NC: nc, FacCost: append([]float64(nil), facilityCosts...), D: d}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// FromPoints builds an instance from Euclidean points: facilities[i] and
+// clients[j] index rows of points (dim = len(points[0])); costs are the
+// opening costs.
+func FromPoints(points [][]float64, facilities, clients []int, costs []float64) (*Instance, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("facloc: no points")
+	}
+	dim := len(points[0])
+	coords := make([]float64, 0, len(points)*dim)
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("facloc: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		coords = append(coords, p...)
+	}
+	sp := &metric.Euclidean{Dim: dim, Coords: coords}
+	for _, i := range append(append([]int(nil), facilities...), clients...) {
+		if i < 0 || i >= sp.N() {
+			return nil, fmt.Errorf("facloc: point index %d out of range", i)
+		}
+	}
+	if len(costs) != len(facilities) {
+		return nil, fmt.Errorf("facloc: %d costs for %d facilities", len(costs), len(facilities))
+	}
+	in := core.FromSpace(sp, facilities, clients, costs)
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// NewKInstance builds a k-clustering instance from a symmetric n×n distance
+// matrix and a budget k.
+func NewKInstance(dist [][]float64, k int) (*KInstance, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, fmt.Errorf("facloc: empty distance matrix")
+	}
+	d := par.NewDense[float64](n, n)
+	for i, row := range dist {
+		if len(row) != n {
+			return nil, fmt.Errorf("facloc: ragged row %d", i)
+		}
+		copy(d.Row(i), row)
+	}
+	ki := &KInstance{N: n, K: k, Dist: d}
+	if err := ki.Validate(); err != nil {
+		return nil, err
+	}
+	return ki, nil
+}
+
+// KFromPoints builds a k-clustering instance over Euclidean points.
+func KFromPoints(points [][]float64, k int) (*KInstance, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("facloc: no points")
+	}
+	dim := len(points[0])
+	coords := make([]float64, 0, len(points)*dim)
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("facloc: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		coords = append(coords, p...)
+	}
+	sp := &metric.Euclidean{Dim: dim, Coords: coords}
+	ki := core.KFromSpace(sp, k)
+	if err := ki.Validate(); err != nil {
+		return nil, err
+	}
+	return ki, nil
+}
+
+// GenerateUniform returns a random instance with nf facilities and nc
+// clients uniform in a square, and opening costs uniform in [costLo, costHi].
+// Deterministic per seed — the workload of experiments E1/E3/E5.
+func GenerateUniform(seed int64, nf, nc int, costLo, costHi float64) *Instance {
+	rng := seededRNG(seed)
+	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, costLo, costHi))
+}
+
+// GenerateClustered returns an instance whose clients form well-separated
+// clusters (the two-scale adversarial family of the experiments).
+func GenerateClustered(seed int64, nf, nc, clusters int) *Instance {
+	rng := seededRNG(seed)
+	sp := metric.TwoScale(rng, nf+nc, clusters, 2, 200)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(sp, fac, cli, metric.UniformCosts(nf, 5))
+}
+
+// GenerateKClustered returns a k-clustering instance drawn from k Gaussian
+// blobs — the canonical recoverable clustering workload.
+func GenerateKClustered(seed int64, n, k int) *KInstance {
+	rng := seededRNG(seed)
+	return core.KFromSpace(metric.GaussianClusters(rng, n, k, 2, 100, 2), k)
+}
+
+// GenerateKUniform returns a k-clustering instance over uniform points.
+func GenerateKUniform(seed int64, n, k int) *KInstance {
+	rng := seededRNG(seed)
+	return core.KFromSpace(metric.UniformBox(rng, n, 2, 100), k)
+}

@@ -1,0 +1,88 @@
+// Command faclocbench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one table per paper claim (theorems, lemmas, Figure 1,
+// Equation 2), each reporting paper-claimed vs measured values.
+//
+// Usage:
+//
+//	faclocbench [-full] [-exp E1,E3] [-o experiments.md]
+//
+// Without -exp, all fourteen experiments run. -full uses the reference-run
+// sizes (minutes); the default quick sizes finish in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use reference-run sizes (slower)")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E13) or 'all'")
+	out := flag.String("o", "", "write markdown to this file instead of stdout")
+	flag.Parse()
+
+	sizes := bench.Quick
+	label := "quick"
+	if *full {
+		sizes = bench.Full
+		label = "full"
+	}
+
+	want := map[string]bool{}
+	if *exps != "all" {
+		for _, e := range strings.Split(*exps, ",") {
+			want[strings.ToUpper(strings.TrimSpace(e))] = true
+		}
+	}
+
+	runners := []struct {
+		id  string
+		run func(bench.Sizes) *bench.Table
+	}{
+		{"E1", bench.E1GreedyQuality},
+		{"E2", bench.E2SubselectionRounds},
+		{"E3", bench.E3PrimalDual},
+		{"E4", bench.E4KCenter},
+		{"E5", bench.E5LPRounding},
+		{"E6", bench.E6LocalSearch},
+		{"E7", bench.E7DominatorSets},
+		{"E8", bench.E8LPDuality},
+		{"E9", bench.E9Primitives},
+		{"E10", bench.E10GammaBounds},
+		{"E11", bench.E11CrossAlgorithm},
+		{"E12", bench.E12EpsilonTradeoff},
+		{"E13", bench.E13PSwapAblation},
+		{"E14", bench.E14UFLLocalSearch},
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Experiment run (%s sizes, GOMAXPROCS=%d, %s)\n\n",
+		label, runtime.GOMAXPROCS(0), time.Now().UTC().Format("2006-01-02"))
+	start := time.Now()
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		t0 := time.Now()
+		tb := r.run(sizes)
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", r.id, time.Since(t0).Round(time.Millisecond))
+		b.WriteString(tb.Format())
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "faclocbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(b.String())
+}

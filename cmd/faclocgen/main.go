@@ -1,0 +1,89 @@
+// Command faclocgen generates facility-location and k-clustering instances
+// as JSON, for use with faclocsolve.
+//
+// Usage:
+//
+//	faclocgen -kind ufl  -family uniform|clustered|zipf -nf 16 -nc 64 -seed 1 [-o inst.json]
+//	faclocgen -kind kmed -n 64 -k 4 -seed 1 [-o inst.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+)
+
+func main() {
+	kind := flag.String("kind", "ufl", "instance kind: ufl | kmed")
+	family := flag.String("family", "uniform", "ufl family: uniform | clustered | zipf")
+	nf := flag.Int("nf", 16, "facilities (ufl)")
+	nc := flag.Int("nc", 64, "clients (ufl)")
+	n := flag.Int("n", 64, "nodes (kmed)")
+	k := flag.Int("k", 4, "budget (kmed)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *kind {
+	case "ufl":
+		in, err := genUFL(*family, *seed, *nf, *nc)
+		if err != nil {
+			fatal(err)
+		}
+		if err := core.WriteInstance(w, in); err != nil {
+			fatal(err)
+		}
+	case "kmed":
+		rng := rand.New(rand.NewSource(*seed))
+		ki := core.KFromSpace(metric.GaussianClusters(rng, *n, *k, 2, 100, 2), *k)
+		if err := core.WriteKInstance(w, ki); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func genUFL(family string, seed int64, nf, nc int) (*core.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	switch family {
+	case "uniform":
+		sp := metric.UniformBox(rng, nf+nc, 2, 10)
+		return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6)), nil
+	case "clustered":
+		sp := metric.TwoScale(rng, nf+nc, 4, 2, 200)
+		return core.FromSpace(sp, fac, cli, metric.UniformCosts(nf, 5)), nil
+	case "zipf":
+		sp := metric.UniformBox(rng, nf+nc, 2, 10)
+		return core.FromSpace(sp, fac, cli, metric.ZipfCosts(rng, nf, 20, 1.1)), nil
+	}
+	return nil, fmt.Errorf("unknown family %q", family)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faclocgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command faclocsolve solves a JSON instance (see faclocgen) with any of the
+// implemented algorithms and prints the cost breakdown and solver stats.
+//
+// Usage:
+//
+//	faclocsolve -algo greedy-par|greedy-seq|pd-par|pd-seq|lp-round|opt  inst.json
+//	faclocsolve -algo kcenter|kcenter-gonzalez|kmedian|kmeans|kmedian-2swap [-opt] kinst.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	facloc "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	algo := flag.String("algo", "pd-par", "algorithm")
+	eps := flag.Float64("eps", 0.3, "slack parameter ε")
+	seed := flag.Int64("seed", 0, "random seed")
+	workers := flag.Int("workers", 0, "goroutine fan-out (0 = GOMAXPROCS)")
+	track := flag.Bool("track", true, "track PRAM work/span")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: faclocsolve -algo <name> <instance.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	o := facloc.Options{Epsilon: *eps, Seed: *seed, Workers: *workers, TrackCost: *track}
+
+	switch *algo {
+	case "greedy-par", "greedy-seq", "pd-par", "pd-seq", "lp-round", "opt":
+		in, err := core.ReadInstance(f)
+		if err != nil {
+			fatal(err)
+		}
+		var r *facloc.Result
+		var lpVal float64
+		switch *algo {
+		case "greedy-par":
+			r = facloc.GreedyParallel(in, o)
+		case "greedy-seq":
+			r = facloc.GreedySequential(in, o)
+		case "pd-par":
+			r = facloc.PrimalDualParallel(in, o)
+		case "pd-seq":
+			r = facloc.PrimalDualSequential(in, o)
+		case "lp-round":
+			r, lpVal, err = facloc.LPRound(in, o)
+			if err != nil {
+				fatal(err)
+			}
+		case "opt":
+			r = facloc.OptimalFacility(in, o)
+		}
+		sol := r.Solution
+		fmt.Printf("algorithm:        %s\n", *algo)
+		fmt.Printf("instance:         %d facilities x %d clients (m=%d)\n", in.NF, in.NC, in.M())
+		fmt.Printf("open facilities:  %v\n", sol.Open)
+		fmt.Printf("facility cost:    %.4f\n", sol.FacilityCost)
+		fmt.Printf("connection cost:  %.4f\n", sol.ConnectionCost)
+		fmt.Printf("total cost:       %.4f\n", sol.Cost())
+		if lpVal > 0 {
+			fmt.Printf("LP lower bound:   %.4f (ratio %.4f)\n", lpVal, sol.Cost()/lpVal)
+		}
+		if dv := r.DualValue(); dv > 0 && r.DualFeasibility(in, 1) <= 1e-6 {
+			fmt.Printf("dual lower bound: %.4f (certified ratio <= %.4f)\n", dv, sol.Cost()/dv)
+		}
+		printStats(r.Stats)
+	case "kcenter", "kcenter-gonzalez", "kmedian", "kmeans", "kmedian-2swap", "kopt-median", "kopt-center":
+		ki, err := core.ReadKInstance(f)
+		if err != nil {
+			fatal(err)
+		}
+		var r *facloc.KResult
+		switch *algo {
+		case "kcenter":
+			r = facloc.KCenterParallel(ki, o)
+		case "kcenter-gonzalez":
+			r = facloc.KCenterGreedy(ki, o)
+		case "kmedian":
+			r = facloc.KMedianLocalSearch(ki, o)
+		case "kmeans":
+			r = facloc.KMeansLocalSearch(ki, o)
+		case "kmedian-2swap":
+			r = facloc.KMedianLocalSearch2Swap(ki, o)
+		case "kopt-median":
+			r = facloc.OptimalKCluster(ki, facloc.KMedian, o)
+		case "kopt-center":
+			r = facloc.OptimalKCluster(ki, facloc.KCenter, o)
+		}
+		fmt.Printf("algorithm: %s\n", *algo)
+		fmt.Printf("instance:  n=%d k=%d\n", ki.N, ki.K)
+		fmt.Printf("centers:   %v\n", r.Solution.Centers)
+		fmt.Printf("objective: %s = %.4f\n", r.Solution.Obj, r.Solution.Value)
+		printStats(r.Stats)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+}
+
+func printStats(s facloc.Stats) {
+	fmt.Printf("rounds:           %d (inner %d, fallbacks %d)\n", s.Rounds, s.InnerRounds, s.Fallbacks)
+	if s.Work > 0 {
+		fmt.Printf("PRAM work/span:   %d / %d (%d primitive calls)\n", s.Work, s.Span, s.Calls)
+	}
+	fmt.Printf("wall time:        %v\n", s.WallTime)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faclocsolve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Clustering: k-median and k-means on Gaussian mixtures — the machine-
+// learning face of facility location (§1 of the paper: "the popular k-means
+// clustering ... are all examples of problems in this class").
+//
+// Generates a mixture of k Gaussian blobs, runs the §7 parallel local-search
+// algorithms, compares against the exact optimum (small n) and the k-center
+// seed they start from, and reports cluster recovery.
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+
+	facloc "repro"
+)
+
+func main() {
+	const n, k = 60, 4
+	ki := facloc.GenerateKClustered(3, n, k)
+
+	fmt.Printf("instance: %d points, %d Gaussian blobs, k=%d\n\n", n, k, k)
+
+	med := facloc.KMedianLocalSearch(ki, facloc.Options{Epsilon: 0.2, Seed: 1})
+	fmt.Printf("k-median local search  (5+ε):  value %10.2f  swaps %d\n",
+		med.Solution.Value, med.Stats.Rounds)
+
+	means := facloc.KMeansLocalSearch(ki, facloc.Options{Epsilon: 0.2, Seed: 1})
+	fmt.Printf("k-means local search  (81+ε):  value %10.2f  swaps %d\n",
+		means.Solution.Value, means.Stats.Rounds)
+
+	two := facloc.KMedianLocalSearch2Swap(ki, facloc.Options{Epsilon: 0.2, Seed: 1})
+	fmt.Printf("k-median 2-swap        (4+ε):  value %10.2f  swaps %d\n\n",
+		two.Solution.Value, two.Stats.Rounds)
+
+	// Cluster recovery: with well-separated blobs, each chosen center should
+	// land in a distinct blob.
+	blobs := map[int]int{}
+	for _, c := range med.Solution.Centers {
+		blobs[c%k]++ // GenerateKClustered assigns point p to blob p%k
+	}
+	fmt.Printf("blobs covered by k-median centers: %d of %d\n", len(blobs), k)
+
+	// Against the exact optimum (feasible at this size).
+	opt := facloc.OptimalKCluster(ki, facloc.KMedian, facloc.Options{})
+	fmt.Printf("exact k-median OPT: %.2f  (local search ratio %.3f, guarantee 5+ε)\n",
+		opt.Solution.Value, med.Solution.Value/opt.Solution.Value)
+
+	// The k-center seed the search starts from is an O(n)-approximation;
+	// local search closes most of the gap.
+	seed := facloc.KCenterParallel(ki, facloc.Options{Seed: 1})
+	seedAsMedian := 0.0
+	for j := 0; j < ki.N; j++ {
+		best := -1.0
+		for _, c := range seed.Solution.Centers {
+			d := ki.Dist.At(c, j)
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		seedAsMedian += best
+	}
+	fmt.Printf("k-center seed as k-median value: %.2f → improved %.1f%% by local search\n",
+		seedAsMedian, 100*(1-med.Solution.Value/seedAsMedian))
+}

@@ -1,0 +1,217 @@
+package facloc
+
+// Integration tests crossing module boundaries: all UFL algorithms on
+// non-Euclidean (graph-shortest-path and star) metrics, certificate chains
+// (algorithm cost vs dual vs LP vs OPT), and end-to-end determinism across
+// worker counts.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/localsearch"
+	"repro/internal/metric"
+)
+
+// graphInstance builds a UFL instance over a random graph shortest-path
+// metric — exercising the algorithms away from Euclidean geometry.
+func graphInstance(seed int64, nf, nc int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sp := metric.RandomGraphMetric(rng, nf+nc, 0.15, 10)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 2, 12))
+}
+
+func TestAllAlgorithmsOnGraphMetric(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		in := graphInstance(seed, 6, 14)
+		if err := in.CheckBipartiteMetric(1e-9); err != nil {
+			t.Fatal(err)
+		}
+		opt := OptimalFacility(in, Options{})
+		checks := []struct {
+			name  string
+			res   *Result
+			bound float64
+		}{
+			{"greedy-par", GreedyParallel(in, Options{Epsilon: 0.3, Seed: seed}), 3.722 + 0.3},
+			{"greedy-seq", GreedySequential(in, Options{}), 1.861},
+			{"pd-par", PrimalDualParallel(in, Options{Epsilon: 0.3, Seed: seed}), 3 * 1.3},
+			{"pd-seq", PrimalDualSequential(in, Options{}), 3},
+			{"ufl-ls", FacilityLocalSearch(in, Options{Epsilon: 0.3}), 3 * 1.3},
+		}
+		for _, ck := range checks {
+			if err := ck.res.Solution.CheckFeasible(in, 1e-9); err != nil {
+				t.Fatalf("%s: %v", ck.name, err)
+			}
+			if r := ck.res.Solution.Cost() / opt.Solution.Cost(); r > ck.bound+1e-9 {
+				t.Fatalf("seed=%d %s: ratio %v > %v on graph metric", seed, ck.name, r, ck.bound)
+			}
+		}
+	}
+}
+
+func TestStarMetricExtremes(t *testing.T) {
+	// Star metric: hub + leaves. With a cheap hub facility, opening the hub
+	// is optimal; every algorithm should find a near-hub solution.
+	n := 12
+	sp := metric.Star(n, 5)
+	fac := []int{0, 1, 2} // hub + two leaves as candidate facilities
+	cli := make([]int, n-3)
+	for j := range cli {
+		cli[j] = 3 + j
+	}
+	in := core.FromSpace(sp, fac, cli, []float64{1, 1, 1})
+	opt := OptimalFacility(in, Options{})
+	for _, name := range []string{"greedy", "pd"} {
+		var r *Result
+		if name == "greedy" {
+			r = GreedyParallel(in, Options{Epsilon: 0.3, Seed: 1})
+		} else {
+			r = PrimalDualParallel(in, Options{Epsilon: 0.3, Seed: 1})
+		}
+		if r.Solution.Cost() > 3.9*opt.Solution.Cost()+1e-9 {
+			t.Fatalf("%s on star: %v vs OPT %v", name, r.Solution.Cost(), opt.Solution.Cost())
+		}
+	}
+}
+
+func TestCertificateChain(t *testing.T) {
+	// The full ordering on one instance:
+	// Σα(pd) ≤ LP ≤ OPT ≤ algorithm cost ≤ guarantee·OPT.
+	in := GenerateUniform(31, 6, 15, 1, 6)
+	pd := PrimalDualParallel(in, Options{Epsilon: 0.3, Seed: 31})
+	lpVal, err := LPLowerBound(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := OptimalFacility(in, Options{}).Solution.Cost()
+	dual := pd.DualValue()
+	if !(dual <= lpVal+1e-6 && lpVal <= opt+1e-6 && opt <= pd.Solution.Cost()+1e-9) {
+		t.Fatalf("chain broken: dual=%v LP=%v OPT=%v cost=%v", dual, lpVal, opt, pd.Solution.Cost())
+	}
+}
+
+func TestUFLLocalSearchPublicAPI(t *testing.T) {
+	in := GenerateClustered(32, 8, 32, 4)
+	r := FacilityLocalSearch(in, Options{Epsilon: 0.2})
+	if err := r.Solution.CheckFeasible(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Rounds == 0 && len(r.Solution.Open) == 1 {
+		// Plausible only if a single facility is already locally optimal on
+		// a 4-cluster instance — it is not.
+		t.Fatal("local search made no moves on a clustered instance")
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// Every deterministic-per-seed algorithm must produce identical results
+	// for any worker count (order-independent reductions).
+	in := GenerateUniform(33, 8, 30, 1, 6)
+	ki := GenerateKClustered(33, 24, 3)
+	for _, w := range []int{1, 2, 3, 8} {
+		o := Options{Epsilon: 0.3, Seed: 33, Workers: w}
+		if got := GreedyParallel(in, o).Solution.Cost(); math.Abs(got-GreedyParallel(in, Options{Epsilon: 0.3, Seed: 33, Workers: 1}).Solution.Cost()) > 1e-12 {
+			t.Fatalf("greedy differs at workers=%d: %v", w, got)
+		}
+		if got := PrimalDualParallel(in, o).Solution.Cost(); math.Abs(got-PrimalDualParallel(in, Options{Epsilon: 0.3, Seed: 33, Workers: 1}).Solution.Cost()) > 1e-12 {
+			t.Fatalf("pd differs at workers=%d: %v", w, got)
+		}
+		if got := KCenterParallel(ki, o).Solution.Value; math.Abs(got-KCenterParallel(ki, Options{Seed: 33, Workers: 1}).Solution.Value) > 1e-12 {
+			t.Fatalf("kcenter differs at workers=%d: %v", w, got)
+		}
+	}
+}
+
+func TestDegenerateInstances(t *testing.T) {
+	// All clients at one point, facilities elsewhere.
+	pts := [][]float64{{0, 0}, {10, 0}, {5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	in, err := FromPoints(pts, []int{0, 1}, []int{2, 3, 4, 5}, []float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Result{
+		GreedyParallel(in, Options{Seed: 1}),
+		PrimalDualParallel(in, Options{Seed: 1}),
+		FacilityLocalSearch(in, Options{}),
+	} {
+		if err := r.Solution.CheckFeasible(in, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Identical distances everywhere (uniform metric): heavy tie-breaking.
+	d := make([][]float64, 3)
+	for i := range d {
+		d[i] = []float64{1, 1, 1, 1}
+	}
+	in2, err := NewInstance([]float64{2, 2, 2}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := GreedyParallel(in2, Options{Seed: 2})
+	opt := OptimalFacility(in2, Options{})
+	if math.Abs(r.Solution.Cost()-opt.Solution.Cost()) > 1e-9 {
+		t.Fatalf("uniform metric: %v vs OPT %v", r.Solution.Cost(), opt.Solution.Cost())
+	}
+}
+
+func TestSequentialBaselinesAgreeOnEasyInstances(t *testing.T) {
+	// On instances with one clearly optimal configuration, JMS and JV find
+	// the optimum exactly.
+	for seed := int64(0); seed < 4; seed++ {
+		in := GenerateClustered(seed+40, 8, 32, 4)
+		opt := exact.FacilityOPT(nil, in).Cost()
+		jms := GreedySequential(in, Options{}).Solution.Cost()
+		jv := PrimalDualSequential(in, Options{}).Solution.Cost()
+		if jms > 1.5*opt || jv > 2*opt {
+			t.Fatalf("seed=%d: baselines far off on clustered: JMS %v JV %v OPT %v",
+				seed, jms, jv, opt)
+		}
+	}
+}
+
+func TestKMeansVsKMedianDivergeOnOutliers(t *testing.T) {
+	// k-means (squared) must be at least as outlier-averse as k-median.
+	pts := make([][]float64, 0, 21)
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{rng.Float64() * 10, rng.Float64() * 10})
+	}
+	pts = append(pts, []float64{500, 500}) // extreme outlier
+	ki, err := KFromPoints(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := KMeansLocalSearch(ki, Options{Epsilon: 0.1, Seed: 44})
+	// With k=2 and one extreme outlier, k-means must dedicate a center to it.
+	servedOwnCenter := false
+	for _, c := range means.Solution.Centers {
+		if c == 20 {
+			servedOwnCenter = true
+		}
+	}
+	if !servedOwnCenter {
+		t.Fatalf("k-means centers %v ignore the outlier", means.Solution.Centers)
+	}
+}
+
+func TestLocalSearchMatchesInternal(t *testing.T) {
+	// Public wrapper and internal implementation agree.
+	in := GenerateUniform(45, 7, 18, 1, 6)
+	pub := FacilityLocalSearch(in, Options{Epsilon: 0.3})
+	internal := localsearch.UFLLocalSearch(nil, in, &localsearch.UFLOptions{Epsilon: 0.3})
+	if pub.Solution.Cost() != internal.Sol.Cost() {
+		t.Fatalf("public %v vs internal %v", pub.Solution.Cost(), internal.Sol.Cost())
+	}
+}

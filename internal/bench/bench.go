@@ -1,0 +1,141 @@
+// Package bench is the experiment harness: it regenerates, for every claim
+// of the paper (Theorems 4.9, 5.4, 6.1, 6.5, 7.1; Lemmas 3.1, 4.8;
+// Claims 4.4/5.1/6.3/6.4; Equation 2; Figure 1), a table of
+// paper-claimed-vs-measured values. cmd/faclocbench prints these tables and
+// EXPERIMENTS.md records a reference run.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/lp"
+	"repro/internal/metric"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Header     []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// Format renders the table as GitHub markdown.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "*Paper claim:* %s\n\n", t.PaperClaim)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "|%s|\n", strings.Join(sep, "|"))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(r, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+
+// Family is a named instance generator for UFL experiments.
+type Family struct {
+	Name string
+	Gen  func(seed int64, nf, nc int) *core.Instance
+}
+
+// Families returns the three §-evaluation workload families.
+func Families() []Family {
+	return []Family{
+		{"uniform", func(seed int64, nf, nc int) *core.Instance {
+			rng := rand.New(rand.NewSource(seed))
+			sp := metric.UniformBox(rng, nf+nc, 2, 10)
+			return split(sp, nf, nc, metric.RandomCosts(rng, nf, 1, 6))
+		}},
+		{"clustered", func(seed int64, nf, nc int) *core.Instance {
+			rng := rand.New(rand.NewSource(seed))
+			sp := metric.TwoScale(rng, nf+nc, 4, 2, 200)
+			return split(sp, nf, nc, metric.UniformCosts(nf, 5))
+		}},
+		{"zipf-cost", func(seed int64, nf, nc int) *core.Instance {
+			rng := rand.New(rand.NewSource(seed))
+			sp := metric.UniformBox(rng, nf+nc, 2, 10)
+			return split(sp, nf, nc, metric.ZipfCosts(rng, nf, 20, 1.1))
+		}},
+	}
+}
+
+func split(sp metric.Space, nf, nc int, costs []float64) *core.Instance {
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(sp, fac, cli, costs)
+}
+
+// optOrLPBound returns the best available lower bound on OPT (exact
+// enumeration when feasible, the LP optimum otherwise) and how it was
+// obtained. Ratios against the LP bound over-estimate the true ratio, so
+// staying under the paper's factor is conservative.
+func optOrLPBound(in *core.Instance) (float64, string) {
+	if exact.FeasibleFacility(in, 1<<26) {
+		return exact.FacilityOPT(nil, in).Cost(), "OPT"
+	}
+	if in.M() <= 16*96 {
+		if ff, err := lp.SolveFacility(in); err == nil {
+			return ff.Value, "LP"
+		}
+	}
+	// Last resort: a feasible dual value is a lower bound (weak duality).
+	g := core.Gammas(nil, in)
+	return g.Gamma, "γ"
+}
+
+// geoMean returns the geometric mean of xs (0 for empty).
+func geoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+func maxFloat(xs []float64) float64 {
+	out := math.Inf(-1)
+	for _, x := range xs {
+		out = math.Max(out, x)
+	}
+	return out
+}
+
+func maxIntSlice(xs []int) int {
+	out := 0
+	for _, x := range xs {
+		if x > out {
+			out = x
+		}
+	}
+	return out
+}
+
+func logBase(b, x float64) float64 { return math.Log(x) / math.Log(b) }

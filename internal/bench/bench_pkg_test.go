@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	tables := All(Quick)
+	if len(tables) != 14 {
+		t.Fatalf("%d tables, want 14", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" || tb.PaperClaim == "" {
+			t.Fatalf("table %q missing metadata", tb.ID)
+		}
+		if seen[tb.ID] {
+			t.Fatalf("duplicate table id %s", tb.ID)
+		}
+		seen[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: no rows", tb.ID)
+		}
+		for _, r := range tb.Rows {
+			if len(r) != len(tb.Header) {
+				t.Fatalf("%s: row width %d vs header %d", tb.ID, len(r), len(tb.Header))
+			}
+		}
+		out := tb.Format()
+		if !strings.Contains(out, tb.ID) || !strings.Contains(out, "|") {
+			t.Fatalf("%s: bad formatting:\n%s", tb.ID, out)
+		}
+	}
+}
+
+func TestE10AlwaysHolds(t *testing.T) {
+	tb := E10GammaBounds(Quick)
+	for _, r := range tb.Rows {
+		if r[len(r)-1] != "true" {
+			t.Fatalf("Equation 2 violated: %v", r)
+		}
+	}
+}
+
+func TestE8OrderingHolds(t *testing.T) {
+	tb := E8LPDuality(Quick)
+	for _, r := range tb.Rows {
+		if r[len(r)-1] != "true" {
+			t.Fatalf("duality ordering violated: %v", r)
+		}
+	}
+}
+
+func TestFamiliesDistinct(t *testing.T) {
+	fams := Families()
+	if len(fams) != 3 {
+		t.Fatalf("%d families", len(fams))
+	}
+	a := fams[0].Gen(1, 4, 8)
+	b := fams[1].Gen(1, 4, 8)
+	if a.Dist(0, 0) == b.Dist(0, 0) && a.Dist(1, 3) == b.Dist(1, 3) {
+		t.Fatal("families look identical")
+	}
+}
+
+func TestTableFormatMarkdown(t *testing.T) {
+	tb := &Table{
+		ID: "EX", Title: "title", PaperClaim: "claim",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note"},
+	}
+	out := tb.Format()
+	for _, want := range []string{"### EX", "*Paper claim:* claim", "| a | b |", "| 1 | 2 |", "> note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeoMeanAndHelpers(t *testing.T) {
+	if g := geoMean([]float64{1, 4}); g != 2 {
+		t.Fatalf("geoMean=%v", g)
+	}
+	if g := geoMean(nil); g != 0 {
+		t.Fatalf("geoMean(nil)=%v", g)
+	}
+	if m := maxFloat([]float64{1, 5, 3}); m != 5 {
+		t.Fatalf("maxFloat=%v", m)
+	}
+	if m := maxIntSlice([]int{1, 5, 3}); m != 5 {
+		t.Fatalf("maxIntSlice=%v", m)
+	}
+}

@@ -1,0 +1,357 @@
+// Package core defines the facility-location problem family from the paper
+// (§2): the metric (uncapacitated) facility-location instance and its
+// objective, the k-median / k-means / k-center instances and objectives,
+// solution types with facility/connection cost split, the γ lower/upper
+// bounds of Equation (2), and the Figure-1 dual program with feasibility
+// checkers used by the dual-fitting tests.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+// Instance is a metric uncapacitated facility-location instance: nf
+// facilities with opening costs, nc clients, and the dense facility×client
+// distance matrix the paper's algorithms operate on.
+type Instance struct {
+	NF, NC  int
+	FacCost []float64           // len NF; FacCost[i] = f_i ≥ 0
+	D       *par.Dense[float64] // NF×NC; D.At(i, j) = d(facility i, client j)
+}
+
+// M returns the input size m = nf × nc used in the paper's bounds.
+func (in *Instance) M() int { return in.NF * in.NC }
+
+// Dist returns d(facility i, client j).
+func (in *Instance) Dist(i, j int) float64 { return in.D.At(i, j) }
+
+// Validate checks structural invariants: dimensions, non-negative costs and
+// distances.
+func (in *Instance) Validate() error {
+	if in.NF <= 0 || in.NC <= 0 {
+		return fmt.Errorf("core: empty instance %dx%d", in.NF, in.NC)
+	}
+	if len(in.FacCost) != in.NF {
+		return fmt.Errorf("core: |FacCost|=%d, want %d", len(in.FacCost), in.NF)
+	}
+	if in.D == nil || in.D.R != in.NF || in.D.C != in.NC {
+		return fmt.Errorf("core: distance matrix shape mismatch")
+	}
+	for i, f := range in.FacCost {
+		if f < 0 || math.IsNaN(f) {
+			return fmt.Errorf("core: facility %d has invalid cost %v", i, f)
+		}
+	}
+	for _, d := range in.D.A {
+		if d < 0 || math.IsNaN(d) {
+			return fmt.Errorf("core: negative or NaN distance %v", d)
+		}
+	}
+	return nil
+}
+
+// CheckBipartiteMetric verifies the 4-point condition implied by an
+// underlying metric on F ∪ C: d(i,j) ≤ d(i,j') + d(i',j') + d(i',j) for all
+// facilities i,i' and clients j,j'. This is exactly the inequality every
+// triangle-based argument in the paper uses. Θ(m²): tests only.
+func (in *Instance) CheckBipartiteMetric(tol float64) error {
+	for i := 0; i < in.NF; i++ {
+		for i2 := 0; i2 < in.NF; i2++ {
+			for j := 0; j < in.NC; j++ {
+				for j2 := 0; j2 < in.NC; j2++ {
+					if in.Dist(i, j) > in.Dist(i, j2)+in.Dist(i2, j2)+in.Dist(i2, j)+tol {
+						return fmt.Errorf("core: 4-point condition violated at i=%d i'=%d j=%d j'=%d", i, i2, j, j2)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Solution is a feasible UFL solution: the open facilities, the
+// client-to-facility assignment, and the cost split.
+type Solution struct {
+	Open           []int // open facility indices, ascending
+	Assign         []int // len NC; Assign[j] = facility serving client j
+	FacilityCost   float64
+	ConnectionCost float64
+}
+
+// Cost returns the total objective value (Equation 1).
+func (s *Solution) Cost() float64 { return s.FacilityCost + s.ConnectionCost }
+
+// EvalOpen builds the best solution with exactly the given open set: each
+// client is assigned to its nearest open facility (the paper notes the
+// assignment is implied by the open set). Panics if open is empty.
+func EvalOpen(c *par.Ctx, in *Instance, open []int) *Solution {
+	if len(open) == 0 {
+		panic("core: EvalOpen with no open facilities")
+	}
+	assign := make([]int, in.NC)
+	connCost := make([]float64, in.NC)
+	c.For(in.NC, func(j int) {
+		best, bestI := math.Inf(1), -1
+		for _, i := range open {
+			if d := in.Dist(i, j); d < best {
+				best, bestI = d, i
+			}
+		}
+		assign[j] = bestI
+		connCost[j] = best
+	})
+	c.Charge(int64(len(open))*int64(in.NC), 1)
+	fc := 0.0
+	seen := make(map[int]bool, len(open))
+	var uniq []int
+	for _, i := range open {
+		if !seen[i] {
+			seen[i] = true
+			fc += in.FacCost[i]
+			uniq = append(uniq, i)
+		}
+	}
+	par.SortInts(c, uniq)
+	return &Solution{
+		Open:           uniq,
+		Assign:         assign,
+		FacilityCost:   fc,
+		ConnectionCost: par.SumFloat(c, connCost),
+	}
+}
+
+// CheckFeasible verifies that s is structurally consistent with in and that
+// the recorded costs match a recomputation within tol.
+func (s *Solution) CheckFeasible(in *Instance, tol float64) error {
+	if len(s.Open) == 0 {
+		return fmt.Errorf("core: no open facilities")
+	}
+	openSet := make(map[int]bool)
+	fc := 0.0
+	for _, i := range s.Open {
+		if i < 0 || i >= in.NF {
+			return fmt.Errorf("core: open facility %d out of range", i)
+		}
+		if openSet[i] {
+			return fmt.Errorf("core: facility %d opened twice", i)
+		}
+		openSet[i] = true
+		fc += in.FacCost[i]
+	}
+	if len(s.Assign) != in.NC {
+		return fmt.Errorf("core: |Assign|=%d, want %d", len(s.Assign), in.NC)
+	}
+	cc := 0.0
+	for j, i := range s.Assign {
+		if !openSet[i] {
+			return fmt.Errorf("core: client %d assigned to closed facility %d", j, i)
+		}
+		cc += in.Dist(i, j)
+	}
+	if math.Abs(fc-s.FacilityCost) > tol {
+		return fmt.Errorf("core: facility cost %v recorded, %v recomputed", s.FacilityCost, fc)
+	}
+	if math.Abs(cc-s.ConnectionCost) > tol {
+		return fmt.Errorf("core: connection cost %v recorded, %v recomputed", s.ConnectionCost, cc)
+	}
+	return nil
+}
+
+// GammaBounds computes the quantities of Equation (2): γ_j = min_i (f_i +
+// d(j,i)), γ = max_j γ_j, and Σ_j γ_j, which bracket opt:
+// γ ≤ opt ≤ Σγ_j ≤ γ·nc.
+type GammaBounds struct {
+	GammaJ []float64 // per-client γ_j
+	Gamma  float64   // max_j γ_j, a lower bound on opt
+	Sum    float64   // Σ_j γ_j, an upper bound on opt
+}
+
+// Gammas computes GammaBounds with one column reduction over the matrix.
+func Gammas(c *par.Ctx, in *Instance) GammaBounds {
+	gj := make([]float64, in.NC)
+	c.For(in.NC, func(j int) {
+		best := math.Inf(1)
+		for i := 0; i < in.NF; i++ {
+			if v := in.FacCost[i] + in.Dist(i, j); v < best {
+				best = v
+			}
+		}
+		gj[j] = best
+	})
+	c.Charge(int64(in.M()), 1)
+	return GammaBounds{
+		GammaJ: gj,
+		Gamma:  par.MaxFloat(c, gj),
+		Sum:    par.SumFloat(c, gj),
+	}
+}
+
+// DualSolution is a Figure-1 dual candidate: α_j per client. β_ij is implied
+// as max(0, α_j − d(j,i)) throughout the paper, so only α is stored.
+type DualSolution struct {
+	Alpha []float64
+}
+
+// Value returns Σ_j α_j, the dual objective.
+func (d *DualSolution) Value(c *par.Ctx) float64 { return par.SumFloat(c, d.Alpha) }
+
+// MaxViolation returns the largest amount by which any facility constraint
+// Σ_j β_ij ≤ f_i is violated under β_ij = max(0, α_j − d(j,i)), scaling α by
+// scale first (the dual-fitting analyses divide α by γ=1.861 or by 3).
+// A non-positive result means (α·scale, β) is dual feasible.
+func (d *DualSolution) MaxViolation(c *par.Ctx, in *Instance, scale float64) float64 {
+	worst := par.ReduceIndex(c, in.NF, math.Inf(-1), func(i int) float64 {
+		sum := 0.0
+		for j := 0; j < in.NC; j++ {
+			if b := d.Alpha[j]*scale - in.Dist(i, j); b > 0 {
+				sum += b
+			}
+		}
+		return sum - in.FacCost[i]
+	}, math.Max)
+	c.Charge(int64(in.M()), 1)
+	return worst
+}
+
+// ---------- k-clustering instances ----------
+
+// KInstance is the shared instance for k-median, k-means and k-center: n
+// nodes that are simultaneously clients and candidate centers (§2), a full
+// n×n distance matrix, and the budget K.
+type KInstance struct {
+	N    int
+	K    int
+	Dist *par.Dense[float64] // N×N symmetric
+}
+
+// Validate checks shape, symmetry, and zero diagonal.
+func (ki *KInstance) Validate() error {
+	if ki.N <= 0 || ki.K <= 0 || ki.K > ki.N {
+		return fmt.Errorf("core: bad k-instance n=%d k=%d", ki.N, ki.K)
+	}
+	if ki.Dist == nil || ki.Dist.R != ki.N || ki.Dist.C != ki.N {
+		return fmt.Errorf("core: k-instance matrix shape mismatch")
+	}
+	for i := 0; i < ki.N; i++ {
+		if ki.Dist.At(i, i) != 0 {
+			return fmt.Errorf("core: nonzero diagonal at %d", i)
+		}
+		for j := i + 1; j < ki.N; j++ {
+			if ki.Dist.At(i, j) != ki.Dist.At(j, i) {
+				return fmt.Errorf("core: asymmetric at %d,%d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// KObjective selects among the three §2 objectives sharing KInstance.
+type KObjective int
+
+// The three k-clustering objectives of §2.
+const (
+	KMedian KObjective = iota // Σ_j d(j, F_S)
+	KMeans                    // Σ_j d²(j, F_S)
+	KCenter                   // max_j d(j, F_S)
+)
+
+func (o KObjective) String() string {
+	switch o {
+	case KMedian:
+		return "k-median"
+	case KMeans:
+		return "k-means"
+	case KCenter:
+		return "k-center"
+	}
+	return fmt.Sprintf("KObjective(%d)", int(o))
+}
+
+// KSolution is a center set with its assignment and objective value.
+type KSolution struct {
+	Centers []int
+	Assign  []int
+	Value   float64
+	Obj     KObjective
+}
+
+// EvalCenters assigns every node to its nearest center and computes the
+// requested objective.
+func EvalCenters(c *par.Ctx, ki *KInstance, centers []int, obj KObjective) *KSolution {
+	if len(centers) == 0 {
+		panic("core: EvalCenters with no centers")
+	}
+	assign := make([]int, ki.N)
+	contrib := make([]float64, ki.N)
+	c.For(ki.N, func(j int) {
+		best, bestI := math.Inf(1), -1
+		for _, i := range centers {
+			if d := ki.Dist.At(i, j); d < best {
+				best, bestI = d, i
+			}
+		}
+		assign[j] = bestI
+		switch obj {
+		case KMeans:
+			contrib[j] = best * best
+		default:
+			contrib[j] = best
+		}
+	})
+	c.Charge(int64(len(centers))*int64(ki.N), 1)
+	var value float64
+	if obj == KCenter {
+		value = par.MaxFloat(c, contrib)
+	} else {
+		value = par.SumFloat(c, contrib)
+	}
+	sorted := append([]int(nil), centers...)
+	par.SortInts(c, sorted)
+	return &KSolution{Centers: sorted, Assign: assign, Value: value, Obj: obj}
+}
+
+// CheckFeasible verifies the k-solution respects the budget and assignment.
+func (ks *KSolution) CheckFeasible(ki *KInstance, tol float64) error {
+	if len(ks.Centers) == 0 || len(ks.Centers) > ki.K {
+		return fmt.Errorf("core: %d centers, budget %d", len(ks.Centers), ki.K)
+	}
+	ref := EvalCenters(nil, ki, ks.Centers, ks.Obj)
+	if math.Abs(ref.Value-ks.Value) > tol {
+		return fmt.Errorf("core: value %v recorded, %v recomputed", ks.Value, ref.Value)
+	}
+	return nil
+}
+
+// ---------- constructors from metric spaces ----------
+
+// FromSpace builds a UFL Instance by designating facilities and clients
+// (index sets into sp, may overlap) with the given opening costs.
+func FromSpace(sp metric.Space, facilities, clients []int, costs []float64) *Instance {
+	nf, nc := len(facilities), len(clients)
+	d := par.NewDense[float64](nf, nc)
+	for a, i := range facilities {
+		row := d.Row(a)
+		for b, j := range clients {
+			row[b] = sp.Dist(i, j)
+		}
+	}
+	cc := append([]float64(nil), costs...)
+	return &Instance{NF: nf, NC: nc, FacCost: cc, D: d}
+}
+
+// KFromSpace builds a k-clustering instance over all points of sp.
+func KFromSpace(sp metric.Space, k int) *KInstance {
+	n := sp.N()
+	d := par.NewDense[float64](n, n)
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] = sp.Dist(i, j)
+		}
+	}
+	return &KInstance{N: n, K: k, Dist: d}
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+// testInstance builds a small random UFL instance from a Euclidean space.
+func testInstance(seed int64, nf, nc int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	costs := metric.RandomCosts(rng, nf, 1, 5)
+	return FromSpace(sp, fac, cli, costs)
+}
+
+func TestInstanceValidate(t *testing.T) {
+	in := testInstance(1, 5, 12)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.M() != 60 {
+		t.Fatalf("M=%d", in.M())
+	}
+}
+
+func TestInstanceValidateRejectsBadShapes(t *testing.T) {
+	in := testInstance(1, 5, 12)
+	bad := *in
+	bad.FacCost = bad.FacCost[:3]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short FacCost accepted")
+	}
+	bad2 := *in
+	bad2.FacCost = append([]float64(nil), in.FacCost...)
+	bad2.FacCost[0] = -1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	bad3 := *in
+	bad3.D = in.D.Clone()
+	bad3.D.A[0] = math.NaN()
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("NaN distance accepted")
+	}
+}
+
+func TestBipartiteMetricHolds(t *testing.T) {
+	in := testInstance(2, 6, 10)
+	if err := in.CheckBipartiteMetric(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBipartiteMetricCatchesViolation(t *testing.T) {
+	in := testInstance(2, 6, 10)
+	in.D.Set(0, 0, 1e6) // inflate one distance
+	if err := in.CheckBipartiteMetric(1e-9); err == nil {
+		t.Fatal("violation accepted")
+	}
+}
+
+func TestEvalOpenNearestAssignment(t *testing.T) {
+	in := testInstance(3, 4, 20)
+	c := &par.Ctx{Workers: 2}
+	sol := EvalOpen(c, in, []int{1, 3})
+	if err := sol.CheckFeasible(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < in.NC; j++ {
+		got := in.Dist(sol.Assign[j], j)
+		want := math.Min(in.Dist(1, j), in.Dist(3, j))
+		if got != want {
+			t.Fatalf("client %d assigned at %v, nearest is %v", j, got, want)
+		}
+	}
+}
+
+func TestEvalOpenDeduplicates(t *testing.T) {
+	in := testInstance(4, 4, 8)
+	sol := EvalOpen(nil, in, []int{2, 2, 0, 2})
+	if len(sol.Open) != 2 || sol.Open[0] != 0 || sol.Open[1] != 2 {
+		t.Fatalf("Open=%v", sol.Open)
+	}
+	if math.Abs(sol.FacilityCost-(in.FacCost[0]+in.FacCost[2])) > 1e-12 {
+		t.Fatalf("facility cost %v", sol.FacilityCost)
+	}
+}
+
+func TestEvalOpenPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty open set")
+		}
+	}()
+	EvalOpen(nil, testInstance(5, 3, 3), nil)
+}
+
+func TestCheckFeasibleCatchesBadAssign(t *testing.T) {
+	in := testInstance(6, 4, 6)
+	sol := EvalOpen(nil, in, []int{0})
+	sol.Assign[0] = 3 // not open
+	if err := sol.CheckFeasible(in, 1e-9); err == nil {
+		t.Fatal("assignment to closed facility accepted")
+	}
+}
+
+func TestCheckFeasibleCatchesWrongCost(t *testing.T) {
+	in := testInstance(7, 4, 6)
+	sol := EvalOpen(nil, in, []int{0, 1})
+	sol.ConnectionCost += 1
+	if err := sol.CheckFeasible(in, 1e-9); err == nil {
+		t.Fatal("wrong connection cost accepted")
+	}
+}
+
+func TestGammaBoundsEquation2(t *testing.T) {
+	// γ ≤ opt ≤ Σγ_j ≤ γ·nc for the trivially computed "best single-facility
+	// per-client" opt surrogate: any solution's cost is ≥ γ and the solution
+	// that serves each client by its γ_j facility costs ≤ Σγ_j.
+	for seed := int64(0); seed < 10; seed++ {
+		in := testInstance(seed, 6, 15)
+		g := Gammas(nil, in)
+		if g.Gamma <= 0 {
+			t.Fatalf("gamma=%v", g.Gamma)
+		}
+		if g.Sum < g.Gamma-1e-12 {
+			t.Fatalf("sum %v < gamma %v", g.Sum, g.Gamma)
+		}
+		if g.Sum > g.Gamma*float64(in.NC)+1e-9 {
+			t.Fatalf("sum %v > gamma*nc %v", g.Sum, g.Gamma*float64(in.NC))
+		}
+		// Σγ_j is an upper bound on opt: check it against one feasible solution
+		// (all facilities open) which itself upper-bounds opt.
+		all := make([]int, in.NF)
+		for i := range all {
+			all[i] = i
+		}
+		sol := EvalOpen(nil, in, all)
+		_ = sol
+		// opt ≥ γ: any solution pays at least γ_j... for the max-γ client:
+		// f_i + d(j,i) ≥ γ_j = γ for the serving facility i of that client.
+		if sol.Cost() < g.Gamma-1e-9 {
+			t.Fatalf("full-open solution %v below gamma %v", sol.Cost(), g.Gamma)
+		}
+	}
+}
+
+func TestGammaJPerClient(t *testing.T) {
+	in := testInstance(11, 5, 9)
+	g := Gammas(nil, in)
+	for j := 0; j < in.NC; j++ {
+		want := math.Inf(1)
+		for i := 0; i < in.NF; i++ {
+			want = math.Min(want, in.FacCost[i]+in.Dist(i, j))
+		}
+		if g.GammaJ[j] != want {
+			t.Fatalf("gamma_%d=%v want %v", j, g.GammaJ[j], want)
+		}
+	}
+}
+
+func TestDualMaxViolation(t *testing.T) {
+	in := testInstance(12, 4, 8)
+	// All-zero α is always feasible with slack exactly max f_i... the
+	// violation is -min over facilities of f_i.
+	d := &DualSolution{Alpha: make([]float64, in.NC)}
+	v := d.MaxViolation(nil, in, 1)
+	wantMin := math.Inf(1)
+	for _, f := range in.FacCost {
+		wantMin = math.Min(wantMin, f)
+	}
+	if math.Abs(v-(-wantMin)) > 1e-12 {
+		t.Fatalf("violation %v want %v", v, -wantMin)
+	}
+	// Gigantic α must violate.
+	for j := range d.Alpha {
+		d.Alpha[j] = 1e9
+	}
+	if v := d.MaxViolation(nil, in, 1); v <= 0 {
+		t.Fatalf("huge alpha feasible? violation=%v", v)
+	}
+	// Scaling down restores feasibility.
+	if v := d.MaxViolation(nil, in, 1e-12); v > 0 {
+		t.Fatalf("scaled-down alpha infeasible: %v", v)
+	}
+}
+
+func TestDualValue(t *testing.T) {
+	d := &DualSolution{Alpha: []float64{1, 2, 3.5}}
+	if v := d.Value(nil); v != 6.5 {
+		t.Fatalf("value=%v", v)
+	}
+}
+
+func TestKInstanceValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sp := metric.UniformBox(rng, 12, 2, 5)
+	ki := KFromSpace(sp, 3)
+	if err := ki.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ki.K = 0
+	if err := ki.Validate(); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	ki.K = 3
+	ki.Dist.Set(0, 1, ki.Dist.At(0, 1)+1)
+	if err := ki.Validate(); err == nil {
+		t.Fatal("asymmetry accepted")
+	}
+}
+
+func TestEvalCentersObjectives(t *testing.T) {
+	// Three collinear points 0-1-10; centers {0}, k irrelevant for eval.
+	sp := &metric.Euclidean{Dim: 1, Coords: []float64{0, 1, 10}}
+	ki := KFromSpace(sp, 1)
+	med := EvalCenters(nil, ki, []int{0}, KMedian)
+	if med.Value != 11 {
+		t.Fatalf("k-median value %v want 11", med.Value)
+	}
+	means := EvalCenters(nil, ki, []int{0}, KMeans)
+	if means.Value != 101 {
+		t.Fatalf("k-means value %v want 101", means.Value)
+	}
+	cen := EvalCenters(nil, ki, []int{0}, KCenter)
+	if cen.Value != 10 {
+		t.Fatalf("k-center value %v want 10", cen.Value)
+	}
+}
+
+func TestKSolutionCheckFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	sp := metric.UniformBox(rng, 10, 2, 5)
+	ki := KFromSpace(sp, 2)
+	ks := EvalCenters(nil, ki, []int{1, 7}, KMedian)
+	if err := ks.CheckFeasible(ki, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	ks.Value += 5
+	if err := ks.CheckFeasible(ki, 1e-9); err == nil {
+		t.Fatal("wrong value accepted")
+	}
+	over := EvalCenters(nil, ki, []int{0, 1, 2}, KMedian)
+	if err := over.CheckFeasible(ki, 1e-9); err == nil {
+		t.Fatal("budget overflow accepted")
+	}
+}
+
+func TestKObjectiveString(t *testing.T) {
+	if KMedian.String() != "k-median" || KMeans.String() != "k-means" || KCenter.String() != "k-center" {
+		t.Fatal("objective names wrong")
+	}
+	if KObjective(99).String() == "" {
+		t.Fatal("unknown objective stringer empty")
+	}
+}
+
+func TestFromSpaceOverlappingSets(t *testing.T) {
+	// Facilities and clients may share points (k-median style): distance from
+	// a point to itself must be zero in the cross matrix.
+	sp := &metric.Euclidean{Dim: 1, Coords: []float64{0, 2, 5}}
+	in := FromSpace(sp, []int{0, 1, 2}, []int{0, 1, 2}, metric.UniformCosts(3, 1))
+	for i := 0; i < 3; i++ {
+		if in.Dist(i, i) != 0 {
+			t.Fatalf("self distance %v", in.Dist(i, i))
+		}
+	}
+	if in.Dist(0, 2) != 5 {
+		t.Fatalf("d=%v", in.Dist(0, 2))
+	}
+}
+
+func TestEvalOpenCostDecomposesProperty(t *testing.T) {
+	f := func(seed int64, rawOpen []uint8) bool {
+		in := testInstance(seed, 6, 9)
+		if len(rawOpen) == 0 {
+			return true
+		}
+		open := make([]int, 0, len(rawOpen))
+		for _, r := range rawOpen {
+			open = append(open, int(r)%in.NF)
+		}
+		sol := EvalOpen(nil, in, open)
+		return sol.CheckFeasible(in, 1e-9) == nil &&
+			math.Abs(sol.Cost()-(sol.FacilityCost+sol.ConnectionCost)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreFacilitiesNeverWorseConnection(t *testing.T) {
+	// Superset of open facilities can only lower connection cost.
+	in := testInstance(21, 8, 20)
+	a := EvalOpen(nil, in, []int{0, 3})
+	b := EvalOpen(nil, in, []int{0, 3, 5, 7})
+	if b.ConnectionCost > a.ConnectionCost+1e-12 {
+		t.Fatalf("superset connection %v > subset %v", b.ConnectionCost, a.ConnectionCost)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/par"
+)
+
+// instanceJSON is the on-disk representation of an Instance.
+type instanceJSON struct {
+	NF       int         `json:"nf"`
+	NC       int         `json:"nc"`
+	FacCost  []float64   `json:"facility_costs"`
+	Distance [][]float64 `json:"distance"` // nf rows × nc cols
+}
+
+// kInstanceJSON is the on-disk representation of a KInstance.
+type kInstanceJSON struct {
+	N        int         `json:"n"`
+	K        int         `json:"k"`
+	Distance [][]float64 `json:"distance"` // n×n
+}
+
+// WriteInstance serializes in as JSON.
+func WriteInstance(w io.Writer, in *Instance) error {
+	rows := make([][]float64, in.NF)
+	for i := range rows {
+		rows[i] = append([]float64(nil), in.D.Row(i)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(instanceJSON{NF: in.NF, NC: in.NC, FacCost: in.FacCost, Distance: rows})
+}
+
+// ReadInstance deserializes and validates an Instance.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var ij instanceJSON
+	if err := json.NewDecoder(r).Decode(&ij); err != nil {
+		return nil, fmt.Errorf("core: decoding instance: %w", err)
+	}
+	if len(ij.Distance) != ij.NF {
+		return nil, fmt.Errorf("core: %d distance rows for nf=%d", len(ij.Distance), ij.NF)
+	}
+	d := par.NewDense[float64](ij.NF, ij.NC)
+	for i, row := range ij.Distance {
+		if len(row) != ij.NC {
+			return nil, fmt.Errorf("core: row %d has %d cols, want %d", i, len(row), ij.NC)
+		}
+		copy(d.Row(i), row)
+	}
+	in := &Instance{NF: ij.NF, NC: ij.NC, FacCost: ij.FacCost, D: d}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// WriteKInstance serializes ki as JSON.
+func WriteKInstance(w io.Writer, ki *KInstance) error {
+	rows := make([][]float64, ki.N)
+	for i := range rows {
+		rows[i] = append([]float64(nil), ki.Dist.Row(i)...)
+	}
+	return json.NewEncoder(w).Encode(kInstanceJSON{N: ki.N, K: ki.K, Distance: rows})
+}
+
+// ReadKInstance deserializes and validates a KInstance.
+func ReadKInstance(r io.Reader) (*KInstance, error) {
+	var kj kInstanceJSON
+	if err := json.NewDecoder(r).Decode(&kj); err != nil {
+		return nil, fmt.Errorf("core: decoding k-instance: %w", err)
+	}
+	if len(kj.Distance) != kj.N {
+		return nil, fmt.Errorf("core: %d rows for n=%d", len(kj.Distance), kj.N)
+	}
+	d := par.NewDense[float64](kj.N, kj.N)
+	for i, row := range kj.Distance {
+		if len(row) != kj.N {
+			return nil, fmt.Errorf("core: row %d has %d cols, want %d", i, len(row), kj.N)
+		}
+		copy(d.Row(i), row)
+	}
+	ki := &KInstance{N: kj.N, K: kj.K, Dist: d}
+	if err := ki.Validate(); err != nil {
+		return nil, err
+	}
+	return ki, nil
+}

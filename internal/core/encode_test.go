@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := testInstance(1, 4, 7)
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NF != in.NF || back.NC != in.NC {
+		t.Fatalf("shape %dx%d", back.NF, back.NC)
+	}
+	for i := 0; i < in.NF; i++ {
+		if back.FacCost[i] != in.FacCost[i] {
+			t.Fatal("costs differ")
+		}
+		for j := 0; j < in.NC; j++ {
+			if back.Dist(i, j) != in.Dist(i, j) {
+				t.Fatalf("distance differs at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestKInstanceJSONRoundTrip(t *testing.T) {
+	in := testInstance(2, 5, 5)
+	_ = in
+	ki := &KInstance{N: 3, K: 2, Dist: nil}
+	_ = ki
+	// Build a valid symmetric instance.
+	kj, err := ReadKInstance(strings.NewReader(`{"n":2,"k":1,"distance":[[0,3],[3,0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteKInstance(&buf, kj); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadKInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dist.At(0, 1) != 3 || back.K != 1 {
+		t.Fatalf("%+v", back)
+	}
+}
+
+func TestReadInstanceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"nf":2,"nc":2,"facility_costs":[1,2],"distance":[[1,2]]}`, // row count
+		`{"nf":1,"nc":2,"facility_costs":[1],"distance":[[1]]}`,     // col count
+		`{"nf":1,"nc":1,"facility_costs":[-1],"distance":[[1]]}`,    // negative cost
+		`{"nf":1,"nc":1,"facility_costs":[1,2],"distance":[[1]]}`,   // cost len
+	}
+	for _, c := range cases {
+		if _, err := ReadInstance(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestReadKInstanceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`nope`,
+		`{"n":2,"k":1,"distance":[[0,1]]}`,       // row count
+		`{"n":2,"k":1,"distance":[[0,1],[2,0]]}`, // asymmetric
+		`{"n":2,"k":5,"distance":[[0,1],[1,0]]}`, // k > n
+		`{"n":2,"k":1,"distance":[[0,1],[1,0],[0]]}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadKInstance(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}

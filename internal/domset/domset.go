@@ -1,0 +1,232 @@
+// Package domset implements the two maximal-independent-set variants of §3 of
+// the paper: the dominator set MaxDom(G) (an MIS of G², nodes pairwise at
+// distance ≥ 3) and the U-dominator set MaxUDom(H) of a bipartite graph (a
+// maximal subset of U-side nodes no two of which share a V-side neighbor,
+// an MIS of H′).
+//
+// Following the paper, neither G² nor H′ is ever materialized: each Luby
+// select step draws random priorities and min-propagates them two hops
+// across the original adjacency structure with dense matrix-style
+// operations — O(n²) work per round, expected O(log n) rounds (Lemma 3.1).
+//
+// Adjacency is supplied as an oracle func so callers can use implicit graphs
+// (for example the k-center threshold graph "d(i,j) ≤ α") without building
+// them.
+package domset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/par"
+)
+
+// Stats reports the behaviour of one MaxDom/MaxUDom computation, used by the
+// Lemma 3.1 experiments.
+type Stats struct {
+	Rounds    int // Luby rounds executed
+	Fallbacks int // nodes selected by the deterministic safety valve
+}
+
+// roundCap is a generous multiple of the expected O(log n) round bound; if
+// Luby has not finished by then (probability o(1)), the remaining candidates
+// are resolved by the sequential greedy rule so the algorithm always
+// terminates with a correct maximal set. Experiments count how often this
+// fires (it does not, at our sizes).
+func roundCap(n int) int {
+	if n < 2 {
+		return 4
+	}
+	return 40 + 10*int(math.Ceil(math.Log2(float64(n))))
+}
+
+// priorities fills pri with distinct random priorities: a random permutation
+// of 0..n-1 (the paper draws from {1..2n⁴} to make collisions unlikely; a
+// permutation makes them impossible).
+func priorities(rng *rand.Rand, pri []int64) {
+	n := len(pri)
+	for i := range pri {
+		pri[i] = int64(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		pri[i], pri[j] = pri[j], pri[i]
+	}
+}
+
+const infPri = int64(math.MaxInt64)
+
+// MaxDom computes a maximal dominator set of the n-node graph with adjacency
+// oracle adj (adj must be symmetric and false on the diagonal): a maximal
+// I ⊆ V such that selected nodes are pairwise non-adjacent and share no
+// common neighbor. live, if non-nil, restricts the candidate set (nodes with
+// live[i]==false are treated as non-candidates but still relay conflicts,
+// since "common neighbor" is over the whole graph).
+func MaxDom(c *par.Ctx, n int, adj func(i, j int) bool, live []bool, rng *rand.Rand) ([]int, Stats) {
+	cand := make([]bool, n)
+	if live == nil {
+		for i := range cand {
+			cand[i] = true
+		}
+	} else {
+		copy(cand, live)
+	}
+	selected := make([]bool, n)
+	pri := make([]int64, n)
+	m1 := make([]int64, n)
+	m2 := make([]int64, n)
+	s1 := make([]bool, n)
+	s2 := make([]bool, n)
+	var st Stats
+
+	remaining := func() int { return par.Count(c, n, func(i int) bool { return cand[i] }) }
+
+	for remaining() > 0 {
+		if st.Rounds >= roundCap(n) {
+			st.Fallbacks += greedyFinishDom(n, adj, cand, selected)
+			break
+		}
+		st.Rounds++
+		priorities(rng, pri)
+		// First hop: m1[v] = min priority over live candidates in N(v) ∪ {v}.
+		c.For(n, func(v int) {
+			best := infPri
+			if cand[v] {
+				best = pri[v]
+			}
+			for u := 0; u < n; u++ {
+				if cand[u] && adj(u, v) && pri[u] < best {
+					best = pri[u]
+				}
+			}
+			m1[v] = best
+		})
+		// Second hop: m2[u] = min over N(u) ∪ {u} of m1 — the min priority
+		// among all candidates within distance ≤ 2 of u (including u).
+		c.For(n, func(u int) {
+			best := m1[u]
+			for v := 0; v < n; v++ {
+				if adj(u, v) && m1[v] < best {
+					best = m1[v]
+				}
+			}
+			m2[u] = best
+		})
+		c.Charge(int64(2*n*n), 2)
+		// Select candidates that hold the local minimum.
+		c.For(n, func(u int) {
+			if cand[u] && m2[u] == pri[u] {
+				selected[u] = true
+			}
+		})
+		// Deactivate everything within distance ≤ 2 of a newly selected node
+		// (its G²-neighborhood), via two hops of OR-propagation.
+		c.For(n, func(v int) {
+			s1[v] = selected[v]
+			for u := 0; u < n; u++ {
+				if selected[u] && adj(u, v) {
+					s1[v] = true
+					break
+				}
+			}
+		})
+		c.For(n, func(u int) {
+			s2[u] = s1[u]
+			if !s2[u] {
+				for v := 0; v < n; v++ {
+					if adj(u, v) && s1[v] {
+						s2[u] = true
+						break
+					}
+				}
+			}
+		})
+		c.Charge(int64(2*n*n), 2)
+		c.For(n, func(u int) {
+			if s2[u] {
+				cand[u] = false
+			}
+		})
+	}
+	return par.PackIndex(c, n, func(i int) bool { return selected[i] }), st
+}
+
+// greedyFinishDom deterministically completes a partial dominator set over
+// the remaining candidates; returns how many nodes it selected.
+func greedyFinishDom(n int, adj func(i, j int) bool, cand, selected []bool) int {
+	count := 0
+	for u := 0; u < n; u++ {
+		if !cand[u] {
+			continue
+		}
+		if !conflictsDom(n, adj, selected, u) {
+			selected[u] = true
+			count++
+		}
+		cand[u] = false
+	}
+	return count
+}
+
+// conflictsDom reports whether u is within distance ≤ 2 of a selected node.
+func conflictsDom(n int, adj func(i, j int) bool, selected []bool, u int) bool {
+	for w := 0; w < n; w++ {
+		if !selected[w] || w == u {
+			continue
+		}
+		if adj(u, w) {
+			return true
+		}
+		for z := 0; z < n; z++ {
+			if adj(u, z) && adj(z, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// GreedyMaxDom is the sequential reference: scan nodes in index order,
+// selecting any node not conflicting with the current selection.
+func GreedyMaxDom(n int, adj func(i, j int) bool) []int {
+	selected := make([]bool, n)
+	var out []int
+	for u := 0; u < n; u++ {
+		if !conflictsDom(n, adj, selected, u) {
+			selected[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// CheckDominator verifies that sel is a valid *maximal* dominator set over
+// the candidate mask (nil = all candidates): selected nodes pairwise at
+// graph distance ≥ 3, and every unselected candidate conflicts with the
+// selection. Returns "" when valid, else a description.
+func CheckDominator(n int, adj func(i, j int) bool, live []bool, sel []int) string {
+	selected := make([]bool, n)
+	for _, u := range sel {
+		if live != nil && !live[u] {
+			return "selected node is not a candidate"
+		}
+		selected[u] = true
+	}
+	for _, u := range sel {
+		selected[u] = false // exclude self when probing conflicts
+		if conflictsDom(n, adj, selected, u) {
+			selected[u] = true
+			return "two selected nodes within distance 2"
+		}
+		selected[u] = true
+	}
+	for u := 0; u < n; u++ {
+		if selected[u] || (live != nil && !live[u]) {
+			continue
+		}
+		if !conflictsDom(n, adj, selected, u) {
+			return "not maximal: an unselected candidate has no conflict"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,290 @@
+package domset
+
+import (
+	"math/rand"
+
+	"repro/internal/par"
+)
+
+// Sparse variants of the §3 dominator-set algorithms, per the paper's remark
+// after Lemma 3.1: "For sparse matrices ... this can easily be improved to
+// O(|E| log |V|) work." Adjacency is given as explicit lists; each Luby
+// round does O(|E|) work instead of O(n²).
+
+// SparseGraph is an undirected graph as adjacency lists. Adj[u] must list
+// u's neighbors; symmetry is the caller's responsibility (see
+// CheckSymmetric).
+type SparseGraph struct {
+	Adj [][]int32
+}
+
+// N returns the node count.
+func (g *SparseGraph) N() int { return len(g.Adj) }
+
+// CheckSymmetric verifies the adjacency lists encode an undirected graph
+// with no self-loops; returns "" when valid.
+func (g *SparseGraph) CheckSymmetric() string {
+	n := g.N()
+	seen := make(map[[2]int32]bool)
+	for u, nbrs := range g.Adj {
+		for _, v := range nbrs {
+			if int(v) == u {
+				return "self-loop"
+			}
+			if v < 0 || int(v) >= n {
+				return "neighbor out of range"
+			}
+			seen[[2]int32{int32(u), v}] = true
+		}
+	}
+	for e := range seen {
+		if !seen[[2]int32{e[1], e[0]}] {
+			return "missing reverse edge"
+		}
+	}
+	return ""
+}
+
+// MaxDomSparse computes a maximal dominator set of g (same semantics as
+// MaxDom) in O(|E| log n) expected work: each Luby round is two sparse
+// min-propagations and two sparse flag-propagations over the edge lists.
+func MaxDomSparse(c *par.Ctx, g *SparseGraph, live []bool, rng *rand.Rand) ([]int, Stats) {
+	n := g.N()
+	cand := make([]bool, n)
+	if live == nil {
+		for i := range cand {
+			cand[i] = true
+		}
+	} else {
+		copy(cand, live)
+	}
+	selected := make([]bool, n)
+	pri := make([]int64, n)
+	m1 := make([]int64, n)
+	m2 := make([]int64, n)
+	s1 := make([]bool, n)
+	s2 := make([]bool, n)
+	var st Stats
+
+	edges := 0
+	for _, nbrs := range g.Adj {
+		edges += len(nbrs)
+	}
+
+	remaining := func() int { return par.Count(c, n, func(i int) bool { return cand[i] }) }
+	for remaining() > 0 {
+		if st.Rounds >= roundCap(n) {
+			adj := func(i, j int) bool { return g.hasEdge(i, j) }
+			st.Fallbacks += greedyFinishDom(n, adj, cand, selected)
+			break
+		}
+		st.Rounds++
+		priorities(rng, pri)
+		c.For(n, func(v int) {
+			best := infPri
+			if cand[v] {
+				best = pri[v]
+			}
+			for _, u := range g.Adj[v] {
+				if cand[u] && pri[u] < best {
+					best = pri[u]
+				}
+			}
+			m1[v] = best
+		})
+		c.For(n, func(u int) {
+			best := m1[u]
+			for _, v := range g.Adj[u] {
+				if m1[v] < best {
+					best = m1[v]
+				}
+			}
+			m2[u] = best
+		})
+		c.Charge(int64(2*edges), 2)
+		c.For(n, func(u int) {
+			if cand[u] && m2[u] == pri[u] {
+				selected[u] = true
+			}
+		})
+		c.For(n, func(v int) {
+			s1[v] = selected[v]
+			if !s1[v] {
+				for _, u := range g.Adj[v] {
+					if selected[u] {
+						s1[v] = true
+						break
+					}
+				}
+			}
+		})
+		c.For(n, func(u int) {
+			s2[u] = s1[u]
+			if !s2[u] {
+				for _, v := range g.Adj[u] {
+					if s1[v] {
+						s2[u] = true
+						break
+					}
+				}
+			}
+		})
+		c.Charge(int64(2*edges), 2)
+		c.For(n, func(u int) {
+			if s2[u] {
+				cand[u] = false
+			}
+		})
+	}
+	return par.PackIndex(c, n, func(i int) bool { return selected[i] }), st
+}
+
+// hasEdge is the oracle view of the sparse graph (linear scan — used only by
+// the fallback and tests).
+func (g *SparseGraph) hasEdge(i, j int) bool {
+	if i == j {
+		return false
+	}
+	for _, v := range g.Adj[i] {
+		if int(v) == j {
+			return true
+		}
+	}
+	return false
+}
+
+// SparseBipartite is a bipartite graph as adjacency lists from both sides.
+type SparseBipartite struct {
+	UAdj [][]int32 // UAdj[u] = V-side neighbors of u
+	VAdj [][]int32 // VAdj[v] = U-side neighbors of v
+}
+
+// NU returns the U-side size.
+func (g *SparseBipartite) NU() int { return len(g.UAdj) }
+
+// NV returns the V-side size.
+func (g *SparseBipartite) NV() int { return len(g.VAdj) }
+
+// CheckConsistent verifies UAdj and VAdj describe the same edge set.
+func (g *SparseBipartite) CheckConsistent() string {
+	type e struct{ u, v int32 }
+	fwd := map[e]bool{}
+	count := 0
+	for u, nbrs := range g.UAdj {
+		for _, v := range nbrs {
+			if v < 0 || int(v) >= g.NV() {
+				return "V index out of range"
+			}
+			fwd[e{int32(u), v}] = true
+			count++
+		}
+	}
+	back := 0
+	for v, nbrs := range g.VAdj {
+		for _, u := range nbrs {
+			if u < 0 || int(u) >= g.NU() {
+				return "U index out of range"
+			}
+			if !fwd[e{u, int32(v)}] {
+				return "edge in VAdj missing from UAdj"
+			}
+			back++
+		}
+	}
+	if back != count {
+		return "edge counts differ"
+	}
+	return ""
+}
+
+// MaxUDomSparse computes a maximal U-dominator set of g (same semantics as
+// MaxUDom) in O(|E| log n) expected work.
+func MaxUDomSparse(c *par.Ctx, g *SparseBipartite, liveU []bool, rng *rand.Rand) ([]int, Stats) {
+	nu, nv := g.NU(), g.NV()
+	cand := make([]bool, nu)
+	if liveU == nil {
+		for i := range cand {
+			cand[i] = true
+		}
+	} else {
+		copy(cand, liveU)
+	}
+	selected := make([]bool, nu)
+	pri := make([]int64, nu)
+	m1 := make([]int64, nv)
+	s1 := make([]bool, nv)
+	var st Stats
+
+	edges := 0
+	for _, nbrs := range g.UAdj {
+		edges += len(nbrs)
+	}
+
+	remaining := func() int { return par.Count(c, nu, func(u int) bool { return cand[u] }) }
+	for remaining() > 0 {
+		if st.Rounds >= roundCap(nu) {
+			adj := func(u, v int) bool {
+				for _, w := range g.UAdj[u] {
+					if int(w) == v {
+						return true
+					}
+				}
+				return false
+			}
+			st.Fallbacks += greedyFinishUDom(nu, nv, adj, cand, selected)
+			break
+		}
+		st.Rounds++
+		priorities(rng, pri)
+		c.For(nv, func(v int) {
+			best := infPri
+			for _, u := range g.VAdj[v] {
+				if cand[u] && pri[u] < best {
+					best = pri[u]
+				}
+			}
+			m1[v] = best
+		})
+		c.For(nu, func(u int) {
+			if !cand[u] {
+				return
+			}
+			best := infPri
+			for _, v := range g.UAdj[u] {
+				if m1[v] < best {
+					best = m1[v]
+				}
+			}
+			if best == pri[u] || best == infPri {
+				selected[u] = true
+			}
+		})
+		c.Charge(int64(2*edges), 2)
+		c.For(nv, func(v int) {
+			s1[v] = false
+			for _, u := range g.VAdj[v] {
+				if selected[u] {
+					s1[v] = true
+					break
+				}
+			}
+		})
+		c.Charge(int64(edges), 1)
+		c.For(nu, func(u int) {
+			if !cand[u] {
+				return
+			}
+			if selected[u] {
+				cand[u] = false
+				return
+			}
+			for _, v := range g.UAdj[u] {
+				if s1[v] {
+					cand[u] = false
+					return
+				}
+			}
+		})
+	}
+	return par.PackIndex(c, nu, func(u int) bool { return selected[u] }), st
+}

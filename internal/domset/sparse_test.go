@@ -1,0 +1,178 @@
+package domset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/par"
+)
+
+// sparseFromOracle materializes adjacency lists from an oracle.
+func sparseFromOracle(n int, adj func(i, j int) bool) *SparseGraph {
+	g := &SparseGraph{Adj: make([][]int32, n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && adj(i, j) {
+				g.Adj[i] = append(g.Adj[i], int32(j))
+			}
+		}
+	}
+	return g
+}
+
+func bipartiteFromOracle(nu, nv int, adj func(u, v int) bool) *SparseBipartite {
+	g := &SparseBipartite{UAdj: make([][]int32, nu), VAdj: make([][]int32, nv)}
+	for u := 0; u < nu; u++ {
+		for v := 0; v < nv; v++ {
+			if adj(u, v) {
+				g.UAdj[u] = append(g.UAdj[u], int32(v))
+				g.VAdj[v] = append(g.VAdj[v], int32(u))
+			}
+		}
+	}
+	return g
+}
+
+func TestSparseMaxDomMatchesDenseSemantics(t *testing.T) {
+	for _, n := range []int{1, 5, 30, 80} {
+		for _, p := range []float64{0, 0.05, 0.3} {
+			adj := randomGraph(n, p, int64(n)+int64(p*100))
+			g := sparseFromOracle(n, adj)
+			if msg := g.CheckSymmetric(); msg != "" {
+				t.Fatal(msg)
+			}
+			sel, st := MaxDomSparse(&par.Ctx{Workers: 2}, g, nil, rand.New(rand.NewSource(1)))
+			if msg := CheckDominator(n, adj, nil, sel); msg != "" {
+				t.Fatalf("n=%d p=%v: %s", n, p, msg)
+			}
+			if st.Fallbacks != 0 {
+				t.Fatalf("fallbacks %d", st.Fallbacks)
+			}
+		}
+	}
+}
+
+func TestSparseMaxDomSameSeedSameResultAsDense(t *testing.T) {
+	// With identical priorities the sparse and dense implementations make
+	// identical selections (they simulate the same process).
+	n := 40
+	adj := randomGraph(n, 0.1, 99)
+	g := sparseFromOracle(n, adj)
+	a, _ := MaxDom(nil, n, adj, nil, rand.New(rand.NewSource(5)))
+	b, _ := MaxDomSparse(nil, g, nil, rand.New(rand.NewSource(5)))
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selections differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSparseMaxDomWorkLinearInEdges(t *testing.T) {
+	// Lemma 3.1 remark: O(|E| log n) work. The per-round charge is Θ(|E|),
+	// not Θ(n²): check the tally on a very sparse graph.
+	n := 400
+	adj := randomGraph(n, 2.0/float64(n), 42)
+	g := sparseFromOracle(n, adj)
+	edges := 0
+	for _, nb := range g.Adj {
+		edges += len(nb)
+	}
+	tally := &par.Tally{}
+	_, st := MaxDomSparse(&par.Ctx{Workers: 2, Tally: tally}, g, nil, rand.New(rand.NewSource(2)))
+	w := tally.Snapshot().Work
+	// Work ≤ c·(|E| + n)·rounds, far below n²·rounds.
+	if limit := int64(st.Rounds+1) * int64(8*(edges+n)); w > limit {
+		t.Fatalf("work %d exceeds sparse budget %d (rounds=%d, edges=%d)", w, limit, st.Rounds, edges)
+	}
+}
+
+func TestSparseUDomValid(t *testing.T) {
+	for _, nu := range []int{1, 8, 40} {
+		for _, nv := range []int{1, 10, 30} {
+			adj := randomBipartite(nu, nv, 0.15, int64(nu*100+nv))
+			g := bipartiteFromOracle(nu, nv, adj)
+			if msg := g.CheckConsistent(); msg != "" {
+				t.Fatal(msg)
+			}
+			sel, _ := MaxUDomSparse(nil, g, nil, rand.New(rand.NewSource(3)))
+			if msg := CheckUDominator(nu, nv, adj, nil, sel); msg != "" {
+				t.Fatalf("nu=%d nv=%d: %s", nu, nv, msg)
+			}
+		}
+	}
+}
+
+func TestSparseUDomMatchesDenseSameSeed(t *testing.T) {
+	nu, nv := 30, 20
+	adj := randomBipartite(nu, nv, 0.2, 7)
+	g := bipartiteFromOracle(nu, nv, adj)
+	a, _ := MaxUDom(nil, nu, nv, adj, nil, rand.New(rand.NewSource(11)))
+	b, _ := MaxUDomSparse(nil, g, nil, rand.New(rand.NewSource(11)))
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selections differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSparseUDomLiveMask(t *testing.T) {
+	nu, nv := 20, 12
+	adj := randomBipartite(nu, nv, 0.25, 13)
+	g := bipartiteFromOracle(nu, nv, adj)
+	live := make([]bool, nu)
+	for u := 0; u < nu; u += 3 {
+		live[u] = true
+	}
+	sel, _ := MaxUDomSparse(nil, g, live, rand.New(rand.NewSource(17)))
+	for _, u := range sel {
+		if !live[u] {
+			t.Fatalf("non-candidate %d selected", u)
+		}
+	}
+	if msg := CheckUDominator(nu, nv, adj, live, sel); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestCheckSymmetricCatchesBadGraphs(t *testing.T) {
+	if (&SparseGraph{Adj: [][]int32{{0}}}).CheckSymmetric() == "" {
+		t.Fatal("self-loop accepted")
+	}
+	if (&SparseGraph{Adj: [][]int32{{1}, {}}}).CheckSymmetric() == "" {
+		t.Fatal("missing reverse edge accepted")
+	}
+	if (&SparseGraph{Adj: [][]int32{{5}}}).CheckSymmetric() == "" {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestCheckConsistentCatchesBadBipartite(t *testing.T) {
+	bad := &SparseBipartite{UAdj: [][]int32{{0}}, VAdj: [][]int32{{}}}
+	if bad.CheckConsistent() == "" {
+		t.Fatal("inconsistent edge sets accepted")
+	}
+	oor := &SparseBipartite{UAdj: [][]int32{{7}}, VAdj: [][]int32{{}}}
+	if oor.CheckConsistent() == "" {
+		t.Fatal("out-of-range V accepted")
+	}
+}
+
+func TestSparseMaxDomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 10 + int(uint64(seed)%20)
+		adj := randomGraph(n, 0.15, seed)
+		g := sparseFromOracle(n, adj)
+		sel, _ := MaxDomSparse(nil, g, nil, rand.New(rand.NewSource(seed)))
+		return CheckDominator(n, adj, nil, sel) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

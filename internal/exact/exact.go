@@ -1,0 +1,165 @@
+// Package exact provides brute-force optimal solvers for small instances:
+// full subset enumeration for facility location and k-subset enumeration for
+// the k-clustering problems. The experiment harness uses these as the OPT
+// denominators when measuring approximation ratios (Theorems 4.9, 5.4, 6.1,
+// 6.5, 7.1); instances too large for enumeration fall back to the LP lower
+// bound instead.
+package exact
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// MaxEnumFacilities bounds 2^nf enumeration; callers should check Feasible.
+const MaxEnumFacilities = 22
+
+// FacilityOPT returns the optimal UFL solution by enumerating all 2^nf − 1
+// non-empty open sets. Panics if nf exceeds MaxEnumFacilities. The inner
+// evaluation is incremental: per subset the client minima are maintained
+// against the iterated facility via Gray-code-free straightforward scan,
+// costing O(2^nf · nc) overall by reusing the subset structure.
+func FacilityOPT(c *par.Ctx, in *core.Instance) *core.Solution {
+	if in.NF > MaxEnumFacilities {
+		panic("exact: instance too large to enumerate")
+	}
+	nMasks := 1 << in.NF
+	// Evaluate each mask in parallel; track the best (cost, mask) pair with
+	// a deterministic tie-break on the smaller mask.
+	type scored struct {
+		cost float64
+		mask int
+	}
+	best := par.ReduceIndex(c, nMasks-1, scored{math.Inf(1), -1},
+		func(k int) scored {
+			mask := k + 1
+			fc := 0.0
+			for i := 0; i < in.NF; i++ {
+				if mask&(1<<i) != 0 {
+					fc += in.FacCost[i]
+				}
+			}
+			cc := 0.0
+			for j := 0; j < in.NC; j++ {
+				b := math.Inf(1)
+				for i := 0; i < in.NF; i++ {
+					if mask&(1<<i) != 0 {
+						if d := in.Dist(i, j); d < b {
+							b = d
+						}
+					}
+				}
+				cc += b
+			}
+			return scored{fc + cc, mask}
+		},
+		func(a, b scored) scored {
+			if b.cost < a.cost || (b.cost == a.cost && b.mask >= 0 && (a.mask < 0 || b.mask < a.mask)) {
+				return b
+			}
+			return a
+		})
+	var open []int
+	for i := 0; i < in.NF; i++ {
+		if best.mask&(1<<i) != 0 {
+			open = append(open, i)
+		}
+	}
+	return core.EvalOpen(c, in, open)
+}
+
+// KClusterOPT returns the optimal k-clustering solution for the given
+// objective by enumerating all C(n, k) center sets. Use Combinations to
+// bound the cost before calling.
+func KClusterOPT(c *par.Ctx, ki *core.KInstance, obj core.KObjective) *core.KSolution {
+	n, k := ki.N, ki.K
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	bestVal := math.Inf(1)
+	bestSet := append([]int(nil), idx...)
+	for {
+		val := evalCentersValue(ki, idx, obj)
+		if val < bestVal {
+			bestVal = val
+			copy(bestSet, idx)
+		}
+		// Next combination in lexicographic order.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for p := i + 1; p < k; p++ {
+			idx[p] = idx[p-1] + 1
+		}
+	}
+	return core.EvalCenters(c, ki, bestSet, obj)
+}
+
+// evalCentersValue computes the objective without building a KSolution.
+func evalCentersValue(ki *core.KInstance, centers []int, obj core.KObjective) float64 {
+	total := 0.0
+	for j := 0; j < ki.N; j++ {
+		b := math.Inf(1)
+		for _, i := range centers {
+			if d := ki.Dist.At(i, j); d < b {
+				b = d
+			}
+		}
+		switch obj {
+		case core.KMeans:
+			total += b * b
+		case core.KCenter:
+			if b > total {
+				total = b
+			}
+		default:
+			total += b
+		}
+	}
+	return total
+}
+
+// Combinations returns C(n, k), saturating at math.MaxInt64 on overflow.
+func Combinations(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := int64(1)
+	for i := 1; i <= k; i++ {
+		hi := int64(n - k + i)
+		if r > math.MaxInt64/hi {
+			return math.MaxInt64
+		}
+		r = r * hi / int64(i)
+	}
+	return r
+}
+
+// FeasibleFacility reports whether FacilityOPT will finish in a reasonable
+// time for this instance (enumeration budget).
+func FeasibleFacility(in *core.Instance, budget int64) bool {
+	if in.NF > MaxEnumFacilities {
+		return false
+	}
+	return int64(1)<<in.NF*int64(in.NC) <= budget
+}
+
+// FeasibleKCluster reports whether KClusterOPT fits in the budget.
+func FeasibleKCluster(ki *core.KInstance, budget int64) bool {
+	combos := Combinations(ki.N, ki.K)
+	if combos == math.MaxInt64 {
+		return false
+	}
+	return combos*int64(ki.K)*int64(ki.N) <= budget
+}

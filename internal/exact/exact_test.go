@@ -1,0 +1,217 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+func inst(seed int64, nf, nc int) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6))
+}
+
+func TestFacilityOPTBeatsEverySubset(t *testing.T) {
+	in := inst(1, 6, 10)
+	opt := FacilityOPT(nil, in)
+	if err := opt.CheckFeasible(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against a few specific subsets.
+	for mask := 1; mask < 1<<in.NF; mask += 7 {
+		var open []int
+		for i := 0; i < in.NF; i++ {
+			if mask&(1<<i) != 0 {
+				open = append(open, i)
+			}
+		}
+		sol := core.EvalOpen(nil, in, open)
+		if sol.Cost() < opt.Cost()-1e-9 {
+			t.Fatalf("mask %b cost %v beats OPT %v", mask, sol.Cost(), opt.Cost())
+		}
+	}
+}
+
+func TestFacilityOPTSingleFacility(t *testing.T) {
+	in := inst(2, 1, 5)
+	opt := FacilityOPT(nil, in)
+	if len(opt.Open) != 1 || opt.Open[0] != 0 {
+		t.Fatalf("open=%v", opt.Open)
+	}
+}
+
+func TestFacilityOPTFreeFacilities(t *testing.T) {
+	// Zero facility costs: optimal opens everything (or at least achieves
+	// the all-open connection cost).
+	in := inst(3, 5, 8)
+	for i := range in.FacCost {
+		in.FacCost[i] = 0
+	}
+	opt := FacilityOPT(nil, in)
+	all := make([]int, in.NF)
+	for i := range all {
+		all[i] = i
+	}
+	want := core.EvalOpen(nil, in, all)
+	if math.Abs(opt.Cost()-want.Cost()) > 1e-9 {
+		t.Fatalf("OPT %v, all-open %v", opt.Cost(), want.Cost())
+	}
+}
+
+func TestFacilityOPTExpensiveFacilities(t *testing.T) {
+	// Enormous facility costs: optimal opens exactly one facility.
+	in := inst(4, 5, 8)
+	for i := range in.FacCost {
+		in.FacCost[i] = 1e6
+	}
+	opt := FacilityOPT(nil, in)
+	if len(opt.Open) != 1 {
+		t.Fatalf("opened %d facilities with huge costs", len(opt.Open))
+	}
+}
+
+func TestFacilityOPTAboveLPBound(t *testing.T) {
+	in := inst(5, 5, 9)
+	opt := FacilityOPT(nil, in)
+	ff, err := lp.SolveFacility(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cost() < ff.Value-1e-6 {
+		t.Fatalf("OPT %v below LP bound %v", opt.Cost(), ff.Value)
+	}
+}
+
+func TestFacilityOPTParallelMatchesSequential(t *testing.T) {
+	in := inst(6, 8, 12)
+	seq := FacilityOPT(&par.Ctx{Workers: 1}, in)
+	parl := FacilityOPT(&par.Ctx{Workers: 4}, in)
+	if seq.Cost() != parl.Cost() {
+		t.Fatalf("seq %v par %v", seq.Cost(), parl.Cost())
+	}
+	if len(seq.Open) != len(parl.Open) {
+		t.Fatalf("open sets differ: %v vs %v", seq.Open, parl.Open)
+	}
+	for i := range seq.Open {
+		if seq.Open[i] != parl.Open[i] {
+			t.Fatalf("open sets differ: %v vs %v", seq.Open, parl.Open)
+		}
+	}
+}
+
+func TestKClusterOPTMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sp := metric.UniformBox(rng, 10, 2, 10)
+	ki := core.KFromSpace(sp, 3)
+	opt := KClusterOPT(nil, ki, core.KMedian)
+	if err := opt.CheckFeasible(ki, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Every random 3-subset must be no better.
+	for trial := 0; trial < 50; trial++ {
+		cs := rng.Perm(10)[:3]
+		sol := core.EvalCenters(nil, ki, cs, core.KMedian)
+		if sol.Value < opt.Value-1e-9 {
+			t.Fatalf("centers %v value %v beat OPT %v", cs, sol.Value, opt.Value)
+		}
+	}
+}
+
+func TestKClusterOPTCenterOnStar(t *testing.T) {
+	// Star metric, k=1: hub is the optimal center with radius r.
+	s := metric.Star(8, 3)
+	ki := core.KFromSpace(s, 1)
+	opt := KClusterOPT(nil, ki, core.KCenter)
+	if opt.Value != 3 || opt.Centers[0] != 0 {
+		t.Fatalf("value=%v centers=%v", opt.Value, opt.Centers)
+	}
+}
+
+func TestKClusterOPTMeansVsMedianDiffer(t *testing.T) {
+	// On a line with an outlier, k-means is more outlier-sensitive; both
+	// must still be optimal for their own objective.
+	sp := &metric.Euclidean{Dim: 1, Coords: []float64{0, 1, 2, 3, 100}}
+	ki := core.KFromSpace(sp, 2)
+	med := KClusterOPT(nil, ki, core.KMedian)
+	means := KClusterOPT(nil, ki, core.KMeans)
+	if med.Value <= 0 || means.Value <= 0 {
+		t.Fatalf("median=%v means=%v", med.Value, means.Value)
+	}
+	// The outlier gets its own center in both.
+	foundMed, foundMeans := false, false
+	for _, c := range med.Centers {
+		if c == 4 {
+			foundMed = true
+		}
+	}
+	for _, c := range means.Centers {
+		if c == 4 {
+			foundMeans = true
+		}
+	}
+	if !foundMed || !foundMeans {
+		t.Fatalf("outlier not a center: med=%v means=%v", med.Centers, means.Centers)
+	}
+}
+
+func TestKClusterOPTKEqualsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sp := metric.UniformBox(rng, 6, 2, 10)
+	ki := core.KFromSpace(sp, 6)
+	opt := KClusterOPT(nil, ki, core.KMedian)
+	if opt.Value != 0 {
+		t.Fatalf("k=n value %v, want 0", opt.Value)
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{5, 2, 10}, {10, 3, 120}, {10, 0, 1}, {10, 10, 1}, {4, 5, 0}, {52, 5, 2598960},
+	}
+	for _, c := range cases {
+		if got := Combinations(c.n, c.k); got != c.want {
+			t.Fatalf("C(%d,%d)=%d want %d", c.n, c.k, got, c.want)
+		}
+	}
+	if Combinations(200, 100) != math.MaxInt64 {
+		t.Fatal("overflow not saturated")
+	}
+}
+
+func TestFeasibilityPredicates(t *testing.T) {
+	in := inst(9, 10, 10)
+	if !FeasibleFacility(in, 1<<30) {
+		t.Fatal("10 facilities should be enumerable")
+	}
+	big := inst(10, 23, 4)
+	_ = big
+	if FeasibleFacility(&core.Instance{NF: 30, NC: 10}, 1<<40) {
+		t.Fatal("30 facilities accepted")
+	}
+	rng := rand.New(rand.NewSource(11))
+	ki := core.KFromSpace(metric.UniformBox(rng, 12, 2, 1), 3)
+	if !FeasibleKCluster(ki, 1<<30) {
+		t.Fatal("C(12,3) should be enumerable")
+	}
+	ki2 := core.KFromSpace(metric.UniformBox(rng, 80, 2, 1), 40)
+	if FeasibleKCluster(ki2, 1<<30) {
+		t.Fatal("C(80,40) accepted")
+	}
+}

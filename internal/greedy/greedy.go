@@ -1,0 +1,393 @@
+// Package greedy implements §4 of the paper: the parallel greedy
+// facility-location algorithm (Algorithm 4.1) that mimics the sequential
+// greedy of Jain–Mahdian–Markakis–Saberi–Vazirani [JMM+03], along with that
+// sequential algorithm as the baseline.
+//
+// The parallel algorithm proceeds in O(log_{1+ε} m) outer rounds. Each round
+// computes every facility's cheapest maximal star over the remaining clients
+// (a prefix-sum over presorted distances, Fact 4.2), admits all facilities
+// within a (1+ε) factor of the cheapest price τ, and then runs the
+// randomized *facility subselection* loop (Lemma 4.8) that opens a facility
+// only when at least a 1/(2(1+ε)) fraction of its candidate clients chose it
+// under a random permutation — the clean-up step that keeps the dual-fitting
+// accounting intact.
+package greedy
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Options configures the parallel greedy algorithm.
+type Options struct {
+	// Epsilon is the slack factor (1+ε) for star admission; (0,1] in the
+	// paper's theorem. Defaults to 0.3.
+	Epsilon float64
+	// Seed drives the subselection permutations.
+	Seed int64
+	// MaxInner caps subselection iterations per outer round before the
+	// deterministic fallback fires (0 = auto from Lemma 4.8's bound).
+	MaxInner int
+}
+
+func (o *Options) epsilon() float64 {
+	if o == nil || o.Epsilon <= 0 {
+		return 0.3
+	}
+	return o.Epsilon
+}
+
+func (o *Options) seed() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.Seed
+}
+
+func (o *Options) maxInner() int {
+	if o == nil {
+		return 0
+	}
+	return o.MaxInner
+}
+
+// Result carries the solution plus the quantities Theorem 4.9 and Lemma 4.8
+// bound: round counts, the α duals for the dual-fitting checks, and the τ
+// schedule.
+type Result struct {
+	Sol   *core.Solution
+	Alpha []float64 // α_j = τ of the round in which client j was removed
+	// OuterRounds is the number of main-loop rounds (≤ log_{1+ε} m³ + O(1)).
+	OuterRounds int
+	// InnerRounds is the total number of subselection iterations across all
+	// outer rounds (Lemma 4.8: O(log_{1+ε} m) each, w.h.p.).
+	InnerRounds int
+	// MaxInnerPerOuter is the largest subselection count in any round.
+	MaxInnerPerOuter int
+	// Preopened counts facilities opened by the γ/m² preprocessing.
+	Preopened int
+	// Fallbacks counts deterministic safety-valve openings (expected 0).
+	Fallbacks int
+	// TauSchedule records τ per outer round (strictly (1+ε)-increasing).
+	TauSchedule []float64
+}
+
+// starState holds the per-facility presorted client order.
+type starState struct {
+	order *par.Dense[int32] // nf×nc: client indices sorted by distance
+}
+
+// prepare presorts each facility's clients by distance — the one O(m log m)
+// sort the algorithm needs (§4 running-time analysis).
+func prepare(c *par.Ctx, in *core.Instance) *starState {
+	order := par.NewDense[int32](in.NF, in.NC)
+	c.For(in.NF, func(i int) {
+		row := order.Row(i)
+		for j := range row {
+			row[j] = int32(j)
+		}
+	})
+	// Per-row sorts: Θ(m log nc) work (charged via SortRows on a shadow
+	// float matrix shape; here we sort the index rows directly).
+	c.Charge(int64(in.NF)*int64(in.NC)*int64(math.Ilogb(float64(in.NC)+2)+1), 1)
+	seq := &par.Ctx{Workers: 1}
+	c.ForBlock(in.NF, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := order.Row(i)
+			par.Sort(seq, row, func(a, b int32) bool {
+				da, db := in.Dist(i, int(a)), in.Dist(i, int(b))
+				if da != db {
+					return da < db
+				}
+				return a < b
+			})
+		}
+	})
+	return &starState{order: order}
+}
+
+// cheapestStar returns the price of facility i's cheapest maximal star over
+// live clients and the number of clients in it, using the presorted order
+// and a prefix scan (Fact 4.2). Returns (+Inf, 0) when no client is live.
+func (ss *starState) cheapestStar(in *core.Instance, fi []float64, live []bool, i int) (price float64, size int) {
+	row := ss.order.Row(i)
+	sum := fi[i]
+	k := 0
+	best := math.Inf(1)
+	bestK := 0
+	for _, cj := range row {
+		j := int(cj)
+		if !live[j] {
+			continue
+		}
+		sum += in.Dist(i, j)
+		k++
+		p := sum / float64(k)
+		// Take the largest k achieving the minimum so the star is maximal
+		// (ties: every client with d(j,i) ≤ price belongs to the star).
+		if p <= best {
+			best = p
+			bestK = k
+		}
+	}
+	return best, bestK
+}
+
+// Parallel runs Algorithm 4.1 with the γ/m² preprocessing of §4.
+func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
+	eps := opts.epsilon()
+	onePlus := 1 + eps
+	rng := rand.New(rand.NewSource(opts.seed()))
+	nf, nc := in.NF, in.NC
+	m := float64(in.M())
+
+	fi := append([]float64(nil), in.FacCost...)
+	live := make([]bool, nc)
+	for j := range live {
+		live[j] = true
+	}
+	liveCount := nc
+	opened := make([]bool, nf)
+	var openOrder []int
+	alpha := make([]float64, nc)
+	res := &Result{}
+
+	ss := prepare(c, in)
+	gb := core.Gammas(c, in)
+	gamma := gb.Gamma
+
+	open := func(i int) {
+		if !opened[i] {
+			opened[i] = true
+			openOrder = append(openOrder, i)
+		}
+		fi[i] = 0
+	}
+	removeClient := func(j int, a float64) {
+		if live[j] {
+			live[j] = false
+			alpha[j] = a
+			liveCount--
+		}
+	}
+
+	// Preprocessing: open every facility whose cheapest maximal star is
+	// "relatively cheap" (price ≤ γ/m²) and absorb its star clients. This
+	// raises the first-round τ to ≥ γ/m² and costs ≤ opt/m in total.
+	cheapCut := gamma / (m * m)
+	prices := make([]float64, nf)
+	sizes := make([]int, nf)
+	computeStars := func() {
+		c.For(nf, func(i int) {
+			prices[i], sizes[i] = ss.cheapestStar(in, fi, live, i)
+		})
+		c.Charge(int64(nf)*int64(nc), 1)
+	}
+	computeStars()
+	for i := 0; i < nf; i++ {
+		if prices[i] <= cheapCut && sizes[i] > 0 {
+			open(i)
+			res.Preopened++
+			p := prices[i]
+			row := ss.order.Row(i)
+			taken := 0
+			for _, cj := range row {
+				j := int(cj)
+				if !live[j] || taken >= sizes[i] {
+					continue
+				}
+				if in.Dist(i, j) <= p {
+					removeClient(j, p)
+					taken++
+				}
+			}
+		}
+	}
+
+	maxOuter := 4*int(math.Ceil(3*math.Log(m+2)/math.Log(onePlus))) + 64
+	maxInner := opts.maxInner()
+	if maxInner == 0 {
+		maxInner = 16*int(math.Ceil(math.Log(m+2)/math.Log(onePlus))) + 64
+	}
+
+	deg := make([]int, nf)    // H-degree of each facility in I
+	inI := make([]bool, nf)   // facility currently in I
+	phi := make([]int, nc)    // client's chosen facility this iteration
+	chosen := make([]int, nf) // votes per facility
+	perm := make([]int64, nf) // random priorities standing in for Π
+
+	for liveCount > 0 && res.OuterRounds < maxOuter {
+		res.OuterRounds++
+		computeStars()
+		tau := math.Inf(1)
+		for i := 0; i < nf; i++ {
+			if sizes[i] > 0 && prices[i] < tau {
+				tau = prices[i]
+			}
+		}
+		if math.IsInf(tau, 1) {
+			break // no facility can serve the remaining clients (impossible in metric instances)
+		}
+		res.TauSchedule = append(res.TauSchedule, tau)
+		T := tau * onePlus
+
+		// I = facilities whose cheapest star is within the slack window.
+		for i := 0; i < nf; i++ {
+			inI[i] = sizes[i] > 0 && prices[i] <= T
+		}
+		// H: edges i–j with d(i,j) ≤ T, i ∈ I, j live.
+		inner := 0
+		for {
+			anyI := false
+			for i := 0; i < nf; i++ {
+				if inI[i] {
+					anyI = true
+					break
+				}
+			}
+			if !anyI {
+				break
+			}
+			inner++
+			res.InnerRounds++
+			if inner > maxInner {
+				// Deterministic fallback (Lemma 4.8 failed to fire in the
+				// budget — probability o(1)): open the cheapest-star
+				// facility outright, sequential-greedy style.
+				best, bestI := math.Inf(1), -1
+				for i := 0; i < nf; i++ {
+					if inI[i] {
+						p, sz := ss.cheapestStar(in, fi, live, i)
+						if sz > 0 && p < best {
+							best, bestI = p, i
+						}
+					}
+				}
+				if bestI >= 0 {
+					res.Fallbacks++
+					open(bestI)
+					for j := 0; j < nc; j++ {
+						if live[j] && in.Dist(bestI, j) <= T {
+							removeClient(j, tau)
+						}
+					}
+				}
+				for i := range inI {
+					inI[i] = false
+				}
+				break
+			}
+
+			// Step (a): random priorities over I (a random permutation).
+			for i := 0; i < nf; i++ {
+				perm[i] = rng.Int63()
+			}
+			// Degrees on the current H.
+			c.For(nf, func(i int) {
+				deg[i] = 0
+				if !inI[i] {
+					return
+				}
+				for j := 0; j < nc; j++ {
+					if live[j] && in.Dist(i, j) <= T {
+						deg[i]++
+					}
+				}
+			})
+			c.Charge(int64(nf)*int64(nc), 1)
+			// Step (b): each covered client votes for its min-priority
+			// neighbor in I.
+			c.For(nc, func(j int) {
+				phi[j] = -1
+				if !live[j] {
+					return
+				}
+				best := int64(math.MaxInt64)
+				bi := -1
+				for i := 0; i < nf; i++ {
+					if inI[i] && in.Dist(i, j) <= T && (perm[i] < best || (perm[i] == best && i < bi)) {
+						best, bi = perm[i], i
+					}
+				}
+				phi[j] = bi
+			})
+			c.Charge(int64(nf)*int64(nc), 1)
+			for i := range chosen {
+				chosen[i] = 0
+			}
+			for j := 0; j < nc; j++ {
+				if phi[j] >= 0 {
+					chosen[phi[j]]++
+				}
+			}
+			// Step (c): open facilities with enough votes; absorb their
+			// H-neighborhoods.
+			var openedNow []int
+			for i := 0; i < nf; i++ {
+				if !inI[i] || deg[i] == 0 {
+					continue
+				}
+				if float64(chosen[i]) >= float64(deg[i])/(2*onePlus) {
+					openedNow = append(openedNow, i)
+				}
+			}
+			for _, i := range openedNow {
+				open(i)
+				inI[i] = false
+			}
+			for _, i := range openedNow {
+				for j := 0; j < nc; j++ {
+					if live[j] && in.Dist(i, j) <= T {
+						removeClient(j, tau)
+					}
+				}
+			}
+			// Step (d): prune facilities whose remaining neighborhood is too
+			// expensive on average (they return in the next outer round),
+			// and zero-degree facilities.
+			c.For(nf, func(i int) {
+				if !inI[i] {
+					return
+				}
+				d := 0
+				sum := fi[i]
+				for j := 0; j < nc; j++ {
+					if live[j] && in.Dist(i, j) <= T {
+						d++
+						sum += in.Dist(i, j)
+					}
+				}
+				if d == 0 || sum/float64(d) > T {
+					inI[i] = false
+				}
+			})
+			c.Charge(int64(nf)*int64(nc), 1)
+		}
+		if inner > res.MaxInnerPerOuter {
+			res.MaxInnerPerOuter = inner
+		}
+	}
+
+	// Safety: serve any stragglers by their γ_j facility (cannot happen when
+	// the round cap holds, but keeps the output feasible unconditionally).
+	for j := 0; j < nc; j++ {
+		if live[j] {
+			bi := 0
+			best := math.Inf(1)
+			for i := 0; i < nf; i++ {
+				if v := in.FacCost[i] + in.Dist(i, j); v < best {
+					best, bi = v, i
+				}
+			}
+			open(bi)
+			removeClient(j, best)
+		}
+	}
+
+	res.Alpha = alpha
+	res.Sol = core.EvalOpen(c, in, openOrder)
+	return res
+}

@@ -1,0 +1,312 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+func inst(seed int64, nf, nc int) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6))
+}
+
+func clusteredInst(seed int64, nf, nc int) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sp := metric.TwoScale(rng, nf+nc, 4, 2, 200)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(sp, fac, cli, metric.UniformCosts(nf, 5))
+}
+
+func TestParallelFeasibleAndWithinBound(t *testing.T) {
+	// Theorem 4.9's self-contained analysis: (6+ε)-approximation (the
+	// factor-revealing bound is 3.722+ε). Verify against brute-force OPT.
+	for seed := int64(0); seed < 8; seed++ {
+		in := inst(seed, 7, 20)
+		eps := 0.3
+		res := Parallel(&par.Ctx{Workers: 2}, in, &Options{Epsilon: eps, Seed: seed})
+		if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+		opt := exact.FacilityOPT(nil, in)
+		ratio := res.Sol.Cost() / opt.Cost()
+		if ratio > 3.722+eps {
+			t.Fatalf("seed=%d: ratio %v exceeds 3.722+ε", seed, ratio)
+		}
+	}
+}
+
+func TestParallelAllClientsServed(t *testing.T) {
+	in := inst(1, 6, 30)
+	res := Parallel(nil, in, nil)
+	if len(res.Sol.Assign) != in.NC {
+		t.Fatalf("assign len %d", len(res.Sol.Assign))
+	}
+	for j, i := range res.Sol.Assign {
+		if i < 0 || i >= in.NF {
+			t.Fatalf("client %d unassigned", j)
+		}
+	}
+}
+
+func TestLemma43CostAgainstAlpha(t *testing.T) {
+	// Lemma 4.3: algorithm cost ≤ 2(1+ε)² Σ_j α_j.
+	for seed := int64(0); seed < 6; seed++ {
+		in := inst(seed+10, 6, 18)
+		eps := 0.5
+		res := Parallel(nil, in, &Options{Epsilon: eps, Seed: seed})
+		sumAlpha := 0.0
+		for _, a := range res.Alpha {
+			sumAlpha += a
+		}
+		bound := 2 * (1 + eps) * (1 + eps) * sumAlpha
+		if res.Sol.Cost() > bound+1e-6 {
+			t.Fatalf("seed=%d: cost %v > 2(1+ε)²Σα %v", seed, res.Sol.Cost(), bound)
+		}
+	}
+}
+
+func TestLemma47DualFeasibility(t *testing.T) {
+	// Lemma 4.7: α/3 with implied β is dual feasible.
+	for seed := int64(0); seed < 8; seed++ {
+		in := inst(seed+20, 6, 18)
+		res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: seed})
+		d := &core.DualSolution{Alpha: res.Alpha}
+		if v := d.MaxViolation(nil, in, 1.0/3.0); v > 1e-6 {
+			t.Fatalf("seed=%d: α/3 infeasible, violation %v", seed, v)
+		}
+	}
+}
+
+func TestTauScheduleGeometric(t *testing.T) {
+	// §4 round bound: τ grows by more than (1+ε) between consecutive rounds.
+	in := clusteredInst(2, 8, 32)
+	eps := 0.4
+	res := Parallel(nil, in, &Options{Epsilon: eps, Seed: 2})
+	for r := 1; r < len(res.TauSchedule); r++ {
+		if res.TauSchedule[r] <= res.TauSchedule[r-1]*(1+eps)-1e-12 {
+			t.Fatalf("round %d: τ=%v did not grow (1+ε)× over %v",
+				r, res.TauSchedule[r], res.TauSchedule[r-1])
+		}
+	}
+}
+
+func TestOuterRoundsLogarithmic(t *testing.T) {
+	// Theorem 4.9 via the preprocessing argument: rounds ≤ log_{1+ε}(m³)+O(1).
+	for _, eps := range []float64{0.2, 0.5, 1.0} {
+		in := inst(3, 8, 40)
+		res := Parallel(nil, in, &Options{Epsilon: eps, Seed: 3})
+		m := float64(in.M())
+		bound := int(3*math.Log(m)/math.Log(1+eps)) + 8
+		if res.OuterRounds > bound {
+			t.Fatalf("ε=%v: %d rounds > %d", eps, res.OuterRounds, bound)
+		}
+	}
+}
+
+func TestInnerRoundsLemma48(t *testing.T) {
+	// Lemma 4.8: each subselection terminates in O(log_{1+ε} m) rounds whp.
+	in := inst(4, 10, 50)
+	eps := 0.3
+	res := Parallel(nil, in, &Options{Epsilon: eps, Seed: 4})
+	m := float64(in.M())
+	bound := int(16*math.Log(m)/math.Log(1+eps)) + 64
+	if res.MaxInnerPerOuter > bound {
+		t.Fatalf("max inner %d > bound %d", res.MaxInnerPerOuter, bound)
+	}
+	if res.Fallbacks != 0 {
+		t.Fatalf("fallbacks fired: %d", res.Fallbacks)
+	}
+}
+
+func TestPreprocessingOpensCheapStars(t *testing.T) {
+	// Plant a facility with zero cost co-located with a clump of clients:
+	// its star price is ~0 ≤ γ/m², so preprocessing must absorb it.
+	nf, nc := 4, 12
+	coords := make([]float64, 0, (nf+nc)*2)
+	coords = append(coords, 0, 0) // facility 0 at origin
+	for i := 1; i < nf; i++ {
+		coords = append(coords, 100+float64(i), 100)
+	}
+	for j := 0; j < 4; j++ { // four clients exactly at the origin
+		coords = append(coords, 0, 0)
+	}
+	for j := 4; j < nc; j++ {
+		coords = append(coords, 50+float64(j), 50)
+	}
+	sp := &metric.Euclidean{Dim: 2, Coords: coords}
+	fac := []int{0, 1, 2, 3}
+	cli := make([]int, nc)
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	costs := []float64{0, 10, 10, 10}
+	in := core.FromSpace(sp, fac, cli, costs)
+	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 5})
+	if res.Preopened == 0 {
+		t.Fatal("zero-price star not preopened")
+	}
+	if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialJMSQuality(t *testing.T) {
+	// The baseline is a 1.861-approximation.
+	for seed := int64(0); seed < 8; seed++ {
+		in := inst(seed+30, 7, 20)
+		res := SequentialJMS(nil, in)
+		if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+		opt := exact.FacilityOPT(nil, in)
+		if ratio := res.Sol.Cost() / opt.Cost(); ratio > 1.861+1e-9 {
+			t.Fatalf("seed=%d: JMS ratio %v > 1.861", seed, ratio)
+		}
+	}
+}
+
+func TestSequentialJMSAlphaAccounting(t *testing.T) {
+	// Every client's α is positive and total cost ≤ Σα (each opened star is
+	// fully paid for by its clients' prices at open time).
+	in := inst(6, 6, 15)
+	res := SequentialJMS(nil, in)
+	sum := 0.0
+	for j, a := range res.Alpha {
+		if a <= 0 {
+			t.Fatalf("client %d has α=%v", j, a)
+		}
+		sum += a
+	}
+	if res.Sol.Cost() > sum+1e-9 {
+		t.Fatalf("cost %v exceeds Σα %v", res.Sol.Cost(), sum)
+	}
+}
+
+func TestParallelVsSequentialGap(t *testing.T) {
+	// The "price of parallelism": the parallel solution should be within its
+	// guarantee of the sequential one, and typically close.
+	for seed := int64(0); seed < 5; seed++ {
+		in := inst(seed+40, 8, 24)
+		p := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: seed})
+		s := SequentialJMS(nil, in)
+		if p.Sol.Cost() > 4*s.Sol.Cost() {
+			t.Fatalf("seed=%d: parallel %v far above sequential %v", seed, p.Sol.Cost(), s.Sol.Cost())
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	in := inst(7, 8, 30)
+	a := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 9})
+	b := Parallel(&par.Ctx{Workers: 4}, in, &Options{Epsilon: 0.3, Seed: 9})
+	if a.Sol.Cost() != b.Sol.Cost() || a.OuterRounds != b.OuterRounds {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d",
+			a.Sol.Cost(), a.OuterRounds, b.Sol.Cost(), b.OuterRounds)
+	}
+}
+
+func TestEpsilonRoundsTradeoff(t *testing.T) {
+	// Bigger ε ⇒ fewer outer rounds (the central slack trade-off).
+	in := clusteredInst(8, 10, 60)
+	small := Parallel(nil, in, &Options{Epsilon: 0.05, Seed: 1})
+	big := Parallel(nil, in, &Options{Epsilon: 1.0, Seed: 1})
+	if big.OuterRounds > small.OuterRounds {
+		t.Fatalf("ε=1.0 used %d rounds, ε=0.05 used %d", big.OuterRounds, small.OuterRounds)
+	}
+}
+
+func TestSingleFacilityInstance(t *testing.T) {
+	in := inst(9, 1, 10)
+	res := Parallel(nil, in, nil)
+	if len(res.Sol.Open) != 1 || res.Sol.Open[0] != 0 {
+		t.Fatalf("open=%v", res.Sol.Open)
+	}
+	opt := exact.FacilityOPT(nil, in)
+	if math.Abs(res.Sol.Cost()-opt.Cost()) > 1e-9 {
+		t.Fatalf("single facility not optimal: %v vs %v", res.Sol.Cost(), opt.Cost())
+	}
+}
+
+func TestZeroCostFacilities(t *testing.T) {
+	in := inst(10, 5, 12)
+	for i := range in.FacCost {
+		in.FacCost[i] = 0
+	}
+	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 10})
+	if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	opt := exact.FacilityOPT(nil, in)
+	if res.Sol.Cost() > (3.722+0.3)*opt.Cost() {
+		t.Fatalf("free facilities ratio %v", res.Sol.Cost()/opt.Cost())
+	}
+}
+
+func TestUniformCostGrid(t *testing.T) {
+	// Symmetric grid instance exercising tie-breaking.
+	sp := metric.Grid(36)
+	fac := []int{0, 5, 30, 35, 14}
+	cli := make([]int, 36)
+	for j := range cli {
+		cli[j] = j
+	}
+	in := core.FromSpace(sp, fac, cli, metric.UniformCosts(5, 3))
+	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 11})
+	if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	opt := exact.FacilityOPT(nil, in)
+	if res.Sol.Cost() > (3.722+0.3)*opt.Cost()+1e-9 {
+		t.Fatalf("grid ratio %v", res.Sol.Cost()/opt.Cost())
+	}
+}
+
+func TestAlphaMonotoneInRemovalOrder(t *testing.T) {
+	// α values are τ's, and τ grows per round — so sorting clients by α
+	// reproduces (a coarsening of) the removal order. All α positive.
+	in := inst(12, 6, 20)
+	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 12})
+	for j, a := range res.Alpha {
+		if a <= 0 {
+			t.Fatalf("client %d α=%v", j, a)
+		}
+	}
+}
+
+func TestWorkBoundShape(t *testing.T) {
+	// Theorem 4.9: O(m log²_{1+ε} m) work. Verify the tally stays within a
+	// constant multiple for a mid-size instance.
+	tally := &par.Tally{}
+	c := &par.Ctx{Workers: 2, Tally: tally}
+	in := inst(13, 12, 64)
+	eps := 0.3
+	Parallel(c, in, &Options{Epsilon: eps, Seed: 13})
+	m := float64(in.M())
+	logm := math.Log(m) / math.Log(1+eps)
+	bound := 50 * m * logm * logm
+	if w := float64(tally.Snapshot().Work); w > bound {
+		t.Fatalf("work %v exceeds %v", w, bound)
+	}
+}

@@ -1,0 +1,74 @@
+package greedy
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// SequentialJMS is the greedy algorithm of Jain et al. [JMM+03] that
+// Algorithm 4.1 parallelizes — the baseline for experiment E11:
+//
+//	Until no client remains, pick the cheapest star (i, C′), open the
+//	facility i, set f_i = 0, remove all clients in C′, and repeat.
+//
+// It is a 1.861-approximation (factor-revealing LP). α_j is recorded as the
+// price of the star that absorbed client j, the quantity the dual-fitting
+// analysis scales. The implementation recomputes the cheapest maximal star
+// per facility per iteration from a presorted order: O(nf·nc) per iteration
+// and at most nc iterations, O(nf·nc²) total — the straightforward
+// implementation, adequate as a quality baseline.
+func SequentialJMS(c *par.Ctx, in *core.Instance) *Result {
+	nf, nc := in.NF, in.NC
+	fi := append([]float64(nil), in.FacCost...)
+	live := make([]bool, nc)
+	for j := range live {
+		live[j] = true
+	}
+	liveCount := nc
+	opened := make([]bool, nf)
+	var openOrder []int
+	alpha := make([]float64, nc)
+	res := &Result{}
+
+	ss := prepare(c, in)
+	for liveCount > 0 {
+		res.OuterRounds++
+		bestPrice := math.Inf(1)
+		bestI, bestK := -1, 0
+		for i := 0; i < nf; i++ {
+			p, k := ss.cheapestStar(in, fi, live, i)
+			if k > 0 && p < bestPrice {
+				bestPrice, bestI, bestK = p, i, k
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		if !opened[bestI] {
+			opened[bestI] = true
+			openOrder = append(openOrder, bestI)
+		}
+		fi[bestI] = 0
+		// Remove the star's clients: the bestK nearest live clients.
+		row := ss.order.Row(bestI)
+		taken := 0
+		for _, cj := range row {
+			if taken >= bestK {
+				break
+			}
+			j := int(cj)
+			if !live[j] {
+				continue
+			}
+			live[j] = false
+			alpha[j] = bestPrice
+			liveCount--
+			taken++
+		}
+	}
+	res.Alpha = alpha
+	res.Sol = core.EvalOpen(c, in, openOrder)
+	return res
+}

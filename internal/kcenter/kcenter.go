@@ -1,0 +1,136 @@
+// Package kcenter implements the k-center algorithms of §6.1: the parallel
+// Hochbaum–Shmoys 2-approximation (binary search over the sorted distance
+// set with a MaxDom probe per step, Theorem 6.1) and the sequential Gonzalez
+// farthest-point 2-approximation as the baseline.
+package kcenter
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/domset"
+	"repro/internal/par"
+)
+
+// Result reports the Hochbaum–Shmoys outcome together with the probe
+// behaviour the Theorem 6.1 experiment measures.
+type Result struct {
+	Sol *core.KSolution
+	// Probes is the number of binary-search probes (≤ ⌈log₂|D|⌉ + 1).
+	Probes int
+	// DistinctDistances is |D|, the size of the searched value set.
+	DistinctDistances int
+	// Threshold is the distance value d_t the search settled on; the
+	// 2-approximation guarantee is Sol.Value ≤ 2·Threshold ≤ 2·OPT.
+	Threshold float64
+	// DomRounds sums the Luby rounds across all probes (Lemma 3.1 budget).
+	DomRounds int
+	// Fallbacks counts deterministic safety-valve selections (expected 0).
+	Fallbacks int
+}
+
+// HochbaumShmoys computes a 2-approximate k-center solution in RNC:
+// O((n log n)²) work. The candidate radii are the distinct pairwise
+// distances; each probe builds the implicit threshold graph H_α and tests
+// |MaxDom(H_α)| ≤ k.
+func HochbaumShmoys(c *par.Ctx, ki *core.KInstance, rng *rand.Rand) *Result {
+	n := ki.N
+	if ki.K >= n {
+		all := par.Iota(c, n)
+		return &Result{Sol: core.EvalCenters(c, ki, all, core.KCenter)}
+	}
+	// Collect and sort the distinct pairwise distances (upper triangle; the
+	// zero diagonal is excluded, but co-located distinct nodes legitimately
+	// contribute a candidate radius of 0).
+	dists := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dists = append(dists, ki.Dist.At(i, j))
+		}
+	}
+	par.SortFloats(c, dists)
+	// Dedupe (sequential pass over the sorted values; O(n²) work, O(n²) is
+	// already paid by the sort charge).
+	distinct := dists[:0]
+	prev := math.Inf(-1)
+	for _, d := range dists {
+		if d != prev {
+			distinct = append(distinct, d)
+			prev = d
+		}
+	}
+	res := &Result{DistinctDistances: len(distinct)}
+
+	probe := func(alpha float64) []int {
+		adj := func(i, j int) bool { return i != j && ki.Dist.At(i, j) <= alpha }
+		sel, st := domset.MaxDom(c, n, adj, nil, rng)
+		res.Probes++
+		res.DomRounds += st.Rounds
+		res.Fallbacks += st.Fallbacks
+		return sel
+	}
+
+	// Binary search for the smallest index whose probe succeeds (|M| ≤ k).
+	// Soundness does not require monotone probe outcomes: a failed probe at
+	// d_t proves OPT > d_t, and the final successful probe yields a set
+	// covering V at radius 2·d_t.
+	lo, hi := 0, len(distinct)-1
+	bestSel := probe(distinct[hi])
+	bestIdx := hi
+	if len(bestSel) > ki.K {
+		// Complete graph at the max distance always yields one center; this
+		// cannot happen, but guard against it.
+		panic("kcenter: probe at maximum distance failed")
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		sel := probe(distinct[mid])
+		if len(sel) <= ki.K {
+			hi = mid
+			bestSel = sel
+			bestIdx = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	res.Threshold = distinct[bestIdx]
+	res.Sol = core.EvalCenters(c, ki, bestSel, core.KCenter)
+	return res
+}
+
+// Gonzalez is the classic sequential farthest-point 2-approximation
+// [Gon85]: start from node `start`, repeatedly add the node farthest from
+// the current centers. O(nk) work.
+func Gonzalez(c *par.Ctx, ki *core.KInstance, start int) *core.KSolution {
+	n := ki.N
+	if start < 0 || start >= n {
+		start = 0
+	}
+	centers := make([]int, 0, ki.K)
+	minDist := make([]float64, n)
+	for j := range minDist {
+		minDist[j] = math.Inf(1)
+	}
+	cur := start
+	for len(centers) < ki.K {
+		centers = append(centers, cur)
+		// Relax distances against the new center and pick the farthest node
+		// — both are parallel primitives.
+		c.For(n, func(j int) {
+			if d := ki.Dist.At(cur, j); d < minDist[j] {
+				minDist[j] = d
+			}
+		})
+		far := par.ReduceIndex(c, n, par.IndexedMin{Value: math.Inf(-1), Index: -1},
+			func(j int) par.IndexedMin { return par.IndexedMin{Value: minDist[j], Index: j} },
+			func(a, b par.IndexedMin) par.IndexedMin {
+				if b.Value > a.Value || (b.Value == a.Value && b.Index >= 0 && (a.Index < 0 || b.Index < a.Index)) {
+					return b
+				}
+				return a
+			})
+		cur = far.Index
+	}
+	return core.EvalCenters(c, ki, centers, core.KCenter)
+}

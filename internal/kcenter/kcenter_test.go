@@ -1,0 +1,184 @@
+package kcenter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+func kinst(seed int64, n, k int) *core.KInstance {
+	rng := rand.New(rand.NewSource(seed))
+	return core.KFromSpace(metric.UniformBox(rng, n, 2, 100), k)
+}
+
+func TestHochbaumShmoysWithin2OPT(t *testing.T) {
+	// Theorem 6.1: 2-approximation, verified against brute-force OPT.
+	for seed := int64(0); seed < 8; seed++ {
+		for _, k := range []int{1, 2, 3, 4} {
+			ki := kinst(seed, 12, k)
+			res := HochbaumShmoys(&par.Ctx{Workers: 2}, ki, rand.New(rand.NewSource(seed+100)))
+			if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
+				t.Fatal(err)
+			}
+			opt := exact.KClusterOPT(nil, ki, core.KCenter)
+			if res.Sol.Value > 2*opt.Value+1e-9 {
+				t.Fatalf("seed=%d k=%d: HS %v > 2·OPT %v", seed, k, res.Sol.Value, 2*opt.Value)
+			}
+			// The threshold itself lower-bounds OPT: probe failures prove it.
+			if res.Threshold > opt.Value+1e-9 {
+				t.Fatalf("seed=%d k=%d: threshold %v above OPT %v", seed, k, res.Threshold, opt.Value)
+			}
+			if res.Sol.Value > 2*res.Threshold+1e-9 {
+				t.Fatalf("seed=%d k=%d: value %v exceeds 2·threshold %v", seed, k, res.Sol.Value, 2*res.Threshold)
+			}
+		}
+	}
+}
+
+func TestHochbaumShmoysProbeBudget(t *testing.T) {
+	// Binary search: probes ≤ ⌈log₂|D|⌉ + 1 (the +1 is the initial
+	// feasibility probe at the maximum distance).
+	ki := kinst(42, 40, 5)
+	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(1)))
+	bound := int(math.Ceil(math.Log2(float64(res.DistinctDistances)))) + 1
+	if res.Probes > bound {
+		t.Fatalf("%d probes > bound %d (|D|=%d)", res.Probes, bound, res.DistinctDistances)
+	}
+	if res.Fallbacks != 0 {
+		t.Fatalf("fallbacks=%d", res.Fallbacks)
+	}
+}
+
+func TestHochbaumShmoysRespectsK(t *testing.T) {
+	for _, k := range []int{1, 3, 7} {
+		ki := kinst(7, 25, k)
+		res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(2)))
+		if len(res.Sol.Centers) > k {
+			t.Fatalf("k=%d: %d centers", k, len(res.Sol.Centers))
+		}
+	}
+}
+
+func TestHochbaumShmoysKGEN(t *testing.T) {
+	ki := kinst(8, 6, 6)
+	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(3)))
+	if res.Sol.Value != 0 {
+		t.Fatalf("k=n value %v", res.Sol.Value)
+	}
+	ki2 := kinst(8, 6, 10) // k > n
+	res2 := HochbaumShmoys(nil, ki2, rand.New(rand.NewSource(3)))
+	if res2.Sol.Value != 0 {
+		t.Fatalf("k>n value %v", res2.Sol.Value)
+	}
+}
+
+func TestHochbaumShmoysStarMetric(t *testing.T) {
+	// Star with k=1: OPT = r; HS must return value ≤ 2r.
+	ki := core.KFromSpace(metric.Star(10, 5), 1)
+	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(4)))
+	if res.Sol.Value > 10+1e-9 {
+		t.Fatalf("value %v > 2·r", res.Sol.Value)
+	}
+}
+
+func TestHochbaumShmoysClustered(t *testing.T) {
+	// k well-separated blobs with k centers: value must be the blob radius
+	// scale, far below the separation.
+	rng := rand.New(rand.NewSource(5))
+	sp := metric.TwoScale(rng, 40, 4, 1, 1000)
+	ki := core.KFromSpace(sp, 4)
+	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(6)))
+	if res.Sol.Value > 10 {
+		t.Fatalf("clustered value %v, expected ≈ cluster diameter", res.Sol.Value)
+	}
+}
+
+func TestHochbaumShmoysDuplicatePoints(t *testing.T) {
+	// All points identical: radius 0 with any k.
+	sp := &metric.Euclidean{Dim: 1, Coords: []float64{5, 5, 5, 5, 5}}
+	ki := core.KFromSpace(sp, 2)
+	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(7)))
+	if res.Sol.Value != 0 {
+		t.Fatalf("duplicates value %v", res.Sol.Value)
+	}
+}
+
+func TestGonzalezWithin2OPT(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		for _, k := range []int{1, 2, 4} {
+			ki := kinst(seed, 12, k)
+			sol := Gonzalez(nil, ki, 0)
+			opt := exact.KClusterOPT(nil, ki, core.KCenter)
+			if sol.Value > 2*opt.Value+1e-9 {
+				t.Fatalf("seed=%d k=%d: Gonzalez %v > 2·OPT %v", seed, k, sol.Value, 2*opt.Value)
+			}
+		}
+	}
+}
+
+func TestGonzalezCenterCount(t *testing.T) {
+	ki := kinst(9, 30, 6)
+	sol := Gonzalez(nil, ki, 3)
+	if len(sol.Centers) != 6 {
+		t.Fatalf("%d centers", len(sol.Centers))
+	}
+	if err := sol.CheckFeasible(ki, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGonzalezBadStartClamped(t *testing.T) {
+	ki := kinst(10, 10, 2)
+	sol := Gonzalez(nil, ki, -5)
+	if err := sol.CheckFeasible(ki, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGonzalezDeterministic(t *testing.T) {
+	ki := kinst(11, 20, 4)
+	a := Gonzalez(nil, ki, 0)
+	b := Gonzalez(&par.Ctx{Workers: 4}, ki, 0)
+	if a.Value != b.Value {
+		t.Fatalf("values differ: %v vs %v", a.Value, b.Value)
+	}
+	for i := range a.Centers {
+		if a.Centers[i] != b.Centers[i] {
+			t.Fatalf("centers differ: %v vs %v", a.Centers, b.Centers)
+		}
+	}
+}
+
+func TestHSAndGonzalezComparable(t *testing.T) {
+	// Both are 2-approximations; neither should be wildly worse than the
+	// other (within 2× of each other by the shared guarantee).
+	ki := kinst(12, 30, 5)
+	hs := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(13)))
+	gz := Gonzalez(nil, ki, 0)
+	if hs.Sol.Value > 2*gz.Value+1e-9 || gz.Value > 2*hs.Sol.Value+1e-9 {
+		t.Fatalf("HS %v vs Gonzalez %v outside mutual 2× window", hs.Sol.Value, gz.Value)
+	}
+}
+
+func TestHochbaumShmoysWorkCounted(t *testing.T) {
+	// The work tally grows and stays within a generous multiple of
+	// (n log n)²; this pins the Theorem 6.1 work bound shape.
+	tally := &par.Tally{}
+	c := &par.Ctx{Workers: 2, Tally: tally}
+	n := 32
+	ki := kinst(13, n, 4)
+	HochbaumShmoys(c, ki, rand.New(rand.NewSource(14)))
+	w := float64(tally.Snapshot().Work)
+	nlogn := float64(n) * math.Log2(float64(n))
+	if w > 200*nlogn*nlogn {
+		t.Fatalf("work %v far exceeds O((n log n)²) = %v·const", w, nlogn*nlogn)
+	}
+	if w == 0 {
+		t.Fatal("no work recorded")
+	}
+}

@@ -1,0 +1,289 @@
+// Package localsearch implements the §7 parallel local-search algorithms for
+// k-median ((5+ε)-approximation) and k-means ((81+ε)-approximation in
+// general metrics): start from a k-center solution (an O(n)-approximation),
+// then repeatedly apply the best single swap that improves the objective by
+// a factor of at least (1 − β/k), β = ε/(1+ε), evaluating all k(n−k)
+// candidate swaps in parallel in O(k(n−k)n) work and O(log n) depth per
+// round. A p-swap extension (the multi-swap local search the §7 remark
+// points at) is provided for the ablation experiments.
+package localsearch
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/kcenter"
+	"repro/internal/par"
+)
+
+// Options configures the local search.
+type Options struct {
+	// Epsilon is the paper's ε slack: swaps must improve by the factor
+	// (1 − β/k) with β = ε/(1+ε). Must be in (0, 1); defaults to 0.3.
+	Epsilon float64
+	// MaxRounds caps the number of applied swaps; 0 derives the paper's
+	// bound O(log(initial/opt) / log(1/(1−β/k))) with a safety margin.
+	MaxRounds int
+	// Initial optionally seeds the search with a concrete center set
+	// (len ≤ k); nil uses the parallel Hochbaum–Shmoys k-center solution as
+	// §7 prescribes.
+	Initial []int
+	// Seed drives the k-center initialization's randomness.
+	Seed int64
+	// SwapSize is the p of p-swap local search: 1 (default, the paper's
+	// main algorithm) or 2 (the extension).
+	SwapSize int
+}
+
+func (o *Options) defaults() Options {
+	out := Options{Epsilon: 0.3, SwapSize: 1}
+	if o != nil {
+		if o.Epsilon > 0 {
+			out.Epsilon = o.Epsilon
+		}
+		out.MaxRounds = o.MaxRounds
+		out.Initial = o.Initial
+		out.Seed = o.Seed
+		if o.SwapSize == 2 {
+			out.SwapSize = 2
+		}
+	}
+	return out
+}
+
+// Result reports the outcome and the round behaviour Theorem 7.1 bounds.
+type Result struct {
+	Sol          *core.KSolution
+	Rounds       int     // swaps applied
+	InitialValue float64 // objective of the k-center seed
+	SwapsScanned int64   // total candidate swaps evaluated
+}
+
+// KMedian runs the (5+ε)-approximate local search for k-median.
+func KMedian(c *par.Ctx, ki *core.KInstance, opts *Options) *Result {
+	return search(c, ki, core.KMedian, opts)
+}
+
+// KMeans runs the (81+ε)-approximate local search for k-means.
+func KMeans(c *par.Ctx, ki *core.KInstance, opts *Options) *Result {
+	return search(c, ki, core.KMeans, opts)
+}
+
+// contribution converts a raw distance into its objective contribution.
+func contribution(obj core.KObjective, d float64) float64 {
+	if obj == core.KMeans {
+		return d * d
+	}
+	return d
+}
+
+func search(c *par.Ctx, ki *core.KInstance, obj core.KObjective, options *Options) *Result {
+	o := options.defaults()
+	n, k := ki.N, ki.K
+	if k >= n {
+		all := par.Iota(c, n)
+		sol := core.EvalCenters(c, ki, all, obj)
+		return &Result{Sol: sol, InitialValue: sol.Value}
+	}
+
+	inCenter := make([]bool, n)
+	var centers []int
+	if o.Initial != nil {
+		centers = append([]int(nil), o.Initial...)
+	} else {
+		hs := kcenter.HochbaumShmoys(c, ki, rand.New(rand.NewSource(o.Seed)))
+		centers = append([]int(nil), hs.Sol.Centers...)
+	}
+	// Pad underfull center sets arbitrarily: more centers never hurt.
+	for u := 0; len(centers) < k && u < n; u++ {
+		used := false
+		for _, ce := range centers {
+			if ce == u {
+				used = true
+				break
+			}
+		}
+		if !used {
+			centers = append(centers, u)
+		}
+	}
+	for _, ce := range centers {
+		inCenter[ce] = true
+	}
+
+	// d1/c1: nearest center and distance; d2: second-nearest distance.
+	d1 := make([]float64, n)
+	c1 := make([]int, n)
+	d2 := make([]float64, n)
+	recompute := func() float64 {
+		cost := make([]float64, n)
+		c.For(n, func(j int) {
+			b1, b2, bi := math.Inf(1), math.Inf(1), -1
+			for _, i := range centers {
+				d := ki.Dist.At(i, j)
+				if d < b1 {
+					b2 = b1
+					b1, bi = d, i
+				} else if d < b2 {
+					b2 = d
+				}
+			}
+			d1[j], c1[j], d2[j] = b1, bi, b2
+			cost[j] = contribution(obj, b1)
+		})
+		c.Charge(int64(n*k), 1)
+		return par.SumFloat(c, cost)
+	}
+	cur := recompute()
+	res := &Result{InitialValue: cur}
+
+	beta := o.Epsilon / (1 + o.Epsilon)
+	threshold := 1 - beta/float64(k)
+	maxRounds := o.MaxRounds
+	if maxRounds == 0 {
+		// Theorem 7.1 / [AGK+04]: O(log(initial/opt)/log(1/threshold))
+		// rounds. initial/opt ≤ O(n²) for a k-center seed, so a multiple of
+		// k/β·log n is a generous cap.
+		maxRounds = int(8*float64(k)/beta*math.Log2(float64(n)+2)) + 16
+	}
+
+	if o.SwapSize == 2 {
+		res.Sol = searchPSwap(c, ki, obj, centers, inCenter, cur, threshold, maxRounds, res)
+		return res
+	}
+
+	for res.Rounds < maxRounds {
+		// Evaluate every swap (out = centers[a], in = i') in parallel.
+		nonCenters := par.PackIndex(c, n, func(i int) bool { return !inCenter[i] })
+		nSwaps := len(centers) * len(nonCenters)
+		res.SwapsScanned += int64(nSwaps)
+		best := par.ReduceIndex(c, nSwaps, par.IndexedMin{Value: math.Inf(1), Index: -1},
+			func(s int) par.IndexedMin {
+				out := centers[s/len(nonCenters)]
+				in := nonCenters[s%len(nonCenters)]
+				newCost := 0.0
+				for j := 0; j < n; j++ {
+					drop := d1[j]
+					if c1[j] == out {
+						drop = d2[j]
+					}
+					if dIn := ki.Dist.At(in, j); dIn < drop {
+						drop = dIn
+					}
+					newCost += contribution(obj, drop)
+				}
+				return par.IndexedMin{Value: newCost, Index: s}
+			},
+			func(a, b par.IndexedMin) par.IndexedMin {
+				if b.Value < a.Value || (b.Value == a.Value && b.Index >= 0 && (a.Index < 0 || b.Index < a.Index)) {
+					return b
+				}
+				return a
+			})
+		c.Charge(int64(nSwaps)*int64(n), 1)
+		if best.Index < 0 || best.Value > threshold*cur {
+			break // no swap improves by the required factor
+		}
+		out := centers[best.Index/len(nonCenters)]
+		in := nonCenters[best.Index%len(nonCenters)]
+		for a, ce := range centers {
+			if ce == out {
+				centers[a] = in
+				break
+			}
+		}
+		inCenter[out], inCenter[in] = false, true
+		cur = recompute()
+		res.Rounds++
+	}
+	res.Sol = core.EvalCenters(c, ki, centers, obj)
+	return res
+}
+
+// searchPSwap runs 2-swap local search: each round evaluates every pair of
+// outgoing centers against every pair of incoming non-centers. Θ(k²(n−k)²n)
+// work per round — the ablation for the §7 multi-swap remark.
+func searchPSwap(c *par.Ctx, ki *core.KInstance, obj core.KObjective,
+	centers []int, inCenter []bool, cur float64, threshold float64,
+	maxRounds int, res *Result) *core.KSolution {
+	n := ki.N
+	evalSet := func(set []int) float64 {
+		total := 0.0
+		for j := 0; j < n; j++ {
+			b := math.Inf(1)
+			for _, i := range set {
+				if d := ki.Dist.At(i, j); d < b {
+					b = d
+				}
+			}
+			total += contribution(obj, b)
+		}
+		return total
+	}
+	for res.Rounds < maxRounds {
+		nonCenters := par.PackIndex(c, n, func(i int) bool { return !inCenter[i] })
+		k := len(centers)
+		nc2 := len(nonCenters)
+		// Pairs include singletons (a 1-swap is a degenerate 2-swap with
+		// out2==out1 and in2==in1). To keep |centers| = k, a swap is legal
+		// only when |{o1,o2}| == |{i1,i2}|; illegal encodings score +Inf.
+		nPairsOut := k * k
+		nPairsIn := nc2 * nc2
+		nSwaps := nPairsOut * nPairsIn
+		res.SwapsScanned += int64(nSwaps)
+		best := par.ReduceIndex(c, nSwaps, par.IndexedMin{Value: math.Inf(1), Index: -1},
+			func(s int) par.IndexedMin {
+				po, pi := s/nPairsIn, s%nPairsIn
+				o1, o2 := centers[po/k], centers[po%k]
+				i1, i2 := nonCenters[pi/nc2], nonCenters[pi%nc2]
+				if (o1 == o2) != (i1 == i2) {
+					return par.IndexedMin{Value: math.Inf(1), Index: -1}
+				}
+				set := make([]int, 0, k)
+				for _, ce := range centers {
+					if ce != o1 && ce != o2 {
+						set = append(set, ce)
+					}
+				}
+				set = append(set, i1)
+				if i2 != i1 {
+					set = append(set, i2)
+				}
+				return par.IndexedMin{Value: evalSet(set), Index: s}
+			},
+			func(a, b par.IndexedMin) par.IndexedMin {
+				if b.Value < a.Value || (b.Value == a.Value && b.Index >= 0 && (a.Index < 0 || b.Index < a.Index)) {
+					return b
+				}
+				return a
+			})
+		c.Charge(int64(nSwaps)*int64(n), 1)
+		if best.Index < 0 || best.Value > threshold*cur {
+			break
+		}
+		po, pi := best.Index/nPairsIn, best.Index%nPairsIn
+		o1, o2 := centers[po/k], centers[po%k]
+		i1, i2 := nonCenters[pi/nc2], nonCenters[pi%nc2]
+		var next []int
+		for _, ce := range centers {
+			if ce != o1 && ce != o2 {
+				next = append(next, ce)
+			}
+		}
+		next = append(next, i1)
+		if i2 != i1 {
+			next = append(next, i2)
+		}
+		centers = next // legality of the pair guarantees len(next) == k
+		for i := range inCenter {
+			inCenter[i] = false
+		}
+		for _, ce := range centers {
+			inCenter[ce] = true
+		}
+		cur = evalSet(centers)
+		res.Rounds++
+	}
+	return core.EvalCenters(c, ki, centers, obj)
+}

@@ -1,0 +1,219 @@
+package localsearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+func kinst(seed int64, n, k int) *core.KInstance {
+	rng := rand.New(rand.NewSource(seed))
+	return core.KFromSpace(metric.UniformBox(rng, n, 2, 100), k)
+}
+
+func clustered(seed int64, n, k int) *core.KInstance {
+	rng := rand.New(rand.NewSource(seed))
+	return core.KFromSpace(metric.GaussianClusters(rng, n, k, 2, 100, 2), k)
+}
+
+func TestKMedianWithin5PlusEps(t *testing.T) {
+	// Theorem 7.1: (5+ε)-approximation, verified against brute-force OPT.
+	for seed := int64(0); seed < 6; seed++ {
+		for _, k := range []int{2, 3} {
+			ki := kinst(seed, 12, k)
+			res := KMedian(&par.Ctx{Workers: 2}, ki, &Options{Epsilon: 0.3, Seed: seed})
+			if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
+				t.Fatal(err)
+			}
+			opt := exact.KClusterOPT(nil, ki, core.KMedian)
+			bound := (5 + 0.3) * opt.Value
+			if res.Sol.Value > bound+1e-9 {
+				t.Fatalf("seed=%d k=%d: %v > (5+ε)·OPT=%v", seed, k, res.Sol.Value, bound)
+			}
+		}
+	}
+}
+
+func TestKMeansWithin81PlusEps(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		ki := kinst(seed, 11, 3)
+		res := KMeans(nil, ki, &Options{Epsilon: 0.5, Seed: seed})
+		opt := exact.KClusterOPT(nil, ki, core.KMeans)
+		bound := (81 + 0.5) * opt.Value
+		if res.Sol.Value > bound+1e-9 {
+			t.Fatalf("seed=%d: %v > (81+ε)·OPT=%v", seed, res.Sol.Value, bound)
+		}
+	}
+}
+
+func TestLocalSearchImprovesOnSeed(t *testing.T) {
+	// The k-center seed is an O(n)-approximation for k-median; local search
+	// must never end worse than it started.
+	ki := clustered(1, 40, 4)
+	res := KMedian(nil, ki, &Options{Epsilon: 0.2, Seed: 1})
+	if res.Sol.Value > res.InitialValue+1e-9 {
+		t.Fatalf("final %v worse than initial %v", res.Sol.Value, res.InitialValue)
+	}
+}
+
+func TestClusteredRecovery(t *testing.T) {
+	// Well-separated Gaussian blobs: local search should find a solution
+	// close to one center per blob (value far below one blob diameter × n).
+	ki := clustered(2, 45, 3)
+	res := KMedian(nil, ki, &Options{Epsilon: 0.1, Seed: 2})
+	opt := exact.KClusterOPT(nil, ki, core.KMedian)
+	if res.Sol.Value > 2*opt.Value {
+		t.Fatalf("clustered: %v vs OPT %v — should be near-optimal here", res.Sol.Value, opt.Value)
+	}
+}
+
+func TestRoundBoundTheorem71(t *testing.T) {
+	// Rounds ≤ O(k/β · log n): check against the explicit cap formula.
+	ki := kinst(3, 60, 4)
+	eps := 0.3
+	res := KMedian(nil, ki, &Options{Epsilon: eps, Seed: 3})
+	beta := eps / (1 + eps)
+	bound := int(8*4/beta*math.Log2(60+2)) + 16
+	if res.Rounds > bound {
+		t.Fatalf("rounds %d > bound %d", res.Rounds, bound)
+	}
+}
+
+func TestEveryRoundImprovedByFactor(t *testing.T) {
+	// Re-run manually: each applied swap must shrink cost by ≥ (1-β/k).
+	// We verify indirectly: final ≤ initial·(1-β/k)^rounds.
+	ki := kinst(4, 30, 3)
+	eps := 0.4
+	res := KMedian(nil, ki, &Options{Epsilon: eps, Seed: 4})
+	beta := eps / (1 + eps)
+	factor := math.Pow(1-beta/3, float64(res.Rounds))
+	if res.Sol.Value > res.InitialValue*factor+1e-6 {
+		t.Fatalf("final %v > initial %v × %v", res.Sol.Value, res.InitialValue, factor)
+	}
+}
+
+func TestKGreaterEqualN(t *testing.T) {
+	ki := kinst(5, 8, 8)
+	res := KMedian(nil, ki, nil)
+	if res.Sol.Value != 0 {
+		t.Fatalf("k=n value %v", res.Sol.Value)
+	}
+	if res.Rounds != 0 {
+		t.Fatalf("rounds %d", res.Rounds)
+	}
+}
+
+func TestExplicitInitialRespected(t *testing.T) {
+	ki := kinst(6, 15, 3)
+	res := KMedian(nil, ki, &Options{Initial: []int{0, 1, 2}, Epsilon: 0.3})
+	if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Initial value must equal the cost of {0,1,2}.
+	want := core.EvalCenters(nil, ki, []int{0, 1, 2}, core.KMedian)
+	if math.Abs(res.InitialValue-want.Value) > 1e-9 {
+		t.Fatalf("initial %v want %v", res.InitialValue, want.Value)
+	}
+}
+
+func TestShortInitialPadded(t *testing.T) {
+	ki := kinst(7, 15, 4)
+	res := KMedian(nil, ki, &Options{Initial: []int{5}, Epsilon: 0.3})
+	if len(res.Sol.Centers) != 4 {
+		t.Fatalf("centers %v", res.Sol.Centers)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	ki := kinst(8, 12, 2)
+	res := KMedian(nil, ki, nil) // nil options entirely
+	if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpsilonTradeoff(t *testing.T) {
+	// Larger ε ⇒ stricter improvement requirement per swap ⇒ no more rounds
+	// than a tiny ε run, and a (weakly) worse final value is permitted.
+	ki := clustered(9, 40, 4)
+	loose := KMedian(nil, ki, &Options{Epsilon: 0.9, Seed: 9})
+	tight := KMedian(nil, ki, &Options{Epsilon: 0.05, Seed: 9})
+	if tight.Sol.Value > loose.Sol.Value*1.5+1e-9 {
+		t.Fatalf("tight ε ended far worse: %v vs %v", tight.Sol.Value, loose.Sol.Value)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	ki := kinst(10, 25, 3)
+	a := KMedian(nil, ki, &Options{Epsilon: 0.3, Seed: 11})
+	b := KMedian(&par.Ctx{Workers: 4}, ki, &Options{Epsilon: 0.3, Seed: 11})
+	if a.Sol.Value != b.Sol.Value || a.Rounds != b.Rounds {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", a.Sol.Value, a.Rounds, b.Sol.Value, b.Rounds)
+	}
+}
+
+func TestKMeansOnClusters(t *testing.T) {
+	ki := clustered(12, 30, 3)
+	res := KMeans(nil, ki, &Options{Epsilon: 0.2, Seed: 12})
+	if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if res.Sol.Obj != core.KMeans {
+		t.Fatalf("objective %v", res.Sol.Obj)
+	}
+}
+
+func TestPSwapAtLeastAsGoodAsSingle(t *testing.T) {
+	// 2-swap explores a superset of 1-swap moves each round; on the same
+	// seed it must end at a local optimum no worse than ~the 1-swap one
+	// (allowing small slack for different trajectories).
+	ki := clustered(13, 24, 3)
+	single := KMedian(nil, ki, &Options{Epsilon: 0.2, Seed: 13, SwapSize: 1})
+	double := KMedian(nil, ki, &Options{Epsilon: 0.2, Seed: 13, SwapSize: 2})
+	if err := double.Sol.CheckFeasible(ki, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if double.Sol.Value > single.Sol.Value*1.25+1e-9 {
+		t.Fatalf("2-swap %v much worse than 1-swap %v", double.Sol.Value, single.Sol.Value)
+	}
+}
+
+func TestPSwapKeepsBudget(t *testing.T) {
+	ki := kinst(14, 18, 4)
+	res := KMedian(nil, ki, &Options{Epsilon: 0.3, Seed: 14, SwapSize: 2})
+	if len(res.Sol.Centers) != 4 {
+		t.Fatalf("centers %v", res.Sol.Centers)
+	}
+	if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapsScannedAccounting(t *testing.T) {
+	ki := kinst(15, 20, 3)
+	res := KMedian(nil, ki, &Options{Epsilon: 0.3, Seed: 15})
+	// Each round scans k(n-k) = 3·17 = 51 swaps; rounds+1 scans total
+	// (the final scan finds nothing).
+	want := int64(51) * int64(res.Rounds+1)
+	if res.SwapsScanned != want {
+		t.Fatalf("scanned %d want %d", res.SwapsScanned, want)
+	}
+}
+
+func TestWorkChargedPerRound(t *testing.T) {
+	tally := &par.Tally{}
+	c := &par.Ctx{Workers: 2, Tally: tally}
+	ki := kinst(16, 30, 3)
+	res := KMedian(c, ki, &Options{Epsilon: 0.3, Seed: 16})
+	w := tally.Snapshot().Work
+	// Θ(k(n-k)n) per round at least.
+	minWork := int64(res.Rounds+1) * int64(3*27*30)
+	if w < minWork {
+		t.Fatalf("work %d below per-round floor %d", w, minWork)
+	}
+}

@@ -1,0 +1,189 @@
+package localsearch
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// UFL is the local-search algorithm for uncapacitated facility location the
+// §7 remark points at: moves are add / drop / swap, each round evaluates all
+// O(nf²) candidate moves in parallel (the "similar idea" — each move's cost
+// delta is computed from nearest/second-nearest tables in O(nc) per move),
+// and a move is applied only when it improves the cost by the (1−β/nf)
+// factor. Sequential local optima of this move set are 3-approximate
+// [AGK+04, KPR00]; the threshold relaxes that to 3(1+O(ε)).
+//
+// The paper notes it cannot bound the number of rounds for this algorithm;
+// the implementation therefore caps rounds generously and reports the count.
+
+// UFLOptions configures the UFL local search.
+type UFLOptions struct {
+	// Epsilon sets the improvement threshold via β = ε/(1+ε). Default 0.3.
+	Epsilon float64
+	// MaxRounds caps applied moves (0 = generous default).
+	MaxRounds int
+}
+
+// UFLResult is the outcome of the UFL local search.
+type UFLResult struct {
+	Sol          *core.Solution
+	Rounds       int
+	InitialValue float64
+	MovesScanned int64
+}
+
+// UFLLocalSearch runs add/drop/swap local search for facility location.
+func UFLLocalSearch(c *par.Ctx, in *core.Instance, opts *UFLOptions) *UFLResult {
+	eps := 0.3
+	maxRounds := 0
+	if opts != nil {
+		if opts.Epsilon > 0 {
+			eps = opts.Epsilon
+		}
+		maxRounds = opts.MaxRounds
+	}
+	beta := eps / (1 + eps)
+	nf, nc := in.NF, in.NC
+	if maxRounds == 0 {
+		maxRounds = int(8*float64(nf)/beta*math.Log2(float64(nc)+2)) + 32
+	}
+
+	// Initial solution: the single facility minimizing f_i + Σ_j d(i,j).
+	open := make([]bool, nf)
+	best := par.ArgMin(c, nf, func(i int) float64 {
+		s := in.FacCost[i]
+		for j := 0; j < nc; j++ {
+			s += in.Dist(i, j)
+		}
+		return s
+	})
+	open[best.Index] = true
+	openCount := 1
+
+	d1 := make([]float64, nc)
+	c1 := make([]int, nc)
+	d2 := make([]float64, nc)
+	facCost := 0.0
+	recompute := func() float64 {
+		facCost = 0
+		for i := 0; i < nf; i++ {
+			if open[i] {
+				facCost += in.FacCost[i]
+			}
+		}
+		conn := make([]float64, nc)
+		c.For(nc, func(j int) {
+			b1, b2, bi := math.Inf(1), math.Inf(1), -1
+			for i := 0; i < nf; i++ {
+				if !open[i] {
+					continue
+				}
+				d := in.Dist(i, j)
+				if d < b1 {
+					b2 = b1
+					b1, bi = d, i
+				} else if d < b2 {
+					b2 = d
+				}
+			}
+			d1[j], c1[j], d2[j] = b1, bi, b2
+			conn[j] = b1
+		})
+		c.Charge(int64(nf)*int64(nc), 1)
+		return facCost + par.SumFloat(c, conn)
+	}
+	cur := recompute()
+	res := &UFLResult{InitialValue: cur}
+	threshold := 1 - beta/float64(nf)
+
+	// Move encoding: [0, nf) = toggle add(i) for closed i / drop(i) for open
+	// i; [nf, nf+nf*nf) = swap(out=(s-nf)/nf, in=(s-nf)%nf).
+	nMoves := nf + nf*nf
+	for res.Rounds < maxRounds {
+		res.MovesScanned += int64(nMoves)
+		bestMove := par.ReduceIndex(c, nMoves, par.IndexedMin{Value: math.Inf(1), Index: -1},
+			func(s int) par.IndexedMin {
+				bad := par.IndexedMin{Value: math.Inf(1), Index: -1}
+				switch {
+				case s < nf:
+					i := s
+					if !open[i] { // add i
+						newCost := cur + in.FacCost[i]
+						for j := 0; j < nc; j++ {
+							if d := in.Dist(i, j); d < d1[j] {
+								newCost += d - d1[j]
+							}
+						}
+						return par.IndexedMin{Value: newCost, Index: s}
+					}
+					// drop i
+					if openCount <= 1 {
+						return bad
+					}
+					newCost := cur - in.FacCost[i]
+					for j := 0; j < nc; j++ {
+						if c1[j] == i {
+							newCost += d2[j] - d1[j]
+						}
+					}
+					return par.IndexedMin{Value: newCost, Index: s}
+				default:
+					out := (s - nf) / nf
+					inF := (s - nf) % nf
+					if !open[out] || open[inF] {
+						return bad
+					}
+					newCost := cur + in.FacCost[inF] - in.FacCost[out]
+					for j := 0; j < nc; j++ {
+						drop := d1[j]
+						if c1[j] == out {
+							drop = d2[j]
+						}
+						if d := in.Dist(inF, j); d < drop {
+							drop = d
+						}
+						newCost += drop - d1[j]
+					}
+					return par.IndexedMin{Value: newCost, Index: s}
+				}
+			},
+			func(a, b par.IndexedMin) par.IndexedMin {
+				if b.Value < a.Value || (b.Value == a.Value && b.Index >= 0 && (a.Index < 0 || b.Index < a.Index)) {
+					return b
+				}
+				return a
+			})
+		c.Charge(int64(nMoves)*int64(nc), 1)
+		if bestMove.Index < 0 || bestMove.Value > threshold*cur {
+			break
+		}
+		s := bestMove.Index
+		if s < nf {
+			if open[s] {
+				open[s] = false
+				openCount--
+			} else {
+				open[s] = true
+				openCount++
+			}
+		} else {
+			out := (s - nf) / nf
+			inF := (s - nf) % nf
+			open[out] = false
+			open[inF] = true
+		}
+		cur = recompute()
+		res.Rounds++
+	}
+
+	var openList []int
+	for i := 0; i < nf; i++ {
+		if open[i] {
+			openList = append(openList, i)
+		}
+	}
+	res.Sol = core.EvalOpen(c, in, openList)
+	return res
+}

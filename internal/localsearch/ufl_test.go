@@ -1,0 +1,125 @@
+package localsearch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+func uflInst(seed int64, nf, nc int) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6))
+}
+
+func TestUFLLocalSearchWithin3Plus(t *testing.T) {
+	// Add/drop/swap local optima are 3-approximate; the (1−β/nf) threshold
+	// relaxes this to 3(1+O(ε)).
+	for seed := int64(0); seed < 8; seed++ {
+		in := uflInst(seed, 7, 18)
+		eps := 0.3
+		res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: eps})
+		if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+		opt := exact.FacilityOPT(nil, in)
+		if ratio := res.Sol.Cost() / opt.Cost(); ratio > 3*(1+eps)+1e-9 {
+			t.Fatalf("seed=%d: ratio %v", seed, ratio)
+		}
+	}
+}
+
+func TestUFLLocalSearchImprovesMonotonically(t *testing.T) {
+	in := uflInst(1, 8, 24)
+	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.2})
+	if res.Sol.Cost() > res.InitialValue+1e-9 {
+		t.Fatalf("final %v worse than initial %v", res.Sol.Cost(), res.InitialValue)
+	}
+}
+
+func TestUFLLocalSearchSingleFacility(t *testing.T) {
+	in := uflInst(2, 1, 10)
+	res := UFLLocalSearch(nil, in, nil)
+	if len(res.Sol.Open) != 1 || res.Sol.Open[0] != 0 {
+		t.Fatalf("open=%v", res.Sol.Open)
+	}
+	if res.Rounds != 0 {
+		t.Fatalf("rounds=%d on a single-facility instance", res.Rounds)
+	}
+}
+
+func TestUFLLocalSearchKeepsAtLeastOneOpen(t *testing.T) {
+	// Make every facility hugely expensive: drops must never empty the set.
+	in := uflInst(3, 5, 12)
+	for i := range in.FacCost {
+		in.FacCost[i] = 1e5
+	}
+	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.3})
+	if len(res.Sol.Open) < 1 {
+		t.Fatal("no facilities open")
+	}
+	if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUFLLocalSearchFreeFacilitiesOpensMany(t *testing.T) {
+	// Zero costs: every add that reduces connection cost helps; the local
+	// optimum should match all-open connection cost closely.
+	in := uflInst(4, 6, 15)
+	for i := range in.FacCost {
+		in.FacCost[i] = 0
+	}
+	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.05})
+	opt := exact.FacilityOPT(nil, in)
+	if res.Sol.Cost() > 1.6*opt.Cost()+1e-9 {
+		t.Fatalf("free facilities: %v vs OPT %v", res.Sol.Cost(), opt.Cost())
+	}
+}
+
+func TestUFLLocalSearchDeterministic(t *testing.T) {
+	in := uflInst(5, 8, 20)
+	a := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.3})
+	b := UFLLocalSearch(&par.Ctx{Workers: 4}, in, &UFLOptions{Epsilon: 0.3})
+	if a.Sol.Cost() != b.Sol.Cost() || a.Rounds != b.Rounds {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", a.Sol.Cost(), a.Rounds, b.Sol.Cost(), b.Rounds)
+	}
+}
+
+func TestUFLLocalSearchRoundsReported(t *testing.T) {
+	in := uflInst(6, 8, 24)
+	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.3})
+	// Moves per round = nf + nf² = 8 + 64 = 72.
+	if res.MovesScanned != int64(72)*int64(res.Rounds+1) {
+		t.Fatalf("scanned %d for %d rounds", res.MovesScanned, res.Rounds)
+	}
+}
+
+func TestUFLLocalSearchBeatsInitialOnClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sp := metric.TwoScale(rng, 40, 4, 2, 300)
+	fac := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	cli := make([]int, 32)
+	for j := range cli {
+		cli[j] = 8 + j
+	}
+	in := core.FromSpace(sp, fac, cli, metric.UniformCosts(8, 10))
+	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.1})
+	// Clusters are 300 apart: a single-facility start is terrible; local
+	// search must open roughly one facility per populated cluster.
+	if res.Sol.Cost() > res.InitialValue/2 {
+		t.Fatalf("no real improvement: initial %v final %v", res.InitialValue, res.Sol.Cost())
+	}
+}

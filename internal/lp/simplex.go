@@ -1,0 +1,446 @@
+// Package lp is the linear-programming substrate: a from-scratch dense
+// two-phase primal simplex solver with dual extraction, and the builder for
+// the Figure-1 facility-location LP.
+//
+// The paper's LP-rounding algorithm (§6.2, Theorem 6.5) takes an *optimal*
+// primal solution as input — "we do not know how to solve the linear program
+// for facility location in polylogarithmic depth" — so this solver plays the
+// role of the oracle the paper assumes. Its optimal value is also the
+// standard lower bound on integral OPT used by the experiment harness to
+// measure approximation ratios on instances too large to brute-force.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int
+
+// Constraint directions.
+const (
+	LE Sense = iota // a·x ≤ b
+	EQ              // a·x = b
+	GE              // a·x ≥ b
+)
+
+// Constraint is a single linear constraint a·x ⋈ b.
+type Constraint struct {
+	A     []float64
+	Sense Sense
+	B     float64
+}
+
+// Problem is min C·x subject to Cons and x ≥ 0.
+type Problem struct {
+	C    []float64
+	Cons []Constraint
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is an optimal primal-dual pair. Dual[i] is the multiplier of
+// Cons[i] with the standard sign convention for a minimization problem:
+// y_i ≥ 0 for GE rows, y_i ≤ 0 for LE rows, free for EQ rows, and
+// Σ_i Dual[i]·B[i] = Value at optimality (strong duality).
+type Solution struct {
+	Status Status
+	X      []float64
+	Value  float64
+	Dual   []float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+	ErrBadShape       = errors.New("lp: constraint length mismatch")
+)
+
+const (
+	pivotEps = 1e-9
+	costEps  = 1e-9
+	feasEps  = 1e-7
+)
+
+// Solve runs two-phase primal simplex on p. It uses Dantzig pricing and
+// switches to Bland's rule (which cannot cycle) once the iteration count
+// passes a threshold.
+func (p *Problem) Solve() (*Solution, error) {
+	n0 := len(p.C)
+	m := len(p.Cons)
+	for _, c := range p.Cons {
+		if len(c.A) != n0 {
+			return nil, ErrBadShape
+		}
+	}
+	if m == 0 {
+		// Minimize over x ≥ 0 only: optimum is 0 with x = 0 unless some
+		// cost is negative (then unbounded).
+		for _, cj := range p.C {
+			if cj < -costEps {
+				return &Solution{Status: Unbounded}, nil
+			}
+		}
+		return &Solution{Status: Optimal, X: make([]float64, n0)}, nil
+	}
+
+	// Normalize to b ≥ 0, flipping senses.
+	rows := make([]Constraint, m)
+	for i, c := range p.Cons {
+		a := append([]float64(nil), c.A...)
+		b := c.B
+		s := c.Sense
+		if b < 0 {
+			for k := range a {
+				a[k] = -a[k]
+			}
+			b = -b
+			switch s {
+			case LE:
+				s = GE
+			case GE:
+				s = LE
+			}
+		}
+		rows[i] = Constraint{A: a, Sense: s, B: b}
+	}
+
+	// Column layout: [original n0 | slack/surplus per row (if any) | artificial per row (if any)].
+	slackCol := make([]int, m)    // -1 if none
+	artCol := make([]int, m)      // -1 if none
+	rowIdentity := make([]int, m) // the +e_i column used for dual extraction
+	n := n0
+	for i, r := range rows {
+		slackCol[i], artCol[i] = -1, -1
+		switch r.Sense {
+		case LE:
+			slackCol[i] = n
+			n++
+		case GE:
+			slackCol[i] = n // surplus, coefficient -1
+			n++
+		}
+	}
+	for i, r := range rows {
+		if r.Sense == GE || r.Sense == EQ {
+			artCol[i] = n
+			n++
+		}
+	}
+	for i := range rows {
+		if artCol[i] >= 0 {
+			rowIdentity[i] = artCol[i]
+		} else {
+			rowIdentity[i] = slackCol[i]
+		}
+	}
+
+	// Dense tableau T = B⁻¹[A | I-ish], rhs = B⁻¹ b.
+	t := make([][]float64, m)
+	rhs := make([]float64, m)
+	basis := make([]int, m)
+	for i, r := range rows {
+		t[i] = make([]float64, n)
+		copy(t[i], r.A)
+		rhs[i] = r.B
+		switch r.Sense {
+		case LE:
+			t[i][slackCol[i]] = 1
+			basis[i] = slackCol[i]
+		case GE:
+			t[i][slackCol[i]] = -1
+			t[i][artCol[i]] = 1
+			basis[i] = artCol[i]
+		case EQ:
+			t[i][artCol[i]] = 1
+			basis[i] = artCol[i]
+		}
+	}
+	isArt := make([]bool, n)
+	for i := range rows {
+		if artCol[i] >= 0 {
+			isArt[artCol[i]] = true
+		}
+	}
+
+	// Phase 1: minimize sum of artificials.
+	phase1Cost := make([]float64, n)
+	for j := range phase1Cost {
+		if isArt[j] {
+			phase1Cost[j] = 1
+		}
+	}
+	st, err := simplexIterate(t, rhs, basis, phase1Cost, isArt, false)
+	if err != nil {
+		return nil, err
+	}
+	if st == Unbounded {
+		// Phase-1 objective is bounded below by 0; this cannot happen.
+		return nil, errors.New("lp: internal: phase-1 unbounded")
+	}
+	p1val := objectiveValue(rhs, basis, phase1Cost)
+	if p1val > feasEps {
+		return &Solution{Status: Infeasible}, nil
+	}
+	// Drive artificials out of the basis where possible; redundant rows keep
+	// a zero-valued artificial basic (banned from re-entering in phase 2).
+	for i := 0; i < m; i++ {
+		if !isArt[basis[i]] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if !isArt[j] && math.Abs(t[i][j]) > pivotEps {
+				pivot(t, rhs, basis, i, j)
+				break
+			}
+		}
+	}
+
+	// Phase 2: original costs (zero on slacks; artificials banned).
+	cost := make([]float64, n)
+	copy(cost, p.C)
+	st, err = simplexIterate(t, rhs, basis, cost, isArt, true)
+	if err != nil {
+		return nil, err
+	}
+	if st == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n0)
+	for i, bj := range basis {
+		if bj < n0 {
+			x[bj] = rhs[i]
+		}
+	}
+	// Duals via the identity columns: each row i has a column that began as
+	// +e_i (its slack or artificial), so B⁻¹ e_i is that column of the final
+	// tableau and y_i = c_B·B⁻¹e_i = z_col = c_col − r_col = −r_col.
+	reduced := reducedCosts(t, basis, cost)
+	dual := make([]float64, m)
+	for i := range rows {
+		y := -reduced[rowIdentity[i]]
+		// Undo the b<0 row flip: flipping a row negates its multiplier.
+		if p.Cons[i].B < 0 {
+			y = -y
+		}
+		dual[i] = y
+	}
+	return &Solution{
+		Status: Optimal,
+		X:      x,
+		Value:  objectiveValue(rhs, basis, cost),
+		Dual:   dual,
+	}, nil
+}
+
+// simplexIterate pivots t to optimality for the given cost vector.
+// banArtificial excludes artificial columns from entering (phase 2).
+func simplexIterate(t [][]float64, rhs []float64, basis []int, cost []float64, isArt []bool, banArtificial bool) (Status, error) {
+	m := len(t)
+	if m == 0 {
+		return Optimal, nil
+	}
+	n := len(t[0])
+	maxIter := 200*(m+n) + 5000
+	blandAfter := maxIter / 2
+	for iter := 0; iter < maxIter; iter++ {
+		r := reducedCosts(t, basis, cost)
+		// Entering column.
+		enter := -1
+		if iter < blandAfter {
+			best := -costEps
+			for j := 0; j < n; j++ {
+				if banArtificial && isArt[j] {
+					continue
+				}
+				if r[j] < best {
+					best = r[j]
+					enter = j
+				}
+			}
+		} else { // Bland: first improving column
+			for j := 0; j < n; j++ {
+				if banArtificial && isArt[j] {
+					continue
+				}
+				if r[j] < -costEps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		// Ratio test; Bland tie-break on the basic variable index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > pivotEps {
+				ratio := rhs[i] / t[i][enter]
+				if ratio < bestRatio-pivotEps ||
+					(ratio < bestRatio+pivotEps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		pivot(t, rhs, basis, leave, enter)
+	}
+	return Optimal, ErrIterationLimit
+}
+
+// reducedCosts returns r_j = c_j − c_B·T_j for all columns.
+func reducedCosts(t [][]float64, basis []int, cost []float64) []float64 {
+	m := len(t)
+	n := len(t[0])
+	r := append([]float64(nil), cost...)
+	for i := 0; i < m; i++ {
+		cb := cost[basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t[i]
+		for j := 0; j < n; j++ {
+			r[j] -= cb * row[j]
+		}
+	}
+	return r
+}
+
+func objectiveValue(rhs []float64, basis []int, cost []float64) float64 {
+	v := 0.0
+	for i, bj := range basis {
+		v += cost[bj] * rhs[i]
+	}
+	return v
+}
+
+// pivot makes column `enter` basic in row `leave`.
+func pivot(t [][]float64, rhs []float64, basis []int, leave, enter int) {
+	m := len(t)
+	n := len(t[0])
+	piv := t[leave][enter]
+	inv := 1 / piv
+	prow := t[leave]
+	for j := 0; j < n; j++ {
+		prow[j] *= inv
+	}
+	rhs[leave] *= inv
+	prow[enter] = 1 // exactness
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := t[i]
+		for j := 0; j < n; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0 // exactness
+		rhs[i] -= f * rhs[leave]
+	}
+	basis[leave] = enter
+}
+
+// CheckPrimalFeasible verifies x against the constraints within tol.
+func (p *Problem) CheckPrimalFeasible(x []float64, tol float64) error {
+	if len(x) != len(p.C) {
+		return ErrBadShape
+	}
+	for j, v := range x {
+		if v < -tol {
+			return fmt.Errorf("lp: x[%d]=%v negative", j, v)
+		}
+	}
+	for i, c := range p.Cons {
+		ax := dot(c.A, x)
+		switch c.Sense {
+		case LE:
+			if ax > c.B+tol {
+				return fmt.Errorf("lp: row %d: %v > %v", i, ax, c.B)
+			}
+		case GE:
+			if ax < c.B-tol {
+				return fmt.Errorf("lp: row %d: %v < %v", i, ax, c.B)
+			}
+		case EQ:
+			if math.Abs(ax-c.B) > tol {
+				return fmt.Errorf("lp: row %d: %v != %v", i, ax, c.B)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDualFeasible verifies y against the dual of p within tol:
+// sign constraints per row sense and Aᵀy ≤ c.
+func (p *Problem) CheckDualFeasible(y []float64, tol float64) error {
+	if len(y) != len(p.Cons) {
+		return ErrBadShape
+	}
+	for i, c := range p.Cons {
+		if c.Sense == GE && y[i] < -tol {
+			return fmt.Errorf("lp: dual %d=%v negative on GE row", i, y[i])
+		}
+		if c.Sense == LE && y[i] > tol {
+			return fmt.Errorf("lp: dual %d=%v positive on LE row", i, y[i])
+		}
+	}
+	for j := range p.C {
+		s := 0.0
+		for i, c := range p.Cons {
+			s += c.A[j] * y[i]
+		}
+		if s > p.C[j]+tol {
+			return fmt.Errorf("lp: dual constraint %d: %v > %v", j, s, p.C[j])
+		}
+	}
+	return nil
+}
+
+// DualValue returns b·y.
+func (p *Problem) DualValue(y []float64) float64 {
+	v := 0.0
+	for i, c := range p.Cons {
+		v += c.B * y[i]
+	}
+	return v
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for k := range a {
+		s += a[k] * b[k]
+	}
+	return s
+}

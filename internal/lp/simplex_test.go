@@ -1,0 +1,399 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveSimpleLE(t *testing.T) {
+	// min -x1 - 2x2  s.t. x1 + x2 <= 4, x2 <= 2  →  x = (2, 2), value -6.
+	p := &Problem{
+		C: []float64{-1, -2},
+		Cons: []Constraint{
+			{A: []float64{1, 1}, Sense: LE, B: 4},
+			{A: []float64{0, 1}, Sense: LE, B: 2},
+		},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !almostEq(s.Value, -6, 1e-9) {
+		t.Fatalf("value %v want -6", s.Value)
+	}
+	if !almostEq(s.X[0], 2, 1e-9) || !almostEq(s.X[1], 2, 1e-9) {
+		t.Fatalf("x=%v", s.X)
+	}
+}
+
+func TestSolveGE(t *testing.T) {
+	// min 2x1 + 3x2  s.t. x1 + x2 >= 3, x1 >= 1  →  x = (3, 0), value 6.
+	p := &Problem{
+		C: []float64{2, 3},
+		Cons: []Constraint{
+			{A: []float64{1, 1}, Sense: GE, B: 3},
+			{A: []float64{1, 0}, Sense: GE, B: 1},
+		},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almostEq(s.Value, 6, 1e-9) {
+		t.Fatalf("status=%v value=%v", s.Status, s.Value)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min x1 + x2  s.t. x1 + 2x2 = 4, x1 - x2 = 1  →  x = (2, 1), value 3.
+	p := &Problem{
+		C: []float64{1, 1},
+		Cons: []Constraint{
+			{A: []float64{1, 2}, Sense: EQ, B: 4},
+			{A: []float64{1, -1}, Sense: EQ, B: 1},
+		},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.X[0], 2, 1e-9) || !almostEq(s.X[1], 1, 1e-9) {
+		t.Fatalf("x=%v", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		C: []float64{1},
+		Cons: []Constraint{
+			{A: []float64{1}, Sense: LE, B: 1},
+			{A: []float64{1}, Sense: GE, B: 2},
+		},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status %v want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		C: []float64{-1, 0},
+		Cons: []Constraint{
+			{A: []float64{0, 1}, Sense: LE, B: 1},
+		},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status %v want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x1 >= 2 written as -x1 <= -2.
+	p := &Problem{
+		C: []float64{1},
+		Cons: []Constraint{
+			{A: []float64{-1}, Sense: LE, B: -2},
+		},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.X[0], 2, 1e-9) {
+		t.Fatalf("x=%v", s.X)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	p := &Problem{C: []float64{1, 2}}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || s.Value != 0 {
+		t.Fatalf("%+v", s)
+	}
+	p2 := &Problem{C: []float64{-1}}
+	s2, _ := p2.Solve()
+	if s2.Status != Unbounded {
+		t.Fatalf("status %v", s2.Status)
+	}
+}
+
+func TestBadShape(t *testing.T) {
+	p := &Problem{C: []float64{1, 2}, Cons: []Constraint{{A: []float64{1}, Sense: LE, B: 1}}}
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// Classic degenerate vertex: redundant constraints meeting at a point.
+	p := &Problem{
+		C: []float64{-1, -1},
+		Cons: []Constraint{
+			{A: []float64{1, 0}, Sense: LE, B: 1},
+			{A: []float64{0, 1}, Sense: LE, B: 1},
+			{A: []float64{1, 1}, Sense: LE, B: 2}, // redundant at optimum
+		},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.Value, -2, 1e-9) {
+		t.Fatalf("value %v", s.Value)
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicated equality: phase 1 leaves a zero artificial basic.
+	p := &Problem{
+		C: []float64{1, 1},
+		Cons: []Constraint{
+			{A: []float64{1, 1}, Sense: EQ, B: 2},
+			{A: []float64{1, 1}, Sense: EQ, B: 2},
+		},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almostEq(s.Value, 2, 1e-9) {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestStrongDualityOnRandomLPs(t *testing.T) {
+	// Random feasible bounded LPs: primal value equals dual value; dual is
+	// feasible for the dual program.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		nv := 2 + rng.Intn(5)
+		mc := 1 + rng.Intn(6)
+		p := &Problem{C: make([]float64, nv)}
+		for j := range p.C {
+			p.C[j] = rng.Float64() * 5 // nonneg costs → bounded below
+		}
+		for i := 0; i < mc; i++ {
+			a := make([]float64, nv)
+			for j := range a {
+				a[j] = rng.Float64()
+			}
+			// GE rows with positive b keep it feasible (scale x up).
+			p.Cons = append(p.Cons, Constraint{A: a, Sense: GE, B: 1 + rng.Float64()})
+		}
+		s, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		if err := p.CheckPrimalFeasible(s.X, 1e-7); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := p.CheckDualFeasible(s.Dual, 1e-7); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if dv := p.DualValue(s.Dual); !almostEq(dv, s.Value, 1e-6*(1+math.Abs(s.Value))) {
+			t.Fatalf("trial %d: primal %v dual %v", trial, s.Value, dv)
+		}
+		// Recompute objective from X.
+		if ov := dot(p.C, s.X); !almostEq(ov, s.Value, 1e-6*(1+math.Abs(s.Value))) {
+			t.Fatalf("trial %d: value %v but c·x=%v", trial, s.Value, ov)
+		}
+	}
+}
+
+func TestMixedSenseDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		p := &Problem{C: []float64{1 + rng.Float64(), 1 + rng.Float64(), 1 + rng.Float64()}}
+		p.Cons = append(p.Cons,
+			Constraint{A: []float64{1, 1, 0}, Sense: GE, B: 2},
+			Constraint{A: []float64{0, 1, 1}, Sense: GE, B: 1 + rng.Float64()},
+			Constraint{A: []float64{1, 0, 1}, Sense: LE, B: 10},
+			Constraint{A: []float64{1, -1, 0}, Sense: EQ, B: 0.5},
+		)
+		s, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != Optimal {
+			t.Fatalf("status %v", s.Status)
+		}
+		if err := p.CheckPrimalFeasible(s.X, 1e-7); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckDualFeasible(s.Dual, 1e-7); err != nil {
+			t.Fatal(err)
+		}
+		if dv := p.DualValue(s.Dual); !almostEq(dv, s.Value, 1e-6) {
+			t.Fatalf("primal %v dual %v", s.Value, dv)
+		}
+	}
+}
+
+// ---------- facility LP ----------
+
+func facInstance(seed int64, nf, nc int) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6))
+}
+
+func TestFacilityLPBasic(t *testing.T) {
+	in := facInstance(3, 4, 8)
+	ff, err := SolveFacility(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ff.CheckFrac(in, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if ff.Value <= 0 {
+		t.Fatalf("LP value %v", ff.Value)
+	}
+}
+
+func TestFacilityLPLowerBoundsIntegral(t *testing.T) {
+	// The LP value must lower-bound the cost of every integral solution.
+	in := facInstance(4, 5, 10)
+	ff, err := SolveFacility(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enumerate all non-empty open sets (2^5 - 1 = 31).
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<in.NF; mask++ {
+		var open []int
+		for i := 0; i < in.NF; i++ {
+			if mask&(1<<i) != 0 {
+				open = append(open, i)
+			}
+		}
+		sol := core.EvalOpen(nil, in, open)
+		best = math.Min(best, sol.Cost())
+	}
+	if ff.Value > best+1e-6 {
+		t.Fatalf("LP %v exceeds integral OPT %v", ff.Value, best)
+	}
+	// And the gap should be sane (metric UFL integrality gap < 2).
+	if best > 2*ff.Value+1e-6 {
+		t.Fatalf("gap too large: OPT=%v LP=%v", best, ff.Value)
+	}
+}
+
+func TestFacilityLPSingleFacility(t *testing.T) {
+	// One facility: LP must open it fully; value = f + Σd.
+	in := facInstance(5, 1, 6)
+	ff, err := SolveFacility(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := in.FacCost[0]
+	for j := 0; j < in.NC; j++ {
+		want += in.Dist(0, j)
+	}
+	if !almostEq(ff.Value, want, 1e-6) {
+		t.Fatalf("value %v want %v", ff.Value, want)
+	}
+	if !almostEq(ff.Y[0], 1, 1e-6) {
+		t.Fatalf("y=%v", ff.Y)
+	}
+}
+
+func TestFacilityLPZeroCostFacilities(t *testing.T) {
+	// Free facilities: LP value is just the nearest-facility connection sum.
+	in := facInstance(6, 3, 7)
+	for i := range in.FacCost {
+		in.FacCost[i] = 0
+	}
+	ff, err := SolveFacility(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for j := 0; j < in.NC; j++ {
+		b := math.Inf(1)
+		for i := 0; i < in.NF; i++ {
+			b = math.Min(b, in.Dist(i, j))
+		}
+		want += b
+	}
+	if !almostEq(ff.Value, want, 1e-6) {
+		t.Fatalf("value %v want %v", ff.Value, want)
+	}
+}
+
+func TestFacilityDualAlphaWeakDuality(t *testing.T) {
+	// Σα_j = LP value at optimality (all client rows have B=1, other rows
+	// B=0, so DualValue = Σα).
+	in := facInstance(7, 4, 9)
+	ff, err := SolveFacility(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, a := range ff.Alpha {
+		sum += a
+	}
+	if !almostEq(sum, ff.Value, 1e-6) {
+		t.Fatalf("Σα=%v LP=%v", sum, ff.Value)
+	}
+	// α is a feasible Figure-1 dual: per-facility constraint with implied β.
+	d := &core.DualSolution{Alpha: ff.Alpha}
+	if v := d.MaxViolation(nil, in, 1); v > 1e-6 {
+		t.Fatalf("LP dual infeasible for Figure-1 dual: violation %v", v)
+	}
+}
+
+func TestXYIndexLayout(t *testing.T) {
+	in := facInstance(8, 3, 5)
+	seen := map[int]bool{}
+	for i := 0; i < in.NF; i++ {
+		for j := 0; j < in.NC; j++ {
+			k := XIndex(in, i, j)
+			if seen[k] {
+				t.Fatalf("index collision at x(%d,%d)", i, j)
+			}
+			seen[k] = true
+		}
+	}
+	for i := 0; i < in.NF; i++ {
+		k := YIndex(in, i)
+		if seen[k] {
+			t.Fatalf("index collision at y(%d)", i)
+		}
+		seen[k] = true
+	}
+	if len(seen) != in.M()+in.NF {
+		t.Fatalf("%d indices for %d vars", len(seen), in.M()+in.NF)
+	}
+}

@@ -1,0 +1,240 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEuclideanDist(t *testing.T) {
+	e := &Euclidean{Dim: 2, Coords: []float64{0, 0, 3, 4}}
+	if e.N() != 2 {
+		t.Fatalf("N=%d", e.N())
+	}
+	if d := e.Dist(0, 1); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("d=%v want 5", d)
+	}
+	if d := e.Dist(0, 0); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+}
+
+func TestEuclideanIsMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := UniformBox(rng, 20, 3, 10)
+	if err := Validate(e, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussianClustersShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := GaussianClusters(rng, 30, 3, 2, 100, 1)
+	if e.N() != 30 {
+		t.Fatalf("N=%d", e.N())
+	}
+	if err := Validate(e, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	g1 := Grid(10)
+	g2 := Grid(10)
+	for i := range g1.Coords {
+		if g1.Coords[i] != g2.Coords[i] {
+			t.Fatal("Grid not deterministic")
+		}
+	}
+	if g1.N() != 10 {
+		t.Fatalf("N=%d", g1.N())
+	}
+	// First two grid points are distance 1 apart.
+	if d := g1.Dist(0, 1); d != 1 {
+		t.Fatalf("d(0,1)=%v", d)
+	}
+}
+
+func TestLineExponentialGaps(t *testing.T) {
+	l := Line(5, 2)
+	if l.N() != 5 {
+		t.Fatalf("N=%d", l.N())
+	}
+	// x = 1,2,4,8,16: gap doubling
+	if d := l.Dist(0, 1); d != 1 {
+		t.Fatalf("d=%v", d)
+	}
+	if d := l.Dist(3, 4); d != 8 {
+		t.Fatalf("d=%v", d)
+	}
+}
+
+func TestTwoScaleSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := TwoScale(rng, 40, 4, 1, 1000)
+	// Same-cluster points are close; cross-cluster far.
+	if d := e.Dist(0, 4); d > 3 { // both cluster 0
+		t.Fatalf("intra-cluster distance %v", d)
+	}
+	if d := e.Dist(0, 1); d < 900 { // clusters 0 and 1
+		t.Fatalf("inter-cluster distance %v", d)
+	}
+}
+
+func TestStarMetric(t *testing.T) {
+	s := Star(6, 3)
+	if err := Validate(s, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Dist(0, 3); d != 3 {
+		t.Fatalf("hub-leaf %v", d)
+	}
+	if d := s.Dist(2, 4); d != 6 {
+		t.Fatalf("leaf-leaf %v", d)
+	}
+}
+
+func TestRandomGraphMetricIsMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := RandomGraphMetric(rng, 25, 0.2, 10)
+	if err := Validate(m, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricClosureFixesViolations(t *testing.T) {
+	// A triangle with one inflated edge: closure must shrink it.
+	d := [][]float64{
+		{0, 1, 10},
+		{1, 0, 1},
+		{10, 1, 0},
+	}
+	MetricClosure(d)
+	if d[0][2] != 2 {
+		t.Fatalf("closure d(0,2)=%v want 2", d[0][2])
+	}
+	if err := Validate(&Explicit{D: d}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	bad := &Explicit{D: [][]float64{{0, 1}, {2, 0}}}
+	if err := Validate(bad, 1e-9); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}
+
+func TestValidateCatchesTriangleViolation(t *testing.T) {
+	bad := &Explicit{D: [][]float64{
+		{0, 1, 5},
+		{1, 0, 1},
+		{5, 1, 0},
+	}}
+	if err := Validate(bad, 1e-9); err == nil {
+		t.Fatal("triangle violation accepted")
+	}
+}
+
+func TestValidateCatchesNonzeroDiagonal(t *testing.T) {
+	bad := &Explicit{D: [][]float64{{1}}}
+	if err := Validate(bad, 1e-9); err == nil {
+		t.Fatal("nonzero diagonal accepted")
+	}
+}
+
+func TestSubmatrixRows(t *testing.T) {
+	e := &Euclidean{Dim: 1, Coords: []float64{0, 1, 3, 6}}
+	sub := SubmatrixRows(e, []int{0, 2}, []int{1, 3})
+	if sub[0][0] != 1 || sub[0][1] != 6 || sub[1][0] != 2 || sub[1][1] != 3 {
+		t.Fatalf("sub=%v", sub)
+	}
+}
+
+func TestFullMatrixMatchesDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := UniformBox(rng, 8, 2, 1)
+	m := FullMatrix(e)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if m[i][j] != e.Dist(i, j) {
+				t.Fatalf("mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestEuclideanTriangleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := UniformBox(rng, 10, 2, 100)
+		i, j, k := rng.Intn(10), rng.Intn(10), rng.Intn(10)
+		return e.Dist(i, k) <= e.Dist(i, j)+e.Dist(j, k)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformCosts(t *testing.T) {
+	cs := UniformCosts(5, 3.5)
+	if len(cs) != 5 {
+		t.Fatalf("len=%d", len(cs))
+	}
+	for _, c := range cs {
+		if c != 3.5 {
+			t.Fatalf("costs=%v", cs)
+		}
+	}
+}
+
+func TestRandomCostsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cs := RandomCosts(rng, 100, 2, 7)
+	for _, c := range cs {
+		if c < 2 || c > 7 {
+			t.Fatalf("cost %v out of [2,7]", c)
+		}
+	}
+}
+
+func TestZipfCostsHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cs := ZipfCosts(rng, 50, 100, 1.2)
+	mx, mn := 0.0, math.Inf(1)
+	for _, c := range cs {
+		if c <= 0 {
+			t.Fatalf("nonpositive cost %v", c)
+		}
+		mx = math.Max(mx, c)
+		mn = math.Min(mn, c)
+	}
+	if mx/mn < 10 {
+		t.Fatalf("tail too flat: max/min=%v", mx/mn)
+	}
+}
+
+func TestCentralityCostsPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := UniformBox(rng, 20, 2, 10)
+	cs := CentralityCosts(e, []int{0, 5, 19}, 2)
+	if len(cs) != 3 {
+		t.Fatalf("len=%d", len(cs))
+	}
+	for _, c := range cs {
+		if c <= 0 {
+			t.Fatalf("cost %v", c)
+		}
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	a := UniformBox(rand.New(rand.NewSource(42)), 10, 2, 1)
+	b := UniformBox(rand.New(rand.NewSource(42)), 10, 2, 1)
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatal("UniformBox not deterministic per seed")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package par
+
+// Dense is a row-major dense matrix of R rows and C columns, the
+// representation the paper assumes for the distance matrix and per-node
+// vectors (§2): "the distances d(·,·) can be represented as a dense n×n
+// matrix ... The only operations we need are parallel loops over the elements
+// of the vector or matrix, transposing the matrix, sorting the rows of a
+// matrix, and summation, prefix sums and distribution across the rows or
+// columns of a matrix or vector."
+type Dense[T any] struct {
+	R, C int
+	A    []T // len R*C, row-major
+}
+
+// NewDense allocates an R×C matrix of zero values.
+func NewDense[T any](r, c int) *Dense[T] {
+	return &Dense[T]{R: r, C: c, A: make([]T, r*c)}
+}
+
+// At returns the element at row i, column j.
+func (m *Dense[T]) At(i, j int) T { return m.A[i*m.C+j] }
+
+// Set stores v at row i, column j.
+func (m *Dense[T]) Set(i, j int, v T) { m.A[i*m.C+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense[T]) Row(i int) []T { return m.A[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy.
+func (m *Dense[T]) Clone() *Dense[T] {
+	out := NewDense[T](m.R, m.C)
+	copy(out.A, m.A)
+	return out
+}
+
+// Transpose returns a new C×R matrix with A[j][i] = m[i][j]. Work Θ(RC).
+func Transpose[T any](c *Ctx, m *Dense[T]) *Dense[T] {
+	out := NewDense[T](m.C, m.R)
+	c.For(m.R*m.C, func(k int) {
+		i, j := k/m.C, k%m.C
+		out.A[j*m.R+i] = m.A[k]
+	})
+	return out
+}
+
+// RowReduce reduces each row of m under op with identity id, returning a
+// vector of length R. Work Θ(RC), span Θ(log C) — one basic matrix operation.
+func RowReduce[T any](c *Ctx, m *Dense[T], id T, op func(a, b T) T) []T {
+	out := make([]T, m.R)
+	c.charge(int64(m.R*m.C), logSpan(m.C))
+	inner := &Ctx{Workers: c.workers(), Grain: c.grain()}
+	inner.ForBlock(m.R, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := id
+			row := m.Row(i)
+			for _, x := range row {
+				acc = op(acc, x)
+			}
+			out[i] = acc
+		}
+	})
+	return out
+}
+
+// ColReduce reduces each column of m under op with identity id, returning a
+// vector of length C. Work Θ(RC), span Θ(log R).
+func ColReduce[T any](c *Ctx, m *Dense[T], id T, op func(a, b T) T) []T {
+	out := make([]T, m.C)
+	c.charge(int64(m.R*m.C), logSpan(m.R))
+	inner := &Ctx{Workers: c.workers(), Grain: c.grain()}
+	inner.ForBlock(m.C, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			acc := id
+			for i := 0; i < m.R; i++ {
+				acc = op(acc, m.A[i*m.C+j])
+			}
+			out[j] = acc
+		}
+	})
+	return out
+}
+
+// RowDistribute overwrites each element m[i][j] with f(v[i], m[i][j]):
+// distributing a per-row value across the row. Work Θ(RC), span Θ(1) depth
+// per element (charged as one basic matrix operation).
+func RowDistribute[T, V any](c *Ctx, m *Dense[T], v []V, f func(V, T) T) {
+	c.charge(int64(m.R*m.C), 1)
+	inner := &Ctx{Workers: c.workers(), Grain: c.grain()}
+	inner.ForBlock(m.R, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] = f(v[i], row[j])
+			}
+		}
+	})
+}
+
+// ColDistribute overwrites each element m[i][j] with f(v[j], m[i][j]).
+func ColDistribute[T, V any](c *Ctx, m *Dense[T], v []V, f func(V, T) T) {
+	c.charge(int64(m.R*m.C), 1)
+	inner := &Ctx{Workers: c.workers(), Grain: c.grain()}
+	inner.ForBlock(m.R, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] = f(v[j], row[j])
+			}
+		}
+	})
+}
+
+// SortRows sorts each row of m independently under less — the per-row presort
+// the greedy algorithm uses (§4). Work Θ(RC log C), span Θ(log² C).
+func SortRows[T any](c *Ctx, m *Dense[T], less func(a, b T) bool) {
+	c.charge(int64(m.R)*sortWork(m.C), logSpan(m.C)*logSpan(m.C))
+	inner := &Ctx{Workers: c.workers(), Grain: c.grain()}
+	inner.ForBlock(m.R, func(lo, hi int) {
+		seq := &Ctx{Workers: 1}
+		for i := lo; i < hi; i++ {
+			Sort(seq, m.Row(i), less)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randDense(r, c int, seed int64) *Dense[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewDense[float64](r, c)
+	for i := range m.A {
+		m.A[i] = rng.Float64() * 100
+	}
+	return m
+}
+
+func TestDenseAtSetRow(t *testing.T) {
+	m := NewDense[int](3, 4)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatal("At/Set roundtrip failed")
+	}
+	row := m.Row(1)
+	if len(row) != 4 || row[2] != 42 {
+		t.Fatalf("row=%v", row)
+	}
+	row[0] = 7 // aliasing: writes through to the matrix
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	c := &Ctx{Workers: 4, Grain: 8}
+	m := randDense(13, 7, 1)
+	tr := Transpose(c, m)
+	if tr.R != 7 || tr.C != 13 {
+		t.Fatalf("shape %dx%d", tr.R, tr.C)
+	}
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	c := &Ctx{Workers: 2, Grain: 4}
+	f := func(seed int64) bool {
+		r := int(uint64(seed)%5) + 1
+		cc := int(uint64(seed)%7) + 1
+		m := randDense(r, cc, seed)
+		back := Transpose(c, Transpose(c, m))
+		for k := range m.A {
+			if m.A[k] != back.A[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowColReduce(t *testing.T) {
+	c := &Ctx{Workers: 3, Grain: 2}
+	m := NewDense[float64](2, 3)
+	copy(m.A, []float64{1, 2, 3, 4, 5, 6})
+	rows := RowReduce(c, m, 0, func(a, b float64) float64 { return a + b })
+	if rows[0] != 6 || rows[1] != 15 {
+		t.Fatalf("row sums=%v", rows)
+	}
+	cols := ColReduce(c, m, 0, func(a, b float64) float64 { return a + b })
+	if cols[0] != 5 || cols[1] != 7 || cols[2] != 9 {
+		t.Fatalf("col sums=%v", cols)
+	}
+	rowMin := RowReduce(c, m, inf, fmin)
+	if rowMin[0] != 1 || rowMin[1] != 4 {
+		t.Fatalf("row mins=%v", rowMin)
+	}
+}
+
+func TestRowColReduceConsistentWithTranspose(t *testing.T) {
+	c := &Ctx{Workers: 4, Grain: 4}
+	m := randDense(9, 17, 3)
+	colViaTr := RowReduce(c, Transpose(c, m), inf, fmin)
+	col := ColReduce(c, m, inf, fmin)
+	for j := range col {
+		if col[j] != colViaTr[j] {
+			t.Fatalf("col %d: %v vs %v", j, col[j], colViaTr[j])
+		}
+	}
+}
+
+func TestRowColDistribute(t *testing.T) {
+	c := &Ctx{Workers: 2, Grain: 2}
+	m := NewDense[float64](2, 3)
+	copy(m.A, []float64{1, 2, 3, 4, 5, 6})
+	RowDistribute(c, m, []float64{10, 100}, func(v, x float64) float64 { return v + x })
+	want := []float64{11, 12, 13, 104, 105, 106}
+	for k := range want {
+		if m.A[k] != want[k] {
+			t.Fatalf("after RowDistribute: %v", m.A)
+		}
+	}
+	ColDistribute(c, m, []float64{1, 2, 3}, func(v, x float64) float64 { return x - v })
+	want = []float64{10, 10, 10, 103, 103, 103}
+	for k := range want {
+		if m.A[k] != want[k] {
+			t.Fatalf("after ColDistribute: %v", m.A)
+		}
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	c := &Ctx{Workers: 4, Grain: 8}
+	m := randDense(20, 50, 9)
+	SortRows(c, m, func(a, b float64) bool { return a < b })
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j := 1; j < len(row); j++ {
+			if row[j-1] > row[j] {
+				t.Fatalf("row %d unsorted at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := randDense(3, 3, 11)
+	cl := m.Clone()
+	cl.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestMatrixOpsChargeWork(t *testing.T) {
+	tally := &Tally{}
+	c := &Ctx{Workers: 2, Tally: tally, Grain: 4}
+	m := randDense(8, 16, 2)
+	RowReduce(c, m, 0.0, func(a, b float64) float64 { return a + b })
+	if w := tally.Snapshot().Work; w != 128 {
+		t.Fatalf("RowReduce charged %d, want 128", w)
+	}
+	tally.Reset()
+	ColReduce(c, m, 0.0, func(a, b float64) float64 { return a + b })
+	if w := tally.Snapshot().Work; w != 128 {
+		t.Fatalf("ColReduce charged %d, want 128", w)
+	}
+}

@@ -1,0 +1,298 @@
+package par
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Ctx carries the execution configuration for the primitives: the number of
+// workers to fan out across and the Tally charged by each primitive. The
+// zero value and nil are both usable: they select GOMAXPROCS workers and no
+// accounting.
+type Ctx struct {
+	// Workers is the maximum goroutine fan-out. Zero means GOMAXPROCS.
+	Workers int
+	// Tally, if non-nil, accumulates analytic work/span for every primitive.
+	Tally *Tally
+	// Grain is the smallest index range worth forking for. Zero means a
+	// default tuned for loop bodies of a few nanoseconds.
+	Grain int
+}
+
+// DefaultGrain is the sequential cutoff used when Ctx.Grain is zero.
+const DefaultGrain = 2048
+
+func (c *Ctx) workers() int {
+	if c == nil || c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c *Ctx) grain() int {
+	if c == nil || c.Grain <= 0 {
+		return DefaultGrain
+	}
+	return c.Grain
+}
+
+func (c *Ctx) tally() *Tally {
+	if c == nil {
+		return nil
+	}
+	return c.Tally
+}
+
+// charge records a primitive of the given work and span on the context tally.
+func (c *Ctx) charge(work, span int64) {
+	c.tally().Add(work, span)
+}
+
+// Charge lets algorithm code add model cost not captured by a primitive
+// (for example the inner loop of a fused kernel). Nil-safe.
+func (c *Ctx) Charge(work, span int64) {
+	c.tally().Add(work, span)
+}
+
+// Do runs the given closures concurrently and waits for all of them — the
+// fork-join "parallel composition" primitive. Do itself charges nothing:
+// costs belong to the primitives invoked inside the branches.
+func (c *Ctx) Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// For executes body(i) for every i in [0, n) in parallel. It charges n work
+// and logarithmic span (the fork tree), matching an EREW PRAM parallel loop
+// with constant-time bodies; bodies that are themselves super-constant should
+// charge their own cost via the Tally.
+func (c *Ctx) For(n int, body func(i int)) {
+	c.ForBlock(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForBlock partitions [0, n) into contiguous blocks, one per worker (subject
+// to the grain), and executes body(lo, hi) on each block in parallel. This is
+// the workhorse the other primitives are built on.
+func (c *Ctx) ForBlock(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	c.charge(int64(n), logSpan(n))
+	p := c.workers()
+	g := c.grain()
+	if p == 1 || n <= g {
+		body(0, n)
+		return
+	}
+	blocks := (n + g - 1) / g
+	if blocks > p {
+		blocks = p
+	}
+	var wg sync.WaitGroup
+	wg.Add(blocks - 1)
+	for b := 1; b < blocks; b++ {
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		go func() {
+			defer wg.Done()
+			body(lo, hi)
+		}()
+	}
+	body(0, n/blocks)
+	wg.Wait()
+}
+
+// Reduce combines xs under an associative operator with identity id, in
+// parallel. Work Θ(n), span Θ(log n).
+func Reduce[T any](c *Ctx, xs []T, id T, op func(a, b T) T) T {
+	n := len(xs)
+	if n == 0 {
+		return id
+	}
+	p := c.workers()
+	g := c.grain()
+	c.charge(int64(n), logSpan(n))
+	if p == 1 || n <= g {
+		acc := id
+		for _, x := range xs {
+			acc = op(acc, x)
+		}
+		return acc
+	}
+	blocks := (n + g - 1) / g
+	if blocks > p {
+		blocks = p
+	}
+	partial := make([]T, blocks)
+	var wg sync.WaitGroup
+	wg.Add(blocks)
+	for b := 0; b < blocks; b++ {
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = op(acc, xs[i])
+			}
+			partial[b] = acc
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	acc := id
+	for _, x := range partial {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+// ReduceIndex reduces over indices [0, n) with at: a keyless variant that
+// avoids materializing a slice. Work Θ(n), span Θ(log n).
+func ReduceIndex[T any](c *Ctx, n int, id T, at func(i int) T, op func(a, b T) T) T {
+	if n == 0 {
+		return id
+	}
+	p := c.workers()
+	g := c.grain()
+	c.charge(int64(n), logSpan(n))
+	if p == 1 || n <= g {
+		acc := id
+		for i := 0; i < n; i++ {
+			acc = op(acc, at(i))
+		}
+		return acc
+	}
+	blocks := (n + g - 1) / g
+	if blocks > p {
+		blocks = p
+	}
+	partial := make([]T, blocks)
+	var wg sync.WaitGroup
+	wg.Add(blocks)
+	for b := 0; b < blocks; b++ {
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = op(acc, at(i))
+			}
+			partial[b] = acc
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	acc := id
+	for _, x := range partial {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+// SumFloat returns the sum of xs. Associativity of float addition is assumed
+// within test tolerances, as is standard for parallel numeric kernels.
+func SumFloat(c *Ctx, xs []float64) float64 {
+	return Reduce(c, xs, 0, func(a, b float64) float64 { return a + b })
+}
+
+// MinFloat returns the minimum of xs, or +Inf-like identity if empty.
+func MinFloat(c *Ctx, xs []float64) float64 {
+	return Reduce(c, xs, inf, fmin)
+}
+
+// MaxFloat returns the maximum of xs, or -Inf-like identity if empty.
+func MaxFloat(c *Ctx, xs []float64) float64 {
+	return Reduce(c, xs, -inf, fmax)
+}
+
+var inf = math.Inf(1)
+
+func fmin(a, b float64) float64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func fmax(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// IndexedMin is a value-index pair for arg-min reductions.
+type IndexedMin struct {
+	Value float64
+	Index int
+}
+
+// ArgMin returns the index of the minimum value of at(i) over [0, n), with
+// ties broken toward the smaller index (so the reduction is associative and
+// deterministic). Returns index -1 when n == 0.
+func ArgMin(c *Ctx, n int, at func(i int) float64) IndexedMin {
+	id := IndexedMin{Value: inf, Index: -1}
+	return ReduceIndex(c, n, id,
+		func(i int) IndexedMin { return IndexedMin{Value: at(i), Index: i} },
+		func(a, b IndexedMin) IndexedMin {
+			if b.Value < a.Value || (b.Value == a.Value && b.Index >= 0 && (a.Index < 0 || b.Index < a.Index)) {
+				return b
+			}
+			return a
+		})
+}
+
+// Count returns the number of indices in [0, n) satisfying pred.
+func Count(c *Ctx, n int, pred func(i int) bool) int {
+	return ReduceIndex(c, n, 0,
+		func(i int) int {
+			if pred(i) {
+				return 1
+			}
+			return 0
+		},
+		func(a, b int) int { return a + b })
+}
+
+// Any reports whether pred holds for any index in [0, n).
+func Any(c *Ctx, n int, pred func(i int) bool) bool {
+	return Count(c, n, pred) > 0
+}
+
+// All reports whether pred holds for every index in [0, n).
+func All(c *Ctx, n int, pred func(i int) bool) bool {
+	return Count(c, n, pred) == n
+}
+
+// Map applies f to every element of xs into a new slice. Work Θ(n).
+func Map[T, U any](c *Ctx, xs []T, f func(T) U) []U {
+	out := make([]U, len(xs))
+	c.For(len(xs), func(i int) { out[i] = f(xs[i]) })
+	return out
+}
+
+// Fill sets every element of xs to v in parallel.
+func Fill[T any](c *Ctx, xs []T, v T) {
+	c.For(len(xs), func(i int) { xs[i] = v })
+}
+
+// Iota returns [0, 1, ..., n-1].
+func Iota(c *Ctx, n int) []int {
+	out := make([]int, n)
+	c.For(n, func(i int) { out[i] = i })
+	return out
+}

@@ -1,0 +1,440 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func ctxWith(workers int) (*Ctx, *Tally) {
+	t := &Tally{}
+	return &Ctx{Workers: workers, Tally: t, Grain: 8}, t
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		c, _ := ctxWith(workers)
+		n := 1000
+		seen := make([]int32, n)
+		c.For(n, func(i int) { seen[i]++ })
+		for i, s := range seen {
+			if s != 1 {
+				t.Fatalf("workers=%d index %d visited %d times", workers, i, s)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSingleton(t *testing.T) {
+	c, _ := ctxWith(4)
+	calls := 0
+	c.For(0, func(i int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("For(0) made %d calls", calls)
+	}
+	c.For(1, func(i int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("For(1) made %d calls", calls)
+	}
+}
+
+func TestForBlockPartitions(t *testing.T) {
+	c, _ := ctxWith(3)
+	n := 100
+	covered := make([]bool, n)
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	c.ForBlock(n, func(lo, hi int) {
+		<-mu
+		for i := lo; i < hi; i++ {
+			if covered[i] {
+				t.Errorf("index %d covered twice", i)
+			}
+			covered[i] = true
+		}
+		mu <- struct{}{}
+	})
+	for i, b := range covered {
+		if !b {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		c, _ := ctxWith(workers)
+		xs := make([]int, 10001)
+		want := 0
+		for i := range xs {
+			xs[i] = i
+			want += i
+		}
+		got := Reduce(c, xs, 0, func(a, b int) int { return a + b })
+		if got != want {
+			t.Fatalf("workers=%d sum=%d want %d", workers, got, want)
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	c, _ := ctxWith(4)
+	if got := Reduce(c, nil, 42, func(a, b int) int { return a + b }); got != 42 {
+		t.Fatalf("empty reduce = %d, want identity 42", got)
+	}
+}
+
+func TestReduceIndexMatchesReduce(t *testing.T) {
+	c, _ := ctxWith(4)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	a := Reduce(c, xs, 0.0, func(x, y float64) float64 { return fmax(x, y) })
+	b := ReduceIndex(c, len(xs), 0.0, func(i int) float64 { return xs[i] }, fmax)
+	if a != b {
+		t.Fatalf("Reduce=%v ReduceIndex=%v", a, b)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	c, _ := ctxWith(4)
+	xs := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	if got := MinFloat(c, xs); got != -9 {
+		t.Fatalf("min=%v", got)
+	}
+	if got := MaxFloat(c, xs); got != 6 {
+		t.Fatalf("max=%v", got)
+	}
+	if got := SumFloat(c, xs); got != 11 {
+		t.Fatalf("sum=%v", got)
+	}
+}
+
+func TestArgMinDeterministicTies(t *testing.T) {
+	c, _ := ctxWith(8)
+	xs := []float64{5, 2, 7, 2, 9, 2}
+	for trial := 0; trial < 50; trial++ {
+		got := ArgMin(c, len(xs), func(i int) float64 { return xs[i] })
+		if got.Index != 1 || got.Value != 2 {
+			t.Fatalf("trial %d: ArgMin=%+v want index 1 value 2", trial, got)
+		}
+	}
+}
+
+func TestArgMinEmpty(t *testing.T) {
+	c, _ := ctxWith(4)
+	if got := ArgMin(c, 0, func(i int) float64 { return 0 }); got.Index != -1 {
+		t.Fatalf("ArgMin on empty = %+v", got)
+	}
+}
+
+func TestCountAnyAll(t *testing.T) {
+	c, _ := ctxWith(4)
+	n := 1000
+	even := func(i int) bool { return i%2 == 0 }
+	if got := Count(c, n, even); got != 500 {
+		t.Fatalf("count=%d", got)
+	}
+	if !Any(c, n, func(i int) bool { return i == 999 }) {
+		t.Fatal("Any missed index 999")
+	}
+	if Any(c, n, func(i int) bool { return i > 1000 }) {
+		t.Fatal("Any found nonexistent index")
+	}
+	if !All(c, n, func(i int) bool { return i < n }) {
+		t.Fatal("All failed on universal predicate")
+	}
+	if All(c, n, even) {
+		t.Fatal("All passed on non-universal predicate")
+	}
+}
+
+func TestScanExclusive(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		for _, n := range []int{0, 1, 7, 100, 4097} {
+			c, _ := ctxWith(workers)
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = i + 1
+			}
+			out, total := Scan(c, xs, 0, func(a, b int) int { return a + b })
+			acc := 0
+			for i := range xs {
+				if out[i] != acc {
+					t.Fatalf("workers=%d n=%d out[%d]=%d want %d", workers, n, i, out[i], acc)
+				}
+				acc += xs[i]
+			}
+			if total != acc {
+				t.Fatalf("workers=%d n=%d total=%d want %d", workers, n, total, acc)
+			}
+		}
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	c, _ := ctxWith(4)
+	xs := []int{1, 2, 3, 4}
+	out := ScanInclusive(c, xs, 0, func(a, b int) int { return a + b })
+	want := []int{1, 3, 6, 10}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out=%v want %v", out, want)
+		}
+	}
+}
+
+func TestScanMinOperator(t *testing.T) {
+	// Scan must work for any associative operator, not just +.
+	c, _ := ctxWith(3)
+	xs := []float64{5, 3, 8, 1, 9, 2}
+	out, total := Scan(c, xs, inf, fmin)
+	want := []float64{inf, 5, 3, 3, 1, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out=%v want %v", out, want)
+		}
+	}
+	if total != 1 {
+		t.Fatalf("total=%v", total)
+	}
+}
+
+func TestPrefixSumsProperty(t *testing.T) {
+	c := &Ctx{Workers: 4, Grain: 16}
+	f := func(raw []uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		out, total := PrefixSums(c, xs)
+		acc := 0.0
+		for i := range xs {
+			if out[i] != acc {
+				return false
+			}
+			acc += xs[i]
+		}
+		return total == acc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackAndFilter(t *testing.T) {
+	c, _ := ctxWith(4)
+	xs := Iota(c, 100)
+	keep := make([]bool, 100)
+	for i := range keep {
+		keep[i] = i%3 == 0
+	}
+	packed := Pack(c, xs, keep)
+	if len(packed) != 34 {
+		t.Fatalf("len(packed)=%d", len(packed))
+	}
+	for k, v := range packed {
+		if v != k*3 {
+			t.Fatalf("packed[%d]=%d", k, v)
+		}
+	}
+	filtered := Filter(c, xs, func(v int) bool { return v >= 90 })
+	if len(filtered) != 10 || filtered[0] != 90 {
+		t.Fatalf("filtered=%v", filtered)
+	}
+}
+
+func TestPackIndexOrderPreserving(t *testing.T) {
+	c, _ := ctxWith(7)
+	idx := PackIndex(c, 1000, func(i int) bool { return i%7 == 0 })
+	for k := 1; k < len(idx); k++ {
+		if idx[k] <= idx[k-1] {
+			t.Fatalf("indices out of order at %d: %v %v", k, idx[k-1], idx[k])
+		}
+	}
+	if len(idx) != 143 {
+		t.Fatalf("len=%d", len(idx))
+	}
+}
+
+func TestSortRandom(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, n := range []int{0, 1, 2, 100, 5000} {
+			c := &Ctx{Workers: workers, Grain: 64}
+			rng := rand.New(rand.NewSource(int64(n)))
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64()
+			}
+			want := append([]float64(nil), xs...)
+			sort.Float64s(want)
+			SortFloats(c, xs)
+			for i := range xs {
+				if xs[i] != want[i] {
+					t.Fatalf("workers=%d n=%d mismatch at %d", workers, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	type kv struct{ k, seq int }
+	c := &Ctx{Workers: 4, Grain: 8}
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]kv, 2000)
+	for i := range xs {
+		xs[i] = kv{k: rng.Intn(10), seq: i}
+	}
+	Sort(c, xs, func(a, b kv) bool { return a.k < b.k })
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1].k > xs[i].k {
+			t.Fatalf("not sorted at %d", i)
+		}
+		if xs[i-1].k == xs[i].k && xs[i-1].seq > xs[i].seq {
+			t.Fatalf("stability violated at %d: %v %v", i, xs[i-1], xs[i])
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	c := &Ctx{Workers: 3, Grain: 4}
+	f := func(xs []int16) bool {
+		vals := make([]int, len(xs))
+		for i, v := range xs {
+			vals[i] = int(v)
+		}
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		SortInts(c, vals)
+		for i := range vals {
+			if vals[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoRunsAllBranches(t *testing.T) {
+	c, _ := ctxWith(4)
+	results := make([]int32, 3)
+	c.Do(
+		func() { results[0] = 1 },
+		func() { results[1] = 2 },
+		func() { results[2] = 3 },
+	)
+	if results[0] != 1 || results[1] != 2 || results[2] != 3 {
+		t.Fatalf("results=%v", results)
+	}
+}
+
+func TestMapFillIota(t *testing.T) {
+	c, _ := ctxWith(4)
+	xs := Iota(c, 5)
+	doubled := Map(c, xs, func(v int) int { return 2 * v })
+	for i, v := range doubled {
+		if v != 2*i {
+			t.Fatalf("doubled=%v", doubled)
+		}
+	}
+	Fill(c, xs, 9)
+	for _, v := range xs {
+		if v != 9 {
+			t.Fatalf("fill failed: %v", xs)
+		}
+	}
+}
+
+func TestNilCtxIsUsable(t *testing.T) {
+	var c *Ctx
+	sum := Reduce(c, []int{1, 2, 3}, 0, func(a, b int) int { return a + b })
+	if sum != 6 {
+		t.Fatalf("sum=%d", sum)
+	}
+	c.For(10, func(i int) {})
+	if w := c.workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers=%d", w)
+	}
+}
+
+func TestTallyWorkLinearInN(t *testing.T) {
+	// The counted work of a parallel For must be exactly n (the model charge),
+	// regardless of worker count.
+	for _, workers := range []int{1, 3, 8} {
+		c, tally := ctxWith(workers)
+		c.For(1000, func(i int) {})
+		if got := tally.Snapshot().Work; got != 1000 {
+			t.Fatalf("workers=%d work=%d want 1000", workers, got)
+		}
+	}
+}
+
+func TestTallySpanLogarithmic(t *testing.T) {
+	c, tally := ctxWith(4)
+	c.For(1<<20, func(i int) {})
+	span := tally.Snapshot().Span
+	if span < 20 || span > 22 {
+		t.Fatalf("span=%d want ~21 for n=2^20", span)
+	}
+}
+
+func TestTallySortWork(t *testing.T) {
+	c, tally := ctxWith(2)
+	n := 1 << 12
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(n - i)
+	}
+	SortFloats(c, xs)
+	w := tally.Snapshot().Work
+	// Model charge is n*ceil(log2 n)-ish; accept the exact formula.
+	if want := sortWork(n); w != want {
+		t.Fatalf("sort work=%d want %d", w, want)
+	}
+}
+
+func TestTallyResetAndSub(t *testing.T) {
+	c, tally := ctxWith(2)
+	c.For(100, func(i int) {})
+	before := tally.Snapshot()
+	c.For(50, func(i int) {})
+	delta := tally.Snapshot().Sub(before)
+	if delta.Work != 50 {
+		t.Fatalf("delta work=%d", delta.Work)
+	}
+	tally.Reset()
+	if s := tally.Snapshot(); s.Work != 0 || s.Span != 0 || s.Calls != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestCacheComplexityModel(t *testing.T) {
+	cost := Cost{Work: 1000}
+	if q := cost.CacheComplexity(64); q != 16 {
+		t.Fatalf("Q=%d want 16", q)
+	}
+	if q := cost.CacheComplexity(0); q != 16 {
+		t.Fatalf("default block: Q=%d want 16", q)
+	}
+	if q := cost.CacheComplexity(7); q != 143 {
+		t.Fatalf("Q=%d want 143", q)
+	}
+}
+
+func TestNilTallySafe(t *testing.T) {
+	var tl *Tally
+	tl.Add(1, 1)
+	tl.AddWork(5)
+	tl.Reset()
+	if s := tl.Snapshot(); s.Work != 0 {
+		t.Fatalf("nil tally snapshot: %+v", s)
+	}
+}

@@ -1,0 +1,115 @@
+package par
+
+// Scan computes the exclusive prefix "sums" of xs under an associative
+// operator op with identity id: out[i] = op(xs[0], ..., xs[i-1]), out[0] = id.
+// It also returns the total reduction. The implementation is the standard
+// two-pass blocked scan: Θ(n) work and Θ(log n) span, as required for the
+// paper's "basic matrix operations".
+func Scan[T any](c *Ctx, xs []T, id T, op func(a, b T) T) (out []T, total T) {
+	n := len(xs)
+	out = make([]T, n)
+	if n == 0 {
+		return out, id
+	}
+	c.charge(int64(2*n), 2*logSpan(n))
+	p := c.workers()
+	g := c.grain()
+	if p == 1 || n <= g {
+		acc := id
+		for i, x := range xs {
+			out[i] = acc
+			acc = op(acc, x)
+		}
+		return out, acc
+	}
+	blocks := (n + g - 1) / g
+	if blocks > p {
+		blocks = p
+	}
+	// Pass 1: per-block reductions.
+	sums := make([]T, blocks)
+	c0 := &Ctx{Workers: p, Grain: 1} // fan out exactly over blocks; no double-charging
+	c0.For(blocks, func(b int) {
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = op(acc, xs[i])
+		}
+		sums[b] = acc
+	})
+	// Sequential scan over the (few) block sums.
+	offsets := make([]T, blocks)
+	acc := id
+	for b := 0; b < blocks; b++ {
+		offsets[b] = acc
+		acc = op(acc, sums[b])
+	}
+	total = acc
+	// Pass 2: per-block exclusive scans seeded with the block offset.
+	c0.For(blocks, func(b int) {
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		a := offsets[b]
+		for i := lo; i < hi; i++ {
+			out[i] = a
+			a = op(a, xs[i])
+		}
+	})
+	return out, total
+}
+
+// ScanInclusive computes inclusive prefix results: out[i] = op(xs[0..i]).
+func ScanInclusive[T any](c *Ctx, xs []T, id T, op func(a, b T) T) []T {
+	out, _ := Scan(c, xs, id, op)
+	c.For(len(xs), func(i int) { out[i] = op(out[i], xs[i]) })
+	return out
+}
+
+// PrefixSums returns the exclusive prefix sums of xs and their total.
+func PrefixSums(c *Ctx, xs []float64) ([]float64, float64) {
+	return Scan(c, xs, 0, func(a, b float64) float64 { return a + b })
+}
+
+// Pack returns the elements of xs whose flag is set, preserving order.
+// Work Θ(n), span Θ(log n) — a scan over the flags followed by a scatter.
+func Pack[T any](c *Ctx, xs []T, keep []bool) []T {
+	n := len(xs)
+	flags := make([]int, n)
+	c.For(n, func(i int) {
+		if keep[i] {
+			flags[i] = 1
+		}
+	})
+	pos, total := Scan(c, flags, 0, func(a, b int) int { return a + b })
+	out := make([]T, total)
+	c.For(n, func(i int) {
+		if keep[i] {
+			out[pos[i]] = xs[i]
+		}
+	})
+	return out
+}
+
+// PackIndex returns the indices in [0, n) satisfying pred, in order.
+func PackIndex(c *Ctx, n int, pred func(i int) bool) []int {
+	flags := make([]int, n)
+	c.For(n, func(i int) {
+		if pred(i) {
+			flags[i] = 1
+		}
+	})
+	pos, total := Scan(c, flags, 0, func(a, b int) int { return a + b })
+	out := make([]int, total)
+	c.For(n, func(i int) {
+		if pred(i) {
+			out[pos[i]] = i
+		}
+	})
+	return out
+}
+
+// Filter returns the elements of xs satisfying pred, in order.
+func Filter[T any](c *Ctx, xs []T, pred func(T) bool) []T {
+	keep := make([]bool, len(xs))
+	c.For(len(xs), func(i int) { keep[i] = pred(xs[i]) })
+	return Pack(c, xs, keep)
+}

@@ -1,0 +1,125 @@
+package par
+
+import "sort"
+
+// Sort sorts xs in place under less using a parallel merge sort: Θ(n log n)
+// work and polylogarithmic span (Cole's merge sort achieves Θ(log n) on an
+// EREW PRAM; this fork-join variant has Θ(log² n) span, which is what the
+// paper's cache-oblivious model assumes for sorting). Small inputs fall back
+// to the standard library's sequential sort.
+func Sort[T any](c *Ctx, xs []T, less func(a, b T) bool) {
+	n := len(xs)
+	if n < 2 {
+		return
+	}
+	c.charge(sortWork(n), logSpan(n)*logSpan(n))
+	if c.workers() == 1 || n <= c.grain() {
+		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	buf := make([]T, n)
+	mergeSort(c, xs, buf, less, c.workers())
+}
+
+func sortWork(n int) int64 {
+	return int64(n) * logSpan(n)
+}
+
+// mergeSort sorts xs using buf as scratch, splitting across p workers.
+func mergeSort[T any](c *Ctx, xs, buf []T, less func(a, b T) bool, p int) {
+	n := len(xs)
+	if p <= 1 || n <= c.grain() {
+		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	mid := n / 2
+	c.Do(
+		func() { mergeSort(c, xs[:mid], buf[:mid], less, p/2) },
+		func() { mergeSort(c, xs[mid:], buf[mid:], less, p-p/2) },
+	)
+	parallelMerge(c, xs[:mid], xs[mid:], buf, less, p)
+	copy(xs, buf)
+}
+
+// parallelMerge merges sorted a and b into out using p-way splitting by rank.
+func parallelMerge[T any](c *Ctx, a, b, out []T, less func(x, y T) bool, p int) {
+	total := len(a) + len(b)
+	if p <= 1 || total <= c.grain() {
+		seqMerge(a, b, out, less)
+		return
+	}
+	chunks := p
+	var bounds = make([][4]int, chunks+1)
+	bounds[chunks] = [4]int{len(a), len(b), 0, 0}
+	for k := 0; k < chunks; k++ {
+		target := k * total / chunks
+		ai := splitRank(a, b, target, less)
+		bounds[k] = [4]int{ai, target - ai, 0, 0}
+	}
+	c0 := &Ctx{Workers: p, Grain: 1}
+	c0.For(chunks, func(k int) {
+		alo, blo := bounds[k][0], bounds[k][1]
+		ahi, bhi := bounds[k+1][0], bounds[k+1][1]
+		seqMerge(a[alo:ahi], b[blo:bhi], out[alo+blo:ahi+bhi], less)
+	})
+}
+
+// splitRank finds how many elements of a belong among the first `target`
+// elements of merge(a, b) — the classic merge-path co-ranking binary search.
+// Stability: elements of a win ties (a precedes b in the merge).
+func splitRank[T any](a, b []T, target int, less func(x, y T) bool) int {
+	lo, hi := 0, len(a)
+	if target < hi {
+		hi = target
+	}
+	if target-len(b) > lo {
+		lo = target - len(b)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		// The b element competing with a[mid] for the target-th output slot.
+		// Bounds: lo <= mid < hi guarantees 0 <= target-mid-1 < len(b).
+		if !less(b[target-mid-1], a[mid]) {
+			// a[mid] <= b[target-mid-1]: a[mid] is inside the first target
+			// outputs, so at least mid+1 elements come from a.
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func seqMerge[T any](a, b, out []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	for i < len(a) {
+		out[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		out[k] = b[j]
+		j++
+		k++
+	}
+}
+
+// SortFloats sorts xs ascending.
+func SortFloats(c *Ctx, xs []float64) {
+	Sort(c, xs, func(a, b float64) bool { return a < b })
+}
+
+// SortInts sorts xs ascending.
+func SortInts(c *Ctx, xs []int) {
+	Sort(c, xs, func(a, b int) bool { return a < b })
+}

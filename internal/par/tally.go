@@ -1,0 +1,112 @@
+// Package par provides PRAM-style nested data-parallel primitives — parallel
+// loops, reductions, prefix sums, packing, sorting, and dense-matrix row and
+// column operations — executed on goroutines and instrumented with the
+// work/span cost model of Blelloch & Tangwongsan (SPAA 2010), Section 2.
+//
+// Every primitive both runs in parallel over the available workers and adds
+// an analytic (work, span) charge to the Tally carried by its Ctx, so callers
+// can verify asymptotic claims (for example "O(m log m) work") independently
+// of wall-clock timing. Cache complexity follows the paper's own bound
+// Q = O(w/B), so it is derived from the work tally rather than tracked
+// separately.
+package par
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Tally accumulates the analytic cost of every primitive invoked through a
+// Ctx. Work counts total operations (EREW PRAM model); Span counts the
+// critical path, with each primitive contributing its textbook depth
+// (for example a reduction over n elements contributes ceil(log2 n)).
+// Counters are updated atomically so concurrently running primitives of a
+// nested computation can share one Tally.
+type Tally struct {
+	work int64
+	span int64
+	// calls counts primitive invocations, a sanity measure for the
+	// "polylogarithmic number of calls to basic matrix operations" claims.
+	calls int64
+}
+
+// Cost is an immutable snapshot of a Tally.
+type Cost struct {
+	Work  int64 // total operations
+	Span  int64 // critical-path length
+	Calls int64 // number of primitive invocations
+}
+
+// Add charges w units of work and s units of span.
+func (t *Tally) Add(w, s int64) {
+	if t == nil {
+		return
+	}
+	atomic.AddInt64(&t.work, w)
+	atomic.AddInt64(&t.span, s)
+	atomic.AddInt64(&t.calls, 1)
+}
+
+// AddWork charges work only (span already accounted by an enclosing primitive).
+func (t *Tally) AddWork(w int64) {
+	if t == nil {
+		return
+	}
+	atomic.AddInt64(&t.work, w)
+}
+
+// Snapshot returns the current counters.
+func (t *Tally) Snapshot() Cost {
+	if t == nil {
+		return Cost{}
+	}
+	return Cost{
+		Work:  atomic.LoadInt64(&t.work),
+		Span:  atomic.LoadInt64(&t.span),
+		Calls: atomic.LoadInt64(&t.calls),
+	}
+}
+
+// Reset zeroes the counters.
+func (t *Tally) Reset() {
+	if t == nil {
+		return
+	}
+	atomic.StoreInt64(&t.work, 0)
+	atomic.StoreInt64(&t.span, 0)
+	atomic.StoreInt64(&t.calls, 0)
+}
+
+// CacheComplexity returns the modeled cache complexity Q = ceil(work/B) for
+// block size B, per the paper's claim that all algorithms are cache efficient
+// with Q = O(w/B).
+func (c Cost) CacheComplexity(blockSize int64) int64 {
+	if blockSize <= 0 {
+		blockSize = 64
+	}
+	return (c.Work + blockSize - 1) / blockSize
+}
+
+func (c Cost) String() string {
+	return fmt.Sprintf("work=%d span=%d calls=%d", c.Work, c.Span, c.Calls)
+}
+
+// Sub returns the component-wise difference c - other, used to attribute cost
+// to a phase of a larger computation.
+func (c Cost) Sub(other Cost) Cost {
+	return Cost{
+		Work:  c.Work - other.Work,
+		Span:  c.Span - other.Span,
+		Calls: c.Calls - other.Calls,
+	}
+}
+
+// logSpan is the span contribution of a balanced combining tree over n
+// elements: ceil(log2 n) + 1, and 1 for n <= 1 (a constant-depth step).
+func logSpan(n int) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return int64(bits.Len(uint(n-1))) + 1
+}

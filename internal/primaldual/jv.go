@@ -1,0 +1,203 @@
+// Package primaldual implements §5 of the paper: the parallel primal-dual
+// facility-location algorithm (Algorithm 5.1, a (3+ε)-approximation in
+// O(m log_{1+ε} m) work) and the sequential Jain–Vazirani 3-approximation
+// it parallelizes.
+//
+// Both phases follow Figure 1's dual: client duals α_j rise, clients
+// implicitly pay β_ij = max(0, α_j − d(j,i)) toward facilities, a facility
+// is (tentatively) opened when fully paid, and a post-processing independent
+// set ensures each client pays for at most one opened facility.
+package primaldual
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Result carries a solution together with the dual and the quantities the
+// §5 analysis bounds.
+type Result struct {
+	Sol   *core.Solution
+	Alpha []float64
+	// Iterations is the number of dual-raising steps: events for the
+	// sequential algorithm, (1+ε) rounds for the parallel one.
+	Iterations int
+	// TentativelyOpen is |F_T| before the independent-set postprocessing.
+	TentativelyOpen int
+	// FreeFacilities is |F₀| opened by the γ/m² preprocessing (parallel only).
+	FreeFacilities int
+	// Directly / Indirectly / Freely count the client connection classes of
+	// the π assignment (parallel only).
+	Directly, Indirectly, Freely int
+	// Pi is the analysis assignment π (parallel only); the returned Sol uses
+	// the improved nearest-open assignment.
+	Pi []int
+	// DomRounds is the Luby round count of the MaxUDom postprocessing.
+	DomRounds int
+}
+
+const timeEps = 1e-9
+
+// SequentialJV is the Jain–Vazirani primal-dual 3-approximation [JV01]: an
+// event-driven exact simulation of uniformly raising duals, followed by a
+// maximal independent set on the facility conflict graph in order of
+// tentative opening time.
+func SequentialJV(c *par.Ctx, in *core.Instance) *Result {
+	nf, nc := in.NF, in.NC
+	alpha := make([]float64, nc)
+	frozen := make([]bool, nc)
+	opened := make([]bool, nf)
+	openTime := make([]float64, nf)
+	var openSeq []int
+	unfrozen := nc
+	t := 0.0
+	res := &Result{}
+
+	// Sorted client order per facility, for tighten-time scans.
+	orders := make([][]int, nf)
+	for i := 0; i < nf; i++ {
+		ord := make([]int, nc)
+		for j := range ord {
+			ord[j] = j
+		}
+		sort.Slice(ord, func(a, b int) bool { return in.Dist(i, ord[a]) < in.Dist(i, ord[b]) })
+		orders[i] = ord
+	}
+
+	// tightenTime computes the earliest t' ≥ t at which facility i is fully
+	// paid, given the current frozen set: frozen clients contribute the
+	// constant max(0, α_j − d), unfrozen ones contribute max(0, t' − d).
+	tightenTime := func(i int) float64 {
+		fixed := 0.0
+		for j := 0; j < nc; j++ {
+			if frozen[j] {
+				if b := alpha[j] - in.Dist(i, j); b > 0 {
+					fixed += b
+				}
+			}
+		}
+		need := in.FacCost[i] - fixed
+		if need <= timeEps {
+			return t
+		}
+		// Scan unfrozen contributors in distance order: with the k nearest
+		// unfrozen (distance ≤ t'), paid(t') = k·t' − Σd.
+		k := 0
+		sumD := 0.0
+		best := math.Inf(1)
+		for _, j := range orders[i] {
+			if frozen[j] {
+				continue
+			}
+			d := in.Dist(i, j)
+			k++
+			sumD += d
+			// Candidate t' with exactly these k contributors: must satisfy
+			// t' ≥ d (so all k contribute) — and any later contributor has
+			// distance ≥ t'.
+			cand := (need + sumD) / float64(k)
+			if cand >= d-timeEps {
+				if cand < best {
+					best = cand
+				}
+			}
+		}
+		if best < t {
+			best = t
+		}
+		return best
+	}
+
+	for unfrozen > 0 {
+		res.Iterations++
+		// Next facility-opening event.
+		tOpen := math.Inf(1)
+		for i := 0; i < nf; i++ {
+			if !opened[i] {
+				if ti := tightenTime(i); ti < tOpen {
+					tOpen = ti
+				}
+			}
+		}
+		// Next freeze event: an unfrozen client reaching an opened facility.
+		tFreeze := math.Inf(1)
+		for j := 0; j < nc; j++ {
+			if frozen[j] {
+				continue
+			}
+			for i := 0; i < nf; i++ {
+				if opened[i] {
+					d := in.Dist(i, j)
+					if d < t {
+						d = t
+					}
+					if d < tFreeze {
+						tFreeze = d
+					}
+				}
+			}
+		}
+		T := math.Min(tOpen, tFreeze)
+		if math.IsInf(T, 1) {
+			break // cannot happen: some facility always tightens eventually
+		}
+		t = T
+		// Open every facility that is tight at T.
+		for i := 0; i < nf; i++ {
+			if !opened[i] && tightenTime(i) <= T+timeEps {
+				opened[i] = true
+				openTime[i] = T
+				openSeq = append(openSeq, i)
+			}
+		}
+		// Freeze every unfrozen client within reach of an opened facility.
+		for j := 0; j < nc; j++ {
+			if frozen[j] {
+				continue
+			}
+			for i := 0; i < nf; i++ {
+				if opened[i] && in.Dist(i, j) <= T+timeEps {
+					alpha[j] = T
+					frozen[j] = true
+					unfrozen--
+					break
+				}
+			}
+		}
+	}
+	res.TentativelyOpen = len(openSeq)
+
+	// Conflict graph: tentatively-open i, i' conflict when some client pays
+	// both (α_j > d(j,i) and α_j > d(j,i')). Greedy MIS in opening order.
+	pays := func(j, i int) bool { return alpha[j]-in.Dist(i, j) > timeEps }
+	var fa []int
+	for _, i := range openSeq {
+		ok := true
+		for _, i2 := range fa {
+			for j := 0; j < nc; j++ {
+				if pays(j, i) && pays(j, i2) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			fa = append(fa, i)
+		}
+	}
+	if len(fa) == 0 {
+		// Degenerate: no facility opened with positive payment (e.g. all
+		// f_i = 0 opens everything at t=0 — openSeq nonempty — so this only
+		// guards empty openSeq).
+		fa = []int{0}
+	}
+	res.Alpha = alpha
+	res.Sol = core.EvalOpen(c, in, fa)
+	return res
+}

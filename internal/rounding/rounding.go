@@ -1,0 +1,302 @@
+// Package rounding implements §6.2 of the paper: the parallel randomized
+// rounding of Shmoys–Tardos–Aardal, given an optimal facility-location LP
+// solution (Figure 1) as input. It yields a (4+ε)-approximation
+// (Theorem 6.5) in O(m log m log_{1+ε} m) work.
+//
+// Filtering (Lemma 6.2) shrinks each client's fractional support to the ball
+// B_j of facilities within (1+α)δ_j and rescales (x′, y′). Rounding then
+// processes clients in geometric δ-windows: each round takes the clients
+// within (1+ε) of the smallest live δ, computes a maximal U-dominator set
+// over the client–ball incidence graph H (so selected balls are pairwise
+// disjoint), and opens the cheapest facility of every selected ball.
+//
+// One deliberate refinement over the paper's step 3 (documented in
+// DESIGN.md): only the *selected* clients' balls are removed from H, not
+// every processed ball. Removing selected balls is what the y′-accounting
+// (Claim 6.3) needs, and it guarantees that every client retired because its
+// cheapest facility disappeared was retired by a J-member — which keeps the
+// connection bound of Claim 6.4 at 3(1+α)(1+ε)δ_j for every client.
+package rounding
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/domset"
+	"repro/internal/lp"
+	"repro/internal/par"
+)
+
+// Options configures the rounding.
+type Options struct {
+	// Alpha is the filtering radius parameter in (0, 1); (1+α)δ_j bounds the
+	// ball radius and (1+1/α) scales y′. The (4+ε) guarantee uses α = 1/3.
+	Alpha float64
+	// Epsilon is the δ-window slack. Defaults to 0.3.
+	Epsilon float64
+	// Seed drives the MaxUDom randomness.
+	Seed int64
+}
+
+func (o *Options) alpha() float64 {
+	if o == nil || o.Alpha <= 0 || o.Alpha >= 1 {
+		return 1.0 / 3.0
+	}
+	return o.Alpha
+}
+
+func (o *Options) epsilon() float64 {
+	if o == nil || o.Epsilon <= 0 {
+		return 0.3
+	}
+	return o.Epsilon
+}
+
+func (o *Options) seed() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.Seed
+}
+
+// RoundRecord captures one round's accounting for the Claim 6.3 tests.
+type RoundRecord struct {
+	Tau          float64
+	Selected     int     // |J|
+	Processed    int     // |S|
+	OpenedCost   float64 // Σ_{i∈I} f_i this round
+	BallYPrimeFi float64 // Σ_{i ∈ ∪_{j∈J} B_j} y′_i f_i this round
+}
+
+// Result carries the rounded solution and the per-round accounting.
+type Result struct {
+	Sol    *core.Solution
+	Pi     []int     // the culprit-based assignment of Claim 6.4
+	Delta  []float64 // δ_j from the LP solution
+	YPrime []float64 // filtered facility variables
+	Rounds []RoundRecord
+	// DomRounds sums Luby rounds across all MaxUDom calls.
+	DomRounds int
+}
+
+// Round rounds an optimal LP solution into an integral one per §6.2.
+func Round(c *par.Ctx, in *core.Instance, frac *lp.FacilityFrac, opts *Options) *Result {
+	aParam := opts.alpha()
+	eps := opts.epsilon()
+	onePlus := 1 + eps
+	rng := rand.New(rand.NewSource(opts.seed()))
+	nf, nc := in.NF, in.NC
+	m := float64(in.M())
+	res := &Result{}
+
+	// Filtering (Lemma 6.2).
+	delta := make([]float64, nc)
+	c.For(nc, func(j int) {
+		s := 0.0
+		for i := 0; i < nf; i++ {
+			s += in.Dist(i, j) * frac.X.At(i, j)
+		}
+		delta[j] = s
+	})
+	c.Charge(int64(nf)*int64(nc), 1)
+	inBall := par.NewDense[bool](nf, nc)
+	c.For(nc, func(j int) {
+		r := (1 + aParam) * delta[j]
+		for i := 0; i < nf; i++ {
+			// Guard against zero-mass balls from strict float comparison.
+			if in.Dist(i, j) <= r+1e-12 && frac.X.At(i, j) > 0 {
+				inBall.Set(i, j, true)
+			}
+		}
+	})
+	c.Charge(int64(nf)*int64(nc), 1)
+	yPrime := make([]float64, nf)
+	c.For(nf, func(i int) {
+		yPrime[i] = math.Min(1, (1+1/aParam)*frac.Y[i])
+	})
+	// Cheapest facility of each (full) ball.
+	cheapest := make([]int, nc)
+	c.For(nc, func(j int) {
+		best, bi := math.Inf(1), -1
+		for i := 0; i < nf; i++ {
+			if inBall.At(i, j) && in.FacCost[i] < best {
+				best, bi = in.FacCost[i], i
+			}
+		}
+		cheapest[j] = bi
+	})
+	c.Charge(int64(nf)*int64(nc), 1)
+
+	theta := frac.Value
+	liveC := make([]bool, nc)
+	for j := range liveC {
+		liveC[j] = true
+	}
+	liveF := make([]bool, nf)
+	for i := range liveF {
+		liveF[i] = true
+	}
+	openedSet := make([]bool, nf)
+	var opened []int
+	pi := make([]int, nc)
+	for j := range pi {
+		pi[j] = -1
+	}
+
+	liveCount := nc
+	openFacility := func(i int) {
+		if !openedSet[i] {
+			openedSet[i] = true
+			opened = append(opened, i)
+		}
+	}
+
+	firstRound := true
+	for liveCount > 0 {
+		// τ = smallest live δ; the window is widened to θ/m² on round one
+		// (the preprocessing that bounds the round count).
+		tau := math.Inf(1)
+		for j := 0; j < nc; j++ {
+			if liveC[j] && delta[j] < tau {
+				tau = delta[j]
+			}
+		}
+		window := onePlus * tau
+		if firstRound {
+			window = math.Max(window, theta/(m*m))
+			firstRound = false
+		}
+		inS := make([]bool, nc)
+		for j := 0; j < nc; j++ {
+			inS[j] = liveC[j] && delta[j] <= window
+		}
+		// J = MaxUDom over the S-clients against the live facilities.
+		adj := func(j, i int) bool {
+			return liveF[i] && inBall.At(i, j)
+		}
+		sel, st := domset.MaxUDom(c, nc, nf, adj, inS, rng)
+		res.DomRounds += st.Rounds
+
+		rec := RoundRecord{Tau: tau, Selected: len(sel)}
+		inJ := make([]bool, nc)
+		for _, j := range sel {
+			inJ[j] = true
+			fj := cheapest[j]
+			if fj < 0 {
+				// Ball emptied without the cheapest facility dying — cannot
+				// happen (the client would have been retired); guard anyway.
+				continue
+			}
+			if !openedSet[fj] {
+				rec.OpenedCost += in.FacCost[fj]
+			}
+			openFacility(fj)
+			pi[j] = fj
+		}
+		// Claim 6.3's right-hand side: Σ y′_i f_i over the selected balls.
+		counted := make([]bool, nf)
+		for _, j := range sel {
+			for i := 0; i < nf; i++ {
+				if inBall.At(i, j) && liveF[i] && !counted[i] {
+					counted[i] = true
+					rec.BallYPrimeFi += yPrime[i] * in.FacCost[i]
+				}
+			}
+		}
+		// Retire all of S: members of J connect to their own facility;
+		// the rest share a live ball facility with a J-member (maximality).
+		for j := 0; j < nc; j++ {
+			if !inS[j] || inJ[j] {
+				continue
+			}
+			// Find the J-member sharing a facility; connect to its center.
+			for _, j2 := range sel {
+				found := false
+				for i := 0; i < nf; i++ {
+					if liveF[i] && inBall.At(i, j) && inBall.At(i, j2) {
+						found = true
+						break
+					}
+				}
+				if found {
+					pi[j] = cheapest[j2]
+					break
+				}
+			}
+			if pi[j] < 0 {
+				// Maximality guarantees a witness; keep feasible regardless.
+				pi[j] = cheapest[j]
+				if pi[j] >= 0 {
+					openFacility(pi[j])
+				}
+			}
+		}
+		for j := 0; j < nc; j++ {
+			if inS[j] {
+				liveC[j] = false
+				liveCount--
+				rec.Processed++
+			}
+		}
+		// Remove the selected balls from H; retire any live client whose
+		// cheapest facility died (its culprit is the removing J-member).
+		for _, j2 := range sel {
+			for i := 0; i < nf; i++ {
+				if inBall.At(i, j2) {
+					liveF[i] = false
+				}
+			}
+		}
+		for j := 0; j < nc; j++ {
+			if liveC[j] && !liveF[cheapest[j]] {
+				// Identify the J-member whose ball contained cheapest[j].
+				for _, j2 := range sel {
+					if inBall.At(cheapest[j], j2) {
+						pi[j] = cheapest[j2]
+						break
+					}
+				}
+				if pi[j] < 0 {
+					pi[j] = cheapest[j]
+					openFacility(pi[j])
+				}
+				liveC[j] = false
+				liveCount--
+			}
+		}
+		res.Rounds = append(res.Rounds, rec)
+		if rec.Processed == 0 {
+			break // defensive: τ selection guarantees progress
+		}
+	}
+
+	if len(opened) == 0 {
+		// Degenerate guard: open the globally cheapest facility.
+		bi := 0
+		for i := 1; i < nf; i++ {
+			if in.FacCost[i] < in.FacCost[bi] {
+				bi = i
+			}
+		}
+		opened = append(opened, bi)
+	}
+	// Any π gaps (unreachable guards) connect to the nearest open facility.
+	for j := 0; j < nc; j++ {
+		if pi[j] < 0 || !openedSet[pi[j]] {
+			best, bi := math.Inf(1), opened[0]
+			for _, i := range opened {
+				if d := in.Dist(i, j); d < best {
+					best, bi = d, i
+				}
+			}
+			pi[j] = bi
+		}
+	}
+
+	res.Sol = core.EvalOpen(c, in, opened)
+	res.Pi = pi
+	res.Delta = delta
+	res.YPrime = yPrime
+	return res
+}

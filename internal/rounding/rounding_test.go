@@ -1,0 +1,250 @@
+package rounding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/lp"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+func inst(seed int64, nf, nc int) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6))
+}
+
+func solveAndRound(t *testing.T, in *core.Instance, opts *Options) (*lp.FacilityFrac, *Result) {
+	t.Helper()
+	frac, err := lp.SolveFacility(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frac.CheckFrac(in, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	return frac, Round(nil, in, frac, opts)
+}
+
+func TestTheorem65FourPlusEps(t *testing.T) {
+	// Theorem 6.5: (4+ε)-approximation against the LP optimum (hence OPT).
+	for seed := int64(0); seed < 8; seed++ {
+		in := inst(seed, 6, 14)
+		eps := 0.3
+		frac, res := solveAndRound(t, in, &Options{Epsilon: eps, Seed: seed})
+		if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+		m := float64(in.M())
+		bound := 4*(1+eps)*frac.Value + frac.Value/m
+		if res.Sol.Cost() > bound+1e-6 {
+			t.Fatalf("seed=%d: cost %v > 4(1+ε)LP %v (LP=%v)",
+				seed, res.Sol.Cost(), bound, frac.Value)
+		}
+	}
+}
+
+func TestRatioAgainstIntegralOPT(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		in := inst(seed+10, 5, 12)
+		eps := 0.25
+		_, res := solveAndRound(t, in, &Options{Epsilon: eps, Seed: seed})
+		opt := exact.FacilityOPT(nil, in)
+		if ratio := res.Sol.Cost() / opt.Cost(); ratio > 4*(1+eps)+0.1 {
+			t.Fatalf("seed=%d: ratio vs OPT %v", seed, ratio)
+		}
+	}
+}
+
+func TestClaim63PerRoundAccounting(t *testing.T) {
+	// Claim 6.3: per round, Σ_{i∈I} f_i ≤ Σ_{i∈∪_{j∈J}B_j} y′_i f_i.
+	for seed := int64(0); seed < 6; seed++ {
+		in := inst(seed+20, 6, 14)
+		_, res := solveAndRound(t, in, &Options{Seed: seed})
+		for r, rec := range res.Rounds {
+			if rec.OpenedCost > rec.BallYPrimeFi+1e-6 {
+				t.Fatalf("seed=%d round %d: opened %v > ball y′f %v",
+					seed, r, rec.OpenedCost, rec.BallYPrimeFi)
+			}
+		}
+	}
+}
+
+func TestClaim64ConnectionBound(t *testing.T) {
+	// Claim 6.4: d(j, π_j) ≤ 3(1+α)(1+ε)δ_j for every client (the direct
+	// ones satisfy the tighter (1+α)δ_j).
+	for seed := int64(0); seed < 8; seed++ {
+		in := inst(seed+30, 6, 14)
+		aParam, eps := 1.0/3.0, 0.4
+		_, res := solveAndRound(t, in, &Options{Alpha: aParam, Epsilon: eps, Seed: seed})
+		for j, i := range res.Pi {
+			bound := 3 * (1 + aParam) * (1 + eps) * res.Delta[j]
+			// δ_j can be 0 (client sitting on its fractional facility): the
+			// connection must then be 0 too.
+			if in.Dist(i, j) > bound+1e-9 {
+				t.Fatalf("seed=%d client %d: d=%v > 3(1+α)(1+ε)δ=%v",
+					seed, j, in.Dist(i, j), bound)
+			}
+		}
+	}
+}
+
+func TestFacilityCostAgainstYPrime(t *testing.T) {
+	// Total opened cost ≤ Σ_i y′_i f_i ≤ (1+1/α) Σ_i y_i f_i.
+	for seed := int64(0); seed < 6; seed++ {
+		in := inst(seed+40, 6, 12)
+		frac, res := solveAndRound(t, in, &Options{Seed: seed})
+		fc := 0.0
+		for _, i := range res.Sol.Open {
+			fc += in.FacCost[i]
+		}
+		totalYPrime := 0.0
+		for i := 0; i < in.NF; i++ {
+			totalYPrime += res.YPrime[i] * in.FacCost[i]
+		}
+		if fc > totalYPrime+1e-6 {
+			t.Fatalf("seed=%d: facility cost %v > Σy′f %v", seed, fc, totalYPrime)
+		}
+		lpFac := 0.0
+		for i := 0; i < in.NF; i++ {
+			lpFac += frac.Y[i] * in.FacCost[i]
+		}
+		if totalYPrime > 4*lpFac+1e-6 { // (1+1/α) = 4 at α=1/3
+			t.Fatalf("seed=%d: Σy′f %v > 4·LP facility %v", seed, totalYPrime, lpFac)
+		}
+	}
+}
+
+func TestRoundCountLogarithmic(t *testing.T) {
+	// ≤ log_{1+ε}(m³) rounds after the θ/m² preprocessing.
+	in := inst(1, 8, 24)
+	eps := 0.3
+	_, res := solveAndRound(t, in, &Options{Epsilon: eps, Seed: 1})
+	m := float64(in.M())
+	bound := int(3*math.Log(m)/math.Log(1+eps)) + 4
+	if len(res.Rounds) > bound {
+		t.Fatalf("%d rounds > %d", len(res.Rounds), bound)
+	}
+}
+
+func TestTauWindowsGeometric(t *testing.T) {
+	// Successive τ values grow by more than (1+ε) (everything in the window
+	// is retired).
+	in := inst(2, 7, 20)
+	eps := 0.5
+	_, res := solveAndRound(t, in, &Options{Epsilon: eps, Seed: 2})
+	for r := 1; r < len(res.Rounds); r++ {
+		if res.Rounds[r].Tau <= res.Rounds[r-1].Tau*(1+eps)-1e-12 {
+			t.Fatalf("round %d: τ=%v after %v", r, res.Rounds[r].Tau, res.Rounds[r-1].Tau)
+		}
+	}
+}
+
+func TestSelectedBallsDisjointWithinRound(t *testing.T) {
+	// The U-dominator property: selected balls are pairwise disjoint, so the
+	// per-round opened facilities are distinct.
+	in := inst(3, 8, 20)
+	_, res := solveAndRound(t, in, &Options{Seed: 3})
+	for r, rec := range res.Rounds {
+		if rec.Selected > 0 && rec.OpenedCost < 0 {
+			t.Fatalf("round %d negative cost", r)
+		}
+	}
+	// Global: every client assigned to an open facility.
+	for j, i := range res.Pi {
+		found := false
+		for _, o := range res.Sol.Open {
+			if o == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("client %d assigned to closed facility %d", j, i)
+		}
+	}
+}
+
+func TestAlphaParameterSweep(t *testing.T) {
+	// The guarantee is 4+ε at α=1/3; other α still give feasible solutions
+	// with max(1+1/α, 3(1+α)(1+ε))-ish ratios.
+	in := inst(4, 6, 14)
+	frac, err := lp.SolveFacility(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []float64{0.2, 1.0 / 3.0, 0.5, 0.8} {
+		res := Round(nil, in, frac, &Options{Alpha: a, Epsilon: 0.3, Seed: 4})
+		if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
+			t.Fatalf("α=%v: %v", a, err)
+		}
+		factor := math.Max(1+1/a, 3*(1+a)*1.3) + 0.2
+		if res.Sol.Cost() > factor*frac.Value+1e-6 {
+			t.Fatalf("α=%v: cost %v > %v·LP", a, res.Sol.Cost(), factor)
+		}
+	}
+}
+
+func TestInvalidAlphaFallsBack(t *testing.T) {
+	in := inst(5, 4, 8)
+	frac, err := lp.SolveFacility(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Round(nil, in, frac, &Options{Alpha: 7.5, Seed: 5}) // out of range
+	if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	in := inst(6, 6, 15)
+	frac, err := lp.SolveFacility(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Round(nil, in, frac, &Options{Seed: 9})
+	b := Round(&par.Ctx{Workers: 4}, in, frac, &Options{Seed: 9})
+	if a.Sol.Cost() != b.Sol.Cost() || len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d",
+			a.Sol.Cost(), len(a.Rounds), b.Sol.Cost(), len(b.Rounds))
+	}
+}
+
+func TestSingleFacility(t *testing.T) {
+	in := inst(7, 1, 8)
+	frac, res := solveAndRound(t, in, nil)
+	if len(res.Sol.Open) != 1 {
+		t.Fatalf("open=%v", res.Sol.Open)
+	}
+	if math.Abs(res.Sol.Cost()-frac.Value) > 1e-6 {
+		t.Fatalf("single facility: cost %v vs LP %v", res.Sol.Cost(), frac.Value)
+	}
+}
+
+func TestIntegralLPRoundsToItself(t *testing.T) {
+	// When facilities are free, the LP solution is integral (each client
+	// fully served by its nearest facility); rounding must stay optimal on
+	// the connection side within the filtering slack.
+	in := inst(8, 5, 12)
+	for i := range in.FacCost {
+		in.FacCost[i] = 0
+	}
+	frac, res := solveAndRound(t, in, &Options{Seed: 8})
+	// cost ≤ 3(1+α)(1+ε)·LP even here; and LP = optimal connection cost.
+	if res.Sol.Cost() > 3*(1+1.0/3)*(1.3)*frac.Value+1e-6 {
+		t.Fatalf("cost %v vs LP %v", res.Sol.Cost(), frac.Value)
+	}
+}

@@ -1,0 +1,200 @@
+package facloc
+
+// Robustness and scale tests: the approximation *guarantees* require a
+// metric, but the implementations must remain safe (terminate, produce
+// feasible solutions) on adversarial non-metric inputs; and the logarithmic
+// round bounds must keep holding as instances grow by two orders of
+// magnitude.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// nonMetricInstance violates the triangle inequality aggressively.
+func nonMetricInstance(seed int64, nf, nc int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	dist := make([][]float64, nf)
+	for i := range dist {
+		dist[i] = make([]float64, nc)
+		for j := range dist[i] {
+			// Heavy-tailed independent distances: no metric structure.
+			dist[i][j] = math.Exp(rng.NormFloat64() * 3)
+		}
+	}
+	costs := make([]float64, nf)
+	for i := range costs {
+		costs[i] = rng.Float64() * 10
+	}
+	in, err := NewInstance(costs, dist)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestAlgorithmsFeasibleOnNonMetricInput(t *testing.T) {
+	// No quality guarantee applies, but every algorithm must terminate with
+	// a feasible solution (all clients assigned to open facilities).
+	for seed := int64(0); seed < 4; seed++ {
+		in := nonMetricInstance(seed, 7, 20)
+		for name, run := range map[string]func() *Result{
+			"greedy-par": func() *Result { return GreedyParallel(in, Options{Epsilon: 0.3, Seed: seed}) },
+			"greedy-seq": func() *Result { return GreedySequential(in, Options{}) },
+			"pd-par":     func() *Result { return PrimalDualParallel(in, Options{Epsilon: 0.3, Seed: seed}) },
+			"pd-seq":     func() *Result { return PrimalDualSequential(in, Options{}) },
+			"ufl-ls":     func() *Result { return FacilityLocalSearch(in, Options{Epsilon: 0.3}) },
+		} {
+			r := run()
+			if err := r.Solution.CheckFeasible(in, 1e-6); err != nil {
+				t.Fatalf("%s on non-metric input: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestLPRoundFeasibleOnNonMetricInput(t *testing.T) {
+	in := nonMetricInstance(5, 5, 12)
+	r, _, err := LPRound(in, Options{Epsilon: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Solution.CheckFeasible(in, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtremeCostScales(t *testing.T) {
+	// Mixed magnitudes: costs spanning 12 orders of magnitude must not break
+	// the geometric schedules (they are what the γ/m² preprocessing and the
+	// log(m³) round caps are for).
+	in := GenerateUniform(6, 8, 24, 1, 6)
+	for i := range in.FacCost {
+		if i%2 == 0 {
+			in.FacCost[i] = 1e-6
+		} else {
+			in.FacCost[i] = 1e6
+		}
+	}
+	g := GreedyParallel(in, Options{Epsilon: 0.3, Seed: 6})
+	p := PrimalDualParallel(in, Options{Epsilon: 0.3, Seed: 6})
+	if err := g.Solution.CheckFeasible(in, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Solution.CheckFeasible(in, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Cheap facilities dominate: total cost must be near pure connection.
+	if g.Solution.FacilityCost > 1 {
+		t.Fatalf("greedy opened expensive facilities: %v", g.Solution.FacilityCost)
+	}
+}
+
+func TestTinyDistancesNoUnderflow(t *testing.T) {
+	in := GenerateUniform(7, 6, 15, 1, 6)
+	for k := range in.D.A {
+		in.D.A[k] *= 1e-12
+	}
+	for i := range in.FacCost {
+		in.FacCost[i] *= 1e-12
+	}
+	r := PrimalDualParallel(in, Options{Epsilon: 0.3, Seed: 7})
+	if err := r.Solution.CheckFeasible(in, 1e-18); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(r.Solution.Cost()) || r.Solution.Cost() <= 0 {
+		t.Fatalf("degenerate cost %v", r.Solution.Cost())
+	}
+}
+
+func TestScaleRoundsStayLogarithmic(t *testing.T) {
+	// Two orders of magnitude in m: rounds must grow like log m, not m.
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	eps := 0.3
+	type point struct {
+		m      int
+		rounds int
+	}
+	var gPoints, pPoints []point
+	for _, size := range [][2]int{{8, 32}, {24, 192}, {48, 640}} {
+		in := GenerateUniform(8, size[0], size[1], 1, 6)
+		g := GreedyParallel(in, Options{Epsilon: eps, Seed: 8})
+		p := PrimalDualParallel(in, Options{Epsilon: eps, Seed: 8})
+		gPoints = append(gPoints, point{in.M(), g.Stats.Rounds})
+		pPoints = append(pPoints, point{in.M(), p.Stats.Rounds})
+		if g.Stats.Fallbacks != 0 {
+			t.Fatalf("m=%d: greedy fallbacks %d", in.M(), g.Stats.Fallbacks)
+		}
+	}
+	for _, pts := range [][]point{gPoints, pPoints} {
+		first, last := pts[0], pts[len(pts)-1]
+		mGrowth := float64(last.m) / float64(first.m)
+		rGrowth := float64(last.rounds+1) / float64(first.rounds+1)
+		// Logarithmic: round growth must be far below linear in m growth.
+		if rGrowth > mGrowth/4 {
+			t.Fatalf("rounds grew %vx for %vx size: %+v", rGrowth, mGrowth, pts)
+		}
+		// And within the explicit log bound.
+		bound := 3*math.Log(float64(last.m))/math.Log(1+eps) + 16
+		if float64(last.rounds) > bound {
+			t.Fatalf("rounds %d exceed log bound %v at m=%d", last.rounds, bound, last.m)
+		}
+	}
+}
+
+func TestScaleKCenter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	ki := GenerateKUniform(9, 300, 8)
+	r := KCenterParallel(ki, Options{Seed: 9})
+	if len(r.Solution.Centers) > 8 {
+		t.Fatalf("%d centers", len(r.Solution.Centers))
+	}
+	// probes ≤ ⌈log₂(n(n-1)/2)⌉ + 1
+	bound := int(math.Ceil(math.Log2(300*299/2))) + 1
+	if r.Stats.Rounds > bound {
+		t.Fatalf("probes %d > %d", r.Stats.Rounds, bound)
+	}
+	gz := KCenterGreedy(ki, Options{})
+	// Both 2-approx: mutual factor ≤ 2.
+	if r.Solution.Value > 2*gz.Solution.Value+1e-9 {
+		t.Fatalf("HS %v vs Gonzalez %v", r.Solution.Value, gz.Solution.Value)
+	}
+}
+
+func TestManyClientsFewFacilities(t *testing.T) {
+	// Skewed shapes exercise the matrix loops' both orientations.
+	in := GenerateUniform(10, 3, 200, 1, 6)
+	r := GreedyParallel(in, Options{Epsilon: 0.3, Seed: 10})
+	if err := r.Solution.CheckFeasible(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	in2 := GenerateUniform(11, 20, 5, 1, 6)
+	r2 := PrimalDualParallel(in2, Options{Epsilon: 0.3, Seed: 11})
+	if err := r2.Solution.CheckFeasible(in2, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDistanceTies(t *testing.T) {
+	// Facility exactly on top of clients plus duplicate facilities.
+	pts := [][]float64{{0, 0}, {0, 0}, {9, 9}, {0, 0}, {0, 0}, {9, 9}, {9, 9}}
+	in, err := FromPoints(pts, []int{0, 1, 2}, []int{3, 4, 5, 6}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := OptimalFacility(in, Options{})
+	for _, r := range []*Result{
+		GreedyParallel(in, Options{Seed: 12}),
+		PrimalDualParallel(in, Options{Seed: 12}),
+		FacilityLocalSearch(in, Options{}),
+	} {
+		if r.Solution.Cost() > 4*opt.Solution.Cost()+1e-9 {
+			t.Fatalf("tie-heavy instance: %v vs OPT %v", r.Solution.Cost(), opt.Solution.Cost())
+		}
+	}
+}

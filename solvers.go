@@ -1,0 +1,204 @@
+package facloc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/greedy"
+	"repro/internal/kcenter"
+	"repro/internal/localsearch"
+	"repro/internal/lp"
+	"repro/internal/primaldual"
+	"repro/internal/rounding"
+)
+
+// GreedyParallel solves facility location with the parallel greedy algorithm
+// of §4 (Algorithm 4.1): a (3.722+ε)-approximation in O(m log²_{1+ε} m) work
+// (Theorem 4.9).
+func GreedyParallel(in *Instance, o Options) *Result {
+	c, tally := o.ctx()
+	start := time.Now()
+	res := greedy.Parallel(c, in, &greedy.Options{Epsilon: o.eps(), Seed: o.Seed})
+	st := statsFrom(tally, time.Since(start))
+	st.Rounds = res.OuterRounds
+	st.InnerRounds = res.InnerRounds
+	st.Fallbacks = res.Fallbacks
+	return &Result{Solution: res.Sol, Dual: res.Alpha, Stats: st}
+}
+
+// GreedySequential solves facility location with the sequential greedy of
+// Jain et al. [JMM+03], a 1.861-approximation — the baseline §4 parallelizes.
+func GreedySequential(in *Instance, o Options) *Result {
+	c, tally := o.ctx()
+	start := time.Now()
+	res := greedy.SequentialJMS(c, in)
+	st := statsFrom(tally, time.Since(start))
+	st.Rounds = res.OuterRounds
+	return &Result{Solution: res.Sol, Dual: res.Alpha, Stats: st}
+}
+
+// PrimalDualParallel solves facility location with the parallel primal-dual
+// algorithm of §5 (Algorithm 5.1): a (3+ε)-approximation in
+// O(m log_{1+ε} m) work (Theorem 5.4).
+func PrimalDualParallel(in *Instance, o Options) *Result {
+	c, tally := o.ctx()
+	start := time.Now()
+	res := primaldual.Parallel(c, in, &primaldual.Options{Epsilon: o.eps(), Seed: o.Seed})
+	st := statsFrom(tally, time.Since(start))
+	st.Rounds = res.Iterations
+	st.InnerRounds = res.DomRounds
+	return &Result{Solution: res.Sol, Dual: res.Alpha, Stats: st}
+}
+
+// PrimalDualSequential solves facility location with the Jain–Vazirani
+// primal-dual 3-approximation [JV01] — the baseline §5 parallelizes.
+func PrimalDualSequential(in *Instance, o Options) *Result {
+	c, tally := o.ctx()
+	start := time.Now()
+	res := primaldual.SequentialJV(c, in)
+	st := statsFrom(tally, time.Since(start))
+	st.Rounds = res.Iterations
+	return &Result{Solution: res.Sol, Dual: res.Alpha, Stats: st}
+}
+
+// LPRound solves the Figure-1 LP exactly and rounds it with the parallel
+// randomized rounding of §6.2: a (4+ε)-approximation given the optimal
+// fractional solution (Theorem 6.5). Returns the LP value alongside the
+// result so callers can report the measured ratio.
+func LPRound(in *Instance, o Options) (*Result, float64, error) {
+	frac, err := lp.SolveFacility(in)
+	if err != nil {
+		return nil, 0, fmt.Errorf("facloc: solving the facility LP: %w", err)
+	}
+	res, err := LPRoundFrac(in, frac, o)
+	return res, frac.Value, err
+}
+
+// LPRoundFrac rounds a caller-supplied optimal fractional solution — the
+// exact input shape Theorem 6.5 assumes.
+func LPRoundFrac(in *Instance, frac *lp.FacilityFrac, o Options) (*Result, error) {
+	if err := frac.CheckFrac(in, 1e-6); err != nil {
+		return nil, fmt.Errorf("facloc: fractional solution invalid: %w", err)
+	}
+	c, tally := o.ctx()
+	start := time.Now()
+	res := rounding.Round(c, in, frac, &rounding.Options{Epsilon: o.eps(), Seed: o.Seed})
+	st := statsFrom(tally, time.Since(start))
+	st.Rounds = len(res.Rounds)
+	st.InnerRounds = res.DomRounds
+	return &Result{Solution: res.Sol, Stats: st}, nil
+}
+
+// FacilityLocalSearch solves facility location with add/drop/swap local
+// search — the §7-remark extension. Sequential local optima of this move set
+// are 3-approximate; the (1−β/nf) threshold relaxes that to 3(1+O(ε)). The
+// paper gives no round bound for this algorithm; Stats.Rounds reports the
+// count.
+func FacilityLocalSearch(in *Instance, o Options) *Result {
+	c, tally := o.ctx()
+	start := time.Now()
+	res := localsearch.UFLLocalSearch(c, in, &localsearch.UFLOptions{Epsilon: o.eps()})
+	st := statsFrom(tally, time.Since(start))
+	st.Rounds = res.Rounds
+	return &Result{Solution: res.Sol, Stats: st}
+}
+
+// LPLowerBound returns the optimal value of the Figure-1 LP relaxation — the
+// standard lower bound on OPT used to measure approximation ratios.
+func LPLowerBound(in *Instance) (float64, error) {
+	frac, err := lp.SolveFacility(in)
+	if err != nil {
+		return 0, err
+	}
+	return frac.Value, nil
+}
+
+// OptimalFacility computes the exact optimum by subset enumeration.
+// Feasible only for small nf (≤ 22); see exact.FeasibleFacility.
+func OptimalFacility(in *Instance, o Options) *Result {
+	c, tally := o.ctx()
+	start := time.Now()
+	sol := exact.FacilityOPT(c, in)
+	return &Result{Solution: sol, Stats: statsFrom(tally, time.Since(start))}
+}
+
+// GammaBounds returns the Equation-2 bracket on OPT: γ ≤ opt ≤ Σ_j γ_j.
+func GammaBounds(in *Instance) (lower, upper float64) {
+	g := core.Gammas(nil, in)
+	return g.Gamma, g.Sum
+}
+
+// ---------- k-clustering ----------
+
+// KCenterParallel solves k-center with the parallel Hochbaum–Shmoys
+// algorithm of §6.1: a 2-approximation in O((n log n)²) work (Theorem 6.1).
+func KCenterParallel(ki *KInstance, o Options) *KResult {
+	c, tally := o.ctx()
+	start := time.Now()
+	res := kcenter.HochbaumShmoys(c, ki, seededRNG(o.Seed))
+	st := statsFrom(tally, time.Since(start))
+	st.Rounds = res.Probes
+	st.InnerRounds = res.DomRounds
+	st.Fallbacks = res.Fallbacks
+	return &KResult{Solution: res.Sol, Stats: st}
+}
+
+// KCenterGreedy solves k-center with the sequential Gonzalez farthest-point
+// 2-approximation — the classic baseline.
+func KCenterGreedy(ki *KInstance, o Options) *KResult {
+	c, tally := o.ctx()
+	start := time.Now()
+	sol := kcenter.Gonzalez(c, ki, int(o.Seed)%maxInt(ki.N, 1))
+	return &KResult{Solution: sol, Stats: statsFrom(tally, time.Since(start))}
+}
+
+// KMedianLocalSearch solves k-median with the §7 parallel local search:
+// a (5+ε)-approximation (Theorem 7.1).
+func KMedianLocalSearch(ki *KInstance, o Options) *KResult {
+	return localSearch(ki, o, 1, core.KMedian)
+}
+
+// KMeansLocalSearch solves k-means with the §7 parallel local search:
+// an (81+ε)-approximation in general metric spaces.
+func KMeansLocalSearch(ki *KInstance, o Options) *KResult {
+	return localSearch(ki, o, 1, core.KMeans)
+}
+
+// KMedianLocalSearch2Swap runs the 2-swap extension (the multi-swap
+// local search the §7 remark points at; guarantee 3+2/p for p swaps).
+func KMedianLocalSearch2Swap(ki *KInstance, o Options) *KResult {
+	return localSearch(ki, o, 2, core.KMedian)
+}
+
+func localSearch(ki *KInstance, o Options, swapSize int, obj Objective) *KResult {
+	c, tally := o.ctx()
+	start := time.Now()
+	opts := &localsearch.Options{Epsilon: o.eps(), Seed: o.Seed, SwapSize: swapSize}
+	var res *localsearch.Result
+	if obj == core.KMeans {
+		res = localsearch.KMeans(c, ki, opts)
+	} else {
+		res = localsearch.KMedian(c, ki, opts)
+	}
+	st := statsFrom(tally, time.Since(start))
+	st.Rounds = res.Rounds
+	return &KResult{Solution: res.Sol, Stats: st}
+}
+
+// OptimalKCluster computes the exact k-clustering optimum by C(n,k)
+// enumeration; see exact.FeasibleKCluster for the size limit.
+func OptimalKCluster(ki *KInstance, obj Objective, o Options) *KResult {
+	c, tally := o.ctx()
+	start := time.Now()
+	sol := exact.KClusterOPT(c, ki, obj)
+	return &KResult{Solution: sol, Stats: statsFrom(tally, time.Since(start))}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

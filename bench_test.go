@@ -13,10 +13,12 @@ package facloc
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/domset"
+	"repro/internal/metric"
 	"repro/internal/par"
 )
 
@@ -99,6 +101,97 @@ func BenchmarkPrimitiveSort(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Distance-substrate benchmarks: the flat parallel layer of internal/metric.
+// Run workers=1 against workers=GOMAXPROCS to see the construction speedup
+// (the ISSUE-1 acceptance check):
+//
+//	go test -bench 'DistFullMatrix|DistSubmatrix|MetricClosure' -benchmem
+
+func distWorkerCounts() []int {
+	p := runtime.GOMAXPROCS(0)
+	if p <= 1 {
+		return []int{1}
+	}
+	return []int{1, p}
+}
+
+func BenchmarkDistFullMatrix(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		e := metric.UniformBox(nil, rand.New(rand.NewSource(1)), n, 8, 100)
+		for _, workers := range distWorkerCounts() {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				c := &par.Ctx{Workers: workers}
+				b.ReportAllocs()
+				b.SetBytes(int64(n) * int64(n) * 8)
+				for i := 0; i < b.N; i++ {
+					metric.FullMatrix(c, e)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDistSubmatrixRows(b *testing.B) {
+	const n, nf = 2048, 256
+	e := metric.UniformBox(nil, rand.New(rand.NewSource(2)), n, 8, 100)
+	rows := make([]int, nf)
+	cols := make([]int, n-nf)
+	for i := range rows {
+		rows[i] = i
+	}
+	for j := range cols {
+		cols[j] = nf + j
+	}
+	for _, workers := range distWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := &par.Ctx{Workers: workers}
+			b.ReportAllocs()
+			b.SetBytes(int64(nf) * int64(n-nf) * 8)
+			for i := 0; i < b.N; i++ {
+				metric.SubmatrixRows(c, e, rows, cols)
+			}
+		})
+	}
+}
+
+func BenchmarkMetricClosure(b *testing.B) {
+	for _, n := range []int{128, 384} {
+		base := metric.RandomGraphMetric(nil, rand.New(rand.NewSource(3)), n, 0.05, 50)
+		for _, workers := range distWorkerCounts() {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				c := &par.Ctx{Workers: workers}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					m := base.Clone()
+					b.StartTimer()
+					metric.MetricClosure(c, m)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDistOracleRow(b *testing.B) {
+	const n = 4096
+	e := metric.UniformBox(nil, rand.New(rand.NewSource(4)), n, 8, 100)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := metric.NewOracle(e)
+			o.Row(i % n)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		o := metric.NewOracle(e)
+		o.Row(7)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Row(7)
+		}
+	})
 }
 
 func BenchmarkMaxDom(b *testing.B) {

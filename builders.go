@@ -2,11 +2,11 @@ package facloc
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/metric"
-	"repro/internal/par"
 )
 
 func seededRNG(seed int64) *rand.Rand {
@@ -22,15 +22,11 @@ func NewInstance(facilityCosts []float64, dist [][]float64) (*Instance, error) {
 	if nf == 0 || len(dist) != nf {
 		return nil, fmt.Errorf("facloc: %d facilities but %d distance rows", nf, len(dist))
 	}
-	nc := len(dist[0])
-	d := par.NewDense[float64](nf, nc)
-	for i, row := range dist {
-		if len(row) != nc {
-			return nil, fmt.Errorf("facloc: ragged distance row %d", i)
-		}
-		copy(d.Row(i), row)
+	d, err := metric.FromRows(nil, dist)
+	if err != nil {
+		return nil, fmt.Errorf("facloc: %w", err)
 	}
-	in := &Instance{NF: nf, NC: nc, FacCost: append([]float64(nil), facilityCosts...), D: d}
+	in := &Instance{NF: nf, NC: d.C, FacCost: append([]float64(nil), facilityCosts...), D: d}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,7 +57,7 @@ func FromPoints(points [][]float64, facilities, clients []int, costs []float64) 
 	if len(costs) != len(facilities) {
 		return nil, fmt.Errorf("facloc: %d costs for %d facilities", len(costs), len(facilities))
 	}
-	in := core.FromSpace(sp, facilities, clients, costs)
+	in := core.FromSpace(nil, sp, facilities, clients, costs)
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -75,12 +71,12 @@ func NewKInstance(dist [][]float64, k int) (*KInstance, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("facloc: empty distance matrix")
 	}
-	d := par.NewDense[float64](n, n)
-	for i, row := range dist {
-		if len(row) != n {
-			return nil, fmt.Errorf("facloc: ragged row %d", i)
-		}
-		copy(d.Row(i), row)
+	d, err := metric.FromRows(nil, dist)
+	if err != nil {
+		return nil, fmt.Errorf("facloc: %w", err)
+	}
+	if d.C != n {
+		return nil, fmt.Errorf("facloc: %dx%d matrix is not square", n, d.C)
 	}
 	ki := &KInstance{N: n, K: k, Dist: d}
 	if err := ki.Validate(); err != nil {
@@ -103,19 +99,32 @@ func KFromPoints(points [][]float64, k int) (*KInstance, error) {
 		coords = append(coords, p...)
 	}
 	sp := &metric.Euclidean{Dim: dim, Coords: coords}
-	ki := core.KFromSpace(sp, k)
+	ki := core.KFromSpace(nil, sp, k)
 	if err := ki.Validate(); err != nil {
 		return nil, err
 	}
 	return ki, nil
 }
 
+// ReadInstance deserializes and validates a JSON instance (the format
+// cmd/faclocgen emits and WriteInstance produces).
+func ReadInstance(r io.Reader) (*Instance, error) { return core.ReadInstance(r) }
+
+// WriteInstance serializes in as JSON.
+func WriteInstance(w io.Writer, in *Instance) error { return core.WriteInstance(w, in) }
+
+// ReadKInstance deserializes and validates a JSON k-clustering instance.
+func ReadKInstance(r io.Reader) (*KInstance, error) { return core.ReadKInstance(r) }
+
+// WriteKInstance serializes ki as JSON.
+func WriteKInstance(w io.Writer, ki *KInstance) error { return core.WriteKInstance(w, ki) }
+
 // GenerateUniform returns a random instance with nf facilities and nc
 // clients uniform in a square, and opening costs uniform in [costLo, costHi].
 // Deterministic per seed — the workload of experiments E1/E3/E5.
 func GenerateUniform(seed int64, nf, nc int, costLo, costHi float64) *Instance {
 	rng := seededRNG(seed)
-	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
 	fac := make([]int, nf)
 	cli := make([]int, nc)
 	for i := range fac {
@@ -124,14 +133,14 @@ func GenerateUniform(seed int64, nf, nc int, costLo, costHi float64) *Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, costLo, costHi))
+	return core.FromSpace(nil, sp, fac, cli, metric.RandomCosts(nil, rng, nf, costLo, costHi))
 }
 
 // GenerateClustered returns an instance whose clients form well-separated
 // clusters (the two-scale adversarial family of the experiments).
 func GenerateClustered(seed int64, nf, nc, clusters int) *Instance {
 	rng := seededRNG(seed)
-	sp := metric.TwoScale(rng, nf+nc, clusters, 2, 200)
+	sp := metric.TwoScale(nil, rng, nf+nc, clusters, 2, 200)
 	fac := make([]int, nf)
 	cli := make([]int, nc)
 	for i := range fac {
@@ -140,18 +149,18 @@ func GenerateClustered(seed int64, nf, nc, clusters int) *Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	return core.FromSpace(sp, fac, cli, metric.UniformCosts(nf, 5))
+	return core.FromSpace(nil, sp, fac, cli, metric.UniformCosts(nil, nf, 5))
 }
 
 // GenerateKClustered returns a k-clustering instance drawn from k Gaussian
 // blobs — the canonical recoverable clustering workload.
 func GenerateKClustered(seed int64, n, k int) *KInstance {
 	rng := seededRNG(seed)
-	return core.KFromSpace(metric.GaussianClusters(rng, n, k, 2, 100, 2), k)
+	return core.KFromSpace(nil, metric.GaussianClusters(nil, rng, n, k, 2, 100, 2), k)
 }
 
 // GenerateKUniform returns a k-clustering instance over uniform points.
 func GenerateKUniform(seed int64, n, k int) *KInstance {
 	rng := seededRNG(seed)
-	return core.KFromSpace(metric.UniformBox(rng, n, 2, 100), k)
+	return core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
 }

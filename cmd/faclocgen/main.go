@@ -50,7 +50,7 @@ func main() {
 		}
 	case "kmed":
 		rng := rand.New(rand.NewSource(*seed))
-		ki := core.KFromSpace(metric.GaussianClusters(rng, *n, *k, 2, 100, 2), *k)
+		ki := core.KFromSpace(nil, metric.GaussianClusters(nil, rng, *n, *k, 2, 100, 2), *k)
 		if err := core.WriteKInstance(w, ki); err != nil {
 			fatal(err)
 		}
@@ -71,14 +71,14 @@ func genUFL(family string, seed int64, nf, nc int) (*core.Instance, error) {
 	}
 	switch family {
 	case "uniform":
-		sp := metric.UniformBox(rng, nf+nc, 2, 10)
-		return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6)), nil
+		sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
+		return core.FromSpace(nil, sp, fac, cli, metric.RandomCosts(nil, rng, nf, 1, 6)), nil
 	case "clustered":
-		sp := metric.TwoScale(rng, nf+nc, 4, 2, 200)
-		return core.FromSpace(sp, fac, cli, metric.UniformCosts(nf, 5)), nil
+		sp := metric.TwoScale(nil, rng, nf+nc, 4, 2, 200)
+		return core.FromSpace(nil, sp, fac, cli, metric.UniformCosts(nil, nf, 5)), nil
 	case "zipf":
-		sp := metric.UniformBox(rng, nf+nc, 2, 10)
-		return core.FromSpace(sp, fac, cli, metric.ZipfCosts(rng, nf, 20, 1.1)), nil
+		sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
+		return core.FromSpace(nil, sp, fac, cli, metric.ZipfCosts(nil, rng, nf, 20, 1.1)), nil
 	}
 	return nil, fmt.Errorf("unknown family %q", family)
 }

@@ -1,0 +1,47 @@
+package facloc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The public JSON round-trip (the README's documented loading path).
+func TestPublicInstanceJSONRoundTrip(t *testing.T) {
+	in := GenerateUniform(3, 4, 9, 1, 6)
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NF != in.NF || back.NC != in.NC {
+		t.Fatalf("shape %dx%d, want %dx%d", back.NF, back.NC, in.NF, in.NC)
+	}
+	for i := range in.D.A {
+		if in.D.A[i] != back.D.A[i] {
+			t.Fatal("distances changed across round trip")
+		}
+	}
+}
+
+func TestPublicKInstanceJSONRoundTrip(t *testing.T) {
+	ki := GenerateKUniform(3, 12, 3)
+	var buf bytes.Buffer
+	if err := WriteKInstance(&buf, ki); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadKInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != ki.N || back.K != ki.K {
+		t.Fatalf("shape n=%d k=%d, want n=%d k=%d", back.N, back.K, ki.N, ki.K)
+	}
+	for i := range ki.Dist.A {
+		if ki.Dist.A[i] != back.Dist.A[i] {
+			t.Fatal("distances changed across round trip")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package facloc_test
+
+import (
+	"fmt"
+
+	facloc "repro"
+)
+
+// lineInstance is a tiny facility-location instance on a line: candidate
+// facilities at x = 0 and x = 10 (opening cost 3 each), clients at
+// x = 0, 1, 9, 10. The optimum opens both facilities for a total cost of
+// 3 + 3 + (0 + 1 + 1 + 0) = 8.
+func lineInstance() *facloc.Instance {
+	in, err := facloc.NewInstance(
+		[]float64{3, 3},
+		[][]float64{
+			{0, 1, 9, 10}, // distances from facility at x=0
+			{10, 9, 1, 0}, // distances from facility at x=10
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func ExampleGreedyParallel() {
+	in := lineInstance()
+	res := facloc.GreedyParallel(in, facloc.Options{Epsilon: 0.3, Seed: 1})
+	fmt.Println("open:", res.Solution.Open)
+	fmt.Printf("cost: %.0f\n", res.Solution.Cost())
+	// Output:
+	// open: [0 1]
+	// cost: 8
+}
+
+func ExamplePrimalDualParallel() {
+	in := lineInstance()
+	res := facloc.PrimalDualParallel(in, facloc.Options{Epsilon: 0.3, Seed: 1})
+	fmt.Println("open:", res.Solution.Open)
+	fmt.Printf("cost: %.0f\n", res.Solution.Cost())
+	// The α duals certify a lower bound: α/3 is always dual feasible
+	// (Theorem 5.4), so cost ≤ 3·opt is checkable from the result alone.
+	fmt.Println("dual feasible at 1/3:", res.DualFeasibility(in, 1.0/3) <= 0)
+	// Output:
+	// open: [0 1]
+	// cost: 8
+	// dual feasible at 1/3: true
+}
+
+func ExampleLPRound() {
+	in := lineInstance()
+	res, lpValue, err := facloc.LPRound(in, facloc.Options{Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("lp lower bound: %.0f\n", lpValue)
+	fmt.Printf("rounded cost: %.0f\n", res.Solution.Cost())
+	// Output:
+	// lp lower bound: 8
+	// rounded cost: 8
+}
+
+func ExampleGammaBounds() {
+	in := lineInstance()
+	lower, upper := facloc.GammaBounds(in)
+	// Equation (2): γ ≤ opt ≤ Σ_j γ_j, with γ_j = min_i (f_i + d(j,i)).
+	fmt.Printf("%.0f ≤ opt ≤ %.0f\n", lower, upper)
+	// Output:
+	// 4 ≤ opt ≤ 14
+}

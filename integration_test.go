@@ -20,7 +20,7 @@ import (
 // metric — exercising the algorithms away from Euclidean geometry.
 func graphInstance(seed int64, nf, nc int) *Instance {
 	rng := rand.New(rand.NewSource(seed))
-	sp := metric.RandomGraphMetric(rng, nf+nc, 0.15, 10)
+	sp := metric.RandomGraphMetric(nil, rng, nf+nc, 0.15, 10)
 	fac := make([]int, nf)
 	cli := make([]int, nc)
 	for i := range fac {
@@ -29,7 +29,7 @@ func graphInstance(seed int64, nf, nc int) *Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 2, 12))
+	return core.FromSpace(nil, sp, fac, cli, metric.RandomCosts(nil, rng, nf, 2, 12))
 }
 
 func TestAllAlgorithmsOnGraphMetric(t *testing.T) {
@@ -65,13 +65,13 @@ func TestStarMetricExtremes(t *testing.T) {
 	// Star metric: hub + leaves. With a cheap hub facility, opening the hub
 	// is optimal; every algorithm should find a near-hub solution.
 	n := 12
-	sp := metric.Star(n, 5)
+	sp := metric.Star(nil, n, 5)
 	fac := []int{0, 1, 2} // hub + two leaves as candidate facilities
 	cli := make([]int, n-3)
 	for j := range cli {
 		cli[j] = 3 + j
 	}
-	in := core.FromSpace(sp, fac, cli, []float64{1, 1, 1})
+	in := core.FromSpace(nil, sp, fac, cli, []float64{1, 1, 1})
 	opt := OptimalFacility(in, Options{})
 	for _, name := range []string{"greedy", "pd"} {
 		var r *Result

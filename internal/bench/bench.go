@@ -62,18 +62,18 @@ func Families() []Family {
 	return []Family{
 		{"uniform", func(seed int64, nf, nc int) *core.Instance {
 			rng := rand.New(rand.NewSource(seed))
-			sp := metric.UniformBox(rng, nf+nc, 2, 10)
-			return split(sp, nf, nc, metric.RandomCosts(rng, nf, 1, 6))
+			sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
+			return split(sp, nf, nc, metric.RandomCosts(nil, rng, nf, 1, 6))
 		}},
 		{"clustered", func(seed int64, nf, nc int) *core.Instance {
 			rng := rand.New(rand.NewSource(seed))
-			sp := metric.TwoScale(rng, nf+nc, 4, 2, 200)
-			return split(sp, nf, nc, metric.UniformCosts(nf, 5))
+			sp := metric.TwoScale(nil, rng, nf+nc, 4, 2, 200)
+			return split(sp, nf, nc, metric.UniformCosts(nil, nf, 5))
 		}},
 		{"zipf-cost", func(seed int64, nf, nc int) *core.Instance {
 			rng := rand.New(rand.NewSource(seed))
-			sp := metric.UniformBox(rng, nf+nc, 2, 10)
-			return split(sp, nf, nc, metric.ZipfCosts(rng, nf, 20, 1.1))
+			sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
+			return split(sp, nf, nc, metric.ZipfCosts(nil, rng, nf, 20, 1.1))
 		}},
 	}
 }
@@ -87,7 +87,7 @@ func split(sp metric.Space, nf, nc int, costs []float64) *core.Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	return core.FromSpace(sp, fac, cli, costs)
+	return core.FromSpace(nil, sp, fac, cli, costs)
 }
 
 // optOrLPBound returns the best available lower bound on OPT (exact

@@ -168,7 +168,7 @@ func E4KCenter(s Sizes) *Table {
 		probes, probeBound := 0, 0
 		for seed := int64(0); seed < int64(s.Seeds); seed++ {
 			rng := rand.New(rand.NewSource(seed))
-			ki := core.KFromSpace(metric.UniformBox(rng, n, 2, 100), k)
+			ki := core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
 			opt := exact.KClusterOPT(nil, ki, core.KCenter)
 			hs := kcenter.HochbaumShmoys(nil, ki, rand.New(rand.NewSource(seed+99)))
 			gz := kcenter.Gonzalez(nil, ki, 0)
@@ -253,7 +253,7 @@ func E6LocalSearch(s Sizes) *Table {
 		medRounds, meansRounds := 0, 0
 		for seed := int64(0); seed < int64(s.Seeds); seed++ {
 			rng := rand.New(rand.NewSource(seed))
-			ki := core.KFromSpace(metric.UniformBox(rng, n, 2, 100), k)
+			ki := core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
 			med := localsearch.KMedian(nil, ki, &localsearch.Options{Epsilon: eps, Seed: seed})
 			means := localsearch.KMeans(nil, ki, &localsearch.Options{Epsilon: eps, Seed: seed})
 			optMed := exact.KClusterOPT(nil, ki, core.KMedian)
@@ -289,7 +289,7 @@ func E7DominatorSets(s Sizes) *Table {
 		valid := true
 		for seed := int64(0); seed < int64(s.Seeds); seed++ {
 			rng := rand.New(rand.NewSource(seed))
-			pts := metric.UniformBox(rng, n, 2, 100)
+			pts := metric.UniformBox(nil, rng, n, 2, 100)
 			scale := 100.0 / math.Sqrt(float64(n))
 			adj := func(i, j int) bool { return i != j && pts.Dist(i, j) <= 4*scale }
 			sel, st := domset.MaxDom(nil, n, adj, nil, rand.New(rand.NewSource(seed+7)))
@@ -582,7 +582,7 @@ func E13PSwapAblation(s Sizes) *Table {
 		var scanned int64
 		for seed := int64(0); seed < int64(s.Seeds); seed++ {
 			rng := rand.New(rand.NewSource(seed))
-			ki := core.KFromSpace(metric.UniformBox(rng, n, 2, 100), k)
+			ki := core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
 			res := localsearch.KMedian(nil, ki, &localsearch.Options{Epsilon: 0.3, Seed: seed, SwapSize: p})
 			opt := exact.KClusterOPT(nil, ki, core.KMedian)
 			ratios = append(ratios, res.Sol.Value/opt.Value)

@@ -19,8 +19,8 @@ import (
 // distance matrix the paper's algorithms operate on.
 type Instance struct {
 	NF, NC  int
-	FacCost []float64           // len NF; FacCost[i] = f_i ≥ 0
-	D       *par.Dense[float64] // NF×NC; D.At(i, j) = d(facility i, client j)
+	FacCost []float64          // len NF; FacCost[i] = f_i ≥ 0
+	D       *metric.DistMatrix // NF×NC flat; D.At(i, j) = d(facility i, client j)
 }
 
 // M returns the input size m = nf × nc used in the paper's bounds.
@@ -205,9 +205,10 @@ func (d *DualSolution) Value(c *par.Ctx) float64 { return par.SumFloat(c, d.Alph
 // A non-positive result means (α·scale, β) is dual feasible.
 func (d *DualSolution) MaxViolation(c *par.Ctx, in *Instance, scale float64) float64 {
 	worst := par.ReduceIndex(c, in.NF, math.Inf(-1), func(i int) float64 {
+		drow := in.D.Row(i)
 		sum := 0.0
 		for j := 0; j < in.NC; j++ {
-			if b := d.Alpha[j]*scale - in.Dist(i, j); b > 0 {
+			if b := d.Alpha[j]*scale - drow[j]; b > 0 {
 				sum += b
 			}
 		}
@@ -225,7 +226,7 @@ func (d *DualSolution) MaxViolation(c *par.Ctx, in *Instance, scale float64) flo
 type KInstance struct {
 	N    int
 	K    int
-	Dist *par.Dense[float64] // N×N symmetric
+	Dist *metric.DistMatrix // N×N symmetric, flat
 }
 
 // Validate checks shape, symmetry, and zero diagonal.
@@ -329,29 +330,17 @@ func (ks *KSolution) CheckFeasible(ki *KInstance, tol float64) error {
 // ---------- constructors from metric spaces ----------
 
 // FromSpace builds a UFL Instance by designating facilities and clients
-// (index sets into sp, may overlap) with the given opening costs.
-func FromSpace(sp metric.Space, facilities, clients []int, costs []float64) *Instance {
+// (index sets into sp, may overlap) with the given opening costs. The
+// distance block is materialized in parallel (metric.SubmatrixRows).
+func FromSpace(c *par.Ctx, sp metric.Space, facilities, clients []int, costs []float64) *Instance {
 	nf, nc := len(facilities), len(clients)
-	d := par.NewDense[float64](nf, nc)
-	for a, i := range facilities {
-		row := d.Row(a)
-		for b, j := range clients {
-			row[b] = sp.Dist(i, j)
-		}
-	}
+	d := metric.SubmatrixRows(c, sp, facilities, clients)
 	cc := append([]float64(nil), costs...)
 	return &Instance{NF: nf, NC: nc, FacCost: cc, D: d}
 }
 
-// KFromSpace builds a k-clustering instance over all points of sp.
-func KFromSpace(sp metric.Space, k int) *KInstance {
-	n := sp.N()
-	d := par.NewDense[float64](n, n)
-	for i := 0; i < n; i++ {
-		row := d.Row(i)
-		for j := 0; j < n; j++ {
-			row[j] = sp.Dist(i, j)
-		}
-	}
-	return &KInstance{N: n, K: k, Dist: d}
+// KFromSpace builds a k-clustering instance over all points of sp, with the
+// n×n matrix materialized in parallel (metric.FullMatrix).
+func KFromSpace(c *par.Ctx, sp metric.Space, k int) *KInstance {
+	return &KInstance{N: sp.N(), K: k, Dist: metric.FullMatrix(c, sp)}
 }

@@ -13,7 +13,7 @@ import (
 // testInstance builds a small random UFL instance from a Euclidean space.
 func testInstance(seed int64, nf, nc int) *Instance {
 	rng := rand.New(rand.NewSource(seed))
-	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
 	fac := make([]int, nf)
 	cli := make([]int, nc)
 	for i := range fac {
@@ -22,8 +22,8 @@ func testInstance(seed int64, nf, nc int) *Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	costs := metric.RandomCosts(rng, nf, 1, 5)
-	return FromSpace(sp, fac, cli, costs)
+	costs := metric.RandomCosts(nil, rng, nf, 1, 5)
+	return FromSpace(nil, sp, fac, cli, costs)
 }
 
 func TestInstanceValidate(t *testing.T) {
@@ -207,8 +207,8 @@ func TestDualValue(t *testing.T) {
 
 func TestKInstanceValidate(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
-	sp := metric.UniformBox(rng, 12, 2, 5)
-	ki := KFromSpace(sp, 3)
+	sp := metric.UniformBox(nil, rng, 12, 2, 5)
+	ki := KFromSpace(nil, sp, 3)
 	if err := ki.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestKInstanceValidate(t *testing.T) {
 func TestEvalCentersObjectives(t *testing.T) {
 	// Three collinear points 0-1-10; centers {0}, k irrelevant for eval.
 	sp := &metric.Euclidean{Dim: 1, Coords: []float64{0, 1, 10}}
-	ki := KFromSpace(sp, 1)
+	ki := KFromSpace(nil, sp, 1)
 	med := EvalCenters(nil, ki, []int{0}, KMedian)
 	if med.Value != 11 {
 		t.Fatalf("k-median value %v want 11", med.Value)
@@ -243,8 +243,8 @@ func TestEvalCentersObjectives(t *testing.T) {
 
 func TestKSolutionCheckFeasible(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
-	sp := metric.UniformBox(rng, 10, 2, 5)
-	ki := KFromSpace(sp, 2)
+	sp := metric.UniformBox(nil, rng, 10, 2, 5)
+	ki := KFromSpace(nil, sp, 2)
 	ks := EvalCenters(nil, ki, []int{1, 7}, KMedian)
 	if err := ks.CheckFeasible(ki, 1e-9); err != nil {
 		t.Fatal(err)
@@ -272,7 +272,7 @@ func TestFromSpaceOverlappingSets(t *testing.T) {
 	// Facilities and clients may share points (k-median style): distance from
 	// a point to itself must be zero in the cross matrix.
 	sp := &metric.Euclidean{Dim: 1, Coords: []float64{0, 2, 5}}
-	in := FromSpace(sp, []int{0, 1, 2}, []int{0, 1, 2}, metric.UniformCosts(3, 1))
+	in := FromSpace(nil, sp, []int{0, 1, 2}, []int{0, 1, 2}, metric.UniformCosts(nil, 3, 1))
 	for i := 0; i < 3; i++ {
 		if in.Dist(i, i) != 0 {
 			t.Fatalf("self distance %v", in.Dist(i, i))

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/par"
+	"repro/internal/metric"
 )
 
 // instanceJSON is the on-disk representation of an Instance.
@@ -25,12 +25,9 @@ type kInstanceJSON struct {
 
 // WriteInstance serializes in as JSON.
 func WriteInstance(w io.Writer, in *Instance) error {
-	rows := make([][]float64, in.NF)
-	for i := range rows {
-		rows[i] = append([]float64(nil), in.D.Row(i)...)
-	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(instanceJSON{NF: in.NF, NC: in.NC, FacCost: in.FacCost, Distance: rows})
+	return enc.Encode(instanceJSON{NF: in.NF, NC: in.NC, FacCost: in.FacCost,
+		Distance: metric.ToRows(nil, in.D)})
 }
 
 // ReadInstance deserializes and validates an Instance.
@@ -42,12 +39,12 @@ func ReadInstance(r io.Reader) (*Instance, error) {
 	if len(ij.Distance) != ij.NF {
 		return nil, fmt.Errorf("core: %d distance rows for nf=%d", len(ij.Distance), ij.NF)
 	}
-	d := par.NewDense[float64](ij.NF, ij.NC)
-	for i, row := range ij.Distance {
-		if len(row) != ij.NC {
-			return nil, fmt.Errorf("core: row %d has %d cols, want %d", i, len(row), ij.NC)
-		}
-		copy(d.Row(i), row)
+	d, err := metric.FromRows(nil, ij.Distance)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if d.C != ij.NC {
+		return nil, fmt.Errorf("core: %d cols, want %d", d.C, ij.NC)
 	}
 	in := &Instance{NF: ij.NF, NC: ij.NC, FacCost: ij.FacCost, D: d}
 	if err := in.Validate(); err != nil {
@@ -58,11 +55,8 @@ func ReadInstance(r io.Reader) (*Instance, error) {
 
 // WriteKInstance serializes ki as JSON.
 func WriteKInstance(w io.Writer, ki *KInstance) error {
-	rows := make([][]float64, ki.N)
-	for i := range rows {
-		rows[i] = append([]float64(nil), ki.Dist.Row(i)...)
-	}
-	return json.NewEncoder(w).Encode(kInstanceJSON{N: ki.N, K: ki.K, Distance: rows})
+	return json.NewEncoder(w).Encode(kInstanceJSON{N: ki.N, K: ki.K,
+		Distance: metric.ToRows(nil, ki.Dist)})
 }
 
 // ReadKInstance deserializes and validates a KInstance.
@@ -74,12 +68,12 @@ func ReadKInstance(r io.Reader) (*KInstance, error) {
 	if len(kj.Distance) != kj.N {
 		return nil, fmt.Errorf("core: %d rows for n=%d", len(kj.Distance), kj.N)
 	}
-	d := par.NewDense[float64](kj.N, kj.N)
-	for i, row := range kj.Distance {
-		if len(row) != kj.N {
-			return nil, fmt.Errorf("core: row %d has %d cols, want %d", i, len(row), kj.N)
-		}
-		copy(d.Row(i), row)
+	d, err := metric.FromRows(nil, kj.Distance)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if d.C != kj.N {
+		return nil, fmt.Errorf("core: %d cols, want %d", d.C, kj.N)
 	}
 	ki := &KInstance{N: kj.N, K: kj.K, Dist: d}
 	if err := ki.Validate(); err != nil {

@@ -250,7 +250,7 @@ func TestGreedyMaxUDomReference(t *testing.T) {
 func TestMaxDomOnThresholdGraph(t *testing.T) {
 	// The k-center use case: implicit threshold graph over a point set.
 	rng := rand.New(rand.NewSource(21))
-	pts := metric.UniformBox(rng, 50, 2, 10)
+	pts := metric.UniformBox(nil, rng, 50, 2, 10)
 	alpha := 2.0
 	adj := func(i, j int) bool { return i != j && pts.Dist(i, j) <= alpha }
 	sel, _ := MaxDom(nil, 50, adj, nil, rand.New(rand.NewSource(22)))

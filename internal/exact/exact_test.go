@@ -13,7 +13,7 @@ import (
 
 func inst(seed int64, nf, nc int) *core.Instance {
 	rng := rand.New(rand.NewSource(seed))
-	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
 	fac := make([]int, nf)
 	cli := make([]int, nc)
 	for i := range fac {
@@ -22,7 +22,7 @@ func inst(seed int64, nf, nc int) *core.Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6))
+	return core.FromSpace(nil, sp, fac, cli, metric.RandomCosts(nil, rng, nf, 1, 6))
 }
 
 func TestFacilityOPTBeatsEverySubset(t *testing.T) {
@@ -115,8 +115,8 @@ func TestFacilityOPTParallelMatchesSequential(t *testing.T) {
 
 func TestKClusterOPTMedian(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	sp := metric.UniformBox(rng, 10, 2, 10)
-	ki := core.KFromSpace(sp, 3)
+	sp := metric.UniformBox(nil, rng, 10, 2, 10)
+	ki := core.KFromSpace(nil, sp, 3)
 	opt := KClusterOPT(nil, ki, core.KMedian)
 	if err := opt.CheckFeasible(ki, 1e-9); err != nil {
 		t.Fatal(err)
@@ -133,8 +133,8 @@ func TestKClusterOPTMedian(t *testing.T) {
 
 func TestKClusterOPTCenterOnStar(t *testing.T) {
 	// Star metric, k=1: hub is the optimal center with radius r.
-	s := metric.Star(8, 3)
-	ki := core.KFromSpace(s, 1)
+	s := metric.Star(nil, 8, 3)
+	ki := core.KFromSpace(nil, s, 1)
 	opt := KClusterOPT(nil, ki, core.KCenter)
 	if opt.Value != 3 || opt.Centers[0] != 0 {
 		t.Fatalf("value=%v centers=%v", opt.Value, opt.Centers)
@@ -145,7 +145,7 @@ func TestKClusterOPTMeansVsMedianDiffer(t *testing.T) {
 	// On a line with an outlier, k-means is more outlier-sensitive; both
 	// must still be optimal for their own objective.
 	sp := &metric.Euclidean{Dim: 1, Coords: []float64{0, 1, 2, 3, 100}}
-	ki := core.KFromSpace(sp, 2)
+	ki := core.KFromSpace(nil, sp, 2)
 	med := KClusterOPT(nil, ki, core.KMedian)
 	means := KClusterOPT(nil, ki, core.KMeans)
 	if med.Value <= 0 || means.Value <= 0 {
@@ -170,8 +170,8 @@ func TestKClusterOPTMeansVsMedianDiffer(t *testing.T) {
 
 func TestKClusterOPTKEqualsN(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	sp := metric.UniformBox(rng, 6, 2, 10)
-	ki := core.KFromSpace(sp, 6)
+	sp := metric.UniformBox(nil, rng, 6, 2, 10)
+	ki := core.KFromSpace(nil, sp, 6)
 	opt := KClusterOPT(nil, ki, core.KMedian)
 	if opt.Value != 0 {
 		t.Fatalf("k=n value %v, want 0", opt.Value)
@@ -206,11 +206,11 @@ func TestFeasibilityPredicates(t *testing.T) {
 		t.Fatal("30 facilities accepted")
 	}
 	rng := rand.New(rand.NewSource(11))
-	ki := core.KFromSpace(metric.UniformBox(rng, 12, 2, 1), 3)
+	ki := core.KFromSpace(nil, metric.UniformBox(nil, rng, 12, 2, 1), 3)
 	if !FeasibleKCluster(ki, 1<<30) {
 		t.Fatal("C(12,3) should be enumerable")
 	}
-	ki2 := core.KFromSpace(metric.UniformBox(rng, 80, 2, 1), 40)
+	ki2 := core.KFromSpace(nil, metric.UniformBox(nil, rng, 80, 2, 1), 40)
 	if FeasibleKCluster(ki2, 1<<30) {
 		t.Fatal("C(80,40) accepted")
 	}

@@ -97,8 +97,9 @@ func prepare(c *par.Ctx, in *core.Instance) *starState {
 	c.ForBlock(in.NF, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := order.Row(i)
+			drow := in.D.Row(i)
 			par.Sort(seq, row, func(a, b int32) bool {
-				da, db := in.Dist(i, int(a)), in.Dist(i, int(b))
+				da, db := drow[a], drow[b]
 				if da != db {
 					return da < db
 				}
@@ -114,6 +115,7 @@ func prepare(c *par.Ctx, in *core.Instance) *starState {
 // and a prefix scan (Fact 4.2). Returns (+Inf, 0) when no client is live.
 func (ss *starState) cheapestStar(in *core.Instance, fi []float64, live []bool, i int) (price float64, size int) {
 	row := ss.order.Row(i)
+	drow := in.D.Row(i)
 	sum := fi[i]
 	k := 0
 	best := math.Inf(1)
@@ -123,7 +125,7 @@ func (ss *starState) cheapestStar(in *core.Instance, fi []float64, live []bool, 
 		if !live[j] {
 			continue
 		}
-		sum += in.Dist(i, j)
+		sum += drow[j]
 		k++
 		p := sum / float64(k)
 		// Take the largest k achieving the minimum so the star is maximal
@@ -291,8 +293,9 @@ func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
 				if !inI[i] {
 					return
 				}
+				drow := in.D.Row(i)
 				for j := 0; j < nc; j++ {
-					if live[j] && in.Dist(i, j) <= T {
+					if live[j] && drow[j] <= T {
 						deg[i]++
 					}
 				}
@@ -352,12 +355,13 @@ func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
 				if !inI[i] {
 					return
 				}
+				drow := in.D.Row(i)
 				d := 0
 				sum := fi[i]
 				for j := 0; j < nc; j++ {
-					if live[j] && in.Dist(i, j) <= T {
+					if live[j] && drow[j] <= T {
 						d++
-						sum += in.Dist(i, j)
+						sum += drow[j]
 					}
 				}
 				if d == 0 || sum/float64(d) > T {

@@ -13,7 +13,7 @@ import (
 
 func inst(seed int64, nf, nc int) *core.Instance {
 	rng := rand.New(rand.NewSource(seed))
-	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
 	fac := make([]int, nf)
 	cli := make([]int, nc)
 	for i := range fac {
@@ -22,12 +22,12 @@ func inst(seed int64, nf, nc int) *core.Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6))
+	return core.FromSpace(nil, sp, fac, cli, metric.RandomCosts(nil, rng, nf, 1, 6))
 }
 
 func clusteredInst(seed int64, nf, nc int) *core.Instance {
 	rng := rand.New(rand.NewSource(seed))
-	sp := metric.TwoScale(rng, nf+nc, 4, 2, 200)
+	sp := metric.TwoScale(nil, rng, nf+nc, 4, 2, 200)
 	fac := make([]int, nf)
 	cli := make([]int, nc)
 	for i := range fac {
@@ -36,7 +36,7 @@ func clusteredInst(seed int64, nf, nc int) *core.Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	return core.FromSpace(sp, fac, cli, metric.UniformCosts(nf, 5))
+	return core.FromSpace(nil, sp, fac, cli, metric.UniformCosts(nil, nf, 5))
 }
 
 func TestParallelFeasibleAndWithinBound(t *testing.T) {
@@ -162,7 +162,7 @@ func TestPreprocessingOpensCheapStars(t *testing.T) {
 		cli[j] = nf + j
 	}
 	costs := []float64{0, 10, 10, 10}
-	in := core.FromSpace(sp, fac, cli, costs)
+	in := core.FromSpace(nil, sp, fac, cli, costs)
 	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 5})
 	if res.Preopened == 0 {
 		t.Fatal("zero-price star not preopened")
@@ -266,13 +266,13 @@ func TestZeroCostFacilities(t *testing.T) {
 
 func TestUniformCostGrid(t *testing.T) {
 	// Symmetric grid instance exercising tie-breaking.
-	sp := metric.Grid(36)
+	sp := metric.Grid(nil, 36)
 	fac := []int{0, 5, 30, 35, 14}
 	cli := make([]int, 36)
 	for j := range cli {
 		cli[j] = j
 	}
-	in := core.FromSpace(sp, fac, cli, metric.UniformCosts(5, 3))
+	in := core.FromSpace(nil, sp, fac, cli, metric.UniformCosts(nil, 5, 3))
 	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 11})
 	if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
 		t.Fatal(err)

@@ -13,7 +13,7 @@ import (
 
 func kinst(seed int64, n, k int) *core.KInstance {
 	rng := rand.New(rand.NewSource(seed))
-	return core.KFromSpace(metric.UniformBox(rng, n, 2, 100), k)
+	return core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
 }
 
 func TestHochbaumShmoysWithin2OPT(t *testing.T) {
@@ -79,7 +79,7 @@ func TestHochbaumShmoysKGEN(t *testing.T) {
 
 func TestHochbaumShmoysStarMetric(t *testing.T) {
 	// Star with k=1: OPT = r; HS must return value ≤ 2r.
-	ki := core.KFromSpace(metric.Star(10, 5), 1)
+	ki := core.KFromSpace(nil, metric.Star(nil, 10, 5), 1)
 	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(4)))
 	if res.Sol.Value > 10+1e-9 {
 		t.Fatalf("value %v > 2·r", res.Sol.Value)
@@ -90,8 +90,8 @@ func TestHochbaumShmoysClustered(t *testing.T) {
 	// k well-separated blobs with k centers: value must be the blob radius
 	// scale, far below the separation.
 	rng := rand.New(rand.NewSource(5))
-	sp := metric.TwoScale(rng, 40, 4, 1, 1000)
-	ki := core.KFromSpace(sp, 4)
+	sp := metric.TwoScale(nil, rng, 40, 4, 1, 1000)
+	ki := core.KFromSpace(nil, sp, 4)
 	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(6)))
 	if res.Sol.Value > 10 {
 		t.Fatalf("clustered value %v, expected ≈ cluster diameter", res.Sol.Value)
@@ -101,7 +101,7 @@ func TestHochbaumShmoysClustered(t *testing.T) {
 func TestHochbaumShmoysDuplicatePoints(t *testing.T) {
 	// All points identical: radius 0 with any k.
 	sp := &metric.Euclidean{Dim: 1, Coords: []float64{5, 5, 5, 5, 5}}
-	ki := core.KFromSpace(sp, 2)
+	ki := core.KFromSpace(nil, sp, 2)
 	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(7)))
 	if res.Sol.Value != 0 {
 		t.Fatalf("duplicates value %v", res.Sol.Value)

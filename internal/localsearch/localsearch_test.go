@@ -13,12 +13,12 @@ import (
 
 func kinst(seed int64, n, k int) *core.KInstance {
 	rng := rand.New(rand.NewSource(seed))
-	return core.KFromSpace(metric.UniformBox(rng, n, 2, 100), k)
+	return core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
 }
 
 func clustered(seed int64, n, k int) *core.KInstance {
 	rng := rand.New(rand.NewSource(seed))
-	return core.KFromSpace(metric.GaussianClusters(rng, n, k, 2, 100, 2), k)
+	return core.KFromSpace(nil, metric.GaussianClusters(nil, rng, n, k, 2, 100, 2), k)
 }
 
 func TestKMedianWithin5PlusEps(t *testing.T) {

@@ -12,7 +12,7 @@ import (
 
 func uflInst(seed int64, nf, nc int) *core.Instance {
 	rng := rand.New(rand.NewSource(seed))
-	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
 	fac := make([]int, nf)
 	cli := make([]int, nc)
 	for i := range fac {
@@ -21,7 +21,7 @@ func uflInst(seed int64, nf, nc int) *core.Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6))
+	return core.FromSpace(nil, sp, fac, cli, metric.RandomCosts(nil, rng, nf, 1, 6))
 }
 
 func TestUFLLocalSearchWithin3Plus(t *testing.T) {
@@ -109,13 +109,13 @@ func TestUFLLocalSearchRoundsReported(t *testing.T) {
 
 func TestUFLLocalSearchBeatsInitialOnClusters(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	sp := metric.TwoScale(rng, 40, 4, 2, 300)
+	sp := metric.TwoScale(nil, rng, 40, 4, 2, 300)
 	fac := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	cli := make([]int, 32)
 	for j := range cli {
 		cli[j] = 8 + j
 	}
-	in := core.FromSpace(sp, fac, cli, metric.UniformCosts(8, 10))
+	in := core.FromSpace(nil, sp, fac, cli, metric.UniformCosts(nil, 8, 10))
 	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.1})
 	// Clusters are 300 apart: a single-facility start is terrible; local
 	// search must open roughly one facility per populated cluster.

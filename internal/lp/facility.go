@@ -29,9 +29,8 @@ func FacilityLP(in *core.Instance) *Problem {
 	nvars := nf*nc + nf
 	c := make([]float64, nvars)
 	for i := 0; i < nf; i++ {
-		for j := 0; j < nc; j++ {
-			c[XIndex(in, i, j)] = in.Dist(i, j)
-		}
+		// x_ij costs for facility i are contiguous: one row copy.
+		copy(c[XIndex(in, i, 0):XIndex(in, i, 0)+nc], in.D.Row(i))
 		c[YIndex(in, i)] = in.FacCost[i]
 	}
 	cons := make([]Constraint, 0, nc+nf*nc)
@@ -75,9 +74,7 @@ func SolveFacility(in *core.Instance) (*FacilityFrac, error) {
 	}
 	x := par.NewDense[float64](in.NF, in.NC)
 	for i := 0; i < in.NF; i++ {
-		for j := 0; j < in.NC; j++ {
-			x.Set(i, j, sol.X[XIndex(in, i, j)])
-		}
+		copy(x.Row(i), sol.X[XIndex(in, i, 0):XIndex(in, i, 0)+in.NC])
 	}
 	y := make([]float64, in.NF)
 	for i := range y {

@@ -1,13 +1,3 @@
-// Package lp is the linear-programming substrate: a from-scratch dense
-// two-phase primal simplex solver with dual extraction, and the builder for
-// the Figure-1 facility-location LP.
-//
-// The paper's LP-rounding algorithm (§6.2, Theorem 6.5) takes an *optimal*
-// primal solution as input — "we do not know how to solve the linear program
-// for facility location in polylogarithmic depth" — so this solver plays the
-// role of the oracle the paper assumes. Its optimal value is also the
-// standard lower bound on integral OPT used by the experiment harness to
-// measure approximation ratios on instances too large to brute-force.
 package lp
 
 import (

@@ -1,0 +1,24 @@
+// Package metric provides the metric-space substrate underlying every
+// facility-location instance in this repository: Euclidean point sets, the
+// flat DistMatrix distance layer, a lazy memoizing Oracle for spaces too
+// large to materialize, instance generators for the workload families used
+// by the experiment harness, and validation utilities (symmetry, triangle
+// inequality).
+//
+// The paper (§2) assumes a metric space (X, d) with F ∪ C ⊆ X whose
+// distances are handled as a dense matrix; DistMatrix is that matrix, stored
+// row-major in one contiguous []float64 (par.Dense) so the solvers' hot
+// loops run over flat rows. All materialization kernels — FullMatrix,
+// SubmatrixRows, MetricClosure, Validate, FromRows/ToRows — and all
+// generators take a *par.Ctx: they execute as row-blocked parallel loops
+// (par.Ctx.ForRows) and charge their analytic work/span to the Ctx's Tally
+// like every other primitive, so distance construction shows up in the PRAM
+// cost accounting rather than hiding as serial setup. A nil Ctx is valid and
+// selects GOMAXPROCS workers with no accounting.
+//
+// Generators are deterministic given a seed, independent of worker count and
+// grain: randomized families draw one 64-bit stream seed from the caller's
+// *rand.Rand and then derive every coordinate from a counter-based
+// (splitmix64) hash of its index, so parallel blocks never contend for — or
+// reorder draws from — a shared generator state.
+package metric

@@ -1,0 +1,28 @@
+package metric
+
+import "sync"
+
+// errAt collects at most one error per parallel row block and keeps the one
+// from the smallest row index, so parallel validation reports the same
+// violation a sequential scan would find first.
+type errAt struct {
+	mu  sync.Mutex
+	row int
+	err error
+}
+
+func newErrAt(n int) *errAt { return &errAt{row: n + 1} }
+
+func (e *errAt) record(row int, err error) {
+	e.mu.Lock()
+	if row < e.row {
+		e.row, e.err = row, err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errAt) first() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -3,59 +3,75 @@ package metric
 import (
 	"math"
 	"math/rand"
+
+	"repro/internal/par"
 )
 
 // Generators for the workload families used throughout the experiment
-// harness. All take an explicit *rand.Rand so runs are reproducible.
+// harness. All take a *par.Ctx (nil for GOMAXPROCS, no accounting) and fill
+// their output in parallel; randomized families take an explicit *rand.Rand
+// from which they draw a single stream seed, so runs are reproducible per
+// seed and independent of worker count (see rand.go).
 
 // UniformBox returns n points drawn uniformly from [0, scale]^dim.
-func UniformBox(rng *rand.Rand, n, dim int, scale float64) *Euclidean {
+func UniformBox(c *par.Ctx, rng *rand.Rand, n, dim int, scale float64) *Euclidean {
+	seed := rng.Uint64()
 	coords := make([]float64, n*dim)
-	for i := range coords {
-		coords[i] = rng.Float64() * scale
-	}
+	c.ForBlock(len(coords), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			coords[i] = unit(seed, i) * scale
+		}
+	})
 	return &Euclidean{Dim: dim, Coords: coords}
 }
 
 // GaussianClusters returns n points drawn from k isotropic Gaussian blobs
 // whose centers are uniform in [0, scale]^dim with standard deviation sigma.
 // This is the canonical clustering workload for k-median/k-means.
-func GaussianClusters(rng *rand.Rand, n, k, dim int, scale, sigma float64) *Euclidean {
+func GaussianClusters(c *par.Ctx, rng *rand.Rand, n, k, dim int, scale, sigma float64) *Euclidean {
+	centerSeed, noiseSeed := rng.Uint64(), rng.Uint64()
 	centers := make([]float64, k*dim)
-	for i := range centers {
-		centers[i] = rng.Float64() * scale
-	}
-	coords := make([]float64, n*dim)
-	for p := 0; p < n; p++ {
-		c := p % k // balanced assignment keeps every blob populated
-		for d := 0; d < dim; d++ {
-			coords[p*dim+d] = centers[c*dim+d] + rng.NormFloat64()*sigma
+	c.ForBlock(len(centers), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			centers[i] = unit(centerSeed, i) * scale
 		}
-	}
+	})
+	coords := make([]float64, n*dim)
+	c.ForRows(n, dim, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			cIdx := p % k // balanced assignment keeps every blob populated
+			for d := 0; d < dim; d++ {
+				coords[p*dim+d] = centers[cIdx*dim+d] + normal(noiseSeed, p*dim+d)*sigma
+			}
+		}
+	})
 	return &Euclidean{Dim: dim, Coords: coords}
 }
 
 // Grid returns the ⌈√n⌉×⌈√n⌉ integer grid truncated to n points, spacing 1.
 // A fully deterministic, highly symmetric family that exercises tie-breaking.
-func Grid(n int) *Euclidean {
+func Grid(c *par.Ctx, n int) *Euclidean {
 	side := int(math.Ceil(math.Sqrt(float64(n))))
-	coords := make([]float64, 0, n*2)
-	for p := 0; p < n; p++ {
-		coords = append(coords, float64(p%side), float64(p/side))
-	}
+	coords := make([]float64, n*2)
+	c.ForRows(n, 2, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			coords[p*2] = float64(p % side)
+			coords[p*2+1] = float64(p / side)
+		}
+	})
 	return &Euclidean{Dim: 2, Coords: coords}
 }
 
 // Line returns n collinear points with exponentially growing gaps:
 // x_i = base^i. Two-scale distance distributions stress the geometric
 // τ-schedules of the parallel algorithms (many (1+ε) rounds).
-func Line(n int, base float64) *Euclidean {
+func Line(c *par.Ctx, n int, base float64) *Euclidean {
 	coords := make([]float64, n)
-	x := 1.0
-	for i := 0; i < n; i++ {
-		coords[i] = x
-		x *= base
-	}
+	c.ForBlock(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			coords[i] = math.Pow(base, float64(i))
+		}
+	})
 	return &Euclidean{Dim: 1, Coords: coords}
 }
 
@@ -63,95 +79,113 @@ func Line(n int, base float64) *Euclidean {
 // `far` with intra-cluster spread `near` — the adversarial family where
 // greedy slack decisions are most visible (inter vs intra star prices differ
 // by orders of magnitude).
-func TwoScale(rng *rand.Rand, n, clusters int, near, far float64) *Euclidean {
+func TwoScale(c *par.Ctx, rng *rand.Rand, n, clusters int, near, far float64) *Euclidean {
+	seed := rng.Uint64()
 	coords := make([]float64, n*2)
-	for p := 0; p < n; p++ {
-		c := p % clusters
-		cx := float64(c) * far
-		coords[p*2] = cx + rng.Float64()*near
-		coords[p*2+1] = rng.Float64() * near
-	}
+	c.ForRows(n, 2, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			cIdx := p % clusters
+			cx := float64(cIdx) * far
+			coords[p*2] = cx + unit(seed, p*2)*near
+			coords[p*2+1] = unit(seed, p*2+1) * near
+		}
+	})
 	return &Euclidean{Dim: 2, Coords: coords}
 }
 
 // Star returns an explicit star metric: a hub at distance r from n-1 leaves,
 // leaves pairwise 2r apart (via the hub). Point 0 is the hub.
-func Star(n int, r float64) *Explicit {
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
-		for j := range d[i] {
-			switch {
-			case i == j:
-				d[i][j] = 0
-			case i == 0 || j == 0:
-				d[i][j] = r
-			default:
-				d[i][j] = 2 * r
+func Star(c *par.Ctx, n int, r float64) *DistMatrix {
+	m := NewDistMatrix(n, n)
+	c.ForRows(n, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j := range row {
+				switch {
+				case i == j:
+					row[j] = 0
+				case i == 0 || j == 0:
+					row[j] = r
+				default:
+					row[j] = 2 * r
+				}
 			}
 		}
-	}
-	return &Explicit{D: d}
+	})
+	return m
 }
 
 // RandomGraphMetric returns the shortest-path metric of a connected random
 // graph on n nodes where each edge exists with probability p and has a
 // uniform weight in [1, maxW]. A ring is added to guarantee connectivity.
-func RandomGraphMetric(rng *rand.Rand, n int, p, maxW float64) *Explicit {
+// Edge decisions are keyed by the unordered pair, so both endpoints' rows
+// compute the same value and the adjacency fill is race-free.
+func RandomGraphMetric(c *par.Ctx, rng *rand.Rand, n int, p, maxW float64) *DistMatrix {
 	const inf = math.MaxFloat64 / 4
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
-		for j := range d[i] {
-			if i != j {
-				d[i][j] = inf
+	seed := rng.Uint64()
+	weight := func(a, b, stream int) float64 {
+		return 1 + unit(seed, 3*(a*n+b)+stream)*(maxW-1)
+	}
+	m := NewDistMatrix(n, n)
+	c.ForRows(n, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j := range row {
+				if i == j {
+					continue
+				}
+				a, b := i, j
+				if a > b {
+					a, b = b, a
+				}
+				w := inf
+				if b == a+1 || (a == 0 && b == n-1) {
+					w = weight(a, b, 1) // ring edge
+				}
+				if b >= a+2 && unit(seed, 3*(a*n+b)) < p {
+					if rw := weight(a, b, 2); rw < w {
+						w = rw
+					}
+				}
+				row[j] = w
 			}
 		}
-	}
-	addEdge := func(i, j int, w float64) {
-		if w < d[i][j] {
-			d[i][j], d[j][i] = w, w
-		}
-	}
-	for i := 0; i < n; i++ {
-		addEdge(i, (i+1)%n, 1+rng.Float64()*(maxW-1))
-		for j := i + 2; j < n; j++ {
-			if rng.Float64() < p {
-				addEdge(i, j, 1+rng.Float64()*(maxW-1))
-			}
-		}
-	}
-	MetricClosure(d)
-	return &Explicit{D: d}
+	})
+	MetricClosure(c, m)
+	return m
 }
 
 // Facility-cost models. Each returns a cost vector for nf facilities.
 
 // UniformCosts returns nf copies of cost.
-func UniformCosts(nf int, cost float64) []float64 {
+func UniformCosts(c *par.Ctx, nf int, cost float64) []float64 {
 	out := make([]float64, nf)
-	for i := range out {
-		out[i] = cost
-	}
+	par.Fill(c, out, cost)
 	return out
 }
 
 // RandomCosts returns costs uniform in [lo, hi].
-func RandomCosts(rng *rand.Rand, nf int, lo, hi float64) []float64 {
+func RandomCosts(c *par.Ctx, rng *rand.Rand, nf int, lo, hi float64) []float64 {
+	seed := rng.Uint64()
 	out := make([]float64, nf)
-	for i := range out {
-		out[i] = lo + rng.Float64()*(hi-lo)
-	}
+	c.ForBlock(nf, func(blo, bhi int) {
+		for i := blo; i < bhi; i++ {
+			out[i] = lo + unit(seed, i)*(hi-lo)
+		}
+	})
 	return out
 }
 
 // ZipfCosts returns costs c_i = base / (i+1)^s after a random shuffle —
 // a heavy-tailed cost profile (a few cheap facilities, many expensive ones).
-func ZipfCosts(rng *rand.Rand, nf int, base, s float64) []float64 {
+// The Fisher–Yates shuffle is inherently sequential and stays on rng.
+func ZipfCosts(c *par.Ctx, rng *rand.Rand, nf int, base, s float64) []float64 {
 	out := make([]float64, nf)
-	for i := range out {
-		out[i] = base / math.Pow(float64(i+1), s)
-	}
+	c.ForBlock(nf, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = base / math.Pow(float64(i+1), s)
+		}
+	})
 	rng.Shuffle(nf, func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
 }
@@ -159,18 +193,21 @@ func ZipfCosts(rng *rand.Rand, nf int, base, s float64) []float64 {
 // CentralityCosts prices facility i proportionally to how central it is in
 // the space (sum of distances to all points, inverted): central facilities
 // are expensive, echoing real rent gradients.
-func CentralityCosts(sp Space, facilities []int, base float64) []float64 {
+func CentralityCosts(c *par.Ctx, sp Space, facilities []int, base float64) []float64 {
 	n := sp.N()
 	out := make([]float64, len(facilities))
-	for a, i := range facilities {
-		s := 0.0
-		for j := 0; j < n; j++ {
-			s += sp.Dist(i, j)
+	c.ForRows(len(facilities), n, func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			i := facilities[a]
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += sp.Dist(i, j)
+			}
+			if s == 0 {
+				s = 1
+			}
+			out[a] = base * float64(n) / s
 		}
-		if s == 0 {
-			s = 1
-		}
-		out[a] = base * float64(n) / s
-	}
+	})
 	return out
 }

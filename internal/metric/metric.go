@@ -1,16 +1,7 @@
-// Package metric provides the metric-space substrate underlying every
-// facility-location instance in this repository: Euclidean point sets,
-// explicit dense distance matrices, instance generators for the workload
-// families used by the experiment harness, and validation utilities
-// (symmetry, triangle inequality).
-//
-// The paper (§2) assumes a metric space (X, d) with F ∪ C ⊆ X; distances are
-// handled as a dense matrix. Generators here are deterministic given a seed.
 package metric
 
 import (
 	"errors"
-	"fmt"
 	"math"
 )
 
@@ -49,90 +40,5 @@ func (e *Euclidean) Dist(i, j int) float64 {
 	return math.Sqrt(s)
 }
 
-// Explicit is a metric space given by an explicit symmetric matrix.
-type Explicit struct {
-	D [][]float64
-}
-
-// N returns the number of points.
-func (m *Explicit) N() int { return len(m.D) }
-
-// Dist returns the stored distance.
-func (m *Explicit) Dist(i, j int) float64 { return m.D[i][j] }
-
-// Validate checks that sp is a metric: symmetric, non-negative, zero
-// diagonal, and triangle inequality within tolerance tol. Cost is Θ(n³);
-// intended for tests and small inputs.
-func Validate(sp Space, tol float64) error {
-	n := sp.N()
-	for i := 0; i < n; i++ {
-		if d := sp.Dist(i, i); d != 0 {
-			return fmt.Errorf("metric: d(%d,%d)=%v, want 0", i, i, d)
-		}
-		for j := 0; j < n; j++ {
-			dij := sp.Dist(i, j)
-			if dij < 0 {
-				return fmt.Errorf("metric: d(%d,%d)=%v negative", i, j, dij)
-			}
-			if dji := sp.Dist(j, i); math.Abs(dij-dji) > tol {
-				return fmt.Errorf("metric: asymmetric d(%d,%d)=%v d(%d,%d)=%v", i, j, dij, j, i, dji)
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			for k := 0; k < n; k++ {
-				if sp.Dist(i, k) > sp.Dist(i, j)+sp.Dist(j, k)+tol {
-					return fmt.Errorf("metric: triangle violated: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
-						i, k, sp.Dist(i, k), i, j, j, k, sp.Dist(i, j)+sp.Dist(j, k))
-				}
-			}
-		}
-	}
-	return nil
-}
-
 // ErrNotMetric reports an invalid explicit matrix.
 var ErrNotMetric = errors.New("metric: matrix is not a metric")
-
-// MetricClosure replaces D with all-pairs shortest paths (Floyd–Warshall),
-// turning any non-negative symmetric matrix into a metric. Θ(n³).
-func MetricClosure(d [][]float64) {
-	n := len(d)
-	for k := 0; k < n; k++ {
-		for i := 0; i < n; i++ {
-			dik := d[i][k]
-			for j := 0; j < n; j++ {
-				if v := dik + d[k][j]; v < d[i][j] {
-					d[i][j] = v
-				}
-			}
-		}
-	}
-}
-
-// SubmatrixRows extracts the |rows|×|cols| distance matrix between two index
-// sets of a space — e.g. facilities×clients for a UFL instance.
-func SubmatrixRows(sp Space, rows, cols []int) [][]float64 {
-	out := make([][]float64, len(rows))
-	for a, i := range rows {
-		out[a] = make([]float64, len(cols))
-		for b, j := range cols {
-			out[a][b] = sp.Dist(i, j)
-		}
-	}
-	return out
-}
-
-// FullMatrix materializes the full n×n distance matrix of a space.
-func FullMatrix(sp Space) [][]float64 {
-	n := sp.N()
-	out := make([][]float64, n)
-	for i := range out {
-		out[i] = make([]float64, n)
-		for j := range out[i] {
-			out[i][j] = sp.Dist(i, j)
-		}
-	}
-	return out
-}

@@ -3,8 +3,11 @@ package metric
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/par"
 )
 
 func TestEuclideanDist(t *testing.T) {
@@ -22,26 +25,26 @@ func TestEuclideanDist(t *testing.T) {
 
 func TestEuclideanIsMetric(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	e := UniformBox(rng, 20, 3, 10)
-	if err := Validate(e, 1e-9); err != nil {
+	e := UniformBox(nil, rng, 20, 3, 10)
+	if err := Validate(nil, e, 1e-9); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestGaussianClustersShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	e := GaussianClusters(rng, 30, 3, 2, 100, 1)
+	e := GaussianClusters(nil, rng, 30, 3, 2, 100, 1)
 	if e.N() != 30 {
 		t.Fatalf("N=%d", e.N())
 	}
-	if err := Validate(e, 1e-9); err != nil {
+	if err := Validate(nil, e, 1e-9); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestGridDeterministic(t *testing.T) {
-	g1 := Grid(10)
-	g2 := Grid(10)
+	g1 := Grid(nil, 10)
+	g2 := Grid(nil, 10)
 	for i := range g1.Coords {
 		if g1.Coords[i] != g2.Coords[i] {
 			t.Fatal("Grid not deterministic")
@@ -57,7 +60,7 @@ func TestGridDeterministic(t *testing.T) {
 }
 
 func TestLineExponentialGaps(t *testing.T) {
-	l := Line(5, 2)
+	l := Line(nil, 5, 2)
 	if l.N() != 5 {
 		t.Fatalf("N=%d", l.N())
 	}
@@ -72,7 +75,7 @@ func TestLineExponentialGaps(t *testing.T) {
 
 func TestTwoScaleSeparation(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	e := TwoScale(rng, 40, 4, 1, 1000)
+	e := TwoScale(nil, rng, 40, 4, 1, 1000)
 	// Same-cluster points are close; cross-cluster far.
 	if d := e.Dist(0, 4); d > 3 { // both cluster 0
 		t.Fatalf("intra-cluster distance %v", d)
@@ -83,8 +86,8 @@ func TestTwoScaleSeparation(t *testing.T) {
 }
 
 func TestStarMetric(t *testing.T) {
-	s := Star(6, 3)
-	if err := Validate(s, 0); err != nil {
+	s := Star(nil, 6, 3)
+	if err := Validate(nil, s, 0); err != nil {
 		t.Fatal(err)
 	}
 	if d := s.Dist(0, 3); d != 3 {
@@ -97,78 +100,318 @@ func TestStarMetric(t *testing.T) {
 
 func TestRandomGraphMetricIsMetric(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	m := RandomGraphMetric(rng, 25, 0.2, 10)
-	if err := Validate(m, 1e-9); err != nil {
+	m := RandomGraphMetric(nil, rng, 25, 0.2, 10)
+	if err := Validate(nil, m, 1e-9); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func mustFromRows(t *testing.T, rows [][]float64) *DistMatrix {
+	t.Helper()
+	m, err := FromRows(nil, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestMetricClosureFixesViolations(t *testing.T) {
 	// A triangle with one inflated edge: closure must shrink it.
-	d := [][]float64{
+	d := mustFromRows(t, [][]float64{
 		{0, 1, 10},
 		{1, 0, 1},
 		{10, 1, 0},
+	})
+	MetricClosure(nil, d)
+	if got := d.At(0, 2); got != 2 {
+		t.Fatalf("closure d(0,2)=%v want 2", got)
 	}
-	MetricClosure(d)
-	if d[0][2] != 2 {
-		t.Fatalf("closure d(0,2)=%v want 2", d[0][2])
-	}
-	if err := Validate(&Explicit{D: d}, 0); err != nil {
+	if err := Validate(nil, d, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestValidateCatchesAsymmetry(t *testing.T) {
-	bad := &Explicit{D: [][]float64{{0, 1}, {2, 0}}}
-	if err := Validate(bad, 1e-9); err == nil {
+	bad := mustFromRows(t, [][]float64{{0, 1}, {2, 0}})
+	if err := Validate(nil, bad, 1e-9); err == nil {
 		t.Fatal("asymmetric matrix accepted")
 	}
 }
 
 func TestValidateCatchesTriangleViolation(t *testing.T) {
-	bad := &Explicit{D: [][]float64{
+	bad := mustFromRows(t, [][]float64{
 		{0, 1, 5},
 		{1, 0, 1},
 		{5, 1, 0},
-	}}
-	if err := Validate(bad, 1e-9); err == nil {
+	})
+	if err := Validate(nil, bad, 1e-9); err == nil {
 		t.Fatal("triangle violation accepted")
 	}
 }
 
 func TestValidateCatchesNonzeroDiagonal(t *testing.T) {
-	bad := &Explicit{D: [][]float64{{1}}}
-	if err := Validate(bad, 1e-9); err == nil {
+	bad := mustFromRows(t, [][]float64{{1}})
+	if err := Validate(nil, bad, 1e-9); err == nil {
 		t.Fatal("nonzero diagonal accepted")
+	}
+}
+
+func TestValidateDeterministicAcrossWorkers(t *testing.T) {
+	// Several violations at once: every worker count must report the same
+	// (smallest-index) one.
+	bad := mustFromRows(t, [][]float64{
+		{0, 1, 5, 9},
+		{1, 0, 1, 1},
+		{5, 1, 0, 1},
+		{9, 1, 1, 0},
+	})
+	ref := Validate(&par.Ctx{Workers: 1}, bad, 1e-9)
+	if ref == nil {
+		t.Fatal("violations accepted")
+	}
+	for _, w := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+		if err := Validate(&par.Ctx{Workers: w, Grain: 1}, bad, 1e-9); err == nil || err.Error() != ref.Error() {
+			t.Fatalf("workers=%d: error %v, want %v", w, err, ref)
+		}
+	}
+}
+
+func TestFromRowsRejectsRagged(t *testing.T) {
+	if _, err := FromRows(nil, [][]float64{{0, 1}, {1}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := FromRows(nil, nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestToRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := FullMatrix(nil, UniformBox(nil, rng, 9, 2, 1))
+	rows := ToRows(nil, m)
+	back := mustFromRows(t, rows)
+	for i := range m.A {
+		if m.A[i] != back.A[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+	// ToRows must copy, not alias.
+	rows[0][0] = 42
+	if m.At(0, 0) == 42 {
+		t.Fatal("ToRows aliases matrix storage")
 	}
 }
 
 func TestSubmatrixRows(t *testing.T) {
 	e := &Euclidean{Dim: 1, Coords: []float64{0, 1, 3, 6}}
-	sub := SubmatrixRows(e, []int{0, 2}, []int{1, 3})
-	if sub[0][0] != 1 || sub[0][1] != 6 || sub[1][0] != 2 || sub[1][1] != 3 {
-		t.Fatalf("sub=%v", sub)
+	sub := SubmatrixRows(nil, e, []int{0, 2}, []int{1, 3})
+	if sub.At(0, 0) != 1 || sub.At(0, 1) != 6 || sub.At(1, 0) != 2 || sub.At(1, 1) != 3 {
+		t.Fatalf("sub=%v", sub.A)
 	}
 }
 
 func TestFullMatrixMatchesDist(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	e := UniformBox(rng, 8, 2, 1)
-	m := FullMatrix(e)
+	e := UniformBox(nil, rng, 8, 2, 1)
+	m := FullMatrix(nil, e)
 	for i := 0; i < 8; i++ {
 		for j := 0; j < 8; j++ {
-			if m[i][j] != e.Dist(i, j) {
+			if m.At(i, j) != e.Dist(i, j) {
 				t.Fatalf("mismatch at %d,%d", i, j)
 			}
 		}
 	}
 }
 
+func TestFullMatrixRectangularInput(t *testing.T) {
+	// A rectangular DistMatrix still satisfies Space (N() = rows); the
+	// square fast path must not engage, and the generic path must stay
+	// within the leading square block without panicking.
+	e := &Euclidean{Dim: 1, Coords: []float64{0, 1, 3, 6}}
+	rect := SubmatrixRows(nil, e, []int{0, 1}, []int{0, 1, 2, 3}) // 2×4
+	m := FullMatrix(nil, rect)
+	if m.R != 2 || m.C != 2 {
+		t.Fatalf("shape %dx%d, want 2x2", m.R, m.C)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != rect.At(i, j) {
+				t.Fatalf("mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestFullMatrixFastPathCopies(t *testing.T) {
+	s := Star(nil, 5, 2)
+	m := FullMatrix(nil, s)
+	m.Set(0, 1, 99)
+	if s.At(0, 1) == 99 {
+		t.Fatal("FullMatrix aliases its DistMatrix input")
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != 0 || j != 1 {
+				if m.At(i, j) != s.At(i, j) {
+					t.Fatalf("copy mismatch at %d,%d", i, j)
+				}
+			}
+		}
+	}
+}
+
+// kernelsWorkerInvariant checks the substrate kernels produce bit-identical
+// results at 1 worker and full parallelism, including with a tiny grain that
+// forces maximal forking.
+func TestKernelsWorkerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e := UniformBox(nil, rng, 40, 3, 10)
+	seq := &par.Ctx{Workers: 1}
+	park := &par.Ctx{Workers: runtime.GOMAXPROCS(0), Grain: 8}
+
+	a, b := FullMatrix(seq, e), FullMatrix(park, e)
+	for i := range a.A {
+		if a.A[i] != b.A[i] {
+			t.Fatal("FullMatrix differs across worker counts")
+		}
+	}
+
+	ca, cb := a.Clone(), b.Clone()
+	// Break the metric, then close it under both contexts.
+	ca.Set(0, 39, 1e6)
+	ca.Set(39, 0, 1e6)
+	cb.Set(0, 39, 1e6)
+	cb.Set(39, 0, 1e6)
+	MetricClosure(seq, ca)
+	MetricClosure(park, cb)
+	for i := range ca.A {
+		if ca.A[i] != cb.A[i] {
+			t.Fatal("MetricClosure differs across worker counts")
+		}
+	}
+}
+
+func TestGeneratorsWorkerInvariant(t *testing.T) {
+	seq := &par.Ctx{Workers: 1}
+	park := &par.Ctx{Workers: runtime.GOMAXPROCS(0), Grain: 4}
+	type gen struct {
+		name string
+		run  func(c *par.Ctx) []float64
+	}
+	gens := []gen{
+		{"UniformBox", func(c *par.Ctx) []float64 {
+			return UniformBox(c, rand.New(rand.NewSource(7)), 50, 2, 10).Coords
+		}},
+		{"GaussianClusters", func(c *par.Ctx) []float64 {
+			return GaussianClusters(c, rand.New(rand.NewSource(7)), 50, 4, 2, 100, 2).Coords
+		}},
+		{"TwoScale", func(c *par.Ctx) []float64 {
+			return TwoScale(c, rand.New(rand.NewSource(7)), 50, 4, 2, 200).Coords
+		}},
+		{"RandomGraphMetric", func(c *par.Ctx) []float64 {
+			return RandomGraphMetric(c, rand.New(rand.NewSource(7)), 20, 0.3, 5).A
+		}},
+		{"RandomCosts", func(c *par.Ctx) []float64 {
+			return RandomCosts(c, rand.New(rand.NewSource(7)), 50, 1, 9)
+		}},
+		{"ZipfCosts", func(c *par.Ctx) []float64 {
+			return ZipfCosts(c, rand.New(rand.NewSource(7)), 50, 100, 1.2)
+		}},
+	}
+	for _, g := range gens {
+		a, b := g.run(seq), g.run(park)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s differs across worker counts at %d", g.name, i)
+			}
+		}
+	}
+}
+
+func TestOracleMemoizes(t *testing.T) {
+	calls := 0
+	sp := &countingSpace{n: 12, calls: &calls}
+	o := NewOracle(sp)
+	if o.Materialized() != 0 {
+		t.Fatalf("materialized=%d before any access", o.Materialized())
+	}
+	want := float64(3 + 5)
+	if d := o.Dist(3, 5); d != want {
+		t.Fatalf("d=%v want %v", d, want)
+	}
+	if o.Materialized() != 1 {
+		t.Fatalf("materialized=%d after one row", o.Materialized())
+	}
+	base := calls
+	for j := 0; j < 12; j++ {
+		o.Dist(3, j) // all cached: no new underlying calls
+	}
+	if calls != base {
+		t.Fatalf("cached row recomputed: %d extra calls", calls-base)
+	}
+}
+
+func TestOracleMatchesAndMaterializes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := UniformBox(nil, rng, 15, 2, 10)
+	o := NewOracle(e)
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 15; j++ {
+			if o.Dist(i, j) != e.Dist(i, j) {
+				t.Fatalf("oracle mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	m := o.Materialize(nil)
+	full := FullMatrix(nil, e)
+	for i := range m.A {
+		if m.A[i] != full.A[i] {
+			t.Fatal("Materialize differs from FullMatrix")
+		}
+	}
+	if o.Materialized() != 15 {
+		t.Fatalf("materialized=%d want 15", o.Materialized())
+	}
+}
+
+func TestOracleConcurrentAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e := UniformBox(nil, rng, 30, 2, 10)
+	o := NewOracle(e)
+	c := &par.Ctx{Grain: 1}
+	bad := make([]bool, 30*30)
+	c.For(30*30, func(k int) {
+		i, j := k/30, k%30
+		if o.Dist(i, j) != e.Dist(i, j) {
+			bad[k] = true
+		}
+	})
+	for k, b := range bad {
+		if b {
+			t.Fatalf("concurrent oracle mismatch at %d", k)
+		}
+	}
+	if o.Materialized() != 30 {
+		t.Fatalf("materialized=%d want 30", o.Materialized())
+	}
+}
+
+// countingSpace is an integer-line metric that counts Dist calls.
+type countingSpace struct {
+	n     int
+	calls *int
+}
+
+func (s *countingSpace) N() int { return s.n }
+func (s *countingSpace) Dist(i, j int) float64 {
+	*s.calls++
+	return float64(i + j)
+}
+
 func TestEuclideanTriangleProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		e := UniformBox(rng, 10, 2, 100)
+		e := UniformBox(nil, rng, 10, 2, 100)
 		i, j, k := rng.Intn(10), rng.Intn(10), rng.Intn(10)
 		return e.Dist(i, k) <= e.Dist(i, j)+e.Dist(j, k)+1e-9
 	}
@@ -178,7 +421,7 @@ func TestEuclideanTriangleProperty(t *testing.T) {
 }
 
 func TestUniformCosts(t *testing.T) {
-	cs := UniformCosts(5, 3.5)
+	cs := UniformCosts(nil, 5, 3.5)
 	if len(cs) != 5 {
 		t.Fatalf("len=%d", len(cs))
 	}
@@ -191,7 +434,7 @@ func TestUniformCosts(t *testing.T) {
 
 func TestRandomCostsInRange(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	cs := RandomCosts(rng, 100, 2, 7)
+	cs := RandomCosts(nil, rng, 100, 2, 7)
 	for _, c := range cs {
 		if c < 2 || c > 7 {
 			t.Fatalf("cost %v out of [2,7]", c)
@@ -201,7 +444,7 @@ func TestRandomCostsInRange(t *testing.T) {
 
 func TestZipfCostsHeavyTail(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	cs := ZipfCosts(rng, 50, 100, 1.2)
+	cs := ZipfCosts(nil, rng, 50, 100, 1.2)
 	mx, mn := 0.0, math.Inf(1)
 	for _, c := range cs {
 		if c <= 0 {
@@ -217,8 +460,8 @@ func TestZipfCostsHeavyTail(t *testing.T) {
 
 func TestCentralityCostsPositive(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	e := UniformBox(rng, 20, 2, 10)
-	cs := CentralityCosts(e, []int{0, 5, 19}, 2)
+	e := UniformBox(nil, rng, 20, 2, 10)
+	cs := CentralityCosts(nil, e, []int{0, 5, 19}, 2)
 	if len(cs) != 3 {
 		t.Fatalf("len=%d", len(cs))
 	}
@@ -230,11 +473,27 @@ func TestCentralityCostsPositive(t *testing.T) {
 }
 
 func TestGeneratorsDeterministicPerSeed(t *testing.T) {
-	a := UniformBox(rand.New(rand.NewSource(42)), 10, 2, 1)
-	b := UniformBox(rand.New(rand.NewSource(42)), 10, 2, 1)
+	a := UniformBox(nil, rand.New(rand.NewSource(42)), 10, 2, 1)
+	b := UniformBox(nil, rand.New(rand.NewSource(42)), 10, 2, 1)
 	for i := range a.Coords {
 		if a.Coords[i] != b.Coords[i] {
 			t.Fatal("UniformBox not deterministic per seed")
 		}
+	}
+}
+
+func TestDistanceTallyFlows(t *testing.T) {
+	tally := &par.Tally{}
+	c := &par.Ctx{Tally: tally}
+	e := UniformBox(c, rand.New(rand.NewSource(10)), 32, 2, 1)
+	m := FullMatrix(c, e)
+	MetricClosure(c, m)
+	cost := tally.Snapshot()
+	// FullMatrix alone is ≥ n² work; closure adds n³.
+	if cost.Work < int64(32*32*32) {
+		t.Fatalf("work=%d, expected ≥ n³ charged", cost.Work)
+	}
+	if cost.Span <= 0 || cost.Calls <= 0 {
+		t.Fatalf("span=%d calls=%d", cost.Span, cost.Calls)
 	}
 }

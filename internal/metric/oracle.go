@@ -1,0 +1,69 @@
+package metric
+
+import (
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// Oracle is a lazy, memoizing distance layer for instances too large to
+// materialize as a full DistMatrix up front. It wraps any Space and caches
+// whole rows on first touch: the first Dist(i, ·) or Row(i) call computes and
+// publishes row i (atomically, so concurrent solver goroutines race benignly
+// — distances are deterministic, the duplicated work is one row), and every
+// later access is a flat slice read. Memory grows with the number of touched
+// rows rather than n², which is what row-local algorithms (greedy star scans,
+// primal-dual facility payments) need on million-point spaces.
+type Oracle struct {
+	sp   Space
+	rows []atomic.Pointer[[]float64]
+	// filled counts materialized rows; Materialized() exposes it so tests and
+	// capacity planning can observe the working set.
+	filled atomic.Int64
+}
+
+// NewOracle wraps sp in a lazy row cache. No distances are computed yet.
+func NewOracle(sp Space) *Oracle {
+	return &Oracle{sp: sp, rows: make([]atomic.Pointer[[]float64], sp.N())}
+}
+
+// N returns the number of points.
+func (o *Oracle) N() int { return len(o.rows) }
+
+// Dist returns d(i, j), materializing row i on first use. Safe for
+// concurrent use.
+func (o *Oracle) Dist(i, j int) float64 { return o.Row(i)[j] }
+
+// Row returns row i of the distance matrix, computing and caching it on
+// first use. The returned slice is shared: callers must not modify it.
+func (o *Oracle) Row(i int) []float64 {
+	if p := o.rows[i].Load(); p != nil {
+		return *p
+	}
+	n := o.N()
+	row := make([]float64, n)
+	for j := 0; j < n; j++ {
+		row[j] = o.sp.Dist(i, j)
+	}
+	if o.rows[i].CompareAndSwap(nil, &row) {
+		o.filled.Add(1)
+		return row
+	}
+	return *o.rows[i].Load()
+}
+
+// Materialized reports how many rows have been computed so far.
+func (o *Oracle) Materialized() int { return int(o.filled.Load()) }
+
+// Materialize forces every row and returns the result as a flat DistMatrix,
+// computing missing rows in parallel. Cached rows are copied, not recomputed.
+func (o *Oracle) Materialize(c *par.Ctx) *DistMatrix {
+	n := o.N()
+	m := NewDistMatrix(n, n)
+	c.ForRows(n, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(m.Row(i), o.Row(i))
+		}
+	})
+	return m
+}

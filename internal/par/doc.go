@@ -1,0 +1,41 @@
+// Package par provides PRAM-style nested data-parallel primitives — parallel
+// loops, reductions, prefix sums, packing, sorting, and dense-matrix row and
+// column operations — executed on goroutines and instrumented with the
+// work/span cost model of Blelloch & Tangwongsan (SPAA 2010), Section 2.
+//
+// # Execution model
+//
+// Every primitive takes a *Ctx carrying the worker fan-out, the sequential
+// grain, and an optional *Tally. A nil Ctx (and the zero value) is always
+// usable: it selects GOMAXPROCS workers, the default grain, and no
+// accounting, so library code can thread a Ctx unconditionally and callers
+// opt in to configuration. Loops partition their index range into contiguous
+// blocks of at least Grain indices, at most one per worker; ForRows scales
+// the cutoff by a per-row cost so row-blocked matrix kernels fork sensibly
+// even when the row count alone is small.
+//
+// # Cost-model conventions
+//
+// Primitives both run in parallel and add an analytic (work, span) charge to
+// the Tally carried by their Ctx, so callers can verify asymptotic claims
+// (for example "O(m log m) work") independently of wall-clock timing. The
+// conventions every primitive and algorithm in this repository follows:
+//
+//   - A parallel loop over n constant-time bodies charges n work and
+//     ceil(log2 n)+1 span (the fork tree of an EREW PRAM loop).
+//   - A reduction or scan over n elements charges Θ(n) work and Θ(log n)
+//     span; sorting charges Θ(n log n) work and Θ(log² n) span.
+//   - ForRows(n, rowCost, ·) charges n·rowCost work and rowCost + log n
+//     span: rows run in parallel, each row body is a sequential scan.
+//   - Bodies that are themselves super-constant charge the difference via
+//     Ctx.Charge (work the primitive cannot see, e.g. a fused inner loop);
+//     Tally.AddWork charges work whose span is already accounted for by an
+//     enclosing primitive.
+//   - Do (parallel composition) charges nothing: cost belongs to the
+//     primitives invoked inside the branches.
+//
+// Tally counters are updated atomically, so the concurrently running
+// branches of a nested computation share one Tally. Cache complexity
+// follows the paper's own bound Q = O(w/B), so it is derived from the work
+// tally (Cost.CacheComplexity) rather than tracked separately.
+package par

@@ -95,8 +95,36 @@ func (c *Ctx) ForBlock(n int, body func(lo, hi int)) {
 		return
 	}
 	c.charge(int64(n), logSpan(n))
+	c.forBlocks(n, c.grain(), body)
+}
+
+// ForRows partitions [0, n) rows where each row's body costs rowCost basic
+// operations, and executes body(lo, hi) on contiguous row blocks in parallel.
+// The sequential cutoff adapts so every block carries at least Grain
+// operations of total work, which is what makes row-blocked matrix kernels
+// (distance materialization, Floyd–Warshall steps) fork sensibly even when
+// the row count alone is below the grain. It charges n·rowCost work and
+// rowCost + log n span — a parallel loop whose bodies are sequential
+// rowCost-length scans.
+func (c *Ctx) ForRows(n, rowCost int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if rowCost < 1 {
+		rowCost = 1
+	}
+	c.charge(int64(n)*int64(rowCost), int64(rowCost)+logSpan(n))
+	g := (c.grain() + rowCost - 1) / rowCost
+	if g < 1 {
+		g = 1
+	}
+	c.forBlocks(n, g, body)
+}
+
+// forBlocks runs body over [0, n) split into contiguous blocks of at least g
+// indices, at most one per worker. Charges nothing: callers account cost.
+func (c *Ctx) forBlocks(n, g int, body func(lo, hi int)) {
 	p := c.workers()
-	g := c.grain()
 	if p == 1 || n <= g {
 		body(0, n)
 		return

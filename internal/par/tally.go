@@ -1,14 +1,3 @@
-// Package par provides PRAM-style nested data-parallel primitives — parallel
-// loops, reductions, prefix sums, packing, sorting, and dense-matrix row and
-// column operations — executed on goroutines and instrumented with the
-// work/span cost model of Blelloch & Tangwongsan (SPAA 2010), Section 2.
-//
-// Every primitive both runs in parallel over the available workers and adds
-// an analytic (work, span) charge to the Tally carried by its Ctx, so callers
-// can verify asymptotic claims (for example "O(m log m) work") independently
-// of wall-clock timing. Cache complexity follows the paper's own bound
-// Q = O(w/B), so it is derived from the work tally rather than tracked
-// separately.
 package par
 
 import (

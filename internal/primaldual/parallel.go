@@ -77,8 +77,8 @@ func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
 	// at level γ/m² already cover it; absorb clients within γ/m².
 	c.For(nf, func(i int) {
 		paid := 0.0
-		for j := 0; j < nc; j++ {
-			if b := base - in.Dist(i, j); b > 0 {
+		for _, d := range in.D.Row(i) {
+			if b := base - d; b > 0 {
 				paid += b
 			}
 		}
@@ -150,9 +150,10 @@ func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
 			if opened[i] || isFree[i] {
 				return
 			}
+			drow := in.D.Row(i)
 			paid := 0.0
 			for j := 0; j < nc; j++ {
-				if b := onePlus*alpha[j] - in.Dist(i, j); b > 0 {
+				if b := onePlus*alpha[j] - drow[j]; b > 0 {
 					paid += b
 				}
 			}

@@ -14,7 +14,7 @@ import (
 
 func inst(seed int64, nf, nc int) *core.Instance {
 	rng := rand.New(rand.NewSource(seed))
-	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
 	fac := make([]int, nf)
 	cli := make([]int, nc)
 	for i := range fac {
@@ -23,7 +23,7 @@ func inst(seed int64, nf, nc int) *core.Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6))
+	return core.FromSpace(nil, sp, fac, cli, metric.RandomCosts(nil, rng, nf, 1, 6))
 }
 
 func TestSequentialJVWithin3OPT(t *testing.T) {
@@ -210,7 +210,7 @@ func TestParallelZeroCostFacilitiesAllFree(t *testing.T) {
 func TestParallelDegenerateGammaZero(t *testing.T) {
 	// A zero-cost facility co-located with every client: γ = 0, OPT = 0.
 	sp := &metric.Euclidean{Dim: 1, Coords: []float64{0, 0, 0, 0}}
-	in := core.FromSpace(sp, []int{0}, []int{1, 2, 3}, []float64{0})
+	in := core.FromSpace(nil, sp, []int{0}, []int{1, 2, 3}, []float64{0})
 	res := Parallel(nil, in, &Options{Epsilon: 0.3})
 	if res.Sol.Cost() != 0 {
 		t.Fatalf("γ=0 instance cost %v", res.Sol.Cost())

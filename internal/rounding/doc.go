@@ -1,0 +1,23 @@
+// Package rounding implements §6.2 of the paper: the parallel randomized
+// rounding of Shmoys–Tardos–Aardal, given an optimal facility-location LP
+// solution (Figure 1) as input. It yields a (4+ε)-approximation
+// (Theorem 6.5) in O(m log m log_{1+ε} m) work.
+//
+// Filtering (Lemma 6.2) shrinks each client's fractional support to the ball
+// B_j of facilities within (1+α)δ_j and rescales (x′, y′). Rounding then
+// processes clients in geometric δ-windows: each round takes the clients
+// within (1+ε) of the smallest live δ, computes a maximal U-dominator set
+// over the client–ball incidence graph H (so selected balls are pairwise
+// disjoint), and opens the cheapest facility of every selected ball.
+//
+// One deliberate refinement over the paper's step 3 (documented in
+// DESIGN.md): only the *selected* clients' balls are removed from H, not
+// every processed ball. Removing selected balls is what the y′-accounting
+// (Claim 6.3) needs, and it guarantees that every client retired because its
+// cheapest facility disappeared was retired by a J-member — which keeps the
+// connection bound of Claim 6.4 at 3(1+α)(1+ε)δ_j for every client.
+//
+// All loops run through par.Ctx primitives and charge the standard work/span
+// conventions (see package par); the filtering phase streams over the flat
+// facility×client DistMatrix rows of the instance.
+package rounding

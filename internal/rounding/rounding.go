@@ -1,21 +1,3 @@
-// Package rounding implements §6.2 of the paper: the parallel randomized
-// rounding of Shmoys–Tardos–Aardal, given an optimal facility-location LP
-// solution (Figure 1) as input. It yields a (4+ε)-approximation
-// (Theorem 6.5) in O(m log m log_{1+ε} m) work.
-//
-// Filtering (Lemma 6.2) shrinks each client's fractional support to the ball
-// B_j of facilities within (1+α)δ_j and rescales (x′, y′). Rounding then
-// processes clients in geometric δ-windows: each round takes the clients
-// within (1+ε) of the smallest live δ, computes a maximal U-dominator set
-// over the client–ball incidence graph H (so selected balls are pairwise
-// disjoint), and opens the cheapest facility of every selected ball.
-//
-// One deliberate refinement over the paper's step 3 (documented in
-// DESIGN.md): only the *selected* clients' balls are removed from H, not
-// every processed ball. Removing selected balls is what the y′-accounting
-// (Claim 6.3) needs, and it guarantees that every client retired because its
-// cheapest facility disappeared was retired by a J-member — which keeps the
-// connection bound of Claim 6.4 at 3(1+α)(1+ε)δ_j for every client.
 package rounding
 
 import (
@@ -100,17 +82,23 @@ func Round(c *par.Ctx, in *core.Instance, frac *lp.FacilityFrac, opts *Options) 
 		delta[j] = s
 	})
 	c.Charge(int64(nf)*int64(nc), 1)
+	radius := make([]float64, nc)
+	c.For(nc, func(j int) { radius[j] = (1+aParam)*delta[j] + 1e-12 })
+	// Row-major over the flat distance block: facility i's distances, ball
+	// bits, and fractions are three contiguous rows.
 	inBall := par.NewDense[bool](nf, nc)
-	c.For(nc, func(j int) {
-		r := (1 + aParam) * delta[j]
-		for i := 0; i < nf; i++ {
-			// Guard against zero-mass balls from strict float comparison.
-			if in.Dist(i, j) <= r+1e-12 && frac.X.At(i, j) > 0 {
-				inBall.Set(i, j, true)
+	c.ForRows(nf, nc, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := in.D.Row(i)
+			brow := inBall.Row(i)
+			xrow := frac.X.Row(i)
+			for j := range brow {
+				// The +1e-12 in radius guards zero-mass balls from strict
+				// float comparison.
+				brow[j] = drow[j] <= radius[j] && xrow[j] > 0
 			}
 		}
 	})
-	c.Charge(int64(nf)*int64(nc), 1)
 	yPrime := make([]float64, nf)
 	c.For(nf, func(i int) {
 		yPrime[i] = math.Min(1, (1+1/aParam)*frac.Y[i])

@@ -14,7 +14,7 @@ import (
 
 func inst(seed int64, nf, nc int) *core.Instance {
 	rng := rand.New(rand.NewSource(seed))
-	sp := metric.UniformBox(rng, nf+nc, 2, 10)
+	sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
 	fac := make([]int, nf)
 	cli := make([]int, nc)
 	for i := range fac {
@@ -23,7 +23,7 @@ func inst(seed int64, nf, nc int) *core.Instance {
 	for j := range cli {
 		cli[j] = nf + j
 	}
-	return core.FromSpace(sp, fac, cli, metric.RandomCosts(rng, nf, 1, 6))
+	return core.FromSpace(nil, sp, fac, cli, metric.RandomCosts(nil, rng, nf, 1, 6))
 }
 
 func solveAndRound(t *testing.T, in *core.Instance, opts *Options) (*lp.FacilityFrac, *Result) {

@@ -1,0 +1,244 @@
+package facloc
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Source streams UFL instances into the batch engine one at a time, so a
+// workload never has to be materialized in memory. Next returns io.EOF to end
+// the stream.
+type Source interface {
+	Next() (*Instance, error)
+}
+
+type sliceSource struct {
+	ins []*Instance
+	pos int
+}
+
+func (s *sliceSource) Next() (*Instance, error) {
+	if s.pos >= len(s.ins) {
+		return nil, io.EOF
+	}
+	in := s.ins[s.pos]
+	s.pos++
+	return in, nil
+}
+
+// SliceSource adapts an in-memory instance slice to a Source.
+func SliceSource(ins []*Instance) Source {
+	return &sliceSource{ins: ins}
+}
+
+// NewInstanceStream returns a Source decoding newline-delimited (or
+// concatenated) JSON instances from r — the format WriteInstance emits and
+// `faclocgen -count` generates. Instances are decoded lazily, one per Next.
+func NewInstanceStream(r io.Reader) Source {
+	return core.NewInstanceDecoder(r)
+}
+
+// BatchOptions configures a Batch run.
+type BatchOptions struct {
+	// Jobs is the number of instances solved concurrently; 0 means
+	// GOMAXPROCS. Output order and content are independent of Jobs.
+	Jobs int
+	// Timeout is the per-solve deadline; a solve that exceeds it is abandoned
+	// mid-round and reported with Err == context.DeadlineExceeded. Zero means
+	// no deadline.
+	Timeout time.Duration
+	// MasterSeed seeds the whole workload. Each instance solves with
+	// Options.Seed = DeriveSeed(MasterSeed, index), so per-instance results
+	// depend only on the master seed and the instance's position in the
+	// stream — never on Jobs or scheduling.
+	MasterSeed int64
+	// Base supplies the remaining per-solve options (Epsilon, TrackCost,
+	// Workers). Seed is overridden per instance; Workers == 0 defaults to 1
+	// inside a batch, since the pool already provides the parallelism.
+	Base Options
+}
+
+// BatchResult is the outcome of one instance in a batch: its position in the
+// input stream, the seed it solved with, and either a Report or an error
+// (per-solve errors such as context.DeadlineExceeded do not abort the batch).
+type BatchResult struct {
+	Index  int
+	Seed   int64
+	Report *Report
+	Err    error
+}
+
+// Batch is a concurrent solve engine: a worker pool that streams instances
+// from a Source through one registered Solver, with per-solve deadlines,
+// deterministic per-instance seeds, and results emitted in input order.
+type Batch struct {
+	solver Solver
+	opt    BatchOptions
+}
+
+// NewBatch builds a batch engine over the given solver.
+func NewBatch(s Solver, opt BatchOptions) *Batch {
+	return &Batch{solver: s, opt: opt}
+}
+
+// DeriveSeed returns the per-instance seed for the given stream index: a
+// splitmix64 stream over the master seed, matching the counter-based
+// randomness of the generators — a pure function of (master, index), so
+// results are reproducible regardless of pool size or scheduling.
+func DeriveSeed(master int64, index int) int64 {
+	x := uint64(master) + 0x9E3779B97F4A7C15*(uint64(index)+1)
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return int64(x ^ (x >> 31))
+}
+
+// Run streams instances from src through the worker pool and calls emit once
+// per instance, in input order, from Run's goroutine. At most ~2·Jobs
+// instances are resident at any moment: Jobs in flight plus a bounded
+// dispatch/reorder margin. Run returns the first fatal error — context
+// cancellation, a Source decode failure, or a non-nil error from emit — and
+// nil when the stream drains; per-solve failures are delivered through
+// BatchResult.Err instead. All pool goroutines are joined before Run returns.
+func (b *Batch) Run(ctx context.Context, src Source, emit func(BatchResult) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jobs := b.opt.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type task struct {
+		index int
+		in    *Instance
+	}
+	tasks := make(chan task, jobs)
+	results := make(chan BatchResult, jobs)
+
+	// window is the residency bound: the dispatcher acquires a slot per
+	// instance and the collector releases it only after in-order emission, so
+	// a head-of-line slow solve stalls dispatch instead of letting completed
+	// results pile up in the reorder buffer.
+	window := make(chan struct{}, 2*jobs)
+
+	// Dispatcher: pull from the source until EOF, error, or cancellation.
+	// srcErr is read by Run only after the pool drains, which happens-after
+	// close(tasks).
+	var srcErr error
+	go func() {
+		defer close(tasks)
+		for i := 0; ; i++ {
+			select {
+			case window <- struct{}{}:
+			case <-runCtx.Done():
+				return
+			}
+			in, err := src.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				srcErr = err
+				cancel()
+				return
+			}
+			select {
+			case tasks <- task{index: i, in: in}:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				select {
+				case results <- b.solveOne(runCtx, t.index, t.in):
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: reorder results into input order so the output stream is
+	// identical for any Jobs value. The window keeps the pending map at no
+	// more than 2·jobs entries.
+	pending := make(map[int]BatchResult, jobs)
+	next := 0
+	var emitErr error
+	for r := range results {
+		pending[r.Index] = r
+		for {
+			q, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			<-window
+			if emitErr == nil && emit != nil {
+				if err := emit(q); err != nil {
+					emitErr = err
+					cancel()
+				}
+			}
+		}
+	}
+
+	switch {
+	case ctx.Err() != nil:
+		return ctx.Err()
+	case emitErr != nil:
+		return emitErr
+	default:
+		return srcErr
+	}
+}
+
+// Collect runs the batch and returns every result in input order — the
+// convenience form for workloads small enough to hold in memory.
+func (b *Batch) Collect(ctx context.Context, src Source) ([]BatchResult, error) {
+	var out []BatchResult
+	err := b.Run(ctx, src, func(r BatchResult) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, err
+}
+
+// solveOne solves a single instance under the per-solve deadline with its
+// derived seed.
+func (b *Batch) solveOne(ctx context.Context, index int, in *Instance) BatchResult {
+	opts := b.opt.Base
+	opts.Seed = DeriveSeed(b.opt.MasterSeed, index)
+	if opts.Workers == 0 {
+		opts.Workers = 1
+	}
+	sctx := ctx
+	if b.opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, b.opt.Timeout)
+		defer cancel()
+	}
+	rep, err := SolveWith(sctx, b.solver, in, opts)
+	if err != nil {
+		return BatchResult{Index: index, Seed: opts.Seed, Err: err}
+	}
+	return BatchResult{Index: index, Seed: opts.Seed, Report: rep}
+}

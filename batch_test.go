@@ -1,0 +1,262 @@
+package facloc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func batchWorkload(t *testing.T, n int) []*Instance {
+	t.Helper()
+	ins := make([]*Instance, n)
+	for i := range ins {
+		ins[i] = GenerateUniform(int64(100+i), 5, 10, 1, 6)
+	}
+	return ins
+}
+
+func mustLookup(t *testing.T, name string) Solver {
+	t.Helper()
+	s, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("solver %q not registered", name)
+	}
+	return s
+}
+
+// TestBatch200Concurrent is the acceptance workload: 200 instances through
+// an 8-wide pool, every result present, in input order, and feasible.
+func TestBatch200Concurrent(t *testing.T) {
+	ins := batchWorkload(t, 200)
+	b := NewBatch(mustLookup(t, "pd-par"), BatchOptions{Jobs: 8, MasterSeed: 42})
+	results, err := b.Collect(context.Background(), SliceSource(ins))
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	if len(results) != len(ins) {
+		t.Fatalf("%d results for %d instances", len(results), len(ins))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d: emission out of order", i, r.Index)
+		}
+		if r.Err != nil {
+			t.Fatalf("instance %d failed: %v", i, r.Err)
+		}
+		if err := r.Report.Solution.CheckFeasible(ins[i], 1e-6); err != nil {
+			t.Fatalf("instance %d infeasible: %v", i, err)
+		}
+		if want := DeriveSeed(42, i); r.Seed != want {
+			t.Fatalf("instance %d solved with seed %d, want derived %d", i, r.Seed, want)
+		}
+	}
+}
+
+// TestBatchDeterministicAcrossPoolSizes pins the splitmix64 seed derivation
+// contract: the result stream is identical for any Jobs value.
+func TestBatchDeterministicAcrossPoolSizes(t *testing.T) {
+	ins := batchWorkload(t, 60)
+	for _, solver := range []string{"greedy-par", "pd-par"} {
+		var streams [][]BatchResult
+		for _, jobs := range []int{1, 8} {
+			b := NewBatch(mustLookup(t, solver), BatchOptions{Jobs: jobs, MasterSeed: 7})
+			results, err := b.Collect(context.Background(), SliceSource(ins))
+			if err != nil {
+				t.Fatalf("%s jobs=%d: %v", solver, jobs, err)
+			}
+			streams = append(streams, results)
+		}
+		for i := range streams[0] {
+			a, b := streams[0][i], streams[1][i]
+			if a.Index != b.Index || a.Seed != b.Seed {
+				t.Fatalf("%s instance %d: (index,seed) differ across pool sizes", solver, i)
+			}
+			if !reflect.DeepEqual(a.Report.Solution, b.Report.Solution) {
+				t.Fatalf("%s instance %d: solutions differ between jobs=1 and jobs=8:\n%+v\nvs\n%+v",
+					solver, i, a.Report.Solution, b.Report.Solution)
+			}
+		}
+	}
+}
+
+// TestBatchDeadline verifies the per-solve deadline contract: expired solves
+// report context.DeadlineExceeded and carry no partial solution, and the
+// batch itself still completes.
+func TestBatchDeadline(t *testing.T) {
+	ins := batchWorkload(t, 20)
+	b := NewBatch(mustLookup(t, "greedy-par"), BatchOptions{
+		Jobs: 4, MasterSeed: 1, Timeout: time.Nanosecond,
+	})
+	results, err := b.Collect(context.Background(), SliceSource(ins))
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	if len(results) != len(ins) {
+		t.Fatalf("%d results for %d instances", len(results), len(ins))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Fatalf("instance %d: err = %v, want context.DeadlineExceeded", i, r.Err)
+		}
+		if r.Report != nil {
+			t.Fatalf("instance %d: partial report returned alongside deadline error", i)
+		}
+	}
+}
+
+// endlessSource yields generated instances forever — the harness for
+// cancellation mid-pool.
+type endlessSource struct{ i int }
+
+func (s *endlessSource) Next() (*Instance, error) {
+	s.i++
+	return GenerateUniform(int64(s.i), 5, 10, 1, 6), nil
+}
+
+// TestBatchCancelMidPoolLeaksNoGoroutines cancels a running pool and asserts
+// Run returns promptly with ctx.Err() and the goroutine count settles back.
+func TestBatchCancelMidPoolLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBatch(mustLookup(t, "pd-par"), BatchOptions{Jobs: 8, MasterSeed: 3})
+	seen := 0
+	err := b.Run(ctx, &endlessSource{}, func(BatchResult) error {
+		seen++
+		if seen == 25 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	cancel()
+
+	// The pool goroutines are joined before Run returns, so the count should
+	// settle immediately; poll briefly to absorb runtime background noise.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d before, %d after cancellation",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBatchEmitErrorAborts verifies a sink failure cancels the pool and
+// surfaces the sink's error.
+func TestBatchEmitErrorAborts(t *testing.T) {
+	ins := batchWorkload(t, 30)
+	sinkErr := errors.New("sink full")
+	b := NewBatch(mustLookup(t, "pd-par"), BatchOptions{Jobs: 4, MasterSeed: 5})
+	err := b.Run(context.Background(), SliceSource(ins), func(r BatchResult) error {
+		if r.Index == 3 {
+			return sinkErr
+		}
+		return nil
+	})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("Run returned %v, want the sink error", err)
+	}
+}
+
+// TestBatchStreamedSource runs the batch off the JSON codec stream — the
+// bounded-memory path faclocsolve -jobs uses.
+func TestBatchStreamedSource(t *testing.T) {
+	var buf bytes.Buffer
+	ins := batchWorkload(t, 12)
+	for _, in := range ins {
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatalf("encoding workload: %v", err)
+		}
+	}
+	b := NewBatch(mustLookup(t, "greedy-seq"), BatchOptions{Jobs: 4, MasterSeed: 9})
+	results, err := b.Collect(context.Background(), NewInstanceStream(&buf))
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	if len(results) != len(ins) {
+		t.Fatalf("%d results for %d streamed instances", len(results), len(ins))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("instance %d failed: %v", i, r.Err)
+		}
+		if err := r.Report.Solution.CheckFeasible(ins[i], 1e-6); err != nil {
+			t.Fatalf("instance %d infeasible: %v", i, err)
+		}
+	}
+}
+
+// TestBatchSourceErrorPropagates verifies a mid-stream decode failure aborts
+// the run with the decoder's error while earlier results still emit.
+func TestBatchSourceErrorPropagates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, GenerateUniform(1, 4, 6, 1, 6)); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("{\"nf\": \"garbage\"\n")
+	b := NewBatch(mustLookup(t, "greedy-seq"), BatchOptions{Jobs: 2})
+	results, err := b.Collect(context.Background(), NewInstanceStream(&buf))
+	if err == nil {
+		t.Fatal("batch over a corrupt stream should fail")
+	}
+	if errors.Is(err, io.EOF) {
+		t.Fatalf("decode failure reported as EOF: %v", err)
+	}
+	if len(results) > 1 {
+		t.Fatalf("%d results from a stream with one valid instance", len(results))
+	}
+}
+
+func TestDeriveSeedStream(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("different master seeds should derive different streams")
+	}
+	if DeriveSeed(1, 5) != DeriveSeed(1, 5) {
+		t.Fatal("derivation must be a pure function")
+	}
+}
+
+func ExampleBatch() {
+	// Solve four instances concurrently with a per-solve deadline; results
+	// arrive in input order no matter how the pool schedules them.
+	solver, _ := Lookup("pd-par")
+	batch := NewBatch(solver, BatchOptions{Jobs: 2, MasterSeed: 42, Timeout: time.Minute})
+
+	var ins []*Instance
+	for i := 0; i < 4; i++ {
+		ins = append(ins, GenerateUniform(int64(i), 5, 12, 1, 6))
+	}
+	results, err := batch.Collect(context.Background(), SliceSource(ins))
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Printf("instance %d: %d facilities open\n", r.Index, len(r.Report.Solution.Open))
+	}
+	// Output:
+	// instance 0: 3 facilities open
+	// instance 1: 1 facilities open
+	// instance 2: 2 facilities open
+	// instance 3: 2 facilities open
+}

@@ -8,9 +8,16 @@
 //
 // Without -exp, all fourteen experiments run. -full uses the reference-run
 // sizes (minutes); the default quick sizes finish in seconds.
+//
+// -registry switches to the serving-layer benchmark instead: every
+// registered facility-location solver runs over the same generated workload
+// through the facloc.Batch engine, reporting throughput and cost:
+//
+//	faclocbench -registry [-count 64] [-nf 16] [-nc 64] [-jobs 0] [-timeout 1s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,14 +25,31 @@ import (
 	"strings"
 	"time"
 
+	facloc "repro"
 	"repro/internal/bench"
+	"repro/internal/exact"
 )
 
 func main() {
 	full := flag.Bool("full", false, "use reference-run sizes (slower)")
 	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E13) or 'all'")
 	out := flag.String("o", "", "write markdown to this file instead of stdout")
+	registryMode := flag.Bool("registry", false, "benchmark every registered solver through the batch engine")
+	count := flag.Int("count", 64, "registry mode: workload size (instances)")
+	nf := flag.Int("nf", 16, "registry mode: facilities per instance")
+	nc := flag.Int("nc", 64, "registry mode: clients per instance")
+	jobs := flag.Int("jobs", 0, "registry mode: pool width (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "registry mode: per-solve deadline")
+	masterSeed := flag.Int64("seed", 42, "registry mode: master seed")
 	flag.Parse()
+
+	if *registryMode {
+		if err := runRegistrySweep(os.Stdout, *count, *nf, *nc, *jobs, *timeout, *masterSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "faclocbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sizes := bench.Quick
 	label := "quick"
@@ -85,4 +109,55 @@ func main() {
 		return
 	}
 	fmt.Print(b.String())
+}
+
+// runRegistrySweep drives every registered UFL solver over one shared
+// workload through facloc.Batch and prints a markdown comparison table.
+// Skipped cells (solver errors other than deadline) count as failures.
+func runRegistrySweep(w *os.File, count, nf, nc, jobs int, timeout time.Duration, masterSeed int64) error {
+	ins := make([]*facloc.Instance, count)
+	for i := range ins {
+		ins[i] = facloc.GenerateUniform(facloc.DeriveSeed(masterSeed, i), nf, nc, 1, 6)
+	}
+
+	fmt.Fprintf(w, "# Registry sweep: %d instances of %dx%d, jobs=%d, timeout=%v, GOMAXPROCS=%d\n\n",
+		count, nf, nc, jobs, timeout, runtime.GOMAXPROCS(0))
+	fmt.Fprintln(w, "| solver | guarantee | solved | deadline | failed | mean cost | wall | inst/s |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
+
+	for _, s := range facloc.Solvers() {
+		if s.Name() == "opt" && nf > exact.MaxEnumFacilities {
+			continue // enumeration infeasible at this width
+		}
+		b := facloc.NewBatch(s, facloc.BatchOptions{
+			Jobs: jobs, Timeout: timeout, MasterSeed: masterSeed,
+		})
+		start := time.Now()
+		solved, deadline, failed := 0, 0, 0
+		total := 0.0
+		err := b.Run(context.Background(), facloc.SliceSource(ins), func(r facloc.BatchResult) error {
+			switch {
+			case r.Err == nil:
+				solved++
+				total += r.Report.Solution.Cost()
+			case r.Err == context.DeadlineExceeded:
+				deadline++
+			default:
+				failed++
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("sweeping %s: %w", s.Name(), err)
+		}
+		wall := time.Since(start)
+		mean := 0.0
+		if solved > 0 {
+			mean = total / float64(solved)
+		}
+		fmt.Fprintf(w, "| %s | %s | %d | %d | %d | %.3f | %v | %.1f |\n",
+			s.Name(), s.Guarantee(), solved, deadline, failed, mean,
+			wall.Round(time.Millisecond), float64(count)/wall.Seconds())
+	}
+	return nil
 }

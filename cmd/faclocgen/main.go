@@ -1,10 +1,16 @@
 // Command faclocgen generates facility-location and k-clustering instances
 // as JSON, for use with faclocsolve.
 //
-// Usage:
+// One instance:
 //
 //	faclocgen -kind ufl  -family uniform|clustered|zipf -nf 16 -nc 64 -seed 1 [-o inst.json]
 //	faclocgen -kind kmed -n 64 -k 4 -seed 1 [-o inst.json]
+//
+// A workload: -count N emits N newline-delimited instances whose seeds are
+// derived splitmix64-style from -seed, the stream format `faclocsolve -jobs`
+// consumes:
+//
+//	faclocgen -count 200 -seed 42 | faclocsolve -solver pd-par -jobs 8
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 
+	facloc "repro"
 	"repro/internal/core"
 	"repro/internal/metric"
 )
@@ -25,7 +32,8 @@ func main() {
 	nc := flag.Int("nc", 64, "clients (ufl)")
 	n := flag.Int("n", 64, "nodes (kmed)")
 	k := flag.Int("k", 4, "budget (kmed)")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := flag.Int64("seed", 1, "random seed (with -count: master seed)")
+	count := flag.Int("count", 1, "number of instances to emit (newline-delimited)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -38,24 +46,33 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	if *count < 1 {
+		fatal(fmt.Errorf("-count %d: need at least one instance", *count))
+	}
 
-	switch *kind {
-	case "ufl":
-		in, err := genUFL(*family, *seed, *nf, *nc)
-		if err != nil {
-			fatal(err)
+	for i := 0; i < *count; i++ {
+		s := *seed
+		if *count > 1 {
+			s = facloc.DeriveSeed(*seed, i)
 		}
-		if err := core.WriteInstance(w, in); err != nil {
-			fatal(err)
+		switch *kind {
+		case "ufl":
+			in, err := genUFL(*family, s, *nf, *nc)
+			if err != nil {
+				fatal(err)
+			}
+			if err := core.WriteInstance(w, in); err != nil {
+				fatal(err)
+			}
+		case "kmed":
+			rng := rand.New(rand.NewSource(s))
+			ki := core.KFromSpace(nil, metric.GaussianClusters(nil, rng, *n, *k, 2, 100, 2), *k)
+			if err := core.WriteKInstance(w, ki); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("unknown kind %q", *kind))
 		}
-	case "kmed":
-		rng := rand.New(rand.NewSource(*seed))
-		ki := core.KFromSpace(nil, metric.GaussianClusters(nil, rng, *n, *k, 2, 100, 2), *k)
-		if err := core.WriteKInstance(w, ki); err != nil {
-			fatal(err)
-		}
-	default:
-		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}
 }
 

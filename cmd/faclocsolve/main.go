@@ -1,113 +1,197 @@
-// Command faclocsolve solves a JSON instance (see faclocgen) with any of the
-// implemented algorithms and prints the cost breakdown and solver stats.
+// Command faclocsolve solves JSON instances (see faclocgen) with any solver
+// registered in the facloc solver registry.
 //
-// Usage:
+// Single instance (pretty-printed report):
 //
-//	faclocsolve -algo greedy-par|greedy-seq|pd-par|pd-seq|lp-round|opt  inst.json
-//	faclocsolve -algo kcenter|kcenter-gonzalez|kmedian|kmeans|kmedian-2swap [-opt] kinst.json
+//	faclocsolve -solver pd-par [-eps 0.3] [-seed 0] [-timeout 5s] inst.json
+//	faclocsolve -solver kcenter kinst.json
+//
+// Batch mode (newline-delimited JSON instances in, NDJSON results out,
+// solved concurrently by a worker pool; output is identical for any -jobs):
+//
+//	faclocgen -count 200 | faclocsolve -solver greedy-par -jobs 8 -seed 42
+//
+// Discovery:
+//
+//	faclocsolve -list
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	facloc "repro"
 	"repro/internal/core"
 )
 
 func main() {
-	algo := flag.String("algo", "pd-par", "algorithm")
+	solver := flag.String("solver", "pd-par", "registered solver name (see -list)")
+	algo := flag.String("algo", "", "deprecated alias for -solver")
 	eps := flag.Float64("eps", 0.3, "slack parameter ε")
-	seed := flag.Int64("seed", 0, "random seed")
-	workers := flag.Int("workers", 0, "goroutine fan-out (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 0, "random seed (batch: master seed for splitmix64 derivation)")
+	workers := flag.Int("workers", 0, "goroutine fan-out per solve (0 = GOMAXPROCS; batch: 1)")
 	track := flag.Bool("track", true, "track PRAM work/span")
+	timeout := flag.Duration("timeout", 0, "per-solve deadline (0 = none)")
+	jobs := flag.Int("jobs", 0, "batch mode: solve a NDJSON instance stream with this many concurrent jobs")
+	list := flag.Bool("list", false, "list registered solvers and exit")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: faclocsolve -algo <name> <instance.json>")
-		os.Exit(2)
+
+	if *list {
+		listSolvers()
+		return
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	name := *solver
+	if *algo != "" {
+		name = *algo
 	}
-	defer f.Close()
+	// Legacy -algo spellings that predate the registry.
+	if legacy, ok := map[string]string{
+		"kopt-median": "k-median-opt",
+		"kopt-center": "k-center-opt",
+	}[name]; ok {
+		name = legacy
+	}
 
 	o := facloc.Options{Epsilon: *eps, Seed: *seed, Workers: *workers, TrackCost: *track}
 
-	switch *algo {
-	case "greedy-par", "greedy-seq", "pd-par", "pd-seq", "lp-round", "opt":
-		in, err := core.ReadInstance(f)
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: faclocsolve -solver <name> [instance.json]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
-		var r *facloc.Result
-		var lpVal float64
-		switch *algo {
-		case "greedy-par":
-			r = facloc.GreedyParallel(in, o)
-		case "greedy-seq":
-			r = facloc.GreedySequential(in, o)
-		case "pd-par":
-			r = facloc.PrimalDualParallel(in, o)
-		case "pd-seq":
-			r = facloc.PrimalDualSequential(in, o)
-		case "lp-round":
-			r, lpVal, err = facloc.LPRound(in, o)
-			if err != nil {
-				fatal(err)
-			}
-		case "opt":
-			r = facloc.OptimalFacility(in, o)
+		defer f.Close()
+		in = f
+	}
+
+	if *jobs > 0 {
+		runBatch(name, in, o, *jobs, *timeout)
+		return
+	}
+	runSingle(name, in, o, *timeout)
+}
+
+func listSolvers() {
+	fmt.Println("facility-location solvers:")
+	for _, s := range facloc.Solvers() {
+		fmt.Printf("  %-18s %s\n", s.Name(), s.Guarantee())
+	}
+	fmt.Println("k-clustering solvers:")
+	for _, s := range facloc.KSolvers() {
+		fmt.Printf("  %-18s [%s] %s\n", s.Name(), s.Objective(), s.Guarantee())
+	}
+}
+
+func solveCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+func runSingle(name string, r io.Reader, o facloc.Options, timeout time.Duration) {
+	ctx, cancel := solveCtx(timeout)
+	defer cancel()
+
+	if _, ok := facloc.Lookup(name); ok {
+		in, err := core.ReadInstance(r)
+		if err != nil {
+			fatal(err)
 		}
-		sol := r.Solution
-		fmt.Printf("algorithm:        %s\n", *algo)
+		rep, err := facloc.Solve(ctx, name, in, o)
+		if err != nil {
+			fatal(err)
+		}
+		sol := rep.Solution
+		fmt.Printf("solver:           %s\n", rep.Solver)
+		fmt.Printf("guarantee:        %s\n", rep.Guarantee)
 		fmt.Printf("instance:         %d facilities x %d clients (m=%d)\n", in.NF, in.NC, in.M())
 		fmt.Printf("open facilities:  %v\n", sol.Open)
 		fmt.Printf("facility cost:    %.4f\n", sol.FacilityCost)
 		fmt.Printf("connection cost:  %.4f\n", sol.ConnectionCost)
 		fmt.Printf("total cost:       %.4f\n", sol.Cost())
-		if lpVal > 0 {
-			fmt.Printf("LP lower bound:   %.4f (ratio %.4f)\n", lpVal, sol.Cost()/lpVal)
-		}
-		if dv := r.DualValue(); dv > 0 && r.DualFeasibility(in, 1) <= 1e-6 {
-			fmt.Printf("dual lower bound: %.4f (certified ratio <= %.4f)\n", dv, sol.Cost()/dv)
-		}
-		printStats(r.Stats)
-	case "kcenter", "kcenter-gonzalez", "kmedian", "kmeans", "kmedian-2swap", "kopt-median", "kopt-center":
-		ki, err := core.ReadKInstance(f)
+		printStats(rep.Stats)
+		return
+	}
+	if ks, ok := facloc.LookupK(name); ok {
+		ki, err := core.ReadKInstance(r)
 		if err != nil {
 			fatal(err)
 		}
-		var r *facloc.KResult
-		switch *algo {
-		case "kcenter":
-			r = facloc.KCenterParallel(ki, o)
-		case "kcenter-gonzalez":
-			r = facloc.KCenterGreedy(ki, o)
-		case "kmedian":
-			r = facloc.KMedianLocalSearch(ki, o)
-		case "kmeans":
-			r = facloc.KMeansLocalSearch(ki, o)
-		case "kmedian-2swap":
-			r = facloc.KMedianLocalSearch2Swap(ki, o)
-		case "kopt-median":
-			r = facloc.OptimalKCluster(ki, facloc.KMedian, o)
-		case "kopt-center":
-			r = facloc.OptimalKCluster(ki, facloc.KCenter, o)
+		rep, err := facloc.SolveKWith(ctx, ks, ki, o)
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Printf("algorithm: %s\n", *algo)
+		fmt.Printf("solver:    %s\n", rep.Solver)
+		fmt.Printf("guarantee: %s\n", rep.Guarantee)
 		fmt.Printf("instance:  n=%d k=%d\n", ki.N, ki.K)
-		fmt.Printf("centers:   %v\n", r.Solution.Centers)
-		fmt.Printf("objective: %s = %.4f\n", r.Solution.Obj, r.Solution.Value)
-		printStats(r.Stats)
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		fmt.Printf("centers:   %v\n", rep.Solution.Centers)
+		fmt.Printf("objective: %s = %.4f\n", rep.Solution.Obj, rep.Solution.Value)
+		printStats(rep.Stats)
+		return
 	}
+	fatal(fmt.Errorf("unknown solver %q (use -list)", name))
+}
+
+// batchLine is one NDJSON output record. Timing is deliberately excluded so
+// the output stream is byte-identical for any -jobs value. The solution
+// fields are pointers so a legitimate zero cost is distinguishable from a
+// failed solve: they are all present exactly when "error" is absent.
+type batchLine struct {
+	Index          int      `json:"index"`
+	Seed           int64    `json:"seed"`
+	Cost           *float64 `json:"cost,omitempty"`
+	FacilityCost   *float64 `json:"facility_cost,omitempty"`
+	ConnectionCost *float64 `json:"connection_cost,omitempty"`
+	Open           []int    `json:"open,omitempty"`
+	Error          string   `json:"error,omitempty"`
+}
+
+func runBatch(name string, r io.Reader, o facloc.Options, jobs int, timeout time.Duration) {
+	s, ok := facloc.Lookup(name)
+	if !ok {
+		fatal(fmt.Errorf("batch mode needs a facility-location solver, %q is not one (use -list)", name))
+	}
+	b := facloc.NewBatch(s, facloc.BatchOptions{
+		Jobs:       jobs,
+		Timeout:    timeout,
+		MasterSeed: o.Seed,
+		Base:       o,
+	})
+	enc := json.NewEncoder(os.Stdout)
+	solved, failed := 0, 0
+	err := b.Run(context.Background(), facloc.NewInstanceStream(r), func(res facloc.BatchResult) error {
+		line := batchLine{Index: res.Index, Seed: res.Seed}
+		if res.Err != nil {
+			failed++
+			line.Error = res.Err.Error()
+		} else {
+			solved++
+			sol := res.Report.Solution
+			cost := sol.Cost()
+			line.Cost = &cost
+			line.FacilityCost = &sol.FacilityCost
+			line.ConnectionCost = &sol.ConnectionCost
+			line.Open = sol.Open
+		}
+		return enc.Encode(line)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "faclocsolve: %d solved, %d failed (%s, jobs=%d)\n", solved, failed, name, jobs)
 }
 
 func printStats(s facloc.Stats) {
-	fmt.Printf("rounds:           %d (inner %d, fallbacks %d)\n", s.Rounds, s.InnerRounds, s.Fallbacks)
 	if s.Work > 0 {
 		fmt.Printf("PRAM work/span:   %d / %d (%d primitive calls)\n", s.Work, s.Span, s.Calls)
 	}

@@ -1,0 +1,190 @@
+package facloc
+
+// The cross-solver conformance suite: every registered solver, on a grid of
+// small generated instances, must (a) return a feasible solution, (b) stay
+// within its declared Guarantee of the exact optimum, and (c) produce a
+// bitwise-identical solution for the same seed regardless of worker count.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+const confEps = 0.3
+
+// confWorkers is the parallel worker count for the determinism leg: at least
+// 4, so the check is not vacuous on single-core machines.
+func confWorkers() int {
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		return p
+	}
+	return 4
+}
+
+// confUFLInstances is the UFL conformance grid: three families
+// (explicit-euclidean, uniform, clustered), all with nf small enough for
+// exact enumeration and n = nf + nc ≤ 12.
+func confUFLInstances(t *testing.T) map[string]*Instance {
+	t.Helper()
+	grid := map[string]*Instance{}
+
+	// Hand-built Euclidean lattice: 3 facilities, 8 clients on integer
+	// coordinates.
+	points := [][]float64{
+		{0, 0}, {4, 0}, {2, 3}, // facilities
+		{0, 1}, {1, 0}, {3, 0}, {4, 1}, {2, 2}, {1, 3}, {3, 3}, {2, 1}, // clients
+	}
+	euc, err := FromPoints(points, []int{0, 1, 2}, []int{3, 4, 5, 6, 7, 8, 9, 10},
+		[]float64{1.5, 2, 1})
+	if err != nil {
+		t.Fatalf("building euclidean instance: %v", err)
+	}
+	grid["euclidean"] = euc
+
+	for _, seed := range []int64{1, 2} {
+		grid[fmt.Sprintf("uniform-%d", seed)] = GenerateUniform(seed, 4, 8, 1, 6)
+		grid[fmt.Sprintf("clustered-%d", seed)] = GenerateClustered(seed, 3, 9, 2)
+	}
+	return grid
+}
+
+func confKInstances(t *testing.T) map[string]*KInstance {
+	t.Helper()
+	grid := map[string]*KInstance{}
+	for _, seed := range []int64{1, 2} {
+		grid[fmt.Sprintf("kuniform-%d", seed)] = GenerateKUniform(seed, 10, 3)
+		grid[fmt.Sprintf("kclustered-%d", seed)] = GenerateKClustered(seed, 12, 2)
+	}
+	return grid
+}
+
+func TestConformanceRegistryPopulated(t *testing.T) {
+	if got := len(Solvers()); got < 7 {
+		t.Fatalf("only %d UFL solvers registered, want >= 7", got)
+	}
+	if got := len(KSolvers()); got < 8 {
+		t.Fatalf("only %d k-solvers registered, want >= 8", got)
+	}
+	for _, s := range Solvers() {
+		if _, ok := Lookup(s.Name()); !ok {
+			t.Errorf("solver %q not resolvable by name", s.Name())
+		}
+	}
+	if _, err := Solve(context.Background(), "no-such-solver", GenerateUniform(1, 3, 4, 1, 6), Options{}); err == nil {
+		t.Fatal("Solve with unknown name should fail")
+	}
+}
+
+func TestConformanceUFL(t *testing.T) {
+	ctx := context.Background()
+	for label, in := range confUFLInstances(t) {
+		opt := exact.FacilityOPT(nil, in)
+		for _, s := range Solvers() {
+			t.Run(label+"/"+s.Name(), func(t *testing.T) {
+				o1 := Options{Epsilon: confEps, Seed: 7, Workers: 1}
+				op := o1
+				op.Workers = confWorkers()
+
+				rep1, err := SolveWith(ctx, s, in, o1)
+				if err != nil {
+					t.Fatalf("Workers=1 solve: %v", err)
+				}
+				repP, err := SolveWith(ctx, s, in, op)
+				if err != nil {
+					t.Fatalf("Workers=%d solve: %v", op.Workers, err)
+				}
+
+				// (a) feasibility: every client connected to an open facility,
+				// recorded costs consistent.
+				if err := rep1.Solution.CheckFeasible(in, 1e-6); err != nil {
+					t.Fatalf("infeasible solution: %v", err)
+				}
+
+				// (b) guarantee vs the exact optimum.
+				bound := s.Guarantee().Bound(confEps)
+				if cost, lim := rep1.Solution.Cost(), bound*opt.Cost(); cost > lim+1e-9 {
+					t.Fatalf("cost %.6f exceeds %s = %.6f (OPT %.6f)",
+						cost, s.Guarantee(), lim, opt.Cost())
+				}
+
+				// (c) bitwise-identical solutions across worker counts.
+				if !reflect.DeepEqual(rep1.Solution, repP.Solution) {
+					t.Fatalf("Workers=1 and Workers=%d solutions differ:\n%+v\nvs\n%+v",
+						op.Workers, rep1.Solution, repP.Solution)
+				}
+			})
+		}
+	}
+}
+
+func TestConformanceKClustering(t *testing.T) {
+	ctx := context.Background()
+	for label, ki := range confKInstances(t) {
+		for _, s := range KSolvers() {
+			t.Run(label+"/"+s.Name(), func(t *testing.T) {
+				opt := exact.KClusterOPT(nil, ki, s.Objective())
+
+				o1 := Options{Epsilon: confEps, Seed: 7, Workers: 1}
+				op := o1
+				op.Workers = confWorkers()
+
+				rep1, err := SolveKWith(ctx, s, ki, o1)
+				if err != nil {
+					t.Fatalf("Workers=1 solve: %v", err)
+				}
+				repP, err := SolveKWith(ctx, s, ki, op)
+				if err != nil {
+					t.Fatalf("Workers=%d solve: %v", op.Workers, err)
+				}
+
+				if err := rep1.Solution.CheckFeasible(ki, 1e-6); err != nil {
+					t.Fatalf("infeasible solution: %v", err)
+				}
+				if rep1.Solution.Obj != s.Objective() {
+					t.Fatalf("solution objective %v, solver declares %v", rep1.Solution.Obj, s.Objective())
+				}
+
+				bound := s.Guarantee().Bound(confEps)
+				if val, lim := rep1.Solution.Value, bound*opt.Value; val > lim+1e-9 {
+					t.Fatalf("value %.6f exceeds %s = %.6f (OPT %.6f)",
+						val, s.Guarantee(), lim, opt.Value)
+				}
+
+				if !reflect.DeepEqual(rep1.Solution, repP.Solution) {
+					t.Fatalf("Workers=1 and Workers=%d solutions differ:\n%+v\nvs\n%+v",
+						op.Workers, rep1.Solution, repP.Solution)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceExactSolversAreExact pins the two enumeration adapters to
+// the true optimum, so the guarantee checks above are anchored to a solver
+// the suite itself verifies.
+func TestConformanceExactSolversAreExact(t *testing.T) {
+	ctx := context.Background()
+	in := GenerateUniform(3, 4, 8, 1, 6)
+	rep, err := Solve(ctx, "opt", in, Options{})
+	if err != nil {
+		t.Fatalf("opt solve: %v", err)
+	}
+	want := exact.FacilityOPT(nil, in).Cost()
+	if got := rep.Solution.Cost(); got != want {
+		t.Fatalf("registry opt cost %v, direct enumeration %v", got, want)
+	}
+
+	ki := GenerateKUniform(3, 9, 2)
+	krep, err := SolveK(ctx, "k-median-opt", ki, Options{})
+	if err != nil {
+		t.Fatalf("k-median-opt solve: %v", err)
+	}
+	if want := exact.KClusterOPT(nil, ki, KMedian).Value; krep.Solution.Value != want {
+		t.Fatalf("registry k-median-opt value %v, direct enumeration %v", krep.Solution.Value, want)
+	}
+}

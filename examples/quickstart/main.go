@@ -1,14 +1,16 @@
 // Quickstart: the 60-second tour of the facloc public API.
 //
-// Builds a small facility-location instance, solves it with the paper's two
-// parallel algorithms and the exact optimum, and prints the measured
-// approximation ratios next to the proven guarantees.
+// Builds a small facility-location instance, runs every relevant solver from
+// the unified registry against the exact optimum, then solves a whole
+// workload concurrently through the batch engine.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	facloc "repro"
 )
@@ -16,31 +18,47 @@ import (
 func main() {
 	// Eight candidate warehouse sites, 40 customers, uniform in a square.
 	in := facloc.GenerateUniform(42, 8, 40, 1, 6)
+	ctx := context.Background()
+	opts := facloc.Options{Epsilon: 0.3, Seed: 1}
 
-	opt := facloc.OptimalFacility(in, facloc.Options{})
-	fmt.Printf("instance: %d facilities × %d clients, OPT = %.3f\n\n",
-		in.NF, in.NC, opt.Solution.Cost())
-
-	// Parallel primal-dual (§5 of the paper): (3+ε)-approximation.
-	pd := facloc.PrimalDualParallel(in, facloc.Options{Epsilon: 0.3, Seed: 1})
-	fmt.Printf("primal-dual (3+ε guarantee):  cost %.3f  ratio %.3f  rounds %d\n",
-		pd.Solution.Cost(), pd.Solution.Cost()/opt.Solution.Cost(), pd.Stats.Rounds)
-
-	// Parallel greedy (§4): (3.722+ε)-approximation.
-	gr := facloc.GreedyParallel(in, facloc.Options{Epsilon: 0.3, Seed: 1})
-	fmt.Printf("greedy      (3.722+ε):        cost %.3f  ratio %.3f  rounds %d\n",
-		gr.Solution.Cost(), gr.Solution.Cost()/opt.Solution.Cost(), gr.Stats.Rounds)
-
-	// LP rounding (§6.2): (4+ε) against the LP optimum.
-	lpr, lpVal, err := facloc.LPRound(in, facloc.Options{Epsilon: 0.3, Seed: 1})
+	// The registry knows every solver and the guarantee it was proven to
+	// satisfy; "opt" is the exact enumeration baseline.
+	opt, err := facloc.Solve(ctx, "opt", in, opts)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("LP rounding (4+ε vs LP):      cost %.3f  vs LP %.3f (ratio %.3f)\n",
-		lpr.Solution.Cost(), lpVal, lpr.Solution.Cost()/lpVal)
+	fmt.Printf("instance: %d facilities × %d clients, OPT = %.3f\n\n",
+		in.NF, in.NC, opt.Solution.Cost())
 
-	// The primal-dual algorithm also certifies its own quality: its dual is
-	// feasible, so Σα lower-bounds OPT without enumerating anything.
-	fmt.Printf("\ncertificate: Σα = %.3f ≤ OPT, so primal-dual ratio ≤ %.3f (no enumeration needed)\n",
-		pd.DualValue(), pd.Solution.Cost()/pd.DualValue())
+	for _, name := range []string{"pd-par", "greedy-par", "greedy-seq", "local-search", "lp-round"} {
+		rep, err := facloc.Solve(ctx, name, in, opts)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-13s cost %7.3f  ratio %.3f  guarantee %s\n",
+			rep.Solver, rep.Solution.Cost(), rep.Solution.Cost()/opt.Solution.Cost(), rep.Guarantee)
+	}
+
+	// The batch engine solves many instances concurrently with per-solve
+	// deadlines and seeds derived from one master seed — the result stream
+	// is identical for any pool width.
+	solver, _ := facloc.Lookup("pd-par")
+	batch := facloc.NewBatch(solver, facloc.BatchOptions{
+		Jobs:       4,
+		Timeout:    2 * time.Second,
+		MasterSeed: 42,
+	})
+	var workload []*facloc.Instance
+	for i := 0; i < 8; i++ {
+		workload = append(workload, facloc.GenerateUniform(int64(i), 8, 40, 1, 6))
+	}
+	results, err := batch.Collect(ctx, facloc.SliceSource(workload))
+	if err != nil {
+		panic(err)
+	}
+	total := 0.0
+	for _, r := range results {
+		total += r.Report.Solution.Cost()
+	}
+	fmt.Printf("\nbatch: solved %d instances concurrently, total cost %.3f\n", len(results), total)
 }

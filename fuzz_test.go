@@ -1,0 +1,88 @@
+package facloc
+
+// Native Go fuzz targets for the JSON codec: the decoders must never panic on
+// arbitrary bytes, and on every input they accept, Write∘Read must be the
+// identity (the round-trip the batch engine's NDJSON pipeline relies on).
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func fuzzSeedInstance(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, GenerateUniform(1, 3, 5, 1, 6)); err != nil {
+		tb.Fatalf("encoding seed instance: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadInstance(f *testing.F) {
+	f.Add(fuzzSeedInstance(f))
+	f.Add([]byte(`{"nf":1,"nc":1,"facility_costs":[1],"distance":[[2]]}`))
+	f.Add([]byte(`{"nf":2,"nc":1,"facility_costs":[1],"distance":[[2]]}`))
+	f.Add([]byte(`{"nf":-1,"nc":0,"facility_costs":[],"distance":[]}`))
+	f.Add([]byte(`{"nf":1,"nc":1,"facility_costs":[-5],"distance":[[1e308]]}`))
+	f.Add([]byte(`{"distance":[null,null]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		in, err := ReadInstance(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatalf("re-encoding a decoded instance: %v", err)
+		}
+		in2, err := ReadInstance(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding: %v", err)
+		}
+		if !reflect.DeepEqual(in, in2) {
+			t.Fatalf("Write∘Read is not the identity:\n%+v\nvs\n%+v", in, in2)
+		}
+	})
+}
+
+func FuzzReadKInstance(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteKInstance(&buf, GenerateKUniform(1, 5, 2)); err != nil {
+		f.Fatalf("encoding seed k-instance: %v", err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"n":2,"k":1,"distance":[[0,1],[1,0]]}`))
+	f.Add([]byte(`{"n":2,"k":1,"distance":[[0,1],[2,0]]}`))
+	f.Add([]byte(`{"n":0,"k":0,"distance":[]}`))
+	f.Add([]byte(`{"n":1,"k":1,"distance":[[1]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		ki, err := ReadKInstance(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := ki.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid k-instance: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteKInstance(&out, ki); err != nil {
+			t.Fatalf("re-encoding a decoded k-instance: %v", err)
+		}
+		ki2, err := ReadKInstance(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding: %v", err)
+		}
+		if !reflect.DeepEqual(ki, ki2) {
+			t.Fatalf("Write∘Read is not the identity:\n%+v\nvs\n%+v", ki, ki2)
+		}
+	})
+}

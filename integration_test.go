@@ -6,6 +6,7 @@ package facloc
 // worker counts.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -210,7 +211,7 @@ func TestLocalSearchMatchesInternal(t *testing.T) {
 	// Public wrapper and internal implementation agree.
 	in := GenerateUniform(45, 7, 18, 1, 6)
 	pub := FacilityLocalSearch(in, Options{Epsilon: 0.3})
-	internal := localsearch.UFLLocalSearch(nil, in, &localsearch.UFLOptions{Epsilon: 0.3})
+	internal, _ := localsearch.UFLLocalSearch(context.Background(), nil, in, &localsearch.UFLOptions{Epsilon: 0.3})
 	if pub.Solution.Cost() != internal.Sol.Cost() {
 		t.Fatalf("public %v vs internal %v", pub.Solution.Cost(), internal.Sol.Cost())
 	}

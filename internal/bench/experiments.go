@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -66,7 +67,7 @@ func E1GreedyQuality(s Sizes) *Table {
 				in := fam.Gen(seed, nf, nc)
 				tally := &par.Tally{}
 				c := &par.Ctx{Tally: tally}
-				res := greedy.Parallel(c, in, &greedy.Options{Epsilon: eps, Seed: seed})
+				res, _ := greedy.Parallel(context.Background(), c, in, &greedy.Options{Epsilon: eps, Seed: seed})
 				lb, _ := optOrLPBound(in)
 				ratios = append(ratios, res.Sol.Cost()/lb)
 				rounds = append(rounds, res.OuterRounds)
@@ -101,7 +102,7 @@ func E2SubselectionRounds(s Sizes) *Table {
 		maxInner, totInner, fallbacks := 0, 0, 0
 		for seed := int64(0); seed < int64(s.Seeds); seed++ {
 			in := Families()[0].Gen(seed, nf, nc)
-			res := greedy.Parallel(nil, in, &greedy.Options{Epsilon: eps, Seed: seed})
+			res, _ := greedy.Parallel(context.Background(), nil, in, &greedy.Options{Epsilon: eps, Seed: seed})
 			if res.MaxInnerPerOuter > maxInner {
 				maxInner = res.MaxInnerPerOuter
 			}
@@ -133,7 +134,7 @@ func E3PrimalDual(s Sizes) *Table {
 		for seed := int64(0); seed < int64(s.Seeds); seed++ {
 			in := fam.Gen(seed, nf, nc)
 			lb, _ := optOrLPBound(in)
-			p := primaldual.Parallel(nil, in, &primaldual.Options{Epsilon: eps, Seed: seed})
+			p, _ := primaldual.Parallel(context.Background(), nil, in, &primaldual.Options{Epsilon: eps, Seed: seed})
 			q := primaldual.SequentialJV(nil, in)
 			parRatios = append(parRatios, p.Sol.Cost()/lb)
 			seqRatios = append(seqRatios, q.Sol.Cost()/lb)
@@ -170,7 +171,7 @@ func E4KCenter(s Sizes) *Table {
 			rng := rand.New(rand.NewSource(seed))
 			ki := core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
 			opt := exact.KClusterOPT(nil, ki, core.KCenter)
-			hs := kcenter.HochbaumShmoys(nil, ki, rand.New(rand.NewSource(seed+99)))
+			hs, _ := kcenter.HochbaumShmoys(context.Background(), nil, ki, rand.New(rand.NewSource(seed+99)))
 			gz := kcenter.Gonzalez(nil, ki, 0)
 			hsR = append(hsR, hs.Sol.Value/opt.Value)
 			gzR = append(gzR, gz.Value/opt.Value)
@@ -254,8 +255,8 @@ func E6LocalSearch(s Sizes) *Table {
 		for seed := int64(0); seed < int64(s.Seeds); seed++ {
 			rng := rand.New(rand.NewSource(seed))
 			ki := core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
-			med := localsearch.KMedian(nil, ki, &localsearch.Options{Epsilon: eps, Seed: seed})
-			means := localsearch.KMeans(nil, ki, &localsearch.Options{Epsilon: eps, Seed: seed})
+			med, _ := localsearch.KMedian(context.Background(), nil, ki, &localsearch.Options{Epsilon: eps, Seed: seed})
+			means, _ := localsearch.KMeans(context.Background(), nil, ki, &localsearch.Options{Epsilon: eps, Seed: seed})
 			optMed := exact.KClusterOPT(nil, ki, core.KMedian)
 			optMeans := exact.KClusterOPT(nil, ki, core.KMeans)
 			medR = append(medR, med.Sol.Value/optMed.Value)
@@ -350,7 +351,7 @@ func E8LPDuality(s Sizes) *Table {
 		}
 		dualVal := prob.DualValue(sol.Dual)
 		jv := primaldual.SequentialJV(nil, in)
-		pd := primaldual.Parallel(nil, in, &primaldual.Options{Epsilon: 0.3, Seed: seed})
+		pd, _ := primaldual.Parallel(context.Background(), nil, in, &primaldual.Options{Epsilon: 0.3, Seed: seed})
 		sum := func(xs []float64) float64 {
 			s := 0.0
 			for _, x := range xs {
@@ -473,7 +474,7 @@ func E11CrossAlgorithm(s Sizes) *Table {
 			return r.Sol.Cost(), r.Iterations
 		}},
 		{"primal-dual-par", 3 * (1 + eps), func(in *core.Instance, seed int64) (float64, int) {
-			r := primaldual.Parallel(nil, in, &primaldual.Options{Epsilon: eps, Seed: seed})
+			r, _ := primaldual.Parallel(context.Background(), nil, in, &primaldual.Options{Epsilon: eps, Seed: seed})
 			return r.Sol.Cost(), r.Iterations
 		}},
 		{"lp-round", 4 * (1 + eps), func(in *core.Instance, seed int64) (float64, int) {
@@ -485,7 +486,7 @@ func E11CrossAlgorithm(s Sizes) *Table {
 			return r.Sol.Cost(), len(r.Rounds)
 		}},
 		{"greedy-par", 3.722 + eps, func(in *core.Instance, seed int64) (float64, int) {
-			r := greedy.Parallel(nil, in, &greedy.Options{Epsilon: eps, Seed: seed})
+			r, _ := greedy.Parallel(context.Background(), nil, in, &greedy.Options{Epsilon: eps, Seed: seed})
 			return r.Sol.Cost(), r.OuterRounds
 		}},
 	}
@@ -523,8 +524,8 @@ func E12EpsilonTradeoff(s Sizes) *Table {
 	in := Families()[1].Gen(3, nf, nc)
 	lb, _ := optOrLPBound(in)
 	for _, eps := range []float64{0.05, 0.1, 0.3, 0.5, 1.0, 2.0} {
-		g := greedy.Parallel(nil, in, &greedy.Options{Epsilon: eps, Seed: 3})
-		p := primaldual.Parallel(nil, in, &primaldual.Options{Epsilon: eps, Seed: 3})
+		g, _ := greedy.Parallel(context.Background(), nil, in, &greedy.Options{Epsilon: eps, Seed: 3})
+		p, _ := primaldual.Parallel(context.Background(), nil, in, &primaldual.Options{Epsilon: eps, Seed: 3})
 		t.Rows = append(t.Rows, []string{
 			f2(eps), d(g.OuterRounds), f3(g.Sol.Cost() / lb),
 			d(p.Iterations), f3(p.Sol.Cost() / lb),
@@ -552,8 +553,8 @@ func E14UFLLocalSearch(s Sizes) *Table {
 		for seed := int64(0); seed < int64(s.Seeds); seed++ {
 			in := fam.Gen(seed, nf, nc)
 			lb, _ := optOrLPBound(in)
-			res := localsearch.UFLLocalSearch(nil, in, &localsearch.UFLOptions{Epsilon: eps})
-			g := greedy.Parallel(nil, in, &greedy.Options{Epsilon: eps, Seed: seed})
+			res, _ := localsearch.UFLLocalSearch(context.Background(), nil, in, &localsearch.UFLOptions{Epsilon: eps})
+			g, _ := greedy.Parallel(context.Background(), nil, in, &greedy.Options{Epsilon: eps, Seed: seed})
 			ratios = append(ratios, res.Sol.Cost()/lb)
 			greedyRatios = append(greedyRatios, g.Sol.Cost()/lb)
 			if res.Rounds > rounds {
@@ -583,7 +584,7 @@ func E13PSwapAblation(s Sizes) *Table {
 		for seed := int64(0); seed < int64(s.Seeds); seed++ {
 			rng := rand.New(rand.NewSource(seed))
 			ki := core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
-			res := localsearch.KMedian(nil, ki, &localsearch.Options{Epsilon: 0.3, Seed: seed, SwapSize: p})
+			res, _ := localsearch.KMedian(context.Background(), nil, ki, &localsearch.Options{Epsilon: 0.3, Seed: seed, SwapSize: p})
 			opt := exact.KClusterOPT(nil, ki, core.KMedian)
 			ratios = append(ratios, res.Sol.Value/opt.Value)
 			scanned += res.SwapsScanned

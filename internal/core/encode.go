@@ -36,6 +36,10 @@ func ReadInstance(r io.Reader) (*Instance, error) {
 	if err := json.NewDecoder(r).Decode(&ij); err != nil {
 		return nil, fmt.Errorf("core: decoding instance: %w", err)
 	}
+	return instanceFromJSON(&ij)
+}
+
+func instanceFromJSON(ij *instanceJSON) (*Instance, error) {
 	if len(ij.Distance) != ij.NF {
 		return nil, fmt.Errorf("core: %d distance rows for nf=%d", len(ij.Distance), ij.NF)
 	}
@@ -53,6 +57,31 @@ func ReadInstance(r io.Reader) (*Instance, error) {
 	return in, nil
 }
 
+// InstanceDecoder streams a sequence of JSON instances (newline-delimited or
+// simply concatenated — both are valid json.Decoder streams) without
+// materializing more than one at a time, which is what the batch engine's
+// bounded-memory contract requires.
+type InstanceDecoder struct {
+	dec *json.Decoder
+}
+
+// NewInstanceDecoder returns a decoder over the instance stream r.
+func NewInstanceDecoder(r io.Reader) *InstanceDecoder {
+	return &InstanceDecoder{dec: json.NewDecoder(r)}
+}
+
+// Next decodes and validates the next instance; io.EOF ends the stream.
+func (d *InstanceDecoder) Next() (*Instance, error) {
+	var ij instanceJSON
+	if err := d.dec.Decode(&ij); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("core: decoding instance stream: %w", err)
+	}
+	return instanceFromJSON(&ij)
+}
+
 // WriteKInstance serializes ki as JSON.
 func WriteKInstance(w io.Writer, ki *KInstance) error {
 	return json.NewEncoder(w).Encode(kInstanceJSON{N: ki.N, K: ki.K,
@@ -65,6 +94,10 @@ func ReadKInstance(r io.Reader) (*KInstance, error) {
 	if err := json.NewDecoder(r).Decode(&kj); err != nil {
 		return nil, fmt.Errorf("core: decoding k-instance: %w", err)
 	}
+	return kInstanceFromJSON(&kj)
+}
+
+func kInstanceFromJSON(kj *kInstanceJSON) (*KInstance, error) {
 	if len(kj.Distance) != kj.N {
 		return nil, fmt.Errorf("core: %d rows for n=%d", len(kj.Distance), kj.N)
 	}
@@ -80,4 +113,26 @@ func ReadKInstance(r io.Reader) (*KInstance, error) {
 		return nil, err
 	}
 	return ki, nil
+}
+
+// KInstanceDecoder streams a sequence of JSON k-instances, one at a time.
+type KInstanceDecoder struct {
+	dec *json.Decoder
+}
+
+// NewKInstanceDecoder returns a decoder over the k-instance stream r.
+func NewKInstanceDecoder(r io.Reader) *KInstanceDecoder {
+	return &KInstanceDecoder{dec: json.NewDecoder(r)}
+}
+
+// Next decodes and validates the next k-instance; io.EOF ends the stream.
+func (d *KInstanceDecoder) Next() (*KInstance, error) {
+	var kj kInstanceJSON
+	if err := d.dec.Decode(&kj); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("core: decoding k-instance stream: %w", err)
+	}
+	return kInstanceFromJSON(&kj)
 }

@@ -2,8 +2,12 @@ package core
 
 import (
 	"bytes"
+	"io"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/metric"
 )
 
 func TestInstanceJSONRoundTrip(t *testing.T) {
@@ -81,5 +85,72 @@ func TestReadKInstanceRejectsGarbage(t *testing.T) {
 		if _, err := ReadKInstance(strings.NewReader(c)); err == nil {
 			t.Fatalf("accepted %q", c)
 		}
+	}
+}
+
+func TestInstanceDecoderStreams(t *testing.T) {
+	var buf bytes.Buffer
+	want := make([]*Instance, 5)
+	for i := range want {
+		want[i] = testInstance(int64(i+1), 3, 5)
+		if err := WriteInstance(&buf, want[i]); err != nil {
+			t.Fatalf("encoding instance %d: %v", i, err)
+		}
+	}
+	dec := NewInstanceDecoder(&buf)
+	for i := range want {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("decoding instance %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("instance %d round-trip mismatch", i)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("after the stream drains: err = %v, want io.EOF", err)
+	}
+}
+
+func TestInstanceDecoderMidStreamError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, testInstance(1, 3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"nf":2,"nc":1,"facility_costs":[1,1],"distance":[[1]]}` + "\n")
+	dec := NewInstanceDecoder(&buf)
+	if _, err := dec.Next(); err != nil {
+		t.Fatalf("first instance should decode: %v", err)
+	}
+	if _, err := dec.Next(); err == nil || err == io.EOF {
+		t.Fatalf("shape mismatch should be an error, got %v", err)
+	}
+}
+
+func TestKInstanceDecoderStreams(t *testing.T) {
+	var buf bytes.Buffer
+	rows := [][]float64{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}}
+	d, err := metric.FromRows(nil, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ki := &KInstance{N: 3, K: 2, Dist: d}
+	for i := 0; i < 3; i++ {
+		if err := WriteKInstance(&buf, ki); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewKInstanceDecoder(&buf)
+	for i := 0; i < 3; i++ {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("decoding k-instance %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, ki) {
+			t.Fatalf("k-instance %d round-trip mismatch", i)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("after the stream drains: err = %v, want io.EOF", err)
 	}
 }

@@ -14,6 +14,7 @@
 package greedy
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -138,8 +139,11 @@ func (ss *starState) cheapestStar(in *core.Instance, fi []float64, live []bool, 
 	return best, bestK
 }
 
-// Parallel runs Algorithm 4.1 with the γ/m² preprocessing of §4.
-func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
+// Parallel runs Algorithm 4.1 with the γ/m² preprocessing of §4. The context
+// is checked at every outer round and every subselection iteration: on
+// cancellation or deadline the call abandons the partial solve and returns
+// ctx.Err() with a nil result.
+func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options) (*Result, error) {
 	eps := opts.epsilon()
 	onePlus := 1 + eps
 	rng := rand.New(rand.NewSource(opts.seed()))
@@ -222,6 +226,9 @@ func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
 	perm := make([]int64, nf) // random priorities standing in for Π
 
 	for liveCount > 0 && res.OuterRounds < maxOuter {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		res.OuterRounds++
 		computeStars()
 		tau := math.Inf(1)
@@ -252,6 +259,9 @@ func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
 			}
 			if !anyI {
 				break
+			}
+			if err := par.CtxErr(ctx); err != nil {
+				return nil, err
 			}
 			inner++
 			res.InnerRounds++
@@ -393,5 +403,5 @@ func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
 
 	res.Alpha = alpha
 	res.Sol = core.EvalOpen(c, in, openOrder)
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package greedy
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -10,6 +11,16 @@ import (
 	"repro/internal/metric"
 	"repro/internal/par"
 )
+
+// mustParallel runs Parallel with a background context, panicking on the
+// impossible cancellation error so existing tests keep their shape.
+func mustParallel(c *par.Ctx, in *core.Instance, o *Options) *Result {
+	res, err := Parallel(context.Background(), c, in, o)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 func inst(seed int64, nf, nc int) *core.Instance {
 	rng := rand.New(rand.NewSource(seed))
@@ -45,7 +56,7 @@ func TestParallelFeasibleAndWithinBound(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		in := inst(seed, 7, 20)
 		eps := 0.3
-		res := Parallel(&par.Ctx{Workers: 2}, in, &Options{Epsilon: eps, Seed: seed})
+		res := mustParallel(&par.Ctx{Workers: 2}, in, &Options{Epsilon: eps, Seed: seed})
 		if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +70,7 @@ func TestParallelFeasibleAndWithinBound(t *testing.T) {
 
 func TestParallelAllClientsServed(t *testing.T) {
 	in := inst(1, 6, 30)
-	res := Parallel(nil, in, nil)
+	res := mustParallel(nil, in, nil)
 	if len(res.Sol.Assign) != in.NC {
 		t.Fatalf("assign len %d", len(res.Sol.Assign))
 	}
@@ -75,7 +86,7 @@ func TestLemma43CostAgainstAlpha(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		in := inst(seed+10, 6, 18)
 		eps := 0.5
-		res := Parallel(nil, in, &Options{Epsilon: eps, Seed: seed})
+		res := mustParallel(nil, in, &Options{Epsilon: eps, Seed: seed})
 		sumAlpha := 0.0
 		for _, a := range res.Alpha {
 			sumAlpha += a
@@ -91,7 +102,7 @@ func TestLemma47DualFeasibility(t *testing.T) {
 	// Lemma 4.7: α/3 with implied β is dual feasible.
 	for seed := int64(0); seed < 8; seed++ {
 		in := inst(seed+20, 6, 18)
-		res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: seed})
+		res := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: seed})
 		d := &core.DualSolution{Alpha: res.Alpha}
 		if v := d.MaxViolation(nil, in, 1.0/3.0); v > 1e-6 {
 			t.Fatalf("seed=%d: α/3 infeasible, violation %v", seed, v)
@@ -103,7 +114,7 @@ func TestTauScheduleGeometric(t *testing.T) {
 	// §4 round bound: τ grows by more than (1+ε) between consecutive rounds.
 	in := clusteredInst(2, 8, 32)
 	eps := 0.4
-	res := Parallel(nil, in, &Options{Epsilon: eps, Seed: 2})
+	res := mustParallel(nil, in, &Options{Epsilon: eps, Seed: 2})
 	for r := 1; r < len(res.TauSchedule); r++ {
 		if res.TauSchedule[r] <= res.TauSchedule[r-1]*(1+eps)-1e-12 {
 			t.Fatalf("round %d: τ=%v did not grow (1+ε)× over %v",
@@ -116,7 +127,7 @@ func TestOuterRoundsLogarithmic(t *testing.T) {
 	// Theorem 4.9 via the preprocessing argument: rounds ≤ log_{1+ε}(m³)+O(1).
 	for _, eps := range []float64{0.2, 0.5, 1.0} {
 		in := inst(3, 8, 40)
-		res := Parallel(nil, in, &Options{Epsilon: eps, Seed: 3})
+		res := mustParallel(nil, in, &Options{Epsilon: eps, Seed: 3})
 		m := float64(in.M())
 		bound := int(3*math.Log(m)/math.Log(1+eps)) + 8
 		if res.OuterRounds > bound {
@@ -129,7 +140,7 @@ func TestInnerRoundsLemma48(t *testing.T) {
 	// Lemma 4.8: each subselection terminates in O(log_{1+ε} m) rounds whp.
 	in := inst(4, 10, 50)
 	eps := 0.3
-	res := Parallel(nil, in, &Options{Epsilon: eps, Seed: 4})
+	res := mustParallel(nil, in, &Options{Epsilon: eps, Seed: 4})
 	m := float64(in.M())
 	bound := int(16*math.Log(m)/math.Log(1+eps)) + 64
 	if res.MaxInnerPerOuter > bound {
@@ -163,7 +174,7 @@ func TestPreprocessingOpensCheapStars(t *testing.T) {
 	}
 	costs := []float64{0, 10, 10, 10}
 	in := core.FromSpace(nil, sp, fac, cli, costs)
-	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 5})
+	res := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 5})
 	if res.Preopened == 0 {
 		t.Fatal("zero-price star not preopened")
 	}
@@ -209,7 +220,7 @@ func TestParallelVsSequentialGap(t *testing.T) {
 	// guarantee of the sequential one, and typically close.
 	for seed := int64(0); seed < 5; seed++ {
 		in := inst(seed+40, 8, 24)
-		p := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: seed})
+		p := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: seed})
 		s := SequentialJMS(nil, in)
 		if p.Sol.Cost() > 4*s.Sol.Cost() {
 			t.Fatalf("seed=%d: parallel %v far above sequential %v", seed, p.Sol.Cost(), s.Sol.Cost())
@@ -219,8 +230,8 @@ func TestParallelVsSequentialGap(t *testing.T) {
 
 func TestDeterministicPerSeed(t *testing.T) {
 	in := inst(7, 8, 30)
-	a := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 9})
-	b := Parallel(&par.Ctx{Workers: 4}, in, &Options{Epsilon: 0.3, Seed: 9})
+	a := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 9})
+	b := mustParallel(&par.Ctx{Workers: 4}, in, &Options{Epsilon: 0.3, Seed: 9})
 	if a.Sol.Cost() != b.Sol.Cost() || a.OuterRounds != b.OuterRounds {
 		t.Fatalf("nondeterministic: %v/%d vs %v/%d",
 			a.Sol.Cost(), a.OuterRounds, b.Sol.Cost(), b.OuterRounds)
@@ -230,8 +241,8 @@ func TestDeterministicPerSeed(t *testing.T) {
 func TestEpsilonRoundsTradeoff(t *testing.T) {
 	// Bigger ε ⇒ fewer outer rounds (the central slack trade-off).
 	in := clusteredInst(8, 10, 60)
-	small := Parallel(nil, in, &Options{Epsilon: 0.05, Seed: 1})
-	big := Parallel(nil, in, &Options{Epsilon: 1.0, Seed: 1})
+	small := mustParallel(nil, in, &Options{Epsilon: 0.05, Seed: 1})
+	big := mustParallel(nil, in, &Options{Epsilon: 1.0, Seed: 1})
 	if big.OuterRounds > small.OuterRounds {
 		t.Fatalf("ε=1.0 used %d rounds, ε=0.05 used %d", big.OuterRounds, small.OuterRounds)
 	}
@@ -239,7 +250,7 @@ func TestEpsilonRoundsTradeoff(t *testing.T) {
 
 func TestSingleFacilityInstance(t *testing.T) {
 	in := inst(9, 1, 10)
-	res := Parallel(nil, in, nil)
+	res := mustParallel(nil, in, nil)
 	if len(res.Sol.Open) != 1 || res.Sol.Open[0] != 0 {
 		t.Fatalf("open=%v", res.Sol.Open)
 	}
@@ -254,7 +265,7 @@ func TestZeroCostFacilities(t *testing.T) {
 	for i := range in.FacCost {
 		in.FacCost[i] = 0
 	}
-	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 10})
+	res := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 10})
 	if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +284,7 @@ func TestUniformCostGrid(t *testing.T) {
 		cli[j] = j
 	}
 	in := core.FromSpace(nil, sp, fac, cli, metric.UniformCosts(nil, 5, 3))
-	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 11})
+	res := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 11})
 	if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +298,7 @@ func TestAlphaMonotoneInRemovalOrder(t *testing.T) {
 	// α values are τ's, and τ grows per round — so sorting clients by α
 	// reproduces (a coarsening of) the removal order. All α positive.
 	in := inst(12, 6, 20)
-	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 12})
+	res := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 12})
 	for j, a := range res.Alpha {
 		if a <= 0 {
 			t.Fatalf("client %d α=%v", j, a)
@@ -302,11 +313,23 @@ func TestWorkBoundShape(t *testing.T) {
 	c := &par.Ctx{Workers: 2, Tally: tally}
 	in := inst(13, 12, 64)
 	eps := 0.3
-	Parallel(c, in, &Options{Epsilon: eps, Seed: 13})
+	mustParallel(c, in, &Options{Epsilon: eps, Seed: 13})
 	m := float64(in.M())
 	logm := math.Log(m) / math.Log(1+eps)
 	bound := 50 * m * logm * logm
 	if w := float64(tally.Snapshot().Work); w > bound {
 		t.Fatalf("work %v exceeds %v", w, bound)
+	}
+}
+
+func TestParallelCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Parallel(ctx, nil, inst(1, 8, 24), &Options{Epsilon: 0.3, Seed: 1})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled solve must not return a partial result")
 	}
 }

@@ -5,6 +5,7 @@
 package kcenter
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -33,12 +34,14 @@ type Result struct {
 // HochbaumShmoys computes a 2-approximate k-center solution in RNC:
 // O((n log n)²) work. The candidate radii are the distinct pairwise
 // distances; each probe builds the implicit threshold graph H_α and tests
-// |MaxDom(H_α)| ≤ k.
-func HochbaumShmoys(c *par.Ctx, ki *core.KInstance, rng *rand.Rand) *Result {
+// |MaxDom(H_α)| ≤ k. The context is checked before every binary-search
+// probe: on cancellation or deadline the call abandons the partial search and
+// returns ctx.Err() with a nil result.
+func HochbaumShmoys(ctx context.Context, c *par.Ctx, ki *core.KInstance, rng *rand.Rand) (*Result, error) {
 	n := ki.N
 	if ki.K >= n {
 		all := par.Iota(c, n)
-		return &Result{Sol: core.EvalCenters(c, ki, all, core.KCenter)}
+		return &Result{Sol: core.EvalCenters(c, ki, all, core.KCenter)}, nil
 	}
 	// Collect and sort the distinct pairwise distances (upper triangle; the
 	// zero diagonal is excluded, but co-located distinct nodes legitimately
@@ -76,6 +79,9 @@ func HochbaumShmoys(c *par.Ctx, ki *core.KInstance, rng *rand.Rand) *Result {
 	// d_t proves OPT > d_t, and the final successful probe yields a set
 	// covering V at radius 2·d_t.
 	lo, hi := 0, len(distinct)-1
+	if err := par.CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	bestSel := probe(distinct[hi])
 	bestIdx := hi
 	if len(bestSel) > ki.K {
@@ -84,6 +90,9 @@ func HochbaumShmoys(c *par.Ctx, ki *core.KInstance, rng *rand.Rand) *Result {
 		panic("kcenter: probe at maximum distance failed")
 	}
 	for lo < hi {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		mid := (lo + hi) / 2
 		sel := probe(distinct[mid])
 		if len(sel) <= ki.K {
@@ -96,7 +105,7 @@ func HochbaumShmoys(c *par.Ctx, ki *core.KInstance, rng *rand.Rand) *Result {
 	}
 	res.Threshold = distinct[bestIdx]
 	res.Sol = core.EvalCenters(c, ki, bestSel, core.KCenter)
-	return res
+	return res, nil
 }
 
 // Gonzalez is the classic sequential farthest-point 2-approximation

@@ -1,6 +1,7 @@
 package kcenter
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -10,6 +11,16 @@ import (
 	"repro/internal/metric"
 	"repro/internal/par"
 )
+
+// mustHS runs HochbaumShmoys with a background context, panicking on the
+// impossible cancellation error so existing tests keep their shape.
+func mustHS(c *par.Ctx, ki *core.KInstance, rng *rand.Rand) *Result {
+	res, err := HochbaumShmoys(context.Background(), c, ki, rng)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 func kinst(seed int64, n, k int) *core.KInstance {
 	rng := rand.New(rand.NewSource(seed))
@@ -21,7 +32,7 @@ func TestHochbaumShmoysWithin2OPT(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		for _, k := range []int{1, 2, 3, 4} {
 			ki := kinst(seed, 12, k)
-			res := HochbaumShmoys(&par.Ctx{Workers: 2}, ki, rand.New(rand.NewSource(seed+100)))
+			res := mustHS(&par.Ctx{Workers: 2}, ki, rand.New(rand.NewSource(seed+100)))
 			if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
 				t.Fatal(err)
 			}
@@ -44,7 +55,7 @@ func TestHochbaumShmoysProbeBudget(t *testing.T) {
 	// Binary search: probes ≤ ⌈log₂|D|⌉ + 1 (the +1 is the initial
 	// feasibility probe at the maximum distance).
 	ki := kinst(42, 40, 5)
-	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(1)))
+	res := mustHS(nil, ki, rand.New(rand.NewSource(1)))
 	bound := int(math.Ceil(math.Log2(float64(res.DistinctDistances)))) + 1
 	if res.Probes > bound {
 		t.Fatalf("%d probes > bound %d (|D|=%d)", res.Probes, bound, res.DistinctDistances)
@@ -57,7 +68,7 @@ func TestHochbaumShmoysProbeBudget(t *testing.T) {
 func TestHochbaumShmoysRespectsK(t *testing.T) {
 	for _, k := range []int{1, 3, 7} {
 		ki := kinst(7, 25, k)
-		res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(2)))
+		res := mustHS(nil, ki, rand.New(rand.NewSource(2)))
 		if len(res.Sol.Centers) > k {
 			t.Fatalf("k=%d: %d centers", k, len(res.Sol.Centers))
 		}
@@ -66,12 +77,12 @@ func TestHochbaumShmoysRespectsK(t *testing.T) {
 
 func TestHochbaumShmoysKGEN(t *testing.T) {
 	ki := kinst(8, 6, 6)
-	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(3)))
+	res := mustHS(nil, ki, rand.New(rand.NewSource(3)))
 	if res.Sol.Value != 0 {
 		t.Fatalf("k=n value %v", res.Sol.Value)
 	}
 	ki2 := kinst(8, 6, 10) // k > n
-	res2 := HochbaumShmoys(nil, ki2, rand.New(rand.NewSource(3)))
+	res2 := mustHS(nil, ki2, rand.New(rand.NewSource(3)))
 	if res2.Sol.Value != 0 {
 		t.Fatalf("k>n value %v", res2.Sol.Value)
 	}
@@ -80,7 +91,7 @@ func TestHochbaumShmoysKGEN(t *testing.T) {
 func TestHochbaumShmoysStarMetric(t *testing.T) {
 	// Star with k=1: OPT = r; HS must return value ≤ 2r.
 	ki := core.KFromSpace(nil, metric.Star(nil, 10, 5), 1)
-	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(4)))
+	res := mustHS(nil, ki, rand.New(rand.NewSource(4)))
 	if res.Sol.Value > 10+1e-9 {
 		t.Fatalf("value %v > 2·r", res.Sol.Value)
 	}
@@ -92,7 +103,7 @@ func TestHochbaumShmoysClustered(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	sp := metric.TwoScale(nil, rng, 40, 4, 1, 1000)
 	ki := core.KFromSpace(nil, sp, 4)
-	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(6)))
+	res := mustHS(nil, ki, rand.New(rand.NewSource(6)))
 	if res.Sol.Value > 10 {
 		t.Fatalf("clustered value %v, expected ≈ cluster diameter", res.Sol.Value)
 	}
@@ -102,7 +113,7 @@ func TestHochbaumShmoysDuplicatePoints(t *testing.T) {
 	// All points identical: radius 0 with any k.
 	sp := &metric.Euclidean{Dim: 1, Coords: []float64{5, 5, 5, 5, 5}}
 	ki := core.KFromSpace(nil, sp, 2)
-	res := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(7)))
+	res := mustHS(nil, ki, rand.New(rand.NewSource(7)))
 	if res.Sol.Value != 0 {
 		t.Fatalf("duplicates value %v", res.Sol.Value)
 	}
@@ -158,7 +169,7 @@ func TestHSAndGonzalezComparable(t *testing.T) {
 	// Both are 2-approximations; neither should be wildly worse than the
 	// other (within 2× of each other by the shared guarantee).
 	ki := kinst(12, 30, 5)
-	hs := HochbaumShmoys(nil, ki, rand.New(rand.NewSource(13)))
+	hs := mustHS(nil, ki, rand.New(rand.NewSource(13)))
 	gz := Gonzalez(nil, ki, 0)
 	if hs.Sol.Value > 2*gz.Value+1e-9 || gz.Value > 2*hs.Sol.Value+1e-9 {
 		t.Fatalf("HS %v vs Gonzalez %v outside mutual 2× window", hs.Sol.Value, gz.Value)
@@ -172,7 +183,7 @@ func TestHochbaumShmoysWorkCounted(t *testing.T) {
 	c := &par.Ctx{Workers: 2, Tally: tally}
 	n := 32
 	ki := kinst(13, n, 4)
-	HochbaumShmoys(c, ki, rand.New(rand.NewSource(14)))
+	mustHS(c, ki, rand.New(rand.NewSource(14)))
 	w := float64(tally.Snapshot().Work)
 	nlogn := float64(n) * math.Log2(float64(n))
 	if w > 200*nlogn*nlogn {
@@ -180,5 +191,17 @@ func TestHochbaumShmoysWorkCounted(t *testing.T) {
 	}
 	if w == 0 {
 		t.Fatal("no work recorded")
+	}
+}
+
+func TestHochbaumShmoysCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := HochbaumShmoys(ctx, nil, kinst(1, 12, 3), rand.New(rand.NewSource(1)))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled search must not return a partial result")
 	}
 }

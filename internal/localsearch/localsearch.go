@@ -9,6 +9,7 @@
 package localsearch
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -60,14 +61,17 @@ type Result struct {
 	SwapsScanned int64   // total candidate swaps evaluated
 }
 
-// KMedian runs the (5+ε)-approximate local search for k-median.
-func KMedian(c *par.Ctx, ki *core.KInstance, opts *Options) *Result {
-	return search(c, ki, core.KMedian, opts)
+// KMedian runs the (5+ε)-approximate local search for k-median. The context
+// is checked at every swap round; on cancellation the call returns ctx.Err()
+// with a nil result.
+func KMedian(ctx context.Context, c *par.Ctx, ki *core.KInstance, opts *Options) (*Result, error) {
+	return search(ctx, c, ki, core.KMedian, opts)
 }
 
-// KMeans runs the (81+ε)-approximate local search for k-means.
-func KMeans(c *par.Ctx, ki *core.KInstance, opts *Options) *Result {
-	return search(c, ki, core.KMeans, opts)
+// KMeans runs the (81+ε)-approximate local search for k-means, with the same
+// per-round cancellation contract as KMedian.
+func KMeans(ctx context.Context, c *par.Ctx, ki *core.KInstance, opts *Options) (*Result, error) {
+	return search(ctx, c, ki, core.KMeans, opts)
 }
 
 // contribution converts a raw distance into its objective contribution.
@@ -78,13 +82,13 @@ func contribution(obj core.KObjective, d float64) float64 {
 	return d
 }
 
-func search(c *par.Ctx, ki *core.KInstance, obj core.KObjective, options *Options) *Result {
+func search(ctx context.Context, c *par.Ctx, ki *core.KInstance, obj core.KObjective, options *Options) (*Result, error) {
 	o := options.defaults()
 	n, k := ki.N, ki.K
 	if k >= n {
 		all := par.Iota(c, n)
 		sol := core.EvalCenters(c, ki, all, obj)
-		return &Result{Sol: sol, InitialValue: sol.Value}
+		return &Result{Sol: sol, InitialValue: sol.Value}, nil
 	}
 
 	inCenter := make([]bool, n)
@@ -92,7 +96,10 @@ func search(c *par.Ctx, ki *core.KInstance, obj core.KObjective, options *Option
 	if o.Initial != nil {
 		centers = append([]int(nil), o.Initial...)
 	} else {
-		hs := kcenter.HochbaumShmoys(c, ki, rand.New(rand.NewSource(o.Seed)))
+		hs, err := kcenter.HochbaumShmoys(ctx, c, ki, rand.New(rand.NewSource(o.Seed)))
+		if err != nil {
+			return nil, err
+		}
 		centers = append([]int(nil), hs.Sol.Centers...)
 	}
 	// Pad underfull center sets arbitrarily: more centers never hurt.
@@ -149,11 +156,18 @@ func search(c *par.Ctx, ki *core.KInstance, obj core.KObjective, options *Option
 	}
 
 	if o.SwapSize == 2 {
-		res.Sol = searchPSwap(c, ki, obj, centers, inCenter, cur, threshold, maxRounds, res)
-		return res
+		sol, err := searchPSwap(ctx, c, ki, obj, centers, inCenter, cur, threshold, maxRounds, res)
+		if err != nil {
+			return nil, err
+		}
+		res.Sol = sol
+		return res, nil
 	}
 
 	for res.Rounds < maxRounds {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		// Evaluate every swap (out = centers[a], in = i') in parallel.
 		nonCenters := par.PackIndex(c, n, func(i int) bool { return !inCenter[i] })
 		nSwaps := len(centers) * len(nonCenters)
@@ -198,15 +212,15 @@ func search(c *par.Ctx, ki *core.KInstance, obj core.KObjective, options *Option
 		res.Rounds++
 	}
 	res.Sol = core.EvalCenters(c, ki, centers, obj)
-	return res
+	return res, nil
 }
 
 // searchPSwap runs 2-swap local search: each round evaluates every pair of
 // outgoing centers against every pair of incoming non-centers. Θ(k²(n−k)²n)
 // work per round — the ablation for the §7 multi-swap remark.
-func searchPSwap(c *par.Ctx, ki *core.KInstance, obj core.KObjective,
+func searchPSwap(ctx context.Context, c *par.Ctx, ki *core.KInstance, obj core.KObjective,
 	centers []int, inCenter []bool, cur float64, threshold float64,
-	maxRounds int, res *Result) *core.KSolution {
+	maxRounds int, res *Result) (*core.KSolution, error) {
 	n := ki.N
 	evalSet := func(set []int) float64 {
 		total := 0.0
@@ -222,6 +236,9 @@ func searchPSwap(c *par.Ctx, ki *core.KInstance, obj core.KObjective,
 		return total
 	}
 	for res.Rounds < maxRounds {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		nonCenters := par.PackIndex(c, n, func(i int) bool { return !inCenter[i] })
 		k := len(centers)
 		nc2 := len(nonCenters)
@@ -285,5 +302,5 @@ func searchPSwap(c *par.Ctx, ki *core.KInstance, obj core.KObjective,
 		cur = evalSet(centers)
 		res.Rounds++
 	}
-	return core.EvalCenters(c, ki, centers, obj)
+	return core.EvalCenters(c, ki, centers, obj), nil
 }

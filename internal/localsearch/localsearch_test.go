@@ -1,6 +1,7 @@
 package localsearch
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -10,6 +11,24 @@ import (
 	"repro/internal/metric"
 	"repro/internal/par"
 )
+
+// mustKMedian and mustKMeans run the searches with a background context,
+// panicking on the impossible cancellation error.
+func mustKMedian(c *par.Ctx, ki *core.KInstance, o *Options) *Result {
+	res, err := KMedian(context.Background(), c, ki, o)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func mustKMeans(c *par.Ctx, ki *core.KInstance, o *Options) *Result {
+	res, err := KMeans(context.Background(), c, ki, o)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 func kinst(seed int64, n, k int) *core.KInstance {
 	rng := rand.New(rand.NewSource(seed))
@@ -26,7 +45,7 @@ func TestKMedianWithin5PlusEps(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		for _, k := range []int{2, 3} {
 			ki := kinst(seed, 12, k)
-			res := KMedian(&par.Ctx{Workers: 2}, ki, &Options{Epsilon: 0.3, Seed: seed})
+			res := mustKMedian(&par.Ctx{Workers: 2}, ki, &Options{Epsilon: 0.3, Seed: seed})
 			if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
 				t.Fatal(err)
 			}
@@ -42,7 +61,7 @@ func TestKMedianWithin5PlusEps(t *testing.T) {
 func TestKMeansWithin81PlusEps(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		ki := kinst(seed, 11, 3)
-		res := KMeans(nil, ki, &Options{Epsilon: 0.5, Seed: seed})
+		res := mustKMeans(nil, ki, &Options{Epsilon: 0.5, Seed: seed})
 		opt := exact.KClusterOPT(nil, ki, core.KMeans)
 		bound := (81 + 0.5) * opt.Value
 		if res.Sol.Value > bound+1e-9 {
@@ -55,7 +74,7 @@ func TestLocalSearchImprovesOnSeed(t *testing.T) {
 	// The k-center seed is an O(n)-approximation for k-median; local search
 	// must never end worse than it started.
 	ki := clustered(1, 40, 4)
-	res := KMedian(nil, ki, &Options{Epsilon: 0.2, Seed: 1})
+	res := mustKMedian(nil, ki, &Options{Epsilon: 0.2, Seed: 1})
 	if res.Sol.Value > res.InitialValue+1e-9 {
 		t.Fatalf("final %v worse than initial %v", res.Sol.Value, res.InitialValue)
 	}
@@ -65,7 +84,7 @@ func TestClusteredRecovery(t *testing.T) {
 	// Well-separated Gaussian blobs: local search should find a solution
 	// close to one center per blob (value far below one blob diameter × n).
 	ki := clustered(2, 45, 3)
-	res := KMedian(nil, ki, &Options{Epsilon: 0.1, Seed: 2})
+	res := mustKMedian(nil, ki, &Options{Epsilon: 0.1, Seed: 2})
 	opt := exact.KClusterOPT(nil, ki, core.KMedian)
 	if res.Sol.Value > 2*opt.Value {
 		t.Fatalf("clustered: %v vs OPT %v — should be near-optimal here", res.Sol.Value, opt.Value)
@@ -76,7 +95,7 @@ func TestRoundBoundTheorem71(t *testing.T) {
 	// Rounds ≤ O(k/β · log n): check against the explicit cap formula.
 	ki := kinst(3, 60, 4)
 	eps := 0.3
-	res := KMedian(nil, ki, &Options{Epsilon: eps, Seed: 3})
+	res := mustKMedian(nil, ki, &Options{Epsilon: eps, Seed: 3})
 	beta := eps / (1 + eps)
 	bound := int(8*4/beta*math.Log2(60+2)) + 16
 	if res.Rounds > bound {
@@ -89,7 +108,7 @@ func TestEveryRoundImprovedByFactor(t *testing.T) {
 	// We verify indirectly: final ≤ initial·(1-β/k)^rounds.
 	ki := kinst(4, 30, 3)
 	eps := 0.4
-	res := KMedian(nil, ki, &Options{Epsilon: eps, Seed: 4})
+	res := mustKMedian(nil, ki, &Options{Epsilon: eps, Seed: 4})
 	beta := eps / (1 + eps)
 	factor := math.Pow(1-beta/3, float64(res.Rounds))
 	if res.Sol.Value > res.InitialValue*factor+1e-6 {
@@ -99,7 +118,7 @@ func TestEveryRoundImprovedByFactor(t *testing.T) {
 
 func TestKGreaterEqualN(t *testing.T) {
 	ki := kinst(5, 8, 8)
-	res := KMedian(nil, ki, nil)
+	res := mustKMedian(nil, ki, nil)
 	if res.Sol.Value != 0 {
 		t.Fatalf("k=n value %v", res.Sol.Value)
 	}
@@ -110,7 +129,7 @@ func TestKGreaterEqualN(t *testing.T) {
 
 func TestExplicitInitialRespected(t *testing.T) {
 	ki := kinst(6, 15, 3)
-	res := KMedian(nil, ki, &Options{Initial: []int{0, 1, 2}, Epsilon: 0.3})
+	res := mustKMedian(nil, ki, &Options{Initial: []int{0, 1, 2}, Epsilon: 0.3})
 	if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +142,7 @@ func TestExplicitInitialRespected(t *testing.T) {
 
 func TestShortInitialPadded(t *testing.T) {
 	ki := kinst(7, 15, 4)
-	res := KMedian(nil, ki, &Options{Initial: []int{5}, Epsilon: 0.3})
+	res := mustKMedian(nil, ki, &Options{Initial: []int{5}, Epsilon: 0.3})
 	if len(res.Sol.Centers) != 4 {
 		t.Fatalf("centers %v", res.Sol.Centers)
 	}
@@ -131,7 +150,7 @@ func TestShortInitialPadded(t *testing.T) {
 
 func TestDefaultsApplied(t *testing.T) {
 	ki := kinst(8, 12, 2)
-	res := KMedian(nil, ki, nil) // nil options entirely
+	res := mustKMedian(nil, ki, nil) // nil options entirely
 	if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
 		t.Fatal(err)
 	}
@@ -141,8 +160,8 @@ func TestEpsilonTradeoff(t *testing.T) {
 	// Larger ε ⇒ stricter improvement requirement per swap ⇒ no more rounds
 	// than a tiny ε run, and a (weakly) worse final value is permitted.
 	ki := clustered(9, 40, 4)
-	loose := KMedian(nil, ki, &Options{Epsilon: 0.9, Seed: 9})
-	tight := KMedian(nil, ki, &Options{Epsilon: 0.05, Seed: 9})
+	loose := mustKMedian(nil, ki, &Options{Epsilon: 0.9, Seed: 9})
+	tight := mustKMedian(nil, ki, &Options{Epsilon: 0.05, Seed: 9})
 	if tight.Sol.Value > loose.Sol.Value*1.5+1e-9 {
 		t.Fatalf("tight ε ended far worse: %v vs %v", tight.Sol.Value, loose.Sol.Value)
 	}
@@ -150,8 +169,8 @@ func TestEpsilonTradeoff(t *testing.T) {
 
 func TestDeterministicForSeed(t *testing.T) {
 	ki := kinst(10, 25, 3)
-	a := KMedian(nil, ki, &Options{Epsilon: 0.3, Seed: 11})
-	b := KMedian(&par.Ctx{Workers: 4}, ki, &Options{Epsilon: 0.3, Seed: 11})
+	a := mustKMedian(nil, ki, &Options{Epsilon: 0.3, Seed: 11})
+	b := mustKMedian(&par.Ctx{Workers: 4}, ki, &Options{Epsilon: 0.3, Seed: 11})
 	if a.Sol.Value != b.Sol.Value || a.Rounds != b.Rounds {
 		t.Fatalf("nondeterministic: %v/%d vs %v/%d", a.Sol.Value, a.Rounds, b.Sol.Value, b.Rounds)
 	}
@@ -159,7 +178,7 @@ func TestDeterministicForSeed(t *testing.T) {
 
 func TestKMeansOnClusters(t *testing.T) {
 	ki := clustered(12, 30, 3)
-	res := KMeans(nil, ki, &Options{Epsilon: 0.2, Seed: 12})
+	res := mustKMeans(nil, ki, &Options{Epsilon: 0.2, Seed: 12})
 	if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +192,8 @@ func TestPSwapAtLeastAsGoodAsSingle(t *testing.T) {
 	// seed it must end at a local optimum no worse than ~the 1-swap one
 	// (allowing small slack for different trajectories).
 	ki := clustered(13, 24, 3)
-	single := KMedian(nil, ki, &Options{Epsilon: 0.2, Seed: 13, SwapSize: 1})
-	double := KMedian(nil, ki, &Options{Epsilon: 0.2, Seed: 13, SwapSize: 2})
+	single := mustKMedian(nil, ki, &Options{Epsilon: 0.2, Seed: 13, SwapSize: 1})
+	double := mustKMedian(nil, ki, &Options{Epsilon: 0.2, Seed: 13, SwapSize: 2})
 	if err := double.Sol.CheckFeasible(ki, 1e-9); err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +204,7 @@ func TestPSwapAtLeastAsGoodAsSingle(t *testing.T) {
 
 func TestPSwapKeepsBudget(t *testing.T) {
 	ki := kinst(14, 18, 4)
-	res := KMedian(nil, ki, &Options{Epsilon: 0.3, Seed: 14, SwapSize: 2})
+	res := mustKMedian(nil, ki, &Options{Epsilon: 0.3, Seed: 14, SwapSize: 2})
 	if len(res.Sol.Centers) != 4 {
 		t.Fatalf("centers %v", res.Sol.Centers)
 	}
@@ -196,7 +215,7 @@ func TestPSwapKeepsBudget(t *testing.T) {
 
 func TestSwapsScannedAccounting(t *testing.T) {
 	ki := kinst(15, 20, 3)
-	res := KMedian(nil, ki, &Options{Epsilon: 0.3, Seed: 15})
+	res := mustKMedian(nil, ki, &Options{Epsilon: 0.3, Seed: 15})
 	// Each round scans k(n-k) = 3·17 = 51 swaps; rounds+1 scans total
 	// (the final scan finds nothing).
 	want := int64(51) * int64(res.Rounds+1)
@@ -209,11 +228,23 @@ func TestWorkChargedPerRound(t *testing.T) {
 	tally := &par.Tally{}
 	c := &par.Ctx{Workers: 2, Tally: tally}
 	ki := kinst(16, 30, 3)
-	res := KMedian(c, ki, &Options{Epsilon: 0.3, Seed: 16})
+	res := mustKMedian(c, ki, &Options{Epsilon: 0.3, Seed: 16})
 	w := tally.Snapshot().Work
 	// Θ(k(n-k)n) per round at least.
 	minWork := int64(res.Rounds+1) * int64(3*27*30)
 	if w < minWork {
 		t.Fatalf("work %d below per-round floor %d", w, minWork)
+	}
+}
+
+func TestKMedianCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := KMedian(ctx, nil, kinst(1, 16, 3), &Options{Epsilon: 0.3, Seed: 1})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled search must not return a partial result")
 	}
 }

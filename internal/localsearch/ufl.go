@@ -1,6 +1,7 @@
 package localsearch
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -34,8 +35,10 @@ type UFLResult struct {
 	MovesScanned int64
 }
 
-// UFLLocalSearch runs add/drop/swap local search for facility location.
-func UFLLocalSearch(c *par.Ctx, in *core.Instance, opts *UFLOptions) *UFLResult {
+// UFLLocalSearch runs add/drop/swap local search for facility location. The
+// context is checked at every move round; on cancellation or deadline the
+// call abandons the partial solve and returns ctx.Err() with a nil result.
+func UFLLocalSearch(ctx context.Context, c *par.Ctx, in *core.Instance, opts *UFLOptions) (*UFLResult, error) {
 	eps := 0.3
 	maxRounds := 0
 	if opts != nil {
@@ -102,6 +105,9 @@ func UFLLocalSearch(c *par.Ctx, in *core.Instance, opts *UFLOptions) *UFLResult 
 	// i; [nf, nf+nf*nf) = swap(out=(s-nf)/nf, in=(s-nf)%nf).
 	nMoves := nf + nf*nf
 	for res.Rounds < maxRounds {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		res.MovesScanned += int64(nMoves)
 		bestMove := par.ReduceIndex(c, nMoves, par.IndexedMin{Value: math.Inf(1), Index: -1},
 			func(s int) par.IndexedMin {
@@ -185,5 +191,5 @@ func UFLLocalSearch(c *par.Ctx, in *core.Instance, opts *UFLOptions) *UFLResult 
 		}
 	}
 	res.Sol = core.EvalOpen(c, in, openList)
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package localsearch
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -9,6 +10,16 @@ import (
 	"repro/internal/metric"
 	"repro/internal/par"
 )
+
+// mustUFL runs UFLLocalSearch with a background context, panicking on the
+// impossible cancellation error.
+func mustUFL(c *par.Ctx, in *core.Instance, o *UFLOptions) *UFLResult {
+	res, err := UFLLocalSearch(context.Background(), c, in, o)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 func uflInst(seed int64, nf, nc int) *core.Instance {
 	rng := rand.New(rand.NewSource(seed))
@@ -30,7 +41,7 @@ func TestUFLLocalSearchWithin3Plus(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		in := uflInst(seed, 7, 18)
 		eps := 0.3
-		res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: eps})
+		res := mustUFL(nil, in, &UFLOptions{Epsilon: eps})
 		if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +54,7 @@ func TestUFLLocalSearchWithin3Plus(t *testing.T) {
 
 func TestUFLLocalSearchImprovesMonotonically(t *testing.T) {
 	in := uflInst(1, 8, 24)
-	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.2})
+	res := mustUFL(nil, in, &UFLOptions{Epsilon: 0.2})
 	if res.Sol.Cost() > res.InitialValue+1e-9 {
 		t.Fatalf("final %v worse than initial %v", res.Sol.Cost(), res.InitialValue)
 	}
@@ -51,7 +62,7 @@ func TestUFLLocalSearchImprovesMonotonically(t *testing.T) {
 
 func TestUFLLocalSearchSingleFacility(t *testing.T) {
 	in := uflInst(2, 1, 10)
-	res := UFLLocalSearch(nil, in, nil)
+	res := mustUFL(nil, in, nil)
 	if len(res.Sol.Open) != 1 || res.Sol.Open[0] != 0 {
 		t.Fatalf("open=%v", res.Sol.Open)
 	}
@@ -66,7 +77,7 @@ func TestUFLLocalSearchKeepsAtLeastOneOpen(t *testing.T) {
 	for i := range in.FacCost {
 		in.FacCost[i] = 1e5
 	}
-	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.3})
+	res := mustUFL(nil, in, &UFLOptions{Epsilon: 0.3})
 	if len(res.Sol.Open) < 1 {
 		t.Fatal("no facilities open")
 	}
@@ -82,7 +93,7 @@ func TestUFLLocalSearchFreeFacilitiesOpensMany(t *testing.T) {
 	for i := range in.FacCost {
 		in.FacCost[i] = 0
 	}
-	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.05})
+	res := mustUFL(nil, in, &UFLOptions{Epsilon: 0.05})
 	opt := exact.FacilityOPT(nil, in)
 	if res.Sol.Cost() > 1.6*opt.Cost()+1e-9 {
 		t.Fatalf("free facilities: %v vs OPT %v", res.Sol.Cost(), opt.Cost())
@@ -91,8 +102,8 @@ func TestUFLLocalSearchFreeFacilitiesOpensMany(t *testing.T) {
 
 func TestUFLLocalSearchDeterministic(t *testing.T) {
 	in := uflInst(5, 8, 20)
-	a := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.3})
-	b := UFLLocalSearch(&par.Ctx{Workers: 4}, in, &UFLOptions{Epsilon: 0.3})
+	a := mustUFL(nil, in, &UFLOptions{Epsilon: 0.3})
+	b := mustUFL(&par.Ctx{Workers: 4}, in, &UFLOptions{Epsilon: 0.3})
 	if a.Sol.Cost() != b.Sol.Cost() || a.Rounds != b.Rounds {
 		t.Fatalf("nondeterministic: %v/%d vs %v/%d", a.Sol.Cost(), a.Rounds, b.Sol.Cost(), b.Rounds)
 	}
@@ -100,7 +111,7 @@ func TestUFLLocalSearchDeterministic(t *testing.T) {
 
 func TestUFLLocalSearchRoundsReported(t *testing.T) {
 	in := uflInst(6, 8, 24)
-	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.3})
+	res := mustUFL(nil, in, &UFLOptions{Epsilon: 0.3})
 	// Moves per round = nf + nf² = 8 + 64 = 72.
 	if res.MovesScanned != int64(72)*int64(res.Rounds+1) {
 		t.Fatalf("scanned %d for %d rounds", res.MovesScanned, res.Rounds)
@@ -116,10 +127,22 @@ func TestUFLLocalSearchBeatsInitialOnClusters(t *testing.T) {
 		cli[j] = 8 + j
 	}
 	in := core.FromSpace(nil, sp, fac, cli, metric.UniformCosts(nil, 8, 10))
-	res := UFLLocalSearch(nil, in, &UFLOptions{Epsilon: 0.1})
+	res := mustUFL(nil, in, &UFLOptions{Epsilon: 0.1})
 	// Clusters are 300 apart: a single-facility start is terrible; local
 	// search must open roughly one facility per populated cluster.
 	if res.Sol.Cost() > res.InitialValue/2 {
 		t.Fatalf("no real improvement: initial %v final %v", res.InitialValue, res.Sol.Cost())
+	}
+}
+
+func TestUFLLocalSearchCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := UFLLocalSearch(ctx, nil, uflInst(1, 8, 24), &UFLOptions{Epsilon: 0.3})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled solve must not return a partial result")
 	}
 }

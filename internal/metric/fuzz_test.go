@@ -1,0 +1,56 @@
+package metric
+
+// Fuzz target for the row-of-rows conversion boundary: FromRows must reject
+// ragged or empty input with an error (never a panic), and ToRows∘FromRows
+// must reproduce the input exactly.
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func FuzzDistMatrixFromRows(f *testing.F) {
+	f.Add([]byte(`[[0,1],[1,0]]`))
+	f.Add([]byte(`[[1.5]]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[[]]`))
+	f.Add([]byte(`[[],[]]`))
+	f.Add([]byte(`[[1],[2,3]]`))
+	f.Add([]byte(`[null,null]`))
+	f.Add([]byte(`[[1e308,-0],[0,4e-324]]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rows [][]float64
+		if err := json.Unmarshal(data, &rows); err != nil {
+			t.Skip("not a float matrix")
+		}
+		cells := 0
+		for _, r := range rows {
+			cells += len(r)
+		}
+		if len(rows) > 1024 || cells > 1<<16 {
+			t.Skip("oversized input")
+		}
+
+		m, err := FromRows(nil, rows)
+		if err != nil {
+			return // rejecting ragged/empty input is the contract
+		}
+		if m.R != len(rows) {
+			t.Fatalf("matrix has %d rows for %d input rows", m.R, len(rows))
+		}
+		back := ToRows(nil, m)
+		if len(back) != len(rows) {
+			t.Fatalf("round-trip has %d rows, want %d", len(back), len(rows))
+		}
+		for i := range rows {
+			if len(back[i]) != len(rows[i]) {
+				t.Fatalf("round-trip row %d has %d cols, want %d", i, len(back[i]), len(rows[i]))
+			}
+			for j := range rows[i] {
+				if back[i][j] != rows[i][j] {
+					t.Fatalf("round-trip mismatch at (%d,%d): %v != %v", i, j, back[i][j], rows[i][j])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package metric
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestOracleConcurrentOverlappingRows hammers the lazy row cache from many
+// goroutines demanding overlapping rows. Under -race this proves the
+// publish-once CAS protocol is sound; the value checks prove every goroutine
+// observes the same, correct row regardless of who materialized it.
+func TestOracleConcurrentOverlappingRows(t *testing.T) {
+	const n = 64
+	const goroutines = 32
+	sp := UniformBox(nil, rand.New(rand.NewSource(7)), n, 3, 50)
+	o := NewOracle(sp)
+
+	// Reference rows computed directly from the space.
+	want := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		want[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			want[i][j] = sp.Dist(i, j)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 200; iter++ {
+				i := rng.Intn(n / 2) // overlap: everyone fights over the same half
+				if iter%3 == 0 {
+					i = rng.Intn(n)
+				}
+				row := o.Row(i)
+				for j := 0; j < n; j += 7 {
+					if row[j] != want[i][j] {
+						errs <- fmt.Errorf("oracle row %d mismatch at col %d", i, j)
+						return
+					}
+				}
+				if d := o.Dist(i, (i*13+iter)%n); d != want[i][(i*13+iter)%n] {
+					errs <- fmt.Errorf("oracle Dist(%d,%d) mismatch", i, (i*13+iter)%n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if m := o.Materialized(); m <= 0 || m > n {
+		t.Fatalf("Materialized() = %d, want in (0, %d]", m, n)
+	}
+
+	// Materialize concurrently with fresh readers: the copy path and the CAS
+	// path must coexist.
+	var mm *DistMatrix
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		mm = o.Materialize(&par.Ctx{Workers: 4})
+	}()
+	for g := 0; g < 4; g++ {
+		wg2.Add(1)
+		go func(g int) {
+			defer wg2.Done()
+			for i := g; i < n; i += 4 {
+				_ = o.Row(i)
+			}
+		}(g)
+	}
+	wg2.Wait()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if mm.At(i, j) != want[i][j] {
+				t.Fatalf("materialized matrix wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	if o.Materialized() != n {
+		t.Fatalf("Materialized() = %d after full materialization, want %d", o.Materialized(), n)
+	}
+}

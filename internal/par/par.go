@@ -1,10 +1,21 @@
 package par
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
 )
+
+// CtxErr reports ctx's cancellation status; a nil ctx never cancels. It is
+// the probe the round-based solvers call between rounds (and the registry
+// adapters call before one-shot solves) to honor deadlines mid-computation.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // Ctx carries the execution configuration for the primitives: the number of
 // workers to fan out across and the Tally charged by each primitive. The

@@ -1,6 +1,7 @@
 package primaldual
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -33,8 +34,10 @@ func (o *Options) seed() int64 {
 }
 
 // Parallel runs Algorithm 5.1 with the γ/m² preprocessing and the MaxUDom
-// postprocessing, yielding a (3+ε)-approximation (Theorem 5.4).
-func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
+// postprocessing, yielding a (3+ε)-approximation (Theorem 5.4). The context
+// is checked at every dual-raising iteration: on cancellation or deadline the
+// call abandons the partial solve and returns ctx.Err() with a nil result.
+func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options) (*Result, error) {
 	eps := opts.epsilon()
 	onePlus := 1 + eps
 	nf, nc := in.NF, in.NC
@@ -68,7 +71,7 @@ func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
 		res.Alpha = alpha
 		res.Sol = core.EvalOpen(c, in, open)
 		res.Pi = res.Sol.Assign
-		return res
+		return res, nil
 	}
 
 	base := gamma / (m * m)
@@ -114,6 +117,9 @@ func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
 	maxIter := int(3*math.Log(m+2)/math.Log(onePlus)) + int(math.Log(float64(nc)+2)/math.Log(onePlus)) + 16
 	tl := base
 	for iter := 0; iter < maxIter; iter++ {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		if unfrozenCount() == 0 {
 			break
 		}
@@ -300,5 +306,5 @@ func Parallel(c *par.Ctx, in *core.Instance, opts *Options) *Result {
 	res.Alpha = alpha
 	res.Pi = pi
 	res.Sol = core.EvalOpen(c, in, fa)
-	return res
+	return res, nil
 }

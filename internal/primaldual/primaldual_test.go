@@ -1,6 +1,7 @@
 package primaldual
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -11,6 +12,16 @@ import (
 	"repro/internal/metric"
 	"repro/internal/par"
 )
+
+// mustParallel runs Parallel with a background context, panicking on the
+// impossible cancellation error so existing tests keep their shape.
+func mustParallel(c *par.Ctx, in *core.Instance, o *Options) *Result {
+	res, err := Parallel(context.Background(), c, in, o)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 func inst(seed int64, nf, nc int) *core.Instance {
 	rng := rand.New(rand.NewSource(seed))
@@ -74,7 +85,7 @@ func TestParallelWithin3PlusEps(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		in := inst(seed+20, 7, 18)
 		eps := 0.3
-		res := Parallel(&par.Ctx{Workers: 2}, in, &Options{Epsilon: eps, Seed: seed})
+		res := mustParallel(&par.Ctx{Workers: 2}, in, &Options{Epsilon: eps, Seed: seed})
 		if err := res.Sol.CheckFeasible(in, 1e-9); err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +109,7 @@ func TestParallelClaim51DualFeasibleOnH(t *testing.T) {
 	// except boundary clients where α_j ≤ d < (1+ε)α_j, still 0.)
 	for seed := int64(0); seed < 10; seed++ {
 		in := inst(seed+30, 6, 15)
-		res := Parallel(nil, in, &Options{Epsilon: 0.4, Seed: seed})
+		res := mustParallel(nil, in, &Options{Epsilon: 0.4, Seed: seed})
 		d := &core.DualSolution{Alpha: res.Alpha}
 		if v := d.MaxViolation(nil, in, 1); v > 1e-6 {
 			t.Fatalf("seed=%d: Claim 5.1 violated by %v", seed, v)
@@ -111,7 +122,7 @@ func TestParallelEquation5(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		in := inst(seed+40, 6, 15)
 		eps := 0.5
-		res := Parallel(nil, in, &Options{Epsilon: eps, Seed: seed})
+		res := mustParallel(nil, in, &Options{Epsilon: eps, Seed: seed})
 		facCost := 0.0
 		for _, i := range res.Sol.Open {
 			facCost += in.FacCost[i]
@@ -140,7 +151,7 @@ func TestParallelLemma53IndirectBound(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		in := inst(seed+50, 6, 15)
 		eps := 0.3
-		res := Parallel(nil, in, &Options{Epsilon: eps, Seed: seed})
+		res := mustParallel(nil, in, &Options{Epsilon: eps, Seed: seed})
 		for j, i := range res.Pi {
 			if res.Alpha[j] == 0 {
 				continue // freely connected: within γ/m² by construction
@@ -157,7 +168,7 @@ func TestParallelIterationBound(t *testing.T) {
 	// §5 running time: the main loop ends within ~3·log_{1+ε} m iterations.
 	for _, eps := range []float64{0.2, 0.5, 1.0} {
 		in := inst(2, 8, 30)
-		res := Parallel(nil, in, &Options{Epsilon: eps, Seed: 2})
+		res := mustParallel(nil, in, &Options{Epsilon: eps, Seed: 2})
 		m := float64(in.M())
 		bound := int(3*math.Log(m+2)/math.Log(1+eps)) + int(math.Log(float64(in.NC)+2)/math.Log(1+eps)) + 16
 		if res.Iterations > bound {
@@ -169,7 +180,7 @@ func TestParallelIterationBound(t *testing.T) {
 func TestParallelDualBelowLP(t *testing.T) {
 	// Claim 5.1 ⇒ α feasible ⇒ Σα ≤ LP ≤ OPT (weak duality).
 	in := inst(3, 5, 12)
-	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 3})
+	res := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 3})
 	ff, err := lp.SolveFacility(in)
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +196,7 @@ func TestParallelDualBelowLP(t *testing.T) {
 
 func TestParallelConnectionClassesPartition(t *testing.T) {
 	in := inst(4, 7, 20)
-	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 4})
+	res := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 4})
 	if res.Freely+res.Directly+res.Indirectly != in.NC {
 		t.Fatalf("classes %d+%d+%d != %d clients",
 			res.Freely, res.Directly, res.Indirectly, in.NC)
@@ -198,7 +209,7 @@ func TestParallelZeroCostFacilitiesAllFree(t *testing.T) {
 	for i := range in.FacCost {
 		in.FacCost[i] = 0
 	}
-	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 5})
+	res := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 5})
 	if res.FreeFacilities != in.NF {
 		t.Fatalf("%d of %d zero-cost facilities free", res.FreeFacilities, in.NF)
 	}
@@ -211,7 +222,7 @@ func TestParallelDegenerateGammaZero(t *testing.T) {
 	// A zero-cost facility co-located with every client: γ = 0, OPT = 0.
 	sp := &metric.Euclidean{Dim: 1, Coords: []float64{0, 0, 0, 0}}
 	in := core.FromSpace(nil, sp, []int{0}, []int{1, 2, 3}, []float64{0})
-	res := Parallel(nil, in, &Options{Epsilon: 0.3})
+	res := mustParallel(nil, in, &Options{Epsilon: 0.3})
 	if res.Sol.Cost() != 0 {
 		t.Fatalf("γ=0 instance cost %v", res.Sol.Cost())
 	}
@@ -219,8 +230,8 @@ func TestParallelDegenerateGammaZero(t *testing.T) {
 
 func TestParallelDeterministicPerSeed(t *testing.T) {
 	in := inst(6, 7, 20)
-	a := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 7})
-	b := Parallel(&par.Ctx{Workers: 4}, in, &Options{Epsilon: 0.3, Seed: 7})
+	a := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 7})
+	b := mustParallel(&par.Ctx{Workers: 4}, in, &Options{Epsilon: 0.3, Seed: 7})
 	if a.Sol.Cost() != b.Sol.Cost() || a.Iterations != b.Iterations {
 		t.Fatalf("nondeterministic: %v/%d vs %v/%d",
 			a.Sol.Cost(), a.Iterations, b.Sol.Cost(), b.Iterations)
@@ -234,7 +245,7 @@ func TestParallelGuaranteeNeverWorseThanGreedySelfContained(t *testing.T) {
 	// the E11 experiment. Here: PD ratio ≤ 3+ε strictly.
 	for seed := int64(0); seed < 5; seed++ {
 		in := inst(seed+60, 6, 16)
-		res := Parallel(nil, in, &Options{Epsilon: 0.2, Seed: seed})
+		res := mustParallel(nil, in, &Options{Epsilon: 0.2, Seed: seed})
 		opt := exact.FacilityOPT(nil, in)
 		if res.Sol.Cost() > (3+3*0.2)*opt.Cost()+1e-6 {
 			t.Fatalf("seed=%d ratio %v", seed, res.Sol.Cost()/opt.Cost())
@@ -253,7 +264,7 @@ func TestSequentialJVEventCount(t *testing.T) {
 
 func TestParallelSingleFacility(t *testing.T) {
 	in := inst(9, 1, 8)
-	res := Parallel(nil, in, nil)
+	res := mustParallel(nil, in, nil)
 	opt := exact.FacilityOPT(nil, in)
 	if math.Abs(res.Sol.Cost()-opt.Cost()) > 1e-9 {
 		t.Fatalf("single facility: %v vs OPT %v", res.Sol.Cost(), opt.Cost())
@@ -266,9 +277,21 @@ func TestParallelExpensiveFacilities(t *testing.T) {
 	for i := range in.FacCost {
 		in.FacCost[i] = 500
 	}
-	res := Parallel(nil, in, &Options{Epsilon: 0.3, Seed: 10})
+	res := mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 10})
 	opt := exact.FacilityOPT(nil, in)
 	if res.Sol.Cost() > (3+3*0.3)*opt.Cost()+1e-6 {
 		t.Fatalf("ratio %v", res.Sol.Cost()/opt.Cost())
+	}
+}
+
+func TestParallelCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Parallel(ctx, nil, inst(1, 8, 24), &Options{Epsilon: 0.3, Seed: 1})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled solve must not return a partial result")
 	}
 }

@@ -1,6 +1,7 @@
 package facloc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,7 +21,7 @@ import (
 func GreedyParallel(in *Instance, o Options) *Result {
 	c, tally := o.ctx()
 	start := time.Now()
-	res := greedy.Parallel(c, in, &greedy.Options{Epsilon: o.eps(), Seed: o.Seed})
+	res, _ := greedy.Parallel(context.Background(), c, in, &greedy.Options{Epsilon: o.eps(), Seed: o.Seed})
 	st := statsFrom(tally, time.Since(start))
 	st.Rounds = res.OuterRounds
 	st.InnerRounds = res.InnerRounds
@@ -45,7 +46,7 @@ func GreedySequential(in *Instance, o Options) *Result {
 func PrimalDualParallel(in *Instance, o Options) *Result {
 	c, tally := o.ctx()
 	start := time.Now()
-	res := primaldual.Parallel(c, in, &primaldual.Options{Epsilon: o.eps(), Seed: o.Seed})
+	res, _ := primaldual.Parallel(context.Background(), c, in, &primaldual.Options{Epsilon: o.eps(), Seed: o.Seed})
 	st := statsFrom(tally, time.Since(start))
 	st.Rounds = res.Iterations
 	st.InnerRounds = res.DomRounds
@@ -99,7 +100,7 @@ func LPRoundFrac(in *Instance, frac *lp.FacilityFrac, o Options) (*Result, error
 func FacilityLocalSearch(in *Instance, o Options) *Result {
 	c, tally := o.ctx()
 	start := time.Now()
-	res := localsearch.UFLLocalSearch(c, in, &localsearch.UFLOptions{Epsilon: o.eps()})
+	res, _ := localsearch.UFLLocalSearch(context.Background(), c, in, &localsearch.UFLOptions{Epsilon: o.eps()})
 	st := statsFrom(tally, time.Since(start))
 	st.Rounds = res.Rounds
 	return &Result{Solution: res.Sol, Stats: st}
@@ -137,7 +138,7 @@ func GammaBounds(in *Instance) (lower, upper float64) {
 func KCenterParallel(ki *KInstance, o Options) *KResult {
 	c, tally := o.ctx()
 	start := time.Now()
-	res := kcenter.HochbaumShmoys(c, ki, seededRNG(o.Seed))
+	res, _ := kcenter.HochbaumShmoys(context.Background(), c, ki, seededRNG(o.Seed))
 	st := statsFrom(tally, time.Since(start))
 	st.Rounds = res.Probes
 	st.InnerRounds = res.DomRounds
@@ -178,9 +179,9 @@ func localSearch(ki *KInstance, o Options, swapSize int, obj Objective) *KResult
 	opts := &localsearch.Options{Epsilon: o.eps(), Seed: o.Seed, SwapSize: swapSize}
 	var res *localsearch.Result
 	if obj == core.KMeans {
-		res = localsearch.KMeans(c, ki, opts)
+		res, _ = localsearch.KMeans(context.Background(), c, ki, opts)
 	} else {
-		res = localsearch.KMedian(c, ki, opts)
+		res, _ = localsearch.KMedian(context.Background(), c, ki, opts)
 	}
 	st := statsFrom(tally, time.Since(start))
 	st.Rounds = res.Rounds

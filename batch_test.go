@@ -255,8 +255,8 @@ func ExampleBatch() {
 		fmt.Printf("instance %d: %d facilities open\n", r.Index, len(r.Report.Solution.Open))
 	}
 	// Output:
-	// instance 0: 3 facilities open
-	// instance 1: 1 facilities open
+	// instance 0: 2 facilities open
+	// instance 1: 2 facilities open
 	// instance 2: 2 facilities open
 	// instance 3: 2 facilities open
 }

@@ -211,7 +211,7 @@ func BenchmarkMaxDom(b *testing.B) {
 		oracle := func(i, j int) bool { return adj[i][j] }
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				domset.MaxDom(nil, n, oracle, nil, rand.New(rand.NewSource(int64(i))))
+				domset.MaxDom(nil, n, oracle, nil, uint64(i))
 			}
 		})
 	}

@@ -164,3 +164,76 @@ func GenerateKUniform(seed int64, n, k int) *KInstance {
 	rng := seededRNG(seed)
 	return core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
 }
+
+// ---------- lazy (point-backed) builders: the coreset ingest path ----------
+
+// KFromCoords builds a lazy k-clustering instance over n = len(coords)/dim
+// Euclidean points (point i at coords[i·dim:(i+1)·dim]): no n×n matrix is
+// ever materialized, which is what lets *-coreset solvers take million-point
+// inputs. Direct (dense-path) solvers densify it on demand, bounded by
+// core.DenseLimit.
+func KFromCoords(dim int, coords []float64, k int) (*KInstance, error) {
+	if dim <= 0 || len(coords) == 0 || len(coords)%dim != 0 {
+		return nil, fmt.Errorf("facloc: %d coords is not a multiple of dim %d", len(coords), dim)
+	}
+	ki := core.KFromSpaceLazy(&metric.Euclidean{Dim: dim, Coords: coords}, k)
+	if err := ki.Validate(); err != nil {
+		return nil, err
+	}
+	return ki, nil
+}
+
+// FromCoords builds a lazy UFL instance over Euclidean points: the first nf
+// points are facilities (with the given opening costs), the rest clients.
+// No nf×nc distance block is materialized.
+func FromCoords(dim int, coords []float64, nf int, costs []float64) (*Instance, error) {
+	if dim <= 0 || len(coords) == 0 || len(coords)%dim != 0 {
+		return nil, fmt.Errorf("facloc: %d coords is not a multiple of dim %d", len(coords), dim)
+	}
+	n := len(coords) / dim
+	if nf <= 0 || nf >= n {
+		return nil, fmt.Errorf("facloc: nf=%d must be in (0, %d)", nf, n)
+	}
+	sp := &metric.Euclidean{Dim: dim, Coords: coords}
+	fac := make([]int, nf)
+	cli := make([]int, n-nf)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	in := core.FromSpaceLazy(sp, fac, cli, costs)
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// GenerateHugeK returns a lazy k-clustering instance of n Gaussian-blob
+// points — the million-point workload of the sketch path. Deterministic per
+// seed; O(n·dim) memory, no matrix.
+func GenerateHugeK(seed int64, n, k int) *KInstance {
+	rng := seededRNG(seed)
+	blobs := k
+	if blobs < 2 {
+		blobs = 2
+	}
+	return core.KFromSpaceLazy(metric.GaussianClusters(nil, rng, n, blobs, 2, 1000, 5), k)
+}
+
+// GenerateHugeUFL returns a lazy UFL instance with nf facilities and nc
+// clients over Gaussian-blob points with uniform opening costs.
+func GenerateHugeUFL(seed int64, nf, nc int) *Instance {
+	rng := seededRNG(seed)
+	sp := metric.GaussianClusters(nil, rng, nf+nc, 16, 2, 1000, 5)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpaceLazy(sp, fac, cli, metric.UniformCosts(nil, nf, 25))
+}

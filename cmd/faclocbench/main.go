@@ -14,10 +14,20 @@
 // through the facloc.Batch engine, reporting throughput and cost:
 //
 //	faclocbench -registry [-count 64] [-nf 16] [-nc 64] [-jobs 0] [-timeout 1s]
+//
+// -sketch runs the direct-vs-coreset sweep: k-median solved directly (dense)
+// and through the kmedian-coreset sketch path on growing point sets, so the
+// crossover where the coreset pipeline wins is visible. -full extends the
+// sweep to a million points (coreset only — dense is infeasible there).
+//
+// -json additionally writes machine-readable results to BENCH_<mode>.json
+// (per-solver wall/work/span/cost) so the perf trajectory is trackable
+// across commits; CI uploads the file as an artifact.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,16 +45,26 @@ func main() {
 	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E13) or 'all'")
 	out := flag.String("o", "", "write markdown to this file instead of stdout")
 	registryMode := flag.Bool("registry", false, "benchmark every registered solver through the batch engine")
+	sketchMode := flag.Bool("sketch", false, "benchmark direct vs coreset k-median on growing point sets")
+	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_<mode>.json")
 	count := flag.Int("count", 64, "registry mode: workload size (instances)")
 	nf := flag.Int("nf", 16, "registry mode: facilities per instance")
 	nc := flag.Int("nc", 64, "registry mode: clients per instance")
+	k := flag.Int("k", 16, "sketch mode: cluster budget")
 	jobs := flag.Int("jobs", 0, "registry mode: pool width (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "registry mode: per-solve deadline")
-	masterSeed := flag.Int64("seed", 42, "registry mode: master seed")
+	masterSeed := flag.Int64("seed", 42, "registry/sketch mode: master seed")
 	flag.Parse()
 
-	if *registryMode {
-		if err := runRegistrySweep(os.Stdout, *count, *nf, *nc, *jobs, *timeout, *masterSeed); err != nil {
+	switch {
+	case *registryMode:
+		if err := runRegistrySweep(os.Stdout, *jsonOut, *count, *nf, *nc, *jobs, *timeout, *masterSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "faclocbench:", err)
+			os.Exit(1)
+		}
+		return
+	case *sketchMode:
+		if err := runSketchSweep(os.Stdout, *jsonOut, *full, *k, *masterSeed); err != nil {
 			fmt.Fprintln(os.Stderr, "faclocbench:", err)
 			os.Exit(1)
 		}
@@ -85,6 +105,12 @@ func main() {
 		{"E14", bench.E14UFLLocalSearch},
 	}
 
+	type expRecord struct {
+		ID     string  `json:"id"`
+		WallMS float64 `json:"wall_ms"`
+	}
+	var expRecords []expRecord
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Experiment run (%s sizes, GOMAXPROCS=%d, %s)\n\n",
 		label, runtime.GOMAXPROCS(0), time.Now().UTC().Format("2006-01-02"))
@@ -95,12 +121,20 @@ func main() {
 		}
 		t0 := time.Now()
 		tb := r.run(sizes)
-		fmt.Fprintf(os.Stderr, "%s done in %v\n", r.id, time.Since(t0).Round(time.Millisecond))
+		wall := time.Since(t0)
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", r.id, wall.Round(time.Millisecond))
+		expRecords = append(expRecords, expRecord{ID: r.id, WallMS: float64(wall.Microseconds()) / 1000})
 		b.WriteString(tb.Format())
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
 
+	if *jsonOut {
+		if err := writeBenchJSON("experiments", expRecords); err != nil {
+			fmt.Fprintln(os.Stderr, "faclocbench:", err)
+			os.Exit(1)
+		}
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "faclocbench:", err)
@@ -111,10 +145,42 @@ func main() {
 	fmt.Print(b.String())
 }
 
+// benchRecord is one machine-readable sweep row (BENCH_<mode>.json).
+type benchRecord struct {
+	Solver     string  `json:"solver"`
+	Guarantee  string  `json:"guarantee"`
+	N          int     `json:"n,omitempty"`
+	K          int     `json:"k,omitempty"`
+	Solved     int     `json:"solved"`
+	Deadline   int     `json:"deadline,omitempty"`
+	Failed     int     `json:"failed,omitempty"`
+	MeanCost   float64 `json:"mean_cost"`
+	WallMS     float64 `json:"wall_ms"`
+	InstPerSec float64 `json:"inst_per_sec,omitempty"`
+	Work       int64   `json:"work,omitempty"`
+	Span       int64   `json:"span,omitempty"`
+}
+
+func writeBenchJSON(mode string, records any) error {
+	name := "BENCH_" + mode + ".json"
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", name)
+	return nil
+}
+
 // runRegistrySweep drives every registered UFL solver over one shared
 // workload through facloc.Batch and prints a markdown comparison table.
 // Skipped cells (solver errors other than deadline) count as failures.
-func runRegistrySweep(w *os.File, count, nf, nc, jobs int, timeout time.Duration, masterSeed int64) error {
+func runRegistrySweep(w *os.File, jsonOut bool, count, nf, nc, jobs int, timeout time.Duration, masterSeed int64) error {
 	ins := make([]*facloc.Instance, count)
 	for i := range ins {
 		ins[i] = facloc.GenerateUniform(facloc.DeriveSeed(masterSeed, i), nf, nc, 1, 6)
@@ -125,21 +191,26 @@ func runRegistrySweep(w *os.File, count, nf, nc, jobs int, timeout time.Duration
 	fmt.Fprintln(w, "| solver | guarantee | solved | deadline | failed | mean cost | wall | inst/s |")
 	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
 
+	var records []benchRecord
 	for _, s := range facloc.Solvers() {
 		if s.Name() == "opt" && nf > exact.MaxEnumFacilities {
 			continue // enumeration infeasible at this width
 		}
 		b := facloc.NewBatch(s, facloc.BatchOptions{
 			Jobs: jobs, Timeout: timeout, MasterSeed: masterSeed,
+			Base: facloc.Options{TrackCost: true},
 		})
 		start := time.Now()
 		solved, deadline, failed := 0, 0, 0
 		total := 0.0
+		var work, span int64
 		err := b.Run(context.Background(), facloc.SliceSource(ins), func(r facloc.BatchResult) error {
 			switch {
 			case r.Err == nil:
 				solved++
 				total += r.Report.Solution.Cost()
+				work += r.Report.Stats.Work
+				span += r.Report.Stats.Span
 			case r.Err == context.DeadlineExceeded:
 				deadline++
 			default:
@@ -158,6 +229,71 @@ func runRegistrySweep(w *os.File, count, nf, nc, jobs int, timeout time.Duration
 		fmt.Fprintf(w, "| %s | %s | %d | %d | %d | %.3f | %v | %.1f |\n",
 			s.Name(), s.Guarantee(), solved, deadline, failed, mean,
 			wall.Round(time.Millisecond), float64(count)/wall.Seconds())
+		records = append(records, benchRecord{
+			Solver: s.Name(), Guarantee: s.Guarantee().String(),
+			Solved: solved, Deadline: deadline, Failed: failed,
+			MeanCost: mean, WallMS: float64(wall.Microseconds()) / 1000,
+			InstPerSec: float64(count) / wall.Seconds(),
+			Work:       work, Span: span,
+		})
+	}
+	if jsonOut {
+		return writeBenchJSON("registry", records)
+	}
+	return nil
+}
+
+// runSketchSweep compares direct k-median (dense path) with the coreset
+// sketch path on growing point sets. Direct rows stop where densification
+// becomes unreasonable; coreset rows continue to the largest size.
+func runSketchSweep(w *os.File, jsonOut bool, full bool, k int, seed int64) error {
+	directSizes := []int{1000, 2000}
+	coresetSizes := []int{1000, 2000, 50_000, 200_000}
+	if full {
+		coresetSizes = append(coresetSizes, 1_000_000)
+	}
+
+	fmt.Fprintf(w, "# Sketch sweep: k-median direct vs coreset, k=%d, GOMAXPROCS=%d\n\n", k, runtime.GOMAXPROCS(0))
+	fmt.Fprintln(w, "| n | solver | value | wall | value ratio (coreset/direct) |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+
+	var records []benchRecord
+	direct := map[int]float64{}
+	run := func(n int, solver string) error {
+		ki := facloc.GenerateHugeK(seed, n, k)
+		start := time.Now()
+		rep, err := facloc.SolveK(context.Background(), solver, ki, facloc.Options{Seed: seed, TrackCost: true})
+		if err != nil {
+			return fmt.Errorf("%s at n=%d: %w", solver, n, err)
+		}
+		wall := time.Since(start)
+		ratio := ""
+		if solver == "kmedian" {
+			direct[n] = rep.Solution.Value
+		} else if d, ok := direct[n]; ok && d > 0 {
+			ratio = fmt.Sprintf("%.4f", rep.Solution.Value/d)
+		}
+		fmt.Fprintf(w, "| %d | %s | %.1f | %v | %s |\n",
+			n, solver, rep.Solution.Value, wall.Round(time.Millisecond), ratio)
+		records = append(records, benchRecord{
+			Solver: solver, Guarantee: rep.Guarantee.String(), N: n, K: k, Solved: 1,
+			MeanCost: rep.Solution.Value, WallMS: float64(wall.Microseconds()) / 1000,
+			Work: rep.Stats.Work, Span: rep.Stats.Span,
+		})
+		return nil
+	}
+	for _, n := range directSizes {
+		if err := run(n, "kmedian"); err != nil {
+			return err
+		}
+	}
+	for _, n := range coresetSizes {
+		if err := run(n, "kmedian-coreset"); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		return writeBenchJSON("sketch", records)
 	}
 	return nil
 }

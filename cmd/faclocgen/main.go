@@ -11,6 +11,13 @@
 // consumes:
 //
 //	faclocgen -count 200 -seed 42 | faclocsolve -solver pd-par -jobs 8
+//
+// Huge instances: -huge streams point-form NDJSON (coordinates only, no
+// distance matrix) so million-point instances stay O(n) on the wire and in
+// memory; solve them with the *-coreset solvers:
+//
+//	faclocgen -huge -kind kmed -n 1000000 -k 50 | faclocsolve -solver kmedian-coreset
+//	faclocgen -huge -kind ufl -nf 500 -nc 1000000 | faclocsolve -solver greedy-coreset
 package main
 
 import (
@@ -34,6 +41,7 @@ func main() {
 	k := flag.Int("k", 4, "budget (kmed)")
 	seed := flag.Int64("seed", 1, "random seed (with -count: master seed)")
 	count := flag.Int("count", 1, "number of instances to emit (newline-delimited)")
+	huge := flag.Bool("huge", false, "emit point-form instances (no distance matrix; for *-coreset solvers)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -57,16 +65,26 @@ func main() {
 		}
 		switch *kind {
 		case "ufl":
-			in, err := genUFL(*family, s, *nf, *nc)
-			if err != nil {
-				fatal(err)
+			var in *core.Instance
+			if *huge {
+				in = facloc.GenerateHugeUFL(s, *nf, *nc)
+			} else {
+				var err error
+				if in, err = genUFL(*family, s, *nf, *nc); err != nil {
+					fatal(err)
+				}
 			}
 			if err := core.WriteInstance(w, in); err != nil {
 				fatal(err)
 			}
 		case "kmed":
-			rng := rand.New(rand.NewSource(s))
-			ki := core.KFromSpace(nil, metric.GaussianClusters(nil, rng, *n, *k, 2, 100, 2), *k)
+			var ki *core.KInstance
+			if *huge {
+				ki = facloc.GenerateHugeK(s, *n, *k)
+			} else {
+				rng := rand.New(rand.NewSource(s))
+				ki = core.KFromSpace(nil, metric.GaussianClusters(nil, rng, *n, *k, 2, 100, 2), *k)
+			}
 			if err := core.WriteKInstance(w, ki); err != nil {
 				fatal(err)
 			}

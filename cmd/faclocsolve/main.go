@@ -11,6 +11,13 @@
 //
 //	faclocgen -count 200 | faclocsolve -solver greedy-par -jobs 8 -seed 42
 //
+// Point-form instances (faclocgen -huge) decode to lazy point-backed
+// instances and route through the sketch path: pick a *-coreset solver and
+// no distance matrix is ever materialized. Dense-path solvers densify small
+// point instances on demand and refuse ones past the safety limit:
+//
+//	faclocgen -huge -kind kmed -n 1000000 -k 50 | faclocsolve -solver kmedian-coreset
+//
 // Discovery:
 //
 //	faclocsolve -list
@@ -112,9 +119,13 @@ func runSingle(name string, r io.Reader, o facloc.Options, timeout time.Duration
 			fatal(err)
 		}
 		sol := rep.Solution
+		backing := "dense"
+		if in.Points != nil {
+			backing = "points"
+		}
 		fmt.Printf("solver:           %s\n", rep.Solver)
 		fmt.Printf("guarantee:        %s\n", rep.Guarantee)
-		fmt.Printf("instance:         %d facilities x %d clients (m=%d)\n", in.NF, in.NC, in.M())
+		fmt.Printf("instance:         %d facilities x %d clients (m=%d, %s)\n", in.NF, in.NC, in.M(), backing)
 		fmt.Printf("open facilities:  %v\n", sol.Open)
 		fmt.Printf("facility cost:    %.4f\n", sol.FacilityCost)
 		fmt.Printf("connection cost:  %.4f\n", sol.ConnectionCost)
@@ -131,9 +142,13 @@ func runSingle(name string, r io.Reader, o facloc.Options, timeout time.Duration
 		if err != nil {
 			fatal(err)
 		}
+		backing := "dense"
+		if ki.Points != nil {
+			backing = "points"
+		}
 		fmt.Printf("solver:    %s\n", rep.Solver)
 		fmt.Printf("guarantee: %s\n", rep.Guarantee)
-		fmt.Printf("instance:  n=%d k=%d\n", ki.N, ki.K)
+		fmt.Printf("instance:  n=%d k=%d (%s)\n", ki.N, ki.K, backing)
 		fmt.Printf("centers:   %v\n", rep.Solution.Centers)
 		fmt.Printf("objective: %s = %.4f\n", rep.Solution.Obj, rep.Solution.Value)
 		printStats(rep.Stats)

@@ -64,11 +64,19 @@ func confKInstances(t *testing.T) map[string]*KInstance {
 }
 
 func TestConformanceRegistryPopulated(t *testing.T) {
-	if got := len(Solvers()); got < 7 {
-		t.Fatalf("only %d UFL solvers registered, want >= 7", got)
+	if got := len(Solvers()); got < 8 {
+		t.Fatalf("only %d UFL solvers registered, want >= 8 (incl. greedy-coreset)", got)
 	}
-	if got := len(KSolvers()); got < 8 {
-		t.Fatalf("only %d k-solvers registered, want >= 8", got)
+	if got := len(KSolvers()); got < 11 {
+		t.Fatalf("only %d k-solvers registered, want >= 11 (incl. *-coreset)", got)
+	}
+	for _, name := range []string{"kmedian-coreset", "kmeans-coreset", "kcenter-coreset"} {
+		if _, ok := LookupK(name); !ok {
+			t.Errorf("coreset k-solver %q not registered", name)
+		}
+	}
+	if _, ok := Lookup("greedy-coreset"); !ok {
+		t.Error("greedy-coreset not registered")
 	}
 	for _, s := range Solvers() {
 		if _, ok := Lookup(s.Name()); !ok {
@@ -161,6 +169,90 @@ func TestConformanceKClustering(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestConformanceCoresetQuality exercises the sketch path where the coreset
+// is a genuine reduction (Size ≪ n, past the identity shortcut the small
+// conformance grids hit): for every *-coreset composition, solve-on-coreset
+// must stay within the composed guarantee of the direct solve, and the
+// sketched solution must be bitwise identical across worker counts.
+func TestConformanceCoresetQuality(t *testing.T) {
+	ctx := context.Background()
+	co := CoresetOptions{Size: 128, Seed: 11}
+
+	type kcase struct {
+		inner string
+	}
+	for _, tc := range []kcase{{"kmedian"}, {"kmeans"}, {"kcenter"}} {
+		inner, ok := LookupK(tc.inner)
+		if !ok {
+			t.Fatalf("inner solver %q missing", tc.inner)
+		}
+		sketched := Sketched(inner, co)
+		ki := GenerateHugeK(21, 600, 4)
+		t.Run(sketched.Name(), func(t *testing.T) {
+			o1 := Options{Epsilon: confEps, Seed: 7, Workers: 1}
+			op := o1
+			op.Workers = confWorkers()
+
+			direct, err := SolveKWith(ctx, inner, ki, o1)
+			if err != nil {
+				t.Fatalf("direct solve: %v", err)
+			}
+			rep1, err := SolveKWith(ctx, sketched, ki, o1)
+			if err != nil {
+				t.Fatalf("sketched solve: %v", err)
+			}
+			repP, err := SolveKWith(ctx, sketched, ki, op)
+			if err != nil {
+				t.Fatalf("sketched solve Workers=%d: %v", op.Workers, err)
+			}
+
+			if err := rep1.Solution.CheckFeasible(ki, 1e-6); err != nil {
+				t.Fatalf("sketched solution infeasible: %v", err)
+			}
+			bound := sketched.Guarantee().Bound(confEps)
+			if got, lim := rep1.Solution.Value, bound*direct.Solution.Value; got > lim+1e-9 {
+				t.Fatalf("sketched value %.4f exceeds composed bound %.4f (direct %.4f, %s)",
+					got, lim, direct.Solution.Value, sketched.Guarantee())
+			}
+			if !reflect.DeepEqual(rep1.Solution, repP.Solution) {
+				t.Fatalf("sketched solutions differ between Workers=1 and Workers=%d", op.Workers)
+			}
+		})
+	}
+
+	// UFL composition: greedy on a pruned weighted sub-instance.
+	inner, _ := Lookup("greedy-par")
+	sketched := SketchedUFL(inner, co)
+	in := GenerateHugeUFL(23, 25, 600)
+	o1 := Options{Epsilon: confEps, Seed: 7, Workers: 1}
+	op := o1
+	op.Workers = confWorkers()
+
+	direct, err := SolveWith(ctx, inner, in, o1)
+	if err != nil {
+		t.Fatalf("direct greedy: %v", err)
+	}
+	rep1, err := SolveWith(ctx, sketched, in, o1)
+	if err != nil {
+		t.Fatalf("sketched greedy: %v", err)
+	}
+	repP, err := SolveWith(ctx, sketched, in, op)
+	if err != nil {
+		t.Fatalf("sketched greedy Workers=%d: %v", op.Workers, err)
+	}
+	if err := rep1.Solution.CheckFeasible(in, 1e-6); err != nil {
+		t.Fatalf("sketched UFL solution infeasible: %v", err)
+	}
+	bound := sketched.Guarantee().Bound(confEps)
+	if got, lim := rep1.Solution.Cost(), bound*direct.Solution.Cost(); got > lim+1e-9 {
+		t.Fatalf("sketched cost %.4f exceeds composed bound %.4f (direct %.4f)",
+			got, lim, direct.Solution.Cost())
+	}
+	if !reflect.DeepEqual(rep1.Solution, repP.Solution) {
+		t.Fatalf("sketched UFL solutions differ between worker counts")
 	}
 }
 

@@ -15,6 +15,11 @@
 //     guarantees (§7), including a 2-swap extension.
 //   - Exact brute-force solvers and an exact LP solver for measuring true
 //     approximation ratios.
+//   - A coreset/sketching layer (Sketched, SketchedUFL, the *-coreset
+//     registry entries) that reduces million-point point-backed instances to
+//     small weighted ones without materializing a distance matrix; client
+//     weights thread through every solver family, so solve-on-coreset is
+//     exact with respect to the weighted objective.
 //
 // All parallel algorithms run on goroutines and additionally account
 // work/span in the paper's PRAM cost model, so the asymptotic claims can be

@@ -171,7 +171,7 @@ func E4KCenter(s Sizes) *Table {
 			rng := rand.New(rand.NewSource(seed))
 			ki := core.KFromSpace(nil, metric.UniformBox(nil, rng, n, 2, 100), k)
 			opt := exact.KClusterOPT(nil, ki, core.KCenter)
-			hs, _ := kcenter.HochbaumShmoys(context.Background(), nil, ki, rand.New(rand.NewSource(seed+99)))
+			hs, _ := kcenter.HochbaumShmoys(context.Background(), nil, ki, uint64(seed+99))
 			gz := kcenter.Gonzalez(nil, ki, 0)
 			hsR = append(hsR, hs.Sol.Value/opt.Value)
 			gzR = append(gzR, gz.Value/opt.Value)
@@ -293,7 +293,7 @@ func E7DominatorSets(s Sizes) *Table {
 			pts := metric.UniformBox(nil, rng, n, 2, 100)
 			scale := 100.0 / math.Sqrt(float64(n))
 			adj := func(i, j int) bool { return i != j && pts.Dist(i, j) <= 4*scale }
-			sel, st := domset.MaxDom(nil, n, adj, nil, rand.New(rand.NewSource(seed+7)))
+			sel, st := domset.MaxDom(nil, n, adj, nil, uint64(seed+7))
 			if st.Rounds > maxRounds {
 				maxRounds = st.Rounds
 			}
@@ -317,7 +317,7 @@ func E7DominatorSets(s Sizes) *Table {
 		for k := range edges.A {
 			edges.A[k] = rng.Float64() < 3.0/float64(nv)
 		}
-		_, st := domset.MaxUDom(nil, nu, nv, func(u, v int) bool { return edges.At(u, v) }, nil, rand.New(rand.NewSource(seed+9)))
+		_, st := domset.MaxUDom(nil, nu, nv, func(u, v int) bool { return edges.At(u, v) }, nil, uint64(seed+9))
 		if st.Rounds > maxRounds {
 			maxRounds = st.Rounds
 		}

@@ -15,22 +15,49 @@ import (
 )
 
 // Instance is a metric uncapacitated facility-location instance: nf
-// facilities with opening costs, nc clients, and the dense facility×client
-// distance matrix the paper's algorithms operate on.
+// facilities with opening costs and nc clients. Distances come from one of
+// two backings: the dense facility×client matrix D the paper's algorithms
+// operate on, or — for instances too large to materialize — a lazy point
+// space (Points with FacIdx/CliIdx index sets) that the coreset layer
+// queries on demand. Exactly one backing is set; Densified converts lazy to
+// dense. CWeight optionally assigns each client a positive multiplicity
+// (nil = unit weights), the representation solve-on-coreset relies on: a
+// client of weight w contributes w·d(i, j) to the objective, exactly as w
+// colocated unit clients would.
 type Instance struct {
 	NF, NC  int
 	FacCost []float64          // len NF; FacCost[i] = f_i ≥ 0
-	D       *metric.DistMatrix // NF×NC flat; D.At(i, j) = d(facility i, client j)
+	D       *metric.DistMatrix // NF×NC flat; D.At(i, j) = d(facility i, client j); nil when lazy
+	CWeight []float64          // optional client weights w_j > 0; nil = all 1
+
+	Points         metric.Space // lazy backing: the underlying point space
+	FacIdx, CliIdx []int        // lazy backing: point indices of facilities / clients
 }
 
 // M returns the input size m = nf × nc used in the paper's bounds.
 func (in *Instance) M() int { return in.NF * in.NC }
 
-// Dist returns d(facility i, client j).
-func (in *Instance) Dist(i, j int) float64 { return in.D.At(i, j) }
+// Dist returns d(facility i, client j), from either backing.
+func (in *Instance) Dist(i, j int) float64 {
+	if in.D != nil {
+		return in.D.At(i, j)
+	}
+	return in.Points.Dist(in.FacIdx[i], in.CliIdx[j])
+}
 
-// Validate checks structural invariants: dimensions, non-negative costs and
-// distances.
+// W returns client j's weight (1 when CWeight is nil).
+func (in *Instance) W(j int) float64 {
+	if in.CWeight == nil {
+		return 1
+	}
+	return in.CWeight[j]
+}
+
+// Weighted reports whether the instance carries explicit client weights.
+func (in *Instance) Weighted() bool { return in.CWeight != nil }
+
+// Validate checks structural invariants: dimensions, exactly one distance
+// backing, non-negative costs and distances, positive weights.
 func (in *Instance) Validate() error {
 	if in.NF <= 0 || in.NC <= 0 {
 		return fmt.Errorf("core: empty instance %dx%d", in.NF, in.NC)
@@ -38,17 +65,51 @@ func (in *Instance) Validate() error {
 	if len(in.FacCost) != in.NF {
 		return fmt.Errorf("core: |FacCost|=%d, want %d", len(in.FacCost), in.NF)
 	}
-	if in.D == nil || in.D.R != in.NF || in.D.C != in.NC {
-		return fmt.Errorf("core: distance matrix shape mismatch")
+	if in.D == nil {
+		if in.Points == nil {
+			return fmt.Errorf("core: instance has neither a distance matrix nor a point space")
+		}
+		n := in.Points.N()
+		if len(in.FacIdx) != in.NF || len(in.CliIdx) != in.NC {
+			return fmt.Errorf("core: lazy index sets %dx%d, want %dx%d",
+				len(in.FacIdx), len(in.CliIdx), in.NF, in.NC)
+		}
+		for _, i := range in.FacIdx {
+			if i < 0 || i >= n {
+				return fmt.Errorf("core: facility point index %d out of range", i)
+			}
+		}
+		for _, j := range in.CliIdx {
+			if j < 0 || j >= n {
+				return fmt.Errorf("core: client point index %d out of range", j)
+			}
+		}
+	} else {
+		if in.Points != nil {
+			return fmt.Errorf("core: instance has both a distance matrix and a point space")
+		}
+		if in.D.R != in.NF || in.D.C != in.NC {
+			return fmt.Errorf("core: distance matrix shape mismatch")
+		}
+		for _, d := range in.D.A {
+			if d < 0 || math.IsNaN(d) {
+				return fmt.Errorf("core: negative or NaN distance %v", d)
+			}
+		}
 	}
 	for i, f := range in.FacCost {
 		if f < 0 || math.IsNaN(f) {
 			return fmt.Errorf("core: facility %d has invalid cost %v", i, f)
 		}
 	}
-	for _, d := range in.D.A {
-		if d < 0 || math.IsNaN(d) {
-			return fmt.Errorf("core: negative or NaN distance %v", d)
+	if in.CWeight != nil {
+		if len(in.CWeight) != in.NC {
+			return fmt.Errorf("core: |CWeight|=%d, want %d", len(in.CWeight), in.NC)
+		}
+		for j, w := range in.CWeight {
+			if !(w > 0) || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("core: client %d has invalid weight %v (must be > 0)", j, w)
+			}
 		}
 	}
 	return nil
@@ -87,7 +148,8 @@ func (s *Solution) Cost() float64 { return s.FacilityCost + s.ConnectionCost }
 
 // EvalOpen builds the best solution with exactly the given open set: each
 // client is assigned to its nearest open facility (the paper notes the
-// assignment is implied by the open set). Panics if open is empty.
+// assignment is implied by the open set), contributing w_j·d to the
+// connection cost. Panics if open is empty.
 func EvalOpen(c *par.Ctx, in *Instance, open []int) *Solution {
 	if len(open) == 0 {
 		panic("core: EvalOpen with no open facilities")
@@ -102,7 +164,7 @@ func EvalOpen(c *par.Ctx, in *Instance, open []int) *Solution {
 			}
 		}
 		assign[j] = bestI
-		connCost[j] = best
+		connCost[j] = in.W(j) * best
 	})
 	c.Charge(int64(len(open))*int64(in.NC), 1)
 	fc := 0.0
@@ -150,7 +212,7 @@ func (s *Solution) CheckFeasible(in *Instance, tol float64) error {
 		if !openSet[i] {
 			return fmt.Errorf("core: client %d assigned to closed facility %d", j, i)
 		}
-		cc += in.Dist(i, j)
+		cc += in.W(j) * in.Dist(i, j)
 	}
 	if math.Abs(fc-s.FacilityCost) > tol {
 		return fmt.Errorf("core: facility cost %v recorded, %v recomputed", s.FacilityCost, fc)
@@ -162,8 +224,11 @@ func (s *Solution) CheckFeasible(in *Instance, tol float64) error {
 }
 
 // GammaBounds computes the quantities of Equation (2): γ_j = min_i (f_i +
-// d(j,i)), γ = max_j γ_j, and Σ_j γ_j, which bracket opt:
-// γ ≤ opt ≤ Σγ_j ≤ γ·nc.
+// w_j·d(j,i)), γ = max_j γ_j, and Σ_j γ_j, which bracket opt:
+// γ ≤ opt ≤ Σγ_j ≤ γ·nc. (For unit weights this is exactly the paper's
+// Equation 2; with weights, any solution serves client j from some open i at
+// cost ≥ f_i + w_j·d(j,i) ≥ γ_j, and opening each client's γ-facility costs
+// at most Σγ_j, so the bracket survives weighting.)
 type GammaBounds struct {
 	GammaJ []float64 // per-client γ_j
 	Gamma  float64   // max_j γ_j, a lower bound on opt
@@ -174,9 +239,10 @@ type GammaBounds struct {
 func Gammas(c *par.Ctx, in *Instance) GammaBounds {
 	gj := make([]float64, in.NC)
 	c.For(in.NC, func(j int) {
+		w := in.W(j)
 		best := math.Inf(1)
 		for i := 0; i < in.NF; i++ {
-			if v := in.FacCost[i] + in.Dist(i, j); v < best {
+			if v := in.FacCost[i] + w*in.Dist(i, j); v < best {
 				best = v
 			}
 		}
@@ -196,20 +262,32 @@ type DualSolution struct {
 	Alpha []float64
 }
 
-// Value returns Σ_j α_j, the dual objective.
-func (d *DualSolution) Value(c *par.Ctx) float64 { return par.SumFloat(c, d.Alpha) }
+// Value returns Σ_j w_j·α_j, the (weighted) dual objective.
+func (d *DualSolution) Value(c *par.Ctx) float64 { return d.WeightedValue(c, nil) }
+
+// WeightedValue returns Σ_j w_j·α_j against the weights of in (unit when in
+// is nil or unweighted).
+func (d *DualSolution) WeightedValue(c *par.Ctx, in *Instance) float64 {
+	if in == nil || !in.Weighted() {
+		return par.SumFloat(c, d.Alpha)
+	}
+	weighted := make([]float64, len(d.Alpha))
+	c.For(len(d.Alpha), func(j int) { weighted[j] = in.W(j) * d.Alpha[j] })
+	return par.SumFloat(c, weighted)
+}
 
 // MaxViolation returns the largest amount by which any facility constraint
-// Σ_j β_ij ≤ f_i is violated under β_ij = max(0, α_j − d(j,i)), scaling α by
-// scale first (the dual-fitting analyses divide α by γ=1.861 or by 3).
-// A non-positive result means (α·scale, β) is dual feasible.
+// Σ_j w_j·β_ij ≤ f_i is violated under β_ij = max(0, α_j − d(j,i)), scaling
+// α by scale first (the dual-fitting analyses divide α by γ=1.861 or by 3).
+// A non-positive result means (α·scale, β) is dual feasible for the weighted
+// Figure-1 dual (each client appears with multiplicity w_j).
 func (d *DualSolution) MaxViolation(c *par.Ctx, in *Instance, scale float64) float64 {
 	worst := par.ReduceIndex(c, in.NF, math.Inf(-1), func(i int) float64 {
 		drow := in.D.Row(i)
 		sum := 0.0
 		for j := 0; j < in.NC; j++ {
 			if b := d.Alpha[j]*scale - drow[j]; b > 0 {
-				sum += b
+				sum += in.W(j) * b
 			}
 		}
 		return sum - in.FacCost[i]
@@ -221,29 +299,90 @@ func (d *DualSolution) MaxViolation(c *par.Ctx, in *Instance, scale float64) flo
 // ---------- k-clustering instances ----------
 
 // KInstance is the shared instance for k-median, k-means and k-center: n
-// nodes that are simultaneously clients and candidate centers (§2), a full
-// n×n distance matrix, and the budget K.
+// nodes that are simultaneously clients and candidate centers (§2) and the
+// budget K. Distances come from the dense n×n matrix Dist, or — for
+// instances too large to materialize — from a lazy point space (Points).
+// Exactly one backing is set; Densified converts lazy to dense. Weight
+// optionally assigns each node a positive client multiplicity (nil = unit),
+// scaling its objective contribution for k-median (w·d) and k-means (w·d²);
+// k-center's max objective is weight-oblivious (every node still must be
+// covered).
 type KInstance struct {
-	N    int
-	K    int
-	Dist *metric.DistMatrix // N×N symmetric, flat
+	N      int
+	K      int
+	Dist   *metric.DistMatrix // N×N symmetric, flat; nil when lazy
+	Weight []float64          // optional node weights w_j > 0; nil = all 1
+
+	Points metric.Space // lazy backing: the underlying point space
 }
 
-// Validate checks shape, symmetry, and zero diagonal.
+// D returns the distance between nodes i and j, from either backing.
+func (ki *KInstance) D(i, j int) float64 {
+	if ki.Dist != nil {
+		return ki.Dist.At(i, j)
+	}
+	return ki.Points.Dist(i, j)
+}
+
+// W returns node j's weight (1 when Weight is nil).
+func (ki *KInstance) W(j int) float64 {
+	if ki.Weight == nil {
+		return 1
+	}
+	return ki.Weight[j]
+}
+
+// Weighted reports whether the instance carries explicit node weights.
+func (ki *KInstance) Weighted() bool { return ki.Weight != nil }
+
+// Space returns the instance's metric.Space view: the lazy point space, or
+// the square distance matrix (which is itself a Space).
+func (ki *KInstance) Space() metric.Space {
+	if ki.Dist != nil {
+		return ki.Dist
+	}
+	return ki.Points
+}
+
+// Validate checks shape, exactly one backing, symmetry and zero diagonal
+// (dense backing only — lazy spaces are trusted, they are typically point
+// sets whose metric holds by construction), and positive weights.
 func (ki *KInstance) Validate() error {
 	if ki.N <= 0 || ki.K <= 0 || ki.K > ki.N {
 		return fmt.Errorf("core: bad k-instance n=%d k=%d", ki.N, ki.K)
 	}
-	if ki.Dist == nil || ki.Dist.R != ki.N || ki.Dist.C != ki.N {
-		return fmt.Errorf("core: k-instance matrix shape mismatch")
-	}
-	for i := 0; i < ki.N; i++ {
-		if ki.Dist.At(i, i) != 0 {
-			return fmt.Errorf("core: nonzero diagonal at %d", i)
+	if ki.Dist == nil {
+		if ki.Points == nil {
+			return fmt.Errorf("core: k-instance has neither a distance matrix nor a point space")
 		}
-		for j := i + 1; j < ki.N; j++ {
-			if ki.Dist.At(i, j) != ki.Dist.At(j, i) {
-				return fmt.Errorf("core: asymmetric at %d,%d", i, j)
+		if ki.Points.N() != ki.N {
+			return fmt.Errorf("core: point space has %d points, want %d", ki.Points.N(), ki.N)
+		}
+	} else {
+		if ki.Points != nil {
+			return fmt.Errorf("core: k-instance has both a distance matrix and a point space")
+		}
+		if ki.Dist.R != ki.N || ki.Dist.C != ki.N {
+			return fmt.Errorf("core: k-instance matrix shape mismatch")
+		}
+		for i := 0; i < ki.N; i++ {
+			if ki.Dist.At(i, i) != 0 {
+				return fmt.Errorf("core: nonzero diagonal at %d", i)
+			}
+			for j := i + 1; j < ki.N; j++ {
+				if ki.Dist.At(i, j) != ki.Dist.At(j, i) {
+					return fmt.Errorf("core: asymmetric at %d,%d", i, j)
+				}
+			}
+		}
+	}
+	if ki.Weight != nil {
+		if len(ki.Weight) != ki.N {
+			return fmt.Errorf("core: |Weight|=%d, want %d", len(ki.Weight), ki.N)
+		}
+		for j, w := range ki.Weight {
+			if !(w > 0) || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("core: node %d has invalid weight %v (must be > 0)", j, w)
 			}
 		}
 	}
@@ -281,7 +420,10 @@ type KSolution struct {
 }
 
 // EvalCenters assigns every node to its nearest center and computes the
-// requested objective.
+// requested objective: Σ w_j·d for k-median, Σ w_j·d² for k-means, max d
+// for k-center (weights are multiplicities, which a max is oblivious to).
+// Works on both dense and lazy-point backings; for a lazy backing the cost
+// is |centers|·n space distance evaluations and O(n) memory — no matrix.
 func EvalCenters(c *par.Ctx, ki *KInstance, centers []int, obj KObjective) *KSolution {
 	if len(centers) == 0 {
 		panic("core: EvalCenters with no centers")
@@ -291,16 +433,18 @@ func EvalCenters(c *par.Ctx, ki *KInstance, centers []int, obj KObjective) *KSol
 	c.For(ki.N, func(j int) {
 		best, bestI := math.Inf(1), -1
 		for _, i := range centers {
-			if d := ki.Dist.At(i, j); d < best {
+			if d := ki.D(i, j); d < best {
 				best, bestI = d, i
 			}
 		}
 		assign[j] = bestI
 		switch obj {
 		case KMeans:
-			contrib[j] = best * best
-		default:
+			contrib[j] = ki.W(j) * best * best
+		case KCenter:
 			contrib[j] = best
+		default:
+			contrib[j] = ki.W(j) * best
 		}
 	})
 	c.Charge(int64(len(centers))*int64(ki.N), 1)

@@ -8,26 +8,71 @@ import (
 	"repro/internal/metric"
 )
 
-// instanceJSON is the on-disk representation of an Instance.
+// pointsJSON is the wire form of a Euclidean point set: the streaming
+// representation the coreset pipeline uses for instances whose dense matrix
+// would never fit (coords is n·dim flat, point i at coords[i·dim:(i+1)·dim]).
+type pointsJSON struct {
+	Dim    int       `json:"dim"`
+	Coords []float64 `json:"coords"`
+}
+
+func (p *pointsJSON) space() (*metric.Euclidean, error) {
+	if p.Dim <= 0 || len(p.Coords) == 0 || len(p.Coords)%p.Dim != 0 {
+		return nil, fmt.Errorf("core: %d coords is not a multiple of dim %d", len(p.Coords), p.Dim)
+	}
+	return &metric.Euclidean{Dim: p.Dim, Coords: p.Coords}, nil
+}
+
+// instanceJSON is the on-disk representation of an Instance. Exactly one of
+// Distance / Points is present: the dense form carries the nf×nc matrix; the
+// point form carries nf+nc Euclidean points, facilities first, and decodes
+// to a lazy (never-materialized) instance.
 type instanceJSON struct {
 	NF       int         `json:"nf"`
 	NC       int         `json:"nc"`
 	FacCost  []float64   `json:"facility_costs"`
-	Distance [][]float64 `json:"distance"` // nf rows × nc cols
+	Distance [][]float64 `json:"distance,omitempty"` // nf rows × nc cols
+	Points   *pointsJSON `json:"points,omitempty"`   // nf+nc points, facilities first
+	Weights  []float64   `json:"client_weights,omitempty"`
 }
 
-// kInstanceJSON is the on-disk representation of a KInstance.
+// kInstanceJSON is the on-disk representation of a KInstance; the same
+// dense/point dichotomy as instanceJSON.
 type kInstanceJSON struct {
 	N        int         `json:"n"`
 	K        int         `json:"k"`
-	Distance [][]float64 `json:"distance"` // n×n
+	Distance [][]float64 `json:"distance,omitempty"` // n×n
+	Points   *pointsJSON `json:"points,omitempty"`   // n points
+	Weights  []float64   `json:"weights,omitempty"`
 }
 
-// WriteInstance serializes in as JSON.
+// WriteInstance serializes in as JSON. Dense instances write the matrix;
+// lazy instances write their (Euclidean) point backing, facilities first.
 func WriteInstance(w io.Writer, in *Instance) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(instanceJSON{NF: in.NF, NC: in.NC, FacCost: in.FacCost,
-		Distance: metric.ToRows(nil, in.D)})
+	ij := instanceJSON{NF: in.NF, NC: in.NC, FacCost: in.FacCost, Weights: in.CWeight}
+	if in.D != nil {
+		ij.Distance = metric.ToRows(nil, in.D)
+	} else {
+		pts, err := lazyPoints(in.Points, append(append([]int(nil), in.FacIdx...), in.CliIdx...))
+		if err != nil {
+			return err
+		}
+		ij.Points = pts
+	}
+	return json.NewEncoder(w).Encode(ij)
+}
+
+// lazyPoints extracts the listed points of a Euclidean space into wire form.
+func lazyPoints(sp metric.Space, idx []int) (*pointsJSON, error) {
+	e, ok := sp.(*metric.Euclidean)
+	if !ok {
+		return nil, fmt.Errorf("core: only Euclidean point backings serialize (have %T)", sp)
+	}
+	coords := make([]float64, 0, len(idx)*e.Dim)
+	for _, i := range idx {
+		coords = append(coords, e.Point(i)...)
+	}
+	return &pointsJSON{Dim: e.Dim, Coords: coords}, nil
 }
 
 // ReadInstance deserializes and validates an Instance.
@@ -40,17 +85,45 @@ func ReadInstance(r io.Reader) (*Instance, error) {
 }
 
 func instanceFromJSON(ij *instanceJSON) (*Instance, error) {
-	if len(ij.Distance) != ij.NF {
-		return nil, fmt.Errorf("core: %d distance rows for nf=%d", len(ij.Distance), ij.NF)
+	var in *Instance
+	switch {
+	case ij.Points != nil:
+		if len(ij.Distance) != 0 {
+			return nil, fmt.Errorf("core: instance has both distance rows and points")
+		}
+		if ij.NF <= 0 || ij.NC <= 0 {
+			return nil, fmt.Errorf("core: point-form instance with nf=%d nc=%d", ij.NF, ij.NC)
+		}
+		sp, err := ij.Points.space()
+		if err != nil {
+			return nil, err
+		}
+		if sp.N() != ij.NF+ij.NC {
+			return nil, fmt.Errorf("core: %d points for nf+nc=%d", sp.N(), ij.NF+ij.NC)
+		}
+		fac := make([]int, ij.NF)
+		cli := make([]int, ij.NC)
+		for i := range fac {
+			fac[i] = i
+		}
+		for j := range cli {
+			cli[j] = ij.NF + j
+		}
+		in = FromSpaceLazy(sp, fac, cli, ij.FacCost)
+	default:
+		if len(ij.Distance) != ij.NF {
+			return nil, fmt.Errorf("core: %d distance rows for nf=%d", len(ij.Distance), ij.NF)
+		}
+		d, err := metric.FromRows(nil, ij.Distance)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if d.C != ij.NC {
+			return nil, fmt.Errorf("core: %d cols, want %d", d.C, ij.NC)
+		}
+		in = &Instance{NF: ij.NF, NC: ij.NC, FacCost: ij.FacCost, D: d}
 	}
-	d, err := metric.FromRows(nil, ij.Distance)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	if d.C != ij.NC {
-		return nil, fmt.Errorf("core: %d cols, want %d", d.C, ij.NC)
-	}
-	in := &Instance{NF: ij.NF, NC: ij.NC, FacCost: ij.FacCost, D: d}
+	in.CWeight = ij.Weights
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,10 +155,20 @@ func (d *InstanceDecoder) Next() (*Instance, error) {
 	return instanceFromJSON(&ij)
 }
 
-// WriteKInstance serializes ki as JSON.
+// WriteKInstance serializes ki as JSON. Dense instances write the matrix;
+// lazy instances write their (Euclidean) point backing.
 func WriteKInstance(w io.Writer, ki *KInstance) error {
-	return json.NewEncoder(w).Encode(kInstanceJSON{N: ki.N, K: ki.K,
-		Distance: metric.ToRows(nil, ki.Dist)})
+	kj := kInstanceJSON{N: ki.N, K: ki.K, Weights: ki.Weight}
+	if ki.Dist != nil {
+		kj.Distance = metric.ToRows(nil, ki.Dist)
+	} else {
+		e, ok := ki.Points.(*metric.Euclidean)
+		if !ok {
+			return fmt.Errorf("core: only Euclidean point backings serialize (have %T)", ki.Points)
+		}
+		kj.Points = &pointsJSON{Dim: e.Dim, Coords: e.Coords}
+	}
+	return json.NewEncoder(w).Encode(kj)
 }
 
 // ReadKInstance deserializes and validates a KInstance.
@@ -98,17 +181,34 @@ func ReadKInstance(r io.Reader) (*KInstance, error) {
 }
 
 func kInstanceFromJSON(kj *kInstanceJSON) (*KInstance, error) {
-	if len(kj.Distance) != kj.N {
-		return nil, fmt.Errorf("core: %d rows for n=%d", len(kj.Distance), kj.N)
+	var ki *KInstance
+	switch {
+	case kj.Points != nil:
+		if len(kj.Distance) != 0 {
+			return nil, fmt.Errorf("core: k-instance has both distance rows and points")
+		}
+		sp, err := kj.Points.space()
+		if err != nil {
+			return nil, err
+		}
+		if sp.N() != kj.N {
+			return nil, fmt.Errorf("core: %d points for n=%d", sp.N(), kj.N)
+		}
+		ki = KFromSpaceLazy(sp, kj.K)
+	default:
+		if len(kj.Distance) != kj.N {
+			return nil, fmt.Errorf("core: %d rows for n=%d", len(kj.Distance), kj.N)
+		}
+		d, err := metric.FromRows(nil, kj.Distance)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if d.C != kj.N {
+			return nil, fmt.Errorf("core: %d cols, want %d", d.C, kj.N)
+		}
+		ki = &KInstance{N: kj.N, K: kj.K, Dist: d}
 	}
-	d, err := metric.FromRows(nil, kj.Distance)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	if d.C != kj.N {
-		return nil, fmt.Errorf("core: %d cols, want %d", d.C, kj.N)
-	}
-	ki := &KInstance{N: kj.N, K: kj.K, Dist: d}
+	ki.Weight = kj.Weights
 	if err := ki.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+// Lazy (point-backed) instances and their controlled conversion to the dense
+// representation. The coreset pipeline keeps million-point instances in lazy
+// form end to end; only the small solve-on-coreset sub-instances are ever
+// densified. The densification counter lets tests assert that the dense path
+// was never taken for a sketched solve, and DenseLimit turns an accidental
+// O(n²) materialization into a clear error instead of an OOM kill.
+
+// DenseLimit is the largest side length Densified will materialize: a
+// 20000×20000 float64 block is ~3.2 GB, the edge of laptop-class viability.
+// Instances past the limit must go through the coreset layer.
+const DenseLimit = 20000
+
+var denseBuilds atomic.Int64
+
+// DenseBuilds returns the number of lazy→dense materializations performed
+// since process start. Tests snapshot it around a sketched solve to prove
+// the dense path was never invoked.
+func DenseBuilds() int64 { return denseBuilds.Load() }
+
+// FromSpaceLazy builds a point-backed UFL Instance: no distance block is
+// materialized; Dist delegates to the space. facilities and clients index
+// into sp (and may overlap, as in FromSpace).
+func FromSpaceLazy(sp metric.Space, facilities, clients []int, costs []float64) *Instance {
+	return &Instance{
+		NF:      len(facilities),
+		NC:      len(clients),
+		FacCost: append([]float64(nil), costs...),
+		Points:  sp,
+		FacIdx:  append([]int(nil), facilities...),
+		CliIdx:  append([]int(nil), clients...),
+	}
+}
+
+// KFromSpaceLazy builds a point-backed k-clustering instance over all points
+// of sp: no n×n matrix is materialized.
+func KFromSpaceLazy(sp metric.Space, k int) *KInstance {
+	return &KInstance{N: sp.N(), K: k, Points: sp}
+}
+
+// Densified returns a dense-backed copy of the instance (the receiver
+// unchanged if already dense), materializing the facility×client block in
+// parallel. Instances with max(nf, nc) > DenseLimit return an error naming
+// the coreset alternative instead of attempting the allocation.
+func (in *Instance) Densified(c *par.Ctx) (*Instance, error) {
+	if in.D != nil {
+		return in, nil
+	}
+	if in.NF > DenseLimit || in.NC > DenseLimit {
+		return nil, fmt.Errorf("core: %d×%d instance exceeds the dense limit %d; use a *-coreset solver",
+			in.NF, in.NC, DenseLimit)
+	}
+	denseBuilds.Add(1)
+	out := *in
+	out.D = metric.SubmatrixRows(c, in.Points, in.FacIdx, in.CliIdx)
+	out.Points, out.FacIdx, out.CliIdx = nil, nil, nil
+	return &out, nil
+}
+
+// Densified returns a dense-backed copy of the k-instance (the receiver
+// unchanged if already dense), materializing the n×n matrix in parallel.
+// Instances with n > DenseLimit return an error naming the coreset
+// alternative instead of attempting the allocation.
+func (ki *KInstance) Densified(c *par.Ctx) (*KInstance, error) {
+	if ki.Dist != nil {
+		return ki, nil
+	}
+	if ki.N > DenseLimit {
+		return nil, fmt.Errorf("core: %d-point k-instance exceeds the dense limit %d; use a *-coreset solver",
+			ki.N, DenseLimit)
+	}
+	denseBuilds.Add(1)
+	out := *ki
+	out.Dist = metric.FullMatrix(c, ki.Points)
+	out.Points = nil
+	return &out, nil
+}

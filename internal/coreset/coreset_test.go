@@ -1,0 +1,232 @@
+package coreset
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+func uniformSpace(seed int64, n int) *metric.Euclidean {
+	rng := rand.New(rand.NewSource(seed))
+	return metric.UniformBox(nil, rng, n, 2, 100)
+}
+
+func clusteredSpace(seed int64, n, k int) *metric.Euclidean {
+	rng := rand.New(rand.NewSource(seed))
+	return metric.GaussianClusters(nil, rng, n, k, 2, 100, 2)
+}
+
+func TestPrefixFixedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, fixedBlock, fixedBlock + 1, 3*fixedBlock + 17} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		pref, total := prefixFixed(&par.Ctx{Workers: 4}, xs)
+		pref1, total1 := prefixFixed(&par.Ctx{Workers: 1}, xs)
+		if total != total1 || !reflect.DeepEqual(pref, pref1) {
+			t.Fatalf("n=%d: prefix differs between worker counts", n)
+		}
+		acc := 0.0
+		for i, x := range xs {
+			acc += x
+			if math.Abs(pref[i]-acc) > 1e-9*math.Max(1, acc) {
+				t.Fatalf("n=%d: pref[%d]=%v, want ≈%v", n, i, pref[i], acc)
+			}
+		}
+	}
+}
+
+func TestPickIndexBoundaries(t *testing.T) {
+	xs := []float64{0, 2, 0, 3, 0}
+	pref, total := prefixFixed(nil, xs)
+	if total != 5 {
+		t.Fatalf("total %v", total)
+	}
+	if got := pickIndex(pref, total, 0); got != 1 {
+		t.Fatalf("u=0 picked %d, want 1 (first positive mass)", got)
+	}
+	if got := pickIndex(pref, total, 0.399); got != 1 {
+		t.Fatalf("u=0.399 picked %d, want 1", got)
+	}
+	if got := pickIndex(pref, total, 0.5); got != 3 {
+		t.Fatalf("u=0.5 picked %d, want 3", got)
+	}
+	if got := pickIndex(pref, total, 0.999999); got != 3 {
+		t.Fatalf("u→1 picked %d, want 3 (skip trailing zeros)", got)
+	}
+}
+
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	sp := uniformSpace(7, 20000)
+	for _, obj := range []core.KObjective{core.KMedian, core.KMeans, core.KCenter} {
+		o := Options{Size: 200, Seed: 42}
+		c1, err := Build(context.Background(), &par.Ctx{Workers: 1}, sp, 5, obj, nil, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := Build(context.Background(), &par.Ctx{Workers: 8}, sp, 5, obj, nil, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(c1, cp) {
+			t.Fatalf("%v: coreset differs between Workers=1 and Workers=8", obj)
+		}
+		if c1.Len() == 0 || c1.Len() > 200 {
+			t.Fatalf("%v: coreset size %d out of range", obj, c1.Len())
+		}
+	}
+}
+
+func TestBuildIdentityWhenSizeCoversSpace(t *testing.T) {
+	sp := uniformSpace(3, 50)
+	cs, err := Build(context.Background(), nil, sp, 4, core.KMedian, nil, Options{Size: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Identity || cs.Len() != 50 {
+		t.Fatalf("expected identity coreset of 50, got %+v", cs)
+	}
+	for j, p := range cs.Points {
+		if p != j || cs.Weight[j] != 1 {
+			t.Fatalf("identity coreset should be the whole unit-weight set")
+		}
+	}
+}
+
+func TestCoverWeightsConserveMass(t *testing.T) {
+	sp := clusteredSpace(5, 3000, 4)
+	cs, err := Build(context.Background(), nil, sp, 4, core.KCenter, nil, Options{Size: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, w := range cs.Weight {
+		sum += w
+	}
+	if math.Abs(sum-3000) > 1e-6 {
+		t.Fatalf("cover weights sum to %v, want 3000 (exact mass conservation)", sum)
+	}
+	if cs.Radius <= 0 {
+		t.Fatalf("cover radius %v, want > 0", cs.Radius)
+	}
+	// A cover twice the size must not have a larger radius.
+	cs2, err := Build(context.Background(), nil, sp, 4, core.KCenter, nil, Options{Size: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.Radius > cs.Radius {
+		t.Fatalf("radius grew with size: %v -> %v", cs.Radius, cs2.Radius)
+	}
+}
+
+func TestSamplingWeightsSane(t *testing.T) {
+	n := 5000
+	sp := clusteredSpace(9, n, 5)
+	cs, err := Build(context.Background(), nil, sp, 5, core.KMedian, nil, Options{Size: 256, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, w := range cs.Weight {
+		if !(w > 0) {
+			t.Fatalf("non-positive weight %v at %d", w, i)
+		}
+		sum += w
+	}
+	// The estimator is unbiased for total mass n; allow broad slack.
+	if sum < float64(n)/3 || sum > 3*float64(n) {
+		t.Fatalf("sampled weights sum to %v, want within 3x of %d", sum, n)
+	}
+	for i := 1; i < len(cs.Points); i++ {
+		if cs.Points[i] <= cs.Points[i-1] {
+			t.Fatalf("points not strictly ascending at %d", i)
+		}
+	}
+}
+
+func TestKInstanceFromCoreset(t *testing.T) {
+	sp := clusteredSpace(11, 2000, 3)
+	cs, err := Build(context.Background(), nil, sp, 3, core.KMedian, nil, Options{Size: 128, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ki := cs.KInstance(nil, sp, 3)
+	if err := ki.Validate(); err != nil {
+		t.Fatalf("sub-instance invalid: %v", err)
+	}
+	if ki.N != cs.Len() || !ki.Weighted() {
+		t.Fatalf("sub-instance shape mismatch: n=%d weighted=%v", ki.N, ki.Weighted())
+	}
+}
+
+func TestBuildRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sp := uniformSpace(1, 5000)
+	if _, err := Build(ctx, nil, sp, 5, core.KMedian, nil, Options{Size: 64}); err == nil {
+		t.Fatal("cancelled build should fail")
+	}
+	in := core.FromSpaceLazy(sp, []int{0, 1, 2}, []int{3, 4, 5, 6}, []float64{1, 1, 1})
+	if _, err := UFLPrune(ctx, nil, in, Options{Size: 2}); err == nil {
+		t.Fatal("cancelled UFLPrune should fail")
+	}
+}
+
+func TestUFLPruneStructureAndLift(t *testing.T) {
+	n := 2000
+	sp := clusteredSpace(13, n, 4)
+	nf := 40
+	fac := make([]int, nf)
+	cli := make([]int, n-nf)
+	costs := make([]float64, nf)
+	for i := range fac {
+		fac[i] = i
+		costs[i] = 5
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	in := core.FromSpaceLazy(sp, fac, cli, costs)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := UFLPrune(context.Background(), nil, in, Options{Size: 100, Seed: 2, FacPerClient: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Sub.Validate(); err != nil {
+		t.Fatalf("sub-instance invalid: %v", err)
+	}
+	if p.Sub.NC != 100 || p.Sub.NF > nf || p.Sub.NF < 1 {
+		t.Fatalf("sub shape %dx%d unexpected", p.Sub.NF, p.Sub.NC)
+	}
+	sum := 0.0
+	for _, w := range p.Sub.CWeight {
+		sum += w
+	}
+	if math.Abs(sum-float64(n-nf)) > 1e-6 {
+		t.Fatalf("client mass %v, want %d", sum, n-nf)
+	}
+	// Determinism across worker counts.
+	p8, err := UFLPrune(context.Background(), &par.Ctx{Workers: 8}, in, Options{Size: 100, Seed: 2, FacPerClient: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Sub, p8.Sub) || !reflect.DeepEqual(p.FacMap, p8.FacMap) {
+		t.Fatal("UFLPrune differs between worker counts")
+	}
+	// Lift a trivial sub-solution and check feasibility on the original.
+	sub := core.EvalOpen(nil, p.Sub, []int{0})
+	sol := p.Lift(nil, in, sub)
+	if err := sol.CheckFeasible(in, 1e-6); err != nil {
+		t.Fatalf("lifted solution infeasible: %v", err)
+	}
+}

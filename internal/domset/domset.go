@@ -16,7 +16,6 @@ package domset
 
 import (
 	"math"
-	"math/rand"
 
 	"repro/internal/par"
 )
@@ -40,18 +39,17 @@ func roundCap(n int) int {
 	return 40 + 10*int(math.Ceil(math.Log2(float64(n))))
 }
 
-// priorities fills pri with distinct random priorities: a random permutation
-// of 0..n-1 (the paper draws from {1..2n⁴} to make collisions unlikely; a
-// permutation makes them impossible).
-func priorities(rng *rand.Rand, pri []int64) {
-	n := len(pri)
-	for i := range pri {
-		pri[i] = int64(i)
-	}
-	for i := n - 1; i > 0; i-- {
-		j := rng.Intn(i + 1)
-		pri[i], pri[j] = pri[j], pri[i]
-	}
+// priorities fills pri with distinct pseudo-random priorities for one Luby
+// round, drawn from the counter-based splitmix64 stream identified by seed:
+// the top 32 bits of pri[i] are Mix64(seed + i), the low 32 bits are i
+// itself. Values are therefore distinct (the paper draws from {1..2n⁴} to
+// make collisions unlikely; the index tail makes them impossible), every
+// fill is a pure function of (seed, i) — reproducible per seed and
+// independent of worker count — and the parallel fill is race-free.
+func priorities(c *par.Ctx, seed uint64, pri []int64) {
+	c.For(len(pri), func(i int) {
+		pri[i] = int64((par.Mix64(seed+uint64(i)) &^ 0xFFFFFFFF) | uint64(uint32(i)))
+	})
 }
 
 const infPri = int64(math.MaxInt64)
@@ -61,8 +59,10 @@ const infPri = int64(math.MaxInt64)
 // I ⊆ V such that selected nodes are pairwise non-adjacent and share no
 // common neighbor. live, if non-nil, restricts the candidate set (nodes with
 // live[i]==false are treated as non-candidates but still relay conflicts,
-// since "common neighbor" is over the whole graph).
-func MaxDom(c *par.Ctx, n int, adj func(i, j int) bool, live []bool, rng *rand.Rand) ([]int, Stats) {
+// since "common neighbor" is over the whole graph). Round r draws its Luby
+// priorities from the splitmix64 substream par.Stream(seed, r), so the
+// output is deterministic per seed and independent of worker count.
+func MaxDom(c *par.Ctx, n int, adj func(i, j int) bool, live []bool, seed uint64) ([]int, Stats) {
 	cand := make([]bool, n)
 	if live == nil {
 		for i := range cand {
@@ -87,7 +87,7 @@ func MaxDom(c *par.Ctx, n int, adj func(i, j int) bool, live []bool, rng *rand.R
 			break
 		}
 		st.Rounds++
-		priorities(rng, pri)
+		priorities(c, par.Stream(seed, st.Rounds), pri)
 		// First hop: m1[v] = min priority over live candidates in N(v) ∪ {v}.
 		c.For(n, func(v int) {
 			best := infPri

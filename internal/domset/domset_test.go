@@ -44,7 +44,7 @@ func TestMaxDomValidOnRandomGraphs(t *testing.T) {
 	for _, n := range []int{1, 2, 5, 20, 60} {
 		for _, p := range []float64{0, 0.05, 0.3, 1} {
 			adj := randomGraph(n, p, int64(n*100)+int64(p*10))
-			sel, st := MaxDom(c, n, adj, nil, rand.New(rand.NewSource(1)))
+			sel, st := MaxDom(c, n, adj, nil, uint64(1))
 			if msg := CheckDominator(n, adj, nil, sel); msg != "" {
 				t.Fatalf("n=%d p=%v: %s", n, p, msg)
 			}
@@ -58,7 +58,7 @@ func TestMaxDomValidOnRandomGraphs(t *testing.T) {
 func TestMaxDomEmptyGraphSelectsAll(t *testing.T) {
 	n := 10
 	adj := func(i, j int) bool { return false }
-	sel, _ := MaxDom(nil, n, adj, nil, rand.New(rand.NewSource(2)))
+	sel, _ := MaxDom(nil, n, adj, nil, uint64(2))
 	if len(sel) != n {
 		t.Fatalf("selected %d of %d isolated nodes", len(sel), n)
 	}
@@ -67,7 +67,7 @@ func TestMaxDomEmptyGraphSelectsAll(t *testing.T) {
 func TestMaxDomCompleteGraphSelectsOne(t *testing.T) {
 	n := 12
 	adj := func(i, j int) bool { return i != j }
-	sel, _ := MaxDom(nil, n, adj, nil, rand.New(rand.NewSource(3)))
+	sel, _ := MaxDom(nil, n, adj, nil, uint64(3))
 	if len(sel) != 1 {
 		t.Fatalf("selected %d on K_%d, want 1", len(sel), n)
 	}
@@ -77,7 +77,7 @@ func TestMaxDomPathGraph(t *testing.T) {
 	// Path 0-1-2-...-9: selected nodes must be ≥ 3 apart; maximal.
 	n := 10
 	adj := func(i, j int) bool { d := i - j; return d == 1 || d == -1 }
-	sel, _ := MaxDom(nil, n, adj, nil, rand.New(rand.NewSource(4)))
+	sel, _ := MaxDom(nil, n, adj, nil, uint64(4))
 	if msg := CheckDominator(n, adj, nil, sel); msg != "" {
 		t.Fatal(msg)
 	}
@@ -97,7 +97,7 @@ func TestMaxDomStarGraph(t *testing.T) {
 	// distance 2, so exactly one node is selected.
 	n := 15
 	adj := func(i, j int) bool { return i != j && (i == 0 || j == 0) }
-	sel, _ := MaxDom(nil, n, adj, nil, rand.New(rand.NewSource(5)))
+	sel, _ := MaxDom(nil, n, adj, nil, uint64(5))
 	if len(sel) != 1 {
 		t.Fatalf("star dominator %v, want single node", sel)
 	}
@@ -110,7 +110,7 @@ func TestMaxDomRespectsLiveMask(t *testing.T) {
 	for i := 0; i < n; i += 2 {
 		live[i] = true
 	}
-	sel, _ := MaxDom(nil, n, adj, live, rand.New(rand.NewSource(7)))
+	sel, _ := MaxDom(nil, n, adj, live, uint64(7))
 	for _, u := range sel {
 		if u%2 != 0 {
 			t.Fatalf("non-candidate %d selected", u)
@@ -136,7 +136,7 @@ func TestMaxDomRoundsLogarithmic(t *testing.T) {
 	// Lemma 3.1: expected O(log n) Luby rounds. Allow a generous constant.
 	for _, n := range []int{64, 128, 256} {
 		adj := randomGraph(n, 4.0/float64(n), int64(n))
-		_, st := MaxDom(&par.Ctx{Workers: 2}, n, adj, nil, rand.New(rand.NewSource(9)))
+		_, st := MaxDom(&par.Ctx{Workers: 2}, n, adj, nil, uint64(9))
 		bound := 8*int(math.Log2(float64(n))) + 8
 		if st.Rounds > bound {
 			t.Fatalf("n=%d: %d rounds > %d", n, st.Rounds, bound)
@@ -147,8 +147,8 @@ func TestMaxDomRoundsLogarithmic(t *testing.T) {
 func TestMaxDomDeterministicGivenSeed(t *testing.T) {
 	n := 50
 	adj := randomGraph(n, 0.1, 10)
-	a, _ := MaxDom(nil, n, adj, nil, rand.New(rand.NewSource(11)))
-	b, _ := MaxDom(nil, n, adj, nil, rand.New(rand.NewSource(11)))
+	a, _ := MaxDom(nil, n, adj, nil, uint64(11))
+	b, _ := MaxDom(nil, n, adj, nil, uint64(11))
 	if len(a) != len(b) {
 		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
 	}
@@ -165,7 +165,7 @@ func TestMaxUDomValidOnRandomBipartite(t *testing.T) {
 		for _, nv := range []int{1, 5, 25} {
 			for _, p := range []float64{0, 0.1, 0.5, 1} {
 				adj := randomBipartite(nu, nv, p, int64(nu*1000+nv*10)+int64(p*10))
-				sel, st := MaxUDom(c, nu, nv, adj, nil, rand.New(rand.NewSource(12)))
+				sel, st := MaxUDom(c, nu, nv, adj, nil, uint64(12))
 				if msg := CheckUDominator(nu, nv, adj, nil, sel); msg != "" {
 					t.Fatalf("nu=%d nv=%d p=%v: %s", nu, nv, p, msg)
 				}
@@ -179,14 +179,14 @@ func TestMaxUDomValidOnRandomBipartite(t *testing.T) {
 
 func TestMaxUDomDegreeZeroAlwaysSelected(t *testing.T) {
 	// No edges at all: every U node is selected.
-	sel, _ := MaxUDom(nil, 7, 5, func(u, v int) bool { return false }, nil, rand.New(rand.NewSource(13)))
+	sel, _ := MaxUDom(nil, 7, 5, func(u, v int) bool { return false }, nil, uint64(13))
 	if len(sel) != 7 {
 		t.Fatalf("selected %d of 7 isolated U-nodes", len(sel))
 	}
 }
 
 func TestMaxUDomCompleteBipartiteSelectsOne(t *testing.T) {
-	sel, _ := MaxUDom(nil, 9, 4, func(u, v int) bool { return true }, nil, rand.New(rand.NewSource(14)))
+	sel, _ := MaxUDom(nil, 9, 4, func(u, v int) bool { return true }, nil, uint64(14))
 	if len(sel) != 1 {
 		t.Fatalf("selected %d on complete bipartite, want 1", len(sel))
 	}
@@ -196,7 +196,7 @@ func TestMaxUDomPerfectMatchingSelectsAll(t *testing.T) {
 	// U_i adjacent only to V_i: no conflicts, everything selected.
 	n := 8
 	adj := func(u, v int) bool { return u == v }
-	sel, _ := MaxUDom(nil, n, n, adj, nil, rand.New(rand.NewSource(15)))
+	sel, _ := MaxUDom(nil, n, n, adj, nil, uint64(15))
 	if len(sel) != n {
 		t.Fatalf("selected %d of %d in perfect matching", len(sel), n)
 	}
@@ -204,7 +204,7 @@ func TestMaxUDomPerfectMatchingSelectsAll(t *testing.T) {
 
 func TestMaxUDomSharedSingleV(t *testing.T) {
 	// All U share a single V node: exactly one selected.
-	sel, _ := MaxUDom(nil, 6, 1, func(u, v int) bool { return true }, nil, rand.New(rand.NewSource(16)))
+	sel, _ := MaxUDom(nil, 6, 1, func(u, v int) bool { return true }, nil, uint64(16))
 	if len(sel) != 1 {
 		t.Fatalf("selected %d, want 1", len(sel))
 	}
@@ -215,7 +215,7 @@ func TestMaxUDomRespectsLiveMask(t *testing.T) {
 	adj := randomBipartite(nu, nv, 0.2, 17)
 	live := make([]bool, nu)
 	live[3], live[7], live[19] = true, true, true
-	sel, _ := MaxUDom(nil, nu, nv, adj, live, rand.New(rand.NewSource(18)))
+	sel, _ := MaxUDom(nil, nu, nv, adj, live, uint64(18))
 	for _, u := range sel {
 		if !live[u] {
 			t.Fatalf("non-candidate %d selected", u)
@@ -230,7 +230,7 @@ func TestMaxUDomRoundsLogarithmic(t *testing.T) {
 	for _, nu := range []int{64, 256} {
 		nv := nu / 2
 		adj := randomBipartite(nu, nv, 3.0/float64(nv), int64(nu))
-		_, st := MaxUDom(&par.Ctx{Workers: 2}, nu, nv, adj, nil, rand.New(rand.NewSource(19)))
+		_, st := MaxUDom(&par.Ctx{Workers: 2}, nu, nv, adj, nil, uint64(19))
 		bound := 8*int(math.Log2(float64(nu))) + 8
 		if st.Rounds > bound {
 			t.Fatalf("nu=%d: %d rounds > %d", nu, st.Rounds, bound)
@@ -253,7 +253,7 @@ func TestMaxDomOnThresholdGraph(t *testing.T) {
 	pts := metric.UniformBox(nil, rng, 50, 2, 10)
 	alpha := 2.0
 	adj := func(i, j int) bool { return i != j && pts.Dist(i, j) <= alpha }
-	sel, _ := MaxDom(nil, 50, adj, nil, rand.New(rand.NewSource(22)))
+	sel, _ := MaxDom(nil, 50, adj, nil, uint64(22))
 	if msg := CheckDominator(50, adj, nil, sel); msg != "" {
 		t.Fatal(msg)
 	}

@@ -1,10 +1,6 @@
 package domset
 
-import (
-	"math/rand"
-
-	"repro/internal/par"
-)
+import "repro/internal/par"
 
 // Sparse variants of the §3 dominator-set algorithms, per the paper's remark
 // after Lemma 3.1: "For sparse matrices ... this can easily be improved to
@@ -46,9 +42,10 @@ func (g *SparseGraph) CheckSymmetric() string {
 }
 
 // MaxDomSparse computes a maximal dominator set of g (same semantics as
-// MaxDom) in O(|E| log n) expected work: each Luby round is two sparse
-// min-propagations and two sparse flag-propagations over the edge lists.
-func MaxDomSparse(c *par.Ctx, g *SparseGraph, live []bool, rng *rand.Rand) ([]int, Stats) {
+// MaxDom, including the per-seed deterministic splitmix64 priorities) in
+// O(|E| log n) expected work: each Luby round is two sparse min-propagations
+// and two sparse flag-propagations over the edge lists.
+func MaxDomSparse(c *par.Ctx, g *SparseGraph, live []bool, seed uint64) ([]int, Stats) {
 	n := g.N()
 	cand := make([]bool, n)
 	if live == nil {
@@ -79,7 +76,7 @@ func MaxDomSparse(c *par.Ctx, g *SparseGraph, live []bool, rng *rand.Rand) ([]in
 			break
 		}
 		st.Rounds++
-		priorities(rng, pri)
+		priorities(c, par.Stream(seed, st.Rounds), pri)
 		c.For(n, func(v int) {
 			best := infPri
 			if cand[v] {
@@ -198,8 +195,9 @@ func (g *SparseBipartite) CheckConsistent() string {
 }
 
 // MaxUDomSparse computes a maximal U-dominator set of g (same semantics as
-// MaxUDom) in O(|E| log n) expected work.
-func MaxUDomSparse(c *par.Ctx, g *SparseBipartite, liveU []bool, rng *rand.Rand) ([]int, Stats) {
+// MaxUDom, including the per-seed deterministic splitmix64 priorities) in
+// O(|E| log n) expected work.
+func MaxUDomSparse(c *par.Ctx, g *SparseBipartite, liveU []bool, seed uint64) ([]int, Stats) {
 	nu, nv := g.NU(), g.NV()
 	cand := make([]bool, nu)
 	if liveU == nil {
@@ -235,7 +233,7 @@ func MaxUDomSparse(c *par.Ctx, g *SparseBipartite, liveU []bool, rng *rand.Rand)
 			break
 		}
 		st.Rounds++
-		priorities(rng, pri)
+		priorities(c, par.Stream(seed, st.Rounds), pri)
 		c.For(nv, func(v int) {
 			best := infPri
 			for _, u := range g.VAdj[v] {

@@ -1,7 +1,6 @@
 package domset
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -42,7 +41,7 @@ func TestSparseMaxDomMatchesDenseSemantics(t *testing.T) {
 			if msg := g.CheckSymmetric(); msg != "" {
 				t.Fatal(msg)
 			}
-			sel, st := MaxDomSparse(&par.Ctx{Workers: 2}, g, nil, rand.New(rand.NewSource(1)))
+			sel, st := MaxDomSparse(&par.Ctx{Workers: 2}, g, nil, uint64(1))
 			if msg := CheckDominator(n, adj, nil, sel); msg != "" {
 				t.Fatalf("n=%d p=%v: %s", n, p, msg)
 			}
@@ -59,8 +58,8 @@ func TestSparseMaxDomSameSeedSameResultAsDense(t *testing.T) {
 	n := 40
 	adj := randomGraph(n, 0.1, 99)
 	g := sparseFromOracle(n, adj)
-	a, _ := MaxDom(nil, n, adj, nil, rand.New(rand.NewSource(5)))
-	b, _ := MaxDomSparse(nil, g, nil, rand.New(rand.NewSource(5)))
+	a, _ := MaxDom(nil, n, adj, nil, uint64(5))
+	b, _ := MaxDomSparse(nil, g, nil, uint64(5))
 	if len(a) != len(b) {
 		t.Fatalf("sizes differ: %v vs %v", a, b)
 	}
@@ -82,7 +81,7 @@ func TestSparseMaxDomWorkLinearInEdges(t *testing.T) {
 		edges += len(nb)
 	}
 	tally := &par.Tally{}
-	_, st := MaxDomSparse(&par.Ctx{Workers: 2, Tally: tally}, g, nil, rand.New(rand.NewSource(2)))
+	_, st := MaxDomSparse(&par.Ctx{Workers: 2, Tally: tally}, g, nil, uint64(2))
 	w := tally.Snapshot().Work
 	// Work ≤ c·(|E| + n)·rounds, far below n²·rounds.
 	if limit := int64(st.Rounds+1) * int64(8*(edges+n)); w > limit {
@@ -98,7 +97,7 @@ func TestSparseUDomValid(t *testing.T) {
 			if msg := g.CheckConsistent(); msg != "" {
 				t.Fatal(msg)
 			}
-			sel, _ := MaxUDomSparse(nil, g, nil, rand.New(rand.NewSource(3)))
+			sel, _ := MaxUDomSparse(nil, g, nil, uint64(3))
 			if msg := CheckUDominator(nu, nv, adj, nil, sel); msg != "" {
 				t.Fatalf("nu=%d nv=%d: %s", nu, nv, msg)
 			}
@@ -110,8 +109,8 @@ func TestSparseUDomMatchesDenseSameSeed(t *testing.T) {
 	nu, nv := 30, 20
 	adj := randomBipartite(nu, nv, 0.2, 7)
 	g := bipartiteFromOracle(nu, nv, adj)
-	a, _ := MaxUDom(nil, nu, nv, adj, nil, rand.New(rand.NewSource(11)))
-	b, _ := MaxUDomSparse(nil, g, nil, rand.New(rand.NewSource(11)))
+	a, _ := MaxUDom(nil, nu, nv, adj, nil, uint64(11))
+	b, _ := MaxUDomSparse(nil, g, nil, uint64(11))
 	if len(a) != len(b) {
 		t.Fatalf("sizes differ: %v vs %v", a, b)
 	}
@@ -130,7 +129,7 @@ func TestSparseUDomLiveMask(t *testing.T) {
 	for u := 0; u < nu; u += 3 {
 		live[u] = true
 	}
-	sel, _ := MaxUDomSparse(nil, g, live, rand.New(rand.NewSource(17)))
+	sel, _ := MaxUDomSparse(nil, g, live, uint64(17))
 	for _, u := range sel {
 		if !live[u] {
 			t.Fatalf("non-candidate %d selected", u)
@@ -169,7 +168,7 @@ func TestSparseMaxDomProperty(t *testing.T) {
 		n := 10 + int(uint64(seed)%20)
 		adj := randomGraph(n, 0.15, seed)
 		g := sparseFromOracle(n, adj)
-		sel, _ := MaxDomSparse(nil, g, nil, rand.New(rand.NewSource(seed)))
+		sel, _ := MaxDomSparse(nil, g, nil, uint64(seed))
 		return CheckDominator(n, adj, nil, sel) == ""
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {

@@ -1,18 +1,16 @@
 package domset
 
-import (
-	"math/rand"
-
-	"repro/internal/par"
-)
+import "repro/internal/par"
 
 // MaxUDom computes a maximal U-dominator set of the bipartite graph with nu
 // U-side and nv V-side nodes and adjacency oracle adj(u, v): a maximal
 // I ⊆ U such that no two members share a V-side neighbor (an MIS of H′,
 // simulated in place per §3). liveU, if non-nil, restricts the U-side
 // candidates. U-side candidates with no V-neighbors conflict with nothing
-// and are always selected.
-func MaxUDom(c *par.Ctx, nu, nv int, adj func(u, v int) bool, liveU []bool, rng *rand.Rand) ([]int, Stats) {
+// and are always selected. Luby priorities come from the counter-based
+// splitmix64 substreams of seed (see priorities), so the output is
+// deterministic per seed and independent of worker count.
+func MaxUDom(c *par.Ctx, nu, nv int, adj func(u, v int) bool, liveU []bool, seed uint64) ([]int, Stats) {
 	cand := make([]bool, nu)
 	if liveU == nil {
 		for i := range cand {
@@ -36,7 +34,7 @@ func MaxUDom(c *par.Ctx, nu, nv int, adj func(u, v int) bool, liveU []bool, rng 
 			break
 		}
 		st.Rounds++
-		priorities(rng, pri)
+		priorities(c, par.Stream(seed, st.Rounds), pri)
 		// First hop: m1[v] = min priority among live candidates adjacent to v.
 		c.For(nv, func(v int) {
 			best := infPri

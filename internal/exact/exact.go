@@ -51,7 +51,7 @@ func FacilityOPT(c *par.Ctx, in *core.Instance) *core.Solution {
 						}
 					}
 				}
-				cc += b
+				cc += in.W(j) * b
 			}
 			return scored{fc + cc, mask}
 		},
@@ -103,7 +103,8 @@ func KClusterOPT(c *par.Ctx, ki *core.KInstance, obj core.KObjective) *core.KSol
 	return core.EvalCenters(c, ki, bestSet, obj)
 }
 
-// evalCentersValue computes the objective without building a KSolution.
+// evalCentersValue computes the (weighted) objective without building a
+// KSolution, matching core.EvalCenters: Σ w·d, Σ w·d², or max d.
 func evalCentersValue(ki *core.KInstance, centers []int, obj core.KObjective) float64 {
 	total := 0.0
 	for j := 0; j < ki.N; j++ {
@@ -115,13 +116,13 @@ func evalCentersValue(ki *core.KInstance, centers []int, obj core.KObjective) fl
 		}
 		switch obj {
 		case core.KMeans:
-			total += b * b
+			total += ki.W(j) * b * b
 		case core.KCenter:
 			if b > total {
 				total = b
 			}
 		default:
-			total += b
+			total += ki.W(j) * b
 		}
 	}
 	return total

@@ -113,11 +113,16 @@ func prepare(c *par.Ctx, in *core.Instance) *starState {
 
 // cheapestStar returns the price of facility i's cheapest maximal star over
 // live clients and the number of clients in it, using the presorted order
-// and a prefix scan (Fact 4.2). Returns (+Inf, 0) when no client is live.
+// and a prefix scan (Fact 4.2). With client weights the star price is per
+// unit of weight, (f_i + Σ w_j·d_ij)/Σ w_j — a weight-w client behaves
+// exactly like w colocated unit clients, so for unit weights this is
+// bitwise the paper's Fact 4.2 prefix. Returns (+Inf, 0) when no client is
+// live.
 func (ss *starState) cheapestStar(in *core.Instance, fi []float64, live []bool, i int) (price float64, size int) {
 	row := ss.order.Row(i)
 	drow := in.D.Row(i)
 	sum := fi[i]
+	wsum := 0.0
 	k := 0
 	best := math.Inf(1)
 	bestK := 0
@@ -126,9 +131,11 @@ func (ss *starState) cheapestStar(in *core.Instance, fi []float64, live []bool, 
 		if !live[j] {
 			continue
 		}
-		sum += drow[j]
+		w := in.W(j)
+		sum += w * drow[j]
+		wsum += w
 		k++
-		p := sum / float64(k)
+		p := sum / wsum
 		// Take the largest k achieving the minimum so the star is maximal
 		// (ties: every client with d(j,i) ≤ price belongs to the star).
 		if p <= best {
@@ -219,11 +226,11 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 		maxInner = 16*int(math.Ceil(math.Log(m+2)/math.Log(onePlus))) + 64
 	}
 
-	deg := make([]int, nf)    // H-degree of each facility in I
-	inI := make([]bool, nf)   // facility currently in I
-	phi := make([]int, nc)    // client's chosen facility this iteration
-	chosen := make([]int, nf) // votes per facility
-	perm := make([]int64, nf) // random priorities standing in for Π
+	deg := make([]float64, nf)    // H-degree (live client weight) of each facility in I
+	inI := make([]bool, nf)       // facility currently in I
+	phi := make([]int, nc)        // client's chosen facility this iteration
+	chosen := make([]float64, nf) // vote weight per facility
+	perm := make([]int64, nf)     // random priorities standing in for Π
 
 	for liveCount > 0 && res.OuterRounds < maxOuter {
 		if err := par.CtxErr(ctx); err != nil {
@@ -297,7 +304,8 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 			for i := 0; i < nf; i++ {
 				perm[i] = rng.Int63()
 			}
-			// Degrees on the current H.
+			// Degrees on the current H (weighted: a weight-w client counts
+			// as w unit neighbors).
 			c.For(nf, func(i int) {
 				deg[i] = 0
 				if !inI[i] {
@@ -306,7 +314,7 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 				drow := in.D.Row(i)
 				for j := 0; j < nc; j++ {
 					if live[j] && drow[j] <= T {
-						deg[i]++
+						deg[i] += in.W(j)
 					}
 				}
 			})
@@ -333,17 +341,17 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 			}
 			for j := 0; j < nc; j++ {
 				if phi[j] >= 0 {
-					chosen[phi[j]]++
+					chosen[phi[j]] += in.W(j)
 				}
 			}
-			// Step (c): open facilities with enough votes; absorb their
+			// Step (c): open facilities with enough vote weight; absorb their
 			// H-neighborhoods.
 			var openedNow []int
 			for i := 0; i < nf; i++ {
 				if !inI[i] || deg[i] == 0 {
 					continue
 				}
-				if float64(chosen[i]) >= float64(deg[i])/(2*onePlus) {
+				if chosen[i] >= deg[i]/(2*onePlus) {
 					openedNow = append(openedNow, i)
 				}
 			}
@@ -366,15 +374,16 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 					return
 				}
 				drow := in.D.Row(i)
-				d := 0
+				wd := 0.0
 				sum := fi[i]
 				for j := 0; j < nc; j++ {
 					if live[j] && drow[j] <= T {
-						d++
-						sum += drow[j]
+						w := in.W(j)
+						wd += w
+						sum += w * drow[j]
 					}
 				}
-				if d == 0 || sum/float64(d) > T {
+				if wd == 0 || sum/wd > T {
 					inI[i] = false
 				}
 			})
@@ -392,7 +401,7 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 			bi := 0
 			best := math.Inf(1)
 			for i := 0; i < nf; i++ {
-				if v := in.FacCost[i] + in.Dist(i, j); v < best {
+				if v := in.FacCost[i] + in.W(j)*in.Dist(i, j); v < best {
 					best, bi = v, i
 				}
 			}

@@ -7,7 +7,6 @@ package kcenter
 import (
 	"context"
 	"math"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/domset"
@@ -34,10 +33,12 @@ type Result struct {
 // HochbaumShmoys computes a 2-approximate k-center solution in RNC:
 // O((n log n)²) work. The candidate radii are the distinct pairwise
 // distances; each probe builds the implicit threshold graph H_α and tests
-// |MaxDom(H_α)| ≤ k. The context is checked before every binary-search
-// probe: on cancellation or deadline the call abandons the partial search and
-// returns ctx.Err() with a nil result.
-func HochbaumShmoys(ctx context.Context, c *par.Ctx, ki *core.KInstance, rng *rand.Rand) (*Result, error) {
+// |MaxDom(H_α)| ≤ k, drawing its Luby randomness from a per-probe splitmix64
+// substream of seed (deterministic per seed, independent of worker count).
+// The context is checked before every binary-search probe: on cancellation
+// or deadline the call abandons the partial search and returns ctx.Err()
+// with a nil result.
+func HochbaumShmoys(ctx context.Context, c *par.Ctx, ki *core.KInstance, seed uint64) (*Result, error) {
 	n := ki.N
 	if ki.K >= n {
 		all := par.Iota(c, n)
@@ -67,7 +68,7 @@ func HochbaumShmoys(ctx context.Context, c *par.Ctx, ki *core.KInstance, rng *ra
 
 	probe := func(alpha float64) []int {
 		adj := func(i, j int) bool { return i != j && ki.Dist.At(i, j) <= alpha }
-		sel, st := domset.MaxDom(c, n, adj, nil, rng)
+		sel, st := domset.MaxDom(c, n, adj, nil, par.Stream(seed, res.Probes))
 		res.Probes++
 		res.DomRounds += st.Rounds
 		res.Fallbacks += st.Fallbacks

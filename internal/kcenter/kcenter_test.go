@@ -14,8 +14,8 @@ import (
 
 // mustHS runs HochbaumShmoys with a background context, panicking on the
 // impossible cancellation error so existing tests keep their shape.
-func mustHS(c *par.Ctx, ki *core.KInstance, rng *rand.Rand) *Result {
-	res, err := HochbaumShmoys(context.Background(), c, ki, rng)
+func mustHS(c *par.Ctx, ki *core.KInstance, seed uint64) *Result {
+	res, err := HochbaumShmoys(context.Background(), c, ki, seed)
 	if err != nil {
 		panic(err)
 	}
@@ -32,7 +32,7 @@ func TestHochbaumShmoysWithin2OPT(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		for _, k := range []int{1, 2, 3, 4} {
 			ki := kinst(seed, 12, k)
-			res := mustHS(&par.Ctx{Workers: 2}, ki, rand.New(rand.NewSource(seed+100)))
+			res := mustHS(&par.Ctx{Workers: 2}, ki, uint64(seed+100))
 			if err := res.Sol.CheckFeasible(ki, 1e-9); err != nil {
 				t.Fatal(err)
 			}
@@ -55,7 +55,7 @@ func TestHochbaumShmoysProbeBudget(t *testing.T) {
 	// Binary search: probes ≤ ⌈log₂|D|⌉ + 1 (the +1 is the initial
 	// feasibility probe at the maximum distance).
 	ki := kinst(42, 40, 5)
-	res := mustHS(nil, ki, rand.New(rand.NewSource(1)))
+	res := mustHS(nil, ki, uint64(1))
 	bound := int(math.Ceil(math.Log2(float64(res.DistinctDistances)))) + 1
 	if res.Probes > bound {
 		t.Fatalf("%d probes > bound %d (|D|=%d)", res.Probes, bound, res.DistinctDistances)
@@ -68,7 +68,7 @@ func TestHochbaumShmoysProbeBudget(t *testing.T) {
 func TestHochbaumShmoysRespectsK(t *testing.T) {
 	for _, k := range []int{1, 3, 7} {
 		ki := kinst(7, 25, k)
-		res := mustHS(nil, ki, rand.New(rand.NewSource(2)))
+		res := mustHS(nil, ki, uint64(2))
 		if len(res.Sol.Centers) > k {
 			t.Fatalf("k=%d: %d centers", k, len(res.Sol.Centers))
 		}
@@ -77,12 +77,12 @@ func TestHochbaumShmoysRespectsK(t *testing.T) {
 
 func TestHochbaumShmoysKGEN(t *testing.T) {
 	ki := kinst(8, 6, 6)
-	res := mustHS(nil, ki, rand.New(rand.NewSource(3)))
+	res := mustHS(nil, ki, uint64(3))
 	if res.Sol.Value != 0 {
 		t.Fatalf("k=n value %v", res.Sol.Value)
 	}
 	ki2 := kinst(8, 6, 10) // k > n
-	res2 := mustHS(nil, ki2, rand.New(rand.NewSource(3)))
+	res2 := mustHS(nil, ki2, uint64(3))
 	if res2.Sol.Value != 0 {
 		t.Fatalf("k>n value %v", res2.Sol.Value)
 	}
@@ -91,7 +91,7 @@ func TestHochbaumShmoysKGEN(t *testing.T) {
 func TestHochbaumShmoysStarMetric(t *testing.T) {
 	// Star with k=1: OPT = r; HS must return value ≤ 2r.
 	ki := core.KFromSpace(nil, metric.Star(nil, 10, 5), 1)
-	res := mustHS(nil, ki, rand.New(rand.NewSource(4)))
+	res := mustHS(nil, ki, uint64(4))
 	if res.Sol.Value > 10+1e-9 {
 		t.Fatalf("value %v > 2·r", res.Sol.Value)
 	}
@@ -103,7 +103,7 @@ func TestHochbaumShmoysClustered(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	sp := metric.TwoScale(nil, rng, 40, 4, 1, 1000)
 	ki := core.KFromSpace(nil, sp, 4)
-	res := mustHS(nil, ki, rand.New(rand.NewSource(6)))
+	res := mustHS(nil, ki, uint64(6))
 	if res.Sol.Value > 10 {
 		t.Fatalf("clustered value %v, expected ≈ cluster diameter", res.Sol.Value)
 	}
@@ -113,7 +113,7 @@ func TestHochbaumShmoysDuplicatePoints(t *testing.T) {
 	// All points identical: radius 0 with any k.
 	sp := &metric.Euclidean{Dim: 1, Coords: []float64{5, 5, 5, 5, 5}}
 	ki := core.KFromSpace(nil, sp, 2)
-	res := mustHS(nil, ki, rand.New(rand.NewSource(7)))
+	res := mustHS(nil, ki, uint64(7))
 	if res.Sol.Value != 0 {
 		t.Fatalf("duplicates value %v", res.Sol.Value)
 	}
@@ -169,7 +169,7 @@ func TestHSAndGonzalezComparable(t *testing.T) {
 	// Both are 2-approximations; neither should be wildly worse than the
 	// other (within 2× of each other by the shared guarantee).
 	ki := kinst(12, 30, 5)
-	hs := mustHS(nil, ki, rand.New(rand.NewSource(13)))
+	hs := mustHS(nil, ki, uint64(13))
 	gz := Gonzalez(nil, ki, 0)
 	if hs.Sol.Value > 2*gz.Value+1e-9 || gz.Value > 2*hs.Sol.Value+1e-9 {
 		t.Fatalf("HS %v vs Gonzalez %v outside mutual 2× window", hs.Sol.Value, gz.Value)
@@ -183,7 +183,7 @@ func TestHochbaumShmoysWorkCounted(t *testing.T) {
 	c := &par.Ctx{Workers: 2, Tally: tally}
 	n := 32
 	ki := kinst(13, n, 4)
-	mustHS(c, ki, rand.New(rand.NewSource(14)))
+	mustHS(c, ki, uint64(14))
 	w := float64(tally.Snapshot().Work)
 	nlogn := float64(n) * math.Log2(float64(n))
 	if w > 200*nlogn*nlogn {
@@ -197,7 +197,7 @@ func TestHochbaumShmoysWorkCounted(t *testing.T) {
 func TestHochbaumShmoysCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := HochbaumShmoys(ctx, nil, kinst(1, 12, 3), rand.New(rand.NewSource(1)))
+	res, err := HochbaumShmoys(ctx, nil, kinst(1, 12, 3), uint64(1))
 	if err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

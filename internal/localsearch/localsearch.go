@@ -11,7 +11,6 @@ package localsearch
 import (
 	"context"
 	"math"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/kcenter"
@@ -96,7 +95,7 @@ func search(ctx context.Context, c *par.Ctx, ki *core.KInstance, obj core.KObjec
 	if o.Initial != nil {
 		centers = append([]int(nil), o.Initial...)
 	} else {
-		hs, err := kcenter.HochbaumShmoys(ctx, c, ki, rand.New(rand.NewSource(o.Seed)))
+		hs, err := kcenter.HochbaumShmoys(ctx, c, ki, uint64(o.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +136,7 @@ func search(ctx context.Context, c *par.Ctx, ki *core.KInstance, obj core.KObjec
 				}
 			}
 			d1[j], c1[j], d2[j] = b1, bi, b2
-			cost[j] = contribution(obj, b1)
+			cost[j] = ki.W(j) * contribution(obj, b1)
 		})
 		c.Charge(int64(n*k), 1)
 		return par.SumFloat(c, cost)
@@ -185,7 +184,7 @@ func search(ctx context.Context, c *par.Ctx, ki *core.KInstance, obj core.KObjec
 					if dIn := ki.Dist.At(in, j); dIn < drop {
 						drop = dIn
 					}
-					newCost += contribution(obj, drop)
+					newCost += ki.W(j) * contribution(obj, drop)
 				}
 				return par.IndexedMin{Value: newCost, Index: s}
 			},
@@ -231,7 +230,7 @@ func searchPSwap(ctx context.Context, c *par.Ctx, ki *core.KInstance, obj core.K
 					b = d
 				}
 			}
-			total += contribution(obj, b)
+			total += ki.W(j) * contribution(obj, b)
 		}
 		return total
 	}

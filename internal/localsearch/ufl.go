@@ -53,12 +53,12 @@ func UFLLocalSearch(ctx context.Context, c *par.Ctx, in *core.Instance, opts *UF
 		maxRounds = int(8*float64(nf)/beta*math.Log2(float64(nc)+2)) + 32
 	}
 
-	// Initial solution: the single facility minimizing f_i + Σ_j d(i,j).
+	// Initial solution: the single facility minimizing f_i + Σ_j w_j·d(i,j).
 	open := make([]bool, nf)
 	best := par.ArgMin(c, nf, func(i int) float64 {
 		s := in.FacCost[i]
 		for j := 0; j < nc; j++ {
-			s += in.Dist(i, j)
+			s += in.W(j) * in.Dist(i, j)
 		}
 		return s
 	})
@@ -92,7 +92,7 @@ func UFLLocalSearch(ctx context.Context, c *par.Ctx, in *core.Instance, opts *UF
 				}
 			}
 			d1[j], c1[j], d2[j] = b1, bi, b2
-			conn[j] = b1
+			conn[j] = in.W(j) * b1
 		})
 		c.Charge(int64(nf)*int64(nc), 1)
 		return facCost + par.SumFloat(c, conn)
@@ -119,7 +119,7 @@ func UFLLocalSearch(ctx context.Context, c *par.Ctx, in *core.Instance, opts *UF
 						newCost := cur + in.FacCost[i]
 						for j := 0; j < nc; j++ {
 							if d := in.Dist(i, j); d < d1[j] {
-								newCost += d - d1[j]
+								newCost += in.W(j) * (d - d1[j])
 							}
 						}
 						return par.IndexedMin{Value: newCost, Index: s}
@@ -131,7 +131,7 @@ func UFLLocalSearch(ctx context.Context, c *par.Ctx, in *core.Instance, opts *UF
 					newCost := cur - in.FacCost[i]
 					for j := 0; j < nc; j++ {
 						if c1[j] == i {
-							newCost += d2[j] - d1[j]
+							newCost += in.W(j) * (d2[j] - d1[j])
 						}
 					}
 					return par.IndexedMin{Value: newCost, Index: s}
@@ -150,7 +150,7 @@ func UFLLocalSearch(ctx context.Context, c *par.Ctx, in *core.Instance, opts *UF
 						if d := in.Dist(inF, j); d < drop {
 							drop = d
 						}
-						newCost += drop - d1[j]
+						newCost += in.W(j) * (drop - d1[j])
 					}
 					return par.IndexedMin{Value: newCost, Index: s}
 				}

@@ -23,7 +23,9 @@ func XIndex(in *core.Instance, i, j int) int { return i*in.NC + j }
 // YIndex returns the LP variable index of y_i.
 func YIndex(in *core.Instance, i int) int { return in.M() + i }
 
-// FacilityLP builds the Figure-1 primal LP for the instance.
+// FacilityLP builds the Figure-1 primal LP for the instance. Client weights
+// scale the connection coefficients (w_j·d(j,i)), so the LP optimum lower
+// bounds the weighted integral objective.
 func FacilityLP(in *core.Instance) *Problem {
 	nf, nc := in.NF, in.NC
 	nvars := nf*nc + nf
@@ -31,6 +33,11 @@ func FacilityLP(in *core.Instance) *Problem {
 	for i := 0; i < nf; i++ {
 		// x_ij costs for facility i are contiguous: one row copy.
 		copy(c[XIndex(in, i, 0):XIndex(in, i, 0)+nc], in.D.Row(i))
+		if in.Weighted() {
+			for j := 0; j < nc; j++ {
+				c[XIndex(in, i, j)] *= in.W(j)
+			}
+		}
 		c[YIndex(in, i)] = in.FacCost[i]
 	}
 	cons := make([]Constraint, 0, nc+nf*nc)

@@ -1,32 +1,20 @@
 package metric
 
-import "math"
+import "repro/internal/par"
 
 // Counter-based randomness for the parallel generators: every value is a
 // pure function of (stream seed, index), so parallel row blocks produce
 // identical output for a given seed regardless of worker count or grain, and
-// no generator state is shared between goroutines.
+// no generator state is shared between goroutines. The primitives live in
+// par (par.Mix64 and friends) so the domset and coreset kernels share the
+// exact same streams; these wrappers keep the generators' call sites terse.
 
 // mix64 is the splitmix64 finalizer: a bijective avalanche of its input.
-func mix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
-}
+func mix64(x uint64) uint64 { return par.Mix64(x) }
 
 // unit returns the i-th value of the [0, 1) stream identified by seed.
-func unit(seed uint64, i int) float64 {
-	return float64(mix64(seed+uint64(i))>>11) / (1 << 53)
-}
+func unit(seed uint64, i int) float64 { return par.Unit(seed, i) }
 
 // normal returns the i-th standard-normal value of the stream, via
 // Box–Muller over two independent uniforms.
-func normal(seed uint64, i int) float64 {
-	u1 := unit(seed, 2*i)
-	u2 := unit(seed, 2*i+1)
-	if u1 < 1e-300 { // guard log(0); probability ~2⁻⁹⁹⁷
-		u1 = 1e-300
-	}
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-}
+func normal(seed uint64, i int) float64 { return par.Normal(seed, i) }

@@ -242,10 +242,62 @@ func ReduceIndex[T any](c *Ctx, n int, id T, at func(i int) T, op func(a, b T) T
 	return acc
 }
 
-// SumFloat returns the sum of xs. Associativity of float addition is assumed
-// within test tolerances, as is standard for parallel numeric kernels.
+// sumBlock is the fixed leaf size of the SumFloat summation tree. It is a
+// constant — not derived from Workers or Grain — which is what makes the sum
+// bitwise reproducible across worker counts.
+const sumBlock = 2048
+
+// SumFloat returns the sum of xs. Unlike the generic Reduce, the summation
+// tree is fixed (contiguous sumBlock-element leaves combined left to right),
+// so the result is bitwise identical regardless of worker count or grain —
+// the property the conformance suite's determinism leg relies on once
+// instances grow past the sequential cutoff.
 func SumFloat(c *Ctx, xs []float64) float64 {
-	return Reduce(c, xs, 0, func(a, b float64) float64 { return a + b })
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	c.charge(int64(n), logSpan(n))
+	blocks := (n + sumBlock - 1) / sumBlock
+	if blocks == 1 || c.workers() == 1 {
+		return sumBlocksSeq(xs, blocks, n)
+	}
+	partial := make([]float64, blocks)
+	c.forBlocks(blocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			end := (b + 1) * sumBlock
+			if end > n {
+				end = n
+			}
+			acc := 0.0
+			for _, x := range xs[b*sumBlock : end] {
+				acc += x
+			}
+			partial[b] = acc
+		}
+	})
+	acc := 0.0
+	for _, p := range partial {
+		acc += p
+	}
+	return acc
+}
+
+// sumBlocksSeq sums xs with the same fixed block tree as the parallel path.
+func sumBlocksSeq(xs []float64, blocks, n int) float64 {
+	total := 0.0
+	for b := 0; b < blocks; b++ {
+		end := (b + 1) * sumBlock
+		if end > n {
+			end = n
+		}
+		acc := 0.0
+		for _, x := range xs[b*sumBlock : end] {
+			acc += x
+		}
+		total += acc
+	}
+	return total
 }
 
 // MinFloat returns the minimum of xs, or +Inf-like identity if empty.

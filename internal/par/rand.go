@@ -1,0 +1,42 @@
+package par
+
+import "math"
+
+// Counter-based randomness shared by every parallel kernel in the repository:
+// each value is a pure function of (stream seed, index), so parallel blocks
+// produce identical output for a given seed regardless of worker count or
+// grain, no generator state is shared between goroutines, and replaying an
+// index replays the value. This is the determinism convention the generators
+// established; the domset Luby rounds and the coreset sampler build on the
+// same primitives.
+
+// Mix64 is the splitmix64 finalizer: a bijective avalanche of its input.
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Unit returns the i-th value of the [0, 1) stream identified by seed.
+func Unit(seed uint64, i int) float64 {
+	return float64(Mix64(seed+uint64(i))>>11) / (1 << 53)
+}
+
+// Normal returns the i-th standard-normal value of the stream, via
+// Box–Muller over two independent uniforms.
+func Normal(seed uint64, i int) float64 {
+	u1 := Unit(seed, 2*i)
+	u2 := Unit(seed, 2*i+1)
+	if u1 < 1e-300 { // guard log(0); probability ~2⁻⁹⁹⁷
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Stream derives the seed of a substream: independent consumers (rounds of an
+// iterative algorithm, probes of a search) each get their own counter space
+// by mixing the parent seed with their ordinal.
+func Stream(seed uint64, ordinal int) uint64 {
+	return Mix64(seed ^ (0xA5A5A5A5A5A5A5A5 + uint64(ordinal)))
+}

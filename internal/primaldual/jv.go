@@ -69,13 +69,15 @@ func SequentialJV(c *par.Ctx, in *core.Instance) *Result {
 
 	// tightenTime computes the earliest t' ≥ t at which facility i is fully
 	// paid, given the current frozen set: frozen clients contribute the
-	// constant max(0, α_j − d), unfrozen ones contribute max(0, t' − d).
+	// constant w_j·max(0, α_j − d), unfrozen ones contribute
+	// w_j·max(0, t' − d) — a weight-w client pays like w colocated unit
+	// clients (for unit weights this is bitwise the unweighted scan).
 	tightenTime := func(i int) float64 {
 		fixed := 0.0
 		for j := 0; j < nc; j++ {
 			if frozen[j] {
 				if b := alpha[j] - in.Dist(i, j); b > 0 {
-					fixed += b
+					fixed += in.W(j) * b
 				}
 			}
 		}
@@ -83,22 +85,24 @@ func SequentialJV(c *par.Ctx, in *core.Instance) *Result {
 		if need <= timeEps {
 			return t
 		}
-		// Scan unfrozen contributors in distance order: with the k nearest
-		// unfrozen (distance ≤ t'), paid(t') = k·t' − Σd.
-		k := 0
-		sumD := 0.0
+		// Scan unfrozen contributors in distance order: with the nearest
+		// unfrozen prefix (distance ≤ t') of weight W and weighted distance
+		// sum Σw·d, paid(t') = W·t' − Σw·d.
+		sumW := 0.0
+		sumWD := 0.0
 		best := math.Inf(1)
 		for _, j := range orders[i] {
 			if frozen[j] {
 				continue
 			}
 			d := in.Dist(i, j)
-			k++
-			sumD += d
-			// Candidate t' with exactly these k contributors: must satisfy
-			// t' ≥ d (so all k contribute) — and any later contributor has
-			// distance ≥ t'.
-			cand := (need + sumD) / float64(k)
+			w := in.W(j)
+			sumW += w
+			sumWD += w * d
+			// Candidate t' with exactly this prefix contributing: must
+			// satisfy t' ≥ d (so the whole prefix contributes) — and any
+			// later contributor has distance ≥ t'.
+			cand := (need + sumWD) / sumW
 			if cand >= d-timeEps {
 				if cand < best {
 					best = cand

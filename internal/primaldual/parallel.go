@@ -3,7 +3,6 @@ package primaldual
 import (
 	"context"
 	"math"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/domset"
@@ -77,12 +76,13 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 	base := gamma / (m * m)
 
 	// Preprocessing (free facilities): open i when the slack-free payments
-	// at level γ/m² already cover it; absorb clients within γ/m².
+	// at level γ/m² already cover it; absorb clients within γ/m². A weight-w
+	// client pays w·β, exactly as w colocated unit clients would.
 	c.For(nf, func(i int) {
 		paid := 0.0
-		for _, d := range in.D.Row(i) {
+		for j, d := range in.D.Row(i) {
 			if b := base - d; b > 0 {
-				paid += b
+				paid += in.W(j) * b
 			}
 		}
 		if paid >= in.FacCost[i] {
@@ -151,7 +151,7 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 				alpha[j] = tl
 			}
 		})
-		// Step 2: open facilities whose slack payments cover them.
+		// Step 2: open facilities whose (weighted) slack payments cover them.
 		c.For(nf, func(i int) {
 			if opened[i] || isFree[i] {
 				return
@@ -160,7 +160,7 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 			paid := 0.0
 			for j := 0; j < nc; j++ {
 				if b := onePlus*alpha[j] - drow[j]; b > 0 {
-					paid += b
+					paid += in.W(j) * b
 				}
 			}
 			if paid >= in.FacCost[i] {
@@ -208,8 +208,7 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 	}
 
 	// Postprocessing: I = MaxUDom(H) — each client pays at most one member.
-	rng := rand.New(rand.NewSource(opts.seed()))
-	sel, st := domset.MaxUDom(c, len(ft), nc, edge, nil, rng)
+	sel, st := domset.MaxUDom(c, len(ft), nc, edge, nil, uint64(opts.seed()))
 	res.DomRounds = st.Rounds
 	inI := make([]bool, nf)
 	for _, u := range sel {

@@ -2,7 +2,6 @@ package rounding
 
 import (
 	"math"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/domset"
@@ -67,7 +66,7 @@ func Round(c *par.Ctx, in *core.Instance, frac *lp.FacilityFrac, opts *Options) 
 	aParam := opts.alpha()
 	eps := opts.epsilon()
 	onePlus := 1 + eps
-	rng := rand.New(rand.NewSource(opts.seed()))
+	seed := uint64(opts.seed())
 	nf, nc := in.NF, in.NC
 	m := float64(in.M())
 	res := &Result{}
@@ -163,7 +162,7 @@ func Round(c *par.Ctx, in *core.Instance, frac *lp.FacilityFrac, opts *Options) 
 		adj := func(j, i int) bool {
 			return liveF[i] && inBall.At(i, j)
 		}
-		sel, st := domset.MaxUDom(c, nc, nf, adj, inS, rng)
+		sel, st := domset.MaxUDom(c, nc, nf, adj, inS, par.Stream(seed, len(res.Rounds)))
 		res.DomRounds += st.Rounds
 
 		rec := RoundRecord{Tau: tau, Selected: len(sel)}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package facloc
+
+// raceEnabled reports whether the race detector is compiled in; the
+// million-point acceptance test is ~10× slower under -race and skips itself.
+const raceEnabled = false

@@ -1,0 +1,155 @@
+package facloc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/coreset"
+	"repro/internal/par"
+)
+
+// CoresetOptions configures the sketching layer of a Sketched solver; see
+// coreset.Options. The zero value auto-sizes the coreset and inherits the
+// solve seed.
+type CoresetOptions = coreset.Options
+
+// composedGuarantee combines an inner solver's guarantee with the coreset's
+// (1+ε) distortion target: factor×(1+ε), exactness downgraded to (1+ε). The
+// distortion is the sampling literature's w.h.p. bound for the chosen size,
+// not a worst-case certificate — the conformance suite checks it empirically.
+func composedGuarantee(inner Guarantee, eps float64) Guarantee {
+	f := inner.Factor
+	if inner.Exact {
+		f = 1
+	}
+	return Guarantee{
+		Factor:   f * (1 + eps),
+		EpsSlack: inner.EpsSlack,
+		Note:     fmt.Sprintf("%s × coreset (1+%.2g) distortion", inner.Note, eps),
+	}
+}
+
+// withSeed resolves the coreset seed: an explicit CoresetOptions.Seed wins,
+// otherwise the solve's Options.Seed drives the sketch too.
+func withSeed(co CoresetOptions, o Options) CoresetOptions {
+	if co.Seed == 0 {
+		co.Seed = o.Seed
+	}
+	return co
+}
+
+// Sketched wraps a k-clustering solver with the coreset layer: build a
+// weighted coreset of the instance's point space (never materializing an
+// n×n matrix), solve the small dense weighted sub-instance with the inner
+// solver, lift the chosen centers back, and evaluate them on the full
+// instance (O(n·k) distance evaluations). The wrapper's name is the inner
+// name + "-coreset" and its guarantee is the composed factor. Instances
+// small enough that the coreset would be the whole point set short-circuit
+// to the inner solver.
+func Sketched(inner KSolver, co CoresetOptions) KSolver {
+	return &sketchedKSolver{name: inner.Name() + "-coreset", inner: inner, co: co}
+}
+
+type sketchedKSolver struct {
+	name  string
+	inner KSolver
+	co    CoresetOptions
+}
+
+func (s *sketchedKSolver) Name() string         { return s.name }
+func (s *sketchedKSolver) Objective() Objective { return s.inner.Objective() }
+func (s *sketchedKSolver) Guarantee() Guarantee {
+	return composedGuarantee(s.inner.Guarantee(), s.co.Distortion())
+}
+
+func (s *sketchedKSolver) SolveK(ctx context.Context, pc *par.Ctx, ki *core.KInstance, opts Options) (*KSolution, error) {
+	co := withSeed(s.co, opts)
+	obj := core.KObjective(s.Objective())
+	cs, err := coreset.Build(ctx, pc, ki.Space(), ki.K, obj, ki.Weight, co)
+	if err != nil {
+		return nil, err
+	}
+	if cs.Identity && ki.Dist != nil {
+		// The coreset is the whole (already dense) instance: the sketch is
+		// the identity and the inner solve is the direct solve.
+		return s.inner.SolveK(ctx, pc, ki, opts)
+	}
+	sub := cs.KInstance(pc, ki.Space(), ki.K)
+	subSol, err := s.inner.SolveK(ctx, pc, sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := par.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	centers := make([]int, len(subSol.Centers))
+	for a, ci := range subSol.Centers {
+		centers[a] = cs.Points[ci]
+	}
+	return core.EvalCenters(pc, ki, centers, obj), nil
+}
+
+// SketchedUFL wraps a facility-location solver with the coreset layer:
+// cover the clients of a point-backed instance with weighted
+// representatives, prune the facility candidates to the representatives'
+// neighborhoods, solve the small dense weighted sub-instance, and lift the
+// open set back to a full nearest-open assignment. Dense-backed instances
+// pass through to the inner solver unchanged (there is nothing left to
+// avoid materializing).
+func SketchedUFL(inner Solver, co CoresetOptions) Solver {
+	return &sketchedSolver{name: inner.Name() + "-coreset", inner: inner, co: co}
+}
+
+type sketchedSolver struct {
+	name  string
+	inner Solver
+	co    CoresetOptions
+}
+
+func (s *sketchedSolver) Name() string { return s.name }
+func (s *sketchedSolver) Guarantee() Guarantee {
+	return composedGuarantee(s.inner.Guarantee(), s.co.Distortion())
+}
+
+func (s *sketchedSolver) Solve(ctx context.Context, pc *par.Ctx, in *core.Instance, opts Options) (*Solution, error) {
+	if in.Points == nil {
+		return s.inner.Solve(ctx, pc, in, opts)
+	}
+	p, err := coreset.UFLPrune(ctx, pc, in, withSeed(s.co, opts))
+	if err != nil {
+		return nil, err
+	}
+	subSol, err := s.inner.Solve(ctx, pc, p.Sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := par.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return p.Lift(pc, in, subSol), nil
+}
+
+// registerSketched adds the composed coreset entries to the registry. Called
+// at the end of the solvers.go init so the inner solvers are registered
+// first (file-order init would otherwise race the lookup).
+func registerSketched() {
+	mustK := func(name string) KSolver {
+		s, ok := LookupK(name)
+		if !ok {
+			panic("facloc: sketch registration before " + name)
+		}
+		return s
+	}
+	must := func(name string) Solver {
+		s, ok := Lookup(name)
+		if !ok {
+			panic("facloc: sketch registration before " + name)
+		}
+		return s
+	}
+	RegisterK(Sketched(mustK("kmedian"), CoresetOptions{}))
+	RegisterK(Sketched(mustK("kmeans"), CoresetOptions{}))
+	RegisterK(Sketched(mustK("kcenter"), CoresetOptions{}))
+	Register(&sketchedSolver{name: "greedy-coreset", inner: must("greedy-par"), co: CoresetOptions{}})
+}

@@ -1,0 +1,172 @@
+package facloc
+
+// Acceptance tests for the coreset/sketching subsystem: million-point
+// instances solved through the registered *-coreset entries without ever
+// materializing a dense distance matrix.
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSketchMillionPointKMedianNoDense is the ISSUE-3 acceptance criterion:
+// kmedian-coreset solves a 1,000,000-point synthetic metric.Space instance
+// (k=50) on a laptop-class runner, and the dense path is never invoked —
+// peak distance storage is O(coreset² + n). Skipped under -race (the
+// detector's ~10× slowdown puts the wall time out of CI budget) and -short.
+func TestSketchMillionPointKMedianNoDense(t *testing.T) {
+	if raceEnabled {
+		t.Skip("million-point acceptance test skipped under -race")
+	}
+	if testing.Short() {
+		t.Skip("million-point acceptance test skipped in -short mode")
+	}
+	const n, k = 1_000_000, 50
+	ki := GenerateHugeK(1, n, k)
+	if ki.Dist != nil {
+		t.Fatal("huge instance must be lazy (no matrix)")
+	}
+	before := core.DenseBuilds()
+	rep, err := SolveK(context.Background(), "kmedian-coreset", ki, Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("kmedian-coreset on %d points: %v", n, err)
+	}
+	if got := core.DenseBuilds() - before; got != 0 {
+		t.Fatalf("dense path invoked %d times during a sketched solve", got)
+	}
+	sol := rep.Solution
+	if len(sol.Centers) == 0 || len(sol.Centers) > k {
+		t.Fatalf("%d centers, budget %d", len(sol.Centers), k)
+	}
+	for _, ci := range sol.Centers {
+		if ci < 0 || ci >= n {
+			t.Fatalf("center %d out of range", ci)
+		}
+	}
+	if !(sol.Value > 0) {
+		t.Fatalf("objective %v, want > 0", sol.Value)
+	}
+	if len(sol.Assign) != n {
+		t.Fatalf("assignment covers %d of %d points", len(sol.Assign), n)
+	}
+}
+
+// TestSketchDeterministicAcrossWorkersLarge checks the bitwise determinism
+// contract past the sequential grain, where naive float reductions would
+// diverge between worker counts.
+func TestSketchDeterministicAcrossWorkersLarge(t *testing.T) {
+	ki := GenerateHugeK(3, 50_000, 10)
+	o1 := Options{Seed: 7, Workers: 1}
+	op := Options{Seed: 7, Workers: confWorkers()}
+	r1, err := SolveK(context.Background(), "kmedian-coreset", ki, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := SolveK(context.Background(), "kmedian-coreset", ki, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Solution, rp.Solution) {
+		t.Fatalf("Workers=1 vs Workers=%d solutions differ on 50k points", op.Workers)
+	}
+}
+
+// TestDensePathRefusesHugeLazyInstance pins the safety valve: a dense-path
+// solver asked to densify past core.DenseLimit fails with an error naming
+// the coreset alternative instead of attempting the allocation.
+func TestDensePathRefusesHugeLazyInstance(t *testing.T) {
+	n := core.DenseLimit + 1
+	ki := GenerateHugeK(2, n, 5)
+	_, err := SolveK(context.Background(), "kmedian", ki, Options{})
+	if err == nil || !strings.Contains(err.Error(), "coreset") {
+		t.Fatalf("dense solve of %d lazy points: err=%v, want dense-limit refusal", n, err)
+	}
+
+	in := GenerateHugeUFL(2, 10, core.DenseLimit+1)
+	if _, err := Solve(context.Background(), "greedy-par", in, Options{}); err == nil || !strings.Contains(err.Error(), "coreset") {
+		t.Fatalf("dense UFL solve past the limit: err=%v, want refusal", err)
+	}
+}
+
+// TestSketchedUFLGreedyLift solves a lazy UFL instance through the
+// registered greedy-coreset entry and checks the lifted solution is feasible
+// on the full instance with the dense path untouched.
+func TestSketchedUFLGreedyLift(t *testing.T) {
+	in := GenerateHugeUFL(5, 100, 20_000)
+	before := core.DenseBuilds()
+	rep, err := Solve(context.Background(), "greedy-coreset", in, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.DenseBuilds() - before; got != 0 {
+		t.Fatalf("dense path invoked %d times during a sketched UFL solve", got)
+	}
+	if err := rep.Solution.CheckFeasible(in, 1e-6); err != nil {
+		t.Fatalf("lifted solution infeasible: %v", err)
+	}
+}
+
+// TestPointInstanceDecodeRejectsBadShapes pins the decoder's no-panic
+// contract on the point form: negative or inconsistent shapes error cleanly.
+func TestPointInstanceDecodeRejectsBadShapes(t *testing.T) {
+	for _, bad := range []string{
+		`{"nf":-1,"nc":3,"facility_costs":[],"points":{"dim":1,"coords":[0,1]}}`,
+		`{"nf":2,"nc":-1,"facility_costs":[1,1],"points":{"dim":1,"coords":[0]}}`,
+		`{"nf":1,"nc":1,"facility_costs":[1],"points":{"dim":0,"coords":[0,1]}}`,
+		`{"nf":1,"nc":1,"facility_costs":[1],"points":{"dim":3,"coords":[0,1]}}`,
+		`{"nf":1,"nc":1,"facility_costs":[1],"distance":[[1]],"points":{"dim":1,"coords":[0,1]}}`,
+	} {
+		if _, err := ReadInstance(strings.NewReader(bad)); err == nil {
+			t.Errorf("decoder accepted %s", bad)
+		}
+	}
+	if _, err := ReadKInstance(strings.NewReader(`{"n":2,"k":-1,"points":{"dim":1,"coords":[0,1]}}`)); err == nil {
+		t.Error("decoder accepted negative k")
+	}
+}
+
+// TestPointInstanceRoundTrip pins the point-form wire format: a lazy
+// instance survives Write→Read with its backing still lazy.
+func TestPointInstanceRoundTrip(t *testing.T) {
+	ki := GenerateHugeK(9, 1000, 4)
+	var b strings.Builder
+	if err := WriteKInstance(&b, ki); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadKInstance(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dist != nil {
+		t.Fatal("point-form k-instance decoded to a dense matrix")
+	}
+	if back.N != ki.N || back.K != ki.K {
+		t.Fatalf("round trip changed shape: %d/%d -> %d/%d", ki.N, ki.K, back.N, back.K)
+	}
+
+	in := GenerateHugeUFL(9, 8, 120)
+	var bu strings.Builder
+	if err := WriteInstance(&bu, in); err != nil {
+		t.Fatal(err)
+	}
+	inBack, err := ReadInstance(strings.NewReader(bu.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inBack.D != nil {
+		t.Fatal("point-form instance decoded to a dense matrix")
+	}
+	if inBack.NF != in.NF || inBack.NC != in.NC {
+		t.Fatalf("round trip changed shape")
+	}
+	// Distances must agree between the original and decoded backings.
+	for _, pair := range [][2]int{{0, 0}, {3, 7}, {7, 119}} {
+		if a, b := in.Dist(pair[0], pair[1]), inBack.Dist(pair[0], pair[1]); a != b {
+			t.Fatalf("d(%d,%d) %v != %v after round trip", pair[0], pair[1], a, b)
+		}
+	}
+}

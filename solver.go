@@ -238,6 +238,13 @@ type funcSolver struct {
 func (s *funcSolver) Name() string         { return s.name }
 func (s *funcSolver) Guarantee() Guarantee { return s.g }
 func (s *funcSolver) Solve(ctx context.Context, pc *par.Ctx, in *core.Instance, opts Options) (*Solution, error) {
+	// The built-in algorithms walk dense rows; lazy point-backed instances
+	// are materialized here (bounded by core.DenseLimit — past it the error
+	// points at the *-coreset solvers, which never densify).
+	in, err := in.Densified(pc)
+	if err != nil {
+		return nil, err
+	}
 	return s.fn(ctx, pc, in, opts)
 }
 
@@ -252,6 +259,12 @@ func (s *funcKSolver) Name() string         { return s.name }
 func (s *funcKSolver) Objective() Objective { return s.obj }
 func (s *funcKSolver) Guarantee() Guarantee { return s.g }
 func (s *funcKSolver) SolveK(ctx context.Context, pc *par.Ctx, ki *core.KInstance, opts Options) (*KSolution, error) {
+	// See funcSolver.Solve: dense algorithms densify lazy instances up to
+	// core.DenseLimit; the *-coreset wrappers never take this path.
+	ki, err := ki.Densified(pc)
+	if err != nil {
+		return nil, err
+	}
 	return s.fn(ctx, pc, ki, opts)
 }
 
@@ -346,7 +359,7 @@ func init() {
 		obj:  KCenter,
 		g:    Guarantee{Factor: 2, Note: "Theorem 6.1 (Hochbaum–Shmoys)"},
 		fn: func(ctx context.Context, pc *par.Ctx, ki *core.KInstance, o Options) (*KSolution, error) {
-			res, err := kcenter.HochbaumShmoys(ctx, pc, ki, seededRNG(o.Seed))
+			res, err := kcenter.HochbaumShmoys(ctx, pc, ki, uint64(o.Seed))
 			if err != nil {
 				return nil, err
 			}
@@ -417,4 +430,7 @@ func init() {
 			},
 		})
 	}
+
+	// Composed coreset entries ride on the solvers registered above.
+	registerSketched()
 }

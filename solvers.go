@@ -11,15 +11,39 @@ import (
 	"repro/internal/kcenter"
 	"repro/internal/localsearch"
 	"repro/internal/lp"
+	"repro/internal/par"
 	"repro/internal/primaldual"
 	"repro/internal/rounding"
 )
+
+// mustDense materializes a lazy point-backed instance for the legacy
+// error-less entry points below; past core.DenseLimit it panics with the
+// same descriptive message the registry path returns as an error (callers
+// needing graceful failure should use Solve/SolveK, and huge instances the
+// *-coreset solvers).
+func mustDense(c *par.Ctx, in *Instance) *Instance {
+	d, err := in.Densified(c)
+	if err != nil {
+		panic("facloc: " + err.Error())
+	}
+	return d
+}
+
+// mustDenseK is mustDense for k-clustering instances.
+func mustDenseK(c *par.Ctx, ki *KInstance) *KInstance {
+	d, err := ki.Densified(c)
+	if err != nil {
+		panic("facloc: " + err.Error())
+	}
+	return d
+}
 
 // GreedyParallel solves facility location with the parallel greedy algorithm
 // of §4 (Algorithm 4.1): a (3.722+ε)-approximation in O(m log²_{1+ε} m) work
 // (Theorem 4.9).
 func GreedyParallel(in *Instance, o Options) *Result {
 	c, tally := o.ctx()
+	in = mustDense(c, in)
 	start := time.Now()
 	res, _ := greedy.Parallel(context.Background(), c, in, &greedy.Options{Epsilon: o.eps(), Seed: o.Seed})
 	st := statsFrom(tally, time.Since(start))
@@ -33,6 +57,7 @@ func GreedyParallel(in *Instance, o Options) *Result {
 // Jain et al. [JMM+03], a 1.861-approximation — the baseline §4 parallelizes.
 func GreedySequential(in *Instance, o Options) *Result {
 	c, tally := o.ctx()
+	in = mustDense(c, in)
 	start := time.Now()
 	res := greedy.SequentialJMS(c, in)
 	st := statsFrom(tally, time.Since(start))
@@ -45,6 +70,7 @@ func GreedySequential(in *Instance, o Options) *Result {
 // O(m log_{1+ε} m) work (Theorem 5.4).
 func PrimalDualParallel(in *Instance, o Options) *Result {
 	c, tally := o.ctx()
+	in = mustDense(c, in)
 	start := time.Now()
 	res, _ := primaldual.Parallel(context.Background(), c, in, &primaldual.Options{Epsilon: o.eps(), Seed: o.Seed})
 	st := statsFrom(tally, time.Since(start))
@@ -57,6 +83,7 @@ func PrimalDualParallel(in *Instance, o Options) *Result {
 // primal-dual 3-approximation [JV01] — the baseline §5 parallelizes.
 func PrimalDualSequential(in *Instance, o Options) *Result {
 	c, tally := o.ctx()
+	in = mustDense(c, in)
 	start := time.Now()
 	res := primaldual.SequentialJV(c, in)
 	st := statsFrom(tally, time.Since(start))
@@ -69,6 +96,10 @@ func PrimalDualSequential(in *Instance, o Options) *Result {
 // fractional solution (Theorem 6.5). Returns the LP value alongside the
 // result so callers can report the measured ratio.
 func LPRound(in *Instance, o Options) (*Result, float64, error) {
+	var derr error
+	if in, derr = in.Densified(nil); derr != nil {
+		return nil, 0, derr
+	}
 	frac, err := lp.SolveFacility(in)
 	if err != nil {
 		return nil, 0, fmt.Errorf("facloc: solving the facility LP: %w", err)
@@ -80,6 +111,10 @@ func LPRound(in *Instance, o Options) (*Result, float64, error) {
 // LPRoundFrac rounds a caller-supplied optimal fractional solution — the
 // exact input shape Theorem 6.5 assumes.
 func LPRoundFrac(in *Instance, frac *lp.FacilityFrac, o Options) (*Result, error) {
+	var derr error
+	if in, derr = in.Densified(nil); derr != nil {
+		return nil, derr
+	}
 	if err := frac.CheckFrac(in, 1e-6); err != nil {
 		return nil, fmt.Errorf("facloc: fractional solution invalid: %w", err)
 	}
@@ -99,6 +134,7 @@ func LPRoundFrac(in *Instance, frac *lp.FacilityFrac, o Options) (*Result, error
 // count.
 func FacilityLocalSearch(in *Instance, o Options) *Result {
 	c, tally := o.ctx()
+	in = mustDense(c, in)
 	start := time.Now()
 	res, _ := localsearch.UFLLocalSearch(context.Background(), c, in, &localsearch.UFLOptions{Epsilon: o.eps()})
 	st := statsFrom(tally, time.Since(start))
@@ -109,6 +145,10 @@ func FacilityLocalSearch(in *Instance, o Options) *Result {
 // LPLowerBound returns the optimal value of the Figure-1 LP relaxation — the
 // standard lower bound on OPT used to measure approximation ratios.
 func LPLowerBound(in *Instance) (float64, error) {
+	var derr error
+	if in, derr = in.Densified(nil); derr != nil {
+		return 0, derr
+	}
 	frac, err := lp.SolveFacility(in)
 	if err != nil {
 		return 0, err
@@ -120,6 +160,7 @@ func LPLowerBound(in *Instance) (float64, error) {
 // Feasible only for small nf (≤ 22); see exact.FeasibleFacility.
 func OptimalFacility(in *Instance, o Options) *Result {
 	c, tally := o.ctx()
+	in = mustDense(c, in)
 	start := time.Now()
 	sol := exact.FacilityOPT(c, in)
 	return &Result{Solution: sol, Stats: statsFrom(tally, time.Since(start))}
@@ -137,8 +178,9 @@ func GammaBounds(in *Instance) (lower, upper float64) {
 // algorithm of §6.1: a 2-approximation in O((n log n)²) work (Theorem 6.1).
 func KCenterParallel(ki *KInstance, o Options) *KResult {
 	c, tally := o.ctx()
+	ki = mustDenseK(c, ki)
 	start := time.Now()
-	res, _ := kcenter.HochbaumShmoys(context.Background(), c, ki, seededRNG(o.Seed))
+	res, _ := kcenter.HochbaumShmoys(context.Background(), c, ki, uint64(o.Seed))
 	st := statsFrom(tally, time.Since(start))
 	st.Rounds = res.Probes
 	st.InnerRounds = res.DomRounds
@@ -150,6 +192,7 @@ func KCenterParallel(ki *KInstance, o Options) *KResult {
 // 2-approximation — the classic baseline.
 func KCenterGreedy(ki *KInstance, o Options) *KResult {
 	c, tally := o.ctx()
+	ki = mustDenseK(c, ki)
 	start := time.Now()
 	sol := kcenter.Gonzalez(c, ki, int(o.Seed)%maxInt(ki.N, 1))
 	return &KResult{Solution: sol, Stats: statsFrom(tally, time.Since(start))}
@@ -175,6 +218,7 @@ func KMedianLocalSearch2Swap(ki *KInstance, o Options) *KResult {
 
 func localSearch(ki *KInstance, o Options, swapSize int, obj Objective) *KResult {
 	c, tally := o.ctx()
+	ki = mustDenseK(c, ki)
 	start := time.Now()
 	opts := &localsearch.Options{Epsilon: o.eps(), Seed: o.Seed, SwapSize: swapSize}
 	var res *localsearch.Result
@@ -192,6 +236,7 @@ func localSearch(ki *KInstance, o Options, swapSize int, obj Objective) *KResult
 // enumeration; see exact.FeasibleKCluster for the size limit.
 func OptimalKCluster(ki *KInstance, obj Objective, o Options) *KResult {
 	c, tally := o.ctx()
+	ki = mustDenseK(c, ki)
 	start := time.Now()
 	sol := exact.KClusterOPT(c, ki, obj)
 	return &KResult{Solution: sol, Stats: statsFrom(tally, time.Since(start))}

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/par"
 )
 
 func batchWorkload(t *testing.T, n int) []*Instance {
@@ -122,6 +124,10 @@ func (s *endlessSource) Next() (*Instance, error) {
 // TestBatchCancelMidPoolLeaksNoGoroutines cancels a running pool and asserts
 // Run returns promptly with ctx.Err() and the goroutine count settles back.
 func TestBatchCancelMidPoolLeaksNoGoroutines(t *testing.T) {
+	// The par scheduler's workers are a process-wide singleton, not a leak:
+	// pre-spawn them so the baseline below counts them and the check
+	// measures only the batch pool's own goroutines.
+	par.Warm(runtime.GOMAXPROCS(0) + 4)
 	before := runtime.NumGoroutine()
 
 	ctx, cancel := context.WithCancel(context.Background())

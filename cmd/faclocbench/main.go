@@ -23,6 +23,14 @@
 // -json additionally writes machine-readable results to BENCH_<mode>.json
 // (per-solver wall/work/span/cost) so the perf trajectory is trackable
 // across commits; CI uploads the file as an artifact.
+//
+// -compare old.json new.json diffs two such sweeps solver by solver
+// (wall/work/span deltas) and exits non-zero when any solver regressed by
+// more than -tolerance in wall clock — the perf gate CI runs against the
+// committed baseline (flags before the filenames — flag parsing stops at
+// the first positional argument):
+//
+//	faclocbench -compare -tolerance 0.2 BENCH_baseline.json BENCH_registry.json
 package main
 
 import (
@@ -50,15 +58,32 @@ func main() {
 	count := flag.Int("count", 64, "registry mode: workload size (instances)")
 	nf := flag.Int("nf", 16, "registry mode: facilities per instance")
 	nc := flag.Int("nc", 64, "registry mode: clients per instance")
+	solverList := flag.String("solvers", "", "registry mode: comma-separated solver names (default: all registered)")
 	k := flag.Int("k", 16, "sketch mode: cluster budget")
 	jobs := flag.Int("jobs", 0, "registry mode: pool width (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "registry mode: per-solve deadline")
 	masterSeed := flag.Int64("seed", 42, "registry/sketch mode: master seed")
+	compareMode := flag.Bool("compare", false, "compare two BENCH json files: faclocbench -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", 0.20, "compare mode: allowed fractional wall-clock regression before failing")
 	flag.Parse()
 
 	switch {
+	case *compareMode:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "faclocbench: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faclocbench:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
 	case *registryMode:
-		if err := runRegistrySweep(os.Stdout, *jsonOut, *count, *nf, *nc, *jobs, *timeout, *masterSeed); err != nil {
+		if err := runRegistrySweep(os.Stdout, *jsonOut, *count, *nf, *nc, *jobs, *timeout, *masterSeed, *solverList); err != nil {
 			fmt.Fprintln(os.Stderr, "faclocbench:", err)
 			os.Exit(1)
 		}
@@ -180,7 +205,18 @@ func writeBenchJSON(mode string, records any) error {
 // runRegistrySweep drives every registered UFL solver over one shared
 // workload through facloc.Batch and prints a markdown comparison table.
 // Skipped cells (solver errors other than deadline) count as failures.
-func runRegistrySweep(w *os.File, jsonOut bool, count, nf, nc, jobs int, timeout time.Duration, masterSeed int64) error {
+func runRegistrySweep(w *os.File, jsonOut bool, count, nf, nc, jobs int, timeout time.Duration, masterSeed int64, solverList string) error {
+	want := map[string]bool{}
+	if solverList != "" {
+		for _, name := range strings.Split(solverList, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := facloc.Lookup(name); !ok {
+				return fmt.Errorf("unknown solver %q in -solvers", name)
+			}
+			want[name] = true
+		}
+	}
+
 	ins := make([]*facloc.Instance, count)
 	for i := range ins {
 		ins[i] = facloc.GenerateUniform(facloc.DeriveSeed(masterSeed, i), nf, nc, 1, 6)
@@ -193,6 +229,9 @@ func runRegistrySweep(w *os.File, jsonOut bool, count, nf, nc, jobs int, timeout
 
 	var records []benchRecord
 	for _, s := range facloc.Solvers() {
+		if len(want) > 0 && !want[s.Name()] {
+			continue
+		}
 		if s.Name() == "opt" && nf > exact.MaxEnumFacilities {
 			continue // enumeration infeasible at this width
 		}
@@ -230,7 +269,7 @@ func runRegistrySweep(w *os.File, jsonOut bool, count, nf, nc, jobs int, timeout
 			s.Name(), s.Guarantee(), solved, deadline, failed, mean,
 			wall.Round(time.Millisecond), float64(count)/wall.Seconds())
 		records = append(records, benchRecord{
-			Solver: s.Name(), Guarantee: s.Guarantee().String(),
+			Solver: s.Name(), Guarantee: s.Guarantee().String(), N: nc,
 			Solved: solved, Deadline: deadline, Failed: failed,
 			MeanCost: mean, WallMS: float64(wall.Microseconds()) / 1000,
 			InstPerSec: float64(count) / wall.Seconds(),
@@ -241,6 +280,90 @@ func runRegistrySweep(w *os.File, jsonOut bool, count, nf, nc, jobs int, timeout
 		return writeBenchJSON("registry", records)
 	}
 	return nil
+}
+
+// runCompare diffs two BENCH json sweeps solver by solver and reports
+// wall/work/span deltas for every solver present in both. It returns false
+// (gate failed) when any common solver's wall clock regressed by more than
+// the given fractional tolerance. Work and span are analytic model counts —
+// machine-independent, so their deltas are reported exactly; wall carries
+// scheduler and hardware jitter, which is why the gate takes a tolerance.
+func runCompare(w *os.File, oldPath, newPath string, tolerance float64) (bool, error) {
+	load := func(path string) (map[string]benchRecord, []string, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var recs []benchRecord
+		if err := json.Unmarshal(data, &recs); err != nil {
+			return nil, nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		m := map[string]benchRecord{}
+		var order []string
+		for _, r := range recs {
+			key := r.Solver
+			if r.N > 0 {
+				key = fmt.Sprintf("%s@n=%d", r.Solver, r.N)
+			}
+			if _, dup := m[key]; !dup {
+				order = append(order, key)
+			}
+			m[key] = r
+		}
+		return m, order, nil
+	}
+	oldRecs, order, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRecs, _, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	pct := func(oldV, newV float64) string {
+		if oldV == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(newV-oldV)/oldV)
+	}
+	ratio := func(oldV, newV float64) string {
+		if newV == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2fx", oldV/newV)
+	}
+
+	fmt.Fprintf(w, "# Sweep compare: %s -> %s (wall tolerance %.0f%%)\n\n", oldPath, newPath, 100*tolerance)
+	fmt.Fprintln(w, "| solver | wall old | wall new | speedup | wall Δ | work Δ | span Δ | verdict |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
+
+	ok := true
+	compared := 0
+	for _, key := range order {
+		o := oldRecs[key]
+		n, found := newRecs[key]
+		if !found {
+			fmt.Fprintf(w, "| %s | %.1fms | - | - | - | - | - | missing in %s |\n", key, o.WallMS, newPath)
+			continue
+		}
+		compared++
+		verdict := "ok"
+		if o.WallMS > 0 && n.WallMS > o.WallMS*(1+tolerance) {
+			verdict = "REGRESSED"
+			ok = false
+		}
+		fmt.Fprintf(w, "| %s | %.1fms | %.1fms | %s | %s | %s | %s | %s |\n",
+			key, o.WallMS, n.WallMS, ratio(o.WallMS, n.WallMS), pct(o.WallMS, n.WallMS),
+			pct(float64(o.Work), float64(n.Work)), pct(float64(o.Span), float64(n.Span)), verdict)
+	}
+	if compared == 0 {
+		return false, fmt.Errorf("no common solvers between %s and %s", oldPath, newPath)
+	}
+	if !ok {
+		fmt.Fprintf(w, "\nFAIL: wall-clock regression beyond %.0f%% tolerance\n", 100*tolerance)
+	}
+	return ok, nil
 }
 
 // runSketchSweep compares direct k-median (dense path) with the coreset

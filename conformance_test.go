@@ -13,6 +13,9 @@ import (
 	"testing"
 
 	"repro/internal/exact"
+	"repro/internal/greedy"
+	"repro/internal/par"
+	"repro/internal/primaldual"
 )
 
 const confEps = 0.3
@@ -253,6 +256,49 @@ func TestConformanceCoresetQuality(t *testing.T) {
 	}
 	if !reflect.DeepEqual(rep1.Solution, repP.Solution) {
 		t.Fatalf("sketched UFL solutions differ between worker counts")
+	}
+}
+
+// TestConformanceIncrementalEnginesMatchDense pins the round-incremental
+// greedy and primal-dual engines to their dense reference paths on the
+// conformance grid: bitwise-identical solutions, α duals, and (for greedy)
+// τ schedules, at one worker and at the parallel worker count.
+func TestConformanceIncrementalEnginesMatchDense(t *testing.T) {
+	ctx := context.Background()
+	for label, in := range confUFLInstances(t) {
+		dense, err := in.Densified(nil)
+		if err != nil {
+			t.Fatalf("%s: densify: %v", label, err)
+		}
+		for _, workers := range []int{1, confWorkers()} {
+			c := &par.Ctx{Workers: workers, Grain: 4}
+
+			gd, err := greedy.Parallel(ctx, c, dense, &greedy.Options{Epsilon: confEps, Seed: 7, DenseEngine: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gi, err := greedy.Parallel(ctx, c, dense, &greedy.Options{Epsilon: confEps, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gd.Sol, gi.Sol) || !reflect.DeepEqual(gd.Alpha, gi.Alpha) ||
+				!reflect.DeepEqual(gd.TauSchedule, gi.TauSchedule) {
+				t.Fatalf("%s workers=%d: greedy engines disagree", label, workers)
+			}
+
+			pd, err := primaldual.Parallel(ctx, c, dense, &primaldual.Options{Epsilon: confEps, Seed: 7, DenseEngine: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pi, err := primaldual.Parallel(ctx, c, dense, &primaldual.Options{Epsilon: confEps, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pd.Sol, pi.Sol) || !reflect.DeepEqual(pd.Alpha, pi.Alpha) ||
+				!reflect.DeepEqual(pd.Pi, pi.Pi) {
+				t.Fatalf("%s workers=%d: primal-dual engines disagree", label, workers)
+			}
+		}
 	}
 }
 

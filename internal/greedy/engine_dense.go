@@ -1,0 +1,110 @@
+package greedy
+
+// denseEngine is the full-rescan round engine: every sweep walks each
+// facility's entire presorted client row (or, for voting, every facility per
+// client), paying Θ(nf·nc) per call regardless of how many edges of the
+// threshold graph H are still alive. It is the reference implementation the
+// equivalence suite pins the incremental engine against: every summation
+// here visits live clients in the same presorted order the incremental
+// engine's compacted prefixes do, so the two produce bitwise-identical
+// prices, degrees, votes, and prune decisions.
+type denseEngine struct {
+	*state
+}
+
+func (e *denseEngine) computeStars() {
+	s := e.state
+	s.c.For(s.nf, func(i int) {
+		s.prices[i], s.sizes[i] = starScan(s.in, s.fi, s.live, i, s.order.Row(i))
+	})
+	s.c.Charge(int64(s.nf)*int64(s.nc), 1)
+}
+
+func (e *denseEngine) compactLive() {} // nothing to compact: every sweep rescans
+
+func (e *denseEngine) beginRound() {} // no CSR: H is re-derived per sweep
+
+func (e *denseEngine) degrees() {
+	s := e.state
+	s.c.For(s.nf, func(i int) {
+		s.deg[i] = 0
+		if !s.inI[i] {
+			return
+		}
+		row := s.order.Row(i)
+		drow := s.in.D.Row(i)
+		d := 0.0
+		for _, cj := range row {
+			j := int(cj)
+			if s.live[j] && drow[j] <= s.T {
+				d += s.in.W(j)
+			}
+		}
+		s.deg[i] = d
+	})
+	s.c.Charge(int64(s.nf)*int64(s.nc), 1)
+}
+
+func (e *denseEngine) vote() {
+	s := e.state
+	s.c.For(s.nc, func(j int) {
+		s.phi[j] = -1
+		if !s.live[j] {
+			return
+		}
+		best := ^uint64(0)
+		bi := int32(-1)
+		for i := 0; i < s.nf; i++ {
+			if !s.inI[i] || s.in.Dist(i, j) > s.T {
+				continue
+			}
+			if p := s.perm[i]; p < best || (p == best && (bi < 0 || int32(i) < bi)) {
+				best, bi = p, int32(i)
+			}
+		}
+		s.phi[j] = bi
+	})
+	s.c.Charge(int64(s.nf)*int64(s.nc), 1)
+}
+
+func (e *denseEngine) prune() {
+	s := e.state
+	s.c.For(s.nf, func(i int) {
+		if !s.inI[i] {
+			return
+		}
+		row := s.order.Row(i)
+		drow := s.in.D.Row(i)
+		wd := 0.0
+		sum := s.fi[i]
+		for _, cj := range row {
+			j := int(cj)
+			if s.live[j] && drow[j] <= s.T {
+				w := s.in.W(j)
+				wd += w
+				sum += w * drow[j]
+			}
+		}
+		if wd == 0 || sum/wd > s.T {
+			s.inI[i] = false
+		}
+	})
+	s.c.Charge(int64(s.nf)*int64(s.nc), 1)
+}
+
+func (e *denseEngine) absorb(i int) {
+	s := e.state
+	drow := s.in.D.Row(i)
+	for j := 0; j < s.nc; j++ {
+		if s.live[j] && drow[j] <= s.T {
+			s.removeClient(j, s.tau)
+		}
+	}
+	s.c.Charge(int64(s.nc), 1)
+}
+
+func (e *denseEngine) star(i int) (float64, int) {
+	s := e.state
+	s.c.Charge(int64(s.nc), 1)
+	return starScan(s.in, s.fi, s.live, i, s.order.Row(i))
+}

@@ -1,0 +1,181 @@
+package greedy
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// The equivalence suite: the incremental CSR engine must be bitwise
+// indistinguishable from the dense full-rescan engine — identical solutions,
+// α duals, τ schedules, and round counts — for every instance family, seed,
+// epsilon, and worker count. This is what licenses shipping the incremental
+// engine as the only registered one.
+
+func engineInstances() map[string]*core.Instance {
+	return map[string]*core.Instance{
+		"uniform-small":   inst(3, 6, 18),
+		"uniform-mid":     inst(4, 10, 60),
+		"uniform-wide":    inst(5, 25, 40),
+		"clustered-mid":   clusteredInst(6, 8, 48),
+		"clustered-big":   clusteredInst(7, 12, 96),
+		"weighted":        weightedInst(8, 9, 40),
+		"zero-cost-fac":   zeroCostInst(9, 7, 30),
+		"single-facility": inst(10, 1, 12),
+	}
+}
+
+func weightedInst(seed int64, nf, nc int) *core.Instance {
+	in := inst(seed, nf, nc)
+	w := make([]float64, nc)
+	for j := range w {
+		w[j] = 0.5 + par.Unit(uint64(seed), j)*4
+	}
+	in.CWeight = w
+	return in
+}
+
+func zeroCostInst(seed int64, nf, nc int) *core.Instance {
+	in := inst(seed, nf, nc)
+	for i := range in.FacCost {
+		in.FacCost[i] = 0
+	}
+	return in
+}
+
+func TestEnginesBitwiseEquivalent(t *testing.T) {
+	for label, in := range engineInstances() {
+		for _, eps := range []float64{0.1, 0.3, 1.0} {
+			for _, workers := range []int{1, 4} {
+				for seed := int64(0); seed < 3; seed++ {
+					c := &par.Ctx{Workers: workers, Grain: 16}
+					dense := mustParallel(c, in, &Options{Epsilon: eps, Seed: seed, DenseEngine: true})
+					incr := mustParallel(c, in, &Options{Epsilon: eps, Seed: seed})
+					tag := label
+					if !reflect.DeepEqual(dense.Sol, incr.Sol) {
+						t.Fatalf("%s eps=%v w=%d seed=%d: solutions differ:\ndense %+v\nincr  %+v",
+							tag, eps, workers, seed, dense.Sol, incr.Sol)
+					}
+					if !reflect.DeepEqual(dense.Alpha, incr.Alpha) {
+						t.Fatalf("%s eps=%v w=%d seed=%d: alpha duals differ", tag, eps, workers, seed)
+					}
+					if !reflect.DeepEqual(dense.TauSchedule, incr.TauSchedule) {
+						t.Fatalf("%s eps=%v w=%d seed=%d: tau schedules differ:\ndense %v\nincr  %v",
+							tag, eps, workers, seed, dense.TauSchedule, incr.TauSchedule)
+					}
+					if dense.OuterRounds != incr.OuterRounds || dense.InnerRounds != incr.InnerRounds ||
+						dense.Preopened != incr.Preopened || dense.Fallbacks != incr.Fallbacks {
+						t.Fatalf("%s eps=%v w=%d seed=%d: round counters differ: dense %+v incr %+v",
+							tag, eps, workers, seed, dense, incr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEnginesEquivalentUnderFallback(t *testing.T) {
+	// Force the deterministic fallback path (MaxInner=1) and verify the
+	// engines still agree bitwise.
+	fired := 0
+	for seed := int64(0); seed < 4; seed++ {
+		in := clusteredInst(seed+50, 16, 96)
+		dense := mustParallel(nil, in, &Options{Epsilon: 1.0, Seed: seed, MaxInner: 1, DenseEngine: true})
+		incr := mustParallel(nil, in, &Options{Epsilon: 1.0, Seed: seed, MaxInner: 1})
+		fired += dense.Fallbacks
+		if !reflect.DeepEqual(dense.Sol, incr.Sol) || !reflect.DeepEqual(dense.Alpha, incr.Alpha) {
+			t.Fatalf("seed=%d: engines diverge under fallback", seed)
+		}
+		if dense.Fallbacks != incr.Fallbacks {
+			t.Fatalf("seed=%d: fallback counts differ: dense %d incr %d", seed, dense.Fallbacks, incr.Fallbacks)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("fallback never fired across the grid; the test exercises nothing")
+	}
+}
+
+func TestIncrementalWorkBelowDense(t *testing.T) {
+	// The whole point: the incremental engine's charged work must be
+	// strictly below the dense engine's on any instance with several rounds.
+	in := inst(11, 12, 96)
+	dt, it := &par.Tally{}, &par.Tally{}
+	mustParallel(&par.Ctx{Workers: 1, Tally: dt}, in, &Options{Epsilon: 0.3, Seed: 1, DenseEngine: true})
+	mustParallel(&par.Ctx{Workers: 1, Tally: it}, in, &Options{Epsilon: 0.3, Seed: 1})
+	dw, iw := dt.Snapshot().Work, it.Snapshot().Work
+	if iw >= dw {
+		t.Fatalf("incremental work %d not below dense work %d", iw, dw)
+	}
+}
+
+// TestGreedyInnerStepsZeroAllocs pins the steady-state allocation behavior:
+// once the engine is built and a round has begun, the per-iteration sweeps
+// (stars, degrees, vote, prune) and the priority draw allocate nothing.
+func TestGreedyInnerStepsZeroAllocs(t *testing.T) {
+	in := inst(12, 10, 80)
+	c := &par.Ctx{Workers: 4, Grain: 8}
+	s := newState(c, in, 0.3)
+	e := newIncrEngine(s)
+	e.computeStars()
+	tau := math.Inf(1)
+	for i := 0; i < s.nf; i++ {
+		if s.sizes[i] > 0 && s.prices[i] < tau {
+			tau = s.prices[i]
+		}
+	}
+	s.tau, s.T = tau, tau*s.onePlus
+	for i := 0; i < s.nf; i++ {
+		s.inI[i] = s.sizes[i] > 0 && s.prices[i] <= s.T
+	}
+	e.beginRound()
+	ps := par.Stream(7, 0)
+	step := func() {
+		for i := range s.perm {
+			s.perm[i] = par.Mix64(ps + uint64(i))
+		}
+		e.computeStars()
+		e.degrees()
+		e.vote()
+		for i := range s.chosen {
+			s.chosen[i] = 0
+		}
+		for j := 0; j < s.nc; j++ {
+			if f := s.phi[j]; f >= 0 {
+				s.chosen[f] += in.W(j)
+			}
+		}
+		e.prune()
+	}
+	step() // warm pool and scratch
+	if avg := testing.AllocsPerRun(50, step); avg != 0 {
+		t.Fatalf("steady-state inner steps allocate %v per run, want 0", avg)
+	}
+}
+
+func TestParallelIncrementalCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Parallel(ctx, nil, inst(13, 8, 24), &Options{Epsilon: 0.3, Seed: 1})
+	if err != context.Canceled || res != nil {
+		t.Fatalf("canceled incremental solve: res=%v err=%v", res, err)
+	}
+}
+
+func BenchmarkGreedyEngines(b *testing.B) {
+	in := inst(20, 40, 400)
+	for _, tc := range []struct {
+		name  string
+		dense bool
+	}{{"incremental", false}, {"dense", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustParallel(nil, in, &Options{Epsilon: 0.3, Seed: 1, DenseEngine: tc.dense})
+			}
+		})
+	}
+}

@@ -11,14 +11,25 @@
 // only when at least a 1/(2(1+ε)) fraction of its candidate clients chose it
 // under a random permutation — the clean-up step that keeps the dual-fitting
 // accounting intact.
+//
+// Two engines drive the rounds. The incremental engine (the default) is the
+// paper's cost model made literal: each round builds a CSR view of the
+// threshold graph H — per admitted facility, the prefix of its presorted
+// client order with d ≤ T, plus the client→facility transpose — so the
+// degree, voting, absorption, and pruning sweeps cost O(|E(H)|), and the
+// presorted orders are compacted in place as clients die so star
+// computations scan only live prefixes. The dense engine rescans the full
+// nf×nc matrix every step — the pre-incremental behavior, kept because the
+// equivalence suite asserts both engines produce bitwise-identical
+// solutions, α duals, and τ schedules at any worker count.
 package greedy
 
 import (
 	"context"
 	"math"
-	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/metric"
 	"repro/internal/par"
 )
 
@@ -27,11 +38,16 @@ type Options struct {
 	// Epsilon is the slack factor (1+ε) for star admission; (0,1] in the
 	// paper's theorem. Defaults to 0.3.
 	Epsilon float64
-	// Seed drives the subselection permutations.
+	// Seed drives the subselection permutations (counter-based splitmix64
+	// streams: one substream per subselection iteration).
 	Seed int64
 	// MaxInner caps subselection iterations per outer round before the
 	// deterministic fallback fires (0 = auto from Lemma 4.8's bound).
 	MaxInner int
+	// DenseEngine selects the full-rescan round engine instead of the
+	// incremental CSR one. The two are bitwise-equivalent; the dense engine
+	// exists as the reference the equivalence tests compare against.
+	DenseEngine bool
 }
 
 func (o *Options) epsilon() float64 {
@@ -55,6 +71,10 @@ func (o *Options) maxInner() int {
 	return o.MaxInner
 }
 
+func (o *Options) denseEngine() bool {
+	return o != nil && o.DenseEngine
+}
+
 // Result carries the solution plus the quantities Theorem 4.9 and Lemma 4.8
 // bound: round counts, the α duals for the dual-fitting checks, and the τ
 // schedule.
@@ -76,7 +96,8 @@ type Result struct {
 	TauSchedule []float64
 }
 
-// starState holds the per-facility presorted client order.
+// starState holds the per-facility presorted client order (used directly by
+// the sequential JMS baseline; Parallel's engines own richer state).
 type starState struct {
 	order *par.Dense[int32] // nf×nc: client indices sorted by distance
 }
@@ -84,31 +105,7 @@ type starState struct {
 // prepare presorts each facility's clients by distance — the one O(m log m)
 // sort the algorithm needs (§4 running-time analysis).
 func prepare(c *par.Ctx, in *core.Instance) *starState {
-	order := par.NewDense[int32](in.NF, in.NC)
-	c.For(in.NF, func(i int) {
-		row := order.Row(i)
-		for j := range row {
-			row[j] = int32(j)
-		}
-	})
-	// Per-row sorts: Θ(m log nc) work (charged via SortRows on a shadow
-	// float matrix shape; here we sort the index rows directly).
-	c.Charge(int64(in.NF)*int64(in.NC)*int64(math.Ilogb(float64(in.NC)+2)+1), 1)
-	seq := &par.Ctx{Workers: 1}
-	c.ForBlock(in.NF, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := order.Row(i)
-			drow := in.D.Row(i)
-			par.Sort(seq, row, func(a, b int32) bool {
-				da, db := drow[a], drow[b]
-				if da != db {
-					return da < db
-				}
-				return a < b
-			})
-		}
-	})
-	return &starState{order: order}
+	return &starState{order: metric.SortedOrders(c, in.D)}
 }
 
 // cheapestStar returns the price of facility i's cheapest maximal star over
@@ -119,7 +116,16 @@ func prepare(c *par.Ctx, in *core.Instance) *starState {
 // bitwise the paper's Fact 4.2 prefix. Returns (+Inf, 0) when no client is
 // live.
 func (ss *starState) cheapestStar(in *core.Instance, fi []float64, live []bool, i int) (price float64, size int) {
-	row := ss.order.Row(i)
+	return starScan(in, fi, live, i, ss.order.Row(i))
+}
+
+// starScan is the Fact 4.2 prefix scan over an explicit (slice of a)
+// presorted order row, skipping dead clients. Both engines and the JMS
+// baseline funnel through it so the floating-point summation order — and
+// therefore the computed prices — is identical everywhere: compacting a row
+// preserves the relative order of its live entries, so scanning a compacted
+// prefix is bitwise the same as scanning the full row and skipping.
+func starScan(in *core.Instance, fi []float64, live []bool, i int, row []int32) (price float64, size int) {
 	drow := in.D.Row(i)
 	sum := fi[i]
 	wsum := 0.0
@@ -146,76 +152,164 @@ func (ss *starState) cheapestStar(in *core.Instance, fi []float64, live []bool, 
 	return best, bestK
 }
 
+// roundEngine is the per-round sweep kernel Parallel's shared control loop
+// drives. The incremental engine implements each method over the live-edge
+// CSR of the current threshold graph; the dense engine over full rescans.
+// Both must be bitwise-equivalent: same summation orders, same tie-breaks.
+type roundEngine interface {
+	// computeStars fills prices/sizes with every facility's cheapest maximal
+	// star over the live clients. Called after compactLive.
+	computeStars()
+	// compactLive lets the engine drop dead clients from its scan
+	// structures; called once per outer round before computeStars.
+	compactLive()
+	// beginRound is called after the admitted set I is chosen, with the
+	// round threshold in s.T — the incremental engine builds the CSR of H.
+	beginRound()
+	// degrees fills deg[i] (live neighbor weight in H) for facilities in I.
+	degrees()
+	// vote fills phi[j] with the minimum-priority H-neighbor in I of each
+	// live client (-1 when none).
+	vote()
+	// prune drops facilities from I whose remaining average star price
+	// exceeds T, and zero-degree facilities.
+	prune()
+	// absorb removes (at dual value s.tau) every live client within T of
+	// facility i, which must be a member of this round's admitted set.
+	absorb(i int)
+	// star recomputes facility i's cheapest maximal star mid-round (the
+	// deterministic fallback path).
+	star(i int) (price float64, size int)
+}
+
+// state is the shared solver arena: every slice the rounds touch is
+// allocated once here, so steady-state rounds are allocation-free. The
+// engines embed it.
+type state struct {
+	c       *par.Ctx
+	in      *core.Instance
+	nf, nc  int
+	onePlus float64
+
+	order *par.Dense[int32] // presorted client orders (compacted by incr engine)
+
+	fi        []float64
+	live      []bool
+	liveCount int
+	alpha     []float64
+	opened    []bool
+	openOrder []int
+
+	prices []float64
+	sizes  []int
+	deg    []float64 // H-degree (live client weight) of each facility in I
+	inI    []bool    // facility currently in admitted set I
+	phi    []int32   // client's chosen facility this iteration, -1 if none
+	chosen []float64 // vote weight per facility
+	perm   []uint64  // per-iteration splitmix64 priorities standing in for Π
+
+	openedNow []int32 // scratch: facilities opened this iteration
+
+	tau float64 // current round's τ
+	T   float64 // current round's threshold τ(1+ε)
+
+	res *Result
+}
+
+func newState(c *par.Ctx, in *core.Instance, eps float64) *state {
+	s := &state{
+		c: c, in: in, nf: in.NF, nc: in.NC, onePlus: 1 + eps,
+		order:     metric.SortedOrders(c, in.D),
+		fi:        append([]float64(nil), in.FacCost...),
+		live:      make([]bool, in.NC),
+		liveCount: in.NC,
+		alpha:     make([]float64, in.NC),
+		opened:    make([]bool, in.NF),
+		openOrder: make([]int, 0, in.NF),
+		prices:    make([]float64, in.NF),
+		sizes:     make([]int, in.NF),
+		deg:       make([]float64, in.NF),
+		inI:       make([]bool, in.NF),
+		phi:       make([]int32, in.NC),
+		chosen:    make([]float64, in.NF),
+		perm:      make([]uint64, in.NF),
+		openedNow: make([]int32, 0, in.NF),
+		res:       &Result{},
+	}
+	for j := range s.live {
+		s.live[j] = true
+	}
+	return s
+}
+
+func (s *state) open(i int) {
+	if !s.opened[i] {
+		s.opened[i] = true
+		s.openOrder = append(s.openOrder, i)
+	}
+	s.fi[i] = 0
+}
+
+func (s *state) removeClient(j int, a float64) {
+	if s.live[j] {
+		s.live[j] = false
+		s.alpha[j] = a
+		s.liveCount--
+	}
+}
+
 // Parallel runs Algorithm 4.1 with the γ/m² preprocessing of §4. The context
 // is checked at every outer round and every subselection iteration: on
 // cancellation or deadline the call abandons the partial solve and returns
 // ctx.Err() with a nil result.
 func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options) (*Result, error) {
 	eps := opts.epsilon()
-	onePlus := 1 + eps
-	rng := rand.New(rand.NewSource(opts.seed()))
-	nf, nc := in.NF, in.NC
-	m := float64(in.M())
-
-	fi := append([]float64(nil), in.FacCost...)
-	live := make([]bool, nc)
-	for j := range live {
-		live[j] = true
+	s := newState(c, in, eps)
+	var eng roundEngine
+	if opts.denseEngine() {
+		eng = &denseEngine{state: s}
+	} else {
+		eng = newIncrEngine(s)
 	}
-	liveCount := nc
-	opened := make([]bool, nf)
-	var openOrder []int
-	alpha := make([]float64, nc)
-	res := &Result{}
+	return s.run(ctx, eng, opts)
+}
 
-	ss := prepare(c, in)
+func (s *state) run(ctx context.Context, eng roundEngine, opts *Options) (*Result, error) {
+	in, c, res := s.in, s.c, s.res
+	nf, nc := s.nf, s.nc
+	onePlus := s.onePlus
+	m := float64(in.M())
+	seed := uint64(opts.seed())
+
 	gb := core.Gammas(c, in)
 	gamma := gb.Gamma
-
-	open := func(i int) {
-		if !opened[i] {
-			opened[i] = true
-			openOrder = append(openOrder, i)
-		}
-		fi[i] = 0
-	}
-	removeClient := func(j int, a float64) {
-		if live[j] {
-			live[j] = false
-			alpha[j] = a
-			liveCount--
-		}
-	}
 
 	// Preprocessing: open every facility whose cheapest maximal star is
 	// "relatively cheap" (price ≤ γ/m²) and absorb its star clients. This
 	// raises the first-round τ to ≥ γ/m² and costs ≤ opt/m in total.
 	cheapCut := gamma / (m * m)
-	prices := make([]float64, nf)
-	sizes := make([]int, nf)
-	computeStars := func() {
-		c.For(nf, func(i int) {
-			prices[i], sizes[i] = ss.cheapestStar(in, fi, live, i)
-		})
-		c.Charge(int64(nf)*int64(nc), 1)
-	}
-	computeStars()
+	eng.computeStars()
 	for i := 0; i < nf; i++ {
-		if prices[i] <= cheapCut && sizes[i] > 0 {
-			open(i)
+		if s.prices[i] <= cheapCut && s.sizes[i] > 0 {
+			s.open(i)
 			res.Preopened++
-			p := prices[i]
-			row := ss.order.Row(i)
+			p := s.prices[i]
+			row := s.order.Row(i)
+			drow := in.D.Row(i)
 			taken := 0
 			for _, cj := range row {
+				if taken >= s.sizes[i] {
+					break // the row is distance-sorted: the star is complete
+				}
 				j := int(cj)
-				if !live[j] || taken >= sizes[i] {
+				if !s.live[j] {
 					continue
 				}
-				if in.Dist(i, j) <= p {
-					removeClient(j, p)
-					taken++
+				if drow[j] > p {
+					break // sorted: no farther client can be in the star
 				}
+				s.removeClient(j, p)
+				taken++
 			}
 		}
 	}
@@ -225,41 +319,39 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 	if maxInner == 0 {
 		maxInner = 16*int(math.Ceil(math.Log(m+2)/math.Log(onePlus))) + 64
 	}
+	res.TauSchedule = make([]float64, 0, maxOuter)
 
-	deg := make([]float64, nf)    // H-degree (live client weight) of each facility in I
-	inI := make([]bool, nf)       // facility currently in I
-	phi := make([]int, nc)        // client's chosen facility this iteration
-	chosen := make([]float64, nf) // vote weight per facility
-	perm := make([]int64, nf)     // random priorities standing in for Π
-
-	for liveCount > 0 && res.OuterRounds < maxOuter {
+	for s.liveCount > 0 && res.OuterRounds < maxOuter {
 		if err := par.CtxErr(ctx); err != nil {
 			return nil, err
 		}
 		res.OuterRounds++
-		computeStars()
+		eng.compactLive()
+		eng.computeStars()
 		tau := math.Inf(1)
 		for i := 0; i < nf; i++ {
-			if sizes[i] > 0 && prices[i] < tau {
-				tau = prices[i]
+			if s.sizes[i] > 0 && s.prices[i] < tau {
+				tau = s.prices[i]
 			}
 		}
 		if math.IsInf(tau, 1) {
 			break // no facility can serve the remaining clients (impossible in metric instances)
 		}
 		res.TauSchedule = append(res.TauSchedule, tau)
-		T := tau * onePlus
+		s.tau = tau
+		s.T = tau * onePlus
 
 		// I = facilities whose cheapest star is within the slack window.
 		for i := 0; i < nf; i++ {
-			inI[i] = sizes[i] > 0 && prices[i] <= T
+			s.inI[i] = s.sizes[i] > 0 && s.prices[i] <= s.T
 		}
 		// H: edges i–j with d(i,j) ≤ T, i ∈ I, j live.
+		eng.beginRound()
 		inner := 0
 		for {
 			anyI := false
 			for i := 0; i < nf; i++ {
-				if inI[i] {
+				if s.inI[i] {
 					anyI = true
 					break
 				}
@@ -270,6 +362,7 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 			if err := par.CtxErr(ctx); err != nil {
 				return nil, err
 			}
+			iterOrd := res.InnerRounds
 			inner++
 			res.InnerRounds++
 			if inner > maxInner {
@@ -278,8 +371,8 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 				// facility outright, sequential-greedy style.
 				best, bestI := math.Inf(1), -1
 				for i := 0; i < nf; i++ {
-					if inI[i] {
-						p, sz := ss.cheapestStar(in, fi, live, i)
+					if s.inI[i] {
+						p, sz := eng.star(i)
 						if sz > 0 && p < best {
 							best, bestI = p, i
 						}
@@ -287,107 +380,58 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 				}
 				if bestI >= 0 {
 					res.Fallbacks++
-					open(bestI)
-					for j := 0; j < nc; j++ {
-						if live[j] && in.Dist(bestI, j) <= T {
-							removeClient(j, tau)
-						}
-					}
+					s.open(bestI)
+					eng.absorb(bestI)
 				}
-				for i := range inI {
-					inI[i] = false
+				for i := range s.inI {
+					s.inI[i] = false
 				}
 				break
 			}
 
-			// Step (a): random priorities over I (a random permutation).
-			for i := 0; i < nf; i++ {
-				perm[i] = rng.Int63()
+			// Step (a): random priorities over I (a random permutation) —
+			// one splitmix64 substream per subselection iteration, so the
+			// draw is a pure function of (seed, iteration, facility).
+			ps := par.Stream(seed, iterOrd)
+			for i := range s.perm {
+				s.perm[i] = par.Mix64(ps + uint64(i))
 			}
 			// Degrees on the current H (weighted: a weight-w client counts
 			// as w unit neighbors).
-			c.For(nf, func(i int) {
-				deg[i] = 0
-				if !inI[i] {
-					return
-				}
-				drow := in.D.Row(i)
-				for j := 0; j < nc; j++ {
-					if live[j] && drow[j] <= T {
-						deg[i] += in.W(j)
-					}
-				}
-			})
-			c.Charge(int64(nf)*int64(nc), 1)
+			eng.degrees()
 			// Step (b): each covered client votes for its min-priority
 			// neighbor in I.
-			c.For(nc, func(j int) {
-				phi[j] = -1
-				if !live[j] {
-					return
-				}
-				best := int64(math.MaxInt64)
-				bi := -1
-				for i := 0; i < nf; i++ {
-					if inI[i] && in.Dist(i, j) <= T && (perm[i] < best || (perm[i] == best && i < bi)) {
-						best, bi = perm[i], i
-					}
-				}
-				phi[j] = bi
-			})
-			c.Charge(int64(nf)*int64(nc), 1)
-			for i := range chosen {
-				chosen[i] = 0
+			eng.vote()
+			for i := range s.chosen {
+				s.chosen[i] = 0
 			}
 			for j := 0; j < nc; j++ {
-				if phi[j] >= 0 {
-					chosen[phi[j]] += in.W(j)
+				if f := s.phi[j]; f >= 0 {
+					s.chosen[f] += in.W(j)
 				}
 			}
 			// Step (c): open facilities with enough vote weight; absorb their
 			// H-neighborhoods.
-			var openedNow []int
+			s.openedNow = s.openedNow[:0]
 			for i := 0; i < nf; i++ {
-				if !inI[i] || deg[i] == 0 {
+				if !s.inI[i] || s.deg[i] == 0 {
 					continue
 				}
-				if chosen[i] >= deg[i]/(2*onePlus) {
-					openedNow = append(openedNow, i)
+				if s.chosen[i] >= s.deg[i]/(2*onePlus) {
+					s.openedNow = append(s.openedNow, int32(i))
 				}
 			}
-			for _, i := range openedNow {
-				open(i)
-				inI[i] = false
+			for _, i := range s.openedNow {
+				s.open(int(i))
+				s.inI[i] = false
 			}
-			for _, i := range openedNow {
-				for j := 0; j < nc; j++ {
-					if live[j] && in.Dist(i, j) <= T {
-						removeClient(j, tau)
-					}
-				}
+			for _, i := range s.openedNow {
+				eng.absorb(int(i))
 			}
 			// Step (d): prune facilities whose remaining neighborhood is too
 			// expensive on average (they return in the next outer round),
 			// and zero-degree facilities.
-			c.For(nf, func(i int) {
-				if !inI[i] {
-					return
-				}
-				drow := in.D.Row(i)
-				wd := 0.0
-				sum := fi[i]
-				for j := 0; j < nc; j++ {
-					if live[j] && drow[j] <= T {
-						w := in.W(j)
-						wd += w
-						sum += w * drow[j]
-					}
-				}
-				if wd == 0 || sum/wd > T {
-					inI[i] = false
-				}
-			})
-			c.Charge(int64(nf)*int64(nc), 1)
+			eng.prune()
 		}
 		if inner > res.MaxInnerPerOuter {
 			res.MaxInnerPerOuter = inner
@@ -397,7 +441,7 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 	// Safety: serve any stragglers by their γ_j facility (cannot happen when
 	// the round cap holds, but keeps the output feasible unconditionally).
 	for j := 0; j < nc; j++ {
-		if live[j] {
+		if s.live[j] {
 			bi := 0
 			best := math.Inf(1)
 			for i := 0; i < nf; i++ {
@@ -405,12 +449,12 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 					best, bi = v, i
 				}
 			}
-			open(bi)
-			removeClient(j, best)
+			s.open(bi)
+			s.removeClient(j, best)
 		}
 	}
 
-	res.Alpha = alpha
-	res.Sol = core.EvalOpen(c, in, openOrder)
+	res.Alpha = s.alpha
+	res.Sol = core.EvalOpen(c, in, s.openOrder)
 	return res, nil
 }

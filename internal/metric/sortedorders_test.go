@@ -1,0 +1,98 @@
+package metric
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// naiveOrders is the reference the radix presort is pinned against: a plain
+// comparison sort by (distance, index).
+func naiveOrders(m *DistMatrix) [][]int32 {
+	out := make([][]int32, m.R)
+	for i := 0; i < m.R; i++ {
+		row := make([]int32, m.C)
+		for j := range row {
+			row[j] = int32(j)
+		}
+		drow := m.Row(i)
+		sort.Slice(row, func(a, b int) bool {
+			da, db := drow[row[a]], drow[row[b]]
+			if da != db {
+				return da < db
+			}
+			return row[a] < row[b]
+		})
+		out[i] = row
+	}
+	return out
+}
+
+func TestSortedOrdersMatchesComparisonSort(t *testing.T) {
+	cases := map[string]*DistMatrix{}
+
+	random := NewDistMatrix(13, 257)
+	for i := 0; i < random.R; i++ {
+		row := random.Row(i)
+		for j := range row {
+			row[j] = par.Unit(99, i*random.C+j) * 1e6
+		}
+	}
+	cases["random"] = random
+
+	// Adversarial: many exact ties (index tie-break must decide), zeros,
+	// negative zero, denormals, huge magnitudes, +Inf.
+	tie := NewDistMatrix(3, 64)
+	for i := 0; i < tie.R; i++ {
+		row := tie.Row(i)
+		for j := range row {
+			row[j] = float64(j % 4)
+		}
+		row[7] = 0
+		row[9] = math.Copysign(0, -1)
+		row[11] = 5e-324
+		row[13] = math.MaxFloat64
+		row[15] = math.Inf(1)
+	}
+	cases["ties-and-extremes"] = tie
+
+	constant := NewDistMatrix(2, 100)
+	for i := 0; i < constant.R; i++ {
+		row := constant.Row(i)
+		for j := range row {
+			row[j] = 3.5
+		}
+	}
+	cases["all-equal"] = constant
+
+	for label, m := range cases {
+		want := naiveOrders(m)
+		for _, workers := range []int{1, 4} {
+			got := SortedOrders(&par.Ctx{Workers: workers, Grain: 4}, m)
+			for i := 0; i < m.R; i++ {
+				if !reflect.DeepEqual(got.Row(i), want[i]) {
+					t.Fatalf("%s workers=%d row %d: radix order differs from comparison sort\ngot  %v\nwant %v",
+						label, workers, i, got.Row(i), want[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSortedOrders(b *testing.B) {
+	m := NewDistMatrix(64, 2048)
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = par.Unit(7, i*m.C+j) * 100
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SortedOrders(nil, m)
+	}
+}

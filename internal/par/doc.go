@@ -38,4 +38,21 @@
 // branches of a nested computation share one Tally. Cache complexity
 // follows the paper's own bound Q = O(w/B), so it is derived from the work
 // tally (Cost.CacheComplexity) rather than tracked separately.
+//
+// # Scheduler
+//
+// Underneath the primitives sits a single process-wide pool of persistent
+// worker goroutines (pool.go). A parallel loop does not spawn goroutines:
+// it publishes its fixed block partition to the pool, the caller and the
+// woken workers claim blocks from an atomic cursor, and the workers park
+// again — so a steady-state loop over a pre-bound body performs zero heap
+// allocations and zero goroutine creations, which is what makes the
+// round-based solvers' inner iterations allocation-free. The pool grows on
+// demand to the largest helper count ever requested (Warm pre-grows it) and
+// runs one job at a time: a primitive invoked while the pool is occupied —
+// nested parallelism, or concurrent solves in the batch engine — executes
+// its blocks inline on the calling goroutine. Because the block partition
+// is a pure function of (n, Grain, Workers) and blocks write disjoint
+// ranges, results are bitwise-identical whichever goroutines run them, at
+// any worker count.
 package par

@@ -89,13 +89,27 @@ func (c *Ctx) Do(fns ...func()) {
 // For executes body(i) for every i in [0, n) in parallel. It charges n work
 // and logarithmic span (the fork tree), matching an EREW PRAM parallel loop
 // with constant-time bodies; bodies that are themselves super-constant should
-// charge their own cost via the Tally.
+// charge their own cost via the Tally. The element body is handed to the
+// worker pool directly (no wrapping closure), so a For over a pre-bound
+// body performs zero allocations.
 func (c *Ctx) For(n int, body func(i int)) {
-	c.ForBlock(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	if n <= 0 {
+		return
+	}
+	c.charge(int64(n), logSpan(n))
+	g := c.grain()
+	p := c.workers()
+	if p == 1 || n <= g {
+		for i := 0; i < n; i++ {
 			body(i)
 		}
-	})
+		return
+	}
+	blocks := (n + g - 1) / g
+	if blocks > p {
+		blocks = p
+	}
+	shared.run(n, blocks, nil, body)
 }
 
 // ForBlock partitions [0, n) into contiguous blocks, one per worker (subject
@@ -133,7 +147,8 @@ func (c *Ctx) ForRows(n, rowCost int, body func(lo, hi int)) {
 }
 
 // forBlocks runs body over [0, n) split into contiguous blocks of at least g
-// indices, at most one per worker. Charges nothing: callers account cost.
+// indices, at most one per worker, on the persistent pool. Charges nothing:
+// callers account cost.
 func (c *Ctx) forBlocks(n, g int, body func(lo, hi int)) {
 	p := c.workers()
 	if p == 1 || n <= g {
@@ -144,17 +159,7 @@ func (c *Ctx) forBlocks(n, g int, body func(lo, hi int)) {
 	if blocks > p {
 		blocks = p
 	}
-	var wg sync.WaitGroup
-	wg.Add(blocks - 1)
-	for b := 1; b < blocks; b++ {
-		lo, hi := b*n/blocks, (b+1)*n/blocks
-		go func() {
-			defer wg.Done()
-			body(lo, hi)
-		}()
-	}
-	body(0, n/blocks)
-	wg.Wait()
+	shared.run(n, blocks, body, nil)
 }
 
 // Reduce combines xs under an associative operator with identity id, in
@@ -179,20 +184,14 @@ func Reduce[T any](c *Ctx, xs []T, id T, op func(a, b T) T) T {
 		blocks = p
 	}
 	partial := make([]T, blocks)
-	var wg sync.WaitGroup
-	wg.Add(blocks)
-	for b := 0; b < blocks; b++ {
+	shared.run(blocks, blocks, nil, func(b int) {
 		lo, hi := b*n/blocks, (b+1)*n/blocks
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			acc := id
-			for i := lo; i < hi; i++ {
-				acc = op(acc, xs[i])
-			}
-			partial[b] = acc
-		}(b, lo, hi)
-	}
-	wg.Wait()
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = op(acc, xs[i])
+		}
+		partial[b] = acc
+	})
 	acc := id
 	for _, x := range partial {
 		acc = op(acc, x)
@@ -221,20 +220,14 @@ func ReduceIndex[T any](c *Ctx, n int, id T, at func(i int) T, op func(a, b T) T
 		blocks = p
 	}
 	partial := make([]T, blocks)
-	var wg sync.WaitGroup
-	wg.Add(blocks)
-	for b := 0; b < blocks; b++ {
+	shared.run(blocks, blocks, nil, func(b int) {
 		lo, hi := b*n/blocks, (b+1)*n/blocks
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			acc := id
-			for i := lo; i < hi; i++ {
-				acc = op(acc, at(i))
-			}
-			partial[b] = acc
-		}(b, lo, hi)
-	}
-	wg.Wait()
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = op(acc, at(i))
+		}
+		partial[b] = acc
+	})
 	acc := id
 	for _, x := range partial {
 		acc = op(acc, x)
@@ -262,7 +255,8 @@ func SumFloat(c *Ctx, xs []float64) float64 {
 	if blocks == 1 || c.workers() == 1 {
 		return sumBlocksSeq(xs, blocks, n)
 	}
-	partial := make([]float64, blocks)
+	sp := getFloatScratch(blocks)
+	partial := *sp
 	c.forBlocks(blocks, 1, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
 			end := (b + 1) * sumBlock
@@ -280,6 +274,7 @@ func SumFloat(c *Ctx, xs []float64) float64 {
 	for _, p := range partial {
 		acc += p
 	}
+	putFloatScratch(sp)
 	return acc
 }
 

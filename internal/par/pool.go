@@ -1,0 +1,174 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the scheduler layer under the primitives: a single
+// process-wide pool of persistent worker goroutines that For/ForBlock/
+// ForRows/Reduce fan out across, instead of spawning fresh goroutines on
+// every call. The pool exists for the round-based solvers, whose inner
+// loops invoke a primitive thousands of times per solve: with persistent
+// workers a steady-state round performs no goroutine creation and no heap
+// allocation (see TestForBlockZeroAllocs / TestGreedyRoundZeroAllocs).
+//
+// Determinism contract: the pool never influences *what* is computed, only
+// *who* computes it. The block partition of [0, n) is a pure function of
+// (n, Grain, Workers) — identical to the pre-pool implementation — and
+// workers claim whole blocks via an atomic cursor, so any interleaving
+// writes the same disjoint index ranges. Bitwise reproducibility at any
+// worker count is therefore preserved.
+//
+// Re-entrance: the pool runs one job at a time, guarded by a CAS. A
+// primitive invoked while the pool is occupied — from inside another
+// primitive's body, or from a concurrent solve (the batch engine runs many
+// solves at once) — executes its blocks inline on the calling goroutine.
+// Same partition, same results, no deadlock; nested parallelism simply
+// degrades to the caller's own core, which is the right behavior when the
+// outer level already saturates the machine.
+type pool struct {
+	busy atomic.Int32    // 1 while a job is running; serializes pool state
+	sig  []chan struct{} // per-worker wake signals (buffered 1)
+	wg   sync.WaitGroup  // joins helpers of the current job
+
+	// Current job. Written only by the job owner while busy==1, before the
+	// wake signals are sent (the channel send/receive pair publishes them).
+	n, blocks int
+	next      atomic.Int32     // block claim cursor
+	bodyBlock func(lo, hi int) // exactly one of bodyBlock/bodyElem is set
+	bodyElem  func(i int)
+}
+
+// shared is the process-wide pool. Workers are spawned on demand — the
+// first job needing h helpers grows the pool to h — and then persist for
+// the life of the process, parked on their wake channel.
+var shared pool
+
+// Warm pre-spawns pool workers so that the first measured iteration of a
+// benchmark (or a goroutine-count baseline in a test) does not observe the
+// pool growing mid-run. n is the desired helper count; Warm never shrinks.
+func Warm(n int) {
+	if n < 0 {
+		n = 0
+	}
+	for !shared.busy.CompareAndSwap(0, 1) {
+		// Another job is running; it owns the grow right. Yield until it
+		// finishes — Warm is a cold startup path.
+		runtime.Gosched()
+	}
+	shared.grow(n)
+	shared.busy.Store(0)
+}
+
+// PoolWorkers reports the number of persistent workers currently spawned —
+// observability for tests and the README's pool-sizing guidance.
+func PoolWorkers() int {
+	for !shared.busy.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+	n := len(shared.sig)
+	shared.busy.Store(0)
+	return n
+}
+
+// grow ensures at least h workers exist. Callers must hold busy.
+func (p *pool) grow(h int) {
+	for len(p.sig) < h {
+		ch := make(chan struct{}, 1)
+		p.sig = append(p.sig, ch)
+		go p.worker(ch)
+	}
+}
+
+// worker is the persistent loop: wake, drain the shared block cursor, sign
+// off, park again.
+func (p *pool) worker(ch chan struct{}) {
+	for range ch {
+		p.drain()
+		p.wg.Done()
+	}
+}
+
+// drain claims and executes blocks until the job's cursor is exhausted.
+func (p *pool) drain() {
+	n, blocks := p.n, p.blocks
+	bodyBlock, bodyElem := p.bodyBlock, p.bodyElem
+	for {
+		b := int(p.next.Add(1)) - 1
+		if b >= blocks {
+			return
+		}
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		if bodyBlock != nil {
+			bodyBlock(lo, hi)
+		} else {
+			for i := lo; i < hi; i++ {
+				bodyElem(i)
+			}
+		}
+	}
+}
+
+// run executes a job of `blocks` blocks over [0, n) using pool workers,
+// falling back to inline execution when the pool is occupied. Exactly one
+// of bodyBlock/bodyElem must be non-nil. Allocation-free in steady state.
+func (p *pool) run(n, blocks int, bodyBlock func(lo, hi int), bodyElem func(i int)) {
+	if blocks <= 1 || !p.busy.CompareAndSwap(0, 1) {
+		runBlocksInline(n, blocks, bodyBlock, bodyElem)
+		return
+	}
+	helpers := blocks - 1
+	p.grow(helpers)
+	p.n, p.blocks = n, blocks
+	p.bodyBlock, p.bodyElem = bodyBlock, bodyElem
+	p.next.Store(0)
+	p.wg.Add(helpers)
+	for w := 0; w < helpers; w++ {
+		p.sig[w] <- struct{}{}
+	}
+	p.drain()
+	p.wg.Wait()
+	p.bodyBlock, p.bodyElem = nil, nil
+	p.busy.Store(0)
+}
+
+// runBlocksInline executes the same fixed partition sequentially on the
+// calling goroutine — the re-entrance and single-block path.
+func runBlocksInline(n, blocks int, bodyBlock func(lo, hi int), bodyElem func(i int)) {
+	if bodyBlock != nil {
+		for b := 0; b < blocks; b++ {
+			bodyBlock(b*n/blocks, (b+1)*n/blocks)
+		}
+		return
+	}
+	for b := 0; b < blocks; b++ {
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		for i := lo; i < hi; i++ {
+			bodyElem(i)
+		}
+	}
+}
+
+// floatScratch pools the per-block partial buffers of the float reductions
+// (SumFloat) so steady-state reductions allocate nothing. Buffers are held
+// via pointer to keep Get/Put allocation-free.
+var floatScratch = sync.Pool{New: func() any {
+	s := make([]float64, 0, 64)
+	return &s
+}}
+
+// getFloatScratch returns a zeroed []float64 of length n from the pool.
+func getFloatScratch(n int) *[]float64 {
+	sp := floatScratch.Get().(*[]float64)
+	if cap(*sp) < n {
+		*sp = make([]float64, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
+
+func putFloatScratch(sp *[]float64) {
+	floatScratch.Put(sp)
+}

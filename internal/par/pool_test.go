@@ -1,0 +1,179 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// poolCtx returns a Ctx that forces the pool to engage even on a single-core
+// machine: several workers and a grain small enough that mid-size loops fork.
+func poolCtx() *Ctx {
+	return &Ctx{Workers: 4, Grain: 64}
+}
+
+func TestPoolForMatchesSequential(t *testing.T) {
+	const n = 10_000
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i) * 1.5
+	}
+	got := make([]float64, n)
+	poolCtx().For(n, func(i int) { got[i] = float64(i) * 1.5 })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPoolDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The block partition is a pure function of (n, Grain, Workers); verify
+	// the pool reproduces the exact pre-pool partition by checking every
+	// index is visited exactly once for a spread of shapes.
+	for _, workers := range []int{1, 2, 3, 4, 9} {
+		for _, n := range []int{1, 2, 63, 64, 65, 1000, 4097} {
+			c := &Ctx{Workers: workers, Grain: 64}
+			var mu sync.Mutex
+			seen := make([]int, n)
+			c.For(n, func(i int) {
+				mu.Lock()
+				seen[i]++
+				mu.Unlock()
+			})
+			for i, v := range seen {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolReentrantBodyRunsInline(t *testing.T) {
+	// A primitive invoked from inside another primitive's body must complete
+	// correctly (inline fallback), not deadlock.
+	c := poolCtx()
+	const n = 512
+	out := make([][]int, n)
+	c.For(n, func(i int) {
+		row := make([]int, 128)
+		c.For(128, func(j int) { row[j] = i + j })
+		out[i] = row
+	})
+	for i := range out {
+		for j, v := range out[i] {
+			if v != i+j {
+				t.Fatalf("out[%d][%d] = %d", i, j, v)
+			}
+		}
+	}
+}
+
+func TestPoolConcurrentCallers(t *testing.T) {
+	// Many goroutines using pooled primitives at once: whoever wins the CAS
+	// uses the workers, the rest run inline. All must produce exact results.
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := poolCtx()
+			const n = 20_000
+			xs := make([]float64, n)
+			c.For(n, func(i int) { xs[i] = 1 })
+			if s := SumFloat(c, xs); s != float64(n) {
+				errs <- "bad sum"
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestWarmGrowsPool(t *testing.T) {
+	Warm(3)
+	if got := PoolWorkers(); got < 3 {
+		t.Fatalf("PoolWorkers() = %d after Warm(3)", got)
+	}
+}
+
+// The zero-allocation guarantees the round-based solvers rely on: a pooled
+// parallel loop over a pre-bound body performs no heap allocation and no
+// goroutine creation in steady state.
+
+func TestForBlockZeroAllocs(t *testing.T) {
+	c := poolCtx()
+	xs := make([]float64, 50_000)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] += 1
+		}
+	}
+	c.ForBlock(len(xs), body) // warm pool + scratch
+	if avg := testing.AllocsPerRun(100, func() { c.ForBlock(len(xs), body) }); avg != 0 {
+		t.Fatalf("ForBlock allocates %v per run, want 0", avg)
+	}
+}
+
+func TestForZeroAllocs(t *testing.T) {
+	c := poolCtx()
+	xs := make([]float64, 50_000)
+	body := func(i int) { xs[i] += 1 }
+	c.For(len(xs), body)
+	if avg := testing.AllocsPerRun(100, func() { c.For(len(xs), body) }); avg != 0 {
+		t.Fatalf("For allocates %v per run, want 0", avg)
+	}
+}
+
+func TestForRowsZeroAllocs(t *testing.T) {
+	c := poolCtx()
+	const rows, rowCost = 256, 512
+	xs := make([]float64, rows*rowCost)
+	body := func(lo, hi int) {
+		for i := lo * rowCost; i < hi*rowCost; i++ {
+			xs[i] += 1
+		}
+	}
+	c.ForRows(rows, rowCost, body)
+	if avg := testing.AllocsPerRun(100, func() { c.ForRows(rows, rowCost, body) }); avg != 0 {
+		t.Fatalf("ForRows allocates %v per run, want 0", avg)
+	}
+}
+
+func TestSumFloatScratchPooled(t *testing.T) {
+	// SumFloat's per-block partials come from a pooled scratch buffer; the
+	// only steady-state allocation is the one capture-carrying closure.
+	c := poolCtx()
+	xs := make([]float64, 100_000)
+	for i := range xs {
+		xs[i] = 0.5
+	}
+	want := SumFloat(c, xs)
+	if want != 50_000 {
+		t.Fatalf("SumFloat = %v", want)
+	}
+	if avg := testing.AllocsPerRun(100, func() { SumFloat(c, xs) }); avg > 2 {
+		t.Fatalf("SumFloat allocates %v per run, want <= 2", avg)
+	}
+}
+
+func BenchmarkPooledForBlock(b *testing.B) {
+	c := poolCtx()
+	xs := make([]float64, 1_000_000)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] += 1
+		}
+	}
+	c.ForBlock(len(xs), body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ForBlock(len(xs), body)
+	}
+}

@@ -1,0 +1,137 @@
+package primaldual
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+// The primal-dual equivalence suite: the live-edge prefix engine must be
+// bitwise indistinguishable from the dense full-rescan engine — identical
+// solutions, α duals, π assignments, and iteration counts — across instance
+// families, seeds, epsilons, and worker counts.
+
+func mustPD(c *par.Ctx, in *core.Instance, o *Options) *Result {
+	res, err := Parallel(context.Background(), c, in, o)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func pdEngineInstances() map[string]*core.Instance {
+	return map[string]*core.Instance{
+		"uniform-small": inst(3, 6, 18),
+		"uniform-mid":   inst(4, 10, 60),
+		"uniform-wide":  inst(5, 25, 40),
+		"clustered-mid": pdClusteredInst(6, 8, 48),
+		"weighted":      pdWeightedInst(8, 9, 40),
+		"zero-cost":     pdZeroCostInst(9, 7, 30),
+		"single-fac":    inst(10, 1, 12),
+	}
+}
+
+func pdClusteredInst(seed int64, nf, nc int) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sp := metric.TwoScale(nil, rng, nf+nc, 4, 2, 200)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(nil, sp, fac, cli, metric.UniformCosts(nil, nf, 5))
+}
+
+func pdWeightedInst(seed int64, nf, nc int) *core.Instance {
+	in := inst(seed, nf, nc)
+	w := make([]float64, nc)
+	for j := range w {
+		w[j] = 0.5 + par.Unit(uint64(seed), j)*4
+	}
+	in.CWeight = w
+	return in
+}
+
+func pdZeroCostInst(seed int64, nf, nc int) *core.Instance {
+	in := inst(seed, nf, nc)
+	for i := range in.FacCost {
+		in.FacCost[i] = 0
+	}
+	return in
+}
+
+func TestPDEnginesBitwiseEquivalent(t *testing.T) {
+	for label, in := range pdEngineInstances() {
+		for _, eps := range []float64{0.1, 0.3, 1.0} {
+			for _, workers := range []int{1, 4} {
+				for seed := int64(0); seed < 3; seed++ {
+					c := &par.Ctx{Workers: workers, Grain: 16}
+					dense := mustPD(c, in, &Options{Epsilon: eps, Seed: seed, DenseEngine: true})
+					incr := mustPD(c, in, &Options{Epsilon: eps, Seed: seed})
+					if !reflect.DeepEqual(dense.Sol, incr.Sol) {
+						t.Fatalf("%s eps=%v w=%d seed=%d: solutions differ:\ndense %+v\nincr  %+v",
+							label, eps, workers, seed, dense.Sol, incr.Sol)
+					}
+					if !reflect.DeepEqual(dense.Alpha, incr.Alpha) {
+						t.Fatalf("%s eps=%v w=%d seed=%d: alpha duals differ", label, eps, workers, seed)
+					}
+					if !reflect.DeepEqual(dense.Pi, incr.Pi) {
+						t.Fatalf("%s eps=%v w=%d seed=%d: pi assignments differ", label, eps, workers, seed)
+					}
+					if dense.Iterations != incr.Iterations ||
+						dense.TentativelyOpen != incr.TentativelyOpen ||
+						dense.FreeFacilities != incr.FreeFacilities ||
+						dense.DomRounds != incr.DomRounds ||
+						dense.Freely != incr.Freely || dense.Directly != incr.Directly ||
+						dense.Indirectly != incr.Indirectly {
+						t.Fatalf("%s eps=%v w=%d seed=%d: counters differ:\ndense %+v\nincr  %+v",
+							label, eps, workers, seed, dense, incr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPDIncrementalWorkBelowDense(t *testing.T) {
+	in := inst(11, 12, 96)
+	dt, it := &par.Tally{}, &par.Tally{}
+	mustPD(&par.Ctx{Workers: 1, Tally: dt}, in, &Options{Epsilon: 0.3, Seed: 1, DenseEngine: true})
+	mustPD(&par.Ctx{Workers: 1, Tally: it}, in, &Options{Epsilon: 0.3, Seed: 1})
+	dw, iw := dt.Snapshot().Work, it.Snapshot().Work
+	if iw >= dw {
+		t.Fatalf("incremental work %d not below dense work %d", iw, dw)
+	}
+}
+
+func TestPDIncrementalCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Parallel(ctx, nil, inst(13, 8, 24), &Options{Epsilon: 0.3, Seed: 1})
+	if err != context.Canceled || res != nil {
+		t.Fatalf("canceled incremental solve: res=%v err=%v", res, err)
+	}
+}
+
+func BenchmarkPDEngines(b *testing.B) {
+	in := inst(20, 40, 400)
+	for _, tc := range []struct {
+		name  string
+		dense bool
+	}{{"incremental", false}, {"dense", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustPD(nil, in, &Options{Epsilon: 0.3, Seed: 1, DenseEngine: tc.dense})
+			}
+		})
+	}
+}

@@ -3,9 +3,11 @@ package primaldual
 import (
 	"context"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/domset"
+	"repro/internal/metric"
 	"repro/internal/par"
 )
 
@@ -16,6 +18,10 @@ type Options struct {
 	Epsilon float64
 	// Seed drives the MaxUDom postprocessing randomness.
 	Seed int64
+	// DenseEngine selects the full-rescan payment/freeze sweeps instead of
+	// the live-edge prefix ones. The two are bitwise-equivalent; the dense
+	// engine exists as the reference the equivalence tests compare against.
+	DenseEngine bool
 }
 
 func (o *Options) epsilon() float64 {
@@ -32,32 +38,110 @@ func (o *Options) seed() int64 {
 	return o.Seed
 }
 
+func (o *Options) denseEngine() bool {
+	return o != nil && o.DenseEngine
+}
+
+// pdState is the solver arena shared by both engines: duals, freeze/open
+// flags, the presorted client orders, and the incremental counters that
+// replace per-iteration population counts.
+type pdState struct {
+	c       *par.Ctx
+	in      *core.Instance
+	nf, nc  int
+	onePlus float64
+
+	order *par.Dense[int32] // per-facility client indices by ascending distance
+
+	alpha  []float64
+	frozen []bool
+	opened []bool // F_T: opened during the main loop
+	isFree []bool // F₀: free facilities from preprocessing
+	freely []int  // π for freely connected clients, -1 otherwise
+
+	unfrozen int // clients not yet frozen
+	unopened int // facilities neither opened nor free
+
+	openList []int32 // opened ∪ free facilities, in opening order
+	openPtr  []int32 // per-facility freeze pointer into its sorted order
+
+	justOpened []bool // scratch: facilities crossing the payment bar this step
+
+	tl  float64 // current dual level
+	thr float64 // (1+ε)·tl, the reach threshold at this level
+
+	res *Result
+}
+
+// pdEngine is the per-iteration sweep kernel: Step 2 (open facilities whose
+// slack payments cover their cost) and Step 3 (freeze clients that reach an
+// open facility). The incremental engine touches only the edges with
+// positive slack — a prefix of each facility's presorted order; the dense
+// engine rescans everything. Both sum payments in presorted-row order over
+// the same positive terms, so they are bitwise-equivalent.
+type pdEngine interface {
+	payments()
+	freezes()
+}
+
+func newPDState(c *par.Ctx, in *core.Instance, eps float64) *pdState {
+	s := &pdState{
+		c: c, in: in, nf: in.NF, nc: in.NC, onePlus: 1 + eps,
+		order:      metric.SortedOrders(c, in.D),
+		alpha:      make([]float64, in.NC),
+		frozen:     make([]bool, in.NC),
+		opened:     make([]bool, in.NF),
+		isFree:     make([]bool, in.NF),
+		freely:     make([]int, in.NC),
+		unfrozen:   in.NC,
+		unopened:   in.NF,
+		openList:   make([]int32, 0, in.NF),
+		openPtr:    make([]int32, in.NF),
+		justOpened: make([]bool, in.NF),
+		res:        &Result{},
+	}
+	for j := range s.freely {
+		s.freely[j] = -1
+	}
+	return s
+}
+
+// markOpen records facility i as open (main loop or preprocessing-free) for
+// the freeze sweeps.
+func (s *pdState) markOpen(i int) {
+	s.openList = append(s.openList, int32(i))
+}
+
+// foldJustOpened promotes the facilities the payment sweep flagged, in
+// ascending order so openList stays deterministic.
+func (s *pdState) foldJustOpened() {
+	for i := 0; i < s.nf; i++ {
+		if s.justOpened[i] {
+			s.justOpened[i] = false
+			s.opened[i] = true
+			s.unopened--
+			s.markOpen(i)
+		}
+	}
+}
+
 // Parallel runs Algorithm 5.1 with the γ/m² preprocessing and the MaxUDom
 // postprocessing, yielding a (3+ε)-approximation (Theorem 5.4). The context
 // is checked at every dual-raising iteration: on cancellation or deadline the
 // call abandons the partial solve and returns ctx.Err() with a nil result.
 func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options) (*Result, error) {
 	eps := opts.epsilon()
-	onePlus := 1 + eps
 	nf, nc := in.NF, in.NC
 	m := float64(in.M())
-	res := &Result{}
 
 	gb := core.Gammas(c, in)
 	gamma := gb.Gamma
 
-	alpha := make([]float64, nc)
-	frozen := make([]bool, nc)
-	opened := make([]bool, nf) // F_T: opened during the main loop
-	isFree := make([]bool, nf) // F₀: free facilities from preprocessing
-	freely := make([]int, nc)  // π for freely connected clients, -1 otherwise
-	for j := range freely {
-		freely[j] = -1
-	}
-
 	if gamma == 0 {
 		// Degenerate: every client has a zero-cost facility at distance 0.
 		// Open each client's γ_j-facility; total cost 0.
+		res := &Result{}
+		opened := make([]bool, nf)
 		for j := 0; j < nc; j++ {
 			for i := 0; i < nf; i++ {
 				if in.FacCost[i]+in.Dist(i, j) == 0 {
@@ -67,127 +151,134 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 			}
 		}
 		open := par.PackIndex(c, nf, func(i int) bool { return opened[i] })
-		res.Alpha = alpha
+		res.Alpha = make([]float64, nc)
 		res.Sol = core.EvalOpen(c, in, open)
 		res.Pi = res.Sol.Assign
 		return res, nil
 	}
 
+	s := newPDState(c, in, eps)
+	var eng pdEngine
+	if opts.denseEngine() {
+		eng = &pdDense{s}
+	} else {
+		eng = newPDIncr(s)
+	}
+	res := s.res
+	onePlus := s.onePlus
+
 	base := gamma / (m * m)
 
 	// Preprocessing (free facilities): open i when the slack-free payments
 	// at level γ/m² already cover it; absorb clients within γ/m². A weight-w
-	// client pays w·β, exactly as w colocated unit clients would.
+	// client pays w·β, exactly as w colocated unit clients would. Payments
+	// sum over the presorted prefix d < γ/m² — the only positive terms.
+	var preTouched atomic.Int64
 	c.For(nf, func(i int) {
+		row := s.order.Row(i)
+		drow := in.D.Row(i)
 		paid := 0.0
-		for j, d := range in.D.Row(i) {
-			if b := base - d; b > 0 {
-				paid += in.W(j) * b
+		scanned := 0
+		for _, cj := range row {
+			d := drow[cj]
+			if d >= base {
+				break // sorted: every later client has zero slack
 			}
+			paid += in.W(int(cj)) * (base - d)
+			scanned++
 		}
+		preTouched.Add(int64(scanned))
 		if paid >= in.FacCost[i] {
-			isFree[i] = true
+			s.isFree[i] = true
 		}
 	})
-	c.Charge(int64(nf)*int64(nc), 1)
+	c.Charge(preTouched.Load()+int64(nf), 1)
 	for j := 0; j < nc; j++ {
 		for i := 0; i < nf; i++ {
-			if isFree[i] && in.Dist(i, j) <= base {
-				frozen[j] = true
-				alpha[j] = 0
-				freely[j] = i
+			if s.isFree[i] && in.Dist(i, j) <= base {
+				s.frozen[j] = true
+				s.alpha[j] = 0
+				s.freely[j] = i
+				s.unfrozen--
 				break
 			}
 		}
 	}
+	c.Charge(int64(nf)*int64(nc), 1)
 	for i := 0; i < nf; i++ {
-		if isFree[i] {
+		if s.isFree[i] {
 			res.FreeFacilities++
+			s.unopened--
+			s.markOpen(i)
+			// Clients within base froze above; fast-forward the freeze
+			// pointer past them so later sweeps resume where preprocessing
+			// stopped. (Unfrozen clients inside the prefix — those whose
+			// nearest free facility is a different one — are still frozen,
+			// just against that other facility, so skipping is safe: the
+			// frozen bit is what the sweep checks.)
+			row := s.order.Row(i)
+			drow := in.D.Row(i)
+			p := int32(0)
+			for int(p) < nc && drow[row[p]] <= base {
+				p++
+			}
+			s.openPtr[i] = p
 		}
-	}
-
-	unfrozenCount := func() int {
-		return par.Count(c, nc, func(j int) bool { return !frozen[j] })
-	}
-	unopenedCount := func() int {
-		return par.Count(c, nf, func(i int) bool { return !opened[i] && !isFree[i] })
 	}
 
 	// Main loop: α_j = γ/m²·(1+ε)^ℓ for unfrozen clients.
 	maxIter := int(3*math.Log(m+2)/math.Log(onePlus)) + int(math.Log(float64(nc)+2)/math.Log(onePlus)) + 16
-	tl := base
+	raiseBody := func(j int) {
+		if !s.frozen[j] {
+			s.alpha[j] = s.tl
+		}
+	}
+	s.tl = base
 	for iter := 0; iter < maxIter; iter++ {
 		if err := par.CtxErr(ctx); err != nil {
 			return nil, err
 		}
-		if unfrozenCount() == 0 {
+		if s.unfrozen == 0 {
 			break
 		}
-		if unopenedCount() == 0 {
+		if s.unopened == 0 {
 			// All facilities open: the remaining clients reach the nearest
 			// open facility at α_j = min_i d(j,i).
 			c.For(nc, func(j int) {
-				if frozen[j] {
+				if s.frozen[j] {
 					return
 				}
 				best := math.Inf(1)
 				for i := 0; i < nf; i++ {
-					if opened[i] || isFree[i] {
+					if s.opened[i] || s.isFree[i] {
 						if d := in.Dist(i, j); d < best {
 							best = d
 						}
 					}
 				}
-				alpha[j] = best
-				frozen[j] = true
+				s.alpha[j] = best
+				s.frozen[j] = true
 			})
 			c.Charge(int64(nf)*int64(nc), 1)
+			s.unfrozen = 0
 			break
 		}
 		res.Iterations++
+		s.thr = onePlus * s.tl
 		// Step 1: raise unfrozen duals to the schedule level.
-		c.For(nc, func(j int) {
-			if !frozen[j] {
-				alpha[j] = tl
-			}
-		})
+		c.For(nc, raiseBody)
 		// Step 2: open facilities whose (weighted) slack payments cover them.
-		c.For(nf, func(i int) {
-			if opened[i] || isFree[i] {
-				return
-			}
-			drow := in.D.Row(i)
-			paid := 0.0
-			for j := 0; j < nc; j++ {
-				if b := onePlus*alpha[j] - drow[j]; b > 0 {
-					paid += in.W(j) * b
-				}
-			}
-			if paid >= in.FacCost[i] {
-				opened[i] = true
-			}
-		})
-		c.Charge(int64(nf)*int64(nc), 1)
+		eng.payments()
+		s.foldJustOpened()
 		// Step 3: freeze clients that reach an opened facility (free
 		// facilities are open too — they were opened in preprocessing).
-		c.For(nc, func(j int) {
-			if frozen[j] {
-				return
-			}
-			for i := 0; i < nf; i++ {
-				if (opened[i] || isFree[i]) && onePlus*alpha[j] >= in.Dist(i, j) {
-					frozen[j] = true
-					return
-				}
-			}
-		})
-		c.Charge(int64(nf)*int64(nc), 1)
-		tl *= onePlus
+		eng.freezes()
+		s.tl *= onePlus
 	}
 	// Unconditional feasibility: if the iteration cap fired with clients
 	// still unfrozen (cannot happen within the bound), connect them.
 	c.For(nc, func(j int) {
-		if frozen[j] {
+		if s.frozen[j] {
 			return
 		}
 		best := math.Inf(1)
@@ -196,9 +287,13 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 				best = d
 			}
 		}
-		alpha[j] = best
-		frozen[j] = true
+		s.alpha[j] = best
+		s.frozen[j] = true
 	})
+	alpha := s.alpha
+	opened := s.opened
+	isFree := s.isFree
+	freely := s.freely
 
 	// H = (F_T, C, E): edges where (1+ε)α_j > d(j,i), i tentatively open.
 	ft := par.PackIndex(c, nf, func(i int) bool { return opened[i] })

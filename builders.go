@@ -119,6 +119,14 @@ func ReadKInstance(r io.Reader) (*KInstance, error) { return core.ReadKInstance(
 // WriteKInstance serializes ki as JSON.
 func WriteKInstance(w io.Writer, ki *KInstance) error { return core.WriteKInstance(w, ki) }
 
+// InstanceHash returns the content address of in — the hex SHA-256 of its
+// canonical wire encoding — the key the serving layer's instance store and
+// solution cache are built on.
+func InstanceHash(in *Instance) (string, error) { return core.InstanceHash(in) }
+
+// KInstanceHash returns the content address of ki.
+func KInstanceHash(ki *KInstance) (string, error) { return core.KInstanceHash(ki) }
+
 // GenerateUniform returns a random instance with nf facilities and nc
 // clients uniform in a square, and opening costs uniform in [costLo, costHi].
 // Deterministic per seed — the workload of experiments E1/E3/E5.

@@ -1,0 +1,94 @@
+// Command faclocd is the facility-location daemon: a long-running HTTP +
+// NDJSON service over the solver registry, with a content-addressed
+// instance store, a solution cache whose hits return byte-identical
+// reports without re-solving, an admission-controlled solve queue, and a
+// high-QPS assignment query path over cached solutions.
+//
+// Start it, submit an instance, solve, query:
+//
+//	faclocd -addr :8649 &
+//	hash=$(faclocgen -nf 8 -nc 40 | curl -s --data-binary @- localhost:8649/instances | jq -r .hash)
+//	id=$(curl -s -d '{"hash":"'$hash'","solver":"pd-par","seed":7}' localhost:8649/solve | jq -r .id)
+//	curl -s "localhost:8649/solutions/$id/assign?client=3"
+//
+// Batch NDJSON workloads stream through POST /batch — or transparently via
+// `faclocsolve -addr host:port`, whose output is byte-identical to a local
+// `faclocsolve -jobs` run. GET /metrics exposes cache hit/miss and
+// admission counters. SIGTERM/SIGINT drain gracefully: queued solves fail
+// fast, in-flight solves finish (up to -drain-timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8649", "listen address")
+	inflight := flag.Int("inflight", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max waiting solves before 503 (0 = 4x inflight)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 64 MiB)")
+	denseLimit := flag.Int("dense-limit", 0, "default lazy->dense materialization cap (0 = library default; per-request dense_limit overrides)")
+	timeout := flag.Duration("timeout", 0, "default per-solve deadline (0 = none; per-request timeout_ms overrides)")
+	maxInstances := flag.Int("max-instances", 0, "instance store cap, FIFO eviction (0 = 4096)")
+	maxSolutions := flag.Int("max-solutions", 0, "solution cache cap, FIFO eviction (0 = 4096)")
+	batchJobs := flag.Int("batch-jobs", 0, "max worker-pool width per /batch request (0 = inflight)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before in-flight solves are cancelled")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxInflight:    *inflight,
+		MaxQueue:       *queue,
+		MaxBody:        *maxBody,
+		DenseLimit:     *denseLimit,
+		DefaultTimeout: *timeout,
+		MaxInstances:   *maxInstances,
+		MaxSolutions:   *maxSolutions,
+		BatchJobs:      *batchJobs,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "faclocd: serving on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "faclocd: draining (budget %s)\n", *drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Solve-queue drain first (queued work fails fast, in-flight work
+	// finishes), then the HTTP listener so response writes complete.
+	if err := srv.Shutdown(shCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "faclocd: drain budget exceeded, in-flight solves cancelled: %v\n", err)
+	}
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "faclocd: stopped")
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "faclocd:", err)
+	os.Exit(1)
+}

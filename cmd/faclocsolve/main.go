@@ -18,6 +18,14 @@
 //
 //	faclocgen -huge -kind kmed -n 1000000 -k 50 | faclocsolve -solver kmedian-coreset
 //
+// Client mode: -addr sends the NDJSON instance stream to a running faclocd
+// daemon's POST /batch instead of solving in-process. The daemon emits
+// results in input order through the same encoder, so output is
+// byte-identical to a local -jobs run (and repeated submissions hit the
+// daemon's solution cache):
+//
+//	faclocgen -count 200 | faclocsolve -addr localhost:8649 -solver greedy-par -seed 42
+//
 // Discovery:
 //
 //	faclocsolve -list
@@ -25,15 +33,18 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"time"
 
 	facloc "repro"
 	"repro/internal/core"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -45,6 +56,8 @@ func main() {
 	track := flag.Bool("track", true, "track PRAM work/span")
 	timeout := flag.Duration("timeout", 0, "per-solve deadline (0 = none)")
 	jobs := flag.Int("jobs", 0, "batch mode: solve a NDJSON instance stream with this many concurrent jobs")
+	denseLimit := flag.Int("dense-limit", 0, "lazy->dense materialization cap per solve (0 = library default)")
+	addr := flag.String("addr", "", "client mode: submit the NDJSON instance stream to a faclocd daemon at host:port")
 	list := flag.Bool("list", false, "list registered solvers and exit")
 	flag.Parse()
 
@@ -64,7 +77,7 @@ func main() {
 		name = legacy
 	}
 
-	o := facloc.Options{Epsilon: *eps, Seed: *seed, Workers: *workers, TrackCost: *track}
+	o := facloc.Options{Epsilon: *eps, Seed: *seed, Workers: *workers, TrackCost: *track, DenseLimit: *denseLimit}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 1 {
@@ -80,11 +93,51 @@ func main() {
 		in = f
 	}
 
+	if *addr != "" {
+		runRemote(*addr, name, in, o, *jobs, *timeout)
+		return
+	}
 	if *jobs > 0 {
 		runBatch(name, in, o, *jobs, *timeout)
 		return
 	}
 	runSingle(name, in, o, *timeout)
+}
+
+// runRemote streams the NDJSON instances to a faclocd daemon's POST /batch
+// and copies the NDJSON result stream to stdout. The daemon emits results
+// in input order through the same encoder local batch mode uses, so the
+// output is byte-identical to `faclocsolve -jobs` run locally.
+func runRemote(addr, solver string, r io.Reader, o facloc.Options, jobs int, timeout time.Duration) {
+	q := url.Values{}
+	q.Set("solver", solver)
+	q.Set("seed", strconv.FormatInt(o.Seed, 10))
+	q.Set("eps", strconv.FormatFloat(o.Epsilon, 'g', -1, 64))
+	if jobs > 0 {
+		q.Set("jobs", strconv.Itoa(jobs))
+	}
+	if o.Workers > 0 {
+		q.Set("workers", strconv.Itoa(o.Workers))
+	}
+	if o.DenseLimit > 0 {
+		q.Set("dense_limit", strconv.Itoa(o.DenseLimit))
+	}
+	if timeout > 0 {
+		q.Set("timeout_ms", strconv.FormatInt(timeout.Milliseconds(), 10))
+	}
+	resp, err := http.Post("http://"+addr+"/batch?"+q.Encode(), "application/x-ndjson", r)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatal(fmt.Errorf("daemon at %s: %s: %s", addr, resp.Status, string(body)))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fatal(fmt.Errorf("result stream from %s aborted: %w", addr, err))
+	}
+	fmt.Fprintf(os.Stderr, "faclocsolve: remote batch complete (%s via %s)\n", solver, addr)
 }
 
 func listSolvers() {
@@ -157,20 +210,9 @@ func runSingle(name string, r io.Reader, o facloc.Options, timeout time.Duration
 	fatal(fmt.Errorf("unknown solver %q (use -list)", name))
 }
 
-// batchLine is one NDJSON output record. Timing is deliberately excluded so
-// the output stream is byte-identical for any -jobs value. The solution
-// fields are pointers so a legitimate zero cost is distinguishable from a
-// failed solve: they are all present exactly when "error" is absent.
-type batchLine struct {
-	Index          int      `json:"index"`
-	Seed           int64    `json:"seed"`
-	Cost           *float64 `json:"cost,omitempty"`
-	FacilityCost   *float64 `json:"facility_cost,omitempty"`
-	ConnectionCost *float64 `json:"connection_cost,omitempty"`
-	Open           []int    `json:"open,omitempty"`
-	Error          string   `json:"error,omitempty"`
-}
-
+// runBatch solves an NDJSON instance stream locally, emitting the same
+// serve.BatchLine NDJSON records the faclocd /batch endpoint streams — one
+// encoder for both paths is what keeps -addr output byte-identical.
 func runBatch(name string, r io.Reader, o facloc.Options, jobs int, timeout time.Duration) {
 	s, ok := facloc.Lookup(name)
 	if !ok {
@@ -182,24 +224,7 @@ func runBatch(name string, r io.Reader, o facloc.Options, jobs int, timeout time
 		MasterSeed: o.Seed,
 		Base:       o,
 	})
-	enc := json.NewEncoder(os.Stdout)
-	solved, failed := 0, 0
-	err := b.Run(context.Background(), facloc.NewInstanceStream(r), func(res facloc.BatchResult) error {
-		line := batchLine{Index: res.Index, Seed: res.Seed}
-		if res.Err != nil {
-			failed++
-			line.Error = res.Err.Error()
-		} else {
-			solved++
-			sol := res.Report.Solution
-			cost := sol.Cost()
-			line.Cost = &cost
-			line.FacilityCost = &sol.FacilityCost
-			line.ConnectionCost = &sol.ConnectionCost
-			line.Open = sol.Open
-		}
-		return enc.Encode(line)
-	})
+	solved, failed, err := serve.WriteBatch(context.Background(), b, facloc.NewInstanceStream(r), os.Stdout)
 	if err != nil {
 		fatal(err)
 	}

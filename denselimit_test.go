@@ -1,0 +1,51 @@
+package facloc
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestOptionsDenseLimit pins the per-request densification guard: the
+// default stays core.DenseLimit, a lowered limit turns the dense path into
+// an error instead of an allocation, a raised-but-sufficient limit admits
+// the solve, and the limit never changes what a successful solve returns.
+func TestOptionsDenseLimit(t *testing.T) {
+	in := GenerateHugeUFL(1, 10, 50) // lazy point-backed, 10x50
+	ctx := context.Background()
+
+	def, err := Solve(ctx, "greedy-par", in, Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("default limit should admit a 10x50 instance: %v", err)
+	}
+
+	if _, err := Solve(ctx, "greedy-par", in, Options{Seed: 3, DenseLimit: 20}); err == nil {
+		t.Fatal("50 clients should not densify under DenseLimit 20")
+	} else if !strings.Contains(err.Error(), "dense limit 20") {
+		t.Fatalf("error does not name the per-request limit: %v", err)
+	}
+
+	capped, err := Solve(ctx, "greedy-par", in, Options{Seed: 3, DenseLimit: 50})
+	if err != nil {
+		t.Fatalf("DenseLimit 50 should admit a 10x50 instance: %v", err)
+	}
+	if !reflect.DeepEqual(def.Solution, capped.Solution) {
+		t.Fatal("DenseLimit changed a successful solution")
+	}
+}
+
+func TestOptionsCanonical(t *testing.T) {
+	a := Options{Seed: 7, Workers: 8, TrackCost: true, DenseLimit: 123}
+	b := Options{Epsilon: 0.3, Seed: 7}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("options that cannot change a solution canonicalized differently: %+v vs %+v",
+			a.Canonical(), b.Canonical())
+	}
+	if a.Canonical() == (Options{Epsilon: 0.3, Seed: 8}).Canonical() {
+		t.Fatal("different seeds canonicalized identically")
+	}
+	if a.Canonical() == (Options{Epsilon: 0.5, Seed: 7}).Canonical() {
+		t.Fatal("different epsilons canonicalized identically")
+	}
+}

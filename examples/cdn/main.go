@@ -7,11 +7,26 @@
 // trace bound.
 //
 //	go run ./examples/cdn
+//
+// Serving the same placement: with a per-server build cost instead of a hard
+// budget k, CDN placement is a UFL instance, and a faclocd daemon computes
+// it once, caches it, and answers "which edge server handles this city /
+// this coordinate" lookups at high QPS. -emit prints that instance
+// (point-backed, every city a candidate server site at cost 30):
+//
+//	go run ./cmd/faclocd -addr :8649 &
+//	go run ./examples/cdn -emit > cdn.json
+//	curl -s --data-binary @cdn.json localhost:8649/instances          # -> {"hash":H,...}
+//	curl -s -d '{"hash":"H","solver":"greedy-par","seed":7}' localhost:8649/solve   # -> {"id":ID,...}
+//	curl -s "localhost:8649/solutions/ID/assign?client=3"             # city 3's server
+//	curl -s "localhost:8649/solutions/ID/nearest?x=60,30"             # nearest server to a map point
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
+	"os"
 
 	facloc "repro"
 )
@@ -27,6 +42,15 @@ var cities = [][]float64{
 }
 
 func main() {
+	emit := flag.Bool("emit", false, "print the UFL serving instance (point-backed JSON) for faclocd and exit")
+	flag.Parse()
+	if *emit {
+		if err := emitServingInstance(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cdn:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	for _, k := range []int{3, 4, 5} {
 		ki, err := facloc.KFromPoints(cities, k)
 		if err != nil {
@@ -51,4 +75,28 @@ func main() {
 // probeBound is ⌈log₂ |D|⌉+1 with |D| ≤ n(n-1)/2 distinct distances.
 func probeBound(n int) int {
 	return int(math.Ceil(math.Log2(float64(n*(n-1)/2)))) + 1
+}
+
+// emitServingInstance writes the UFL form of the placement for a faclocd
+// daemon: every city is both a candidate server site (opening cost 30, the
+// per-server build cost that replaces the hard budget k) and a client. The
+// instance is point-backed, so the daemon's coordinate query path can
+// answer nearest-server lookups for arbitrary map points.
+func emitServingInstance(w *os.File) error {
+	coords := make([]float64, 0, 4*len(cities))
+	for _, c := range cities { // server sites first…
+		coords = append(coords, c...)
+	}
+	for _, c := range cities { // …then the same cities as clients
+		coords = append(coords, c...)
+	}
+	costs := make([]float64, len(cities))
+	for i := range costs {
+		costs[i] = 30
+	}
+	in, err := facloc.FromCoords(2, coords, len(cities), costs)
+	if err != nil {
+		return err
+	}
+	return facloc.WriteInstance(w, in)
 }

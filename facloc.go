@@ -20,6 +20,11 @@
 //     small weighted ones without materializing a distance matrix; client
 //     weights thread through every solver family, so solve-on-coreset is
 //     exact with respect to the weighted objective.
+//   - A serving layer (internal/serve behind cmd/faclocd): a content-
+//     addressed instance store (InstanceHash), a solution cache whose hits
+//     return byte-identical reports without re-solving, an admission-
+//     controlled solve queue with graceful drain, and a zero-allocation
+//     assignment query path over cached solutions.
 //
 // All parallel algorithms run on goroutines and additionally account
 // work/span in the paper's PRAM cost model, so the asymptotic claims can be
@@ -71,6 +76,22 @@ type Options struct {
 	Workers int
 	// TrackCost enables the PRAM work/span tally (small overhead).
 	TrackCost bool
+	// DenseLimit caps lazy→dense materialization for this solve: a
+	// point-backed instance whose facility or client count exceeds it
+	// refuses to densify (directing callers at the *-coreset solvers)
+	// instead of allocating the matrix. 0 means core.DenseLimit. It bounds a
+	// solve's memory; it never changes a successful solution.
+	DenseLimit int
+}
+
+// Canonical reduces o to the fields a solution can depend on — the
+// solution-cache identity the serving layer keys on. Epsilon is resolved to
+// its default; Workers and TrackCost are cleared (every solver is bitwise
+// deterministic across worker counts, and the tally never touches the
+// solution); DenseLimit is cleared (it gates densification — it can turn a
+// solve into an error, never change what a successful one returns).
+func (o Options) Canonical() Options {
+	return Options{Epsilon: o.eps(), Seed: o.Seed}
 }
 
 func (o Options) ctx() (*par.Ctx, *par.Tally) {

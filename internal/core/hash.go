@@ -1,0 +1,39 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Content addressing for the serving layer: an instance's identity is the
+// SHA-256 of its canonical wire encoding (the exact bytes WriteInstance /
+// WriteKInstance emit). Hashing the *re-encoding* of the in-memory value —
+// not whatever bytes arrived — makes the address independent of JSON
+// formatting: two submissions that decode to the same instance (whitespace,
+// field order, number spelling) land on the same store entry. encoding/json
+// emits struct fields in declaration order and floats in their shortest
+// round-trip form, so the encoding — and the hash — is deterministic. Dense
+// and point-backed forms encode differently and therefore hash differently:
+// they are different artifacts (one carries coordinates, one a matrix), even
+// when they induce the same distances.
+
+// InstanceHash returns the content address of in: the hex SHA-256 of its
+// wire encoding. It fails only where WriteInstance does (a lazy backing that
+// is not Euclidean).
+func InstanceHash(in *Instance) (string, error) {
+	h := sha256.New()
+	if err := WriteInstance(h, in); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// KInstanceHash returns the content address of ki, as InstanceHash does for
+// UFL instances.
+func KInstanceHash(ki *KInstance) (string, error) {
+	h := sha256.New()
+	if err := WriteKInstance(h, ki); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

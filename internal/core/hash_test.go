@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+func hashTestInstance(t *testing.T) *Instance {
+	t.Helper()
+	in := &Instance{
+		NF:      2,
+		NC:      3,
+		FacCost: []float64{1.5, 2.25},
+	}
+	d, err := metric.FromRows(nil, [][]float64{{1, 2, 3}, {2, 1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.D = d
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestInstanceHashDeterministic(t *testing.T) {
+	in := hashTestInstance(t)
+	h1, err := InstanceHash(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := InstanceHash(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("same instance hashed to %s and %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not hex SHA-256", h1)
+	}
+}
+
+// TestInstanceHashFormattingInvariant pins the content-addressing contract:
+// the hash is over the canonical re-encoding, so JSON spelling differences
+// (whitespace, field order) that decode to the same instance land on the
+// same address.
+func TestInstanceHashFormattingInvariant(t *testing.T) {
+	in := hashTestInstance(t)
+	want, err := InstanceHash(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Reformat: inject whitespace and reorder by rebuilding by hand.
+	variants := []string{
+		strings.ReplaceAll(buf.String(), ",", " , "),
+		"{\n  \"distance\": [[1,2,3],[2,1,4]],\n  \"nc\": 3,\n  \"nf\": 2,\n  \"facility_costs\": [1.5, 2.25]\n}",
+	}
+	for i, v := range variants {
+		got, err := ReadInstance(strings.NewReader(v))
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		h, err := InstanceHash(got)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if h != want {
+			t.Fatalf("variant %d hashed to %s, want %s", i, h, want)
+		}
+	}
+}
+
+func TestInstanceHashDistinguishesContent(t *testing.T) {
+	in := hashTestInstance(t)
+	base, err := InstanceHash(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	costlier := hashTestInstance(t)
+	costlier.FacCost[0] = 99
+	h, err := InstanceHash(costlier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == base {
+		t.Fatal("different facility costs hashed identically")
+	}
+
+	weighted := hashTestInstance(t)
+	weighted.CWeight = []float64{1, 2, 1}
+	h, err = InstanceHash(weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == base {
+		t.Fatal("weighted and unweighted instances hashed identically")
+	}
+}
+
+// TestInstanceHashBackingsDiffer: dense and point-backed forms are
+// different artifacts (coordinates vs a matrix) and hash differently even
+// when they induce the same distances.
+func TestInstanceHashBackingsDiffer(t *testing.T) {
+	sp := &metric.Euclidean{Dim: 1, Coords: []float64{0, 1, 3}}
+	lazy := FromSpaceLazy(sp, []int{0}, []int{1, 2}, []float64{5})
+	dense, err := lazy.Densified(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := InstanceHash(lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := InstanceHash(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl == hd {
+		t.Fatal("lazy and dense backings hashed identically")
+	}
+
+	// And the lazy form round-trips to the same address.
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, lazy); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := InstanceHash(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb != hl {
+		t.Fatalf("lazy round trip moved the address: %s -> %s", hl, hb)
+	}
+}
+
+func TestKInstanceHash(t *testing.T) {
+	ki := &KInstance{N: 3, K: 2, Points: &metric.Euclidean{Dim: 2, Coords: []float64{0, 0, 1, 0, 0, 1}}}
+	if err := ki.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := KInstanceHash(ki)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ki2 := &KInstance{N: 3, K: 3, Points: ki.Points}
+	h2, err := KInstanceHash(ki2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("different budgets hashed identically")
+	}
+}
+
+func TestDensifiedCap(t *testing.T) {
+	sp := &metric.Euclidean{Dim: 1, Coords: []float64{0, 1, 2, 3, 4, 5}}
+	lazy := FromSpaceLazy(sp, []int{0, 1}, []int{2, 3, 4, 5}, []float64{1, 1})
+
+	if _, err := lazy.DensifiedCap(nil, 3); err == nil {
+		t.Fatal("4 clients should not densify under cap 3")
+	} else if !strings.Contains(err.Error(), "dense limit 3") {
+		t.Fatalf("error does not name the cap: %v", err)
+	}
+	dense, err := lazy.DensifiedCap(nil, 4)
+	if err != nil {
+		t.Fatalf("cap 4 should admit a 2x4 instance: %v", err)
+	}
+	if dense.D == nil {
+		t.Fatal("densified instance has no matrix")
+	}
+	// Already-dense instances pass through any cap untouched.
+	if again, err := dense.DensifiedCap(nil, 1); err != nil || again != dense {
+		t.Fatalf("dense instance should pass through: %v", err)
+	}
+
+	ki := KFromSpaceLazy(sp, 2)
+	if _, err := ki.DensifiedCap(nil, 5); err == nil {
+		t.Fatal("6 nodes should not densify under cap 5")
+	}
+	if _, err := ki.DensifiedCap(nil, 6); err != nil {
+		t.Fatalf("cap 6 should admit 6 nodes: %v", err)
+	}
+}

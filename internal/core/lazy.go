@@ -52,12 +52,24 @@ func KFromSpaceLazy(sp metric.Space, k int) *KInstance {
 // parallel. Instances with max(nf, nc) > DenseLimit return an error naming
 // the coreset alternative instead of attempting the allocation.
 func (in *Instance) Densified(c *par.Ctx) (*Instance, error) {
+	return in.DensifiedCap(c, 0)
+}
+
+// DensifiedCap is Densified with a per-call materialization guard: limit
+// replaces DenseLimit as the largest side length allowed (limit <= 0 keeps
+// the default). This is what makes the guard a per-request knob — the
+// serving layer lowers it to bound a request's memory, tests raise it —
+// instead of a hard-coded constant.
+func (in *Instance) DensifiedCap(c *par.Ctx, limit int) (*Instance, error) {
 	if in.D != nil {
 		return in, nil
 	}
-	if in.NF > DenseLimit || in.NC > DenseLimit {
+	if limit <= 0 {
+		limit = DenseLimit
+	}
+	if in.NF > limit || in.NC > limit {
 		return nil, fmt.Errorf("core: %d×%d instance exceeds the dense limit %d; use a *-coreset solver",
-			in.NF, in.NC, DenseLimit)
+			in.NF, in.NC, limit)
 	}
 	denseBuilds.Add(1)
 	out := *in
@@ -71,12 +83,20 @@ func (in *Instance) Densified(c *par.Ctx) (*Instance, error) {
 // Instances with n > DenseLimit return an error naming the coreset
 // alternative instead of attempting the allocation.
 func (ki *KInstance) Densified(c *par.Ctx) (*KInstance, error) {
+	return ki.DensifiedCap(c, 0)
+}
+
+// DensifiedCap is Densified with a per-call guard, as Instance.DensifiedCap.
+func (ki *KInstance) DensifiedCap(c *par.Ctx, limit int) (*KInstance, error) {
 	if ki.Dist != nil {
 		return ki, nil
 	}
-	if ki.N > DenseLimit {
+	if limit <= 0 {
+		limit = DenseLimit
+	}
+	if ki.N > limit {
 		return nil, fmt.Errorf("core: %d-point k-instance exceeds the dense limit %d; use a *-coreset solver",
-			ki.N, DenseLimit)
+			ki.N, limit)
 	}
 	denseBuilds.Add(1)
 	out := *ki

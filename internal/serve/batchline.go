@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+
+	facloc "repro"
+)
+
+// BatchLine is one NDJSON record of a batch solve stream — the format
+// `faclocsolve -jobs` prints and POST /batch returns. Both sides emit it
+// through WriteBatch, which is what makes remote output byte-identical to a
+// local run: same struct, same encoder, same in-order emission. Timing is
+// deliberately excluded so the stream is independent of pool width and of
+// cache state. The solution fields are pointers so a legitimate zero cost
+// is distinguishable from a failed solve: they are present exactly when
+// "error" is absent.
+type BatchLine struct {
+	Index          int      `json:"index"`
+	Seed           int64    `json:"seed"`
+	Cost           *float64 `json:"cost,omitempty"`
+	FacilityCost   *float64 `json:"facility_cost,omitempty"`
+	ConnectionCost *float64 `json:"connection_cost,omitempty"`
+	Open           []int    `json:"open,omitempty"`
+	Error          string   `json:"error,omitempty"`
+}
+
+// WriteBatch runs b over src, writing one BatchLine per instance to w in
+// input order, and returns the solved/failed split. Per-solve failures
+// (deadlines, oversized densifications) become error lines and do not abort
+// the stream; the returned error is reserved for fatal conditions — source
+// decode failures, context cancellation, a failed write.
+func WriteBatch(ctx context.Context, b *facloc.Batch, src facloc.Source, w io.Writer) (solved, failed int, err error) {
+	enc := json.NewEncoder(w)
+	err = b.Run(ctx, src, func(res facloc.BatchResult) error {
+		line := BatchLine{Index: res.Index, Seed: res.Seed}
+		if res.Err != nil {
+			failed++
+			line.Error = res.Err.Error()
+		} else {
+			solved++
+			sol := res.Report.Solution
+			cost := sol.Cost()
+			line.Cost = &cost
+			line.FacilityCost = &sol.FacilityCost
+			line.ConnectionCost = &sol.ConnectionCost
+			line.Open = sol.Open
+		}
+		return enc.Encode(line)
+	})
+	return solved, failed, err
+}

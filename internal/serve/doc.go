@@ -1,0 +1,41 @@
+// Package serve is the long-running facility-location service behind
+// cmd/faclocd: the layer that turns the solver library into a system.
+//
+// It keeps three pieces of shared state:
+//
+//   - An instance store, content-addressed by the SHA-256 of each instance's
+//     canonical wire encoding (core.InstanceHash). Dense and lazy
+//     point-backed forms are both accepted; resubmitting the same content is
+//     a no-op that returns the same hash.
+//   - A solution cache keyed by (instance hash, solver name, canonicalized
+//     Options, seed). Every registered solver is bitwise deterministic for a
+//     fixed seed, so a hit returns the stored Report — byte-identical to the
+//     first response — without re-solving.
+//   - Per-solution query structures (the open-facility list, the per-client
+//     assignment and distance arrays, and a k-d tree over the open
+//     facilities of point-backed instances) that answer "nearest open
+//     facility" lookups with zero allocation in steady state.
+//
+// Solves run through the registry/Batch machinery behind an
+// admission-controlled queue: at most MaxInflight concurrent solves, a
+// bounded waiting line beyond which requests are rejected immediately
+// (503), per-request deadlines mapped to context cancellation, and a
+// graceful drain on Shutdown that fails queued work fast, lets in-flight
+// solves finish, and hard-cancels them only when the drain deadline
+// expires. Lazy point-backed instances whose sides exceed the request's
+// dense limit are auto-routed to the matching *-coreset solver.
+//
+// The HTTP surface (all JSON; streams are NDJSON):
+//
+//	POST /instances               submit an instance, get its hash
+//	GET  /instances/{hash}        instance metadata
+//	POST /solve                   solve by hash or inline instance
+//	POST /batch?solver=...        NDJSON instance stream in, NDJSON results out
+//	GET  /solutions/{id}          the cached report
+//	GET  /solutions/{id}/assign   ?client=j: client j's open facility
+//	GET  /solutions/{id}/nearest  ?x=a,b: nearest open facility to a coordinate
+//	POST /solutions/{id}/query    NDJSON query stream in, NDJSON answers out
+//	GET  /solvers                 the solver registry
+//	GET  /metrics                 counters, text exposition format
+//	GET  /healthz                 liveness (503 while draining)
+package serve

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	facloc "repro"
+)
+
+// FuzzServeRequest fuzzes the /solve request decoder — the surface every
+// untrusted byte entering the daemon's solve path crosses. The contract:
+// any input yields a request or an error, never a panic, with memory
+// bounded by the byte cap; an accepted inline instance is always valid.
+func FuzzServeRequest(f *testing.F) {
+	// A hash-addressed request.
+	f.Add([]byte(`{"hash":"` + strings.Repeat("ab", 32) + `","solver":"greedy-par","seed":7}`))
+	// Inline dense and point-form instances.
+	var dense bytes.Buffer
+	if err := facloc.WriteInstance(&dense, facloc.GenerateUniform(1, 3, 5, 1, 6)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(`{"instance":` + strings.TrimSpace(dense.String()) + `,"solver":"pd-par","eps":0.5}`))
+	var lazy bytes.Buffer
+	if err := facloc.WriteInstance(&lazy, facloc.GenerateHugeUFL(2, 4, 9)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(`{"instance":` + strings.TrimSpace(lazy.String()) + `,"solver":"greedy-coreset","dense_limit":5,"timeout_ms":100}`))
+	// Malformed shapes.
+	f.Add([]byte(`{"hash":1}`))
+	f.Add([]byte(`{"solver":"x","instance":{"nf":-1,"nc":0,"distance":[[]]}}`))
+	f.Add([]byte(`{"solver":"x","instance":{"nf":1,"nc":1,"points":{"dim":0,"coords":[]},"facility_costs":[1]}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{}`))
+	f.Add(bytes.Repeat([]byte(`[`), 4096))
+
+	const cap = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, in, err := DecodeSolveRequest(bytes.NewReader(data), cap)
+		if err != nil {
+			if req != nil || in != nil {
+				t.Fatal("decoder returned both a value and an error")
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("decoder returned neither a request nor an error")
+		}
+		if req.Solver == "" {
+			t.Fatal("accepted request names no solver")
+		}
+		if (req.Hash != "") == (len(req.Instance) > 0) {
+			t.Fatalf("accepted request with hash=%q and %d instance bytes", req.Hash, len(req.Instance))
+		}
+		if len(req.Instance) > 0 {
+			if in == nil {
+				t.Fatal("inline instance accepted but not decoded")
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("accepted instance fails validation: %v", err)
+			}
+		}
+		if req.TimeoutMS < 0 || req.DenseLimit < 0 || req.Epsilon < 0 {
+			t.Fatalf("accepted negative knobs: %+v", req)
+		}
+		// The options mapping must stay total on accepted requests.
+		_ = req.Options(0)
+	})
+}
+
+// FuzzServeRequestOversized pins the byte cap: a stream longer than the cap
+// fails with errBodyTooLarge before any JSON work happens.
+func FuzzServeRequestOversized(f *testing.F) {
+	big, err := json.Marshal(SolveRequest{Hash: strings.Repeat("a", 4096), Solver: "x"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(big, int64(64))
+	f.Fuzz(func(t *testing.T, data []byte, cap int64) {
+		if cap <= 0 || cap > 1<<20 {
+			return
+		}
+		_, _, err := DecodeSolveRequest(bytes.NewReader(data), cap)
+		if int64(len(data)) > cap && err == nil {
+			t.Fatalf("%d bytes accepted past cap %d", len(data), cap)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"math"
+	"sort"
+)
+
+// kdTree is a static k-d tree over the open facilities of a point-backed
+// instance, built once per cached solution and queried on the hot path. The
+// tree is index-based (flat slices, no per-node pointers) and its Nearest
+// search allocates nothing, which is what the zero-allocation steady-state
+// contract of the query path rests on.
+//
+// Ties are broken toward the smallest facility index — exactly the answer a
+// sequential scan over the ascending open list with a strict `<` produces —
+// so tree answers are interchangeable with brute-force recomputation. To
+// keep that exact, the far subtree is visited when the splitting plane is at
+// distance *equal* to the current best, not only strictly closer: an
+// equal-distance point with a smaller index may live there.
+type kdTree struct {
+	dim    int
+	coords []float64 // node n's point at coords[n*dim : (n+1)*dim]
+	fac    []int     // node n's facility index (into the instance)
+	left   []int32   // children; -1 = none
+	right  []int32
+	root   int32
+}
+
+// newKDTree builds the tree over the given facility points: pts is
+// len(fac)·dim flat, fac the corresponding facility indices.
+func newKDTree(dim int, pts []float64, fac []int) *kdTree {
+	n := len(fac)
+	t := &kdTree{
+		dim:    dim,
+		coords: append([]float64(nil), pts...),
+		fac:    append([]int(nil), fac...),
+		left:   make([]int32, n),
+		right:  make([]int32, n),
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	t.root = t.build(order, 0)
+	return t
+}
+
+// build arranges order[lo:hi] into a subtree and returns its root node. The
+// median split sorts by (axis coordinate, facility index) so the structure
+// is deterministic even with duplicate points.
+func (t *kdTree) build(order []int32, depth int) int32 {
+	if len(order) == 0 {
+		return -1
+	}
+	axis := depth % t.dim
+	sort.Slice(order, func(a, b int) bool {
+		ca := t.coords[int(order[a])*t.dim+axis]
+		cb := t.coords[int(order[b])*t.dim+axis]
+		if ca != cb {
+			return ca < cb
+		}
+		return t.fac[order[a]] < t.fac[order[b]]
+	})
+	mid := len(order) / 2
+	node := order[mid]
+	t.left[node] = t.build(order[:mid], depth+1)
+	t.right[node] = t.build(order[mid+1:], depth+1)
+	return node
+}
+
+// Nearest returns the facility nearest to q (len dim) and its distance,
+// breaking ties toward the smallest facility index. Zero allocations.
+func (t *kdTree) Nearest(q []float64) (fac int, d float64) {
+	d, fac = t.search(t.root, 0, q, math.Inf(1), math.MaxInt)
+	return fac, d
+}
+
+func (t *kdTree) search(node int32, depth int, q []float64, bestD float64, bestFac int) (float64, int) {
+	if node < 0 {
+		return bestD, bestFac
+	}
+	off := int(node) * t.dim
+	s := 0.0
+	for k := 0; k < t.dim; k++ {
+		diff := q[k] - t.coords[off+k]
+		s += diff * diff
+	}
+	if d := math.Sqrt(s); d < bestD || (d == bestD && t.fac[node] < bestFac) {
+		bestD, bestFac = d, t.fac[node]
+	}
+	axis := depth % t.dim
+	delta := q[axis] - t.coords[off+axis]
+	near, far := t.left[node], t.right[node]
+	if delta > 0 {
+		near, far = far, near
+	}
+	bestD, bestFac = t.search(near, depth+1, q, bestD, bestFac)
+	if math.Abs(delta) <= bestD {
+		bestD, bestFac = t.search(far, depth+1, q, bestD, bestFac)
+	}
+	return bestD, bestFac
+}

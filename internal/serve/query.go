@@ -1,0 +1,69 @@
+package serve
+
+import (
+	facloc "repro"
+	"repro/internal/metric"
+)
+
+// Handle is the hot query path of one cached solution: every structure a
+// lookup needs, precomputed at cache-insertion time so steady-state queries
+// read arrays (and walk a k-d tree for coordinate queries) without
+// allocating.
+type Handle struct {
+	open   []int     // open facilities, ascending (aliases the Solution)
+	assign []int     // client j's facility (aliases the Solution)
+	dist   []float64 // d(assign[j], j), precomputed
+	tree   *kdTree   // nil unless the instance is point-backed Euclidean
+	dim    int       // coordinate dimension (0 without a tree)
+}
+
+// newHandle precomputes the query structures for sol over in. For lazy
+// point-backed instances with a Euclidean space, a k-d tree over the open
+// facilities' coordinates enables nearest-open-facility queries for
+// arbitrary coordinates; dense instances answer client queries only.
+func newHandle(in *facloc.Instance, sol *facloc.Solution) *Handle {
+	h := &Handle{open: sol.Open, assign: sol.Assign, dist: make([]float64, in.NC)}
+	for j, i := range sol.Assign {
+		h.dist[j] = in.Dist(i, j)
+	}
+	if e, ok := in.Points.(*metric.Euclidean); ok {
+		pts := make([]float64, 0, len(sol.Open)*e.Dim)
+		for _, i := range sol.Open {
+			pts = append(pts, e.Point(in.FacIdx[i])...)
+		}
+		h.tree = newKDTree(e.Dim, pts, sol.Open)
+		h.dim = e.Dim
+	}
+	return h
+}
+
+// NumClients returns the number of clients the solution covers.
+func (h *Handle) NumClients() int { return len(h.assign) }
+
+// NumOpen returns the number of open facilities.
+func (h *Handle) NumOpen() int { return len(h.open) }
+
+// Dim returns the coordinate dimension for Nearest queries, 0 when the
+// solution has no point backing.
+func (h *Handle) Dim() int { return h.dim }
+
+// Client returns the open facility serving client j and its distance.
+// ok is false when j is out of range. Zero allocations.
+func (h *Handle) Client(j int) (fac int, d float64, ok bool) {
+	if j < 0 || j >= len(h.assign) {
+		return 0, 0, false
+	}
+	return h.assign[j], h.dist[j], true
+}
+
+// Nearest returns the open facility nearest to coordinate q and its
+// distance, ties broken toward the smallest facility index. ok is false
+// when the solution has no point backing or len(q) != Dim. Zero
+// allocations.
+func (h *Handle) Nearest(q []float64) (fac int, d float64, ok bool) {
+	if h.tree == nil || len(q) != h.dim {
+		return 0, 0, false
+	}
+	fac, d = h.tree.Nearest(q)
+	return fac, d, true
+}

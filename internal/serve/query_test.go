@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	facloc "repro"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+// solvedHandle solves a lazy point-backed instance and builds its query
+// handle — the state a cached solution serves lookups from.
+func solvedHandle(t *testing.T) (*facloc.Instance, *facloc.Solution, *Handle) {
+	t.Helper()
+	in := facloc.GenerateHugeUFL(5, 20, 300)
+	rep, err := facloc.Solve(context.Background(), "greedy-par", in, facloc.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, rep.Solution, newHandle(in, rep.Solution)
+}
+
+// euclid mirrors the kd-tree's distance arithmetic exactly (same operation
+// order), so brute force and tree answers are comparable bitwise.
+func euclid(q, p []float64) float64 {
+	s := 0.0
+	for k := range q {
+		d := q[k] - p[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// bruteNearest is the reference the acceptance criterion names: a linear
+// scan over the open facilities with strict improvement, i.e. the smallest
+// index among the minima.
+func bruteNearest(e *metric.Euclidean, facIdx []int, open []int, q []float64) (int, float64) {
+	best, bestI := math.Inf(1), -1
+	for _, i := range open {
+		if d := euclid(q, e.Point(facIdx[i])); d < best {
+			best, bestI = d, i
+		}
+	}
+	return bestI, best
+}
+
+func TestHandleClientMatchesAssign(t *testing.T) {
+	in, sol, h := solvedHandle(t)
+	if h.NumClients() != in.NC || h.NumOpen() != len(sol.Open) {
+		t.Fatalf("handle shape %d/%d, want %d/%d", h.NumClients(), h.NumOpen(), in.NC, len(sol.Open))
+	}
+	for j := 0; j < in.NC; j++ {
+		fac, d, ok := h.Client(j)
+		if !ok {
+			t.Fatalf("client %d rejected", j)
+		}
+		if fac != sol.Assign[j] {
+			t.Fatalf("client %d served by %d, Solution.Assign says %d", j, fac, sol.Assign[j])
+		}
+		if want := in.Dist(fac, j); d != want {
+			t.Fatalf("client %d distance %v, recomputation says %v", j, d, want)
+		}
+	}
+	if _, _, ok := h.Client(-1); ok {
+		t.Fatal("negative client accepted")
+	}
+	if _, _, ok := h.Client(in.NC); ok {
+		t.Fatal("out-of-range client accepted")
+	}
+}
+
+func TestHandleNearestMatchesBruteForce(t *testing.T) {
+	in, sol, h := solvedHandle(t)
+	e := in.Points.(*metric.Euclidean)
+
+	var queries [][]float64
+	for _, j := range in.CliIdx { // every client's coordinate
+		queries = append(queries, e.Point(j))
+	}
+	for _, i := range in.FacIdx { // every facility's coordinate (distance 0 at open ones)
+		queries = append(queries, e.Point(i))
+	}
+	for q := 0; q < 200; q++ { // and off-grid points
+		queries = append(queries, []float64{
+			2000*par.Unit(99, 2*q) - 500, 2000*par.Unit(99, 2*q+1) - 500,
+		})
+	}
+	for qi, q := range queries {
+		fac, d, ok := h.Nearest(q)
+		if !ok {
+			t.Fatalf("query %d rejected", qi)
+		}
+		wantFac, wantD := bruteNearest(e, in.FacIdx, sol.Open, q)
+		if fac != wantFac || d != wantD {
+			t.Fatalf("query %d -> (%d, %v), brute force says (%d, %v)", qi, fac, d, wantFac, wantD)
+		}
+	}
+
+	if _, _, ok := h.Nearest([]float64{1}); ok {
+		t.Fatal("dimension-mismatched query accepted")
+	}
+}
+
+// TestHandleNearestTieBreak pins the tie rule on duplicate and equidistant
+// points: the smallest facility index wins, exactly as the linear scan.
+func TestHandleNearestTieBreak(t *testing.T) {
+	// Facilities 0,1 duplicated at the origin; 2,3 duplicated at (1,1);
+	// clients off to the side.
+	coords := []float64{
+		0, 0, 0, 0, 1, 1, 1, 1, // facilities
+		5, 5, 6, 6, // clients
+	}
+	in, err := facloc.FromCoords(2, coords, 4, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := eval(in, []int{0, 1, 2, 3})
+	h := newHandle(in, sol)
+	e := in.Points.(*metric.Euclidean)
+
+	cases := []struct {
+		q    []float64
+		want int
+	}{
+		{[]float64{0, 0}, 0},       // exact duplicate pair -> lower index
+		{[]float64{1, 1}, 2},       // second duplicate pair
+		{[]float64{0.5, 0.5}, 0},   // equidistant between the pairs
+		{[]float64{0.75, 0.75}, 2}, // strictly nearer (1,1)
+	}
+	for _, c := range cases {
+		fac, d, ok := h.Nearest(c.q)
+		if !ok {
+			t.Fatalf("query %v rejected", c.q)
+		}
+		wantFac, wantD := bruteNearest(e, in.FacIdx, sol.Open, c.q)
+		if wantFac != c.want {
+			t.Fatalf("brute force itself disagrees at %v: %d, want %d", c.q, wantFac, c.want)
+		}
+		if fac != c.want || d != wantD {
+			t.Fatalf("query %v -> (%d, %v), want (%d, %v)", c.q, fac, d, c.want, wantD)
+		}
+	}
+}
+
+func eval(in *facloc.Instance, open []int) *facloc.Solution {
+	assign := make([]int, in.NC)
+	var conn float64
+	for j := 0; j < in.NC; j++ {
+		best, bestI := math.Inf(1), -1
+		for _, i := range open {
+			if d := in.Dist(i, j); d < best {
+				best, bestI = d, i
+			}
+		}
+		assign[j] = bestI
+		conn += best
+	}
+	var fc float64
+	for _, i := range open {
+		fc += in.FacCost[i]
+	}
+	return &facloc.Solution{Open: open, Assign: assign, FacilityCost: fc, ConnectionCost: conn}
+}
+
+// TestHandleQueriesZeroAlloc is the acceptance criterion's steady-state
+// contract: after the handle is built, lookups allocate nothing.
+func TestHandleQueriesZeroAlloc(t *testing.T) {
+	_, _, h := solvedHandle(t)
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, _, ok := h.Client(17); !ok {
+			t.Fatal("client query failed")
+		}
+	}); n != 0 {
+		t.Fatalf("Client allocates %v bytes-worth of objects per lookup, want 0", n)
+	}
+	q := []float64{123.5, -47.25}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, _, ok := h.Nearest(q); !ok {
+			t.Fatal("nearest query failed")
+		}
+	}); n != 0 {
+		t.Fatalf("Nearest allocates %v objects per lookup, want 0", n)
+	}
+}
+
+// TestHandleDenseInstanceNoTree: dense instances answer client queries but
+// reject coordinate queries (no coordinates to search).
+func TestHandleDenseInstanceNoTree(t *testing.T) {
+	in := facloc.GenerateUniform(3, 6, 20, 1, 6)
+	rep, err := facloc.Solve(context.Background(), "pd-par", in, facloc.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHandle(in, rep.Solution)
+	if h.Dim() != 0 {
+		t.Fatalf("dense handle reports dim %d", h.Dim())
+	}
+	if _, _, ok := h.Nearest([]float64{1, 2}); ok {
+		t.Fatal("dense handle accepted a coordinate query")
+	}
+	if fac, _, ok := h.Client(0); !ok || fac != rep.Solution.Assign[0] {
+		t.Fatal("dense handle client query broken")
+	}
+}

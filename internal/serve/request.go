@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	facloc "repro"
+)
+
+// errBodyTooLarge marks a request body past the server's byte cap; handlers
+// map it to 413.
+var errBodyTooLarge = errors.New("serve: request body exceeds the size limit")
+
+// SolveRequest is the POST /solve body. Exactly one of Hash / Instance
+// names the instance: Hash addresses the instance store, Instance is
+// submitted inline (and stored, so follow-up requests can go by hash). The
+// remaining fields select the solver and map onto facloc.Options; the
+// solution cache keys on their canonical form.
+type SolveRequest struct {
+	Hash     string          `json:"hash,omitempty"`
+	Instance json.RawMessage `json:"instance,omitempty"`
+	Solver   string          `json:"solver"`
+	Epsilon  float64         `json:"eps,omitempty"`
+	Seed     int64           `json:"seed,omitempty"`
+	Workers  int             `json:"workers,omitempty"`
+	// DenseLimit caps lazy→dense materialization for this request (0 = the
+	// daemon's default); lazy instances past it route to *-coreset solvers.
+	DenseLimit int `json:"dense_limit,omitempty"`
+	// TimeoutMS is the per-request solve deadline in milliseconds (0 = the
+	// daemon's default). Expired solves return an error, never a partial
+	// solution.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// readCapped reads r to EOF, failing with errBodyTooLarge past maxBytes.
+// Memory stays bounded by the cap regardless of the stream's length.
+func readCapped(r io.Reader, maxBytes int64) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r, maxBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > maxBytes {
+		return nil, errBodyTooLarge
+	}
+	return body, nil
+}
+
+// DecodeSolveRequest parses and validates a /solve body of at most maxBytes
+// bytes. When the request carries an inline instance, the decoded (and
+// validated) instance is returned alongside. This is the fuzzed surface:
+// any input must produce a request or an error, never a panic, with memory
+// bounded by maxBytes.
+func DecodeSolveRequest(r io.Reader, maxBytes int64) (*SolveRequest, *facloc.Instance, error) {
+	body, err := readCapped(r, maxBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	var req SolveRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, fmt.Errorf("serve: decoding solve request: %w", err)
+	}
+	if req.Solver == "" {
+		return nil, nil, errors.New("serve: solve request names no solver")
+	}
+	if req.Epsilon < 0 || math.IsNaN(req.Epsilon) || math.IsInf(req.Epsilon, 0) {
+		return nil, nil, fmt.Errorf("serve: invalid eps %v", req.Epsilon)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, nil, fmt.Errorf("serve: negative timeout_ms %d", req.TimeoutMS)
+	}
+	if req.DenseLimit < 0 {
+		return nil, nil, fmt.Errorf("serve: negative dense_limit %d", req.DenseLimit)
+	}
+	switch {
+	case req.Hash != "" && len(req.Instance) > 0:
+		return nil, nil, errors.New("serve: solve request has both hash and inline instance")
+	case req.Hash == "" && len(req.Instance) == 0:
+		return nil, nil, errors.New("serve: solve request has neither hash nor inline instance")
+	case req.Hash != "":
+		return &req, nil, nil
+	}
+	in, err := facloc.ReadInstance(bytes.NewReader(req.Instance))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &req, in, nil
+}
+
+// Options maps the request onto solver options, with the daemon's dense
+// limit as the fallback.
+func (req *SolveRequest) Options(defaultDenseLimit int) facloc.Options {
+	limit := req.DenseLimit
+	if limit <= 0 {
+		limit = defaultDenseLimit
+	}
+	return facloc.Options{
+		Epsilon:    req.Epsilon,
+		Seed:       req.Seed,
+		Workers:    req.Workers,
+		TrackCost:  true,
+		DenseLimit: limit,
+	}
+}
+
+// QueryLine is one record of a POST /solutions/{id}/query NDJSON stream:
+// either a client index or a coordinate.
+type QueryLine struct {
+	Client *int      `json:"client,omitempty"`
+	X      []float64 `json:"x,omitempty"`
+}

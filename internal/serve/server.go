@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	facloc "repro"
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Config sizes a Server. The zero value is usable: GOMAXPROCS in-flight
+// solves, a 4× waiting line, 64 MiB bodies, core.DenseLimit densification.
+type Config struct {
+	// MaxInflight bounds concurrent solves (0 = GOMAXPROCS). /batch requests
+	// occupy one slot each; their internal pool parallelism is theirs.
+	MaxInflight int
+	// MaxQueue bounds solve requests waiting for a slot; past it admission
+	// fails immediately with 503 (0 = 4×MaxInflight).
+	MaxQueue int
+	// MaxBody caps request bodies in bytes (0 = 64 MiB). /batch streams are
+	// exempt: they are decoded one bounded instance at a time.
+	MaxBody int64
+	// DenseLimit is the default per-request densification cap
+	// (0 = core.DenseLimit); each request may override it.
+	DenseLimit int
+	// DefaultTimeout is the per-solve deadline applied when a request names
+	// none (0 = no deadline).
+	DefaultTimeout time.Duration
+	// MaxInstances / MaxSolutions bound the stores (0 = 4096 each); past the
+	// cap the oldest entry is evicted FIFO.
+	MaxInstances int
+	MaxSolutions int
+	// BatchJobs caps the per-request worker pool width of /batch
+	// (0 = MaxInflight).
+	BatchJobs int
+}
+
+func (c Config) maxInflight() int {
+	if c.MaxInflight > 0 {
+		return c.MaxInflight
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue > 0 {
+		return c.MaxQueue
+	}
+	return 4 * c.maxInflight()
+}
+
+func (c Config) maxBody() int64 {
+	if c.MaxBody > 0 {
+		return c.MaxBody
+	}
+	return 64 << 20
+}
+
+func (c Config) denseLimit() int {
+	if c.DenseLimit > 0 {
+		return c.DenseLimit
+	}
+	return core.DenseLimit
+}
+
+func (c Config) maxInstances() int {
+	if c.MaxInstances > 0 {
+		return c.MaxInstances
+	}
+	return 4096
+}
+
+func (c Config) maxSolutions() int {
+	if c.MaxSolutions > 0 {
+		return c.MaxSolutions
+	}
+	return 4096
+}
+
+func (c Config) batchJobs() int {
+	if c.BatchJobs > 0 {
+		return c.BatchJobs
+	}
+	return c.maxInflight()
+}
+
+// metrics is the counter set behind GET /metrics.
+type metrics struct {
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	solvesTotal  atomic.Int64
+	solveErrors  atomic.Int64
+	rejected     atomic.Int64
+	queriesTotal atomic.Int64
+	batchTotal   atomic.Int64
+}
+
+// Errors admission can fail with; handlers map both to 503.
+var (
+	errDraining  = errors.New("serve: server is draining")
+	errQueueFull = errors.New("serve: solve queue is full")
+)
+
+// Server is the facility-location service: shared stores, the admission
+// queue, and the lifecycle. Serve it over HTTP via Handler.
+type Server struct {
+	cfg Config
+	st  *store
+	met metrics
+
+	sem   chan struct{} // in-flight solve slots
+	queue chan struct{} // in-flight + waiting slots
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	drainCh  chan struct{} // closed when draining starts
+	idleCh   chan struct{} // closed when draining and inflight hits 0
+
+	// solveCtx parents every solve; cancelled only by a drain whose
+	// deadline expired (the hard stop behind the graceful one).
+	solveCtx    context.Context
+	solveCancel context.CancelFunc
+}
+
+// New builds a Server; it is ready to serve immediately.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		st:      newStore(cfg.maxInstances(), cfg.maxSolutions()),
+		sem:     make(chan struct{}, cfg.maxInflight()),
+		queue:   make(chan struct{}, cfg.maxInflight()+cfg.maxQueue()),
+		drainCh: make(chan struct{}),
+		idleCh:  make(chan struct{}),
+	}
+	s.solveCtx, s.solveCancel = context.WithCancel(context.Background())
+	return s
+}
+
+// acquire admits one solve: it takes a queue slot (immediate 503-style
+// failure when the waiting line is full), then waits for an in-flight slot,
+// abandoning the wait on request cancellation or drain. The returned
+// release must be called exactly once.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.met.rejected.Add(1)
+		return nil, errQueueFull
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		<-s.queue
+		return nil, ctx.Err()
+	case <-s.drainCh:
+		<-s.queue
+		s.met.rejected.Add(1)
+		return nil, errDraining
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.sem
+		<-s.queue
+		s.met.rejected.Add(1)
+		return nil, errDraining
+	}
+	s.inflight++
+	s.mu.Unlock()
+	return func() {
+		<-s.sem
+		<-s.queue
+		s.mu.Lock()
+		s.inflight--
+		if s.draining && s.inflight == 0 {
+			close(s.idleCh)
+		}
+		s.mu.Unlock()
+	}, nil
+}
+
+// Inflight returns the number of solves currently running.
+func (s *Server) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: queued solves fail immediately, in-flight
+// solves run to completion, and new admissions are refused. If ctx expires
+// before the drain completes, every in-flight solve is hard-cancelled (its
+// context reports context.Canceled, so it returns an error, never a partial
+// solution) and Shutdown returns ctx.Err() after they unwind. Safe to call
+// more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+		if s.inflight == 0 {
+			close(s.idleCh)
+		}
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-s.idleCh:
+		return nil
+	case <-ctx.Done():
+		s.solveCancel()
+		<-s.idleCh
+		return ctx.Err()
+	}
+}
+
+// solveContext derives the context one solve runs under: the request's,
+// bounded by the effective deadline, and additionally cancelled if the
+// server hard-stops mid-drain.
+func (s *Server) solveContext(parent context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(parent, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(parent)
+	}
+	stop := context.AfterFunc(s.solveCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// route resolves the solver a request runs: the named one, or — for lazy
+// point-backed instances whose sides exceed the dense limit — its *-coreset
+// companion, which never materializes a matrix. Routing happens before the
+// cache key is formed, so the effective solver is part of the key.
+func (s *Server) route(in *facloc.Instance, name string, denseLimit int) (facloc.Solver, error) {
+	solver, ok := facloc.Lookup(name)
+	if !ok {
+		return nil, &unknownSolverError{name: name}
+	}
+	if in.Points == nil || strings.HasSuffix(name, "-coreset") {
+		return solver, nil
+	}
+	if denseLimit <= 0 {
+		denseLimit = s.cfg.denseLimit()
+	}
+	if in.NF <= denseLimit && in.NC <= denseLimit {
+		return solver, nil
+	}
+	// greedy-par → greedy-coreset; the registry convention drops the
+	// engine suffix on coreset entries.
+	for _, candidate := range []string{
+		name + "-coreset",
+		strings.TrimSuffix(strings.TrimSuffix(name, "-par"), "-seq") + "-coreset",
+	} {
+		if cs, ok := facloc.Lookup(candidate); ok {
+			return cs, nil
+		}
+	}
+	return nil, &tooLargeError{name: name, nf: in.NF, nc: in.NC, limit: denseLimit}
+}
+
+type unknownSolverError struct{ name string }
+
+func (e *unknownSolverError) Error() string {
+	return "serve: unknown solver " + e.name + ` (see GET /solvers; only kind "ufl" entries solve here)`
+}
+
+type tooLargeError struct {
+	name   string
+	nf, nc int
+	limit  int
+}
+
+func (e *tooLargeError) Error() string {
+	return "serve: " + e.name + " would densify past the limit and has no -coreset companion"
+}
+
+// cached looks a solve up without admission — the O(1) replay path — and
+// counts the hit.
+func (s *Server) cached(instHash, solverName string, opts facloc.Options) (*entry, bool) {
+	key := solveKey(instHash, solverName, opts)
+	if e, ok := s.st.solution(solutionID(key)); ok && e.key == key {
+		s.met.cacheHits.Add(1)
+		return e, true
+	}
+	return nil, false
+}
+
+// solve is the cached solve shared by /solve and /batch: admission is the
+// caller's job; this layer does hash → key → cache → registry solve →
+// store. It returns the (possibly pre-existing) entry and whether it was a
+// cache hit.
+func (s *Server) solve(ctx context.Context, in *facloc.Instance, instHash string, solver facloc.Solver, opts facloc.Options) (*entry, bool, error) {
+	key := solveKey(instHash, solver.Name(), opts)
+	id := solutionID(key)
+	if e, ok := s.st.solution(id); ok && e.key == key {
+		s.met.cacheHits.Add(1)
+		return e, true, nil
+	}
+	s.met.cacheMisses.Add(1)
+	s.met.solvesTotal.Add(1)
+	rep, err := facloc.SolveWith(ctx, solver, in, opts)
+	if err != nil {
+		s.met.solveErrors.Add(1)
+		return nil, false, err
+	}
+	e := &entry{
+		id:       id,
+		key:      key,
+		instHash: instHash,
+		report:   rep,
+		handle:   newHandle(in, rep.Solution),
+		seed:     opts.Seed,
+	}
+	e.reportJSON = renderReport(e)
+	return s.st.putSolution(e), false, nil
+}
+
+// cachingSolver adapts the solution cache to the facloc.Solver interface so
+// the Batch engine's worker pool solves through it: each instance in a
+// batch is hashed, looked up, and — on a miss — solved and stored, exactly
+// as a /solve request would be. Determinism makes a hit's solution bitwise
+// identical to a fresh solve, so batch output is unaffected by cache state.
+type cachingSolver struct {
+	s     *Server
+	inner facloc.Solver
+}
+
+func (c *cachingSolver) Name() string                { return c.inner.Name() }
+func (c *cachingSolver) Guarantee() facloc.Guarantee { return c.inner.Guarantee() }
+
+func (c *cachingSolver) Solve(ctx context.Context, pc *par.Ctx, in *core.Instance, opts facloc.Options) (*facloc.Solution, error) {
+	ihash, err := facloc.InstanceHash(in)
+	if err != nil {
+		// Unhashable (non-Euclidean lazy) instances solve uncached.
+		return c.inner.Solve(ctx, pc, in, opts)
+	}
+	e, _, err := c.s.solve(ctx, in, ihash, c.inner, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.report.Solution, nil
+}

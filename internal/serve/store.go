@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+
+	facloc "repro"
+)
+
+// solveKey is the solution-cache identity: the content address of the
+// instance plus everything a solution can depend on. Options arrive
+// canonicalized (facloc.Options.Canonical), so spelling differences that
+// cannot change the solution — worker count, tally tracking, an unset ε —
+// collapse onto one key.
+func solveKey(instanceHash, solver string, opts facloc.Options) string {
+	opts = opts.Canonical()
+	return fmt.Sprintf("%s|%s|eps=%016x|seed=%d",
+		instanceHash, solver, math.Float64bits(opts.Epsilon), opts.Seed)
+}
+
+// solutionID is the public, deterministic name of a cache entry: the first
+// 16 bytes of the SHA-256 of its key, hex. Clients that know the instance
+// hash and the solve parameters can recompute it offline.
+func solutionID(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16])
+}
+
+// entry is one cached solution: the stored Report, its pre-rendered JSON
+// (returned verbatim on every hit, so responses are byte-identical), and
+// the precomputed query structures.
+type entry struct {
+	id         string
+	key        string
+	instHash   string
+	report     *facloc.Report
+	reportJSON []byte
+	handle     *Handle
+	seed       int64
+}
+
+// store is the shared state of a Server: the content-addressed instance
+// store and the solution cache. Both are bounded FIFO — past the cap the
+// oldest entry is evicted — which keeps a long-running daemon's memory
+// proportional to the caps rather than to its uptime.
+type store struct {
+	mu           sync.RWMutex
+	instances    map[string]*facloc.Instance
+	instanceFIFO []string
+	maxInstances int
+	solutions    map[string]*entry
+	solutionFIFO []string
+	maxSolutions int
+}
+
+func newStore(maxInstances, maxSolutions int) *store {
+	return &store{
+		instances:    make(map[string]*facloc.Instance),
+		maxInstances: maxInstances,
+		solutions:    make(map[string]*entry),
+		maxSolutions: maxSolutions,
+	}
+}
+
+// putInstance stores in under its content address and returns (hash,
+// created): created is false when the address was already present — the
+// content-addressed no-op resubmission.
+func (st *store) putInstance(in *facloc.Instance) (string, bool, error) {
+	h, err := facloc.InstanceHash(in)
+	if err != nil {
+		return "", false, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.instances[h]; ok {
+		return h, false, nil
+	}
+	st.instances[h] = in
+	st.instanceFIFO = append(st.instanceFIFO, h)
+	if len(st.instanceFIFO) > st.maxInstances {
+		evict := st.instanceFIFO[0]
+		st.instanceFIFO = st.instanceFIFO[1:]
+		delete(st.instances, evict)
+	}
+	return h, true, nil
+}
+
+func (st *store) instance(hash string) (*facloc.Instance, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	in, ok := st.instances[hash]
+	return in, ok
+}
+
+func (st *store) numInstances() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.instances)
+}
+
+func (st *store) solution(id string) (*entry, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	e, ok := st.solutions[id]
+	return e, ok
+}
+
+// putSolution inserts e unless its id is already present (two identical
+// in-flight solves race benignly: determinism makes their results bitwise
+// equal, and first-write-wins keeps hit responses byte-stable).
+func (st *store) putSolution(e *entry) *entry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if prev, ok := st.solutions[e.id]; ok {
+		return prev
+	}
+	st.solutions[e.id] = e
+	st.solutionFIFO = append(st.solutionFIFO, e.id)
+	if len(st.solutionFIFO) > st.maxSolutions {
+		evict := st.solutionFIFO[0]
+		st.solutionFIFO = st.solutionFIFO[1:]
+		delete(st.solutions, evict)
+	}
+	return e
+}
+
+func (st *store) numSolutions() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.solutions)
+}

@@ -239,9 +239,10 @@ func (s *funcSolver) Name() string         { return s.name }
 func (s *funcSolver) Guarantee() Guarantee { return s.g }
 func (s *funcSolver) Solve(ctx context.Context, pc *par.Ctx, in *core.Instance, opts Options) (*Solution, error) {
 	// The built-in algorithms walk dense rows; lazy point-backed instances
-	// are materialized here (bounded by core.DenseLimit — past it the error
-	// points at the *-coreset solvers, which never densify).
-	in, err := in.Densified(pc)
+	// are materialized here (bounded by Options.DenseLimit, default
+	// core.DenseLimit — past it the error points at the *-coreset solvers,
+	// which never densify).
+	in, err := in.DensifiedCap(pc, opts.DenseLimit)
 	if err != nil {
 		return nil, err
 	}
@@ -260,8 +261,9 @@ func (s *funcKSolver) Objective() Objective { return s.obj }
 func (s *funcKSolver) Guarantee() Guarantee { return s.g }
 func (s *funcKSolver) SolveK(ctx context.Context, pc *par.Ctx, ki *core.KInstance, opts Options) (*KSolution, error) {
 	// See funcSolver.Solve: dense algorithms densify lazy instances up to
-	// core.DenseLimit; the *-coreset wrappers never take this path.
-	ki, err := ki.Densified(pc)
+	// Options.DenseLimit (default core.DenseLimit); the *-coreset wrappers
+	// never take this path.
+	ki, err := ki.DensifiedCap(pc, opts.DenseLimit)
 	if err != nil {
 		return nil, err
 	}

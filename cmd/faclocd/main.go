@@ -17,6 +17,18 @@
 // admission counters. SIGTERM/SIGINT drain gracefully: queued solves fail
 // fast, in-flight solves finish (up to -drain-timeout), then the process
 // exits.
+//
+// Cluster mode: start N daemons with the same -peers list (each naming
+// itself via -self) and they form a consistent-hash ring — instances route
+// to the shard owning their content address, solutions replicate to
+// -replicas shards, /healthz probes heal the ring around dead members, and
+// the pd-dist solver runs the primal-dual rounds distributed across all
+// shards with bitwise-identical results:
+//
+//	peers=127.0.0.1:8651,127.0.0.1:8652,127.0.0.1:8653
+//	for p in 8651 8652 8653; do
+//	  faclocd -addr 127.0.0.1:$p -self 127.0.0.1:$p -peers $peers &
+//	done
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +57,10 @@ func main() {
 	maxSolutions := flag.Int("max-solutions", 0, "solution cache cap, FIFO eviction (0 = 4096)")
 	batchJobs := flag.Int("batch-jobs", 0, "max worker-pool width per /batch request (0 = inflight)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before in-flight solves are cancelled")
+	peers := flag.String("peers", "", "comma-separated cluster member addresses, identical on every shard (empty = single-node)")
+	self := flag.String("self", "", "this shard's advertised address; must appear in -peers")
+	replicas := flag.Int("replicas", 0, "shards holding each solution entry (0 = 2)")
+	healthEvery := flag.Duration("health-interval", 0, "peer liveness probe period (0 = 2s)")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
@@ -56,6 +73,17 @@ func main() {
 		MaxSolutions:   *maxSolutions,
 		BatchJobs:      *batchJobs,
 	})
+	if *peers != "" {
+		if err := srv.EnableCluster(serve.ClusterConfig{
+			Self:           *self,
+			Peers:          splitPeers(*peers),
+			Replicas:       *replicas,
+			HealthInterval: *healthEvery,
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "faclocd: clustered as %s among %s\n", *self, *peers)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -83,6 +111,16 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "faclocd: stopped")
+}
+
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -26,6 +26,11 @@
 //
 //	faclocgen -count 200 | faclocsolve -addr localhost:8649 -solver greedy-par -seed 42
 //
+// -addr may be a comma-separated seed list of cluster members: each seed is
+// asked for GET /cluster/ring until one answers, dead seeds are skipped,
+// and the workload goes to the first alive ring member (any member serves
+// any request — routing is internal to the cluster).
+//
 // Discovery:
 //
 //	faclocsolve -list
@@ -33,6 +38,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +46,7 @@ import (
 	"net/url"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	facloc "repro"
@@ -57,7 +64,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-solve deadline (0 = none)")
 	jobs := flag.Int("jobs", 0, "batch mode: solve a NDJSON instance stream with this many concurrent jobs")
 	denseLimit := flag.Int("dense-limit", 0, "lazy->dense materialization cap per solve (0 = library default)")
-	addr := flag.String("addr", "", "client mode: submit the NDJSON instance stream to a faclocd daemon at host:port")
+	addr := flag.String("addr", "", "client mode: submit the NDJSON instance stream to a faclocd daemon (host:port, or a comma-separated cluster seed list)")
 	list := flag.Bool("list", false, "list registered solvers and exit")
 	flag.Parse()
 
@@ -94,7 +101,7 @@ func main() {
 	}
 
 	if *addr != "" {
-		runRemote(*addr, name, in, o, *jobs, *timeout)
+		runRemote(discover(*addr), name, in, o, *jobs, *timeout)
 		return
 	}
 	if *jobs > 0 {
@@ -102,6 +109,57 @@ func main() {
 		return
 	}
 	runSingle(name, in, o, *timeout)
+}
+
+// discover resolves -addr, which may be a comma-separated seed list of
+// cluster members: each seed is asked for GET /cluster/ring until one
+// answers. A 200 picks the first alive member (every daemon in the ring can
+// serve any request — requests route internally); a 404 means the seed is a
+// plain single-node daemon, used directly. Seeds that refuse the connection
+// are skipped, so a partly-down seed list still finds the cluster.
+func discover(addrs string) string {
+	seeds := strings.Split(addrs, ",")
+	client := &http.Client{Timeout: 5 * time.Second}
+	var last error
+	for _, seed := range seeds {
+		seed = strings.TrimSpace(seed)
+		if seed == "" {
+			continue
+		}
+		resp, err := client.Get("http://" + seed + "/cluster/ring")
+		if err != nil {
+			last = err
+			continue
+		}
+		var ring struct {
+			Self    string `json:"self"`
+			Members []struct {
+				Addr  string `json:"addr"`
+				Alive bool   `json:"alive"`
+			} `json:"members"`
+		}
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ring)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			return seed // not clustered: a plain daemon
+		}
+		if resp.StatusCode != http.StatusOK || err != nil {
+			last = fmt.Errorf("seed %s: ring status %s", seed, resp.Status)
+			continue
+		}
+		for _, m := range ring.Members {
+			if m.Alive {
+				fmt.Fprintf(os.Stderr, "faclocsolve: discovered %d-member ring via %s, using %s\n",
+					len(ring.Members), seed, m.Addr)
+				return strings.TrimPrefix(m.Addr, "http://")
+			}
+		}
+		last = fmt.Errorf("seed %s: ring has no alive members", seed)
+	}
+	if last != nil && len(seeds) > 1 {
+		fatal(fmt.Errorf("no reachable cluster member in %s: %w", addrs, last))
+	}
+	return strings.TrimSpace(seeds[0]) // single unreachable seed: let /batch report it
 }
 
 // runRemote streams the NDJSON instances to a faclocd daemon's POST /batch

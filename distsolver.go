@@ -1,0 +1,37 @@
+package facloc
+
+import (
+	"context"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/primaldual"
+)
+
+// PDDistShards is the shard count of the in-process "pd-dist" solver: the
+// distributed primal-dual driver run over a virtual cluster inside one
+// process. The count is fixed (not a tuning knob) because the result is
+// bitwise-identical at any shard count — this solver exists so the standard
+// conformance suite exercises the distributed protocol on every run, and so
+// single-node daemons can serve the same solver name a real cluster does.
+const PDDistShards = 3
+
+func init() {
+	Register(&funcSolver{
+		name: "pd-dist",
+		g:    Guarantee{Factor: 3, EpsSlack: true, Note: "Theorem 5.4, distributed rounds"},
+		fn: func(ctx context.Context, pc *par.Ctx, in *core.Instance, o Options) (*Solution, error) {
+			vc, err := cluster.NewVirtualCluster(PDDistShards, cluster.FaultPlan{}, 0, 0)
+			if err != nil {
+				return nil, err
+			}
+			defer vc.Close()
+			res, err := vc.Solve(ctx, in, &primaldual.Options{Epsilon: o.eps(), Seed: o.Seed}, uint64(o.Seed)+1, o.Workers)
+			if err != nil {
+				return nil, err
+			}
+			return res.Sol, nil
+		},
+	})
+}

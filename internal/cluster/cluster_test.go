@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/primaldual"
+)
+
+// testInstance mirrors the primaldual suite's uniform-box generator.
+func testInstance(seed int64, nf, nc int) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sp := metric.UniformBox(nil, rng, nf+nc, 2, 10)
+	fac := make([]int, nf)
+	cli := make([]int, nc)
+	for i := range fac {
+		fac[i] = i
+	}
+	for j := range cli {
+		cli[j] = nf + j
+	}
+	return core.FromSpace(nil, sp, fac, cli, metric.RandomCosts(nil, rng, nf, 1, 6))
+}
+
+func mustParallel(t *testing.T, in *core.Instance, o *primaldual.Options) *primaldual.Result {
+	t.Helper()
+	res, err := primaldual.Parallel(context.Background(), &par.Ctx{}, in, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// fastCluster builds a virtual cluster with millisecond-scale NACK ladders.
+func fastCluster(t *testing.T, n int, plan FaultPlan) *VirtualCluster {
+	t.Helper()
+	vc, err := NewVirtualCluster(n, plan, 30*time.Millisecond, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vc
+}
+
+// TestClusterSolveBitwiseEqualsParallel is the transported version of the
+// primaldual conformance core: the same solve through real wire frames over
+// the virtual fabric (perfect network) stays bitwise-identical to
+// single-process pd-par at every shard count.
+func TestClusterSolveBitwiseEqualsParallel(t *testing.T) {
+	instances := map[string]*core.Instance{
+		"uniform-small": testInstance(3, 6, 18),
+		"uniform-mid":   testInstance(4, 10, 60),
+	}
+	for label, in := range instances {
+		for _, seed := range []int64{0, 7} {
+			for _, eps := range []float64{0.1, 0.3} {
+				o := &primaldual.Options{Epsilon: eps, Seed: seed}
+				want := mustParallel(t, in, o)
+				for _, n := range []int{1, 2, 3, 5, 8} {
+					vc := fastCluster(t, n, FaultPlan{})
+					got, err := vc.Solve(context.Background(), in, o, uint64(seed)+1, 2)
+					vc.Close()
+					if err != nil {
+						t.Fatalf("%s/seed%d/eps%g/%d shards: %v", label, seed, eps, n, err)
+					}
+					if !primaldual.ResultsBitwiseEqual(want, got) {
+						t.Fatalf("%s/seed%d/eps%g/%d shards: cluster result diverged from pd-par", label, seed, eps, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterSolveUnderFaults: hostile fault plans — drops, duplicates,
+// reordering, all at once — and the solve still completes bitwise-correct,
+// recovering every lost frame through the NACK ladder. The fabric counters
+// prove the plan actually fired.
+func TestClusterSolveUnderFaults(t *testing.T) {
+	in := testInstance(4, 8, 40)
+	o := &primaldual.Options{Epsilon: 0.3, Seed: 1}
+	want := mustParallel(t, in, o)
+	plans := map[string]FaultPlan{
+		"drop":    {Seed: 11, Drop: 0.15},
+		"dup":     {Seed: 12, Dup: 0.35},
+		"reorder": {Seed: 13, MaxDelay: 3},
+		"storm":   {Seed: 14, Drop: 0.10, Dup: 0.20, MaxDelay: 2},
+	}
+	for label, plan := range plans {
+		for _, n := range []int{2, 3, 5} {
+			vc := fastCluster(t, n, plan)
+			got, err := vc.Solve(context.Background(), in, o, 42, 2)
+			st := vc.Fabric.Stats()
+			vc.Close()
+			if err != nil {
+				t.Fatalf("%s/%d shards: %v", label, n, err)
+			}
+			if !primaldual.ResultsBitwiseEqual(want, got) {
+				t.Fatalf("%s/%d shards: result diverged under faults", label, n)
+			}
+			if plan.Drop > 0 && st.Dropped == 0 {
+				t.Fatalf("%s/%d shards: drop plan never dropped (sent %d)", label, n, st.Sent)
+			}
+			if plan.Dup > 0 && st.Duplicated == 0 {
+				t.Fatalf("%s/%d shards: dup plan never duplicated (sent %d)", label, n, st.Sent)
+			}
+		}
+	}
+}
+
+// TestClusterFaultPlanReplayable: the fabric's behaviour is a pure function
+// of the plan seed and the frame sequence — replaying the identical sends
+// yields identical fates and an identical per-node delivery order.
+func TestClusterFaultPlanReplayable(t *testing.T) {
+	run := func() ([]string, FabricStats) {
+		vf := NewVirtualFabric(2, FaultPlan{Seed: 99, Drop: 0.2, Dup: 0.2, MaxDelay: 2})
+		var mu sync.Mutex
+		var got []string
+		vf.Transport(1).SetHandler(func(f *Frame) {
+			mu.Lock()
+			got = append(got, fmt.Sprintf("%d:%d", f.Type, f.Seq))
+			mu.Unlock()
+		})
+		tr := vf.Transport(0)
+		for s := uint32(1); s <= 40; s++ {
+			if err := tr.Send(1, &Frame{Type: FrameAck, From: 0, Seq: s, Body: EncodeAckBody(&AckBody{AckSeq: s})}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain: wait until the dispatcher has delivered everything queued.
+		deadline := time.After(2 * time.Second)
+		for {
+			st := vf.Stats()
+			mu.Lock()
+			n := len(got)
+			mu.Unlock()
+			if uint64(n) == st.Delivered {
+				break
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("drain stalled at %d/%d", n, st.Delivered)
+			case <-time.After(time.Millisecond):
+			}
+		}
+		st := vf.Stats()
+		vf.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		return got, st
+	}
+	seq1, st1 := run()
+	seq2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("replay changed fault stats: %+v vs %+v", st1, st2)
+	}
+	if st1.Dropped == 0 || st1.Duplicated == 0 {
+		t.Fatalf("plan fired no faults: %+v", st1)
+	}
+	if len(seq1) != len(seq2) {
+		t.Fatalf("replay changed delivery count: %d vs %d", len(seq1), len(seq2))
+	}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("replay diverged at delivery %d: %s vs %s", i, seq1[i], seq2[i])
+		}
+	}
+}
+
+// TestClusterCrashMidSolveFailsLoud: a shard that dies mid-solve turns into
+// an explicit error on every shard — never a wrong or partial result.
+func TestClusterCrashMidSolveFailsLoud(t *testing.T) {
+	in := testInstance(4, 8, 40)
+	o := &primaldual.Options{Epsilon: 0.3, Seed: 1}
+	vc, err := NewVirtualCluster(3, FaultPlan{}, 10*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		vc.Crash(2)
+	}()
+	if _, err := vc.Solve(context.Background(), in, o, 7, 2); err == nil {
+		t.Fatal("solve with a crashed shard returned a result")
+	}
+}
+
+// TestClusterReplication: puts land on the key's owner and successor, route
+// around dead members, survive a crash/restart warm, and still converge
+// under frame loss.
+func TestClusterReplication(t *testing.T) {
+	ctx := context.Background()
+	vc := fastCluster(t, 4, FaultPlan{Seed: 5, Drop: 0.2})
+	defer vc.Close()
+	keys := make([]string, 24)
+	for k := range keys {
+		keys[k] = fmt.Sprintf("sha256:%04d", k)
+		if err := vc.Node(0).Put(ctx, keys[k], []byte(keys[k]+"-payload"), 2); err != nil {
+			t.Fatalf("put %q: %v", keys[k], err)
+		}
+	}
+	ring := vc.Ring()
+	for _, key := range keys {
+		for _, m := range ring.Successors(key, 2) {
+			idx, _ := ring.Index(m.ID)
+			if v, ok := vc.Node(idx).Get(key); !ok || string(v) != key+"-payload" {
+				t.Fatalf("replica %q missing %q", m.ID, key)
+			}
+		}
+	}
+	// Crash the owner of keys[0]; new puts for its keyspace route to live
+	// successors, and after a warm restart its pre-crash entries are intact.
+	owner, _ := ring.Owner(keys[0])
+	victim, _ := ring.Index(owner.ID)
+	before := vc.Node(victim).StoreLen()
+	vc.Crash(victim)
+	if err := vc.Node((victim+1)%4).Put(ctx, keys[0]+"-again", []byte("x"), 2); err != nil {
+		t.Fatalf("put with dead owner: %v", err)
+	}
+	for _, m := range ring.Successors(keys[0]+"-again", 2) {
+		if m.ID == owner.ID {
+			t.Fatal("dead member chosen as replica")
+		}
+	}
+	vc.Restart(victim)
+	if got := vc.Node(victim).StoreLen(); got != before {
+		t.Fatalf("warm restart lost entries: %d vs %d", got, before)
+	}
+	if _, ok := vc.Node(victim).Get(keys[0]); !ok {
+		t.Fatalf("restarted node lost %q", keys[0])
+	}
+}
+
+// TestClusterSolveAfterHeal: crash a shard, restart it warm, and the next
+// distributed solve across all shards is correct again.
+func TestClusterSolveAfterHeal(t *testing.T) {
+	in := testInstance(3, 6, 18)
+	o := &primaldual.Options{Epsilon: 0.3, Seed: 0}
+	want := mustParallel(t, in, o)
+	vc := fastCluster(t, 3, FaultPlan{})
+	defer vc.Close()
+	vc.Crash(1)
+	vc.Restart(1)
+	got, err := vc.Solve(context.Background(), in, o, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !primaldual.ResultsBitwiseEqual(want, got) {
+		t.Fatal("post-heal solve diverged")
+	}
+}
+
+// TestClusterGoroutineSettle mirrors the serve-layer drain tests: building,
+// exercising, and closing a virtual cluster leaves no goroutines behind.
+func TestClusterGoroutineSettle(t *testing.T) {
+	par.Warm(runtime.GOMAXPROCS(0) + 4)
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for round := 0; round < 2; round++ {
+		vc := fastCluster(t, 5, FaultPlan{Seed: 3, Drop: 0.1, Dup: 0.1, MaxDelay: 1})
+		in := testInstance(3, 6, 18)
+		if _, err := vc.Solve(context.Background(), in, &primaldual.Options{Epsilon: 0.3}, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := vc.Node(2).Put(context.Background(), "k", []byte("v"), 2); err != nil {
+			t.Fatal(err)
+		}
+		vc.Crash(4)
+		vc.Restart(4)
+		vc.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines did not settle: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExchangeFailsLoudOnSilentPeer: a peer that never shows up for a
+// barrier is an explicit error naming it, after the full NACK ladder.
+func TestExchangeFailsLoudOnSilentPeer(t *testing.T) {
+	vf := NewVirtualFabric(2, FaultPlan{})
+	defer vf.Close()
+	tr := vf.Transport(0)
+	var seqs seqSource
+	ex := NewExchange(tr, &seqs, 1, 5*time.Millisecond, 2)
+	tr.SetHandler(ex.HandleFrame)
+	start := time.Now()
+	_, err := ex.Exchange(context.Background(), &primaldual.ExchangeFrame{Index: 0, Phase: primaldual.PhaseFree})
+	if err == nil {
+		t.Fatal("exchange with a silent peer succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("loud failure took %v", time.Since(start))
+	}
+}
+
+// TestHTTPTransportLoopback: the HTTP transport's local fast path runs the
+// same encode/decode/validate pipe as the remote one.
+func TestHTTPTransportLoopback(t *testing.T) {
+	tr, err := NewHTTPTransport(0, []string{"127.0.0.1:1", "127.0.0.1:2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *Frame
+	tr.SetHandler(func(f *Frame) { got = f })
+	f := &Frame{Type: FrameAck, From: 0, Seq: 9, Body: EncodeAckBody(&AckBody{AckSeq: 9})}
+	if err := tr.Send(0, f); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Seq != 9 || got.Type != FrameAck {
+		t.Fatalf("loopback delivered %+v", got)
+	}
+	if err := tr.Deliver([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted by Deliver")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(0, f); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}

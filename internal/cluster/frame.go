@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/primaldual"
+)
+
+// The peer wire format. Every frame is one length-delimited record:
+//
+//	magic "FLC1" (4) | version (1) | type (1) | from (4, LE int32)
+//	| seq (4, LE) | bodyLen (4, LE) | body | crc32 (4, LE, IEEE)
+//
+// The CRC covers everything before it. Bodies are type-specific (see
+// encodeRoundBody and friends) and bounded by MaxFrameBody, enforced before
+// any allocation sized from untrusted input. DecodeFrame accepts exactly the
+// bytes EncodeFrame produces: any truncation, oversize, or corruption is an
+// error, never a panic — the FuzzClusterFrame target pins that.
+
+const (
+	frameMagic   = "FLC1"
+	frameVersion = 1
+	// frameHeader is the byte length of everything before the body.
+	frameHeader = 4 + 1 + 1 + 4 + 4 + 4
+	// frameTrailer is the CRC length.
+	frameTrailer = 4
+	// MaxFrameBody caps a frame body. Distributed-solve frames carry at most
+	// O(clients) events per barrier, well under this for any instance the
+	// daemon accepts.
+	MaxFrameBody = 16 << 20
+)
+
+// FrameType tags the body encoding.
+type FrameType uint8
+
+const (
+	// FrameRound carries a primaldual.ExchangeFrame of a distributed solve.
+	FrameRound FrameType = iota + 1
+	// FrameNack asks a peer to retransmit its round frame for one barrier.
+	FrameNack
+	// FramePut replicates a store entry to the receiving shard.
+	FramePut
+	// FrameAck acknowledges a FramePut by its seq.
+	FrameAck
+	frameTypeMax
+)
+
+// Frame is the unit every Transport moves: a typed body plus the sender's
+// shard index and a per-sender monotone sequence number (retransmissions get
+// fresh seqs; deduplication happens at the exchange layer, keyed by barrier).
+type Frame struct {
+	Type FrameType
+	From int32
+	Seq  uint32
+	Body []byte
+}
+
+// Validate checks the invariants DecodeFrame guarantees, so handlers can
+// assert them on frames from any source.
+func (f *Frame) Validate() error {
+	if f == nil {
+		return errors.New("cluster: nil frame")
+	}
+	if f.Type == 0 || f.Type >= frameTypeMax {
+		return fmt.Errorf("cluster: unknown frame type %d", f.Type)
+	}
+	if f.From < 0 {
+		return fmt.Errorf("cluster: negative sender %d", f.From)
+	}
+	if len(f.Body) > MaxFrameBody {
+		return fmt.Errorf("cluster: %d-byte frame body exceeds the %d cap", len(f.Body), MaxFrameBody)
+	}
+	return nil
+}
+
+var crcTable = crc32.IEEETable
+
+// EncodeFrame renders f to its wire bytes. It panics on frames that violate
+// Validate — encoding is a programmer surface; decoding is the hostile one.
+func EncodeFrame(f *Frame) []byte {
+	if err := f.Validate(); err != nil {
+		panic(err.Error())
+	}
+	out := make([]byte, 0, frameHeader+len(f.Body)+frameTrailer)
+	out = append(out, frameMagic...)
+	out = append(out, frameVersion, byte(f.Type))
+	out = binary.LittleEndian.AppendUint32(out, uint32(f.From))
+	out = binary.LittleEndian.AppendUint32(out, f.Seq)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Body)))
+	out = append(out, f.Body...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+	return out
+}
+
+// DecodeFrame parses one wire frame. Every error path returns before any
+// allocation proportional to untrusted lengths; the returned frame always
+// passes Validate. Trailing bytes after the CRC are rejected — frames are
+// exactly delimited.
+func DecodeFrame(b []byte) (*Frame, error) {
+	if len(b) < frameHeader+frameTrailer {
+		return nil, fmt.Errorf("cluster: %d-byte frame shorter than the %d-byte envelope", len(b), frameHeader+frameTrailer)
+	}
+	if string(b[:4]) != frameMagic {
+		return nil, errors.New("cluster: bad frame magic")
+	}
+	if b[4] != frameVersion {
+		return nil, fmt.Errorf("cluster: unsupported frame version %d", b[4])
+	}
+	typ := FrameType(b[5])
+	if typ == 0 || typ >= frameTypeMax {
+		return nil, fmt.Errorf("cluster: unknown frame type %d", typ)
+	}
+	from := int32(binary.LittleEndian.Uint32(b[6:10]))
+	if from < 0 {
+		return nil, fmt.Errorf("cluster: negative sender %d", from)
+	}
+	seq := binary.LittleEndian.Uint32(b[10:14])
+	blen := binary.LittleEndian.Uint32(b[14:18])
+	if blen > MaxFrameBody {
+		return nil, fmt.Errorf("cluster: %d-byte frame body exceeds the %d cap", blen, MaxFrameBody)
+	}
+	if uint64(len(b)) != uint64(frameHeader)+uint64(blen)+frameTrailer {
+		return nil, fmt.Errorf("cluster: frame length %d does not match body length %d", len(b), blen)
+	}
+	payloadEnd := frameHeader + int(blen)
+	want := binary.LittleEndian.Uint32(b[payloadEnd:])
+	if got := crc32.Checksum(b[:payloadEnd], crcTable); got != want {
+		return nil, fmt.Errorf("cluster: frame CRC mismatch (%08x != %08x)", got, want)
+	}
+	body := make([]byte, blen)
+	copy(body, b[frameHeader:payloadEnd])
+	return &Frame{Type: typ, From: from, Seq: seq, Body: body}, nil
+}
+
+// ---------- round bodies ----------
+
+// RoundBody is the FrameRound payload: one shard's ExchangeFrame for one
+// barrier of one solve. SolveID multiplexes concurrent/stale solves on a
+// shared transport.
+type RoundBody struct {
+	SolveID uint64
+	Frame   primaldual.ExchangeFrame
+}
+
+// EncodeRoundBody renders rb for a FrameRound frame.
+func EncodeRoundBody(rb *RoundBody) []byte {
+	f := &rb.Frame
+	out := make([]byte, 0, 8+4+1+4+4*len(f.Opened)+4+16*len(f.Freezes))
+	out = binary.LittleEndian.AppendUint64(out, rb.SolveID)
+	out = binary.LittleEndian.AppendUint32(out, uint32(f.Index))
+	out = append(out, f.Phase)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Opened)))
+	for _, i := range f.Opened {
+		out = binary.LittleEndian.AppendUint32(out, uint32(i))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Freezes)))
+	for _, ev := range f.Freezes {
+		out = binary.LittleEndian.AppendUint32(out, uint32(ev.Client))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ev.Alpha))
+		out = binary.LittleEndian.AppendUint32(out, uint32(ev.Freely))
+	}
+	return out
+}
+
+// DecodeRoundBody parses a FrameRound payload. Counts are validated against
+// the actual remaining bytes before allocation; indices must be in range for
+// their role (clients and facilities non-negative, Freely ≥ -1, Alpha never
+// NaN), so a decoded body always carries a structurally valid ExchangeFrame.
+func DecodeRoundBody(b []byte) (*RoundBody, error) {
+	const evSize = 4 + 8 + 4
+	if len(b) < 8+4+1+4 {
+		return nil, errors.New("cluster: truncated round body")
+	}
+	rb := &RoundBody{SolveID: binary.LittleEndian.Uint64(b)}
+	f := &rb.Frame
+	f.Index = int32(binary.LittleEndian.Uint32(b[8:12]))
+	if f.Index < 0 {
+		return nil, fmt.Errorf("cluster: negative exchange index %d", f.Index)
+	}
+	f.Phase = b[12]
+	if f.Phase < primaldual.PhaseFree || f.Phase > primaldual.PhaseFinal {
+		return nil, fmt.Errorf("cluster: unknown exchange phase %d", f.Phase)
+	}
+	nOpen := binary.LittleEndian.Uint32(b[13:17])
+	rest := b[17:]
+	if uint64(nOpen) > uint64(len(rest))/4 {
+		return nil, fmt.Errorf("cluster: round body claims %d openings in %d bytes", nOpen, len(rest))
+	}
+	if nOpen > 0 {
+		f.Opened = make([]int32, nOpen)
+		for k := range f.Opened {
+			v := int32(binary.LittleEndian.Uint32(rest[4*k:]))
+			if v < 0 {
+				return nil, fmt.Errorf("cluster: negative facility %d in round body", v)
+			}
+			f.Opened[k] = v
+		}
+	}
+	rest = rest[4*nOpen:]
+	if len(rest) < 4 {
+		return nil, errors.New("cluster: truncated round body (freeze count)")
+	}
+	nFreeze := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(nFreeze)*evSize != uint64(len(rest)) {
+		return nil, fmt.Errorf("cluster: round body claims %d freeze events in %d bytes", nFreeze, len(rest))
+	}
+	if nFreeze > 0 {
+		f.Freezes = make([]primaldual.FreezeEvent, nFreeze)
+		for k := range f.Freezes {
+			off := evSize * k
+			ev := primaldual.FreezeEvent{
+				Client: int32(binary.LittleEndian.Uint32(rest[off:])),
+				Alpha:  math.Float64frombits(binary.LittleEndian.Uint64(rest[off+4:])),
+				Freely: int32(binary.LittleEndian.Uint32(rest[off+12:])),
+			}
+			if ev.Client < 0 {
+				return nil, fmt.Errorf("cluster: negative client %d in freeze event", ev.Client)
+			}
+			if ev.Freely < -1 {
+				return nil, fmt.Errorf("cluster: freeze event freely %d below -1", ev.Freely)
+			}
+			if math.IsNaN(ev.Alpha) {
+				return nil, errors.New("cluster: NaN alpha in freeze event")
+			}
+			f.Freezes[k] = ev
+		}
+	}
+	return rb, nil
+}
+
+// ---------- nack bodies ----------
+
+// NackBody asks the receiver to retransmit its round frame for one barrier.
+type NackBody struct {
+	SolveID uint64
+	Index   int32
+}
+
+// EncodeNackBody renders nb for a FrameNack frame.
+func EncodeNackBody(nb *NackBody) []byte {
+	out := make([]byte, 0, 12)
+	out = binary.LittleEndian.AppendUint64(out, nb.SolveID)
+	out = binary.LittleEndian.AppendUint32(out, uint32(nb.Index))
+	return out
+}
+
+// DecodeNackBody parses a FrameNack payload.
+func DecodeNackBody(b []byte) (*NackBody, error) {
+	if len(b) != 12 {
+		return nil, fmt.Errorf("cluster: %d-byte nack body, want 12", len(b))
+	}
+	nb := &NackBody{
+		SolveID: binary.LittleEndian.Uint64(b),
+		Index:   int32(binary.LittleEndian.Uint32(b[8:])),
+	}
+	if nb.Index < 0 {
+		return nil, fmt.Errorf("cluster: negative nack index %d", nb.Index)
+	}
+	return nb, nil
+}
+
+// ---------- put / ack bodies ----------
+
+// PutBody replicates one store entry: an opaque value under a string key.
+type PutBody struct {
+	Key   string
+	Value []byte
+}
+
+// EncodePutBody renders pb for a FramePut frame.
+func EncodePutBody(pb *PutBody) []byte {
+	out := make([]byte, 0, 2+len(pb.Key)+4+len(pb.Value))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(pb.Key)))
+	out = append(out, pb.Key...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(pb.Value)))
+	out = append(out, pb.Value...)
+	return out
+}
+
+// DecodePutBody parses a FramePut payload.
+func DecodePutBody(b []byte) (*PutBody, error) {
+	if len(b) < 2 {
+		return nil, errors.New("cluster: truncated put body")
+	}
+	klen := int(binary.LittleEndian.Uint16(b))
+	if klen == 0 {
+		return nil, errors.New("cluster: put body with empty key")
+	}
+	if len(b) < 2+klen+4 {
+		return nil, errors.New("cluster: truncated put body (key)")
+	}
+	key := string(b[2 : 2+klen])
+	vlen := binary.LittleEndian.Uint32(b[2+klen:])
+	rest := b[2+klen+4:]
+	if uint64(vlen) != uint64(len(rest)) {
+		return nil, fmt.Errorf("cluster: put body claims %d value bytes, has %d", vlen, len(rest))
+	}
+	val := make([]byte, vlen)
+	copy(val, rest)
+	return &PutBody{Key: key, Value: val}, nil
+}
+
+// AckBody acknowledges a FramePut by the seq of the frame that carried it.
+type AckBody struct {
+	AckSeq uint32
+	Err    string // empty on success
+}
+
+// EncodeAckBody renders ab for a FrameAck frame.
+func EncodeAckBody(ab *AckBody) []byte {
+	out := make([]byte, 0, 4+2+len(ab.Err))
+	out = binary.LittleEndian.AppendUint32(out, ab.AckSeq)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(ab.Err)))
+	out = append(out, ab.Err...)
+	return out
+}
+
+// DecodeAckBody parses a FrameAck payload.
+func DecodeAckBody(b []byte) (*AckBody, error) {
+	if len(b) < 6 {
+		return nil, errors.New("cluster: truncated ack body")
+	}
+	elen := int(binary.LittleEndian.Uint16(b[4:]))
+	if len(b) != 6+elen {
+		return nil, fmt.Errorf("cluster: ack body claims %d error bytes, has %d", elen, len(b)-6)
+	}
+	return &AckBody{AckSeq: binary.LittleEndian.Uint32(b), Err: string(b[6:])}, nil
+}

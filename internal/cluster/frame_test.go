@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/primaldual"
+)
+
+func sampleFrames() []*Frame {
+	round := EncodeRoundBody(&RoundBody{
+		SolveID: 0xDEADBEEFCAFE,
+		Frame: primaldual.ExchangeFrame{
+			Index:  7,
+			Phase:  primaldual.PhaseFreeze,
+			Opened: []int32{0, 3, 19},
+			Freezes: []primaldual.FreezeEvent{
+				{Client: 4, Alpha: 1.25, Freely: -1},
+				{Client: 9, Alpha: 0, Freely: 2},
+			},
+		},
+	})
+	return []*Frame{
+		{Type: FrameRound, From: 2, Seq: 41, Body: round},
+		{Type: FrameNack, From: 0, Seq: 1, Body: EncodeNackBody(&NackBody{SolveID: 12, Index: 3})},
+		{Type: FramePut, From: 1, Seq: 99, Body: EncodePutBody(&PutBody{Key: "sha256:abc", Value: []byte("payload")})},
+		{Type: FrameAck, From: 3, Seq: 100, Body: EncodeAckBody(&AckBody{AckSeq: 99})},
+		{Type: FrameAck, From: 3, Seq: 101, Body: EncodeAckBody(&AckBody{AckSeq: 99, Err: "store full"})},
+		{Type: FrameRound, From: 0, Seq: 0, Body: EncodeRoundBody(&RoundBody{Frame: primaldual.ExchangeFrame{Phase: primaldual.PhaseFree}})},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		wire := EncodeFrame(f)
+		g, err := DecodeFrame(wire)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if g.Type != f.Type || g.From != f.From || g.Seq != f.Seq || !bytes.Equal(g.Body, f.Body) {
+			t.Fatalf("round trip changed frame: %+v vs %+v", f, g)
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	wire := EncodeFrame(sampleFrames()[0])
+	// Every single-byte flip must be rejected: the CRC covers the payload,
+	// the header fields are validated individually.
+	for i := range wire {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0x5A
+		if _, err := DecodeFrame(bad); err == nil {
+			t.Fatalf("corrupted byte %d accepted", i)
+		}
+	}
+	// Truncations and trailing garbage are rejected too.
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := DecodeFrame(wire[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := DecodeFrame(append(append([]byte(nil), wire...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestRoundBodyRoundTrip(t *testing.T) {
+	rb := &RoundBody{
+		SolveID: 77,
+		Frame: primaldual.ExchangeFrame{
+			Index: 12, Phase: primaldual.PhaseOpen,
+			Opened:  []int32{5},
+			Freezes: []primaldual.FreezeEvent{{Client: 0, Alpha: math.Inf(1), Freely: -1}},
+		},
+	}
+	got, err := DecodeRoundBody(EncodeRoundBody(rb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rb, got) {
+		t.Fatalf("round body changed: %+v vs %+v", rb, got)
+	}
+}
+
+func TestBodyDecodersRejectJunk(t *testing.T) {
+	junk := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xFF}, 64)}
+	for _, b := range junk {
+		if _, err := DecodeRoundBody(b); err == nil {
+			t.Fatalf("round body accepted %x", b)
+		}
+		if _, err := DecodeNackBody(b); err == nil && len(b) != 12 {
+			t.Fatalf("nack body accepted %x", b)
+		}
+		if _, err := DecodePutBody(b); err == nil {
+			t.Fatalf("put body accepted %x", b)
+		}
+		if _, err := DecodeAckBody(b); err == nil {
+			t.Fatalf("ack body accepted %x", b)
+		}
+	}
+	// A round body claiming far more events than its bytes must be refused
+	// before allocation.
+	huge := make([]byte, 17)
+	huge[13] = 0xFF
+	huge[14] = 0xFF
+	huge[15] = 0xFF
+	huge[16] = 0x7F
+	if _, err := DecodeRoundBody(huge); err == nil {
+		t.Fatal("oversized opening count accepted")
+	}
+}
+
+// FuzzClusterFrame pins the hostile half of the wire format: DecodeFrame
+// never panics, anything it accepts passes Validate and survives a
+// re-encode/re-decode round trip bit for bit, and the typed body decoders
+// never panic on the accepted frame's body.
+func FuzzClusterFrame(f *testing.F) {
+	for _, s := range sampleFrames() {
+		f.Add(EncodeFrame(s))
+	}
+	f.Add([]byte("FLC1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := DecodeFrame(b)
+		if err != nil {
+			return
+		}
+		if verr := fr.Validate(); verr != nil {
+			t.Fatalf("decoded frame fails Validate: %v", verr)
+		}
+		again, err := DecodeFrame(EncodeFrame(fr))
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if again.Type != fr.Type || again.From != fr.From || again.Seq != fr.Seq || !bytes.Equal(again.Body, fr.Body) {
+			t.Fatal("re-encode round trip changed the frame")
+		}
+		switch fr.Type {
+		case FrameRound:
+			if rb, err := DecodeRoundBody(fr.Body); err == nil {
+				ef := &rb.Frame
+				if ef.Index < 0 || ef.Phase < primaldual.PhaseFree || ef.Phase > primaldual.PhaseFinal {
+					t.Fatalf("decoded round body is invalid: %+v", ef)
+				}
+				for _, ev := range ef.Freezes {
+					if ev.Client < 0 || ev.Freely < -1 || math.IsNaN(ev.Alpha) {
+						t.Fatalf("decoded freeze event is invalid: %+v", ev)
+					}
+				}
+				for _, i := range ef.Opened {
+					if i < 0 {
+						t.Fatalf("decoded opening is negative: %d", i)
+					}
+				}
+			}
+		case FrameNack:
+			if nb, err := DecodeNackBody(fr.Body); err == nil && nb.Index < 0 {
+				t.Fatalf("decoded nack has negative index: %+v", nb)
+			}
+		case FramePut:
+			if pb, err := DecodePutBody(fr.Body); err == nil && pb.Key == "" {
+				t.Fatal("decoded put has empty key")
+			}
+		case FrameAck:
+			_, _ = DecodeAckBody(fr.Body)
+		}
+	})
+}

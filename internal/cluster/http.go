@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// FramePath is the endpoint peers POST wire frames to; the serve layer
+// routes it to HTTPTransport.Deliver.
+const FramePath = "/cluster/frame"
+
+// HTTPTransport moves frames between real faclocd processes: Send POSTs the
+// wire bytes to the peer's FramePath, Deliver is the receiving half the HTTP
+// handler calls with the request body. Loss here is real — connection
+// refused, timeouts, a peer restarting — and surfaces exactly like the
+// virtual fabric's injected loss: the frame doesn't arrive and the layers
+// above NACK or retry.
+type HTTPTransport struct {
+	self   int
+	addrs  []string
+	client *http.Client
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	handler func(*Frame)
+}
+
+// NewHTTPTransport builds the transport for shard self of len(addrs) peers.
+// addrs are base addresses in ring order ("host:port" or full URLs);
+// addrs[self] is this process. A nil client uses http.DefaultClient — the
+// daemon passes one with a timeout so a dead peer costs bounded time.
+func NewHTTPTransport(self int, addrs []string, client *http.Client) (*HTTPTransport, error) {
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("cluster: shard %d of %d addresses", self, len(addrs))
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	norm := make([]string, len(addrs))
+	for i, a := range addrs {
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		norm[i] = strings.TrimRight(a, "/")
+	}
+	return &HTTPTransport{self: self, addrs: norm, client: client}, nil
+}
+
+func (t *HTTPTransport) Self() int { return t.self }
+func (t *HTTPTransport) N() int    { return len(t.addrs) }
+
+// Addr returns shard i's normalized base URL.
+func (t *HTTPTransport) Addr(i int) string { return t.addrs[i] }
+
+func (t *HTTPTransport) SetHandler(h func(*Frame)) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+func (t *HTTPTransport) Send(to int, f *Frame) error {
+	if t.closed.Load() {
+		return fmt.Errorf("cluster: transport closed")
+	}
+	if to < 0 || to >= len(t.addrs) {
+		return fmt.Errorf("cluster: send to shard %d of %d", to, len(t.addrs))
+	}
+	if to == t.self {
+		// Loopback without a socket: decode the encode so the local path
+		// exercises the same validation as the remote one.
+		return t.Deliver(EncodeFrame(f))
+	}
+	resp, err := t.client.Post(t.addrs[to]+FramePath, "application/octet-stream", bytes.NewReader(EncodeFrame(f)))
+	if err != nil {
+		return fmt.Errorf("cluster: frame to shard %d: %w", to, err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: shard %d rejected frame: %s", to, resp.Status)
+	}
+	return nil
+}
+
+// Deliver injects one wire frame received over HTTP. A decode error is
+// returned (the handler responds 400) — corrupt frames are refused loudly,
+// not dropped silently.
+func (t *HTTPTransport) Deliver(b []byte) error {
+	if t.closed.Load() {
+		return fmt.Errorf("cluster: transport closed")
+	}
+	f, err := DecodeFrame(b)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	h := t.handler
+	t.mu.Unlock()
+	if h == nil {
+		return fmt.Errorf("cluster: no frame handler registered")
+	}
+	h(f)
+	return nil
+}
+
+func (t *HTTPTransport) Close() error {
+	t.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/primaldual"
+)
+
+// Node is one shard's cluster brain, transport-agnostic: it demultiplexes
+// inbound frames (solve barriers to the active Exchange, puts into the
+// replicated store), replicates store entries with acked retries, and drives
+// this shard's leg of a distributed solve. faclocd embeds one over an
+// HTTPTransport; the virtual cluster embeds N over one VirtualFabric.
+type Node struct {
+	id      string
+	self    int
+	tr      Transport
+	ring    *Ring
+	seqs    seqSource
+	timeout time.Duration
+	retries int
+
+	mu     sync.Mutex
+	store  map[string][]byte
+	ex     *Exchange
+	exBusy bool
+	acks   map[uint32]chan string
+	onPut  func(key string, value []byte)
+}
+
+// SetOnPut registers a callback fired once per key the replicated store
+// accepts (first write only, local or remote). The serve layer uses it to
+// rebuild cache entries from replicated bytes.
+func (n *Node) SetOnPut(fn func(key string, value []byte)) {
+	n.mu.Lock()
+	n.onPut = fn
+	n.mu.Unlock()
+}
+
+// NewNode wires a node over tr and registers its frame dispatcher. The ring
+// must list every peer; id must be this node's ring member ID at ordinal
+// tr.Self(). timeout/retries ≤ 0 take the exchange defaults.
+func NewNode(id string, tr Transport, ring *Ring, timeout time.Duration, retries int) (*Node, error) {
+	idx, ok := ring.Index(id)
+	if !ok {
+		return nil, fmt.Errorf("cluster: node %q not in ring", id)
+	}
+	if idx != tr.Self() {
+		return nil, fmt.Errorf("cluster: node %q is ring ordinal %d but transport shard %d", id, idx, tr.Self())
+	}
+	if len(ring.Members()) != tr.N() {
+		return nil, fmt.Errorf("cluster: ring has %d members, transport %d shards", len(ring.Members()), tr.N())
+	}
+	if timeout <= 0 {
+		timeout = DefaultExchangeTimeout
+	}
+	if retries <= 0 {
+		retries = DefaultExchangeRetries
+	}
+	n := &Node{
+		id:      id,
+		self:    idx,
+		tr:      tr,
+		ring:    ring,
+		timeout: timeout,
+		retries: retries,
+		store:   make(map[string][]byte),
+		acks:    make(map[uint32]chan string),
+	}
+	tr.SetHandler(n.HandleFrame)
+	return n, nil
+}
+
+// ID returns the node's ring member ID; Self its shard ordinal.
+func (n *Node) ID() string           { return n.id }
+func (n *Node) Self() int            { return n.self }
+func (n *Node) Ring() *Ring          { return n.ring }
+func (n *Node) Transport() Transport { return n.tr }
+
+// HandleFrame is the node's inbound dispatcher (registered as the transport
+// handler; HTTP servers may also call it directly).
+func (n *Node) HandleFrame(f *Frame) {
+	if f == nil || f.Validate() != nil {
+		return
+	}
+	switch f.Type {
+	case FrameRound, FrameNack:
+		n.mu.Lock()
+		ex := n.ex
+		n.mu.Unlock()
+		if ex != nil {
+			ex.HandleFrame(f)
+		}
+	case FramePut:
+		pb, err := DecodePutBody(f.Body)
+		status := ""
+		if err != nil {
+			status = err.Error()
+		} else {
+			n.storePut(pb.Key, pb.Value)
+		}
+		// Ack the seq that carried the put; a lost ack just means the sender
+		// retries and we store idempotently again.
+		ack := EncodeAckBody(&AckBody{AckSeq: f.Seq, Err: status})
+		_ = n.tr.Send(int(f.From), &Frame{Type: FrameAck, From: int32(n.self), Seq: n.seqs.next(), Body: ack})
+	case FrameAck:
+		ab, err := DecodeAckBody(f.Body)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		ch := n.acks[ab.AckSeq]
+		delete(n.acks, ab.AckSeq)
+		n.mu.Unlock()
+		if ch != nil {
+			ch <- ab.Err
+		}
+	}
+}
+
+// storePut is first-write-wins, matching the serve-layer solution store: a
+// replayed replication of a content-addressed entry can never flip bytes.
+func (n *Node) storePut(key string, value []byte) {
+	n.mu.Lock()
+	_, exists := n.store[key]
+	var hook func(string, []byte)
+	if !exists {
+		n.store[key] = value
+		hook = n.onPut
+	}
+	n.mu.Unlock()
+	if hook != nil {
+		hook(key, value)
+	}
+}
+
+// Get reads a key from this node's local store slice.
+func (n *Node) Get(key string) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.store[key]
+	return v, ok
+}
+
+// StoreLen reports how many entries this node holds (metrics, tests).
+func (n *Node) StoreLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.store)
+}
+
+// replicate ships one entry to peer `to` and waits for its ack, retrying
+// with fresh seqs (fresh fault coins) until the retry budget is spent.
+func (n *Node) replicate(ctx context.Context, to int, body []byte) error {
+	for attempt := 0; attempt <= n.retries; attempt++ {
+		seq := n.seqs.next()
+		ch := make(chan string, 1)
+		n.mu.Lock()
+		n.acks[seq] = ch
+		n.mu.Unlock()
+		_ = n.tr.Send(to, &Frame{Type: FramePut, From: int32(n.self), Seq: seq, Body: body})
+		timer := time.NewTimer(n.timeout)
+		select {
+		case status := <-ch:
+			timer.Stop()
+			if status != "" {
+				return fmt.Errorf("cluster: shard %d rejected put: %s", to, status)
+			}
+			return nil
+		case <-ctx.Done():
+			timer.Stop()
+			n.dropAck(seq)
+			return ctx.Err()
+		case <-timer.C:
+			n.dropAck(seq)
+		}
+	}
+	return fmt.Errorf("cluster: no ack from shard %d after %d put attempts", to, n.retries+1)
+}
+
+func (n *Node) dropAck(seq uint32) {
+	n.mu.Lock()
+	delete(n.acks, seq)
+	n.mu.Unlock()
+}
+
+// Put writes key on its owning shard and the next replicas-1 live ring
+// successors — wherever that set includes this node, the write is local.
+// It returns an error if any live target could not be reached ("correct or
+// loud"); dead members are already routed around by the ring.
+func (n *Node) Put(ctx context.Context, key string, value []byte, replicas int) error {
+	return n.PutKeyed(ctx, key, key, value, replicas)
+}
+
+// PutKeyed is Put with the ring placement decoupled from the storage key:
+// the entry lands on routeKey's owner and successors but is stored (and
+// later fetched) under key. The serve layer routes solution entries by their
+// instance's content address so a solution lives with its instance.
+func (n *Node) PutKeyed(ctx context.Context, routeKey, key string, value []byte, replicas int) error {
+	if replicas <= 0 {
+		replicas = 1
+	}
+	targets := n.ring.Successors(routeKey, replicas)
+	if len(targets) == 0 {
+		return fmt.Errorf("cluster: no live shard owns %q", routeKey)
+	}
+	body := EncodePutBody(&PutBody{Key: key, Value: value})
+	for _, m := range targets {
+		if m.ID == n.id {
+			n.storePut(key, value)
+			continue
+		}
+		idx, ok := n.ring.Index(m.ID)
+		if !ok {
+			return fmt.Errorf("cluster: ring member %q has no ordinal", m.ID)
+		}
+		if err := n.replicate(ctx, idx, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SolveDistributed runs this shard's leg of a distributed primal-dual solve.
+// All shards must call it with the same instance, options, and solveID; each
+// returns the full bitwise-identical Result or an explicit error.
+func (n *Node) SolveDistributed(ctx context.Context, c *par.Ctx, in *core.Instance, opts *primaldual.Options, solveID uint64) (*primaldual.Result, error) {
+	ex := NewExchange(n.tr, &n.seqs, solveID, n.timeout, n.retries)
+	n.mu.Lock()
+	if n.exBusy {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("cluster: shard %d already has a solve in flight", n.self)
+	}
+	n.ex, n.exBusy = ex, true
+	n.mu.Unlock()
+	// On completion the exchange stays registered (replaced by the next
+	// solve's): a shard that finishes first must keep answering NACKs for
+	// its final barriers, or a peer still recovering lost frames would
+	// starve into a spurious loud failure.
+	defer func() {
+		n.mu.Lock()
+		n.exBusy = false
+		n.mu.Unlock()
+	}()
+	return primaldual.Distributed(ctx, c, in, opts, n.self, n.tr.N(), ex)
+}
+
+// VirtualCluster is N Nodes over one VirtualFabric: the whole cluster —
+// ring, replication, distributed solves, faults, crashes — inside one
+// process, deterministically schedulable from a FaultPlan seed.
+type VirtualCluster struct {
+	Fabric *VirtualFabric
+	nodes  []*Node
+	ring   *Ring
+}
+
+// VirtualMemberID names virtual shard i; zero-padded so the ring's
+// ID-sorted order equals numeric shard order.
+func VirtualMemberID(i int) string { return fmt.Sprintf("vshard-%03d", i) }
+
+// NewVirtualCluster builds an n-shard virtual cluster under plan.
+// timeout/retries ≤ 0 take the exchange defaults — fault tests pass short
+// timeouts so NACK ladders run in milliseconds.
+func NewVirtualCluster(n int, plan FaultPlan, timeout time.Duration, retries int) (*VirtualCluster, error) {
+	if n <= 0 || n > 999 {
+		return nil, fmt.Errorf("cluster: virtual cluster size %d out of range", n)
+	}
+	members := make([]Member, n)
+	for i := range members {
+		members[i] = Member{ID: VirtualMemberID(i), Addr: fmt.Sprintf("virtual://%d", i)}
+	}
+	ring, err := NewRing(members, 0)
+	if err != nil {
+		return nil, err
+	}
+	vf := NewVirtualFabric(n, plan)
+	vc := &VirtualCluster{Fabric: vf, ring: ring, nodes: make([]*Node, n)}
+	for i := range vc.nodes {
+		node, err := NewNode(members[i].ID, vf.Transport(i), ring, timeout, retries)
+		if err != nil {
+			vf.Close()
+			return nil, err
+		}
+		vc.nodes[i] = node
+	}
+	return vc, nil
+}
+
+// Node returns shard i's Node; Ring the shared ring.
+func (vc *VirtualCluster) Node(i int) *Node { return vc.nodes[i] }
+func (vc *VirtualCluster) Ring() *Ring      { return vc.ring }
+func (vc *VirtualCluster) N() int           { return len(vc.nodes) }
+
+// Crash kills shard i: in-flight frames to it are lost, its sends vanish,
+// and the ring routes its keyspace to live successors.
+func (vc *VirtualCluster) Crash(i int) {
+	vc.Fabric.Crash(i)
+	vc.ring.SetAlive(vc.nodes[i].id, false)
+}
+
+// Restart revives shard i with its store intact (a warm restart: the
+// process's disk survived, the network buffers did not).
+func (vc *VirtualCluster) Restart(i int) {
+	vc.Fabric.Restart(i)
+	vc.ring.SetAlive(vc.nodes[i].id, true)
+}
+
+// Close tears the fabric down and joins every dispatcher goroutine.
+func (vc *VirtualCluster) Close() { vc.Fabric.Close() }
+
+// Solve runs a distributed solve on every shard concurrently (each with
+// `workers` par workers) and returns shard 0's Result after asserting every
+// shard agreed bitwise. Any shard error — fault budget exhausted, lockstep
+// violation, crash timeout — fails the whole solve loudly.
+func (vc *VirtualCluster) Solve(ctx context.Context, in *core.Instance, opts *primaldual.Options, solveID uint64, workers int) (*primaldual.Result, error) {
+	n := len(vc.nodes)
+	results := make([]*primaldual.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &par.Ctx{Workers: workers}
+			results[i], errs[i] = vc.nodes[i].SolveDistributed(ctx, c, in, opts, solveID)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !primaldual.ResultsBitwiseEqual(results[0], results[i]) {
+			return nil, fmt.Errorf("cluster: shard %d diverged from shard 0", i)
+		}
+	}
+	return results[0], nil
+}

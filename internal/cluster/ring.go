@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Member is one node of the ring: a stable identity plus the address peers
+// reach it at (host:port for the HTTP transport, a synthetic name in the
+// virtual cluster).
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// DefaultVNodes is the virtual-node count per member: enough that removing
+// one member spreads its keyspace across the survivors instead of dumping it
+// all on one successor.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// Ring is a consistent-hash ring over a fixed member set with per-member
+// liveness. Placement is a pure function of (member IDs, vnodes, key), so
+// every node that knows the member list computes identical owners with no
+// coordination; marking a member dead reroutes only the keys it owned
+// (they fall to the next live successor), which is how the ring "heals"
+// around a crashed shard.
+type Ring struct {
+	mu      sync.RWMutex
+	members []Member
+	alive   []bool
+	points  []ringPoint
+}
+
+// hash64 maps arbitrary bytes to a point on the circle.
+func hash64(parts ...string) uint64 {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// NewRing builds a ring over members with vnodes virtual nodes each
+// (0 = DefaultVNodes). Member IDs must be unique; members start alive.
+// The member list is sorted by ID, so any permutation of the same set
+// yields an identical ring.
+func NewRing(members []Member, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	ms := make([]Member, len(members))
+	copy(ms, members)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	for i := 1; i < len(ms); i++ {
+		if ms[i].ID == ms[i-1].ID {
+			return nil, fmt.Errorf("cluster: duplicate ring member %q", ms[i].ID)
+		}
+	}
+	r := &Ring{
+		members: ms,
+		alive:   make([]bool, len(ms)),
+		points:  make([]ringPoint, 0, len(ms)*vnodes),
+	}
+	for i := range r.alive {
+		r.alive[i] = true
+	}
+	for i, m := range ms {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(m.ID, fmt.Sprint(v)), member: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+	return r, nil
+}
+
+// Members returns the full member list, sorted by ID (dead ones included).
+func (r *Ring) Members() []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Member, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Index returns the ordinal of the member with the given ID in the sorted
+// member list — the shard index used by distributed solves.
+func (r *Ring) Index(id string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i, m := range r.members {
+		if m.ID == id {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// SetAlive marks a member live or dead. Unknown IDs are ignored (a gossiped
+// obituary for a node we never knew).
+func (r *Ring) SetAlive(id string, alive bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, m := range r.members {
+		if m.ID == id {
+			r.alive[i] = alive
+			return
+		}
+	}
+}
+
+// Alive reports whether the member is currently considered live.
+func (r *Ring) Alive(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i, m := range r.members {
+		if m.ID == id {
+			return r.alive[i]
+		}
+	}
+	return false
+}
+
+// AliveMembers returns the live members, sorted by ID.
+func (r *Ring) AliveMembers() []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Member
+	for i, m := range r.members {
+		if r.alive[i] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Owner returns the live member owning key: the first live member clockwise
+// from the key's point on the circle. ok is false when no member is live.
+func (r *Ring) Owner(key string) (Member, bool) {
+	owners := r.Successors(key, 1)
+	if len(owners) == 0 {
+		return Member{}, false
+	}
+	return owners[0], true
+}
+
+// Successors returns up to n distinct live members clockwise from the key's
+// point — the owner first, then the replicas solution-cache entries copy to.
+func (r *Ring) Successors(key string, n int) []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	kh := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	var out []Member
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] || !r.alive[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		out = append(out, r.members[p.member])
+	}
+	return out
+}

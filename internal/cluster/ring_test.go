@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{ID: VirtualMemberID(i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+	}
+	return ms
+}
+
+func TestRingDeterministicUnderPermutation(t *testing.T) {
+	ms := testMembers(5)
+	a, err := NewRing(ms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []Member{ms[3], ms[0], ms[4], ms[1], ms[2]}
+	b, err := NewRing(perm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 200; k++ {
+		key := fmt.Sprintf("instance-%d", k)
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("key %q: owner %v vs %v under permutation", key, oa, ob)
+		}
+	}
+}
+
+func TestRingRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	ms := testMembers(3)
+	ms[2].ID = ms[0].ID
+	if _, err := NewRing(ms, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestRingOrdinalsMatchSortedOrder(t *testing.T) {
+	r, err := NewRing(testMembers(7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if idx, ok := r.Index(VirtualMemberID(i)); !ok || idx != i {
+			t.Fatalf("member %d has ordinal %d (ok=%v)", i, idx, ok)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndLive(t *testing.T) {
+	r, err := NewRing(testMembers(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 100; k++ {
+		key := fmt.Sprintf("k%d", k)
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("key %q: %d successors", key, len(succ))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m.ID] {
+				t.Fatalf("key %q: successor %q repeated", key, m.ID)
+			}
+			seen[m.ID] = true
+		}
+	}
+}
+
+func TestRingHealsAroundDeadMember(t *testing.T) {
+	r, err := NewRing(testMembers(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key owned by member 2, kill member 2, and check the key moves
+	// to a live node while keys owned elsewhere stay put.
+	victim := VirtualMemberID(2)
+	var victimKey, otherKey string
+	var otherOwner string
+	for k := 0; victimKey == "" || otherKey == ""; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		o, ok := r.Owner(key)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		if o.ID == victim && victimKey == "" {
+			victimKey = key
+		} else if o.ID != victim && otherKey == "" {
+			otherKey, otherOwner = key, o.ID
+		}
+	}
+	r.SetAlive(victim, false)
+	if o, ok := r.Owner(victimKey); !ok || o.ID == victim {
+		t.Fatalf("dead member still owns %q (%v, ok=%v)", victimKey, o, ok)
+	}
+	if o, _ := r.Owner(otherKey); o.ID != otherOwner {
+		t.Fatalf("unrelated key %q moved from %q to %q", otherKey, otherOwner, o.ID)
+	}
+	r.SetAlive(victim, true)
+	if o, _ := r.Owner(victimKey); o.ID != victim {
+		t.Fatalf("revived member did not reclaim %q (owner %q)", victimKey, o.ID)
+	}
+	// All members dead: loudly no owner.
+	for i := 0; i < 4; i++ {
+		r.SetAlive(VirtualMemberID(i), false)
+	}
+	if _, ok := r.Owner(victimKey); ok {
+		t.Fatal("owner reported with every member dead")
+	}
+}

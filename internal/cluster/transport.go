@@ -1,0 +1,38 @@
+package cluster
+
+import "sync/atomic"
+
+// Transport moves frames between the shards of one cluster. Implementations:
+// the in-process virtual cluster (deterministic, fault-injected) and
+// HTTPTransport (real faclocd processes).
+//
+// Send is best-effort: a nil error means the frame was handed to the fabric,
+// not that it arrived — frames can still be dropped, duplicated, delayed, or
+// reordered in flight. A non-nil error means the peer is known-unreachable
+// right now. Recovery from silent loss belongs to the layer above (the
+// Exchange barrier re-requests missing frames by NACK; replication retries
+// unacked puts); the transport itself never blocks waiting for a peer.
+type Transport interface {
+	// Self is this node's shard index in [0, N()); N the cluster size.
+	Self() int
+	N() int
+	// Send delivers f to shard to. from/seq in f must already be stamped
+	// (see seqSource).
+	Send(to int, f *Frame) error
+	// SetHandler registers the inbound-frame consumer. Must be called before
+	// any peer can send; the handler is invoked from transport-owned
+	// goroutines and must not block indefinitely.
+	SetHandler(h func(*Frame))
+	// Close releases transport resources. After Close, Send errors and no
+	// further frames are delivered.
+	Close() error
+}
+
+// seqSource stamps per-sender transport sequence numbers. Every physical
+// send — including a retransmission of the same logical frame — takes a
+// fresh seq, which is what makes fault injection fair: the virtual fabric's
+// coins are a pure function of (plan seed, from, to, seq), so a retransmit
+// flips fresh coins instead of being deterministically re-dropped forever.
+type seqSource struct{ n atomic.Uint32 }
+
+func (s *seqSource) next() uint32 { return s.n.Add(1) }

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// FaultPlan is a seeded description of how hostile the virtual fabric is.
+// Every per-frame decision — drop, duplicate, extra delay — is a pure
+// function of (Seed, from, to, transport seq) through the repo's
+// counter-based splitmix generator, so a plan is replayable: the same seed
+// against the same frame sequence makes exactly the same frames misbehave.
+// Retransmissions carry fresh seqs and therefore flip fresh coins, which is
+// what makes drops recoverable instead of a deterministic black hole.
+type FaultPlan struct {
+	Seed uint64
+	// Drop is the probability a frame is silently discarded.
+	Drop float64
+	// Dup is the probability a frame is delivered twice.
+	Dup float64
+	// MaxDelay ≥ 1 holds each copy back behind up to MaxDelay
+	// subsequently-sent frames to the same destination (0 = in-order).
+	// Delay only reorders relative to other traffic; it never stalls a
+	// frame when the link is otherwise idle. MaxDelay = 1 is pure
+	// pairwise reordering.
+	MaxDelay int
+}
+
+// coins rolls the plan's per-frame decisions for one physical send.
+func (p FaultPlan) coins(from, to int, seq uint32) (drop bool, copies int, delay func(copy int) int) {
+	base := par.Mix64(p.Seed ^ par.Mix64(uint64(from)<<40^uint64(to)<<20^uint64(seq)))
+	drop = par.Unit(base, 0) < p.Drop
+	copies = 1
+	if par.Unit(base, 1) < p.Dup {
+		copies = 2
+	}
+	delay = func(c int) int {
+		if p.MaxDelay <= 0 {
+			return 0
+		}
+		return int(par.Unit(base, 2+c) * float64(p.MaxDelay+1))
+	}
+	return
+}
+
+// VirtualFabric is the in-process "network": N endpoints whose frames pass
+// through per-destination queues driven by dedicated dispatcher goroutines.
+// The fault plan decides each frame's fate at send time; Crash silences an
+// endpoint both ways (its queued inbound frames are lost, exactly like a
+// process dying), Restart brings it back empty. One endpoint's handler runs
+// on one goroutine, so delivery at a node is serial.
+type VirtualFabric struct {
+	plan FaultPlan
+	n    int
+	ends []*virtualEnd
+
+	sent, dropped, duplicated, delivered atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// FabricStats counts what the fault plan actually did — tests assert the
+// plan fired (Dropped > 0) rather than trusting probabilities on faith.
+type FabricStats struct {
+	Sent, Dropped, Duplicated, Delivered uint64
+}
+
+// Stats snapshots the fabric counters.
+func (vf *VirtualFabric) Stats() FabricStats {
+	return FabricStats{
+		Sent:       vf.sent.Load(),
+		Dropped:    vf.dropped.Load(),
+		Duplicated: vf.duplicated.Load(),
+		Delivered:  vf.delivered.Load(),
+	}
+}
+
+type virtualEnd struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   frameHeap
+	pushes  uint64 // per-destination send counter: heap priority base
+	alive   bool
+	closed  bool
+	handler func(*Frame)
+}
+
+// queued is one in-flight frame copy; prio = pushes-at-send + delay, so a
+// delayed frame yields to at most `delay` later sends, then goes.
+type queued struct {
+	prio  uint64
+	order uint64
+	f     *Frame
+}
+
+type frameHeap []queued
+
+func (h frameHeap) Len() int { return len(h) }
+func (h frameHeap) Less(a, b int) bool {
+	if h[a].prio != h[b].prio {
+		return h[a].prio < h[b].prio
+	}
+	return h[a].order < h[b].order
+}
+func (h frameHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *frameHeap) Push(x any)   { *h = append(*h, x.(queued)) }
+func (h *frameHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewVirtualFabric builds the fabric with one dispatcher goroutine per
+// endpoint. A zero FaultPlan is a perfect network.
+func NewVirtualFabric(n int, plan FaultPlan) *VirtualFabric {
+	vf := &VirtualFabric{plan: plan, n: n, ends: make([]*virtualEnd, n)}
+	for i := range vf.ends {
+		e := &virtualEnd{alive: true}
+		e.cond = sync.NewCond(&e.mu)
+		vf.ends[i] = e
+		vf.wg.Add(1)
+		go vf.dispatch(e)
+	}
+	return vf
+}
+
+// dispatch drains one endpoint's inbox in priority order, invoking the
+// handler outside the lock (handlers send frames, which re-enters the
+// fabric).
+func (vf *VirtualFabric) dispatch(e *virtualEnd) {
+	defer vf.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.inbox) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		q := heap.Pop(&e.inbox).(queued)
+		h := e.handler
+		e.mu.Unlock()
+		if h != nil {
+			h(q.f)
+		}
+	}
+}
+
+// Transport returns endpoint i's Transport.
+func (vf *VirtualFabric) Transport(i int) Transport {
+	return &virtualTransport{vf: vf, self: i}
+}
+
+// Crash silences endpoint i: queued inbound frames are discarded, future
+// frames to it vanish, and its own sends error. The dispatcher stays parked.
+func (vf *VirtualFabric) Crash(i int) {
+	e := vf.ends[i]
+	e.mu.Lock()
+	e.alive = false
+	e.inbox = nil
+	e.mu.Unlock()
+}
+
+// Restart revives a crashed endpoint with an empty inbox (whatever was in
+// flight died with the old incarnation). The node layer decides what state
+// survives — the replicated store does, by design.
+func (vf *VirtualFabric) Restart(i int) {
+	e := vf.ends[i]
+	e.mu.Lock()
+	e.alive = true
+	e.mu.Unlock()
+}
+
+// Alive reports endpoint liveness (for ring bookkeeping in tests).
+func (vf *VirtualFabric) Alive(i int) bool {
+	e := vf.ends[i]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.alive && !e.closed
+}
+
+// Close shuts every endpoint down and joins all dispatcher goroutines.
+func (vf *VirtualFabric) Close() {
+	for _, e := range vf.ends {
+		e.mu.Lock()
+		e.closed = true
+		e.inbox = nil
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+	vf.wg.Wait()
+}
+
+type virtualTransport struct {
+	vf   *VirtualFabric
+	self int
+}
+
+func (t *virtualTransport) Self() int { return t.self }
+func (t *virtualTransport) N() int    { return t.vf.n }
+
+func (t *virtualTransport) SetHandler(h func(*Frame)) {
+	e := t.vf.ends[t.self]
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+}
+
+func (t *virtualTransport) Send(to int, f *Frame) error {
+	vf := t.vf
+	if to < 0 || to >= vf.n {
+		return fmt.Errorf("cluster: virtual send to shard %d of %d", to, vf.n)
+	}
+	src := vf.ends[t.self]
+	src.mu.Lock()
+	srcDown := !src.alive || src.closed
+	src.mu.Unlock()
+	if srcDown {
+		return fmt.Errorf("cluster: virtual shard %d is down", t.self)
+	}
+	// Wire round-trip even in-process: the frames CI exercises under faults
+	// are the same bytes the HTTP transport moves.
+	wire := EncodeFrame(f)
+	g, err := DecodeFrame(wire)
+	if err != nil {
+		return fmt.Errorf("cluster: virtual frame rejected: %w", err)
+	}
+	vf.sent.Add(1)
+	drop, copies, delay := vf.plan.coins(t.self, to, f.Seq)
+	if drop {
+		vf.dropped.Add(1)
+		return nil // silent loss: the whole point
+	}
+	if copies > 1 {
+		vf.duplicated.Add(1)
+	}
+	dst := vf.ends[to]
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if !dst.alive || dst.closed {
+		return nil // frames to a dead node vanish, like a real network
+	}
+	for c := 0; c < copies; c++ {
+		dst.pushes++
+		vf.delivered.Add(1)
+		heap.Push(&dst.inbox, queued{prio: dst.pushes + uint64(delay(c)), order: dst.pushes, f: g})
+	}
+	dst.cond.Broadcast()
+	return nil
+}
+
+func (t *virtualTransport) Close() error {
+	e := t.vf.ends[t.self]
+	e.mu.Lock()
+	e.closed = true
+	e.inbox = nil
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return nil
+}

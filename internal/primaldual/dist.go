@@ -1,0 +1,385 @@
+package primaldual
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Distributed runs Algorithm 5.1 as a bulk-synchronous computation across
+// nshards workers, each owning a contiguous block of facilities and clients.
+// Every shard holds the full instance plus a mirror of the dual state
+// (alpha/frozen/opened); per round it sweeps only its own blocks and the
+// shards exchange bounded-size frames — facility-opening announcements and
+// client freeze events — at each barrier. Because every mirror is identical
+// at every barrier and each facility's payment is summed by exactly one
+// shard in the same presorted-prefix order pd-par uses, the final Result
+// (solution, α duals, τ schedule, π, and all counters) is bitwise-identical
+// to Parallel for every (seed, ε) at any shard count.
+//
+// The exchange phases, in lockstep on every shard:
+//
+//	phaseFree   — preprocessing: free-facility announcements (γ/m² payments)
+//	phaseAbsorb — preprocessing: freeze events for clients absorbed by F₀
+//	phaseOpen   — per round: facilities whose slack payments crossed their cost
+//	phaseFreeze — per round: clients that reached an open facility
+//	phaseFinal  — dual finalization when every facility is open (or the
+//	              iteration cap fired), carrying explicit α values
+//
+// A shard that observes a frame from the wrong phase or exchange index —
+// a peer that skipped or replayed a barrier — aborts with an error rather
+// than risk a divergent (wrong) solution.
+
+// Exchange phases; ExchangeFrame.Phase takes one of these.
+const (
+	PhaseFree uint8 = iota + 1
+	PhaseAbsorb
+	PhaseOpen
+	PhaseFreeze
+	PhaseFinal
+	phaseMax
+)
+
+// FreezeEvent reports that a client's dual froze. Alpha is the frozen dual
+// level; Freely is the free facility the client was absorbed by during
+// preprocessing, -1 in every later phase.
+type FreezeEvent struct {
+	Client int32
+	Alpha  float64
+	Freely int32
+}
+
+// ExchangeFrame is one shard's contribution to one bulk-synchronous barrier
+// of a distributed solve. Index is the monotone barrier ordinal (both sides
+// of the exchange verify it, so shards cannot silently fall out of
+// lockstep). Opened lists facilities announced by this shard, ascending;
+// Freezes lists this shard's freeze events.
+type ExchangeFrame struct {
+	Index   int32
+	Phase   uint8
+	Opened  []int32
+	Freezes []FreezeEvent
+}
+
+// Exchanger is the communication substrate of a distributed solve: an
+// allgather. Exchange publishes this shard's frame for one barrier and
+// returns every shard's frame for the same barrier, indexed by shard (the
+// caller's own frame included). Implementations must deliver each peer's
+// frame exactly once per barrier (deduplicating retransmissions) and fail —
+// rather than return partial results — when a peer's frame cannot be
+// obtained.
+type Exchanger interface {
+	Exchange(ctx context.Context, f *ExchangeFrame) ([]*ExchangeFrame, error)
+}
+
+// ResultsBitwiseEqual reports whether two Results agree exactly — the
+// solution, every α dual down to its float bits, π, and all counters. It is
+// the acceptance predicate of the distributed solve: shards must agree on
+// this, not merely on objective value.
+func ResultsBitwiseEqual(a, b *Result) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Alpha) != len(b.Alpha) {
+		return false
+	}
+	for j := range a.Alpha {
+		if math.Float64bits(a.Alpha[j]) != math.Float64bits(b.Alpha[j]) {
+			return false
+		}
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// cut is the fixed block partition: shard s of n owns [cut(n,p,s),
+// cut(n,p,s+1)). Pure function of (n, p), so every shard derives the same
+// ownership map with no negotiation.
+func cut(n, parts, idx int) int {
+	return int(int64(n) * int64(idx) / int64(parts))
+}
+
+// Distributed is the per-shard entry point of the distributed primal-dual
+// solve. All nshards shards must call it with the same instance, options,
+// and a connected Exchanger; each returns the full (identical) Result.
+// On a communication failure or a protocol violation it returns an error —
+// never a partial or divergent solution.
+func Distributed(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options, shard, nshards int, ex Exchanger) (*Result, error) {
+	if nshards <= 0 || shard < 0 || shard >= nshards {
+		return nil, fmt.Errorf("primaldual: shard %d of %d out of range", shard, nshards)
+	}
+	eps := opts.epsilon()
+	nf, nc := in.NF, in.NC
+	m := float64(in.M())
+
+	gamma := core.Gammas(c, in).Gamma
+	if gamma == 0 {
+		// Degenerate instances solve locally on every shard — zero frames,
+		// identical results (the computation is deterministic per instance).
+		return degenerateZeroGamma(c, in), nil
+	}
+
+	s := newPDState(c, in, eps)
+	eng := newPDIncr(s)
+	res := s.res
+	onePlus := s.onePlus
+	base := gamma / (m * m)
+
+	fLo, fHi := cut(nf, nshards, shard), cut(nf, nshards, shard+1)
+	cLo, cHi := cut(nc, nshards, shard), cut(nc, nshards, shard+1)
+
+	seq := int32(0)
+	xchg := func(phase uint8, opened []int32, ev []FreezeEvent) ([]*ExchangeFrame, error) {
+		frames, err := ex.Exchange(ctx, &ExchangeFrame{Index: seq, Phase: phase, Opened: opened, Freezes: ev})
+		if err != nil {
+			return nil, fmt.Errorf("primaldual: shard %d exchange %d (phase %d): %w", shard, seq, phase, err)
+		}
+		if len(frames) != nshards {
+			return nil, fmt.Errorf("primaldual: shard %d exchange %d: %d frames from %d shards", shard, seq, len(frames), nshards)
+		}
+		for k, rf := range frames {
+			if rf == nil || rf.Index != seq || rf.Phase != phase {
+				return nil, fmt.Errorf("primaldual: shard %d exchange %d (phase %d): shard %d out of lockstep", shard, seq, phase, k)
+			}
+		}
+		seq++
+		return frames, nil
+	}
+	applyFreezes := func(frames []*ExchangeFrame, preprocessing bool) error {
+		for _, rf := range frames {
+			for _, ev := range rf.Freezes {
+				j := int(ev.Client)
+				if j < 0 || j >= nc {
+					return fmt.Errorf("primaldual: shard %d: freeze event for client %d outside [0,%d)", shard, j, nc)
+				}
+				if !s.frozen[j] {
+					s.frozen[j] = true
+					s.unfrozen--
+				}
+				s.alpha[j] = ev.Alpha
+				if preprocessing {
+					s.freely[j] = int(ev.Freely)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Preprocessing, step 1 (own facilities): a facility is free when the
+	// slack-free payments at level γ/m² cover its cost. The paid sum walks
+	// the presorted d < γ/m² prefix — identical order and terms to the
+	// single-process sweep, computed by exactly one shard per facility.
+	c.For(fHi-fLo, func(k int) {
+		i := fLo + k
+		row := s.order.Row(i)
+		drow := in.D.Row(i)
+		paid := 0.0
+		for _, cj := range row {
+			d := drow[cj]
+			if d >= base {
+				break // sorted: every later client has zero slack
+			}
+			paid += in.W(int(cj)) * (base - d)
+		}
+		if paid >= in.FacCost[i] {
+			s.isFree[i] = true
+		}
+	})
+	c.Charge(int64(fHi-fLo), 1)
+	var mineFree []int32
+	for i := fLo; i < fHi; i++ {
+		if s.isFree[i] {
+			mineFree = append(mineFree, int32(i))
+		}
+	}
+	frames, err := xchg(PhaseFree, mineFree, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, rf := range frames {
+		for _, fi := range rf.Opened {
+			if fi < 0 || int(fi) >= nf {
+				return nil, fmt.Errorf("primaldual: shard %d: free-facility announcement %d outside [0,%d)", shard, fi, nf)
+			}
+			s.isFree[fi] = true
+		}
+	}
+
+	// Preprocessing, step 2 (own clients): absorb clients within γ/m² of a
+	// free facility — first such facility in index order, as the
+	// single-process loop does. isFree is complete after the exchange above,
+	// so the choice matches.
+	var mineAbsorb []FreezeEvent
+	for j := cLo; j < cHi; j++ {
+		for i := 0; i < nf; i++ {
+			if s.isFree[i] && in.Dist(i, j) <= base {
+				mineAbsorb = append(mineAbsorb, FreezeEvent{Client: int32(j), Alpha: 0, Freely: int32(i)})
+				break
+			}
+		}
+	}
+	c.Charge(int64(nf)*int64(cHi-cLo), 1)
+	if frames, err = xchg(PhaseAbsorb, nil, mineAbsorb); err != nil {
+		return nil, err
+	}
+	if err := applyFreezes(frames, true); err != nil {
+		return nil, err
+	}
+
+	// Free-facility bookkeeping runs identically on every shard (the openList
+	// order must match pd-par's ascending promotion); only the owner
+	// fast-forwards its freeze pointers — no other shard walks them.
+	for i := 0; i < nf; i++ {
+		if !s.isFree[i] {
+			continue
+		}
+		res.FreeFacilities++
+		s.unopened--
+		s.markOpen(i)
+		if i >= fLo && i < fHi {
+			row := s.order.Row(i)
+			drow := in.D.Row(i)
+			p := int32(0)
+			for int(p) < nc && drow[row[p]] <= base {
+				p++
+			}
+			s.openPtr[i] = p
+		}
+	}
+
+	// Main loop, in lockstep: every branch below depends only on mirrored
+	// state (unfrozen/unopened counters, the τ schedule), so all shards take
+	// the same path and the exchange sequence never diverges.
+	maxIter := int(3*math.Log(m+2)/math.Log(onePlus)) + int(math.Log(float64(nc)+2)/math.Log(onePlus)) + 16
+	raiseBody := func(j int) {
+		if !s.frozen[j] {
+			s.alpha[j] = s.tl
+		}
+	}
+	finalize := func(openOnly bool) error {
+		var fin []FreezeEvent
+		for j := cLo; j < cHi; j++ {
+			if s.frozen[j] {
+				continue
+			}
+			best := math.Inf(1)
+			for i := 0; i < nf; i++ {
+				if openOnly && !(s.opened[i] || s.isFree[i]) {
+					continue
+				}
+				if d := in.Dist(i, j); d < best {
+					best = d
+				}
+			}
+			fin = append(fin, FreezeEvent{Client: int32(j), Alpha: best, Freely: -1})
+		}
+		c.Charge(int64(nf)*int64(cHi-cLo), 1)
+		frames, err := xchg(PhaseFinal, nil, fin)
+		if err != nil {
+			return err
+		}
+		if err := applyFreezes(frames, false); err != nil {
+			return err
+		}
+		s.unfrozen = 0
+		return nil
+	}
+	s.tl = base
+	for iter := 0; iter < maxIter; iter++ {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
+		if s.unfrozen == 0 {
+			break
+		}
+		if s.unopened == 0 {
+			// All facilities open: remaining clients freeze at the distance
+			// of the nearest open facility.
+			if err := finalize(true); err != nil {
+				return nil, err
+			}
+			break
+		}
+		res.Iterations++
+		s.thr = onePlus * s.tl
+		// Step 1: raise unfrozen duals — every shard raises its full mirror
+		// (O(nc), cheaper than a frame exchange would be).
+		c.For(nc, raiseBody)
+		// Step 2: payments for own facilities, through the same engine body
+		// pd-par runs, then announce the newly covered ones.
+		eng.touched.Store(0)
+		c.For(fHi-fLo, func(k int) { eng.payBody(fLo + k) })
+		c.Charge(eng.touched.Load()+int64(fHi-fLo), 1)
+		var mineOpen []int32
+		for i := fLo; i < fHi; i++ {
+			if s.justOpened[i] {
+				s.justOpened[i] = false
+				mineOpen = append(mineOpen, int32(i))
+			}
+		}
+		if frames, err = xchg(PhaseOpen, mineOpen, nil); err != nil {
+			return nil, err
+		}
+		// Shard blocks are disjoint and ascending, so applying the frames in
+		// shard order reproduces foldJustOpened's ascending promotion — the
+		// openList stays bitwise-identical to pd-par's.
+		for _, rf := range frames {
+			for _, fi := range rf.Opened {
+				i := int(fi)
+				if i < 0 || i >= nf {
+					return nil, fmt.Errorf("primaldual: shard %d: opening announcement %d outside [0,%d)", shard, i, nf)
+				}
+				if !s.opened[i] && !s.isFree[i] {
+					s.opened[i] = true
+					s.unopened--
+					s.markOpen(i)
+				}
+			}
+		}
+		// Step 3: freezes for own open facilities — the monotone-pointer
+		// sweep of pdIncr.freezes restricted to owned rows, emitting events
+		// for the clients it froze.
+		var mineFroze []FreezeEvent
+		advanced := int64(0)
+		for _, fi := range s.openList {
+			i := int(fi)
+			if i < fLo || i >= fHi {
+				continue
+			}
+			row := s.order.Row(i)
+			drow := in.D.Row(i)
+			p := s.openPtr[i]
+			for int(p) < nc && drow[row[p]] <= s.thr {
+				if j := row[p]; !s.frozen[j] {
+					s.frozen[j] = true
+					s.unfrozen--
+					mineFroze = append(mineFroze, FreezeEvent{Client: j, Alpha: s.alpha[j], Freely: -1})
+				}
+				p++
+			}
+			advanced += int64(p - s.openPtr[i])
+			s.openPtr[i] = p
+		}
+		c.Charge(advanced, 1)
+		if frames, err = xchg(PhaseFreeze, nil, mineFroze); err != nil {
+			return nil, err
+		}
+		if err := applyFreezes(frames, false); err != nil {
+			return nil, err
+		}
+		s.tl *= onePlus
+	}
+	// Feasibility backstop: the iteration cap fired with clients unfrozen
+	// (cannot happen within the bound). Unlike the single-process version
+	// this needs a barrier, so it only runs when there is work to do — the
+	// mirrored unfrozen counter keeps the shards agreeing on that.
+	if s.unfrozen > 0 {
+		if err := finalize(false); err != nil {
+			return nil, err
+		}
+	}
+	return s.finish(opts), nil
+}

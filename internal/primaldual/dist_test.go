@@ -1,0 +1,150 @@
+package primaldual
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// memExchange is the minimal Exchanger: an in-memory allgather barrier with
+// no transport underneath. It pins the Distributed algorithm itself; the
+// cluster package tests the same driver over real frame transports with
+// faults injected.
+type memExchange struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	rounds map[int32][]*ExchangeFrame
+	err    error
+}
+
+func newMemExchange(n int) *memExchange {
+	m := &memExchange{n: n, rounds: make(map[int32][]*ExchangeFrame)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+type memShard struct {
+	m    *memExchange
+	self int
+}
+
+func (m *memExchange) shard(self int) Exchanger { return &memShard{m: m, self: self} }
+
+func (s *memShard) Exchange(ctx context.Context, f *ExchangeFrame) ([]*ExchangeFrame, error) {
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.rounds[f.Index] == nil {
+		m.rounds[f.Index] = make([]*ExchangeFrame, m.n)
+	}
+	m.rounds[f.Index][s.self] = f
+	m.cond.Broadcast()
+	for {
+		if m.err != nil {
+			return nil, m.err
+		}
+		full := true
+		for _, rf := range m.rounds[f.Index] {
+			if rf == nil {
+				full = false
+				break
+			}
+		}
+		if full {
+			out := make([]*ExchangeFrame, m.n)
+			copy(out, m.rounds[f.Index])
+			return out, nil
+		}
+		m.cond.Wait()
+	}
+}
+
+// runDistributed solves in on n shards over a memExchange and returns every
+// shard's Result.
+func runDistributed(t *testing.T, in *core.Instance, o *Options, n, workers int) []*Result {
+	t.Helper()
+	m := newMemExchange(n)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c := &par.Ctx{Workers: workers}
+			results[s], errs[s] = Distributed(context.Background(), c, in, o, s, n, m.shard(s))
+			if errs[s] != nil {
+				m.mu.Lock()
+				m.err = errs[s]
+				m.cond.Broadcast()
+				m.mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", s, n, err)
+		}
+	}
+	return results
+}
+
+// requireBitwise asserts two Results are bitwise-identical: same solution,
+// same α duals bit for bit, same τ schedule (iteration count), same π.
+func requireBitwise(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if len(want.Alpha) != len(got.Alpha) {
+		t.Fatalf("%s: |alpha| %d vs %d", label, len(want.Alpha), len(got.Alpha))
+	}
+	for j := range want.Alpha {
+		if math.Float64bits(want.Alpha[j]) != math.Float64bits(got.Alpha[j]) {
+			t.Fatalf("%s: alpha[%d] = %x vs %x", label, j,
+				math.Float64bits(want.Alpha[j]), math.Float64bits(got.Alpha[j]))
+		}
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: results differ\nwant %+v\ngot  %+v", label, want, got)
+	}
+}
+
+// TestDistributedBitwiseEqualsParallel is the conformance core: for every
+// instance family, seed, ε, and shard count in {1,2,3,5,8}, the distributed
+// solve returns a Result bitwise-identical to single-process Parallel, on
+// every shard.
+func TestDistributedBitwiseEqualsParallel(t *testing.T) {
+	for label, in := range pdEngineInstances() {
+		for _, seed := range []int64{0, 7} {
+			for _, eps := range []float64{0.1, 0.3, 0.9} {
+				o := &Options{Epsilon: eps, Seed: seed}
+				want := mustPD(&par.Ctx{}, in, o)
+				for _, n := range []int{1, 2, 3, 5, 8} {
+					name := fmt.Sprintf("%s/seed%d/eps%g/shards%d", label, seed, eps, n)
+					results := runDistributed(t, in, o, n, 2)
+					for s, got := range results {
+						requireBitwise(t, fmt.Sprintf("%s/shard%d", name, s), want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistributedShardArgsValidated: out-of-range shard coordinates are an
+// error, not a hang.
+func TestDistributedShardArgsValidated(t *testing.T) {
+	in := inst(1, 3, 9)
+	m := newMemExchange(1)
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {0, 0}} {
+		if _, err := Distributed(context.Background(), &par.Ctx{}, in, nil, bad[0], bad[1], m.shard(0)); err == nil {
+			t.Fatalf("shard %d of %d accepted", bad[0], bad[1])
+		}
+	}
+}

@@ -138,23 +138,7 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 	gamma := gb.Gamma
 
 	if gamma == 0 {
-		// Degenerate: every client has a zero-cost facility at distance 0.
-		// Open each client's γ_j-facility; total cost 0.
-		res := &Result{}
-		opened := make([]bool, nf)
-		for j := 0; j < nc; j++ {
-			for i := 0; i < nf; i++ {
-				if in.FacCost[i]+in.Dist(i, j) == 0 {
-					opened[i] = true
-					break
-				}
-			}
-		}
-		open := par.PackIndex(c, nf, func(i int) bool { return opened[i] })
-		res.Alpha = make([]float64, nc)
-		res.Sol = core.EvalOpen(c, in, open)
-		res.Pi = res.Sol.Assign
-		return res, nil
+		return degenerateZeroGamma(c, in), nil
 	}
 
 	s := newPDState(c, in, eps)
@@ -290,6 +274,39 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 		s.alpha[j] = best
 		s.frozen[j] = true
 	})
+	return s.finish(opts), nil
+}
+
+// degenerateZeroGamma handles γ = 0: every client has a zero-cost facility at
+// distance 0. Open each client's γ_j-facility; total cost 0.
+func degenerateZeroGamma(c *par.Ctx, in *core.Instance) *Result {
+	nf, nc := in.NF, in.NC
+	res := &Result{}
+	opened := make([]bool, nf)
+	for j := 0; j < nc; j++ {
+		for i := 0; i < nf; i++ {
+			if in.FacCost[i]+in.Dist(i, j) == 0 {
+				opened[i] = true
+				break
+			}
+		}
+	}
+	open := par.PackIndex(c, nf, func(i int) bool { return opened[i] })
+	res.Alpha = make([]float64, nc)
+	res.Sol = core.EvalOpen(c, in, open)
+	res.Pi = res.Sol.Assign
+	return res
+}
+
+// finish is the shared postprocessing of the parallel and distributed solvers:
+// given converged duals (alpha/frozen/freely) and the tentatively open set, it
+// builds H, runs MaxUDom, derives the π assignment, and evaluates FA = I ∪ F₀.
+// It is a pure function of the state, so shards of a distributed solve that
+// hold identical mirrors produce bitwise-identical Results.
+func (s *pdState) finish(opts *Options) *Result {
+	c, in, nf, nc := s.c, s.in, s.nf, s.nc
+	onePlus := s.onePlus
+	res := s.res
 	alpha := s.alpha
 	opened := s.opened
 	isFree := s.isFree
@@ -400,5 +417,5 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 	res.Alpha = alpha
 	res.Pi = pi
 	res.Sol = core.EvalOpen(c, in, fa)
-	return res, nil
+	return res
 }

@@ -1,0 +1,654 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	facloc "repro"
+	"repro/internal/cluster"
+	"repro/internal/par"
+	"repro/internal/primaldual"
+)
+
+// forwardedHeader loop-guards request forwarding: a forwarded request is
+// served where it lands, even if the ring has shifted meanwhile — one hop,
+// never a routing loop.
+const forwardedHeader = "X-Facloc-Forwarded"
+
+// DistSolverName is the solver name the cluster intercepts: on a clustered
+// daemon a /solve naming it runs the genuinely distributed primal-dual
+// (every shard a faclocd process, frames over HTTP); on a single-node daemon
+// it falls through to the registry's virtual-cluster implementation. Both
+// produce bitwise-identical solutions.
+const DistSolverName = "pd-dist"
+
+// ClusterConfig wires a Server into a faclocd shard ring.
+type ClusterConfig struct {
+	// Self is this daemon's advertised address; it must appear in Peers.
+	Self string
+	// Peers is the full member list (including Self), identical on every
+	// daemon — member identity is the address string, so the ring is the
+	// same everywhere without coordination.
+	Peers []string
+	// Replicas is how many shards hold each solution entry: the owner plus
+	// Replicas-1 ring successors (0 = 2).
+	Replicas int
+	// Timeout/Retries shape the frame NACK and put-ack ladders
+	// (0 = cluster defaults).
+	Timeout time.Duration
+	Retries int
+	// HealthInterval is the peer liveness probe period (0 = 2s; negative
+	// disables the loop — tests drive SetAlive directly).
+	HealthInterval time.Duration
+	// Client performs peer HTTP calls (nil = a 10s-timeout client).
+	Client *http.Client
+}
+
+func (c ClusterConfig) replicas() int {
+	if c.Replicas > 0 {
+		return c.Replicas
+	}
+	return 2
+}
+
+// A daemon's frame timeout defaults shorter than the library's: the common
+// stall is a peer that registered its solve leg a beat late, and a 500ms
+// NACK round-trip recovers it cheaply; the larger retry budget keeps the
+// total loud-failure horizon at 5s.
+func (c ClusterConfig) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 500 * time.Millisecond
+}
+
+func (c ClusterConfig) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 10
+}
+
+func (c ClusterConfig) healthInterval() time.Duration {
+	if c.HealthInterval == 0 {
+		return 2 * time.Second
+	}
+	return c.HealthInterval
+}
+
+// clusterState is the Server's shard-ring brain: ring + node + transport,
+// the health loop, and the cluster metrics.
+type clusterState struct {
+	cfg    ClusterConfig
+	selfID string
+	ring   *cluster.Ring
+	tr     *cluster.HTTPTransport
+	node   *cluster.Node
+	client *http.Client
+
+	forwarded       atomic.Int64
+	forwardErrors   atomic.Int64
+	replicated      atomic.Int64
+	replicateErrors atomic.Int64
+	framesIn        atomic.Int64
+	distSolves      atomic.Int64
+
+	stopOnce   sync.Once
+	stopHealth chan struct{}
+	healthDone chan struct{}
+}
+
+// EnableCluster joins the server to a shard ring. Call it after New and
+// before Handler; a server without it is a plain single-node daemon.
+func (s *Server) EnableCluster(cfg ClusterConfig) error {
+	if s.cl != nil {
+		return errors.New("serve: cluster already enabled")
+	}
+	if len(cfg.Peers) == 0 {
+		return errors.New("serve: cluster config has no peers")
+	}
+	members := make([]cluster.Member, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		members[i] = cluster.Member{ID: p, Addr: p}
+	}
+	ring, err := cluster.NewRing(members, 0)
+	if err != nil {
+		return err
+	}
+	idx, ok := ring.Index(cfg.Self)
+	if !ok {
+		return fmt.Errorf("serve: self %q is not in the peer list", cfg.Self)
+	}
+	ordered := ring.Members()
+	addrs := make([]string, len(ordered))
+	for i, m := range ordered {
+		addrs[i] = m.Addr
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	tr, err := cluster.NewHTTPTransport(idx, addrs, client)
+	if err != nil {
+		return err
+	}
+	node, err := cluster.NewNode(cfg.Self, tr, ring, cfg.timeout(), cfg.retries())
+	if err != nil {
+		return err
+	}
+	cl := &clusterState{
+		cfg:        cfg,
+		selfID:     cfg.Self,
+		ring:       ring,
+		tr:         tr,
+		node:       node,
+		client:     client,
+		stopHealth: make(chan struct{}),
+		healthDone: make(chan struct{}),
+	}
+	node.SetOnPut(func(key string, value []byte) { s.installReplica(key, value) })
+	s.cl = cl
+	if cfg.HealthInterval >= 0 {
+		go cl.healthLoop()
+	} else {
+		close(cl.healthDone)
+	}
+	return nil
+}
+
+// stop ends the health loop and transport; called from Server.Shutdown.
+func (cl *clusterState) stop() {
+	cl.stopOnce.Do(func() {
+		close(cl.stopHealth)
+		<-cl.healthDone
+		_ = cl.tr.Close()
+	})
+}
+
+// healthLoop probes every peer's /healthz and flips ring liveness. A dead or
+// draining peer drops out of the ring (its keyspace falls to successors);
+// a recovered one rejoins — this is the whole of "the ring heals".
+func (cl *clusterState) healthLoop() {
+	defer close(cl.healthDone)
+	tick := time.NewTicker(cl.cfg.healthInterval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-cl.stopHealth:
+			return
+		case <-tick.C:
+			for _, m := range cl.ring.Members() {
+				if m.ID == cl.selfID {
+					continue
+				}
+				cl.ring.SetAlive(m.ID, cl.probe(m))
+			}
+		}
+	}
+}
+
+func (cl *clusterState) probe(m cluster.Member) bool {
+	resp, err := cl.client.Get(cl.tr.Addr(mustIndex(cl.ring, m.ID)) + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	return resp.StatusCode == http.StatusOK
+}
+
+func mustIndex(r *cluster.Ring, id string) int {
+	idx, ok := r.Index(id)
+	if !ok {
+		panic("serve: ring member " + id + " vanished")
+	}
+	return idx
+}
+
+// owner returns the live shard owning key, and whether it is this one.
+func (cl *clusterState) owner(key string) (cluster.Member, bool, bool) {
+	m, ok := cl.ring.Owner(key)
+	return m, m.ID == cl.selfID, ok
+}
+
+// ---------- replication ----------
+
+// replicaEntry is the wire form of a replicated solution-cache entry. Report
+// is the origin shard's rendered bytes, replayed verbatim on the replica —
+// it embeds work/span/wall-time, so re-rendering would break byte-identical
+// hit responses across shards. The solution travels in full so the replica
+// can serve the query path (and rebuild the Handle when it holds the
+// instance).
+type replicaEntry struct {
+	ID             string          `json:"id"`
+	Key            string          `json:"key"`
+	InstHash       string          `json:"instance_hash"`
+	Solver         string          `json:"solver"`
+	Seed           int64           `json:"seed"`
+	Report         json.RawMessage `json:"report"`
+	Open           []int           `json:"open"`
+	Assign         []int           `json:"assign"`
+	FacilityCost   float64         `json:"facility_cost"`
+	ConnectionCost float64         `json:"connection_cost"`
+}
+
+// replicateEntry ships a freshly solved entry to the shards that own its
+// instance. Failure leaves the local result intact and correct — it is
+// counted and reported, not hidden, but does not fail the solve.
+func (s *Server) replicateEntry(e *entry) {
+	cl := s.cl
+	rep, err := json.Marshal(replicaEntry{
+		ID:             e.id,
+		Key:            e.key,
+		InstHash:       e.instHash,
+		Solver:         e.report.Solver,
+		Seed:           e.seed,
+		Report:         e.reportJSON,
+		Open:           e.report.Solution.Open,
+		Assign:         e.report.Solution.Assign,
+		FacilityCost:   e.report.Solution.FacilityCost,
+		ConnectionCost: e.report.Solution.ConnectionCost,
+	})
+	if err != nil {
+		cl.replicateErrors.Add(1)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Routed by the instance hash: a solution lives where its instance does.
+	if err := cl.node.PutKeyed(ctx, e.instHash, e.id, rep, cl.cfg.replicas()); err != nil {
+		cl.replicateErrors.Add(1)
+		return
+	}
+	cl.replicated.Add(1)
+}
+
+// installReplica rebuilds a cache entry from replicated bytes and inserts it
+// (first-write-wins, like every path into the cache). The origin's rendered
+// report is stored verbatim; the Handle is rebuilt only when this shard
+// holds the instance — without it the entry still serves report replays and
+// assignment-free paths.
+func (s *Server) installReplica(key string, value []byte) {
+	var re replicaEntry
+	if err := json.Unmarshal(value, &re); err != nil || re.ID == "" || re.Key == "" {
+		s.cl.replicateErrors.Add(1)
+		return
+	}
+	solver, ok := facloc.Lookup(re.Solver)
+	if !ok {
+		s.cl.replicateErrors.Add(1)
+		return
+	}
+	sol := &facloc.Solution{
+		Open:           re.Open,
+		Assign:         re.Assign,
+		FacilityCost:   re.FacilityCost,
+		ConnectionCost: re.ConnectionCost,
+	}
+	e := &entry{
+		id:       re.ID,
+		key:      re.Key,
+		instHash: re.InstHash,
+		report: &facloc.Report{
+			Solver:    re.Solver,
+			Guarantee: solver.Guarantee(),
+			Solution:  sol,
+		},
+		reportJSON: []byte(re.Report),
+		seed:       re.Seed,
+	}
+	if in, ok := s.st.instance(re.InstHash); ok && len(sol.Assign) == in.NC {
+		e.handle = newHandle(in, sol)
+	}
+	s.st.putSolution(e)
+}
+
+// ---------- forwarding ----------
+
+// forwardToOwner proxies a request body to the shard owning key, marking it
+// forwarded so the receiver serves it locally. Returns false when the
+// request should be served here instead: this shard owns the key, the
+// request already hopped once, or the owner is unreachable (counted, and
+// served locally — routing is placement, not correctness).
+func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, key, path string, body []byte) bool {
+	cl := s.cl
+	if cl == nil || r.Header.Get(forwardedHeader) != "" {
+		return false
+	}
+	m, self, ok := cl.owner(key)
+	if !ok || self {
+		return false
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		cl.tr.Addr(mustIndex(cl.ring, m.ID))+path, bytes.NewReader(body))
+	if err != nil {
+		cl.forwardErrors.Add(1)
+		return false
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	req.Header.Set(forwardedHeader, "1")
+	resp, err := cl.client.Do(req)
+	if err != nil {
+		// The owner just died and the health loop hasn't noticed yet: mark
+		// it, serve locally. No wrong answer either way.
+		cl.ring.SetAlive(m.ID, false)
+		cl.forwardErrors.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	cl.forwarded.Add(1)
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// replicateInstance ships a freshly submitted instance to the shard owning
+// its hash, so hash-only requests routed there always find it. Failure is
+// counted, not fatal — the submitter's shard can still serve the instance.
+func (s *Server) replicateInstance(r *http.Request, hash string, body []byte) {
+	cl := s.cl
+	if cl == nil || r.Header.Get(forwardedHeader) != "" {
+		return
+	}
+	m, self, ok := cl.owner(hash)
+	if !ok || self {
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		cl.tr.Addr(mustIndex(cl.ring, m.ID))+"/instances", bytes.NewReader(body))
+	if err != nil {
+		cl.replicateErrors.Add(1)
+		return
+	}
+	req.Header.Set(forwardedHeader, "1")
+	resp, err := cl.client.Do(req)
+	if err != nil {
+		cl.replicateErrors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		cl.replicateErrors.Add(1)
+	}
+}
+
+// forwardSolve routes a /solve request to the shard owning its instance.
+// With the instance in hand it travels inline (the owner may not hold it
+// yet); a hash-only request the local store cannot answer forwards by hash
+// alone. Returns false when the request should be served here.
+func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, req *SolveRequest, in *facloc.Instance, instHash string) bool {
+	if s.cl == nil || r.Header.Get(forwardedHeader) != "" {
+		return false
+	}
+	fwd := *req
+	if in != nil {
+		var buf bytes.Buffer
+		if err := facloc.WriteInstance(&buf, in); err != nil {
+			return false
+		}
+		fwd.Hash, fwd.Instance = "", buf.Bytes()
+	}
+	body, err := json.Marshal(&fwd)
+	if err != nil {
+		return false
+	}
+	return s.forwardToOwner(w, r, instHash, "/solve", body)
+}
+
+// ---------- distributed solve ----------
+
+// distSolveRequest is the POST /cluster/solve body: the coordinator fans it
+// to every peer, instance inline (shards need the full instance; it enters
+// each shard's store content-addressed).
+type distSolveRequest struct {
+	SolveID  uint64          `json:"solve_id"`
+	Hash     string          `json:"hash"`
+	Epsilon  float64         `json:"eps"`
+	Seed     int64           `json:"seed"`
+	Workers  int             `json:"workers,omitempty"`
+	Instance json.RawMessage `json:"instance"`
+}
+
+// solveIDFor derives the shared solve ordinal every shard uses to
+// multiplex frames: deterministic in the cache key, so no allocation round.
+func solveIDFor(key string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-64 offset basis
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h | 1 // never zero
+}
+
+// distLeg runs this shard's leg of a distributed solve and caches the
+// result under the pd-dist solver name.
+func (s *Server) distLeg(ctx context.Context, in *facloc.Instance, instHash string, opts facloc.Options, solveID uint64) (*entry, error) {
+	solver, ok := facloc.Lookup(DistSolverName)
+	if !ok {
+		return nil, &unknownSolverError{name: DistSolverName}
+	}
+	key := solveKey(instHash, DistSolverName, opts)
+	id := solutionID(key)
+	if e, ok := s.st.solution(id); ok && e.key == key {
+		s.met.cacheHits.Add(1)
+		return e, nil
+	}
+	s.met.cacheMisses.Add(1)
+	s.met.solvesTotal.Add(1)
+	s.cl.distSolves.Add(1)
+	start := time.Now()
+	c := &par.Ctx{Workers: opts.Workers}
+	res, err := s.cl.node.SolveDistributed(ctx, c, in, &primaldual.Options{
+		Epsilon: opts.Canonical().Epsilon, Seed: opts.Seed,
+	}, solveID)
+	if err != nil {
+		s.met.solveErrors.Add(1)
+		return nil, err
+	}
+	e := &entry{
+		id:       id,
+		key:      key,
+		instHash: instHash,
+		report: &facloc.Report{
+			Solver:    DistSolverName,
+			Guarantee: solver.Guarantee(),
+			Solution:  res.Sol,
+			Stats:     facloc.Stats{WallTime: time.Since(start)},
+		},
+		handle: newHandle(in, res.Sol),
+		seed:   opts.Seed,
+	}
+	e.reportJSON = renderReport(e)
+	return s.st.putSolution(e), nil
+}
+
+// handleClusterSolve is the peer side of a distributed solve: store the
+// instance, run this shard's leg, return the cached id. The coordinator
+// POSTs it to every peer; frames flow through /cluster/frame while each
+// peer's handler is blocked here.
+func (s *Server) handleClusterSolve(w http.ResponseWriter, r *http.Request) {
+	if s.cl == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: clustering is not enabled"))
+		return
+	}
+	body, err := readCapped(r.Body, s.cfg.maxBody())
+	if err != nil {
+		writeError(w, status(err), err)
+		return
+	}
+	var req distSolveRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	in, err := facloc.ReadInstance(bytes.NewReader(req.Instance))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	instHash, _, err := s.st.putInstance(in)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Hash != "" && req.Hash != instHash {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: instance hashes to %s, request says %s", instHash, req.Hash))
+		return
+	}
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		writeError(w, status(err), err)
+		return
+	}
+	defer release()
+	ctx, cancel := s.solveContext(r.Context(), 0)
+	defer cancel()
+	opts := facloc.Options{Epsilon: req.Epsilon, Seed: req.Seed, Workers: req.Workers, TrackCost: true, DenseLimit: s.cfg.denseLimit()}
+	e, err := s.distLeg(ctx, in, instHash, opts, req.SolveID)
+	if err != nil {
+		writeError(w, status(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse{ID: e.id, InstanceHash: e.instHash, Cached: true, Report: e.reportJSON})
+}
+
+// distSolve coordinates a distributed solve across the whole ring: ship the
+// instance and solve ordinal to every peer, run the local leg, and require
+// every leg to succeed. Any shard failing — crashed, lagging, partitioned —
+// fails the request loudly; the solution is never served from a partial
+// round.
+func (s *Server) distSolve(ctx context.Context, in *facloc.Instance, instHash string, opts facloc.Options) (*entry, error) {
+	cl := s.cl
+	key := solveKey(instHash, DistSolverName, opts)
+	if e, ok := s.st.solution(solutionID(key)); ok && e.key == key {
+		s.met.cacheHits.Add(1)
+		return e, nil
+	}
+	var buf bytes.Buffer
+	if err := facloc.WriteInstance(&buf, in); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(distSolveRequest{
+		SolveID:  solveIDFor(key),
+		Hash:     instHash,
+		Epsilon:  opts.Canonical().Epsilon,
+		Seed:     opts.Seed,
+		Workers:  opts.Workers,
+		Instance: buf.Bytes(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	members := cl.ring.Members()
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		if m.ID == cl.selfID {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m cluster.Member) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+				cl.tr.Addr(i)+"/cluster/solve", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := cl.client.Do(req)
+			if err != nil {
+				errs[i] = fmt.Errorf("serve: shard %s: %w", m.ID, err)
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("serve: shard %s: %s: %s", m.ID, resp.Status, bytes.TrimSpace(b))
+			}
+		}(i, m)
+	}
+	e, legErr := s.distLeg(ctx, in, instHash, opts, solveIDFor(key))
+	wg.Wait()
+	if legErr != nil {
+		return nil, legErr
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ---------- cluster HTTP surface ----------
+
+func (s *Server) handleClusterFrame(w http.ResponseWriter, r *http.Request) {
+	if s.cl == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: clustering is not enabled"))
+		return
+	}
+	body, err := readCapped(r.Body, int64(cluster.MaxFrameBody)+64)
+	if err != nil {
+		writeError(w, status(err), err)
+		return
+	}
+	if err := s.cl.tr.Deliver(body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cl.framesIn.Add(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+// memberView is one ring row of GET /cluster/ring.
+type memberView struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+}
+
+type ringView struct {
+	Self    string       `json:"self"`
+	Members []memberView `json:"members"`
+}
+
+func (s *Server) handleClusterRing(w http.ResponseWriter, r *http.Request) {
+	if s.cl == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: clustering is not enabled"))
+		return
+	}
+	ms := s.cl.ring.Members()
+	view := ringView{Self: s.cl.selfID, Members: make([]memberView, 0, len(ms))}
+	for _, m := range ms {
+		view.Members = append(view.Members, memberView{ID: m.ID, Addr: m.Addr, Alive: s.cl.ring.Alive(m.ID)})
+	}
+	sort.Slice(view.Members, func(a, b int) bool { return view.Members[a].ID < view.Members[b].ID })
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) clusterMetrics(w io.Writer) {
+	cl := s.cl
+	if cl == nil {
+		return
+	}
+	alive := len(cl.ring.AliveMembers())
+	fmt.Fprintf(w, "faclocd_cluster_peers %d\n", len(cl.ring.Members()))
+	fmt.Fprintf(w, "faclocd_cluster_peers_alive %d\n", alive)
+	fmt.Fprintf(w, "faclocd_cluster_forwarded_total %d\n", cl.forwarded.Load())
+	fmt.Fprintf(w, "faclocd_cluster_forward_errors_total %d\n", cl.forwardErrors.Load())
+	fmt.Fprintf(w, "faclocd_cluster_replicated_total %d\n", cl.replicated.Load())
+	fmt.Fprintf(w, "faclocd_cluster_replicate_errors_total %d\n", cl.replicateErrors.Load())
+	fmt.Fprintf(w, "faclocd_cluster_frames_in_total %d\n", cl.framesIn.Load())
+	fmt.Fprintf(w, "faclocd_cluster_dist_solves_total %d\n", cl.distSolves.Load())
+	fmt.Fprintf(w, "faclocd_cluster_store_entries %d\n", cl.node.StoreLen())
+}

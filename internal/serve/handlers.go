@@ -15,6 +15,7 @@ import (
 	"time"
 
 	facloc "repro"
+	"repro/internal/cluster"
 )
 
 // Handler returns the HTTP surface of the server.
@@ -31,6 +32,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /solutions/{id}/assign", s.handleAssign)
 	mux.HandleFunc("GET /solutions/{id}/nearest", s.handleNearest)
 	mux.HandleFunc("POST /solutions/{id}/query", s.handleQueryStream)
+	mux.HandleFunc("POST "+cluster.FramePath, s.handleClusterFrame)
+	mux.HandleFunc("GET /cluster/ring", s.handleClusterRing)
+	mux.HandleFunc("POST /cluster/solve", s.handleClusterSolve)
 	return mux
 }
 
@@ -119,6 +123,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "faclocd_queries_total %d\n", s.met.queriesTotal.Load())
 	fmt.Fprintf(w, "faclocd_batch_requests_total %d\n", s.met.batchTotal.Load())
 	fmt.Fprintf(w, "faclocd_draining %d\n", draining)
+	s.clusterMetrics(w)
 }
 
 type instanceMeta struct {
@@ -151,6 +156,9 @@ func (s *Server) handlePutInstance(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if created {
+		s.replicateInstance(r, hash, body)
 	}
 	code := http.StatusOK
 	if created {
@@ -233,6 +241,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		var ok bool
 		in, ok = s.st.instance(req.Hash)
 		if !ok {
+			// Another shard may hold it: route by the hash before 404ing.
+			if s.forwardSolve(w, r, req, nil, req.Hash) {
+				return
+			}
 			writeError(w, http.StatusNotFound, fmt.Errorf("serve: no instance %s (POST /instances first)", req.Hash))
 			return
 		}
@@ -256,6 +268,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A clustered miss solves on the shard owning the instance (one hop —
+	// a forwarded request is always served where it lands).
+	if s.forwardSolve(w, r, req, in, instHash) {
+		return
+	}
+
 	release, err := s.acquire(r.Context())
 	if err != nil {
 		writeError(w, status(err), err)
@@ -265,7 +283,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.solveContext(r.Context(), time.Duration(req.TimeoutMS)*time.Millisecond)
 	defer cancel()
-	e, hit, err := s.solve(ctx, in, instHash, solver, opts)
+	var e *entry
+	hit := false
+	if s.cl != nil && solver.Name() == DistSolverName {
+		// The real thing: every faclocd shard runs one leg, frames over HTTP.
+		e, err = s.distSolve(ctx, in, instHash, opts)
+		if err == nil {
+			s.replicateEntry(e)
+		}
+	} else {
+		e, hit, err = s.solve(ctx, in, instHash, solver, opts)
+	}
 	if err != nil {
 		writeError(w, status(err), err)
 		return
@@ -378,6 +406,22 @@ func (s *Server) lookupHandle(w http.ResponseWriter, r *http.Request) (*entry, b
 	return e, true
 }
 
+// lookupQueryHandle is lookupHandle for the query path: entries replicated
+// from another shard without their instance have no query structures, and
+// answering without them would require the instance's distances.
+func (s *Server) lookupQueryHandle(w http.ResponseWriter, r *http.Request) (*entry, bool) {
+	e, ok := s.lookupHandle(w, r)
+	if !ok {
+		return nil, false
+	}
+	if e.handle == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf(
+			"serve: solution %s was replicated without its instance; query the shard owning instance %s", e.id, e.instHash))
+		return nil, false
+	}
+	return e, true
+}
+
 func (s *Server) handleGetSolution(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.lookupHandle(w, r)
 	if !ok {
@@ -396,7 +440,7 @@ type queryAnswer struct {
 }
 
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookupHandle(w, r)
+	e, ok := s.lookupQueryHandle(w, r)
 	if !ok {
 		return
 	}
@@ -448,7 +492,7 @@ func finiteCoords(q []float64) bool {
 }
 
 func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookupHandle(w, r)
+	e, ok := s.lookupQueryHandle(w, r)
 	if !ok {
 		return
 	}
@@ -471,7 +515,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 // handleQueryStream is the bulk form of assign/nearest: an NDJSON stream of
 // QueryLine records in, one answer (or error) line per query out, in order.
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookupHandle(w, r)
+	e, ok := s.lookupQueryHandle(w, r)
 	if !ok {
 		return
 	}

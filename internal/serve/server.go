@@ -127,6 +127,9 @@ type Server struct {
 	// deadline expired (the hard stop behind the graceful one).
 	solveCtx    context.Context
 	solveCancel context.CancelFunc
+
+	// cl is nil on single-node daemons; EnableCluster sets it.
+	cl *clusterState
 }
 
 // New builds a Server; it is ready to serve immediately.
@@ -207,6 +210,9 @@ func (s *Server) Draining() bool {
 // solution) and Shutdown returns ctx.Err() after they unwind. Safe to call
 // more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.cl != nil {
+		s.cl.stop()
+	}
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
@@ -330,7 +336,13 @@ func (s *Server) solve(ctx context.Context, in *facloc.Instance, instHash string
 		seed:     opts.Seed,
 	}
 	e.reportJSON = renderReport(e)
-	return s.st.putSolution(e), false, nil
+	stored := s.st.putSolution(e)
+	// The winning insert replicates to the shards owning the instance; a
+	// racing loser's entry is already on its way from the winner.
+	if s.cl != nil && stored == e {
+		s.replicateEntry(stored)
+	}
+	return stored, false, nil
 }
 
 // cachingSolver adapts the solution cache to the facloc.Solver interface so

@@ -25,12 +25,23 @@
 // across commits; CI uploads the file as an artifact.
 //
 // -compare old.json new.json diffs two such sweeps solver by solver
-// (wall/work/span deltas) and exits non-zero when any solver regressed by
-// more than -tolerance in wall clock — the perf gate CI runs against the
-// committed baseline (flags before the filenames — flag parsing stops at
-// the first positional argument):
+// (wall/work/span deltas) and exits non-zero when any solver regressed — the
+// perf gate CI runs against the committed baseline (flags before the
+// filenames — flag parsing stops at the first positional argument). Two
+// gates run side by side: wall clock within -tolerance (generous — wall
+// carries scheduler and hardware jitter), and the deterministic work counter
+// within -work-tolerance (tight — work is a machine-independent operation
+// count, so any growth is a real algorithmic regression, not noise). Rows
+// whose baseline recorded no work are skipped by the work gate:
 //
-//	faclocbench -compare -tolerance 0.2 BENCH_baseline.json BENCH_registry.json
+//	faclocbench -compare -tolerance 0.2 -work-tolerance 0.05 BENCH_baseline.json BENCH_registry.json
+//
+// -history FILE appends one dated entry for the run to a JSON trajectory
+// file (created on first use), so per-solver wall/work/span is trackable
+// across commits. The file is a JSON array of entries:
+//
+//	[{"date": "2026-08-08", "mode": "registry", "gomaxprocs": 8,
+//	  "records": [ ...the same rows BENCH_<mode>.json holds... ]}, ...]
 package main
 
 import (
@@ -65,6 +76,8 @@ func main() {
 	masterSeed := flag.Int64("seed", 42, "registry/sketch mode: master seed")
 	compareMode := flag.Bool("compare", false, "compare two BENCH json files: faclocbench -compare old.json new.json")
 	tolerance := flag.Float64("tolerance", 0.20, "compare mode: allowed fractional wall-clock regression before failing")
+	workTolerance := flag.Float64("work-tolerance", 0.05, "compare mode: allowed fractional regression of the deterministic work counter (rows with no baseline work are skipped)")
+	history := flag.String("history", "", "append a dated entry for this run to this JSON trajectory file")
 	flag.Parse()
 
 	switch {
@@ -73,7 +86,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "faclocbench: -compare needs exactly two arguments: old.json new.json")
 			os.Exit(2)
 		}
-		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance)
+		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance, *workTolerance)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "faclocbench:", err)
 			os.Exit(2)
@@ -83,13 +96,13 @@ func main() {
 		}
 		return
 	case *registryMode:
-		if err := runRegistrySweep(os.Stdout, *jsonOut, *count, *nf, *nc, *jobs, *timeout, *masterSeed, *solverList); err != nil {
+		if err := runRegistrySweep(os.Stdout, *jsonOut, *history, *count, *nf, *nc, *jobs, *timeout, *masterSeed, *solverList); err != nil {
 			fmt.Fprintln(os.Stderr, "faclocbench:", err)
 			os.Exit(1)
 		}
 		return
 	case *sketchMode:
-		if err := runSketchSweep(os.Stdout, *jsonOut, *full, *k, *masterSeed); err != nil {
+		if err := runSketchSweep(os.Stdout, *jsonOut, *history, *full, *k, *masterSeed); err != nil {
 			fmt.Fprintln(os.Stderr, "faclocbench:", err)
 			os.Exit(1)
 		}
@@ -160,6 +173,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *history != "" {
+		if err := appendHistory(*history, "experiments", expRecords); err != nil {
+			fmt.Fprintln(os.Stderr, "faclocbench:", err)
+			os.Exit(1)
+		}
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "faclocbench:", err)
@@ -186,6 +205,48 @@ type benchRecord struct {
 	Span       int64   `json:"span,omitempty"`
 }
 
+// historyEntry is one trajectory point of a -history file: the full record
+// set of a single run, stamped with when and under what parallelism it ran.
+type historyEntry struct {
+	Date       string `json:"date"`
+	Mode       string `json:"mode"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Records    any    `json:"records"`
+}
+
+// appendHistory appends one dated entry to the JSON-array trajectory file at
+// path, creating the file on first use. Existing entries pass through as raw
+// bytes, so appending never rewrites (or corrupts) history.
+func appendHistory(path, mode string, records any) error {
+	var entries []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("parsing history %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	e, err := json.Marshal(historyEntry{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Mode:       mode,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Records:    records,
+	})
+	if err != nil {
+		return err
+	}
+	entries = append(entries, e)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "appended %s entry #%d to %s\n", mode, len(entries), path)
+	return nil
+}
+
 func writeBenchJSON(mode string, records any) error {
 	name := "BENCH_" + mode + ".json"
 	f, err := os.Create(name)
@@ -205,7 +266,7 @@ func writeBenchJSON(mode string, records any) error {
 // runRegistrySweep drives every registered UFL solver over one shared
 // workload through facloc.Batch and prints a markdown comparison table.
 // Skipped cells (solver errors other than deadline) count as failures.
-func runRegistrySweep(w *os.File, jsonOut bool, count, nf, nc, jobs int, timeout time.Duration, masterSeed int64, solverList string) error {
+func runRegistrySweep(w *os.File, jsonOut bool, history string, count, nf, nc, jobs int, timeout time.Duration, masterSeed int64, solverList string) error {
 	want := map[string]bool{}
 	if solverList != "" {
 		for _, name := range strings.Split(solverList, ",") {
@@ -277,18 +338,25 @@ func runRegistrySweep(w *os.File, jsonOut bool, count, nf, nc, jobs int, timeout
 		})
 	}
 	if jsonOut {
-		return writeBenchJSON("registry", records)
+		if err := writeBenchJSON("registry", records); err != nil {
+			return err
+		}
+	}
+	if history != "" {
+		return appendHistory(history, "registry", records)
 	}
 	return nil
 }
 
 // runCompare diffs two BENCH json sweeps solver by solver and reports
-// wall/work/span deltas for every solver present in both. It returns false
-// (gate failed) when any common solver's wall clock regressed by more than
-// the given fractional tolerance. Work and span are analytic model counts —
-// machine-independent, so their deltas are reported exactly; wall carries
-// scheduler and hardware jitter, which is why the gate takes a tolerance.
-func runCompare(w *os.File, oldPath, newPath string, tolerance float64) (bool, error) {
+// wall/work/span deltas for every solver present in both. Two gates run side
+// by side: wall clock within tolerance (generous — wall carries scheduler and
+// hardware jitter), and the work counter within workTolerance (tight — work
+// is a deterministic, machine-independent operation count, so growth there is
+// an algorithmic regression, not noise, and catching it on work de-flakes the
+// gate on loaded CI runners). Rows whose baseline recorded no work predate
+// work tracking and are skipped by the work gate.
+func runCompare(w *os.File, oldPath, newPath string, tolerance, workTolerance float64) (bool, error) {
 	load := func(path string) (map[string]benchRecord, []string, error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -334,7 +402,8 @@ func runCompare(w *os.File, oldPath, newPath string, tolerance float64) (bool, e
 		return fmt.Sprintf("%.2fx", oldV/newV)
 	}
 
-	fmt.Fprintf(w, "# Sweep compare: %s -> %s (wall tolerance %.0f%%)\n\n", oldPath, newPath, 100*tolerance)
+	fmt.Fprintf(w, "# Sweep compare: %s -> %s (wall tolerance %.0f%%, work tolerance %.0f%%)\n\n",
+		oldPath, newPath, 100*tolerance, 100*workTolerance)
 	fmt.Fprintln(w, "| solver | wall old | wall new | speedup | wall Δ | work Δ | span Δ | verdict |")
 	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
 
@@ -350,7 +419,11 @@ func runCompare(w *os.File, oldPath, newPath string, tolerance float64) (bool, e
 		compared++
 		verdict := "ok"
 		if o.WallMS > 0 && n.WallMS > o.WallMS*(1+tolerance) {
-			verdict = "REGRESSED"
+			verdict = "REGRESSED (wall)"
+			ok = false
+		}
+		if o.Work > 0 && float64(n.Work) > float64(o.Work)*(1+workTolerance) {
+			verdict = "REGRESSED (work)"
 			ok = false
 		}
 		fmt.Fprintf(w, "| %s | %.1fms | %.1fms | %s | %s | %s | %s | %s |\n",
@@ -361,7 +434,8 @@ func runCompare(w *os.File, oldPath, newPath string, tolerance float64) (bool, e
 		return false, fmt.Errorf("no common solvers between %s and %s", oldPath, newPath)
 	}
 	if !ok {
-		fmt.Fprintf(w, "\nFAIL: wall-clock regression beyond %.0f%% tolerance\n", 100*tolerance)
+		fmt.Fprintf(w, "\nFAIL: regression beyond tolerance (wall %.0f%%, work %.0f%%)\n",
+			100*tolerance, 100*workTolerance)
 	}
 	return ok, nil
 }
@@ -369,7 +443,7 @@ func runCompare(w *os.File, oldPath, newPath string, tolerance float64) (bool, e
 // runSketchSweep compares direct k-median (dense path) with the coreset
 // sketch path on growing point sets. Direct rows stop where densification
 // becomes unreasonable; coreset rows continue to the largest size.
-func runSketchSweep(w *os.File, jsonOut bool, full bool, k int, seed int64) error {
+func runSketchSweep(w *os.File, jsonOut bool, history string, full bool, k int, seed int64) error {
 	directSizes := []int{1000, 2000}
 	coresetSizes := []int{1000, 2000, 50_000, 200_000}
 	if full {
@@ -416,7 +490,12 @@ func runSketchSweep(w *os.File, jsonOut bool, full bool, k int, seed int64) erro
 		}
 	}
 	if jsonOut {
-		return writeBenchJSON("sketch", records)
+		if err := writeBenchJSON("sketch", records); err != nil {
+			return err
+		}
+	}
+	if history != "" {
+		return appendHistory(history, "sketch", records)
 	}
 	return nil
 }

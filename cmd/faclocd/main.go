@@ -18,6 +18,15 @@
 // fast, in-flight solves finish (up to -drain-timeout), then the process
 // exits.
 //
+// With -data-dir the daemon is durable: instances and solutions write
+// through to a crash-safe content-addressed store (one fsynced file per
+// content address), and a restart pointed at the same directory comes back
+// warm — previously solved requests are cache hits replaying byte-identical
+// reports. Files damaged by a crash are quarantined loudly at startup,
+// never trusted and never silently deleted:
+//
+//	faclocd -addr :8649 -data-dir /var/lib/faclocd &
+//
 // Cluster mode: start N daemons with the same -peers list (each naming
 // itself via -self) and they form a consistent-hash ring — instances route
 // to the shard owning their content address, solutions replicate to
@@ -56,6 +65,7 @@ func main() {
 	maxInstances := flag.Int("max-instances", 0, "instance store cap, FIFO eviction (0 = 4096)")
 	maxSolutions := flag.Int("max-solutions", 0, "solution cache cap, FIFO eviction (0 = 4096)")
 	batchJobs := flag.Int("batch-jobs", 0, "max worker-pool width per /batch request (0 = inflight)")
+	dataDir := flag.String("data-dir", "", "durable store directory: write-through persistence and warm restarts (empty = memory-only)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before in-flight solves are cancelled")
 	peers := flag.String("peers", "", "comma-separated cluster member addresses, identical on every shard (empty = single-node)")
 	self := flag.String("self", "", "this shard's advertised address; must appear in -peers")
@@ -63,7 +73,7 @@ func main() {
 	healthEvery := flag.Duration("health-interval", 0, "peer liveness probe period (0 = 2s)")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		MaxInflight:    *inflight,
 		MaxQueue:       *queue,
 		MaxBody:        *maxBody,
@@ -72,7 +82,14 @@ func main() {
 		MaxInstances:   *maxInstances,
 		MaxSolutions:   *maxSolutions,
 		BatchJobs:      *batchJobs,
+		DataDir:        *dataDir,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "faclocd: durable store at %s\n", *dataDir)
+	}
 	if *peers != "" {
 		if err := srv.EnableCluster(serve.ClusterConfig{
 			Self:           *self,

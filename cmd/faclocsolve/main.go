@@ -22,7 +22,9 @@
 // daemon's POST /batch instead of solving in-process. The daemon emits
 // results in input order through the same encoder, so output is
 // byte-identical to a local -jobs run (and repeated submissions hit the
-// daemon's solution cache):
+// daemon's solution cache). Against a daemon started with -data-dir that
+// byte-identity survives daemon restarts: a warm-restarted faclocd replays
+// previously solved work from its durable store without re-solving:
 //
 //	faclocgen -count 200 | faclocsolve -addr localhost:8649 -solver greedy-par -seed 42
 //

@@ -1,0 +1,354 @@
+// Package durable is the daemon's crash-safe, content-addressed on-disk
+// store: one file per content address under a sharded directory tree
+// (ab/cdef…), each holding a single framed record. Writes go through a
+// temp file + fsync + rename in the same directory, so a crash at any
+// instant leaves either the complete old state or the complete new state —
+// never a torn entry. A startup recovery scan decodes every record,
+// quarantines corrupt files loudly (moved aside, never deleted silently),
+// and removes orphaned temp files from interrupted writes.
+//
+// Records use the same framing discipline as the cluster wire format
+// (internal/cluster/frame.go): magic | version | length | payload | crc32,
+// with every length validated before allocation. DecodeRecord accepts
+// exactly what EncodeRecord produces; truncation, oversize, or corruption
+// is an error, never a panic — the FuzzDurableRecord target pins that.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The on-disk record format:
+//
+//	magic "FLD1" (4) | version (1) | payloadLen (4, LE) | payload | crc32 (4, LE, IEEE)
+//
+// The CRC covers everything before it.
+const (
+	recordMagic   = "FLD1"
+	recordVersion = 1
+	recordHeader  = 4 + 1 + 4
+	recordTrailer = 4
+	// MaxRecordPayload caps one persisted payload. Instances are bounded by
+	// the daemon's body cap (64 MiB default) and solution entries embed one
+	// instance-sized assignment, so 256 MiB is far above anything legitimate
+	// — the cap exists so a corrupt length field cannot drive a huge
+	// allocation during recovery.
+	MaxRecordPayload = 256 << 20
+)
+
+// Store kinds. A kind is a top-level subdirectory holding one class of
+// record; the serve layer uses one per map it persists.
+const (
+	KindInstances = "instances"
+	KindSolutions = "solutions"
+)
+
+// quarantineDir collects files the recovery scan could not decode.
+const quarantineDir = "quarantine"
+
+var crcTable = crc32.IEEETable
+
+// EncodeRecord frames payload for disk.
+func EncodeRecord(payload []byte) []byte {
+	if len(payload) > MaxRecordPayload {
+		panic(fmt.Sprintf("durable: %d-byte payload exceeds the %d cap", len(payload), MaxRecordPayload))
+	}
+	out := make([]byte, 0, recordHeader+len(payload)+recordTrailer)
+	out = append(out, recordMagic...)
+	out = append(out, recordVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+	return out
+}
+
+// DecodeRecord parses one framed record and returns its payload. Every
+// error path returns before any allocation proportional to untrusted
+// lengths; trailing bytes after the CRC are rejected.
+func DecodeRecord(b []byte) ([]byte, error) {
+	if len(b) < recordHeader+recordTrailer {
+		return nil, fmt.Errorf("durable: %d-byte record shorter than the %d-byte envelope", len(b), recordHeader+recordTrailer)
+	}
+	if string(b[:4]) != recordMagic {
+		return nil, errors.New("durable: bad record magic")
+	}
+	if b[4] != recordVersion {
+		return nil, fmt.Errorf("durable: unsupported record version %d", b[4])
+	}
+	plen := binary.LittleEndian.Uint32(b[5:9])
+	if plen > MaxRecordPayload {
+		return nil, fmt.Errorf("durable: %d-byte payload exceeds the %d cap", plen, MaxRecordPayload)
+	}
+	if uint64(len(b)) != uint64(recordHeader)+uint64(plen)+recordTrailer {
+		return nil, fmt.Errorf("durable: record length %d does not match payload length %d", len(b), plen)
+	}
+	payloadEnd := recordHeader + int(plen)
+	want := binary.LittleEndian.Uint32(b[payloadEnd:])
+	if got := crc32.Checksum(b[:payloadEnd], crcTable); got != want {
+		return nil, fmt.Errorf("durable: record CRC mismatch (%08x != %08x)", got, want)
+	}
+	payload := make([]byte, plen)
+	copy(payload, b[recordHeader:payloadEnd])
+	return payload, nil
+}
+
+// Store is the on-disk side of a content-addressed map: Put/Delete keep one
+// file per address, Recover rebuilds the map after a restart. All methods
+// are safe for concurrent use; Put on an existing address is a no-op
+// (content addressing makes rewrites meaningless).
+type Store struct {
+	root string
+	// Logf receives loud recovery and quarantine reports (default
+	// log.Printf). Set it before the first Recover/Put.
+	Logf func(format string, args ...any)
+
+	tmpSeq atomic.Uint64
+	mu     sync.Mutex // serializes directory fsyncs per store
+}
+
+// Open creates (if needed) and validates the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"", KindInstances, KindSolutions, quarantineDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("durable: opening %s: %w", dir, err)
+		}
+	}
+	return &Store{root: dir, Logf: log.Printf}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// validAddr accepts lowercase-hex content addresses only — the one shape
+// the daemon produces — so an address can never traverse out of its shard
+// directory.
+func validAddr(addr string) bool {
+	if len(addr) < 4 || len(addr) > 128 {
+		return false
+	}
+	for i := 0; i < len(addr); i++ {
+		c := addr[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func validKind(kind string) bool {
+	return kind == KindInstances || kind == KindSolutions
+}
+
+// path returns the sharded file path for addr: <root>/<kind>/ab/cdef….
+func (s *Store) path(kind, addr string) string {
+	return filepath.Join(s.root, kind, addr[:2], addr)
+}
+
+// Put persists payload under addr. The write is atomic and durable: the
+// record lands in a temp file in the destination directory, is fsynced,
+// renamed over the final name, and the directory entry is fsynced — a crash
+// at any point leaves either no file or a complete one. Returns false
+// (and does nothing) when addr already exists.
+func (s *Store) Put(kind, addr string, payload []byte) (bool, error) {
+	if !validKind(kind) {
+		return false, fmt.Errorf("durable: unknown kind %q", kind)
+	}
+	if !validAddr(addr) {
+		return false, fmt.Errorf("durable: invalid content address %q", addr)
+	}
+	final := s.path(kind, addr)
+	if _, err := os.Stat(final); err == nil {
+		return false, nil
+	}
+	dir := filepath.Dir(final)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, fmt.Errorf("durable: creating shard dir: %w", err)
+	}
+	tmp := filepath.Join(dir, fmt.Sprintf(".tmp-%s-%d", addr, s.tmpSeq.Add(1)))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return false, fmt.Errorf("durable: creating temp file: %w", err)
+	}
+	rec := EncodeRecord(payload)
+	if _, err := f.Write(rec); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return false, fmt.Errorf("durable: writing %s/%s: %w", kind, addr, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return false, fmt.Errorf("durable: closing %s/%s: %w", kind, addr, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return false, fmt.Errorf("durable: committing %s/%s: %w", kind, addr, err)
+	}
+	if err := s.syncDir(dir); err != nil {
+		return false, fmt.Errorf("durable: syncing shard dir: %w", err)
+	}
+	return true, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func (s *Store) syncDir(dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Delete removes addr (eviction write-through). Missing files are fine —
+// delete-after-crash must be idempotent.
+func (s *Store) Delete(kind, addr string) error {
+	if !validKind(kind) || !validAddr(addr) {
+		return nil
+	}
+	err := os.Remove(s.path(kind, addr))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("durable: deleting %s/%s: %w", kind, addr, err)
+	}
+	return nil
+}
+
+// Quarantine moves addr's file into the quarantine directory — the serve
+// layer calls it when a record decodes cleanly but its payload fails
+// semantic validation (hash mismatch, unparseable instance). Loud.
+func (s *Store) Quarantine(kind, addr, reason string) {
+	if !validKind(kind) || !validAddr(addr) {
+		return
+	}
+	src := s.path(kind, addr)
+	dst := filepath.Join(s.root, quarantineDir, kind+"-"+addr)
+	if err := os.Rename(src, dst); err != nil {
+		s.logf("durable: QUARANTINE FAILED %s/%s (%s): %v", kind, addr, reason, err)
+		return
+	}
+	s.logf("durable: quarantined %s/%s -> %s: %s", kind, addr, dst, reason)
+}
+
+// Record is one recovered entry.
+type Record struct {
+	Addr    string
+	Payload []byte
+	ModTime time.Time
+}
+
+// RecoverStats summarizes one recovery scan.
+type RecoverStats struct {
+	Loaded      int // records decoded and returned
+	Quarantined int // corrupt files moved aside
+	Orphans     int // leftover temp files removed
+	Dropped     int // valid records beyond the cap, deleted oldest-first
+}
+
+// Recover scans one kind and returns its records oldest-first (mtime order,
+// ties broken by address), so a FIFO rebuilt from the result evicts in the
+// same order the previous process would have. Files that fail to decode are
+// quarantined loudly; orphaned temp files from interrupted writes are
+// removed; when cap > 0 and more than cap valid records exist, the oldest
+// beyond the cap are deleted — a restart never resurrects entries the
+// running daemon would already have evicted.
+func (s *Store) Recover(kind string, cap int) ([]Record, RecoverStats, error) {
+	var stats RecoverStats
+	if !validKind(kind) {
+		return nil, stats, fmt.Errorf("durable: unknown kind %q", kind)
+	}
+	root := filepath.Join(s.root, kind)
+	var recs []Record
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			// An interrupted write: the rename never happened, so the entry
+			// was never acknowledged. Removing it is the correct recovery.
+			if rmErr := os.Remove(path); rmErr == nil {
+				stats.Orphans++
+				s.logf("durable: removed orphaned temp file %s", path)
+			}
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		payload, decErr := s.readRecord(path)
+		if decErr != nil {
+			stats.Quarantined++
+			dst := filepath.Join(s.root, quarantineDir, kind+"-"+name)
+			if mvErr := os.Rename(path, dst); mvErr != nil {
+				s.logf("durable: QUARANTINE FAILED %s (%v): %v", path, decErr, mvErr)
+			} else {
+				s.logf("durable: quarantined %s -> %s: %v", path, dst, decErr)
+			}
+			return nil
+		}
+		recs = append(recs, Record{Addr: name, Payload: payload, ModTime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, stats, fmt.Errorf("durable: scanning %s: %w", root, err)
+	}
+	sort.Slice(recs, func(a, b int) bool {
+		if !recs[a].ModTime.Equal(recs[b].ModTime) {
+			return recs[a].ModTime.Before(recs[b].ModTime)
+		}
+		return recs[a].Addr < recs[b].Addr
+	})
+	if cap > 0 && len(recs) > cap {
+		for _, r := range recs[:len(recs)-cap] {
+			if rmErr := os.Remove(s.path(kind, r.Addr)); rmErr == nil {
+				stats.Dropped++
+			}
+		}
+		s.logf("durable: %s held %d records past the %d cap; dropped the oldest %d",
+			kind, len(recs), cap, len(recs)-cap)
+		recs = recs[len(recs)-cap:]
+	}
+	stats.Loaded = len(recs)
+	return recs, stats, nil
+}
+
+// readRecord loads and decodes one record file, bounding the read by the
+// framed maximum so a corrupt filesystem entry cannot balloon memory.
+func (s *Store) readRecord(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := io.ReadAll(io.LimitReader(f, int64(recordHeader+MaxRecordPayload+recordTrailer)+1))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRecord(b)
+}

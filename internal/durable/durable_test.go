@@ -1,0 +1,314 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testStore(t *testing.T) (*Store, *[]string) {
+	t.Helper()
+	var logs []string
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Logf = func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	return st, &logs
+}
+
+func addr(i int) string { return fmt.Sprintf("%064x", i+1) }
+
+func TestPutRecoverRoundTrip(t *testing.T) {
+	st, _ := testStore(t)
+	want := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		a := addr(i)
+		payload := []byte(fmt.Sprintf("payload-%d", i))
+		want[a] = payload
+		created, err := st.Put(KindInstances, a, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !created {
+			t.Fatalf("put %s reported existing on first write", a)
+		}
+	}
+	// Content-addressed rewrite is a no-op.
+	created, err := st.Put(KindInstances, addr(0), []byte("different"))
+	if err != nil || created {
+		t.Fatalf("rewrite: created=%v err=%v, want false nil", created, err)
+	}
+
+	recs, stats, err := st.Recover(KindInstances, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 20 || stats.Quarantined != 0 || stats.Orphans != 0 {
+		t.Fatalf("stats %+v, want 20 loaded and nothing else", stats)
+	}
+	for _, r := range recs {
+		if !bytes.Equal(r.Payload, want[r.Addr]) {
+			t.Fatalf("record %s: payload %q, want %q", r.Addr, r.Payload, want[r.Addr])
+		}
+	}
+	// First-write-wins held through the "rewrite".
+	var got []byte
+	for _, r := range recs {
+		if r.Addr == addr(0) {
+			got = r.Payload
+		}
+	}
+	if string(got) != "payload-0" {
+		t.Fatalf("rewrite changed stored bytes to %q", got)
+	}
+}
+
+func TestRecoverOrdersByModTime(t *testing.T) {
+	st, _ := testStore(t)
+	for i := 0; i < 5; i++ {
+		if _, err := st.Put(KindSolutions, addr(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backdate files so mtime order disagrees with write order: 4 oldest … 0 newest.
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		mt := base.Add(time.Duration(4-i) * time.Minute)
+		if err := os.Chtimes(st.path(KindSolutions, addr(i)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, _, err := st.Recover(KindSolutions, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range recs {
+		if want := addr(4 - k); r.Addr != want {
+			t.Fatalf("position %d: got %s, want %s (mtime order)", k, r.Addr, want)
+		}
+	}
+}
+
+func TestRecoverRespectsCap(t *testing.T) {
+	st, logs := testStore(t)
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 10; i++ {
+		if _, err := st.Put(KindInstances, addr(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(st.path(KindInstances, addr(i)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, stats, err := st.Recover(KindInstances, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 4 || stats.Dropped != 6 {
+		t.Fatalf("stats %+v, want 4 loaded / 6 dropped", stats)
+	}
+	// The newest 4 survive, oldest-first.
+	for k, r := range recs {
+		if want := addr(6 + k); r.Addr != want {
+			t.Fatalf("position %d: got %s, want %s", k, r.Addr, want)
+		}
+	}
+	// The dropped files are gone from disk, loudly.
+	if _, err := os.Stat(st.path(KindInstances, addr(0))); !os.IsNotExist(err) {
+		t.Fatal("over-cap record still on disk after recovery")
+	}
+	if len(*logs) == 0 {
+		t.Fatal("cap enforcement was silent")
+	}
+}
+
+// TestRecoverQuarantinesTruncated and ...BitFlipped are the crash suite:
+// damaged files must be skipped loudly — moved to quarantine/, reported via
+// Logf — and recovery must never panic or return the damaged payload.
+func TestRecoverQuarantinesTruncated(t *testing.T) {
+	st, logs := testStore(t)
+	good, bad := addr(0), addr(1)
+	if _, err := st.Put(KindInstances, good, []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(KindInstances, bad, bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, recordHeader - 1, recordHeader + 10, recordHeader + 99} {
+		b, err := os.ReadFile(st.path(KindInstances, bad))
+		if err != nil {
+			// Quarantined by a previous sub-case: rewrite it.
+			if _, err := st.Put(KindInstances, bad, bytes.Repeat([]byte("x"), 100)); err != nil {
+				t.Fatal(err)
+			}
+			b, err = os.ReadFile(st.path(KindInstances, bad))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(st.path(KindInstances, bad), b[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, stats, err := st.Recover(KindInstances, 0)
+		if err != nil {
+			t.Fatalf("truncation at %d failed recovery: %v", cut, err)
+		}
+		if stats.Loaded != 1 || stats.Quarantined != 1 {
+			t.Fatalf("truncation at %d: stats %+v, want 1 loaded / 1 quarantined", cut, stats)
+		}
+		if recs[0].Addr != good || string(recs[0].Payload) != "intact" {
+			t.Fatalf("truncation at %d damaged the good record: %+v", cut, recs[0])
+		}
+	}
+	if len(*logs) == 0 {
+		t.Fatal("quarantine was silent")
+	}
+	// Quarantined files are preserved for inspection, not deleted.
+	ents, err := os.ReadDir(filepath.Join(st.Root(), quarantineDir))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("quarantine dir empty (err %v)", err)
+	}
+}
+
+func TestRecoverQuarantinesBitFlips(t *testing.T) {
+	st, _ := testStore(t)
+	payload := bytes.Repeat([]byte("abcdefgh"), 32)
+	if _, err := st.Put(KindSolutions, addr(0), payload); err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(KindSolutions, addr(0))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit at a sample of positions across the whole record: magic,
+	// version, length, payload, CRC. Every flip must quarantine.
+	for pos := 0; pos < len(orig); pos += 7 {
+		b := append([]byte(nil), orig...)
+		b[pos] ^= 0x10
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, stats, err := st.Recover(KindSolutions, 0)
+		if err != nil {
+			t.Fatalf("bit flip at %d failed recovery: %v", pos, err)
+		}
+		if stats.Quarantined != 1 || len(recs) != 0 {
+			t.Fatalf("bit flip at %d: stats %+v recs %d, want quarantined", pos, stats, len(recs))
+		}
+		// Restore for the next position.
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecoverIgnoresOrphanedTempFile simulates a daemon killed mid-write:
+// the temp file exists, the final name does not. Restart must ignore (and
+// remove) the orphan — the entry was never acknowledged.
+func TestRecoverIgnoresOrphanedTempFile(t *testing.T) {
+	st, logs := testStore(t)
+	if _, err := st.Put(KindInstances, addr(0), []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Dir(st.path(KindInstances, addr(1)))
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(shard, ".tmp-"+addr(1)+"-99")
+	// Half a record: the crash hit between write and rename.
+	if err := os.WriteFile(orphan, EncodeRecord([]byte("uncommitted"))[:7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := st.Recover(KindInstances, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 1 || stats.Orphans != 1 || stats.Quarantined != 0 {
+		t.Fatalf("stats %+v, want 1 loaded / 1 orphan", stats)
+	}
+	if recs[0].Addr != addr(0) {
+		t.Fatalf("loaded %s, want the committed record", recs[0].Addr)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file survived recovery")
+	}
+	found := false
+	for _, l := range *logs {
+		if strings.Contains(l, "orphaned temp file") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("orphan removal was silent")
+	}
+}
+
+func TestDeleteIsIdempotent(t *testing.T) {
+	st, _ := testStore(t)
+	if _, err := st.Put(KindInstances, addr(0), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := st.Delete(KindInstances, addr(0)); err != nil {
+			t.Fatalf("delete #%d: %v", i+1, err)
+		}
+	}
+	recs, _, err := st.Recover(KindInstances, 0)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("recovered %d records after delete (err %v)", len(recs), err)
+	}
+}
+
+func TestQuarantineMethod(t *testing.T) {
+	st, logs := testStore(t)
+	if _, err := st.Put(KindSolutions, addr(3), []byte("semantically wrong")); err != nil {
+		t.Fatal(err)
+	}
+	st.Quarantine(KindSolutions, addr(3), "hash mismatch")
+	if _, err := os.Stat(st.path(KindSolutions, addr(3))); !os.IsNotExist(err) {
+		t.Fatal("quarantined file still at its address")
+	}
+	if _, err := os.Stat(filepath.Join(st.Root(), quarantineDir, KindSolutions+"-"+addr(3))); err != nil {
+		t.Fatalf("quarantined file not in quarantine/: %v", err)
+	}
+	if len(*logs) == 0 {
+		t.Fatal("Quarantine was silent")
+	}
+}
+
+func TestAddrValidation(t *testing.T) {
+	st, _ := testStore(t)
+	for _, bad := range []string{"", "ab", "../../etc/passwd", "ABCDEF012345", "zzzz", strings.Repeat("a", 200)} {
+		if _, err := st.Put(KindInstances, bad, []byte("x")); err == nil {
+			t.Fatalf("address %q accepted", bad)
+		}
+	}
+	if _, err := st.Put("notakind", addr(0), []byte("x")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("a"), bytes.Repeat([]byte{0xff}, 4096)} {
+		got, err := DecodeRecord(EncodeRecord(payload))
+		if err != nil {
+			t.Fatalf("round trip of %d bytes: %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip of %d bytes changed the payload", len(payload))
+		}
+	}
+	// Trailing garbage is rejected: records are exactly delimited.
+	if _, err := DecodeRecord(append(EncodeRecord([]byte("x")), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}

@@ -94,10 +94,18 @@ type clusterState struct {
 	tr     *cluster.HTTPTransport
 	node   *cluster.Node
 	client *http.Client
+	srv    *Server
+
+	// lastAlive remembers the liveness each peer was last seen with, so a
+	// dead→alive flip is observable: entries accepted while a peer was down
+	// are re-replicated to it the moment it revives.
+	aliveMu   sync.Mutex
+	lastAlive map[string]bool
 
 	forwarded       atomic.Int64
 	forwardErrors   atomic.Int64
 	replicated      atomic.Int64
+	rereplicated    atomic.Int64
 	replicateErrors atomic.Int64
 	framesIn        atomic.Int64
 	distSolves      atomic.Int64
@@ -152,8 +160,13 @@ func (s *Server) EnableCluster(cfg ClusterConfig) error {
 		tr:         tr,
 		node:       node,
 		client:     client,
+		srv:        s,
+		lastAlive:  make(map[string]bool, len(ordered)),
 		stopHealth: make(chan struct{}),
 		healthDone: make(chan struct{}),
+	}
+	for _, m := range ordered {
+		cl.lastAlive[m.ID] = true
 	}
 	node.SetOnPut(func(key string, value []byte) { s.installReplica(key, value) })
 	s.cl = cl
@@ -190,7 +203,7 @@ func (cl *clusterState) healthLoop() {
 				if m.ID == cl.selfID {
 					continue
 				}
-				cl.ring.SetAlive(m.ID, cl.probe(m))
+				cl.noteLiveness(m.ID, cl.probe(m))
 			}
 		}
 	}
@@ -220,44 +233,29 @@ func (cl *clusterState) owner(key string) (cluster.Member, bool, bool) {
 	return m, m.ID == cl.selfID, ok
 }
 
-// ---------- replication ----------
-
-// replicaEntry is the wire form of a replicated solution-cache entry. Report
-// is the origin shard's rendered bytes, replayed verbatim on the replica —
-// it embeds work/span/wall-time, so re-rendering would break byte-identical
-// hit responses across shards. The solution travels in full so the replica
-// can serve the query path (and rebuild the Handle when it holds the
-// instance).
-type replicaEntry struct {
-	ID             string          `json:"id"`
-	Key            string          `json:"key"`
-	InstHash       string          `json:"instance_hash"`
-	Solver         string          `json:"solver"`
-	Seed           int64           `json:"seed"`
-	Report         json.RawMessage `json:"report"`
-	Open           []int           `json:"open"`
-	Assign         []int           `json:"assign"`
-	FacilityCost   float64         `json:"facility_cost"`
-	ConnectionCost float64         `json:"connection_cost"`
+// noteLiveness applies one liveness observation to the ring. On a dead→alive
+// flip it re-replicates this shard's state to the revived peer: entries
+// accepted while the peer was down routed around it, so without this push a
+// revived replica would stay cold until clients resubmitted.
+func (cl *clusterState) noteLiveness(id string, alive bool) {
+	cl.ring.SetAlive(id, alive)
+	cl.aliveMu.Lock()
+	was := cl.lastAlive[id]
+	cl.lastAlive[id] = alive
+	cl.aliveMu.Unlock()
+	if alive && !was {
+		cl.srv.reReplicateTo(id)
+	}
 }
+
+// ---------- replication ----------
 
 // replicateEntry ships a freshly solved entry to the shards that own its
 // instance. Failure leaves the local result intact and correct — it is
 // counted and reported, not hidden, but does not fail the solve.
 func (s *Server) replicateEntry(e *entry) {
 	cl := s.cl
-	rep, err := json.Marshal(replicaEntry{
-		ID:             e.id,
-		Key:            e.key,
-		InstHash:       e.instHash,
-		Solver:         e.report.Solver,
-		Seed:           e.seed,
-		Report:         e.reportJSON,
-		Open:           e.report.Solution.Open,
-		Assign:         e.report.Solution.Assign,
-		FacilityCost:   e.report.Solution.FacilityCost,
-		ConnectionCost: e.report.Solution.ConnectionCost,
-	})
+	rep, err := encodeEntry(e)
 	if err != nil {
 		cl.replicateErrors.Add(1)
 		return
@@ -273,43 +271,81 @@ func (s *Server) replicateEntry(e *entry) {
 }
 
 // installReplica rebuilds a cache entry from replicated bytes and inserts it
-// (first-write-wins, like every path into the cache). The origin's rendered
-// report is stored verbatim; the Handle is rebuilt only when this shard
-// holds the instance — without it the entry still serves report replays and
-// assignment-free paths.
+// (first-write-wins, like every path into the cache). putSolution persists
+// the entry before returning, and this hook runs before the put's ack frame
+// is sent — so a durable replica has the entry on disk before the origin
+// counts the replica as holding it.
 func (s *Server) installReplica(key string, value []byte) {
-	var re replicaEntry
-	if err := json.Unmarshal(value, &re); err != nil || re.ID == "" || re.Key == "" {
+	re, err := decodeEntry(value)
+	if err != nil {
 		s.cl.replicateErrors.Add(1)
 		return
 	}
-	solver, ok := facloc.Lookup(re.Solver)
+	s.st.putSolution(s.entryFromReplica(re))
+}
+
+// reReplicateTo pushes this shard's state at a peer that just flipped
+// dead→alive: instances first (content-addressed, so resubmission is a
+// no-op), then every cached entry whose replica set includes the revived
+// peer. Everything is first-write-wins and idempotent, so concurrent
+// re-replication from several survivors is benign.
+func (s *Server) reReplicateTo(id string) {
+	cl := s.cl
+	idx, ok := cl.ring.Index(id)
 	if !ok {
-		s.cl.replicateErrors.Add(1)
 		return
 	}
-	sol := &facloc.Solution{
-		Open:           re.Open,
-		Assign:         re.Assign,
-		FacilityCost:   re.FacilityCost,
-		ConnectionCost: re.ConnectionCost,
+	addr := cl.tr.Addr(idx)
+	for _, h := range s.st.instanceHashes() {
+		in, ok := s.st.instance(h)
+		if !ok {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := facloc.WriteInstance(&buf, in); err != nil {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodPost, addr+"/instances", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			cl.replicateErrors.Add(1)
+			continue
+		}
+		req.Header.Set(forwardedHeader, "1")
+		resp, err := cl.client.Do(req)
+		if err != nil {
+			cl.replicateErrors.Add(1)
+			continue
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		resp.Body.Close()
 	}
-	e := &entry{
-		id:       re.ID,
-		key:      re.Key,
-		instHash: re.InstHash,
-		report: &facloc.Report{
-			Solver:    re.Solver,
-			Guarantee: solver.Guarantee(),
-			Solution:  sol,
-		},
-		reportJSON: []byte(re.Report),
-		seed:       re.Seed,
+	replicas := cl.cfg.replicas()
+	for _, e := range s.st.entrySnapshot() {
+		held := false
+		for _, m := range cl.ring.Successors(e.instHash, replicas) {
+			if m.ID == id {
+				held = true
+				break
+			}
+		}
+		if !held {
+			continue
+		}
+		rep, err := encodeEntry(e)
+		if err != nil {
+			cl.replicateErrors.Add(1)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = cl.node.PutKeyed(ctx, e.instHash, e.id, rep, replicas)
+		cancel()
+		if err != nil {
+			cl.replicateErrors.Add(1)
+			continue
+		}
+		cl.replicated.Add(1)
+		cl.rereplicated.Add(1)
 	}
-	if in, ok := s.st.instance(re.InstHash); ok && len(sol.Assign) == in.NC {
-		e.handle = newHandle(in, sol)
-	}
-	s.st.putSolution(e)
 }
 
 // ---------- forwarding ----------
@@ -340,7 +376,7 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, key, pat
 	if err != nil {
 		// The owner just died and the health loop hasn't noticed yet: mark
 		// it, serve locally. No wrong answer either way.
-		cl.ring.SetAlive(m.ID, false)
+		cl.noteLiveness(m.ID, false)
 		cl.forwardErrors.Add(1)
 		return false
 	}
@@ -647,6 +683,7 @@ func (s *Server) clusterMetrics(w io.Writer) {
 	fmt.Fprintf(w, "faclocd_cluster_forwarded_total %d\n", cl.forwarded.Load())
 	fmt.Fprintf(w, "faclocd_cluster_forward_errors_total %d\n", cl.forwardErrors.Load())
 	fmt.Fprintf(w, "faclocd_cluster_replicated_total %d\n", cl.replicated.Load())
+	fmt.Fprintf(w, "faclocd_cluster_rereplicated_total %d\n", cl.rereplicated.Load())
 	fmt.Fprintf(w, "faclocd_cluster_replicate_errors_total %d\n", cl.replicateErrors.Load())
 	fmt.Fprintf(w, "faclocd_cluster_frames_in_total %d\n", cl.framesIn.Load())
 	fmt.Fprintf(w, "faclocd_cluster_dist_solves_total %d\n", cl.distSolves.Load())

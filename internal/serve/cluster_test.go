@@ -25,7 +25,10 @@ func newTestCluster(t *testing.T, n int) *testCluster {
 	t.Helper()
 	tc := &testCluster{}
 	for i := 0; i < n; i++ {
-		srv := New(Config{})
+		srv, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		ts := httptest.NewServer(srv.Handler())
 		t.Cleanup(ts.Close)
 		tc.srvs = append(tc.srvs, srv)
@@ -344,7 +347,10 @@ func TestClusterMetricsExposed(t *testing.T) {
 }
 
 func TestEnableClusterValidation(t *testing.T) {
-	srv := New(Config{})
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.EnableCluster(ClusterConfig{Self: "a", Peers: nil}); err == nil {
 		t.Fatal("empty peer list accepted")
 	}

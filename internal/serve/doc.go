@@ -16,6 +16,15 @@
 //     facilities of point-backed instances) that answer "nearest open
 //     facility" lookups with zero allocation in steady state.
 //
+// With Config.DataDir set, the instance store and solution cache write
+// through to a durable content-addressed store (package durable): one
+// crash-safe file per content address, persisted before a put is
+// acknowledged — on the replication path, before the replica's ack frame is
+// sent. A restarted server recovers its state from disk oldest-first, so
+// the rebuilt FIFOs evict in the previous process's order, cache hits
+// replay byte-identical reports across the restart, and files damaged by a
+// crash are quarantined loudly rather than trusted or silently deleted.
+//
 // Solves run through the registry/Batch machinery behind an
 // admission-controlled queue: at most MaxInflight concurrent solves, a
 // bounded waiting line beyond which requests are rejected immediately

@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	facloc "repro"
+)
+
+// ---------- warm restart, single node ----------
+
+// TestWarmRestartServesFromDisk is the tentpole acceptance test: a daemon
+// killed and restarted on the same -data-dir serves its previously solved
+// requests as cache hits with byte-identical reports, and the query path
+// works against the recovered instance.
+func TestWarmRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := newTestServer(t, Config{DataDir: dir})
+	in := facloc.GenerateUniform(97, 8, 40, 1, 6)
+	hash := submitInstance(t, ts1.URL, in)
+
+	req := SolveRequest{Hash: hash, Solver: "greedy-par", Seed: 11}
+	code, body := postJSON(t, ts1.URL+"/solve", req)
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, body)
+	}
+	var r1 solveResponse
+	if err := json.Unmarshal(body, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if w := srv1.met.storeWrites.Load(); w != 2 {
+		t.Fatalf("storeWrites = %d, want 2 (instance + solution)", w)
+	}
+	ts1.Close()
+
+	// "Restart": a brand-new server over the same directory. It must come
+	// back warm without any resubmission.
+	srv2, ts2 := newTestServer(t, Config{DataDir: dir})
+	if n := srv2.st.numInstances(); n != 1 {
+		t.Fatalf("restarted server recovered %d instances, want 1", n)
+	}
+	if loads := srv2.met.storeLoads.Load(); loads != 2 {
+		t.Fatalf("storeLoads = %d, want 2", loads)
+	}
+	code, body = postJSON(t, ts2.URL+"/solve", req)
+	if code != http.StatusOK {
+		t.Fatalf("post-restart solve: %d %s", code, body)
+	}
+	var r2 solveResponse
+	if err := json.Unmarshal(body, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("post-restart solve was not a cache hit")
+	}
+	if !bytes.Equal(r1.Report, r2.Report) {
+		t.Fatalf("post-restart report not byte-identical:\n%s\nvs\n%s", r1.Report, r2.Report)
+	}
+	if hits, misses := srv2.met.cacheHits.Load(), srv2.met.cacheMisses.Load(); hits != 1 || misses != 0 {
+		t.Fatalf("post-restart hits/misses = %d/%d, want 1/0", hits, misses)
+	}
+
+	// The recovered entry rebuilt its query handle against the recovered
+	// instance: /assign answers without a solve.
+	resp, err := http.Get(ts2.URL + "/solutions/" + r2.ID + "/assign?client=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart /assign: %d", resp.StatusCode)
+	}
+}
+
+// TestWarmRestartRespectsCaps pins cap enforcement across a restart: a
+// restart under a smaller cap keeps only the newest records and the disk is
+// trimmed to match.
+func TestWarmRestartRespectsCaps(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{DataDir: dir})
+	for i := 0; i < 6; i++ {
+		submitInstance(t, ts1.URL, facloc.GenerateUniform(int64(200+i), 6, 20, 1, 6))
+	}
+	ts1.Close()
+	srv2, _ := newTestServer(t, Config{DataDir: dir, MaxInstances: 2})
+	if n := srv2.st.numInstances(); n != 2 {
+		t.Fatalf("recovered %d instances under cap 2", n)
+	}
+}
+
+// ---------- eviction bugfixes ----------
+
+// TestInstanceEvictionDropsDependentSolutions: evicting an instance must
+// also drop cached solutions that point at it — a stranded entry would
+// replay reports but serve a query path that dies with the instance.
+func TestInstanceEvictionDropsDependentSolutions(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInstances: 2})
+	in := facloc.GenerateUniform(301, 8, 40, 1, 6)
+	hash := submitInstance(t, ts.URL, in)
+	code, body := postJSON(t, ts.URL+"/solve", SolveRequest{Hash: hash, Solver: "greedy-par", Seed: 3})
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, body)
+	}
+	var r solveResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv.st.solution(r.ID); !ok {
+		t.Fatal("solution not cached")
+	}
+
+	// Push the instance out of the FIFO.
+	for i := 0; i < 2; i++ {
+		submitInstance(t, ts.URL, facloc.GenerateUniform(int64(310+i), 6, 20, 1, 6))
+	}
+	if _, ok := srv.st.instance(hash); ok {
+		t.Fatal("instance not evicted")
+	}
+	if _, ok := srv.st.solution(r.ID); ok {
+		t.Fatal("dependent solution stranded after instance eviction")
+	}
+	if n := srv.st.solutionFIFO.len(); n != srv.st.numSolutions() {
+		t.Fatalf("solution FIFO length %d disagrees with map size %d", n, srv.st.numSolutions())
+	}
+	resp, err := http.Get(ts.URL + "/solutions/" + r.ID + "/assign?client=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stranded id answered %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestEvictionUnderConcurrentAssign hammers the query path while instances
+// churn through a tiny FIFO: every response must be 200 or 404 — an entry
+// either answers fully or is gone — never a 5xx from a half-evicted state.
+// Run with -race, this is also the store's eviction/query race test.
+func TestEvictionUnderConcurrentAssign(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInstances: 2})
+	in := facloc.GenerateUniform(401, 8, 40, 1, 6)
+	hash := submitInstance(t, ts.URL, in)
+	code, body := postJSON(t, ts.URL+"/solve", SolveRequest{Hash: hash, Solver: "greedy-par", Seed: 5})
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, body)
+	}
+	var r solveResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/solutions/" + r.ID + "/assign?client=7")
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+					select {
+					case errCh <- fmt.Errorf("assign answered %d", resp.StatusCode):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	// Churn the instance FIFO so the solved instance (and its dependent
+	// solution) is evicted mid-stream.
+	for i := 0; i < 12; i++ {
+		submitInstance(t, ts.URL, facloc.GenerateUniform(int64(410+i), 6, 20, 1, 6))
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// ---------- ring FIFO ----------
+
+func TestRingFIFOOrderAndWraparound(t *testing.T) {
+	r := newRingFIFO(3)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			r.push(fmt.Sprintf("r%d-%d", round, i))
+		}
+		if !r.full() {
+			t.Fatal("ring not full after 3 pushes")
+		}
+		for i := 0; i < 3; i++ {
+			got, ok := r.pop()
+			if want := fmt.Sprintf("r%d-%d", round, i); !ok || got != want {
+				t.Fatalf("round %d pop %d: %q, want %q", round, i, got, want)
+			}
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestRingFIFORemoveFunc(t *testing.T) {
+	r := newRingFIFO(5)
+	// Advance head so removal crosses the wraparound boundary.
+	r.push("x")
+	r.push("y")
+	r.pop()
+	r.pop()
+	for _, s := range []string{"a", "b", "c", "d", "e"} {
+		r.push(s)
+	}
+	r.removeFunc(func(s string) bool { return s == "b" || s == "e" })
+	var got []string
+	for {
+		s, ok := r.pop()
+		if !ok {
+			break
+		}
+		got = append(got, s)
+	}
+	if fmt.Sprint(got) != "[a c d]" {
+		t.Fatalf("after removeFunc: %v, want [a c d]", got)
+	}
+}
+
+// TestRingFIFONoRetention is the regression test for the slice[1:] eviction
+// bug: steady-state push/pop must not allocate (the old code re-sliced and
+// eventually re-grew the backing array), and a popped slot must not retain
+// its string header for the daemon's uptime.
+func TestRingFIFONoRetention(t *testing.T) {
+	r := newRingFIFO(64)
+	for i := 0; i < 64; i++ {
+		r.push("warm")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s, _ := r.pop()
+		r.push(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pop+push allocates %.1f per op, want 0", allocs)
+	}
+	for r.len() > 0 {
+		r.pop()
+	}
+	for i, s := range r.buf {
+		if s != "" {
+			t.Fatalf("popped slot %d retains %q", i, s)
+		}
+	}
+}
+
+// ---------- cluster: warm replica restart + re-replication ----------
+
+// restartableNode is one faclocd shard on a fixed, re-bindable port, so a
+// test can kill the process-equivalent (server + listener) and bring a new
+// one up at the same ring identity.
+type restartableNode struct {
+	addr string
+	srv  *Server
+	hs   *http.Server
+}
+
+func (n *restartableNode) start(t *testing.T, dataDir string, peers []string) {
+	t.Helper()
+	srv, err := New(Config{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.addr == "" || n.addr == "127.0.0.1:0" {
+		n.addr = ln.Addr().String()
+	}
+	if peers != nil {
+		if err := srv.EnableCluster(ClusterConfig{
+			Self: "http://" + n.addr, Peers: peers, Replicas: 3, HealthInterval: -1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.srv = srv
+	n.hs = &http.Server{Handler: srv.Handler()}
+	go n.hs.Serve(ln)
+}
+
+func (n *restartableNode) kill(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = n.srv.Shutdown(ctx)
+	_ = n.hs.Close()
+}
+
+func newRestartableCluster(t *testing.T, n int, dirs []string) ([]*restartableNode, []string) {
+	t.Helper()
+	nodes := make([]*restartableNode, n)
+	for i := range nodes {
+		nodes[i] = &restartableNode{addr: "127.0.0.1:0"}
+		// Bind once without clustering to fix the port, then restart with the
+		// full peer list below.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i].addr = ln.Addr().String()
+		ln.Close()
+	}
+	peers := make([]string, n)
+	for i, nd := range nodes {
+		peers[i] = "http://" + nd.addr
+	}
+	for i, nd := range nodes {
+		nd.start(t, dirs[i], peers)
+		t.Cleanup(func() { _ = nd.hs.Close() })
+	}
+	return nodes, peers
+}
+
+func waitHealthy(t *testing.T, nodes []*restartableNode) {
+	t.Helper()
+	for _, nd := range nodes {
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			resp, err := http.Get("http://" + nd.addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s never became healthy", nd.addr)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestClusterReReplicatesOnRevival covers the liveness-flip bugfix: entries
+// accepted while a peer was dead must reach it once the health loop sees it
+// alive again — even when the revived daemon lost its disk entirely.
+func TestClusterReReplicatesOnRevival(t *testing.T) {
+	dirs := []string{"", "", ""}
+	nodes, peers := newRestartableCluster(t, 3, dirs)
+	waitHealthy(t, nodes)
+
+	// Node 2 dies; the survivors notice.
+	nodes[2].kill(t)
+	deadID := peers[2]
+	for _, nd := range nodes[:2] {
+		nd.srv.cl.noteLiveness(deadID, false)
+	}
+
+	// Work accepted while node 2 is down: replicas land on survivors only.
+	in := facloc.GenerateUniform(501, 8, 40, 1, 6)
+	hash := submitInstance(t, peers[0], in)
+	code, body := postJSON(t, peers[0]+"/solve", SolveRequest{Hash: hash, Solver: "greedy-par", Seed: 9})
+	if code != http.StatusOK {
+		t.Fatalf("solve with dead peer: %d %s", code, body)
+	}
+	var r solveResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 2 comes back empty (fresh state, same identity), and the health
+	// loop's dead→alive observation triggers re-replication.
+	nodes[2].start(t, "", peers)
+	waitHealthy(t, nodes[2:])
+	for _, nd := range nodes[:2] {
+		nd.srv.cl.noteLiveness(deadID, true)
+	}
+
+	if _, ok := nodes[2].srv.st.instance(hash); !ok {
+		t.Fatal("revived peer did not receive the instance")
+	}
+	e, ok := nodes[2].srv.st.solution(r.ID)
+	if !ok {
+		t.Fatal("revived peer did not receive the solution entry")
+	}
+	if !bytes.Equal(e.reportJSON, []byte(r.Report)) {
+		t.Fatalf("re-replicated report not byte-identical:\n%s\nvs\n%s", e.reportJSON, r.Report)
+	}
+	total := nodes[0].srv.cl.rereplicated.Load() + nodes[1].srv.cl.rereplicated.Load()
+	if total == 0 {
+		t.Fatal("rereplicated counter did not move")
+	}
+}
+
+// TestClusterReplicaWarmRestart is the durable acceptance criterion on the
+// replication path: a replica persists an entry before acking, so killing it
+// and restarting on the same data dir brings the replicated entry back —
+// byte-identical — without any peer's help.
+func TestClusterReplicaWarmRestart(t *testing.T) {
+	dirs := []string{"", "", t.TempDir()}
+	nodes, peers := newRestartableCluster(t, 3, dirs)
+	waitHealthy(t, nodes)
+
+	in := facloc.GenerateUniform(601, 8, 40, 1, 6)
+	hash := submitInstance(t, peers[0], in)
+	code, body := postJSON(t, peers[0]+"/solve", SolveRequest{Hash: hash, Solver: "greedy-par", Seed: 13})
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, body)
+	}
+	var r solveResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	// Replicas: 3 → node 2 has persisted the entry before the solve returned.
+	if _, ok := nodes[2].srv.st.solution(r.ID); !ok {
+		t.Fatal("replica does not hold the entry after an acked solve")
+	}
+
+	nodes[2].kill(t)
+	nodes[2].start(t, dirs[2], peers)
+	waitHealthy(t, nodes[2:])
+
+	e, ok := nodes[2].srv.st.solution(r.ID)
+	if !ok {
+		t.Fatal("restarted replica lost the replicated entry")
+	}
+	if !bytes.Equal(e.reportJSON, []byte(r.Report)) {
+		t.Fatalf("restarted replica's report not byte-identical:\n%s\nvs\n%s", e.reportJSON, r.Report)
+	}
+	resp, err := http.Get(peers[2] + "/solutions/" + r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted replica GET /solutions: %d", resp.StatusCode)
+	}
+}

@@ -123,6 +123,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "faclocd_queries_total %d\n", s.met.queriesTotal.Load())
 	fmt.Fprintf(w, "faclocd_batch_requests_total %d\n", s.met.batchTotal.Load())
 	fmt.Fprintf(w, "faclocd_draining %d\n", draining)
+	if s.st.dur != nil {
+		fmt.Fprintf(w, "faclocd_store_loads %d\n", s.met.storeLoads.Load())
+		fmt.Fprintf(w, "faclocd_store_writes %d\n", s.met.storeWrites.Load())
+		fmt.Fprintf(w, "faclocd_store_write_errors %d\n", s.met.storeWriteErrors.Load())
+		fmt.Fprintf(w, "faclocd_store_quarantined %d\n", s.met.storeQuarantined.Load())
+	}
 	s.clusterMetrics(w)
 }
 

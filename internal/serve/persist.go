@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	facloc "repro"
+	"repro/internal/durable"
+)
+
+// replicaEntry is the wire form of a solution-cache entry, shared by
+// cluster replication and the durable store. Report is the origin shard's
+// rendered bytes, replayed verbatim wherever the entry lands — it embeds
+// work/span/wall-time, so re-rendering would break byte-identical hit
+// responses across shards and restarts. The solution travels in full so the
+// receiver can serve the query path (and rebuild the Handle when it holds
+// the instance).
+type replicaEntry struct {
+	ID             string          `json:"id"`
+	Key            string          `json:"key"`
+	InstHash       string          `json:"instance_hash"`
+	Solver         string          `json:"solver"`
+	Seed           int64           `json:"seed"`
+	Report         json.RawMessage `json:"report"`
+	Open           []int           `json:"open"`
+	Assign         []int           `json:"assign"`
+	FacilityCost   float64         `json:"facility_cost"`
+	ConnectionCost float64         `json:"connection_cost"`
+}
+
+// encodeEntry renders e to the shared wire/persist form.
+func encodeEntry(e *entry) ([]byte, error) {
+	return json.Marshal(replicaEntry{
+		ID:             e.id,
+		Key:            e.key,
+		InstHash:       e.instHash,
+		Solver:         e.report.Solver,
+		Seed:           e.seed,
+		Report:         e.reportJSON,
+		Open:           e.report.Solution.Open,
+		Assign:         e.report.Solution.Assign,
+		FacilityCost:   e.report.Solution.FacilityCost,
+		ConnectionCost: e.report.Solution.ConnectionCost,
+	})
+}
+
+// decodeEntry parses persisted/replicated entry bytes and validates the
+// fields every consumer relies on.
+func decodeEntry(value []byte) (*replicaEntry, error) {
+	var re replicaEntry
+	if err := json.Unmarshal(value, &re); err != nil {
+		return nil, err
+	}
+	if re.ID == "" || re.Key == "" || re.InstHash == "" {
+		return nil, errors.New("serve: entry payload missing id, key, or instance hash")
+	}
+	if _, ok := facloc.Lookup(re.Solver); !ok {
+		return nil, fmt.Errorf("serve: entry names unregistered solver %q", re.Solver)
+	}
+	return &re, nil
+}
+
+// entryFromReplica rebuilds a cache entry from its wire form. The rendered
+// report is stored verbatim; the Handle is rebuilt only when this server
+// holds the instance — without it the entry still serves report replays.
+func (s *Server) entryFromReplica(re *replicaEntry) *entry {
+	solver, _ := facloc.Lookup(re.Solver)
+	sol := &facloc.Solution{
+		Open:           re.Open,
+		Assign:         re.Assign,
+		FacilityCost:   re.FacilityCost,
+		ConnectionCost: re.ConnectionCost,
+	}
+	e := &entry{
+		id:       re.ID,
+		key:      re.Key,
+		instHash: re.InstHash,
+		report: &facloc.Report{
+			Solver:    re.Solver,
+			Guarantee: solver.Guarantee(),
+			Solution:  sol,
+		},
+		reportJSON: []byte(re.Report),
+		seed:       re.Seed,
+	}
+	if in, ok := s.st.instance(re.InstHash); ok && len(sol.Assign) == in.NC {
+		e.handle = newHandle(in, sol)
+	}
+	return e
+}
+
+// loadDurable repopulates the in-memory maps and FIFO order from disk at
+// startup: instances first (so solution handles can rebuild against them),
+// then solutions, each oldest-first so the rebuilt FIFOs evict in the same
+// order the previous process would have. Records the durable layer decodes
+// but this layer cannot use — an unparseable instance, a hash that does not
+// match its address, an entry naming an unknown solver — are quarantined
+// loudly, never trusted and never silently deleted.
+func (s *Server) loadDurable() error {
+	dur := s.st.dur
+	instRecs, instStats, err := dur.Recover(durable.KindInstances, s.cfg.maxInstances())
+	if err != nil {
+		return err
+	}
+	s.met.storeQuarantined.Add(int64(instStats.Quarantined))
+	for _, r := range instRecs {
+		in, err := facloc.ReadInstance(bytes.NewReader(r.Payload))
+		if err != nil {
+			dur.Quarantine(durable.KindInstances, r.Addr, "unparseable instance: "+err.Error())
+			s.met.storeQuarantined.Add(1)
+			continue
+		}
+		h, err := facloc.InstanceHash(in)
+		if err != nil || h != r.Addr {
+			dur.Quarantine(durable.KindInstances, r.Addr, fmt.Sprintf("content address mismatch (hashes to %s)", h))
+			s.met.storeQuarantined.Add(1)
+			continue
+		}
+		s.st.loadInstance(h, in)
+		s.met.storeLoads.Add(1)
+	}
+
+	solRecs, solStats, err := dur.Recover(durable.KindSolutions, s.cfg.maxSolutions())
+	if err != nil {
+		return err
+	}
+	s.met.storeQuarantined.Add(int64(solStats.Quarantined))
+	for _, r := range solRecs {
+		re, err := decodeEntry(r.Payload)
+		if err != nil {
+			dur.Quarantine(durable.KindSolutions, r.Addr, err.Error())
+			s.met.storeQuarantined.Add(1)
+			continue
+		}
+		if re.ID != r.Addr {
+			dur.Quarantine(durable.KindSolutions, r.Addr, "entry id "+re.ID+" does not match its address")
+			s.met.storeQuarantined.Add(1)
+			continue
+		}
+		s.st.loadSolution(s.entryFromReplica(re))
+		s.met.storeLoads.Add(1)
+	}
+	return nil
+}

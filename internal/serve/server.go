@@ -11,6 +11,7 @@ import (
 
 	facloc "repro"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/par"
 )
 
@@ -39,6 +40,13 @@ type Config struct {
 	// BatchJobs caps the per-request worker pool width of /batch
 	// (0 = MaxInflight).
 	BatchJobs int
+	// DataDir enables the durable content-addressed store: instances and
+	// solution entries write through to one file per content address under
+	// this directory (crash-safe temp-file + fsync + rename), and a restart
+	// reloads them so the daemon comes back warm — previously solved
+	// requests replay byte-identically without re-solving. Empty = the
+	// store lives in memory only.
+	DataDir string
 }
 
 func (c Config) maxInflight() int {
@@ -99,6 +107,12 @@ type metrics struct {
 	rejected     atomic.Int64
 	queriesTotal atomic.Int64
 	batchTotal   atomic.Int64
+
+	// Durable-store counters (exposed only when DataDir is set).
+	storeLoads       atomic.Int64
+	storeWrites      atomic.Int64
+	storeWriteErrors atomic.Int64
+	storeQuarantined atomic.Int64
 }
 
 // Errors admission can fail with; handlers map both to 503.
@@ -132,18 +146,35 @@ type Server struct {
 	cl *clusterState
 }
 
-// New builds a Server; it is ready to serve immediately.
-func New(cfg Config) *Server {
+// New builds a Server; it is ready to serve when it returns. With
+// Config.DataDir set it opens the durable store and runs the recovery scan
+// first, so the returned server is already warm — an unreadable data
+// directory fails construction loudly rather than starting a daemon that
+// silently lost its state.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
-		st:      newStore(cfg.maxInstances(), cfg.maxSolutions()),
 		sem:     make(chan struct{}, cfg.maxInflight()),
 		queue:   make(chan struct{}, cfg.maxInflight()+cfg.maxQueue()),
 		drainCh: make(chan struct{}),
 		idleCh:  make(chan struct{}),
 	}
+	var dur *durable.Store
+	if cfg.DataDir != "" {
+		var err error
+		dur, err = durable.Open(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.st = newStore(cfg.maxInstances(), cfg.maxSolutions(), dur, &s.met)
 	s.solveCtx, s.solveCancel = context.WithCancel(context.Background())
-	return s
+	if dur != nil {
+		if err := s.loadDurable(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // acquire admits one solve: it takes a queue slot (immediate 503-style

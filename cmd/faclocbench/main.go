@@ -37,11 +37,19 @@
 //	faclocbench -compare -tolerance 0.2 -work-tolerance 0.05 BENCH_baseline.json BENCH_registry.json
 //
 // -history FILE appends one dated entry for the run to a JSON trajectory
-// file (created on first use), so per-solver wall/work/span is trackable
-// across commits. The file is a JSON array of entries:
+// file (created on first use), so per-solver wall/work/span — and, for
+// round-based solvers, the deterministic round count — is trackable across
+// commits. The file is a JSON array of entries:
 //
 //	[{"date": "2026-08-08", "mode": "registry", "gomaxprocs": 8,
 //	  "records": [ ...the same rows BENCH_<mode>.json holds... ]}, ...]
+//
+// -trace FILE (registry and sketch modes) dumps the per-round trace events
+// each solver emitted over its sweep — solver name, phase, round index,
+// work/span deltas, live-edge count, facilities opened — as a JSON array of
+// {solver, rounds, events} rows, for offline round-structure analysis:
+//
+//	faclocbench -registry -solvers greedy-par -trace rounds.json
 package main
 
 import (
@@ -57,6 +65,7 @@ import (
 	facloc "repro"
 	"repro/internal/bench"
 	"repro/internal/exact"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -78,6 +87,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.20, "compare mode: allowed fractional wall-clock regression before failing")
 	workTolerance := flag.Float64("work-tolerance", 0.05, "compare mode: allowed fractional regression of the deterministic work counter (rows with no baseline work are skipped)")
 	history := flag.String("history", "", "append a dated entry for this run to this JSON trajectory file")
+	tracePath := flag.String("trace", "", "registry/sketch mode: write per-round trace events to this JSON file")
 	flag.Parse()
 
 	switch {
@@ -96,13 +106,13 @@ func main() {
 		}
 		return
 	case *registryMode:
-		if err := runRegistrySweep(os.Stdout, *jsonOut, *history, *count, *nf, *nc, *jobs, *timeout, *masterSeed, *solverList); err != nil {
+		if err := runRegistrySweep(os.Stdout, *jsonOut, *history, *tracePath, *count, *nf, *nc, *jobs, *timeout, *masterSeed, *solverList); err != nil {
 			fmt.Fprintln(os.Stderr, "faclocbench:", err)
 			os.Exit(1)
 		}
 		return
 	case *sketchMode:
-		if err := runSketchSweep(os.Stdout, *jsonOut, *history, *full, *k, *masterSeed); err != nil {
+		if err := runSketchSweep(os.Stdout, *jsonOut, *history, *tracePath, *full, *k, *masterSeed); err != nil {
 			fmt.Fprintln(os.Stderr, "faclocbench:", err)
 			os.Exit(1)
 		}
@@ -203,6 +213,30 @@ type benchRecord struct {
 	InstPerSec float64 `json:"inst_per_sec,omitempty"`
 	Work       int64   `json:"work,omitempty"`
 	Span       int64   `json:"span,omitempty"`
+	Rounds     int64   `json:"rounds,omitempty"`
+}
+
+// solverTrace is one -trace output row: every round/phase span a solver
+// emitted over its sweep, in emission order.
+type solverTrace struct {
+	Solver string          `json:"solver"`
+	Rounds int             `json:"rounds"`
+	Events []obs.SpanEvent `json:"events"`
+}
+
+func writeTraceJSON(path string, traces []solverTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(traces); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
 // historyEntry is one trajectory point of a -history file: the full record
@@ -266,7 +300,7 @@ func writeBenchJSON(mode string, records any) error {
 // runRegistrySweep drives every registered UFL solver over one shared
 // workload through facloc.Batch and prints a markdown comparison table.
 // Skipped cells (solver errors other than deadline) count as failures.
-func runRegistrySweep(w *os.File, jsonOut bool, history string, count, nf, nc, jobs int, timeout time.Duration, masterSeed int64, solverList string) error {
+func runRegistrySweep(w *os.File, jsonOut bool, history, tracePath string, count, nf, nc, jobs int, timeout time.Duration, masterSeed int64, solverList string) error {
 	want := map[string]bool{}
 	if solverList != "" {
 		for _, name := range strings.Split(solverList, ",") {
@@ -289,6 +323,7 @@ func runRegistrySweep(w *os.File, jsonOut bool, history string, count, nf, nc, j
 	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
 
 	var records []benchRecord
+	var traces []solverTrace
 	for _, s := range facloc.Solvers() {
 		if len(want) > 0 && !want[s.Name()] {
 			continue
@@ -296,9 +331,13 @@ func runRegistrySweep(w *os.File, jsonOut bool, history string, count, nf, nc, j
 		if s.Name() == "opt" && nf > exact.MaxEnumFacilities {
 			continue // enumeration infeasible at this width
 		}
+		// One recorder per solver, shared by the pool's workers (Recorder is
+		// concurrency-safe): rounds feed the history records, full events
+		// feed -trace.
+		rec := &obs.Recorder{}
 		b := facloc.NewBatch(s, facloc.BatchOptions{
 			Jobs: jobs, Timeout: timeout, MasterSeed: masterSeed,
-			Base: facloc.Options{TrackCost: true},
+			Base: facloc.Options{TrackCost: true, Trace: rec},
 		})
 		start := time.Now()
 		solved, deadline, failed := 0, 0, 0
@@ -334,11 +373,19 @@ func runRegistrySweep(w *os.File, jsonOut bool, history string, count, nf, nc, j
 			Solved: solved, Deadline: deadline, Failed: failed,
 			MeanCost: mean, WallMS: float64(wall.Microseconds()) / 1000,
 			InstPerSec: float64(count) / wall.Seconds(),
-			Work:       work, Span: span,
+			Work:       work, Span: span, Rounds: int64(rec.Rounds()),
 		})
+		if tracePath != "" {
+			traces = append(traces, solverTrace{Solver: s.Name(), Rounds: rec.Rounds(), Events: rec.Events()})
+		}
 	}
 	if jsonOut {
 		if err := writeBenchJSON("registry", records); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if err := writeTraceJSON(tracePath, traces); err != nil {
 			return err
 		}
 	}
@@ -443,7 +490,7 @@ func runCompare(w *os.File, oldPath, newPath string, tolerance, workTolerance fl
 // runSketchSweep compares direct k-median (dense path) with the coreset
 // sketch path on growing point sets. Direct rows stop where densification
 // becomes unreasonable; coreset rows continue to the largest size.
-func runSketchSweep(w *os.File, jsonOut bool, history string, full bool, k int, seed int64) error {
+func runSketchSweep(w *os.File, jsonOut bool, history, tracePath string, full bool, k int, seed int64) error {
 	directSizes := []int{1000, 2000}
 	coresetSizes := []int{1000, 2000, 50_000, 200_000}
 	if full {
@@ -455,11 +502,13 @@ func runSketchSweep(w *os.File, jsonOut bool, history string, full bool, k int, 
 	fmt.Fprintln(w, "|---|---|---|---|---|")
 
 	var records []benchRecord
+	var traces []solverTrace
 	direct := map[int]float64{}
 	run := func(n int, solver string) error {
 		ki := facloc.GenerateHugeK(seed, n, k)
+		rec := &obs.Recorder{}
 		start := time.Now()
-		rep, err := facloc.SolveK(context.Background(), solver, ki, facloc.Options{Seed: seed, TrackCost: true})
+		rep, err := facloc.SolveK(context.Background(), solver, ki, facloc.Options{Seed: seed, TrackCost: true, Trace: rec})
 		if err != nil {
 			return fmt.Errorf("%s at n=%d: %w", solver, n, err)
 		}
@@ -475,8 +524,11 @@ func runSketchSweep(w *os.File, jsonOut bool, history string, full bool, k int, 
 		records = append(records, benchRecord{
 			Solver: solver, Guarantee: rep.Guarantee.String(), N: n, K: k, Solved: 1,
 			MeanCost: rep.Solution.Value, WallMS: float64(wall.Microseconds()) / 1000,
-			Work: rep.Stats.Work, Span: rep.Stats.Span,
+			Work: rep.Stats.Work, Span: rep.Stats.Span, Rounds: int64(rec.Rounds()),
 		})
+		if tracePath != "" {
+			traces = append(traces, solverTrace{Solver: fmt.Sprintf("%s@n=%d", solver, n), Rounds: rec.Rounds(), Events: rec.Events()})
+		}
 		return nil
 	}
 	for _, n := range directSizes {
@@ -491,6 +543,11 @@ func runSketchSweep(w *os.File, jsonOut bool, history string, full bool, k int, 
 	}
 	if jsonOut {
 		if err := writeBenchJSON("sketch", records); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if err := writeTraceJSON(tracePath, traces); err != nil {
 			return err
 		}
 	}

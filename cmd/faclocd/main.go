@@ -13,10 +13,13 @@
 //
 // Batch NDJSON workloads stream through POST /batch — or transparently via
 // `faclocsolve -addr host:port`, whose output is byte-identical to a local
-// `faclocsolve -jobs` run. GET /metrics exposes cache hit/miss and
-// admission counters. SIGTERM/SIGINT drain gracefully: queued solves fail
-// fast, in-flight solves finish (up to -drain-timeout), then the process
-// exits.
+// `faclocsolve -jobs` run. GET /metrics exposes the full Prometheus text
+// page: cache and admission counters, solve/query/batch latency histograms,
+// queue-depth and inflight gauges, and Go runtime stats. Every cache-miss
+// solve records a round-level trace into a bounded flight recorder behind
+// GET /debug/solves, keyed by the X-Facloc-Trace id echoed on each /solve
+// response. SIGTERM/SIGINT drain gracefully: queued solves fail fast,
+// in-flight solves finish (up to -drain-timeout), then the process exits.
 //
 // With -data-dir the daemon is durable: instances and solutions write
 // through to a crash-safe content-addressed store (one fsynced file per
@@ -38,6 +41,13 @@
 //	for p in 8651 8652 8653; do
 //	  faclocd -addr 127.0.0.1:$p -self 127.0.0.1:$p -peers $peers &
 //	done
+//
+// With -debug-addr a second listener serves net/http/pprof under
+// /debug/pprof/ — kept off the service port so profiling endpoints are
+// never exposed to solve traffic:
+//
+//	faclocd -addr :8649 -debug-addr 127.0.0.1:8650 &
+//	go tool pprof http://127.0.0.1:8650/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -45,7 +55,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +69,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8649", "listen address")
+	debugAddr := flag.String("debug-addr", "", "pprof listener address (empty = disabled); serves /debug/pprof/ only")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
 	inflight := flag.Int("inflight", 0, "max concurrent solves (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max waiting solves before 503 (0 = 4x inflight)")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 64 MiB)")
@@ -66,12 +80,18 @@ func main() {
 	maxSolutions := flag.Int("max-solutions", 0, "solution cache cap, FIFO eviction (0 = 4096)")
 	batchJobs := flag.Int("batch-jobs", 0, "max worker-pool width per /batch request (0 = inflight)")
 	dataDir := flag.String("data-dir", "", "durable store directory: write-through persistence and warm restarts (empty = memory-only)")
+	flightSize := flag.Int("flight-size", 0, "solve traces kept for GET /debug/solves (0 = 64)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before in-flight solves are cancelled")
 	peers := flag.String("peers", "", "comma-separated cluster member addresses, identical on every shard (empty = single-node)")
 	self := flag.String("self", "", "this shard's advertised address; must appear in -peers")
 	replicas := flag.Int("replicas", 0, "shards holding each solution entry (0 = 2)")
 	healthEvery := flag.Duration("health-interval", 0, "peer liveness probe period (0 = 2s)")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
 
 	srv, err := serve.New(serve.Config{
 		MaxInflight:    *inflight,
@@ -83,12 +103,14 @@ func main() {
 		MaxSolutions:   *maxSolutions,
 		BatchJobs:      *batchJobs,
 		DataDir:        *dataDir,
+		Logger:         logger,
+		FlightSize:     *flightSize,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	if *dataDir != "" {
-		fmt.Fprintf(os.Stderr, "faclocd: durable store at %s\n", *dataDir)
+		logger.Info("durable store open", "dir", *dataDir)
 	}
 	if *peers != "" {
 		if err := srv.EnableCluster(serve.ClusterConfig{
@@ -99,7 +121,17 @@ func main() {
 		}); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "faclocd: clustered as %s among %s\n", *self, *peers)
+	}
+	if *debugAddr != "" {
+		// The pprof handlers live on http.DefaultServeMux (the blank
+		// net/http/pprof import registers them); the debug listener serves
+		// that mux, keeping profiling off the service port entirely.
+		go func() {
+			logger.Info("pprof listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -108,7 +140,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "faclocd: serving on %s\n", *addr)
+	logger.Info("serving", "addr", *addr)
 
 	select {
 	case err := <-errCh:
@@ -116,18 +148,28 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintf(os.Stderr, "faclocd: draining (budget %s)\n", *drain)
+	logger.Info("draining", "budget", drain.String())
 	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Solve-queue drain first (queued work fails fast, in-flight work
 	// finishes), then the HTTP listener so response writes complete.
 	if err := srv.Shutdown(shCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "faclocd: drain budget exceeded, in-flight solves cancelled: %v\n", err)
+		logger.Warn("drain budget exceeded, in-flight solves cancelled", "err", err)
 	}
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fatal(err)
 	}
-	fmt.Fprintln(os.Stderr, "faclocd: stopped")
+	logger.Info("stopped")
+}
+
+// newLogger builds the daemon's structured logger: text records on stderr,
+// at the requested level.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("faclocd: bad -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
 func splitPeers(s string) []string {

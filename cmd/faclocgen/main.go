@@ -18,6 +18,9 @@
 //
 //	faclocgen -huge -kind kmed -n 1000000 -k 50 | faclocsolve -solver kmedian-coreset
 //	faclocgen -huge -kind ufl -nf 500 -nc 1000000 | faclocsolve -solver greedy-coreset
+//
+// -stats reports generation throughput (instances, bytes, wall time) on
+// stderr, useful when sizing huge streaming workloads.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	facloc "repro"
 	"repro/internal/core"
@@ -43,6 +47,7 @@ func main() {
 	count := flag.Int("count", 1, "number of instances to emit (newline-delimited)")
 	huge := flag.Bool("huge", false, "emit point-form instances (no distance matrix; for *-coreset solvers)")
 	out := flag.String("o", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "report instances, bytes, and wall time on stderr")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -57,6 +62,9 @@ func main() {
 	if *count < 1 {
 		fatal(fmt.Errorf("-count %d: need at least one instance", *count))
 	}
+	cw := &countWriter{w: w}
+	w = cw
+	start := time.Now()
 
 	for i := 0; i < *count; i++ {
 		s := *seed
@@ -92,6 +100,22 @@ func main() {
 			fatal(fmt.Errorf("unknown kind %q", *kind))
 		}
 	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "faclocgen: %d instance(s), %d bytes, %s\n",
+			*count, cw.n, time.Since(start).Round(time.Microsecond))
+	}
+}
+
+// countWriter tracks bytes written for the -stats report.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func genUFL(family string, seed int64, nf, nc int) (*core.Instance, error) {

@@ -6,6 +6,13 @@
 //	faclocsolve -solver pd-par [-eps 0.3] [-seed 0] [-timeout 5s] inst.json
 //	faclocsolve -solver kcenter kinst.json
 //
+// -trace FILE additionally writes the solve's round-level trace — one event
+// per greedy round, primal-dual τ-barrier, or coreset build phase, with
+// work/span deltas — as JSON (single-solve mode only; tracing never changes
+// the solution):
+//
+//	faclocsolve -solver greedy-par -trace rounds.json inst.json
+//
 // Batch mode (newline-delimited JSON instances in, NDJSON results out,
 // solved concurrently by a worker pool; output is identical for any -jobs):
 //
@@ -53,6 +60,7 @@ import (
 
 	facloc "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -67,6 +75,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "batch mode: solve a NDJSON instance stream with this many concurrent jobs")
 	denseLimit := flag.Int("dense-limit", 0, "lazy->dense materialization cap per solve (0 = library default)")
 	addr := flag.String("addr", "", "client mode: submit the NDJSON instance stream to a faclocd daemon (host:port, or a comma-separated cluster seed list)")
+	tracePath := flag.String("trace", "", "single-solve mode: write the solve's per-round trace events to this JSON file")
 	list := flag.Bool("list", false, "list registered solvers and exit")
 	flag.Parse()
 
@@ -110,7 +119,7 @@ func main() {
 		runBatch(name, in, o, *jobs, *timeout)
 		return
 	}
-	runSingle(name, in, o, *timeout)
+	runSingle(name, in, o, *timeout, *tracePath)
 }
 
 // discover resolves -addr, which may be a comma-separated seed list of
@@ -218,9 +227,35 @@ func solveCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
-func runSingle(name string, r io.Reader, o facloc.Options, timeout time.Duration) {
+func runSingle(name string, r io.Reader, o facloc.Options, timeout time.Duration, tracePath string) {
 	ctx, cancel := solveCtx(timeout)
 	defer cancel()
+
+	var rec *obs.Recorder
+	if tracePath != "" {
+		rec = &obs.Recorder{}
+		o.Trace = rec
+	}
+	writeTrace := func(solver string) {
+		if rec == nil {
+			return
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Solver string          `json:"solver"`
+			Rounds int             `json:"rounds"`
+			Events []obs.SpanEvent `json:"events"`
+		}{solver, rec.Rounds(), rec.Events()}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "faclocsolve: wrote %d trace events to %s\n", rec.Len(), tracePath)
+	}
 
 	if _, ok := facloc.Lookup(name); ok {
 		in, err := core.ReadInstance(r)
@@ -231,6 +266,7 @@ func runSingle(name string, r io.Reader, o facloc.Options, timeout time.Duration
 		if err != nil {
 			fatal(err)
 		}
+		writeTrace(rep.Solver)
 		sol := rep.Solution
 		backing := "dense"
 		if in.Points != nil {
@@ -255,6 +291,7 @@ func runSingle(name string, r io.Reader, o facloc.Options, timeout time.Duration
 		if err != nil {
 			fatal(err)
 		}
+		writeTrace(rep.Solver)
 		backing := "dense"
 		if ki.Points != nil {
 			backing = "points"

@@ -82,6 +82,12 @@ type Options struct {
 	// instead of allocating the matrix. 0 means core.DenseLimit. It bounds a
 	// solve's memory; it never changes a successful solution.
 	DenseLimit int
+	// Trace, if non-nil, receives round-level trace events from the solve
+	// (greedy outer rounds, primal-dual iterations, coreset build phases).
+	// Implementations must be safe for concurrent use: batch solves share
+	// one Options value across workers. Nil costs nothing and never changes
+	// the solution.
+	Trace par.Tracer
 }
 
 // Canonical reduces o to the fields a solution can depend on — the
@@ -89,7 +95,8 @@ type Options struct {
 // its default; Workers and TrackCost are cleared (every solver is bitwise
 // deterministic across worker counts, and the tally never touches the
 // solution); DenseLimit is cleared (it gates densification — it can turn a
-// solve into an error, never change what a successful one returns).
+// solve into an error, never change what a successful one returns); Trace is
+// cleared (tracing observes a solve, it never alters one).
 func (o Options) Canonical() Options {
 	return Options{Epsilon: o.eps(), Seed: o.Seed}
 }
@@ -99,7 +106,7 @@ func (o Options) ctx() (*par.Ctx, *par.Tally) {
 	if o.TrackCost {
 		tally = &par.Tally{}
 	}
-	return &par.Ctx{Workers: o.Workers, Tally: tally}, tally
+	return &par.Ctx{Workers: o.Workers, Tally: tally, Trace: o.Trace}, tally
 }
 
 func (o Options) eps() float64 {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/par"
 	"repro/internal/primaldual"
 )
 
@@ -26,6 +27,8 @@ type Exchange struct {
 	n, self int
 	timeout time.Duration
 	retries int
+	trace   uint64     // stamped on every outbound frame; zero = untraced
+	tracer  par.Tracer // receives one "barrier" event per completed exchange
 
 	mu       sync.Mutex
 	barriers map[int32]*barrier
@@ -67,6 +70,15 @@ func NewExchange(tr Transport, seqs *seqSource, solveID uint64, timeout time.Dur
 		barriers: make(map[int32]*barrier),
 		sent:     make(map[int32][]byte),
 	}
+}
+
+// SetTrace attaches a trace id — stamped on every outbound frame so peers
+// can stitch the solve's frames into one cross-shard trace — and an optional
+// tracer that receives one "barrier" TraceEvent per completed exchange.
+// Call before the solve starts; the fields are read without locking.
+func (e *Exchange) SetTrace(id uint64, tr par.Tracer) {
+	e.trace = id
+	e.tracer = tr
 }
 
 // bar returns the barrier record for index, creating it on first touch —
@@ -129,7 +141,7 @@ func (e *Exchange) HandleFrame(f *Frame) {
 // fabric flips fresh coins for retransmissions. Errors are dropped here —
 // the barrier's timeout/NACK/fail-loud ladder is the recovery path.
 func (e *Exchange) send(to int, typ FrameType, body []byte) {
-	_ = e.tr.Send(to, &Frame{Type: typ, From: int32(e.self), Seq: e.seqs.next(), Body: body})
+	_ = e.tr.Send(to, &Frame{Type: typ, From: int32(e.self), Seq: e.seqs.next(), Trace: e.trace, Body: body})
 }
 
 // Exchange implements primaldual.Exchanger.
@@ -158,6 +170,13 @@ func (e *Exchange) Exchange(ctx context.Context, f *primaldual.ExchangeFrame) ([
 			out := make([]*primaldual.ExchangeFrame, e.n)
 			copy(out, b.frames)
 			e.mu.Unlock()
+			if e.tracer != nil {
+				e.tracer.Emit(par.TraceEvent{
+					Solver: "exchange", Phase: "barrier", Round: int(f.Index),
+					Opened: len(f.Opened), Live: int64(len(f.Freezes)),
+					Bytes: len(body),
+				})
+			}
 			return out, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()

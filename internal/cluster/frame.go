@@ -13,19 +13,25 @@ import (
 // The peer wire format. Every frame is one length-delimited record:
 //
 //	magic "FLC1" (4) | version (1) | type (1) | from (4, LE int32)
-//	| seq (4, LE) | bodyLen (4, LE) | body | crc32 (4, LE, IEEE)
+//	| seq (4, LE) | trace (8, LE) | bodyLen (4, LE) | body | crc32 (4, LE, IEEE)
 //
 // The CRC covers everything before it. Bodies are type-specific (see
 // encodeRoundBody and friends) and bounded by MaxFrameBody, enforced before
 // any allocation sized from untrusted input. DecodeFrame accepts exactly the
 // bytes EncodeFrame produces: any truncation, oversize, or corruption is an
 // error, never a panic — the FuzzClusterFrame target pins that.
+//
+// Version 2 added the trace field: the distributed-solve trace id riding the
+// header so every frame of one solve stitches into a single cross-shard
+// trace (zero when untraced). Frames are transient — never persisted — so
+// the version bump only requires every cluster member to run the same
+// build, which the lockstep protocol already demands.
 
 const (
 	frameMagic   = "FLC1"
-	frameVersion = 1
+	frameVersion = 2
 	// frameHeader is the byte length of everything before the body.
-	frameHeader = 4 + 1 + 1 + 4 + 4 + 4
+	frameHeader = 4 + 1 + 1 + 4 + 4 + 8 + 4
 	// frameTrailer is the CRC length.
 	frameTrailer = 4
 	// MaxFrameBody caps a frame body. Distributed-solve frames carry at most
@@ -52,11 +58,13 @@ const (
 // Frame is the unit every Transport moves: a typed body plus the sender's
 // shard index and a per-sender monotone sequence number (retransmissions get
 // fresh seqs; deduplication happens at the exchange layer, keyed by barrier).
+// Trace is the distributed-solve trace id, zero when the solve is untraced.
 type Frame struct {
-	Type FrameType
-	From int32
-	Seq  uint32
-	Body []byte
+	Type  FrameType
+	From  int32
+	Seq   uint32
+	Trace uint64
+	Body  []byte
 }
 
 // Validate checks the invariants DecodeFrame guarantees, so handlers can
@@ -90,6 +98,7 @@ func EncodeFrame(f *Frame) []byte {
 	out = append(out, frameVersion, byte(f.Type))
 	out = binary.LittleEndian.AppendUint32(out, uint32(f.From))
 	out = binary.LittleEndian.AppendUint32(out, f.Seq)
+	out = binary.LittleEndian.AppendUint64(out, f.Trace)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Body)))
 	out = append(out, f.Body...)
 	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
@@ -119,7 +128,8 @@ func DecodeFrame(b []byte) (*Frame, error) {
 		return nil, fmt.Errorf("cluster: negative sender %d", from)
 	}
 	seq := binary.LittleEndian.Uint32(b[10:14])
-	blen := binary.LittleEndian.Uint32(b[14:18])
+	trace := binary.LittleEndian.Uint64(b[14:22])
+	blen := binary.LittleEndian.Uint32(b[22:26])
 	if blen > MaxFrameBody {
 		return nil, fmt.Errorf("cluster: %d-byte frame body exceeds the %d cap", blen, MaxFrameBody)
 	}
@@ -133,7 +143,7 @@ func DecodeFrame(b []byte) (*Frame, error) {
 	}
 	body := make([]byte, blen)
 	copy(body, b[frameHeader:payloadEnd])
-	return &Frame{Type: typ, From: from, Seq: seq, Body: body}, nil
+	return &Frame{Type: typ, From: from, Seq: seq, Trace: trace, Body: body}, nil
 }
 
 // ---------- round bodies ----------

@@ -23,7 +23,7 @@ func sampleFrames() []*Frame {
 		},
 	})
 	return []*Frame{
-		{Type: FrameRound, From: 2, Seq: 41, Body: round},
+		{Type: FrameRound, From: 2, Seq: 41, Trace: 0xA1B2C3D4E5F60718, Body: round},
 		{Type: FrameNack, From: 0, Seq: 1, Body: EncodeNackBody(&NackBody{SolveID: 12, Index: 3})},
 		{Type: FramePut, From: 1, Seq: 99, Body: EncodePutBody(&PutBody{Key: "sha256:abc", Value: []byte("payload")})},
 		{Type: FrameAck, From: 3, Seq: 100, Body: EncodeAckBody(&AckBody{AckSeq: 99})},
@@ -39,7 +39,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decode: %v", err)
 		}
-		if g.Type != f.Type || g.From != f.From || g.Seq != f.Seq || !bytes.Equal(g.Body, f.Body) {
+		if g.Type != f.Type || g.From != f.From || g.Seq != f.Seq || g.Trace != f.Trace || !bytes.Equal(g.Body, f.Body) {
 			t.Fatalf("round trip changed frame: %+v vs %+v", f, g)
 		}
 	}
@@ -135,7 +135,7 @@ func FuzzClusterFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode of re-encode failed: %v", err)
 		}
-		if again.Type != fr.Type || again.From != fr.From || again.Seq != fr.Seq || !bytes.Equal(again.Body, fr.Body) {
+		if again.Type != fr.Type || again.From != fr.From || again.Seq != fr.Seq || again.Trace != fr.Trace || !bytes.Equal(again.Body, fr.Body) {
 			t.Fatal("re-encode round trip changed the frame")
 		}
 		switch fr.Type {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // FramePath is the endpoint peers POST wire frames to; the serve layer
@@ -28,6 +29,16 @@ type HTTPTransport struct {
 
 	mu      sync.Mutex
 	handler func(*Frame)
+	rtt     func(seconds float64)
+}
+
+// SetRTTObserver registers a callback observing the round-trip time of each
+// remote frame POST, in seconds (loopback sends are not observed). The serve
+// layer feeds it a latency histogram.
+func (t *HTTPTransport) SetRTTObserver(fn func(seconds float64)) {
+	t.mu.Lock()
+	t.rtt = fn
+	t.mu.Unlock()
 }
 
 // NewHTTPTransport builds the transport for shard self of len(addrs) peers.
@@ -75,7 +86,14 @@ func (t *HTTPTransport) Send(to int, f *Frame) error {
 		// exercises the same validation as the remote one.
 		return t.Deliver(EncodeFrame(f))
 	}
+	start := time.Now()
 	resp, err := t.client.Post(t.addrs[to]+FramePath, "application/octet-stream", bytes.NewReader(EncodeFrame(f)))
+	t.mu.Lock()
+	rtt := t.rtt
+	t.mu.Unlock()
+	if rtt != nil {
+		rtt(time.Since(start).Seconds())
+	}
 	if err != nil {
 		return fmt.Errorf("cluster: frame to shard %d: %w", to, err)
 	}

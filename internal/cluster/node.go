@@ -230,7 +230,23 @@ func (n *Node) PutKeyed(ctx context.Context, routeKey, key string, value []byte,
 // All shards must call it with the same instance, options, and solveID; each
 // returns the full bitwise-identical Result or an explicit error.
 func (n *Node) SolveDistributed(ctx context.Context, c *par.Ctx, in *core.Instance, opts *primaldual.Options, solveID uint64) (*primaldual.Result, error) {
+	return n.SolveDistributedTraced(ctx, c, in, opts, solveID, 0)
+}
+
+// SolveDistributedTraced is SolveDistributed with an explicit trace id: it
+// is stamped on every frame this shard sends (so the legs of one solve
+// stitch into a single cross-shard trace), and the Ctx's tracer — if any —
+// additionally receives one "barrier" event per exchange. traceID zero means
+// untraced frames; tracing never changes the solve.
+func (n *Node) SolveDistributedTraced(ctx context.Context, c *par.Ctx, in *core.Instance, opts *primaldual.Options, solveID, traceID uint64) (*primaldual.Result, error) {
 	ex := NewExchange(n.tr, &n.seqs, solveID, n.timeout, n.retries)
+	if traceID != 0 || c.Tracing() {
+		var tr par.Tracer
+		if c != nil {
+			tr = c.Trace
+		}
+		ex.SetTrace(traceID, tr)
+	}
 	n.mu.Lock()
 	if n.exBusy {
 		n.mu.Unlock()

@@ -227,9 +227,21 @@ func cover(ctx context.Context, c *par.Ctx, sp metric.Space, idx []int, m int, s
 // farthest-point traversal, weighted by the source weight of the points they
 // absorb.
 func buildCover(ctx context.Context, c *par.Ctx, sp metric.Space, idx []int, m int, baseW []float64, seed uint64) (*Coreset, error) {
+	var prevCost par.Cost
+	if c.Tracing() {
+		prevCost = c.Tally.Snapshot()
+	}
 	sel, assign, dmin, err := cover(ctx, c, sp, idx, m, seed)
 	if err != nil {
 		return nil, err
+	}
+	if c.Tracing() {
+		d := c.Tally.Snapshot().Sub(prevCost)
+		c.Emit(par.TraceEvent{
+			Solver: "coreset", Phase: "cover",
+			Work: d.Work, Span: d.Span,
+			Live: int64(len(assign)), Opened: len(sel),
+		})
 	}
 	n := len(assign)
 	at := func(p int) int { return p }
@@ -277,6 +289,10 @@ func buildSampling(ctx context.Context, c *par.Ctx, sp metric.Space, pow, m, t i
 	}
 	pick := par.Stream(seed, 1)
 
+	var prevCost par.Cost
+	if c.Tracing() {
+		prevCost = c.Tally.Snapshot()
+	}
 	var sel []int
 	for r := 0; r < t; r++ {
 		if err := par.CtxErr(ctx); err != nil {
@@ -305,6 +321,16 @@ func buildSampling(ctx context.Context, c *par.Ctx, sp metric.Space, pow, m, t i
 			}
 		})
 		c.Charge(int64(n), 1)
+	}
+	if c.Tracing() {
+		now := c.Tally.Snapshot()
+		d := now.Sub(prevCost)
+		prevCost = now
+		c.Emit(par.TraceEvent{
+			Solver: "coreset", Phase: "seed",
+			Work: d.Work, Span: d.Span,
+			Live: int64(n), Opened: len(sel),
+		})
 	}
 
 	// Sensitivities against the seeding: σ_j = w_j·d^x_j / Cost + w_j / W(cluster_j),
@@ -343,6 +369,14 @@ func buildSampling(ctx context.Context, c *par.Ctx, sp metric.Space, pow, m, t i
 		// A draw of j has probability p_j = σ_j/total; its estimator weight
 		// is w_j/(m·p_j), so Σ_coreset w·f is unbiased for Σ_source w·f.
 		weights[i] = float64(counts[j]) * baseWeight(baseW, j) * total / (float64(m) * sens[j])
+	}
+	if c.Tracing() {
+		d := c.Tally.Snapshot().Sub(prevCost)
+		c.Emit(par.TraceEvent{
+			Solver: "coreset", Phase: "sample", Round: 1,
+			Work: d.Work, Span: d.Span,
+			Live: int64(n), Opened: len(pts),
+		})
 	}
 	return &Coreset{Points: pts, Weight: weights, SeedingCost: cost}, nil
 }

@@ -321,6 +321,10 @@ func (s *state) run(ctx context.Context, eng roundEngine, opts *Options) (*Resul
 	}
 	res.TauSchedule = make([]float64, 0, maxOuter)
 
+	var prevCost par.Cost
+	if c.Tracing() {
+		prevCost = c.Tally.Snapshot()
+	}
 	for s.liveCount > 0 && res.OuterRounds < maxOuter {
 		if err := par.CtxErr(ctx); err != nil {
 			return nil, err
@@ -435,6 +439,16 @@ func (s *state) run(ctx context.Context, eng roundEngine, opts *Options) (*Resul
 		}
 		if inner > res.MaxInnerPerOuter {
 			res.MaxInnerPerOuter = inner
+		}
+		if c.Tracing() {
+			now := c.Tally.Snapshot()
+			d := now.Sub(prevCost)
+			prevCost = now
+			c.Emit(par.TraceEvent{
+				Solver: "greedy", Phase: "round", Round: res.OuterRounds - 1,
+				Work: d.Work, Span: d.Span,
+				Live: int64(s.liveCount), Opened: len(s.openOrder),
+			})
 		}
 	}
 

@@ -1,0 +1,48 @@
+// Package obs is the observability layer: a metrics registry with Prometheus
+// text exposition, round-level solve traces, and the bounded flight recorder
+// faclocd serves behind GET /debug/solves.
+//
+// # Metrics
+//
+// A Registry holds counters, gauges, and fixed-bucket histograms in
+// registration order and renders them in the Prometheus text format 0.0.4.
+// Counter and Gauge are usable as zero values before (or without)
+// registration — the serve layer keeps its metrics struct of plain Counter
+// fields and registers only the ones it exposes — while Histogram, GaugeFunc,
+// and CounterVec are created through the Registry. All update paths are
+// atomic and allocation-free, so hot paths (admission, cache lookups, frame
+// handling) can bump metrics without synchronizing with scrapes.
+//
+// WriteText renders every metric into a single buffer under the registry
+// lock and writes it out in one call. That snapshot discipline is load
+// bearing: a scrape never interleaves with registrations, so membership
+// churn while a scrape is in flight cannot produce a torn view with some
+// series missing and others duplicated.
+//
+// ValidateExposition and ParseExposition implement a strict reader for the
+// same format. They exist for tests and smoke jobs: every rendered page must
+// round-trip through the validator (fuzzed by FuzzExposition), and CI greps
+// rely on counters rendering as bare integers.
+//
+// # Traces
+//
+// Recorder implements par.Tracer: it buffers the round-level TraceEvents the
+// greedy outer loop, the primal-dual iteration, the coreset build phases,
+// and cluster.Exchange barriers emit, and converts them to JSON-ready
+// SpanEvents. A SolveTrace bundles one solve's events with its trace id,
+// solver, instance hash, and wall time; FlightRecorder keeps the last N of
+// them in a ring, snapshot newest first.
+//
+// Trace ids are nonzero uint64s rendered as 16 hex digits. The same id rides
+// the X-Facloc-Trace HTTP header and the cluster frame header, so the legs
+// of one distributed solve — recorded independently by each shard's flight
+// recorder — stitch into a single cross-shard trace.
+//
+// # Conventions
+//
+// Metric names follow the Prometheus charset ([a-zA-Z_:][a-zA-Z0-9_:]*);
+// the registry sanitizes anything else on registration rather than
+// rejecting it. Integer-valued series render as bare integers ("42", never
+// "42.0") because the CI smoke jobs do shell integer comparisons on scraped
+// values.
+package obs

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition reads a Prometheus text-format 0.0.4 page strictly and
+// returns every sample keyed by its full series string (name plus
+// canonically ordered labels, e.g. `faclocd_solves_by_solver_total{solver="pd-par"}`).
+// It rejects malformed lines, duplicate series, histograms with
+// non-monotone buckets, and histogram _count samples that disagree with the
+// +Inf bucket. CI smoke jobs and the serve tests use it to hold /metrics to
+// the documented format.
+func ParseExposition(b []byte) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	types := make(map[string]string)
+	lines := strings.Split(string(b), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			if i == len(lines)-1 {
+				continue // trailing newline
+			}
+			return nil, fmt.Errorf("line %d: empty line", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			name, typ, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if typ != "" {
+				if _, dup := types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		key, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		samples[key] = val
+	}
+	for name, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		if err := checkHistogram(name, samples); err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+// ValidateExposition reports whether b is a well-formed exposition page.
+func ValidateExposition(b []byte) error {
+	_, err := ParseExposition(b)
+	return err
+}
+
+func parseComment(line string) (name, typ string, err error) {
+	switch {
+	case strings.HasPrefix(line, "# HELP "):
+		rest := line[len("# HELP "):]
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			sp = len(rest)
+		}
+		name = rest[:sp]
+		if !validName(name) {
+			return "", "", fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		return name, "", nil
+	case strings.HasPrefix(line, "# TYPE "):
+		rest := line[len("# TYPE "):]
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", "", fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name = fields[0]
+		typ = fields[1]
+		if !validName(name) {
+			return "", "", fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", fmt.Errorf("unknown metric type %q", typ)
+		}
+		return name, typ, nil
+	default:
+		return "", "", fmt.Errorf("comment line is neither HELP nor TYPE: %q", line)
+	}
+}
+
+// parseSample parses `name{label="value",...} value` into a canonical series
+// key and its float value.
+func parseSample(line string) (key string, val float64, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i > 0) {
+		i++
+	}
+	name := line[:i]
+	if !validName(name) {
+		return "", 0, fmt.Errorf("invalid metric name in %q", line)
+	}
+	var labels []string
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return "", 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && isLabelChar(line[j], j > i) {
+				j++
+			}
+			ln := line[i:j]
+			if ln == "" || j >= len(line) || line[j] != '=' || j+1 >= len(line) || line[j+1] != '"' {
+				return "", 0, fmt.Errorf("malformed label in %q", line)
+			}
+			j += 2 // past ="
+			var sb strings.Builder
+			for {
+				if j >= len(line) {
+					return "", 0, fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := line[j]
+				if c == '"' {
+					j++
+					break
+				}
+				if c == '\\' {
+					if j+1 >= len(line) {
+						return "", 0, fmt.Errorf("dangling escape in %q", line)
+					}
+					switch line[j+1] {
+					case '\\', '"':
+						sb.WriteByte(line[j+1])
+					case 'n':
+						sb.WriteByte('\n')
+					default:
+						return "", 0, fmt.Errorf("bad escape \\%c in %q", line[j+1], line)
+					}
+					j += 2
+					continue
+				}
+				sb.WriteByte(c)
+				j++
+			}
+			labels = append(labels, ln+`="`+escapeLabelValue(sb.String())+`"`)
+			i = j
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", 0, fmt.Errorf("missing value separator in %q", line)
+	}
+	rest := strings.TrimSpace(line[i+1:])
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", 0, fmt.Errorf("malformed value in %q", line)
+	}
+	val, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	sort.Strings(labels)
+	key = name
+	if len(labels) > 0 {
+		key += "{" + strings.Join(labels, ",") + "}"
+	}
+	return key, val, nil
+}
+
+// checkHistogram verifies bucket monotonicity and _count/+Inf agreement for
+// one declared histogram family.
+func checkHistogram(name string, samples map[string]float64) error {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	var inf float64
+	haveInf := false
+	prefix := name + `_bucket{`
+	for key, v := range samples {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		le, ok := extractLE(key)
+		if !ok {
+			return fmt.Errorf("histogram %s: bucket without le label: %s", name, key)
+		}
+		if le == "+Inf" {
+			inf = v
+			haveInf = true
+			continue
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("histogram %s: bad le %q", name, le)
+		}
+		buckets = append(buckets, bucket{le: f, cum: v})
+	}
+	if len(buckets) == 0 && !haveInf {
+		return nil // family declared but no buckets rendered yet
+	}
+	if !haveInf {
+		return fmt.Errorf("histogram %s: missing +Inf bucket", name)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	prev := 0.0
+	for _, b := range buckets {
+		if b.cum < prev {
+			return fmt.Errorf("histogram %s: bucket le=%g count %g below previous %g", name, b.le, b.cum, prev)
+		}
+		prev = b.cum
+	}
+	if inf < prev {
+		return fmt.Errorf("histogram %s: +Inf bucket %g below last finite bucket %g", name, inf, prev)
+	}
+	count, ok := samples[name+"_count"]
+	if !ok {
+		return fmt.Errorf("histogram %s: missing _count", name)
+	}
+	if count != inf {
+		return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", name, count, inf)
+	}
+	if _, ok := samples[name+"_sum"]; !ok {
+		return fmt.Errorf("histogram %s: missing _sum", name)
+	}
+	return nil
+}
+
+// extractLE pulls the le label value out of a canonical series key.
+func extractLE(key string) (string, bool) {
+	i := strings.Index(key, `le="`)
+	if i < 0 {
+		return "", false
+	}
+	rest := key[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, notFirst bool) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(notFirst && c >= '0' && c <= '9')
+}
+
+func isLabelChar(c byte, notFirst bool) bool {
+	return c == '_' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(notFirst && c >= '0' && c <= '9')
+}

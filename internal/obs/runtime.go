@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+)
+
+// runtimeSampler reads a fixed set of runtime/metrics samples at scrape
+// time. One Read covers every registered runtime gauge; the mutex keeps
+// concurrent scrapes off the shared sample slice.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+}
+
+func (s *runtimeSampler) value(i int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	v := s.samples[i].Value
+	switch v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64())
+	case metrics.KindFloat64:
+		return v.Float64()
+	case metrics.KindFloat64Histogram:
+		// Approximate the cumulative total as Σ count·midpoint — good
+		// enough for tracking GC pause drift, which is all this feeds.
+		h := v.Float64Histogram()
+		total := 0.0
+		for i, n := range h.Counts {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			mid := lo
+			if hi > lo && !isInf(lo) && !isInf(hi) {
+				mid = (lo + hi) / 2
+			} else if isInf(lo) {
+				mid = hi
+			}
+			total += float64(n) * mid
+		}
+		return total
+	}
+	return 0
+}
+
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }
+
+// RegisterRuntime adds Go runtime gauges (goroutines, heap bytes, GC cycles
+// and approximate cumulative GC pause seconds) to the registry, sampled
+// from runtime/metrics at each scrape.
+func RegisterRuntime(r *Registry) {
+	names := []struct {
+		runtime, metric, help string
+	}{
+		{"/sched/goroutines:goroutines", "go_goroutines", "Current number of live goroutines."},
+		{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of heap memory occupied by live and dead objects."},
+		{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles since process start."},
+		{"/gc/pauses:seconds", "go_gc_pause_seconds_total", "Approximate cumulative GC stop-the-world pause time in seconds."},
+	}
+	s := &runtimeSampler{samples: make([]metrics.Sample, len(names))}
+	for i, n := range names {
+		s.samples[i].Name = n.runtime
+	}
+	for i, n := range names {
+		r.GaugeFunc(n.metric, n.help, func() float64 { return s.value(i) })
+	}
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/par"
+)
+
+// SpanEvent is the JSON form of one par.TraceEvent: a round, barrier, or
+// build-phase span inside a solve. Field meanings match par.TraceEvent.
+type SpanEvent struct {
+	Solver string `json:"solver"`
+	Phase  string `json:"phase"`
+	Round  int    `json:"round"`
+	Work   int64  `json:"work,omitempty"`
+	Span   int64  `json:"span,omitempty"`
+	Live   int64  `json:"live,omitempty"`
+	Opened int    `json:"opened,omitempty"`
+	Bytes  int    `json:"bytes,omitempty"`
+}
+
+// SolveTrace is one solve's recorded trace: identity, timing, and the
+// ordered span events. This is the schema GET /debug/solves serves.
+type SolveTrace struct {
+	TraceID     string      `json:"trace_id"`
+	Solver      string      `json:"solver"`
+	Instance    string      `json:"instance,omitempty"`
+	Shard       int         `json:"shard,omitempty"`
+	Shards      int         `json:"shards,omitempty"`
+	Start       time.Time   `json:"start"`
+	WallSeconds float64     `json:"wall_seconds"`
+	Rounds      int         `json:"rounds"`
+	Events      []SpanEvent `json:"events"`
+}
+
+// Recorder buffers TraceEvents; it implements par.Tracer and is safe for
+// concurrent emitters (batch engines share one tracer across workers).
+type Recorder struct {
+	mu     sync.Mutex
+	events []SpanEvent
+}
+
+// Emit implements par.Tracer.
+func (r *Recorder) Emit(ev par.TraceEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, SpanEvent{
+		Solver: ev.Solver,
+		Phase:  ev.Phase,
+		Round:  ev.Round,
+		Work:   ev.Work,
+		Span:   ev.Span,
+		Live:   ev.Live,
+		Opened: ev.Opened,
+		Bytes:  ev.Bytes,
+	})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *Recorder) Events() []SpanEvent {
+	r.mu.Lock()
+	out := make([]SpanEvent, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	return out
+}
+
+// Rounds counts the "round" spans — the per-solve round count the bench
+// history tracks for drift.
+func (r *Recorder) Rounds() int {
+	r.mu.Lock()
+	n := 0
+	for i := range r.events {
+		if r.events[i].Phase == "round" {
+			n++
+		}
+	}
+	r.mu.Unlock()
+	return n
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	n := len(r.events)
+	r.mu.Unlock()
+	return n
+}
+
+// FlightRecorder keeps the most recent solve traces in a fixed-size ring.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	buf  []*SolveTrace
+	next int
+	full bool
+}
+
+// DefaultFlightSize is the trace capacity faclocd's flight recorder uses.
+const DefaultFlightSize = 64
+
+// NewFlightRecorder returns a recorder holding the last size traces
+// (DefaultFlightSize if size <= 0).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	return &FlightRecorder{buf: make([]*SolveTrace, size)}
+}
+
+// Record appends a trace, evicting the oldest when full.
+func (f *FlightRecorder) Record(t *SolveTrace) {
+	f.mu.Lock()
+	f.buf[f.next] = t
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+	f.mu.Unlock()
+}
+
+// Snapshot returns the recorded traces newest first.
+func (f *FlightRecorder) Snapshot() []*SolveTrace {
+	f.mu.Lock()
+	n := f.next
+	if f.full {
+		n = len(f.buf)
+	}
+	out := make([]*SolveTrace, 0, n)
+	for i := f.next - 1; i >= 0; i-- {
+		out = append(out, f.buf[i])
+	}
+	if f.full {
+		for i := len(f.buf) - 1; i >= f.next; i-- {
+			out = append(out, f.buf[i])
+		}
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// NewTraceID returns a random nonzero trace id.
+func NewTraceID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 1
+	}
+	id := binary.LittleEndian.Uint64(b[:])
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// FormatTraceID renders a trace id as 16 lowercase hex digits — the wire
+// form used by the X-Facloc-Trace header and /debug/solves.
+func FormatTraceID(id uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseTraceID parses the hex wire form; ok is false for empty, malformed,
+// or zero ids.
+func ParseTraceID(s string) (uint64, bool) {
+	if s == "" || len(s) > 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return v, true
+}

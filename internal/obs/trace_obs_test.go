@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func TestRecorderCollectsEvents(t *testing.T) {
+	rec := &Recorder{}
+	c := &par.Ctx{Trace: rec}
+	for i := 0; i < 3; i++ {
+		c.Emit(par.TraceEvent{Solver: "greedy", Phase: "round", Round: i, Work: int64(10 * i), Live: int64(100 - i)})
+	}
+	c.Emit(par.TraceEvent{Solver: "exchange", Phase: "barrier", Round: 0, Bytes: 512})
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("recorded %d events, want 4", len(evs))
+	}
+	if rec.Rounds() != 3 {
+		t.Fatalf("Rounds() = %d, want 3", rec.Rounds())
+	}
+	if evs[1].Round != 1 || evs[1].Work != 10 {
+		t.Errorf("event order or fields lost: %+v", evs[1])
+	}
+	if evs[3].Phase != "barrier" || evs[3].Bytes != 512 {
+		t.Errorf("barrier event mangled: %+v", evs[3])
+	}
+}
+
+func TestRecorderConcurrentEmit(t *testing.T) {
+	rec := &Recorder{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Emit(par.TraceEvent{Phase: "round", Round: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rec.Len(); got != 800 {
+		t.Fatalf("recorded %d events, want 800", got)
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	if got := len(f.Snapshot()); got != 0 {
+		t.Fatalf("empty recorder snapshot has %d traces", got)
+	}
+	for i := 0; i < 5; i++ {
+		f.Record(&SolveTrace{TraceID: FormatTraceID(uint64(i + 1)), Rounds: i})
+	}
+	snap := f.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d traces, want 3 (capacity)", len(snap))
+	}
+	// Newest first: rounds 4, 3, 2 survive.
+	for i, want := range []int{4, 3, 2} {
+		if snap[i].Rounds != want {
+			t.Errorf("snapshot[%d].Rounds = %d, want %d", i, snap[i].Rounds, want)
+		}
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id == 0 {
+		t.Fatal("NewTraceID returned zero")
+	}
+	s := FormatTraceID(id)
+	if len(s) != 16 {
+		t.Fatalf("FormatTraceID(%d) = %q, want 16 hex digits", id, s)
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != id {
+		t.Fatalf("round trip %d -> %q -> %d (ok=%v)", id, s, back, ok)
+	}
+	for _, bad := range []string{"", "zz", "0", "0000000000000000", "11112222333344445"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSolveTraceJSONSchema(t *testing.T) {
+	tr := &SolveTrace{
+		TraceID: FormatTraceID(42), Solver: "pd-dist", Instance: "deadbeef",
+		Shard: 1, Shards: 3, Rounds: 2,
+		Events: []SpanEvent{
+			{Solver: "primal-dual", Phase: "round", Round: 0, Work: 10, Live: 5},
+			{Solver: "exchange", Phase: "barrier", Round: 0, Bytes: 64},
+		},
+	}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	// These keys are the documented /debug/solves schema; CI's obs-smoke
+	// step validates against the same names.
+	for _, k := range []string{"trace_id", "solver", "start", "wall_seconds", "rounds", "events"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("marshalled trace missing %q: %s", k, b)
+		}
+	}
+	evs := m["events"].([]any)
+	ev0 := evs[0].(map[string]any)
+	for _, k := range []string{"solver", "phase", "round"} {
+		if _, ok := ev0[k]; !ok {
+			t.Errorf("marshalled event missing %q: %s", k, b)
+		}
+	}
+}

@@ -29,6 +29,11 @@ type Ctx struct {
 	// Grain is the smallest index range worth forking for. Zero means a
 	// default tuned for loop bodies of a few nanoseconds.
 	Grain int
+	// Trace, if non-nil, receives round-level TraceEvents from the
+	// round-based algorithms (see trace.go). Nil costs nothing: emit sites
+	// guard on Tracing(), so an untraced solve performs zero extra
+	// allocations per round.
+	Trace Tracer
 }
 
 // DefaultGrain is the sequential cutoff used when Ctx.Grain is zero.

@@ -1,0 +1,54 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+type countingTracer struct{ n atomic.Int64 }
+
+func (t *countingTracer) Emit(ev TraceEvent) { t.n.Add(1) }
+
+func TestEmitDelivers(t *testing.T) {
+	tr := &countingTracer{}
+	c := &Ctx{Trace: tr}
+	if !c.Tracing() {
+		t.Fatal("Tracing() false with a tracer installed")
+	}
+	c.Emit(TraceEvent{Solver: "greedy", Phase: "round", Round: 3})
+	c.Emit(TraceEvent{Phase: "barrier"})
+	if got := tr.n.Load(); got != 2 {
+		t.Fatalf("tracer saw %d events, want 2", got)
+	}
+}
+
+func TestEmitNilSafe(t *testing.T) {
+	var c *Ctx
+	if c.Tracing() {
+		t.Fatal("nil Ctx reports Tracing")
+	}
+	c.Emit(TraceEvent{Phase: "round"}) // must not panic
+	c2 := &Ctx{}
+	if c2.Tracing() {
+		t.Fatal("zero Ctx reports Tracing")
+	}
+	c2.Emit(TraceEvent{Phase: "round"})
+}
+
+// TestEmitNilTracerAllocs pins the zero-overhead contract: the guard-and-emit
+// pattern every round loop uses must not allocate when no tracer is
+// installed.
+func TestEmitNilTracerAllocs(t *testing.T) {
+	c := &Ctx{Tally: &Tally{}}
+	var prev Cost
+	if avg := testing.AllocsPerRun(1000, func() {
+		if c.Tracing() {
+			now := c.Tally.Snapshot()
+			d := now.Sub(prev)
+			prev = now
+			c.Emit(TraceEvent{Solver: "greedy", Phase: "round", Work: d.Work, Span: d.Span})
+		}
+	}); avg != 0 {
+		t.Fatalf("nil-tracer emit path allocates %.1f bytes/round, want 0", avg)
+	}
+}

@@ -288,6 +288,10 @@ func Distributed(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Optio
 		return nil
 	}
 	s.tl = base
+	var prevCost par.Cost
+	if c.Tracing() {
+		prevCost = c.Tally.Snapshot()
+	}
 	for iter := 0; iter < maxIter; iter++ {
 		if err := par.CtxErr(ctx); err != nil {
 			return nil, err
@@ -369,6 +373,16 @@ func Distributed(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Optio
 		}
 		if err := applyFreezes(frames, false); err != nil {
 			return nil, err
+		}
+		if c.Tracing() {
+			now := c.Tally.Snapshot()
+			d := now.Sub(prevCost)
+			prevCost = now
+			c.Emit(par.TraceEvent{
+				Solver: "primal-dual", Phase: "round", Round: res.Iterations - 1,
+				Work: d.Work, Span: d.Span,
+				Live: int64(s.unfrozen), Opened: len(s.openList),
+			})
 		}
 		s.tl *= onePlus
 	}

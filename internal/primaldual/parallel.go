@@ -218,6 +218,10 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 		}
 	}
 	s.tl = base
+	var prevCost par.Cost
+	if c.Tracing() {
+		prevCost = c.Tally.Snapshot()
+	}
 	for iter := 0; iter < maxIter; iter++ {
 		if err := par.CtxErr(ctx); err != nil {
 			return nil, err
@@ -257,6 +261,16 @@ func Parallel(ctx context.Context, c *par.Ctx, in *core.Instance, opts *Options)
 		// Step 3: freeze clients that reach an opened facility (free
 		// facilities are open too — they were opened in preprocessing).
 		eng.freezes()
+		if c.Tracing() {
+			now := c.Tally.Snapshot()
+			d := now.Sub(prevCost)
+			prevCost = now
+			c.Emit(par.TraceEvent{
+				Solver: "primal-dual", Phase: "round", Round: res.Iterations - 1,
+				Work: d.Work, Span: d.Span,
+				Live: int64(s.unfrozen), Opened: len(s.openList),
+			})
+		}
 		s.tl *= onePlus
 	}
 	// Unconditional feasibility: if the iteration cap fired with clients

@@ -10,11 +10,11 @@ import (
 	"net/http"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	facloc "repro"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/primaldual"
 )
@@ -102,13 +102,14 @@ type clusterState struct {
 	aliveMu   sync.Mutex
 	lastAlive map[string]bool
 
-	forwarded       atomic.Int64
-	forwardErrors   atomic.Int64
-	replicated      atomic.Int64
-	rereplicated    atomic.Int64
-	replicateErrors atomic.Int64
-	framesIn        atomic.Int64
-	distSolves      atomic.Int64
+	forwarded       obs.Counter
+	forwardErrors   obs.Counter
+	replicated      obs.Counter
+	rereplicated    obs.Counter
+	replicateErrors obs.Counter
+	framesIn        obs.Counter
+	distSolves      obs.Counter
+	frameRTT        *obs.Histogram
 
 	stopOnce   sync.Once
 	stopHealth chan struct{}
@@ -170,12 +171,36 @@ func (s *Server) EnableCluster(cfg ClusterConfig) error {
 	}
 	node.SetOnPut(func(key string, value []byte) { s.installReplica(key, value) })
 	s.cl = cl
+	cl.registerMetrics(s.reg)
 	if cfg.HealthInterval >= 0 {
 		go cl.healthLoop()
 	} else {
 		close(cl.healthDone)
 	}
+	s.log.Info("cluster enabled", "self", cfg.Self, "peers", len(cfg.Peers), "replicas", cfg.replicas())
 	return nil
+}
+
+// registerMetrics exposes the cluster series. Registration happens after the
+// single-node set, so a clustered scrape is the single-node page plus the
+// faclocd_cluster_* block — the same shape the hand-rendered page had.
+func (cl *clusterState) registerMetrics(r *obs.Registry) {
+	r.GaugeFunc("faclocd_cluster_peers", "Ring members, live or not.",
+		func() float64 { return float64(len(cl.ring.Members())) })
+	r.GaugeFunc("faclocd_cluster_peers_alive", "Ring members currently believed alive.",
+		func() float64 { return float64(len(cl.ring.AliveMembers())) })
+	r.RegisterCounter("faclocd_cluster_forwarded_total", "Requests proxied to the owning shard.", &cl.forwarded)
+	r.RegisterCounter("faclocd_cluster_forward_errors_total", "Forwarding attempts that failed (served locally).", &cl.forwardErrors)
+	r.RegisterCounter("faclocd_cluster_replicated_total", "Solution entries shipped to replica shards.", &cl.replicated)
+	r.RegisterCounter("faclocd_cluster_rereplicated_total", "Entries re-shipped to a revived peer.", &cl.rereplicated)
+	r.RegisterCounter("faclocd_cluster_replicate_errors_total", "Replication attempts that failed.", &cl.replicateErrors)
+	r.RegisterCounter("faclocd_cluster_frames_in_total", "Wire frames accepted on /cluster/frame.", &cl.framesIn)
+	r.RegisterCounter("faclocd_cluster_dist_solves_total", "Distributed solve legs run on this shard.", &cl.distSolves)
+	r.GaugeFunc("faclocd_cluster_store_entries", "Entries in the cluster replication store.",
+		func() float64 { return float64(cl.node.StoreLen()) })
+	cl.frameRTT = r.Histogram("faclocd_cluster_frame_rtt_seconds",
+		"Round-trip time of remote frame POSTs.", obs.DurationBuckets)
+	cl.tr.SetRTTObserver(func(seconds float64) { cl.frameRTT.Observe(seconds) })
 }
 
 // stop ends the health loop and transport; called from Server.Shutdown.
@@ -243,6 +268,9 @@ func (cl *clusterState) noteLiveness(id string, alive bool) {
 	was := cl.lastAlive[id]
 	cl.lastAlive[id] = alive
 	cl.aliveMu.Unlock()
+	if alive != was {
+		cl.srv.log.Info("peer liveness changed", "peer", id, "alive", alive)
+	}
 	if alive && !was {
 		cl.srv.reReplicateTo(id)
 	}
@@ -372,6 +400,9 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, key, pat
 	}
 	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
 	req.Header.Set(forwardedHeader, "1")
+	if th := r.Header.Get(TraceHeader); th != "" {
+		req.Header.Set(TraceHeader, th)
+	}
 	resp, err := cl.client.Do(req)
 	if err != nil {
 		// The owner just died and the health loop hasn't noticed yet: mark
@@ -448,11 +479,15 @@ func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, req *Solve
 // to every peer, instance inline (shards need the full instance; it enters
 // each shard's store content-addressed).
 type distSolveRequest struct {
-	SolveID  uint64          `json:"solve_id"`
-	Hash     string          `json:"hash"`
-	Epsilon  float64         `json:"eps"`
-	Seed     int64           `json:"seed"`
-	Workers  int             `json:"workers,omitempty"`
+	SolveID uint64  `json:"solve_id"`
+	Hash    string  `json:"hash"`
+	Epsilon float64 `json:"eps"`
+	Seed    int64   `json:"seed"`
+	Workers int     `json:"workers,omitempty"`
+	// TraceID is the coordinator's trace id; every leg records its flight
+	// trace and stamps its frames under it, so the solve stitches into one
+	// cross-shard trace.
+	TraceID  uint64          `json:"trace_id,omitempty"`
 	Instance json.RawMessage `json:"instance"`
 }
 
@@ -468,8 +503,9 @@ func solveIDFor(key string) uint64 {
 }
 
 // distLeg runs this shard's leg of a distributed solve and caches the
-// result under the pd-dist solver name.
-func (s *Server) distLeg(ctx context.Context, in *facloc.Instance, instHash string, opts facloc.Options, solveID uint64) (*entry, error) {
+// result under the pd-dist solver name. traceID labels the leg's flight
+// trace and every frame it sends (0 = mint one locally).
+func (s *Server) distLeg(ctx context.Context, in *facloc.Instance, instHash string, opts facloc.Options, solveID, traceID uint64) (*entry, error) {
 	solver, ok := facloc.Lookup(DistSolverName)
 	if !ok {
 		return nil, &unknownSolverError{name: DistSolverName}
@@ -483,15 +519,40 @@ func (s *Server) distLeg(ctx context.Context, in *facloc.Instance, instHash stri
 	s.met.cacheMisses.Add(1)
 	s.met.solvesTotal.Add(1)
 	s.cl.distSolves.Add(1)
+	if traceID == 0 {
+		traceID = obs.NewTraceID()
+	}
+	rec := &obs.Recorder{}
+	shard, _ := s.cl.ring.Index(s.cl.selfID)
+	shards := len(s.cl.ring.Members())
 	start := time.Now()
-	c := &par.Ctx{Workers: opts.Workers}
-	res, err := s.cl.node.SolveDistributed(ctx, c, in, &primaldual.Options{
+	c := &par.Ctx{Workers: opts.Workers, Tally: &par.Tally{}, Trace: rec}
+	res, err := s.cl.node.SolveDistributedTraced(ctx, c, in, &primaldual.Options{
 		Epsilon: opts.Canonical().Epsilon, Seed: opts.Seed,
-	}, solveID)
+	}, solveID, traceID)
 	if err != nil {
 		s.met.solveErrors.Add(1)
+		s.log.Warn("distributed solve leg failed", "trace", obs.FormatTraceID(traceID),
+			"instance", instHash, "shard", shard, "err", err)
 		return nil, err
 	}
+	wall := time.Since(start)
+	s.solveDur.Observe(wall.Seconds())
+	s.bySolver.With(DistSolverName).Inc()
+	s.flight.Record(&obs.SolveTrace{
+		TraceID:     obs.FormatTraceID(traceID),
+		Solver:      DistSolverName,
+		Instance:    instHash,
+		Shard:       shard,
+		Shards:      shards,
+		Start:       start,
+		WallSeconds: wall.Seconds(),
+		Rounds:      rec.Rounds(),
+		Events:      rec.Events(),
+	})
+	s.log.Info("distributed solve leg", "trace", obs.FormatTraceID(traceID),
+		"instance", instHash, "shard", shard, "shards", shards,
+		"rounds", rec.Rounds(), "wall_ms", float64(wall)/float64(time.Millisecond))
 	e := &entry{
 		id:       id,
 		key:      key,
@@ -551,7 +612,10 @@ func (s *Server) handleClusterSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.solveContext(r.Context(), 0)
 	defer cancel()
 	opts := facloc.Options{Epsilon: req.Epsilon, Seed: req.Seed, Workers: req.Workers, TrackCost: true, DenseLimit: s.cfg.denseLimit()}
-	e, err := s.distLeg(ctx, in, instHash, opts, req.SolveID)
+	if req.TraceID != 0 {
+		w.Header().Set(TraceHeader, obs.FormatTraceID(req.TraceID))
+	}
+	e, err := s.distLeg(ctx, in, instHash, opts, req.SolveID, req.TraceID)
 	if err != nil {
 		writeError(w, status(err), err)
 		return
@@ -564,12 +628,15 @@ func (s *Server) handleClusterSolve(w http.ResponseWriter, r *http.Request) {
 // every leg to succeed. Any shard failing — crashed, lagging, partitioned —
 // fails the request loudly; the solution is never served from a partial
 // round.
-func (s *Server) distSolve(ctx context.Context, in *facloc.Instance, instHash string, opts facloc.Options) (*entry, error) {
+func (s *Server) distSolve(ctx context.Context, in *facloc.Instance, instHash string, opts facloc.Options, traceID uint64) (*entry, error) {
 	cl := s.cl
 	key := solveKey(instHash, DistSolverName, opts)
 	if e, ok := s.st.solution(solutionID(key)); ok && e.key == key {
 		s.met.cacheHits.Add(1)
 		return e, nil
+	}
+	if traceID == 0 {
+		traceID = obs.NewTraceID()
 	}
 	var buf bytes.Buffer
 	if err := facloc.WriteInstance(&buf, in); err != nil {
@@ -581,6 +648,7 @@ func (s *Server) distSolve(ctx context.Context, in *facloc.Instance, instHash st
 		Epsilon:  opts.Canonical().Epsilon,
 		Seed:     opts.Seed,
 		Workers:  opts.Workers,
+		TraceID:  traceID,
 		Instance: buf.Bytes(),
 	})
 	if err != nil {
@@ -615,7 +683,7 @@ func (s *Server) distSolve(ctx context.Context, in *facloc.Instance, instHash st
 			}
 		}(i, m)
 	}
-	e, legErr := s.distLeg(ctx, in, instHash, opts, solveIDFor(key))
+	e, legErr := s.distLeg(ctx, in, instHash, opts, solveIDFor(key), traceID)
 	wg.Wait()
 	if legErr != nil {
 		return nil, legErr
@@ -670,22 +738,4 @@ func (s *Server) handleClusterRing(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(view.Members, func(a, b int) bool { return view.Members[a].ID < view.Members[b].ID })
 	writeJSON(w, http.StatusOK, view)
-}
-
-func (s *Server) clusterMetrics(w io.Writer) {
-	cl := s.cl
-	if cl == nil {
-		return
-	}
-	alive := len(cl.ring.AliveMembers())
-	fmt.Fprintf(w, "faclocd_cluster_peers %d\n", len(cl.ring.Members()))
-	fmt.Fprintf(w, "faclocd_cluster_peers_alive %d\n", alive)
-	fmt.Fprintf(w, "faclocd_cluster_forwarded_total %d\n", cl.forwarded.Load())
-	fmt.Fprintf(w, "faclocd_cluster_forward_errors_total %d\n", cl.forwardErrors.Load())
-	fmt.Fprintf(w, "faclocd_cluster_replicated_total %d\n", cl.replicated.Load())
-	fmt.Fprintf(w, "faclocd_cluster_rereplicated_total %d\n", cl.rereplicated.Load())
-	fmt.Fprintf(w, "faclocd_cluster_replicate_errors_total %d\n", cl.replicateErrors.Load())
-	fmt.Fprintf(w, "faclocd_cluster_frames_in_total %d\n", cl.framesIn.Load())
-	fmt.Fprintf(w, "faclocd_cluster_dist_solves_total %d\n", cl.distSolves.Load())
-	fmt.Fprintf(w, "faclocd_cluster_store_entries %d\n", cl.node.StoreLen())
 }

@@ -16,7 +16,13 @@ import (
 
 	facloc "repro"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
+
+// TraceHeader carries a solve's trace id end to end: a client may supply it
+// on POST /solve, forwarding and distributed fan-out propagate it, and the
+// response echoes the id actually used — the key into GET /debug/solves.
+const TraceHeader = "X-Facloc-Trace"
 
 // Handler returns the HTTP surface of the server.
 func (s *Server) Handler() http.Handler {
@@ -24,6 +30,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /solvers", s.handleSolvers)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
 	mux.HandleFunc("POST /instances", s.handlePutInstance)
 	mux.HandleFunc("GET /instances/{hash}", s.handleGetInstance)
 	mux.HandleFunc("POST /solve", s.handleSolve)
@@ -106,30 +113,23 @@ func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleMetrics serves the Prometheus text page. The registry renders the
+// whole page into one buffer under its lock and writes it in a single call,
+// so a scrape racing EnableCluster (or any late registration) sees either
+// the page before or after — never a torn view.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	draining := 0
-	if s.Draining() {
-		draining = 1
+	_ = s.reg.WriteText(w)
+}
+
+// handleDebugSolves dumps the flight recorder: the most recent solve traces,
+// newest first, in the obs.SolveTrace JSON schema.
+func (s *Server) handleDebugSolves(w http.ResponseWriter, r *http.Request) {
+	ts := s.flight.Snapshot()
+	if ts == nil {
+		ts = []*obs.SolveTrace{}
 	}
-	fmt.Fprintf(w, "faclocd_instances_stored %d\n", s.st.numInstances())
-	fmt.Fprintf(w, "faclocd_solutions_cached %d\n", s.st.numSolutions())
-	fmt.Fprintf(w, "faclocd_cache_hits %d\n", s.met.cacheHits.Load())
-	fmt.Fprintf(w, "faclocd_cache_misses %d\n", s.met.cacheMisses.Load())
-	fmt.Fprintf(w, "faclocd_solves_total %d\n", s.met.solvesTotal.Load())
-	fmt.Fprintf(w, "faclocd_solve_errors_total %d\n", s.met.solveErrors.Load())
-	fmt.Fprintf(w, "faclocd_solves_inflight %d\n", s.Inflight())
-	fmt.Fprintf(w, "faclocd_rejected_total %d\n", s.met.rejected.Load())
-	fmt.Fprintf(w, "faclocd_queries_total %d\n", s.met.queriesTotal.Load())
-	fmt.Fprintf(w, "faclocd_batch_requests_total %d\n", s.met.batchTotal.Load())
-	fmt.Fprintf(w, "faclocd_draining %d\n", draining)
-	if s.st.dur != nil {
-		fmt.Fprintf(w, "faclocd_store_loads %d\n", s.met.storeLoads.Load())
-		fmt.Fprintf(w, "faclocd_store_writes %d\n", s.met.storeWrites.Load())
-		fmt.Fprintf(w, "faclocd_store_write_errors %d\n", s.met.storeWriteErrors.Load())
-		fmt.Fprintf(w, "faclocd_store_quarantined %d\n", s.met.storeQuarantined.Load())
-	}
-	s.clusterMetrics(w)
+	writeJSON(w, http.StatusOK, ts)
 }
 
 type instanceMeta struct {
@@ -233,6 +233,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status(err), err)
 		return
 	}
+	// Settle the trace id up front and write it back into the request
+	// header, so a forwarded request carries the same id and the shard that
+	// solves records under it.
+	traceID, ok := obs.ParseTraceID(r.Header.Get(TraceHeader))
+	if !ok {
+		traceID = obs.NewTraceID()
+		r.Header.Set(TraceHeader, obs.FormatTraceID(traceID))
+	}
+	w.Header().Set(TraceHeader, obs.FormatTraceID(traceID))
 	var in *facloc.Instance
 	var instHash string
 	if inline != nil {
@@ -293,12 +302,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	hit := false
 	if s.cl != nil && solver.Name() == DistSolverName {
 		// The real thing: every faclocd shard runs one leg, frames over HTTP.
-		e, err = s.distSolve(ctx, in, instHash, opts)
+		e, err = s.distSolve(ctx, in, instHash, opts, traceID)
 		if err == nil {
 			s.replicateEntry(e)
 		}
 	} else {
-		e, hit, err = s.solve(ctx, in, instHash, solver, opts)
+		e, hit, err = s.solve(ctx, in, instHash, solver, opts, traceID)
 	}
 	if err != nil {
 		writeError(w, status(err), err)
@@ -361,6 +370,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	s.met.batchTotal.Add(1)
+	batchStart := time.Now()
+	defer func() { s.batchDur.Observe(time.Since(batchStart).Seconds()) }()
 
 	dl := int(denseLimit)
 	if dl <= 0 {
@@ -446,6 +457,7 @@ type queryAnswer struct {
 }
 
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	e, ok := s.lookupQueryHandle(w, r)
 	if !ok {
 		return
@@ -462,6 +474,7 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.queriesTotal.Add(1)
+	s.queryDur.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, queryAnswer{Client: &j, Facility: fac, Distance: d})
 }
 
@@ -498,6 +511,7 @@ func finiteCoords(q []float64) bool {
 }
 
 func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	e, ok := s.lookupQueryHandle(w, r)
 	if !ok {
 		return
@@ -515,6 +529,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.queriesTotal.Add(1)
+	s.queryDur.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, queryAnswer{Facility: fac, Distance: d})
 }
 
@@ -530,6 +545,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	sc := bufio.NewScanner(io.LimitReader(r.Body, s.cfg.maxBody()))
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
+		lineStart := time.Now()
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
@@ -564,6 +580,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.met.queriesTotal.Add(1)
+		s.queryDur.Observe(time.Since(lineStart).Seconds())
 		if err := out.Encode(ans); err != nil {
 			return
 		}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	facloc "repro"
+	"repro/internal/obs"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestMetricsExpositionValid: after real traffic the whole /metrics page
+// parses under the strict exposition grammar, and the new series — latency
+// histograms, admission gauges, the per-solver family, runtime stats — are
+// all present alongside the legacy names.
+func TestMetricsExpositionValid(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := facloc.GenerateUniform(301, 6, 30, 1, 6)
+	hash := submitInstance(t, ts.URL, in)
+	postJSON(t, ts.URL+"/solve", SolveRequest{Hash: hash, Solver: "pd-par", Seed: 3})
+	postJSON(t, ts.URL+"/solve", SolveRequest{Hash: hash, Solver: "greedy-par", Seed: 3})
+
+	page := scrape(t, ts.URL)
+	if err := obs.ValidateExposition([]byte(page)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, page)
+	}
+	for _, want := range []string{
+		"faclocd_solve_duration_seconds_bucket{le=\"+Inf\"} 2",
+		"faclocd_solve_duration_seconds_count 2",
+		"faclocd_query_duration_seconds_bucket",
+		"faclocd_batch_duration_seconds_bucket",
+		"faclocd_solves_by_solver_total{solver=\"pd-par\"} 1",
+		"faclocd_solves_by_solver_total{solver=\"greedy-par\"} 1",
+		"faclocd_queue_depth 0",
+		"faclocd_cache_hit_ratio 0",
+		"go_goroutines ",
+		"faclocd_solves_total 2",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, page)
+		}
+	}
+}
+
+// TestMetricsScrapeDuringTraffic: concurrent scrapes racing live solves and
+// queries always yield a parseable page (run under -race this also pins the
+// registry's concurrency story at the serve layer).
+func TestMetricsScrapeDuringTraffic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := facloc.GenerateUniform(302, 6, 30, 1, 6)
+	hash := submitInstance(t, ts.URL, in)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				postJSON(t, ts.URL+"/solve", SolveRequest{Hash: hash, Solver: "pd-par", Seed: int64(seed*100 + i)})
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		page := scrape(t, ts.URL)
+		if err := obs.ValidateExposition([]byte(page)); err != nil {
+			t.Fatalf("scrape %d invalid under load: %v", i, err)
+		}
+	}
+	wg.Wait()
+}
+
+// TestMetricsExpositionValidClustered: a clustered daemon's page still
+// parses and carries the cluster block registered by EnableCluster.
+func TestMetricsExpositionValidClustered(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	in := facloc.GenerateUniform(303, 6, 30, 1, 6)
+	hash := submitInstance(t, tc.urls[0], in)
+	postJSON(t, tc.urls[0]+"/solve", SolveRequest{Hash: hash, Solver: "pd-par", Seed: 3})
+
+	for i, u := range tc.urls {
+		page := scrape(t, u)
+		if err := obs.ValidateExposition([]byte(page)); err != nil {
+			t.Fatalf("node %d exposition invalid: %v", i, err)
+		}
+		for _, want := range []string{
+			"faclocd_cluster_peers 3",
+			"faclocd_cluster_peers_alive 3",
+			"faclocd_cluster_frame_rtt_seconds_bucket",
+			"faclocd_cluster_dist_solves_total 0",
+		} {
+			if !strings.Contains(page, want) {
+				t.Fatalf("node %d metrics missing %q:\n%s", i, want, page)
+			}
+		}
+	}
+}
+
+func debugSolves(t *testing.T, url string) []obs.SolveTrace {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/solves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/solves: %d", resp.StatusCode)
+	}
+	var out []obs.SolveTrace
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDebugSolvesRecordsTraces: a cache-miss solve lands in the flight
+// recorder newest-first, under the trace id the response header echoed, with
+// its per-round spans; a cache hit records nothing.
+func TestDebugSolvesRecordsTraces(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := facloc.GenerateUniform(304, 6, 30, 1, 6)
+	hash := submitInstance(t, ts.URL, in)
+
+	body, _ := json.Marshal(SolveRequest{Hash: hash, Solver: "greedy-par", Seed: 9})
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	echoed := resp.Header.Get(TraceHeader)
+	if _, ok := obs.ParseTraceID(echoed); !ok {
+		t.Fatalf("response trace header %q is not a valid trace id", echoed)
+	}
+
+	traces := debugSolves(t, ts.URL)
+	if len(traces) != 1 {
+		t.Fatalf("flight recorder holds %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.TraceID != echoed {
+		t.Fatalf("recorded trace id %s, header said %s", tr.TraceID, echoed)
+	}
+	if tr.Solver != "greedy-par" || tr.Instance != hash {
+		t.Fatalf("trace identity wrong: %+v", tr)
+	}
+	if tr.Rounds == 0 || len(tr.Events) == 0 {
+		t.Fatalf("trace has no round spans: %+v", tr)
+	}
+	for _, ev := range tr.Events {
+		if ev.Phase == "round" && ev.Solver != "greedy" {
+			t.Fatalf("unexpected round emitter %q", ev.Solver)
+		}
+	}
+
+	// Replay: a cache hit must not grow the recorder.
+	postJSON(t, ts.URL+"/solve", SolveRequest{Hash: hash, Solver: "greedy-par", Seed: 9})
+	if n := len(debugSolves(t, ts.URL)); n != 1 {
+		t.Fatalf("cache hit grew the flight recorder to %d", n)
+	}
+}
+
+// TestDistributedSolveStitchedTrace is the acceptance criterion: one pd-dist
+// solve on a 3-shard cluster, driven under a client-chosen trace id, yields
+// on every shard a flight trace carrying that same id — with its primal-dual
+// round spans in order and the exchange barriers interleaved — so the three
+// /debug/solves payloads stitch into a single cross-shard trace.
+func TestDistributedSolveStitchedTrace(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	in := facloc.GenerateUniform(305, 8, 40, 1, 6)
+	hash := submitInstance(t, tc.urls[0], in)
+
+	const traceID = "00c0ffee00c0ffee"
+	body, _ := json.Marshal(SolveRequest{Hash: hash, Solver: DistSolverName, Seed: 5, Epsilon: 0.2})
+	req, err := http.NewRequest(http.MethodPost, tc.urls[0]+"/solve", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dist solve: %d %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get(TraceHeader); got != traceID {
+		t.Fatalf("response echoed trace %q, want %q", got, traceID)
+	}
+
+	for i, u := range tc.urls {
+		traces := debugSolves(t, u)
+		var leg *obs.SolveTrace
+		for j := range traces {
+			if traces[j].TraceID == traceID {
+				if leg != nil {
+					t.Fatalf("shard %d recorded the trace twice", i)
+				}
+				leg = &traces[j]
+			}
+		}
+		if leg == nil {
+			t.Fatalf("shard %d has no trace %s", i, traceID)
+		}
+		if leg.Solver != DistSolverName || leg.Shards != 3 {
+			t.Fatalf("shard %d leg identity wrong: %+v", i, leg)
+		}
+		if leg.Rounds == 0 {
+			t.Fatalf("shard %d leg has no rounds", i)
+		}
+		lastRound, barriers := -1, 0
+		for _, ev := range leg.Events {
+			switch ev.Phase {
+			case "round":
+				if ev.Round < lastRound {
+					t.Fatalf("shard %d rounds out of order: %d after %d", i, ev.Round, lastRound)
+				}
+				lastRound = ev.Round
+			case "barrier":
+				barriers++
+			}
+		}
+		if barriers == 0 {
+			t.Fatalf("shard %d leg recorded no exchange barriers", i)
+		}
+	}
+}

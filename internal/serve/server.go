@@ -3,15 +3,16 @@ package serve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	facloc "repro"
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -47,6 +48,11 @@ type Config struct {
 	// requests replay byte-identically without re-solving. Empty = the
 	// store lives in memory only.
 	DataDir string
+	// Logger receives the server's structured log records (nil = discard).
+	Logger *slog.Logger
+	// FlightSize bounds the /debug/solves flight recorder
+	// (0 = obs.DefaultFlightSize).
+	FlightSize int
 }
 
 func (c Config) maxInflight() int {
@@ -98,21 +104,31 @@ func (c Config) batchJobs() int {
 	return c.maxInflight()
 }
 
-// metrics is the counter set behind GET /metrics.
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+// metrics is the counter set behind GET /metrics. The fields are obs.Counters
+// registered with the server's registry at construction; the struct survives
+// as a named bundle so store/persist/cluster code reaches counters without
+// holding the registry.
 type metrics struct {
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	solvesTotal  atomic.Int64
-	solveErrors  atomic.Int64
-	rejected     atomic.Int64
-	queriesTotal atomic.Int64
-	batchTotal   atomic.Int64
+	cacheHits    obs.Counter
+	cacheMisses  obs.Counter
+	solvesTotal  obs.Counter
+	solveErrors  obs.Counter
+	rejected     obs.Counter
+	queriesTotal obs.Counter
+	batchTotal   obs.Counter
 
 	// Durable-store counters (exposed only when DataDir is set).
-	storeLoads       atomic.Int64
-	storeWrites      atomic.Int64
-	storeWriteErrors atomic.Int64
-	storeQuarantined atomic.Int64
+	storeLoads       obs.Counter
+	storeWrites      obs.Counter
+	storeWriteErrors obs.Counter
+	storeQuarantined obs.Counter
 }
 
 // Errors admission can fail with; handlers map both to 503.
@@ -127,6 +143,16 @@ type Server struct {
 	cfg Config
 	st  *store
 	met metrics
+	log *slog.Logger
+
+	// reg renders GET /metrics; flight backs GET /debug/solves.
+	reg    *obs.Registry
+	flight *obs.FlightRecorder
+
+	solveDur *obs.Histogram  // per-solve wall time, cache misses only
+	queryDur *obs.Histogram  // per-query answer time
+	batchDur *obs.Histogram  // whole-/batch wall time
+	bySolver *obs.CounterVec // solves by effective solver name
 
 	sem   chan struct{} // in-flight solve slots
 	queue chan struct{} // in-flight + waiting slots
@@ -154,6 +180,9 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
+		log:     cfg.logger(),
+		reg:     obs.NewRegistry(),
+		flight:  obs.NewFlightRecorder(cfg.FlightSize),
 		sem:     make(chan struct{}, cfg.maxInflight()),
 		queue:   make(chan struct{}, cfg.maxInflight()+cfg.maxQueue()),
 		drainCh: make(chan struct{}),
@@ -168,6 +197,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.st = newStore(cfg.maxInstances(), cfg.maxSolutions(), dur, &s.met)
+	s.registerMetrics()
 	s.solveCtx, s.solveCancel = context.WithCancel(context.Background())
 	if dur != nil {
 		if err := s.loadDurable(); err != nil {
@@ -175,6 +205,66 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// registerMetrics wires the server's counters, gauges, and histograms into
+// the registry in the order the legacy hand-rendered page used, so scrapes
+// stay diff-friendly across the migration. Names are load-bearing: the CI
+// smoke jobs grep them.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.GaugeFunc("faclocd_instances_stored", "Instances currently in the content-addressed store.",
+		func() float64 { return float64(s.st.numInstances()) })
+	r.GaugeFunc("faclocd_solutions_cached", "Solution entries currently cached.",
+		func() float64 { return float64(s.st.numSolutions()) })
+	r.RegisterCounter("faclocd_cache_hits", "Solve requests answered from the solution cache.", &s.met.cacheHits)
+	r.RegisterCounter("faclocd_cache_misses", "Solve requests that missed the cache.", &s.met.cacheMisses)
+	r.RegisterCounter("faclocd_solves_total", "Solves actually run (cache misses).", &s.met.solvesTotal)
+	r.RegisterCounter("faclocd_solve_errors_total", "Solves that returned an error.", &s.met.solveErrors)
+	r.GaugeFunc("faclocd_solves_inflight", "Solves currently running.",
+		func() float64 { return float64(s.Inflight()) })
+	r.RegisterCounter("faclocd_rejected_total", "Admissions refused (queue full or draining).", &s.met.rejected)
+	r.RegisterCounter("faclocd_queries_total", "Assignment and nearest-facility queries answered.", &s.met.queriesTotal)
+	r.RegisterCounter("faclocd_batch_requests_total", "Batch solve requests accepted.", &s.met.batchTotal)
+	r.GaugeFunc("faclocd_draining", "1 while the server is draining, else 0.",
+		func() float64 {
+			if s.Draining() {
+				return 1
+			}
+			return 0
+		})
+	if s.cfg.DataDir != "" {
+		r.RegisterCounter("faclocd_store_loads", "Entries recovered from the durable store at startup.", &s.met.storeLoads)
+		r.RegisterCounter("faclocd_store_writes", "Entries written through to the durable store.", &s.met.storeWrites)
+		r.RegisterCounter("faclocd_store_write_errors", "Durable write-through failures.", &s.met.storeWriteErrors)
+		r.RegisterCounter("faclocd_store_quarantined", "Durable files quarantined by the recovery scan.", &s.met.storeQuarantined)
+	}
+	r.GaugeFunc("faclocd_queue_depth", "Admitted solve requests waiting for an in-flight slot.",
+		func() float64 { return float64(s.QueueDepth()) })
+	r.GaugeFunc("faclocd_cache_hit_ratio", "Fraction of solve lookups served from cache (0 before any lookup).",
+		func() float64 {
+			h, m := float64(s.met.cacheHits.Value()), float64(s.met.cacheMisses.Value())
+			if h+m == 0 {
+				return 0
+			}
+			return h / (h + m)
+		})
+	s.solveDur = r.Histogram("faclocd_solve_duration_seconds", "Wall time of solves actually run.", obs.DurationBuckets)
+	s.queryDur = r.Histogram("faclocd_query_duration_seconds", "Wall time of assignment/nearest queries.", obs.DurationBuckets)
+	s.batchDur = r.Histogram("faclocd_batch_duration_seconds", "Wall time of whole /batch requests.", obs.DurationBuckets)
+	s.bySolver = r.CounterVec("faclocd_solves_by_solver_total", "Solves actually run, by effective solver.", "solver")
+	obs.RegisterRuntime(r)
+}
+
+// QueueDepth reports admitted requests still waiting for an in-flight slot.
+// Derived from the two admission channels, so the drain path's releases are
+// reflected without separate bookkeeping.
+func (s *Server) QueueDepth() int {
+	d := len(s.queue) - len(s.sem)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // acquire admits one solve: it takes a queue slot (immediate 503-style
@@ -343,8 +433,9 @@ func (s *Server) cached(instHash, solverName string, opts facloc.Options) (*entr
 // solve is the cached solve shared by /solve and /batch: admission is the
 // caller's job; this layer does hash → key → cache → registry solve →
 // store. It returns the (possibly pre-existing) entry and whether it was a
-// cache hit.
-func (s *Server) solve(ctx context.Context, in *facloc.Instance, instHash string, solver facloc.Solver, opts facloc.Options) (*entry, bool, error) {
+// cache hit. traceID labels the flight-recorder trace (0 = mint one); the
+// solve itself is identical traced or not.
+func (s *Server) solve(ctx context.Context, in *facloc.Instance, instHash string, solver facloc.Solver, opts facloc.Options, traceID uint64) (*entry, bool, error) {
 	key := solveKey(instHash, solver.Name(), opts)
 	id := solutionID(key)
 	if e, ok := s.st.solution(id); ok && e.key == key {
@@ -353,11 +444,35 @@ func (s *Server) solve(ctx context.Context, in *facloc.Instance, instHash string
 	}
 	s.met.cacheMisses.Add(1)
 	s.met.solvesTotal.Add(1)
+	if traceID == 0 {
+		traceID = obs.NewTraceID()
+	}
+	rec := &obs.Recorder{}
+	if opts.Trace == nil {
+		opts.Trace = rec
+	}
+	start := time.Now()
 	rep, err := facloc.SolveWith(ctx, solver, in, opts)
 	if err != nil {
 		s.met.solveErrors.Add(1)
+		s.log.Warn("solve failed", "trace", obs.FormatTraceID(traceID),
+			"solver", solver.Name(), "instance", instHash, "err", err)
 		return nil, false, err
 	}
+	wall := time.Since(start)
+	s.solveDur.Observe(wall.Seconds())
+	s.bySolver.With(solver.Name()).Inc()
+	s.flight.Record(&obs.SolveTrace{
+		TraceID:     obs.FormatTraceID(traceID),
+		Solver:      solver.Name(),
+		Instance:    instHash,
+		Start:       start,
+		WallSeconds: wall.Seconds(),
+		Rounds:      rec.Rounds(),
+		Events:      rec.Events(),
+	})
+	s.log.Info("solve", "trace", obs.FormatTraceID(traceID), "solver", solver.Name(),
+		"instance", instHash, "rounds", rec.Rounds(), "wall_ms", float64(wall)/float64(time.Millisecond))
 	e := &entry{
 		id:       id,
 		key:      key,
@@ -395,7 +510,7 @@ func (c *cachingSolver) Solve(ctx context.Context, pc *par.Ctx, in *core.Instanc
 		// Unhashable (non-Euclidean lazy) instances solve uncached.
 		return c.inner.Solve(ctx, pc, in, opts)
 	}
-	e, _, err := c.s.solve(ctx, in, ihash, c.inner, opts)
+	e, _, err := c.s.solve(ctx, in, ihash, c.inner, opts, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	facloc "repro"
+	"repro/internal/cluster"
+	"repro/internal/par"
+	"repro/internal/primaldual"
+	"repro/internal/resilience/chaos"
+)
+
+// runChaos replays a seeded chaos schedule against an in-process virtual
+// cluster while quorum puts and distributed solves run between steps, then
+// checks the resilience invariants:
+//
+//   - whole-or-error: every operation either fully succeeds or returns a
+//     loud error — never a silent drop, never a partial answer;
+//   - byte-identical survival: every acknowledged put is readable from a
+//     quorum of shards after the schedule heals, with the exact bytes;
+//   - determinism: a post-chaos distributed solve matches the local pd-par
+//     reference solver bit for bit;
+//   - settle: the fabric's goroutines are gone once the cluster closes.
+//
+// The run prints a markdown report and returns an error when any invariant
+// fails — CI treats that as a gate, and the seed in the report reproduces
+// the exact run.
+func runChaos(w io.Writer, seed uint64, shards, steps int) error {
+	if shards < 3 {
+		return fmt.Errorf("faclocbench: chaos needs at least 3 shards for a quorum, got %d", shards)
+	}
+	baseline := runtime.NumGoroutine()
+	vc, err := cluster.NewVirtualCluster(shards, cluster.FaultPlan{Seed: seed, Drop: 0.02, MaxDelay: 2}, 25*time.Millisecond, 4)
+	if err != nil {
+		return err
+	}
+	target := chaos.NewVirtualTarget(vc, nil)
+	sched := chaos.New(seed, shards, steps)
+
+	fmt.Fprintf(w, "# Chaos run (seed=%d, shards=%d, steps=%d)\n\n", seed, shards, steps)
+	fmt.Fprintf(w, "## Schedule\n\n")
+	if len(sched.Events) == 0 {
+		fmt.Fprintf(w, "(no events — increase -chaos-steps)\n")
+	}
+	for _, e := range sched.Events {
+		fmt.Fprintf(w, "- %s\n", e)
+	}
+
+	type put struct {
+		key   string
+		value []byte
+	}
+	var acked []put
+	var loud []error
+	start := time.Now()
+	opErrs := chaos.Run(sched, target, func(step int) error {
+		src := step % shards
+		for target.Dead(src) {
+			src = (src + 1) % shards
+		}
+		key := fmt.Sprintf("chaos-%d", step)
+		val := []byte(fmt.Sprintf("value-%d-%d", seed, step))
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		ackedN, targets, err := vc.Node(src).PutKeyedQuorum(ctx, key, key, val, 3, 0)
+		if err != nil {
+			if err.Error() == "" {
+				return fmt.Errorf("SILENT failure at step %d — whole-or-error violated", step)
+			}
+			return err
+		}
+		if ackedN < targets/2+1 {
+			return fmt.Errorf("quorum put claimed success with %d/%d acks", ackedN, targets)
+		}
+		acked = append(acked, put{key: key, value: val})
+		return nil
+	})
+	loud = append(loud, opErrs...)
+
+	fmt.Fprintf(w, "\n## Operations\n\n")
+	fmt.Fprintf(w, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(w, "| steps | %d |\n", steps)
+	fmt.Fprintf(w, "| puts acked (quorum) | %d |\n", len(acked))
+	fmt.Fprintf(w, "| puts failed loudly | %d |\n", len(loud))
+	fmt.Fprintf(w, "| wall | %.2fs |\n", time.Since(start).Seconds())
+	st := vc.Fabric.Stats()
+	fmt.Fprintf(w, "| frames sent/delivered | %d/%d |\n", st.Sent, st.Delivered)
+	fmt.Fprintf(w, "| frames dropped/partitioned | %d/%d |\n", st.Dropped, st.Partitioned)
+	for _, e := range loud {
+		fmt.Fprintf(w, "\n- loud failure: %v", e)
+	}
+	fmt.Fprintln(w)
+
+	fail := func(format string, args ...any) error {
+		vc.Close()
+		fmt.Fprintf(w, "\n**INVARIANT VIOLATED**: %s\n", fmt.Sprintf(format, args...))
+		return fmt.Errorf("faclocbench: chaos invariant violated (seed %d): %s", seed, fmt.Sprintf(format, args...))
+	}
+
+	if len(acked) == 0 {
+		return fail("no put ever succeeded — schedule too hostile to prove survival")
+	}
+	// Survival: after the schedule heals, every acknowledged put reads back
+	// byte-identical from at least a quorum of shards.
+	for _, p := range acked {
+		holders := 0
+		for i := 0; i < shards; i++ {
+			v, ok := vc.Node(i).Get(p.key)
+			if !ok {
+				continue
+			}
+			if !bytes.Equal(v, p.value) {
+				return fail("key %s: shard %d holds %q, want %q", p.key, i, v, p.value)
+			}
+			holders++
+		}
+		if holders < 2 {
+			return fail("acked key %s survives on %d shards, want >= 2", p.key, holders)
+		}
+	}
+
+	// Determinism: the healed cluster solves distributed == local, bitwise.
+	in := facloc.GenerateUniform(91, 10, 50, 1, 6)
+	res, err := vc.Solve(context.Background(), in, &primaldual.Options{Epsilon: 0.1, Seed: 3}, par.Mix64(seed)|1, 2)
+	if err != nil {
+		return fail("post-chaos distributed solve failed: %v", err)
+	}
+	ref, err := facloc.Solve(context.Background(), "pd-par", in, facloc.Options{Epsilon: 0.1, Seed: 3})
+	if err != nil {
+		vc.Close()
+		return err
+	}
+	if math.Float64bits(res.Sol.FacilityCost) != math.Float64bits(ref.Solution.FacilityCost) ||
+		math.Float64bits(res.Sol.ConnectionCost) != math.Float64bits(ref.Solution.ConnectionCost) {
+		return fail("distributed solve diverges from pd-par: %+v vs %+v", res.Sol, ref.Solution)
+	}
+
+	// Settle: closing the fabric leaves no goroutine behind.
+	vc.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			fmt.Fprintf(w, "\n**INVARIANT VIOLATED**: goroutine leak (%d vs baseline %d)\n",
+				runtime.NumGoroutine(), baseline)
+			return fmt.Errorf("faclocbench: chaos leaked goroutines (seed %d)", seed)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fmt.Fprintf(w, "\nAll invariants held: whole-or-error, byte-identical survival at quorum, bitwise solve determinism, goroutine settle.\n")
+	return nil
+}

@@ -50,6 +50,14 @@
 // {solver, rounds, events} rows, for offline round-structure analysis:
 //
 //	faclocbench -registry -solvers greedy-par -trace rounds.json
+//
+// -chaos replays a seeded fault schedule (kills, restarts, partitions, slow
+// peers) against an in-process virtual cluster while quorum puts run between
+// steps, then checks the resilience invariants: whole-or-error operations,
+// byte-identical survival of every acknowledged put, bitwise solve
+// determinism after healing, and goroutine settle. Same seed, same run:
+//
+//	faclocbench -chaos -chaos-seed 7 -chaos-shards 5 -chaos-steps 32
 package main
 
 import (
@@ -88,9 +96,19 @@ func main() {
 	workTolerance := flag.Float64("work-tolerance", 0.05, "compare mode: allowed fractional regression of the deterministic work counter (rows with no baseline work are skipped)")
 	history := flag.String("history", "", "append a dated entry for this run to this JSON trajectory file")
 	tracePath := flag.String("trace", "", "registry/sketch mode: write per-round trace events to this JSON file")
+	chaosMode := flag.Bool("chaos", false, "replay a seeded chaos schedule against a virtual cluster and check resilience invariants")
+	chaosSeed := flag.Uint64("chaos-seed", 7, "chaos mode: schedule seed (same seed replays the same faults)")
+	chaosShards := flag.Int("chaos-shards", 5, "chaos mode: virtual cluster size (>= 3)")
+	chaosSteps := flag.Int("chaos-steps", 32, "chaos mode: schedule length in steps")
 	flag.Parse()
 
 	switch {
+	case *chaosMode:
+		if err := runChaos(os.Stdout, *chaosSeed, *chaosShards, *chaosSteps); err != nil {
+			fmt.Fprintln(os.Stderr, "faclocbench:", err)
+			os.Exit(1)
+		}
+		return
 	case *compareMode:
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "faclocbench: -compare needs exactly two arguments: old.json new.json")

@@ -64,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/serve"
 )
 
@@ -86,6 +87,12 @@ func main() {
 	self := flag.String("self", "", "this shard's advertised address; must appear in -peers")
 	replicas := flag.Int("replicas", 0, "shards holding each solution entry (0 = 2)")
 	healthEvery := flag.Duration("health-interval", 0, "peer liveness probe period (0 = 2s)")
+	peerTimeout := flag.Duration("peer-attempt-timeout", 0, "per-attempt cap on one peer HTTP call (0 = 2s; the caller's deadline budget can only shrink it)")
+	peerAttempts := flag.Int("peer-attempts", 0, "attempts per retryable peer call, deterministic backoff between them (0 = 3)")
+	breakerWindow := flag.Int("breaker-window", 0, "peer-call outcomes in each circuit breaker's sliding window (0 = 10)")
+	breakerThreshold := flag.Float64("breaker-threshold", 0, "windowed failure rate that trips a peer's breaker open (0 = 0.5)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker hold time before a half-open probe (0 = 5s)")
+	replBudget := flag.Duration("replication-budget", 0, "deadline budget for background replication sweeps (0 = 5s)")
 	flag.Parse()
 
 	logger, err := newLogger(*logLevel)
@@ -118,6 +125,16 @@ func main() {
 			Peers:          splitPeers(*peers),
 			Replicas:       *replicas,
 			HealthInterval: *healthEvery,
+			Resilience: resilience.Policy{
+				AttemptTimeout: *peerTimeout,
+				Attempts:       *peerAttempts,
+				Breaker: resilience.BreakerConfig{
+					Window:    *breakerWindow,
+					Threshold: *breakerThreshold,
+					Cooldown:  *breakerCooldown,
+				},
+			},
+			ReplicationBudget: *replBudget,
 		}); err != nil {
 			fatal(err)
 		}

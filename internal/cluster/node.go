@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -226,6 +227,66 @@ func (n *Node) PutKeyed(ctx context.Context, routeKey, key string, value []byte,
 	return nil
 }
 
+// ReplicateTo ships one key/value to a single ring member and waits for its
+// ack, through the same acked-retry ladder Put uses. It exists so the layer
+// above can drive per-target policy — circuit breakers, quorum counting —
+// that the all-or-nothing Put/PutKeyed cannot express. Shipping to self is a
+// local store write.
+func (n *Node) ReplicateTo(ctx context.Context, memberID, key string, value []byte) error {
+	if memberID == n.id {
+		n.storePut(key, value)
+		return nil
+	}
+	idx, ok := n.ring.Index(memberID)
+	if !ok {
+		return fmt.Errorf("cluster: ring member %q has no ordinal", memberID)
+	}
+	return n.replicate(ctx, idx, EncodePutBody(&PutBody{Key: key, Value: value}))
+}
+
+// PutKeyedQuorum is PutKeyed under degraded-mode rules: every live target is
+// attempted, but the write succeeds once acked ≥ quorum of them (quorum ≤ 0
+// means a strict majority of the target set). It returns how many replicas
+// acked — callers label a response degraded when acked < len(targets). Unlike
+// PutKeyed it never stops at the first failed peer, so a single slow or dead
+// replica cannot block a quorum that is otherwise reachable.
+func (n *Node) PutKeyedQuorum(ctx context.Context, routeKey, key string, value []byte, replicas, quorum int) (acked, targets int, err error) {
+	if replicas <= 0 {
+		replicas = 1
+	}
+	set := n.ring.Successors(routeKey, replicas)
+	if len(set) == 0 {
+		return 0, 0, fmt.Errorf("cluster: no live shard owns %q", routeKey)
+	}
+	if quorum <= 0 {
+		quorum = len(set)/2 + 1
+	}
+	body := EncodePutBody(&PutBody{Key: key, Value: value})
+	var errs []error
+	for _, m := range set {
+		if m.ID == n.id {
+			n.storePut(key, value)
+			acked++
+			continue
+		}
+		idx, ok := n.ring.Index(m.ID)
+		if !ok {
+			errs = append(errs, fmt.Errorf("cluster: ring member %q has no ordinal", m.ID))
+			continue
+		}
+		if rerr := n.replicate(ctx, idx, body); rerr != nil {
+			errs = append(errs, rerr)
+			continue
+		}
+		acked++
+	}
+	if acked < quorum {
+		errs = append(errs, fmt.Errorf("cluster: quorum put %q acked %d of %d (need %d)", key, acked, len(set), quorum))
+		return acked, len(set), errors.Join(errs...)
+	}
+	return acked, len(set), nil
+}
+
 // SolveDistributed runs this shard's leg of a distributed primal-dual solve.
 // All shards must call it with the same instance, options, and solveID; each
 // returns the full bitwise-identical Result or an explicit error.
@@ -325,6 +386,16 @@ func (vc *VirtualCluster) Restart(i int) {
 	vc.Fabric.Restart(i)
 	vc.ring.SetAlive(vc.nodes[i].id, true)
 }
+
+// Partition blocks the link between shards a and b in both directions;
+// HealPartition restores it. The ring is untouched: both sides stay "alive",
+// they just cannot talk — the asymmetric failure breakers exist for.
+func (vc *VirtualCluster) Partition(a, b int)     { vc.Fabric.SetPartition(a, b, true) }
+func (vc *VirtualCluster) HealPartition(a, b int) { vc.Fabric.SetPartition(a, b, false) }
+
+// Slow adds reorder penalty (in frames) to shard i's inbound traffic;
+// penalty 0 restores normal speed.
+func (vc *VirtualCluster) Slow(i, penalty int) { vc.Fabric.SetSlow(i, penalty) }
 
 // Close tears the fabric down and joins every dispatcher goroutine.
 func (vc *VirtualCluster) Close() { vc.Fabric.Close() }

@@ -58,7 +58,14 @@ type VirtualFabric struct {
 	n    int
 	ends []*virtualEnd
 
-	sent, dropped, duplicated, delivered atomic.Uint64
+	// linkMu guards the dynamic link state the chaos harness flips at
+	// runtime: partitioned pairs (frames both ways silently dropped) and
+	// per-destination slowness (extra reorder delay, in frames).
+	linkMu  sync.Mutex
+	blocked map[[2]int]bool
+	slow    []int
+
+	sent, dropped, duplicated, delivered, partitioned atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -66,17 +73,68 @@ type VirtualFabric struct {
 // FabricStats counts what the fault plan actually did — tests assert the
 // plan fired (Dropped > 0) rather than trusting probabilities on faith.
 type FabricStats struct {
-	Sent, Dropped, Duplicated, Delivered uint64
+	Sent, Dropped, Duplicated, Delivered, Partitioned uint64
 }
 
 // Stats snapshots the fabric counters.
 func (vf *VirtualFabric) Stats() FabricStats {
 	return FabricStats{
-		Sent:       vf.sent.Load(),
-		Dropped:    vf.dropped.Load(),
-		Duplicated: vf.duplicated.Load(),
-		Delivered:  vf.delivered.Load(),
+		Sent:        vf.sent.Load(),
+		Dropped:     vf.dropped.Load(),
+		Duplicated:  vf.duplicated.Load(),
+		Delivered:   vf.delivered.Load(),
+		Partitioned: vf.partitioned.Load(),
 	}
+}
+
+// SetPartition blocks (or heals) the link between endpoints a and b: while
+// blocked, frames in either direction vanish silently, exactly like a
+// network partition — neither side gets an error, only silence. Retransmit
+// ladders above see timeouts; healing restores delivery for fresh sends.
+func (vf *VirtualFabric) SetPartition(a, b int, block bool) {
+	if a > b {
+		a, b = b, a
+	}
+	vf.linkMu.Lock()
+	if vf.blocked == nil {
+		vf.blocked = make(map[[2]int]bool)
+	}
+	if block {
+		vf.blocked[[2]int{a, b}] = true
+	} else {
+		delete(vf.blocked, [2]int{a, b})
+	}
+	vf.linkMu.Unlock()
+}
+
+// SetSlow adds extra reorder delay (in frames, ≥ 0) to every frame destined
+// for endpoint i: a slow peer whose inbound traffic consistently yields to
+// later sends. Zero restores normal speed.
+func (vf *VirtualFabric) SetSlow(i, penalty int) {
+	if penalty < 0 {
+		penalty = 0
+	}
+	vf.linkMu.Lock()
+	if vf.slow == nil {
+		vf.slow = make([]int, vf.n)
+	}
+	vf.slow[i] = penalty
+	vf.linkMu.Unlock()
+}
+
+// linkState reads the dynamic fault state for one directed send.
+func (vf *VirtualFabric) linkState(from, to int) (blocked bool, penalty int) {
+	a, b := from, to
+	if a > b {
+		a, b = b, a
+	}
+	vf.linkMu.Lock()
+	blocked = vf.blocked[[2]int{a, b}]
+	if vf.slow != nil {
+		penalty = vf.slow[to]
+	}
+	vf.linkMu.Unlock()
+	return
 }
 
 type virtualEnd struct {
@@ -233,6 +291,11 @@ func (t *virtualTransport) Send(to int, f *Frame) error {
 		return fmt.Errorf("cluster: virtual frame rejected: %w", err)
 	}
 	vf.sent.Add(1)
+	blocked, penalty := vf.linkState(t.self, to)
+	if blocked {
+		vf.partitioned.Add(1)
+		return nil // a partition is silence, not an error
+	}
 	drop, copies, delay := vf.plan.coins(t.self, to, f.Seq)
 	if drop {
 		vf.dropped.Add(1)
@@ -250,7 +313,7 @@ func (t *virtualTransport) Send(to int, f *Frame) error {
 	for c := 0; c < copies; c++ {
 		dst.pushes++
 		vf.delivered.Add(1)
-		heap.Push(&dst.inbox, queued{prio: dst.pushes + uint64(delay(c)), order: dst.pushes, f: g})
+		heap.Push(&dst.inbox, queued{prio: dst.pushes + uint64(delay(c)+penalty), order: dst.pushes, f: g})
 	}
 	dst.cond.Broadcast()
 	return nil

@@ -113,9 +113,37 @@ type Store struct {
 	// Logf receives loud recovery and quarantine reports (default
 	// log.Printf). Set it before the first Recover/Put.
 	Logf func(format string, args ...any)
+	// WriteFile performs the write+fsync of one temp file during Put.
+	// Nil means the real implementation; tests inject ENOSPC/EIO here to
+	// exercise the disk-error paths without a faulty disk. Set it before
+	// the first Put.
+	WriteFile func(f *os.File, record []byte) error
 
 	tmpSeq atomic.Uint64
 	mu     sync.Mutex // serializes directory fsyncs per store
+}
+
+// WriteError marks a failed durable write: the entry was NOT persisted and
+// the caller must not acknowledge it as stored. The serve layer maps it to
+// 503 (the disk, not the request, is the problem) and counts it. Unwrap
+// exposes the underlying cause so errors.Is(err, syscall.ENOSPC) still works.
+type WriteError struct {
+	Kind string // store kind ("instances", "solutions")
+	Addr string // content address being persisted
+	Op   string // which step failed: mkdir, create, write, close, rename, sync-dir
+	Err  error
+}
+
+func (e *WriteError) Error() string {
+	return fmt.Sprintf("durable: %s %s/%s: %v", e.Op, e.Kind, e.Addr, e.Err)
+}
+
+func (e *WriteError) Unwrap() error { return e.Err }
+
+// IsWriteError reports whether err wraps a durable write failure.
+func IsWriteError(err error) bool {
+	var we *WriteError
+	return errors.As(err, &we)
 }
 
 // Open creates (if needed) and validates the store rooted at dir.
@@ -180,34 +208,42 @@ func (s *Store) Put(kind, addr string, payload []byte) (bool, error) {
 	}
 	dir := filepath.Dir(final)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return false, fmt.Errorf("durable: creating shard dir: %w", err)
+		return false, &WriteError{Kind: kind, Addr: addr, Op: "mkdir", Err: err}
 	}
 	tmp := filepath.Join(dir, fmt.Sprintf(".tmp-%s-%d", addr, s.tmpSeq.Add(1)))
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
-		return false, fmt.Errorf("durable: creating temp file: %w", err)
+		return false, &WriteError{Kind: kind, Addr: addr, Op: "create", Err: err}
 	}
 	rec := EncodeRecord(payload)
-	if _, err := f.Write(rec); err == nil {
-		err = f.Sync()
-	}
-	if err != nil {
+	if err := s.writeFile(f, rec); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return false, fmt.Errorf("durable: writing %s/%s: %w", kind, addr, err)
+		return false, &WriteError{Kind: kind, Addr: addr, Op: "write", Err: err}
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return false, fmt.Errorf("durable: closing %s/%s: %w", kind, addr, err)
+		return false, &WriteError{Kind: kind, Addr: addr, Op: "close", Err: err}
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
-		return false, fmt.Errorf("durable: committing %s/%s: %w", kind, addr, err)
+		return false, &WriteError{Kind: kind, Addr: addr, Op: "rename", Err: err}
 	}
 	if err := s.syncDir(dir); err != nil {
-		return false, fmt.Errorf("durable: syncing shard dir: %w", err)
+		return false, &WriteError{Kind: kind, Addr: addr, Op: "sync-dir", Err: err}
 	}
 	return true, nil
+}
+
+// writeFile is the injectable write+fsync step of Put.
+func (s *Store) writeFile(f *os.File, rec []byte) error {
+	if s.WriteFile != nil {
+		return s.WriteFile(f, rec)
+	}
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives power loss.

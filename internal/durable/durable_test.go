@@ -2,10 +2,12 @@ package durable
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -310,5 +312,101 @@ func TestRecordRoundTrip(t *testing.T) {
 	// Trailing garbage is rejected: records are exactly delimited.
 	if _, err := DecodeRecord(append(EncodeRecord([]byte("x")), 0)); err == nil {
 		t.Fatal("trailing byte accepted")
+	}
+}
+
+// countTempFiles walks the store root and counts leftover .tmp- files.
+func countTempFiles(t *testing.T, root string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPutWriteHookFailureIsClassifiedAndLeavesNoTemp(t *testing.T) {
+	st, _ := testStore(t)
+	for _, cause := range []error{syscall.ENOSPC, syscall.EIO} {
+		st.WriteFile = func(*os.File, []byte) error { return cause }
+		_, err := st.Put(KindInstances, addr(900), []byte("payload"))
+		if err == nil {
+			t.Fatalf("Put under injected %v succeeded", cause)
+		}
+		var we *WriteError
+		if !errors.As(err, &we) {
+			t.Fatalf("error %v is not a WriteError", err)
+		}
+		if we.Op != "write" || we.Kind != KindInstances {
+			t.Fatalf("WriteError %+v, want op=write kind=instances", we)
+		}
+		if !errors.Is(err, cause) {
+			t.Fatalf("WriteError chain lost the cause %v: %v", cause, err)
+		}
+		if !IsWriteError(err) {
+			t.Fatal("IsWriteError false for a WriteError")
+		}
+		if n := countTempFiles(t, st.Root()); n != 0 {
+			t.Fatalf("%d temp files left behind after failed persist", n)
+		}
+	}
+	// The hook cleared, the same address persists fine — the failure was
+	// transient, not sticky.
+	st.WriteFile = nil
+	if ok, err := st.Put(KindInstances, addr(900), []byte("payload")); err != nil || !ok {
+		t.Fatalf("Put after hook cleared: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPutReadOnlyDirIsWriteError(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	st, _ := testStore(t)
+	sub := filepath.Join(st.Root(), KindInstances)
+	if err := os.Chmod(sub, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(sub, 0o755)
+	_, err := st.Put(KindInstances, addr(901), []byte("x"))
+	if err == nil {
+		t.Fatal("Put into a read-only data dir succeeded")
+	}
+	if !IsWriteError(err) {
+		t.Fatalf("read-only dir error %v is not a WriteError", err)
+	}
+	if n := countTempFiles(t, st.Root()); n != 0 {
+		t.Fatalf("%d temp files left behind", n)
+	}
+}
+
+func TestPutSyncFailureLeavesNoTemp(t *testing.T) {
+	st, _ := testStore(t)
+	// Fail only the fsync half: bytes are written, durability is not —
+	// still a WriteError and still no temp left.
+	st.WriteFile = func(f *os.File, rec []byte) error {
+		if _, err := f.Write(rec); err != nil {
+			return err
+		}
+		return syscall.EIO
+	}
+	if _, err := st.Put(KindSolutions, addr(902), []byte("y")); !IsWriteError(err) {
+		t.Fatalf("sync failure produced %v, want WriteError", err)
+	}
+	if n := countTempFiles(t, st.Root()); n != 0 {
+		t.Fatalf("%d temp files left behind", n)
+	}
+	// And the final file must not exist: a non-durable write is no write.
+	if _, err := os.Stat(st.path(KindSolutions, addr(902))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("final file exists after failed sync (stat err %v)", err)
 	}
 }

@@ -1,0 +1,122 @@
+package resilience
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Backoff is a deterministic exponential-backoff-with-jitter schedule. The
+// delay after attempt i (0-based) is drawn from [base·2ⁱ/2, base·2ⁱ), capped
+// at Cap, with the jitter fraction taken from the repo's counter-based
+// splitmix stream — a pure function of (Seed, attempt). Two Backoffs with
+// the same fields produce bit-identical schedules, which is what lets the
+// chaos harness replay a failure timeline exactly.
+type Backoff struct {
+	// Base is the first delay's upper bound (0 = 50ms).
+	Base time.Duration
+	// Cap bounds every delay (0 = 2s).
+	Cap time.Duration
+	// Seed selects the jitter stream.
+	Seed uint64
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base <= 0 {
+		return 50 * time.Millisecond
+	}
+	return b.Base
+}
+
+func (b Backoff) cap() time.Duration {
+	if b.Cap <= 0 {
+		return 2 * time.Second
+	}
+	return b.Cap
+}
+
+// Delay returns the wait after the i-th failed attempt (i ≥ 0). The envelope
+// doubles per attempt ("decorrelated" only through the deterministic jitter):
+// full-jitter halves thundering herds while the splitmix draw keeps replays
+// exact.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	env := b.base()
+	for i := 0; i < attempt && env < b.cap(); i++ {
+		env *= 2
+	}
+	if env > b.cap() {
+		env = b.cap()
+	}
+	// Jitter in [0.5, 1.0): never collapses to zero, never exceeds the
+	// envelope.
+	j := 0.5 + 0.5*par.Unit(b.Seed, attempt)
+	return time.Duration(float64(env) * j)
+}
+
+// Retry runs op up to attempts times, sleeping Delay(i) between failures.
+// Between attempts it re-checks the deadline budget: if the remaining budget
+// cannot cover the coming delay, it stops early and joins ErrBudgetExhausted
+// with the last attempt error, so a failure past budget is loud rather than
+// a silent context cancellation mid-sleep. sleep is injectable for tests
+// (nil = real timer honoring ctx).
+func (b Backoff) Retry(ctx context.Context, attempts int, sleep func(context.Context, time.Duration) error, op func(context.Context) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if sleep == nil {
+		sleep = realSleep
+	}
+	var last error
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return joinBudget(last, err)
+		}
+		last = op(ctx)
+		if last == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		d := b.Delay(i)
+		if rem, ok := Remaining(ctx); ok && rem <= d {
+			return joinBudget(last, ErrBudgetExhausted)
+		}
+		if err := sleep(ctx, d); err != nil {
+			return joinBudget(last, err)
+		}
+	}
+	return last
+}
+
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func joinBudget(last, cause error) error {
+	if last == nil {
+		return cause
+	}
+	return &budgetError{last: last, cause: cause}
+}
+
+// budgetError keeps both the last attempt failure and the budget/context
+// error visible: errors.Is works for either branch.
+type budgetError struct{ last, cause error }
+
+func (e *budgetError) Error() string {
+	return e.cause.Error() + " (last attempt: " + e.last.Error() + ")"
+}
+
+func (e *budgetError) Unwrap() []error { return []error{e.cause, e.last} }

@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Seed: 42}
+	b := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Seed: 42}
+	for i := 0; i < 20; i++ {
+		if a.Delay(i) != b.Delay(i) {
+			t.Fatalf("attempt %d: %v != %v with same seed", i, a.Delay(i), b.Delay(i))
+		}
+	}
+	c := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Seed: 43}
+	same := true
+	for i := 0; i < 20; i++ {
+		if a.Delay(i) != c.Delay(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 20-delay schedule")
+	}
+}
+
+func TestBackoffEnvelope(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 7}
+	for i := 0; i < 12; i++ {
+		d := b.Delay(i)
+		if d > 80*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds cap", i, d)
+		}
+		if d < 5*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v below half the base envelope", i, d)
+		}
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond, Seed: 1}
+	calls := 0
+	slept := []time.Duration{}
+	err := b.Retry(context.Background(), 5,
+		func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil },
+		func(context.Context) error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// The sleeps must match the schedule exactly — determinism.
+	if slept[0] != b.Delay(0) || slept[1] != b.Delay(1) {
+		t.Fatalf("sleeps %v do not match schedule [%v %v]", slept, b.Delay(0), b.Delay(1))
+	}
+}
+
+func TestRetryStopsWhenBudgetCannotCoverDelay(t *testing.T) {
+	b := Backoff{Base: time.Hour, Cap: time.Hour, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	calls := 0
+	err := b.Retry(ctx, 5, nil, func(context.Context) error {
+		calls++
+		return errors.New("down")
+	})
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1 (budget cannot cover an hour delay)", calls)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err %v, want ErrBudgetExhausted in chain", err)
+	}
+	// The attempt error stays visible too.
+	if err == nil || !errors.Is(err, err) {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestRetryKeepsLastErrorVisible(t *testing.T) {
+	b := Backoff{Base: time.Hour, Seed: 1}
+	sentinel := errors.New("shard 2 unreachable")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := b.Retry(ctx, 3, nil, func(context.Context) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err %v does not wrap the attempt error", err)
+	}
+}

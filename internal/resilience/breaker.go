@@ -1,0 +1,290 @@
+package resilience
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit: Closed passes traffic,
+// Open short-circuits it, HalfOpen lets a bounded number of probes through to
+// decide which way to settle.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrBreakerOpen is returned by call sites that consult Allow and find the
+// peer short-circuited.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerConfig tunes one breaker. The zero value gets sane defaults.
+type BreakerConfig struct {
+	// Window is how many recent outcomes the failure rate is computed
+	// over (0 = 10).
+	Window int
+	// Threshold is the failure fraction that trips the breaker
+	// (0 = 0.5).
+	Threshold float64
+	// MinSamples is how many outcomes must be in the window before the
+	// rate is trusted (0 = 3); below it the breaker never trips.
+	MinSamples int
+	// Cooldown is how long an open breaker waits before probing
+	// (0 = 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many concurrent probes half-open admits
+	// (0 = 1).
+	HalfOpenProbes int
+	// Now is injectable time for deterministic tests (nil = time.Now).
+	Now func() time.Time
+	// OnTransition, when set, observes every state change (metrics,
+	// logging). Called without the breaker lock held.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) window() int {
+	if c.Window <= 0 {
+		return 10
+	}
+	return c.Window
+}
+
+func (c BreakerConfig) threshold() float64 {
+	if c.Threshold <= 0 {
+		return 0.5
+	}
+	return c.Threshold
+}
+
+func (c BreakerConfig) minSamples() int {
+	if c.MinSamples <= 0 {
+		return 3
+	}
+	return c.MinSamples
+}
+
+func (c BreakerConfig) cooldown() time.Duration {
+	if c.Cooldown <= 0 {
+		return 5 * time.Second
+	}
+	return c.Cooldown
+}
+
+func (c BreakerConfig) probes() int {
+	if c.HalfOpenProbes <= 0 {
+		return 1
+	}
+	return c.HalfOpenProbes
+}
+
+func (c BreakerConfig) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// Breaker is one peer's circuit. Closed: outcomes feed a sliding window;
+// when the window holds ≥ MinSamples outcomes and the failure fraction
+// reaches Threshold, the breaker opens. Open: Allow refuses until Cooldown
+// has elapsed, then the breaker half-opens. HalfOpen: up to HalfOpenProbes
+// in-flight probes are admitted; one success closes the circuit (window
+// cleared), one failure re-opens it and restarts the cooldown.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	outcomes []bool // ring buffer of recent results, true = ok
+	next     int
+	filled   int
+	openedAt time.Time
+	inflight int // half-open probes currently admitted
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg, outcomes: make([]bool, cfg.window())}
+}
+
+// Allow reports whether a call may proceed. In half-open it admits the call
+// as a probe; the caller MUST follow up with Record (success or failure) to
+// release the probe slot.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var trans [2]BreakerState
+	fired := false
+	switch b.state {
+	case BreakerClosed:
+		b.mu.Unlock()
+		return true
+	case BreakerOpen:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.cooldown() {
+			b.mu.Unlock()
+			return false
+		}
+		trans = [2]BreakerState{BreakerOpen, BreakerHalfOpen}
+		fired = true
+		b.state = BreakerHalfOpen
+		b.inflight = 0
+		fallthrough
+	case BreakerHalfOpen:
+		ok := b.inflight < b.cfg.probes()
+		if ok {
+			b.inflight++
+		}
+		b.mu.Unlock()
+		if fired && b.cfg.OnTransition != nil {
+			b.cfg.OnTransition(trans[0], trans[1])
+		}
+		return ok
+	}
+	b.mu.Unlock()
+	return false
+}
+
+// Record feeds one call outcome back. In half-open, a success closes the
+// circuit and a failure re-opens it; in closed, the windowed failure rate
+// may trip it open.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	var from, to BreakerState
+	fired := false
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.inflight > 0 {
+			b.inflight--
+		}
+		if ok {
+			from, to, fired = BreakerHalfOpen, BreakerClosed, true
+			b.toClosedLocked()
+		} else {
+			from, to, fired = BreakerHalfOpen, BreakerOpen, true
+			b.toOpenLocked()
+		}
+	case BreakerClosed:
+		b.outcomes[b.next] = ok
+		b.next = (b.next + 1) % len(b.outcomes)
+		if b.filled < len(b.outcomes) {
+			b.filled++
+		}
+		if !ok && b.filled >= b.cfg.minSamples() {
+			fails := 0
+			for i := 0; i < b.filled; i++ {
+				if !b.outcomes[i] {
+					fails++
+				}
+			}
+			if float64(fails)/float64(b.filled) >= b.cfg.threshold() {
+				from, to, fired = BreakerClosed, BreakerOpen, true
+				b.toOpenLocked()
+			}
+		}
+	case BreakerOpen:
+		// Late results from calls admitted before the trip: ignored.
+	}
+	b.mu.Unlock()
+	if fired && b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+}
+
+func (b *Breaker) toOpenLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.now()
+	b.inflight = 0
+}
+
+func (b *Breaker) toClosedLocked() {
+	b.state = BreakerClosed
+	b.next, b.filled = 0, 0
+	b.inflight = 0
+}
+
+// State returns the current state, first promoting an expired open circuit
+// to half-open so observers (ring views, metrics) see what a caller would.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.cfg.now().Sub(b.openedAt) >= b.cfg.cooldown() {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// BreakerSet lazily builds one breaker per peer ID with a shared config.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerSet builds an empty set. When cfg.OnTransition is set it fires
+// for every member breaker.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// For returns (creating on first use) the breaker for one peer.
+func (s *BreakerSet) For(id string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[id]
+	if !ok {
+		b = NewBreaker(s.cfg)
+		s.m[id] = b
+	}
+	return b
+}
+
+// States snapshots every known peer's state, in sorted peer order.
+func (s *BreakerSet) States() []PeerState {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.m))
+	for id := range s.m {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]PeerState, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, PeerState{Peer: id, State: s.For(id).State()})
+	}
+	return out
+}
+
+// OpenCount counts peers whose circuit is not closed (open or half-open) —
+// the "how impaired is the ring" gauge.
+func (s *BreakerSet) OpenCount() int {
+	n := 0
+	for _, ps := range s.States() {
+		if ps.State != BreakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// PeerState is one breaker's observable state.
+type PeerState struct {
+	Peer  string
+	State BreakerState
+}

@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a hand-cranked time source for deterministic breaker tests.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(c *clock, onTrans func(from, to BreakerState)) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:       4,
+		Threshold:    0.5,
+		MinSamples:   2,
+		Cooldown:     time.Second,
+		Now:          c.now,
+		OnTransition: onTrans,
+	})
+}
+
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	var trans [][2]BreakerState
+	b := testBreaker(c, func(from, to BreakerState) { trans = append(trans, [2]BreakerState{from, to}) })
+
+	if !b.Allow() {
+		t.Fatal("fresh breaker refused a call")
+	}
+	b.Record(true)
+	b.Record(false)
+	b.Record(false) // window: T F F → 2/3 ≥ 0.5 → open
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after failures, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+	if len(trans) != 1 || trans[0] != [2]BreakerState{BreakerClosed, BreakerOpen} {
+		t.Fatalf("transitions %v, want one closed→open", trans)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndClose(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	b := testBreaker(c, nil)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	c.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after cooldown, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open refused the first probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open admitted a second concurrent probe (HalfOpenProbes=1)")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a call")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	b := testBreaker(c, nil)
+	b.Record(false)
+	b.Record(false)
+	c.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open refused the probe")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a call with a fresh cooldown pending")
+	}
+	// The cooldown restarted at the failed probe.
+	c.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the probe after the second cooldown")
+	}
+}
+
+func TestBreakerIgnoresLateResultsWhileOpen(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	b := testBreaker(c, nil)
+	b.Record(false)
+	b.Record(false)
+	// A call admitted before the trip reports success late: must not close
+	// the circuit.
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("late success closed an open breaker (state %v)", b.State())
+	}
+}
+
+func TestBreakerSetTracksPeersIndependently(t *testing.T) {
+	c := &clock{t: time.Unix(0, 0)}
+	s := NewBreakerSet(BreakerConfig{Window: 4, MinSamples: 2, Cooldown: time.Second, Now: c.now})
+	s.For("a").Record(false)
+	s.For("a").Record(false)
+	s.For("b").Record(true)
+	if got := s.For("a").State(); got != BreakerOpen {
+		t.Fatalf("peer a state %v, want open", got)
+	}
+	if got := s.For("b").State(); got != BreakerClosed {
+		t.Fatalf("peer b state %v, want closed", got)
+	}
+	if n := s.OpenCount(); n != 1 {
+		t.Fatalf("OpenCount %d, want 1", n)
+	}
+	states := s.States()
+	if len(states) != 2 || states[0].Peer != "a" || states[1].Peer != "b" {
+		t.Fatalf("States %v, want sorted [a b]", states)
+	}
+}

@@ -1,0 +1,103 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader carries the caller's remaining budget across a hop, as a
+// positive integer number of milliseconds. The value is relative — "you have
+// this much time left" — rather than an absolute wall-clock instant, so it
+// survives clock skew between peers; the cost is that network latency is not
+// subtracted, which only ever leaves the receiver with slightly *more*
+// optimism than the sender, never a torn early abort.
+const DeadlineHeader = "X-Facloc-Deadline"
+
+// ErrBudgetExhausted reports that a request's deadline budget ran out before
+// an attempt could be made. It is distinct from context.DeadlineExceeded so
+// call sites can tell "the budget died while waiting to try" from "the
+// attempt itself timed out".
+var ErrBudgetExhausted = errors.New("resilience: deadline budget exhausted")
+
+// Remaining returns the time left in ctx's budget. ok is false when the
+// context has no deadline (infinite budget).
+func Remaining(ctx context.Context) (time.Duration, bool) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0, false
+	}
+	return time.Until(dl), true
+}
+
+// StampHeader writes ctx's remaining budget onto h as DeadlineHeader. A
+// context without a deadline stamps nothing (the peer is free to apply its
+// own limits). An already-exhausted budget stamps "1" — the peer should fail
+// fast and loudly rather than interpret a missing header as infinite time.
+func StampHeader(h http.Header, ctx context.Context) {
+	rem, ok := Remaining(ctx)
+	if !ok {
+		return
+	}
+	ms := rem.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	h.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+}
+
+// FromHeader derives a budgeted child of parent from an incoming request's
+// DeadlineHeader. A missing header returns parent unchanged with a no-op
+// cancel. A malformed or non-positive value is an error — a peer that sends
+// the header garbled is a bug worth surfacing, not a silent infinite budget.
+// When parent already has an earlier deadline, the earlier one wins
+// (context.WithTimeout never extends a parent).
+func FromHeader(parent context.Context, h http.Header) (context.Context, context.CancelFunc, error) {
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		return parent, func() {}, nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return parent, func() {}, fmt.Errorf("resilience: bad %s header %q", DeadlineHeader, v)
+	}
+	ctx, cancel := context.WithTimeout(parent, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// AttemptTimeout shrinks a desired per-attempt timeout to fit ctx's remaining
+// budget: the result is min(want, remaining). It returns ErrBudgetExhausted
+// when the budget is already spent, so callers stop retrying instead of
+// launching attempts that cannot finish. A context without a deadline returns
+// want unchanged.
+func AttemptTimeout(ctx context.Context, want time.Duration) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	rem, ok := Remaining(ctx)
+	if !ok {
+		return want, nil
+	}
+	if rem <= 0 {
+		return 0, ErrBudgetExhausted
+	}
+	if want <= 0 || rem < want {
+		return rem, nil
+	}
+	return want, nil
+}
+
+// Attempt returns a child context for one attempt, capped at want but never
+// exceeding parent's remaining budget. The error is ErrBudgetExhausted (or
+// the parent's own error) when no attempt should be made.
+func Attempt(parent context.Context, want time.Duration) (context.Context, context.CancelFunc, error) {
+	d, err := AttemptTimeout(parent, want)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithTimeout(parent, d)
+	return ctx, cancel, nil
+}

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestStampHeaderCarriesRemainingBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	h := http.Header{}
+	StampHeader(h, ctx)
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		t.Fatalf("no %s header stamped", DeadlineHeader)
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("bad header %q: %v", v, err)
+	}
+	if ms < 1 || ms > 250 {
+		t.Fatalf("stamped %dms, want within (0, 250]", ms)
+	}
+}
+
+func TestStampHeaderNoDeadlineStampsNothing(t *testing.T) {
+	h := http.Header{}
+	StampHeader(h, context.Background())
+	if v := h.Get(DeadlineHeader); v != "" {
+		t.Fatalf("unexpected header %q for unbounded context", v)
+	}
+}
+
+func TestFromHeaderBoundsContext(t *testing.T) {
+	h := http.Header{}
+	h.Set(DeadlineHeader, "100")
+	ctx, cancel, err := FromHeader(context.Background(), h)
+	if err != nil {
+		t.Fatalf("FromHeader: %v", err)
+	}
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("context not bounded by header")
+	}
+	if rem := time.Until(dl); rem > 100*time.Millisecond || rem <= 0 {
+		t.Fatalf("remaining %v, want within (0, 100ms]", rem)
+	}
+}
+
+func TestFromHeaderNeverExtendsParent(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	h := http.Header{}
+	h.Set(DeadlineHeader, "60000")
+	ctx, cancel2, err := FromHeader(parent, h)
+	if err != nil {
+		t.Fatalf("FromHeader: %v", err)
+	}
+	defer cancel2()
+	dl, _ := ctx.Deadline()
+	if time.Until(dl) > 50*time.Millisecond {
+		t.Fatalf("header extended parent deadline to %v", time.Until(dl))
+	}
+}
+
+func TestFromHeaderRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"zero", "-5", "0", "1e3"} {
+		h := http.Header{}
+		h.Set(DeadlineHeader, bad)
+		if _, _, err := FromHeader(context.Background(), h); err == nil {
+			t.Fatalf("header %q accepted", bad)
+		}
+	}
+}
+
+func TestAttemptTimeoutShrinksToBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	d, err := AttemptTimeout(ctx, time.Second)
+	if err != nil {
+		t.Fatalf("AttemptTimeout: %v", err)
+	}
+	if d > 30*time.Millisecond {
+		t.Fatalf("attempt %v exceeds 30ms budget", d)
+	}
+	if d <= 0 {
+		t.Fatalf("attempt %v not positive", d)
+	}
+}
+
+func TestAttemptTimeoutKeepsSmallerWant(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	d, err := AttemptTimeout(ctx, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("AttemptTimeout: %v", err)
+	}
+	if d != 10*time.Millisecond {
+		t.Fatalf("attempt %v, want 10ms", d)
+	}
+}
+
+func TestAttemptTimeoutExhausted(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if _, err := AttemptTimeout(ctx, time.Second); err == nil {
+		t.Fatal("no error from exhausted budget")
+	}
+}

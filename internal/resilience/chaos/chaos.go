@@ -1,0 +1,236 @@
+// Package chaos generates seeded fault schedules and replays them against a
+// cluster harness. A schedule is a pure function of (seed, shards, steps)
+// through the repo's counter-based splitmix64 streams, so the same seed
+// produces the same kills, restarts, partitions, slow peers, and disk faults
+// in the same order — a failing chaos run is a replayable artifact, not an
+// anecdote.
+//
+// Schedules are well-formed by construction: at most one shard is dead at
+// any step (a quorum always survives), every fault is repaired within its
+// window, and by the final step the cluster is whole again — so end-of-run
+// invariants ("all data readable", "goroutines settled") are meaningful.
+//
+// The package trades only in shard indexes and the Target interface; it
+// knows nothing about HTTP daemons or virtual fabrics. Adapters (see
+// VirtualTarget, or a process-driving target in CI) map events onto a
+// concrete cluster.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/par"
+)
+
+// Kind is one chaos event type. Fault kinds pair with their repair kinds:
+// Kill/Restart, Partition/Heal, Slow/Unslow, DiskErr/DiskOK.
+type Kind int
+
+const (
+	// Kill crashes a shard: in-flight traffic to it is lost, its sends
+	// vanish. Repaired by Restart (warm: the shard's store survives).
+	Kill Kind = iota
+	Restart
+	// Partition blocks the link between two shards in both directions —
+	// silence, not errors. Repaired by Heal.
+	Partition
+	Heal
+	// Slow makes a shard's inbound traffic consistently yield to later
+	// sends (reordering pressure, never a stall). Repaired by Unslow.
+	Slow
+	Unslow
+	// DiskErr makes a shard's durable writes fail (ENOSPC-style) until
+	// DiskOK. Targets with no disk treat it as a no-op.
+	DiskErr
+	DiskOK
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Kill:
+		return "kill"
+	case Restart:
+		return "restart"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	case Slow:
+		return "slow"
+	case Unslow:
+		return "unslow"
+	case DiskErr:
+		return "disk-err"
+	case DiskOK:
+		return "disk-ok"
+	}
+	return fmt.Sprintf("chaos.Kind(%d)", int(k))
+}
+
+// Event is one scheduled fault or repair. A names the shard (for Partition
+// and Heal, one end; B the other). Penalty is the Slow reorder depth in
+// frames.
+type Event struct {
+	Step    int
+	Kind    Kind
+	A, B    int
+	Penalty int
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case Partition, Heal:
+		return fmt.Sprintf("@%d %s %d-%d", e.Step, e.Kind, e.A, e.B)
+	case Slow:
+		return fmt.Sprintf("@%d slow %d by %d", e.Step, e.A, e.Penalty)
+	default:
+		return fmt.Sprintf("@%d %s %d", e.Step, e.Kind, e.A)
+	}
+}
+
+// Schedule is a replayable chaos plan: Events sorted by step (repairs before
+// fresh faults on the same step), every one inside [0, Steps).
+type Schedule struct {
+	Seed   uint64
+	Shards int
+	Steps  int
+	Events []Event
+}
+
+// New derives the schedule for (seed, shards, steps) — deterministically,
+// byte for byte. Roughly one fault window opens every four steps; each stays
+// open one to three steps, then repairs. Kill windows never overlap each
+// other, so shards-1 members are always up and a replication quorum
+// (majority of any ≥3-shard set) survives every point of the schedule.
+func New(seed uint64, shards, steps int) Schedule {
+	if shards < 2 {
+		panic("chaos: schedule needs at least 2 shards")
+	}
+	s := Schedule{Seed: seed, Shards: shards, Steps: steps}
+	faults := steps / 4
+	killedUntil := -1 // last step at which a kill window is already open
+	for f := 0; f < faults; f++ {
+		str := par.Stream(seed, f)
+		start := int(par.Unit(str, 0) * float64(steps))
+		dur := 1 + int(par.Unit(str, 1)*3) // 1..3 steps open
+		end := start + dur
+		if end >= steps {
+			end = steps - 1
+		}
+		if end <= start {
+			continue
+		}
+		a := int(par.Unit(str, 2) * float64(shards))
+		b := (a + 1 + int(par.Unit(str, 3)*float64(shards-1))) % shards
+		switch k := par.Unit(str, 4); {
+		case k < 0.30:
+			// One shard down at a time: overlapping kill windows are
+			// re-pointed at the partition fault instead of dropped, so the
+			// fault density stays seed-stable.
+			if start <= killedUntil {
+				s.add(start, Partition, a, b, 0)
+				s.add(end, Heal, a, b, 0)
+				continue
+			}
+			killedUntil = end
+			s.add(start, Kill, a, 0, 0)
+			s.add(end, Restart, a, 0, 0)
+		case k < 0.55:
+			s.add(start, Partition, a, b, 0)
+			s.add(end, Heal, a, b, 0)
+		case k < 0.80:
+			s.add(start, Slow, a, 0, 8+int(par.Unit(str, 5)*56))
+			s.add(end, Unslow, a, 0, 0)
+		default:
+			s.add(start, DiskErr, a, 0, 0)
+			s.add(end, DiskOK, a, 0, 0)
+		}
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		if s.Events[i].Step != s.Events[j].Step {
+			return s.Events[i].Step < s.Events[j].Step
+		}
+		// Repairs land before fresh faults on the same step, so a shard is
+		// never asked to be dead twice at once.
+		return repairs(s.Events[i].Kind) && !repairs(s.Events[j].Kind)
+	})
+	return s
+}
+
+func (s *Schedule) add(step int, k Kind, a, b, penalty int) {
+	s.Events = append(s.Events, Event{Step: step, Kind: k, A: a, B: b, Penalty: penalty})
+}
+
+func repairs(k Kind) bool {
+	return k == Restart || k == Heal || k == Unslow || k == DiskOK
+}
+
+// At returns the events scheduled for one step, in application order.
+func (s Schedule) At(step int) []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.Step == step {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Target applies chaos events to a concrete cluster. Implementations must
+// tolerate redundant repairs (healing a healed link, restarting a live
+// shard) — schedules avoid them, but drivers may replay defensively.
+type Target interface {
+	Kill(shard int)
+	Restart(shard int)
+	Partition(a, b int)
+	Heal(a, b int)
+	Slow(shard, penalty int)
+	// SetDisk flips shard's durable writes between failing and healthy.
+	// Targets without disks treat it as a no-op.
+	SetDisk(shard int, failing bool)
+}
+
+// Apply dispatches every event at one step onto the target, returning the
+// events applied (for logging).
+func (s Schedule) Apply(step int, t Target) []Event {
+	evs := s.At(step)
+	for _, e := range evs {
+		switch e.Kind {
+		case Kill:
+			t.Kill(e.A)
+		case Restart:
+			t.Restart(e.A)
+		case Partition:
+			t.Partition(e.A, e.B)
+		case Heal:
+			t.Heal(e.A, e.B)
+		case Slow:
+			t.Slow(e.A, e.Penalty)
+		case Unslow:
+			t.Slow(e.A, 0)
+		case DiskErr:
+			t.SetDisk(e.A, true)
+		case DiskOK:
+			t.SetDisk(e.A, false)
+		}
+	}
+	return evs
+}
+
+// Run replays the whole schedule against a target, calling op between steps:
+// apply step 0's events, run op(0), apply step 1's, run op(1), … Op errors
+// do NOT stop the run — chaos expects operations to fail — they are
+// collected and returned so the driver can assert every failure was loud and
+// classified. By the last step every fault has been repaired.
+func Run(s Schedule, t Target, op func(step int) error) (opErrs []error) {
+	for step := 0; step < s.Steps; step++ {
+		s.Apply(step, t)
+		if op != nil {
+			if err := op(step); err != nil {
+				opErrs = append(opErrs, fmt.Errorf("step %d: %w", step, err))
+			}
+		}
+	}
+	return opErrs
+}

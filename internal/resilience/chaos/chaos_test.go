@@ -1,0 +1,308 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	facloc "repro"
+	"repro/internal/cluster"
+	"repro/internal/par"
+	"repro/internal/primaldual"
+	"repro/internal/resilience/chaos"
+)
+
+// TestScheduleDeterministicReplay: a schedule is a pure function of its
+// inputs — same seed, same events, byte for byte; different seeds diverge.
+func TestScheduleDeterministicReplay(t *testing.T) {
+	a := chaos.New(42, 5, 64)
+	b := chaos.New(42, 5, 64)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\nvs\n%v", a.Events, b.Events)
+	}
+	c := chaos.New(43, 5, 64)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("64-step schedule has no events")
+	}
+}
+
+// recordingTarget tracks fault state the way a correct cluster would, and
+// fails the test on any ill-formed transition.
+type recordingTarget struct {
+	t          *testing.T
+	shards     int
+	dead       map[int]bool
+	partitions map[[2]int]bool
+	slow       map[int]int
+	disk       map[int]bool
+	kinds      map[chaos.Kind]int
+}
+
+func newRecordingTarget(t *testing.T, shards int) *recordingTarget {
+	return &recordingTarget{
+		t: t, shards: shards,
+		dead: map[int]bool{}, partitions: map[[2]int]bool{},
+		slow: map[int]int{}, disk: map[int]bool{},
+		kinds: map[chaos.Kind]int{},
+	}
+}
+
+func (r *recordingTarget) check(i int) {
+	if i < 0 || i >= r.shards {
+		r.t.Fatalf("shard index %d out of range [0,%d)", i, r.shards)
+	}
+}
+
+func (r *recordingTarget) Kill(i int) {
+	r.check(i)
+	r.kinds[chaos.Kill]++
+	if len(r.dead) != 0 {
+		r.t.Fatalf("kill %d while %v already dead — schedules promise one at a time", i, r.dead)
+	}
+	r.dead[i] = true
+}
+
+func (r *recordingTarget) Restart(i int) {
+	r.check(i)
+	r.kinds[chaos.Restart]++
+	if !r.dead[i] {
+		r.t.Fatalf("restart of live shard %d", i)
+	}
+	delete(r.dead, i)
+}
+
+func pair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (r *recordingTarget) Partition(a, b int) {
+	r.check(a)
+	r.check(b)
+	r.kinds[chaos.Partition]++
+	if a == b {
+		r.t.Fatalf("partition %d-%d is a self-loop", a, b)
+	}
+	r.partitions[pair(a, b)] = true
+}
+
+func (r *recordingTarget) Heal(a, b int) {
+	r.kinds[chaos.Heal]++
+	delete(r.partitions, pair(a, b))
+}
+
+func (r *recordingTarget) Slow(i, penalty int) {
+	r.check(i)
+	if penalty > 0 {
+		r.kinds[chaos.Slow]++
+		r.slow[i] = penalty
+	} else {
+		r.kinds[chaos.Unslow]++
+		delete(r.slow, i)
+	}
+}
+
+func (r *recordingTarget) SetDisk(i int, failing bool) {
+	r.check(i)
+	if failing {
+		r.kinds[chaos.DiskErr]++
+		r.disk[i] = true
+	} else {
+		r.kinds[chaos.DiskOK]++
+		delete(r.disk, i)
+	}
+}
+
+// TestScheduleWellFormed replays many seeds through a state-checking target:
+// indexes in range, one dead shard at a time, and a fully healed cluster
+// once the schedule ends. Across seeds, every fault kind must appear.
+func TestScheduleWellFormed(t *testing.T) {
+	kinds := map[chaos.Kind]int{}
+	for seed := uint64(1); seed <= 40; seed++ {
+		s := chaos.New(seed, 5, 48)
+		r := newRecordingTarget(t, 5)
+		chaos.Run(s, r, nil)
+		if len(r.dead) != 0 || len(r.partitions) != 0 || len(r.slow) != 0 || len(r.disk) != 0 {
+			t.Fatalf("seed %d: schedule ends unhealed: dead=%v partitions=%v slow=%v disk=%v",
+				seed, r.dead, r.partitions, r.slow, r.disk)
+		}
+		for k, n := range r.kinds {
+			kinds[k] += n
+		}
+	}
+	for _, k := range []chaos.Kind{chaos.Kill, chaos.Partition, chaos.Slow, chaos.DiskErr} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %v event across 40 seeds — the generator lost a fault kind", k)
+		}
+	}
+}
+
+// TestVirtualClusterUnderChaos is the harness proof: a 5-shard virtual
+// cluster runs a seeded schedule while quorum puts land between steps.
+// Invariants: every failed operation fails loudly (an error, never a hang or
+// silent drop), every acknowledged put is replayable byte-identically after
+// the cluster heals, a post-chaos distributed solve matches the local solver
+// bit for bit, and the fabric's goroutines settle.
+func TestVirtualClusterUnderChaos(t *testing.T) {
+	const (
+		seed   = uint64(7)
+		shards = 5
+		steps  = 24
+	)
+	baseline := runtime.NumGoroutine()
+	vc, err := cluster.NewVirtualCluster(shards, cluster.FaultPlan{Seed: seed, Drop: 0.02, MaxDelay: 2}, 25*time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var diskMu sync.Mutex
+	diskFail := map[int]bool{}
+	target := chaos.NewVirtualTarget(vc, func(shard int, failing bool) {
+		diskMu.Lock()
+		diskFail[shard] = failing
+		diskMu.Unlock()
+	})
+
+	sched := chaos.New(seed, shards, steps)
+	t.Logf("schedule: %v", sched.Events)
+
+	type put struct {
+		key   string
+		value []byte
+	}
+	var acked []put
+	opErrs := chaos.Run(sched, target, func(step int) error {
+		// Drive from a live shard — a client retrying against a dead
+		// coordinator is a different failure than the cluster losing data.
+		src := step % shards
+		for target.Dead(src) {
+			src = (src + 1) % shards
+		}
+		key := fmt.Sprintf("chaos-%d", step)
+		val := []byte(fmt.Sprintf("value-%d-%d", seed, step))
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		ackedN, targets, err := vc.Node(src).PutKeyedQuorum(ctx, key, key, val, 3, 0)
+		if err != nil {
+			// Loud is the invariant: the error must say what fell short.
+			if err.Error() == "" {
+				t.Fatalf("step %d: silent put failure", step)
+			}
+			return err
+		}
+		if ackedN < targets/2+1 {
+			t.Fatalf("step %d: quorum put returned success with %d/%d acks", step, ackedN, targets)
+		}
+		acked = append(acked, put{key: key, value: val})
+		return nil
+	})
+	t.Logf("puts acked: %d, loud failures: %d", len(acked), len(opErrs))
+	for _, e := range opErrs {
+		t.Logf("  %v", e)
+	}
+	if len(acked) == 0 {
+		t.Fatal("chaos killed every single put — schedule too hostile to prove anything")
+	}
+
+	// The schedule has ended, so the cluster is healed: every acknowledged
+	// put must be readable, byte for byte, from a quorum of its replica set.
+	for _, p := range acked {
+		holders := 0
+		for i := 0; i < shards; i++ {
+			if v, ok := vc.Node(i).Get(p.key); ok {
+				if !bytes.Equal(v, p.value) {
+					t.Fatalf("key %s: shard %d holds corrupted bytes %q, want %q", p.key, i, v, p.value)
+				}
+				holders++
+			}
+		}
+		if holders < 2 {
+			t.Fatalf("acked key %s survives on %d shards, want >= 2", p.key, holders)
+		}
+	}
+
+	// Whole-or-error, then bit-identical: the healed cluster's distributed
+	// solve must agree with the local reference solver exactly.
+	in := facloc.GenerateUniform(81, 10, 50, 1, 6)
+	res, err := vc.Solve(context.Background(), in, &primaldual.Options{Epsilon: 0.1, Seed: 3}, par.Mix64(seed)|1, 2)
+	if err != nil {
+		t.Fatalf("post-chaos distributed solve: %v", err)
+	}
+	ref, err := facloc.Solve(context.Background(), "pd-par", in, facloc.Options{Epsilon: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res.Sol.FacilityCost) != math.Float64bits(ref.Solution.FacilityCost) ||
+		math.Float64bits(res.Sol.ConnectionCost) != math.Float64bits(ref.Solution.ConnectionCost) {
+		t.Fatalf("post-chaos distributed solve diverges from pd-par: %+v vs %+v", res.Sol, ref.Solution)
+	}
+
+	vc.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle after chaos: %d vs baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestChaosRunReplaysBitIdentical: two full chaos runs from the same seed
+// produce the same put outcomes and the same surviving bytes — the harness
+// itself is replayable, not just the schedule.
+func TestChaosRunReplaysBitIdentical(t *testing.T) {
+	run := func() (map[string][]byte, error) {
+		// Drop stays 0 here: schedule-driven faults (crash, partition) are
+		// step-deterministic, which is what makes the replay assertion fair.
+		vc, err := cluster.NewVirtualCluster(3, cluster.FaultPlan{Seed: 5}, 50*time.Millisecond, 4)
+		if err != nil {
+			return nil, err
+		}
+		defer vc.Close()
+		target := chaos.NewVirtualTarget(vc, nil)
+		sched := chaos.New(5, 3, 12)
+		chaos.Run(sched, target, func(step int) error {
+			src := step % 3
+			for target.Dead(src) {
+				src = (src + 1) % 3
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			key := fmt.Sprintf("k%d", step)
+			_, _, err := vc.Node(src).PutKeyedQuorum(ctx, key, key, []byte(fmt.Sprintf("v%d", step)), 2, 0)
+			return err
+		})
+		// Snapshot shard 0's store: what survived, with which bytes.
+		out := map[string][]byte{}
+		for step := 0; step < 12; step++ {
+			key := fmt.Sprintf("k%d", step)
+			if v, ok := vc.Node(0).Get(key); ok {
+				out[key] = v
+			}
+		}
+		return out, nil
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed chaos runs diverged:\n%v\nvs\n%v", a, b)
+	}
+}

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"repro/internal/cluster"
+)
+
+// VirtualTarget maps chaos events onto an in-process cluster.VirtualCluster.
+// Disk faults dispatch through the optional Disk hook (the virtual cluster
+// itself has no disk; tests wire the hook into durable.Store.WriteFile).
+type VirtualTarget struct {
+	VC *cluster.VirtualCluster
+	// Disk, when non-nil, receives DiskErr/DiskOK events for a shard.
+	Disk func(shard int, failing bool)
+
+	// dead tracks kill state so redundant restarts stay harmless.
+	dead map[int]bool
+}
+
+// NewVirtualTarget wraps vc; disk may be nil.
+func NewVirtualTarget(vc *cluster.VirtualCluster, disk func(shard int, failing bool)) *VirtualTarget {
+	return &VirtualTarget{VC: vc, Disk: disk, dead: make(map[int]bool)}
+}
+
+func (t *VirtualTarget) Kill(shard int) {
+	if t.dead[shard] {
+		return
+	}
+	t.dead[shard] = true
+	t.VC.Crash(shard)
+}
+
+func (t *VirtualTarget) Restart(shard int) {
+	if !t.dead[shard] {
+		return
+	}
+	delete(t.dead, shard)
+	t.VC.Restart(shard)
+}
+
+func (t *VirtualTarget) Partition(a, b int) { t.VC.Partition(a, b) }
+func (t *VirtualTarget) Heal(a, b int)      { t.VC.HealPartition(a, b) }
+
+func (t *VirtualTarget) Slow(shard, penalty int) { t.VC.Slow(shard, penalty) }
+
+func (t *VirtualTarget) SetDisk(shard int, failing bool) {
+	if t.Disk != nil {
+		t.Disk(shard, failing)
+	}
+}
+
+// Dead reports whether the target currently has shard killed — drivers use
+// it to direct operations at live shards only.
+func (t *VirtualTarget) Dead(shard int) bool { return t.dead[shard] }

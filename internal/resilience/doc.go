@@ -1,0 +1,14 @@
+// Package resilience is the dependency-free policy layer the cluster's peer
+// calls run under: deadline budgets that propagate a caller's remaining time
+// across hops (X-Facloc-Deadline) and shrink per-attempt timeouts so a
+// request never outlives its budget; deterministic retry with exponential
+// backoff whose jitter comes from the repo's counter-based splitmix streams,
+// so a schedule replays bit-identically per seed; and per-peer circuit
+// breakers (closed/open/half-open over a windowed failure rate) that turn a
+// repeatedly-failing peer into a fast local decision instead of a timeout.
+//
+// The package deliberately knows nothing about the serve or cluster layers:
+// it trades only in context.Context, http.Header, and time. The chaos
+// subpackage drives seeded failure schedules against the virtual cluster to
+// prove the invariants the policies promise.
+package resilience

@@ -1,0 +1,38 @@
+package resilience
+
+import "time"
+
+// Policy bundles the knobs one call site (the serve layer's peer calls)
+// needs: per-attempt cap, attempt count, the deterministic backoff schedule,
+// and the breaker config shared by the per-peer set. Zero value = defaults.
+type Policy struct {
+	// AttemptTimeout caps a single attempt (0 = 2s); the deadline budget
+	// can only shrink it further.
+	AttemptTimeout time.Duration
+	// Attempts is the total tries per call, first included (0 = 3).
+	Attempts int
+	// Backoff schedules the inter-attempt waits.
+	Backoff Backoff
+	// Breaker configures the per-peer circuit breakers.
+	Breaker BreakerConfig
+}
+
+func (p Policy) attemptTimeout() time.Duration {
+	if p.AttemptTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return p.AttemptTimeout
+}
+
+func (p Policy) attempts() int {
+	if p.Attempts <= 0 {
+		return 3
+	}
+	return p.Attempts
+}
+
+// AttemptTimeoutOrDefault exposes the defaulted per-attempt cap.
+func (p Policy) AttemptTimeoutOrDefault() time.Duration { return p.attemptTimeout() }
+
+// AttemptsOrDefault exposes the defaulted attempt count.
+func (p Policy) AttemptsOrDefault() int { return p.attempts() }

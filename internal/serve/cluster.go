@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/primaldual"
+	"repro/internal/resilience"
 )
 
 // forwardedHeader loop-guards request forwarding: a forwarded request is
@@ -49,8 +51,26 @@ type ClusterConfig struct {
 	// HealthInterval is the peer liveness probe period (0 = 2s; negative
 	// disables the loop — tests drive SetAlive directly).
 	HealthInterval time.Duration
-	// Client performs peer HTTP calls (nil = a 10s-timeout client).
+	// Client performs peer HTTP calls. Nil builds a client with dial/TLS
+	// limits only — NO overall request timeout: per-attempt timeouts come
+	// from the resilience budget, so a long-budget request is never cut
+	// off mid-stream by a transport-level constant.
 	Client *http.Client
+	// Resilience tunes peer-call policy: per-attempt caps, deterministic
+	// backoff, and the per-peer circuit breakers (zero value = defaults;
+	// the backoff seed defaults to a hash of Self so each daemon jitters
+	// on its own deterministic stream).
+	Resilience resilience.Policy
+	// ReplicationBudget bounds background replication work when the
+	// triggering request carries no deadline of its own (0 = 5s).
+	ReplicationBudget time.Duration
+}
+
+func (c ClusterConfig) replicationBudget() time.Duration {
+	if c.ReplicationBudget > 0 {
+		return c.ReplicationBudget
+	}
+	return 5 * time.Second
 }
 
 func (c ClusterConfig) replicas() int {
@@ -102,6 +122,12 @@ type clusterState struct {
 	aliveMu   sync.Mutex
 	lastAlive map[string]bool
 
+	// policy + breakers are the resilience layer: membership is static, so
+	// the per-peer breakers are built once at enable time.
+	policy   resilience.Policy
+	backoff  resilience.Backoff
+	breakers map[string]*resilience.Breaker
+
 	forwarded       obs.Counter
 	forwardErrors   obs.Counter
 	replicated      obs.Counter
@@ -109,6 +135,11 @@ type clusterState struct {
 	replicateErrors obs.Counter
 	framesIn        obs.Counter
 	distSolves      obs.Counter
+	breakerShort    obs.Counter
+	degradedServed  obs.Counter
+	quorumPuts      obs.Counter
+	peerRetries     obs.Counter
+	breakerTrips    *obs.CounterVec
 	frameRTT        *obs.Histogram
 
 	stopOnce   sync.Once
@@ -144,7 +175,17 @@ func (s *Server) EnableCluster(cfg ClusterConfig) error {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		// Dial/TLS limits only. An overall client timeout would race the
+		// per-request deadline budgets (a 10s constant used to kill
+		// long-budget batches mid-stream); attempt timeouts now come from
+		// the resilience layer via request contexts.
+		client = &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 2 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+			TLSHandshakeTimeout:   2 * time.Second,
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       90 * time.Second,
+			ExpectContinueTimeout: time.Second,
+		}}
 	}
 	tr, err := cluster.NewHTTPTransport(idx, addrs, client)
 	if err != nil {
@@ -162,12 +203,36 @@ func (s *Server) EnableCluster(cfg ClusterConfig) error {
 		node:       node,
 		client:     client,
 		srv:        s,
+		policy:     cfg.Resilience,
 		lastAlive:  make(map[string]bool, len(ordered)),
+		breakers:   make(map[string]*resilience.Breaker, len(ordered)),
 		stopHealth: make(chan struct{}),
 		healthDone: make(chan struct{}),
 	}
+	cl.backoff = cfg.Resilience.Backoff
+	if cl.backoff.Seed == 0 {
+		// Deterministic per daemon: the jitter stream is a pure function of
+		// the advertised address, so a restarted daemon replays its schedule.
+		cl.backoff.Seed = par.Mix64(solveIDFor(cfg.Self))
+	}
 	for _, m := range ordered {
 		cl.lastAlive[m.ID] = true
+		if m.ID == cfg.Self {
+			continue
+		}
+		bcfg := cfg.Resilience.Breaker
+		peer := m.ID
+		prev := bcfg.OnTransition
+		bcfg.OnTransition = func(from, to resilience.BreakerState) {
+			if cl.breakerTrips != nil {
+				cl.breakerTrips.With(peer).Inc()
+			}
+			cl.srv.log.Info("breaker transition", "peer", peer, "from", from.String(), "to", to.String())
+			if prev != nil {
+				prev(from, to)
+			}
+		}
+		cl.breakers[m.ID] = resilience.NewBreaker(bcfg)
 	}
 	node.SetOnPut(func(key string, value []byte) { s.installReplica(key, value) })
 	s.cl = cl
@@ -196,6 +261,21 @@ func (cl *clusterState) registerMetrics(r *obs.Registry) {
 	r.RegisterCounter("faclocd_cluster_replicate_errors_total", "Replication attempts that failed.", &cl.replicateErrors)
 	r.RegisterCounter("faclocd_cluster_frames_in_total", "Wire frames accepted on /cluster/frame.", &cl.framesIn)
 	r.RegisterCounter("faclocd_cluster_dist_solves_total", "Distributed solve legs run on this shard.", &cl.distSolves)
+	r.RegisterCounter("faclocd_cluster_breaker_short_circuits_total", "Peer calls refused locally by an open circuit breaker.", &cl.breakerShort)
+	r.RegisterCounter("faclocd_cluster_degraded_total", "Responses served in degraded mode (local fallback or quorum ack).", &cl.degradedServed)
+	r.RegisterCounter("faclocd_cluster_quorum_puts_total", "Instance puts acknowledged at quorum below full replication.", &cl.quorumPuts)
+	r.RegisterCounter("faclocd_cluster_peer_retries_total", "Peer call attempts beyond the first.", &cl.peerRetries)
+	cl.breakerTrips = r.CounterVec("faclocd_cluster_breaker_transitions_total", "Circuit breaker state transitions, by peer.", "peer")
+	r.GaugeFunc("faclocd_cluster_breaker_open", "Peers whose circuit breaker is currently not closed.",
+		func() float64 {
+			n := 0
+			for _, b := range cl.breakers {
+				if b.State() != resilience.BreakerClosed {
+					n++
+				}
+			}
+			return float64(n)
+		})
 	r.GaugeFunc("faclocd_cluster_store_entries", "Entries in the cluster replication store.",
 		func() float64 { return float64(cl.node.StoreLen()) })
 	cl.frameRTT = r.Histogram("faclocd_cluster_frame_rtt_seconds",
@@ -235,7 +315,16 @@ func (cl *clusterState) healthLoop() {
 }
 
 func (cl *clusterState) probe(m cluster.Member) bool {
-	resp, err := cl.client.Get(cl.tr.Addr(mustIndex(cl.ring, m.ID)) + "/healthz")
+	// Probes carry their own bound — the default client no longer has a
+	// global timeout, and a hung peer must not stall the health loop.
+	ctx, cancel := context.WithTimeout(context.Background(), cl.cfg.healthInterval())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		cl.tr.Addr(mustIndex(cl.ring, m.ID))+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := cl.client.Do(req)
 	if err != nil {
 		return false
 	}
@@ -256,6 +345,131 @@ func mustIndex(r *cluster.Ring, id string) int {
 func (cl *clusterState) owner(key string) (cluster.Member, bool, bool) {
 	m, ok := cl.ring.Owner(key)
 	return m, m.ID == cl.selfID, ok
+}
+
+// breakerFor returns the peer's circuit breaker (nil for self/unknown —
+// callers treat nil as always-allowed).
+func (cl *clusterState) breakerFor(id string) *resilience.Breaker {
+	return cl.breakers[id]
+}
+
+// replicationContext derives the budget background replication runs under:
+// the triggering request's own deadline when it has one (replication is part
+// of serving it), else the configured background budget — never an unbounded
+// or hardcoded-30s context.
+func (cl *clusterState) replicationContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	if _, ok := parent.Deadline(); ok {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, cl.cfg.replicationBudget())
+}
+
+// peerResp is one completed peer call: status + bounded body, fully read so
+// the attempt context can be released before the caller looks at it.
+type peerResp struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// errPeerUnreachable marks transport-level peer failures (vs breaker/budget
+// refusals), so callers know when a liveness flip is warranted.
+type errPeerUnreachable struct {
+	peer string
+	err  error
+}
+
+func (e *errPeerUnreachable) Error() string {
+	return "serve: peer " + e.peer + " unreachable: " + e.err.Error()
+}
+func (e *errPeerUnreachable) Unwrap() error { return e.err }
+
+// peerCall performs a budgeted, breaker-gated, deterministically retried
+// POST to one peer. Every attempt runs under min(per-attempt cap, remaining
+// deadline budget) and stamps the remaining budget on the wire, so no hop
+// ever grants a peer more time than the caller has left. attempts overrides
+// the policy's count (≤ 0 = policy default; pass 1 for non-idempotent
+// calls). 5xx responses and transport errors count as breaker failures and
+// are retried; any other response returns as-is (the peer is healthy, the
+// answer is the answer).
+func (cl *clusterState) peerCall(ctx context.Context, id, path string, body []byte, hdr http.Header, attempts int) (*peerResp, error) {
+	// Budget first: an exhausted budget is the caller's fault, not the
+	// peer's — fail before a breaker probe slot is consumed.
+	if _, err := resilience.AttemptTimeout(ctx, cl.policy.AttemptTimeoutOrDefault()); err != nil {
+		return nil, fmt.Errorf("serve: peer %s: %w", id, err)
+	}
+	br := cl.breakerFor(id)
+	if br != nil && !br.Allow() {
+		cl.breakerShort.Add(1)
+		return nil, fmt.Errorf("serve: peer %s: %w", id, resilience.ErrBreakerOpen)
+	}
+	if attempts <= 0 {
+		attempts = cl.policy.AttemptsOrDefault()
+	}
+	addr := cl.tr.Addr(mustIndex(cl.ring, id))
+	var out *peerResp
+	tries := 0
+	err := cl.backoff.Retry(ctx, attempts, nil, func(ctx context.Context) error {
+		tries++
+		if tries > 1 {
+			cl.peerRetries.Add(1)
+		}
+		actx, cancel, err := resilience.Attempt(ctx, cl.policy.AttemptTimeoutOrDefault())
+		if err != nil {
+			return err
+		}
+		defer cancel()
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, addr+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		resilience.StampHeader(req.Header, actx)
+		resp, err := cl.client.Do(req)
+		if err != nil {
+			if br != nil {
+				br.Record(false)
+			}
+			return &errPeerUnreachable{peer: id, err: err}
+		}
+		// Read the body while the attempt context is still alive; responses
+		// on this path are bounded (reports, metas, error envelopes).
+		rb, rerr := io.ReadAll(io.LimitReader(resp.Body, cl.srv.cfg.maxBody()))
+		resp.Body.Close()
+		if rerr != nil {
+			if br != nil {
+				br.Record(false)
+			}
+			return &errPeerUnreachable{peer: id, err: rerr}
+		}
+		if resp.StatusCode >= 500 {
+			if br != nil {
+				br.Record(false)
+			}
+			return fmt.Errorf("serve: peer %s: %s: %s", id, resp.Status, bytes.TrimSpace(rb))
+		}
+		if br != nil {
+			br.Record(true)
+		}
+		out = &peerResp{status: resp.StatusCode, header: resp.Header, body: rb}
+		return nil
+	})
+	if err != nil {
+		if tries == 0 && br != nil {
+			// The budget died between Allow and the first attempt: release
+			// the half-open probe slot rather than leak it.
+			br.Record(false)
+		}
+		return nil, err
+	}
+	return out, nil
 }
 
 // noteLiveness applies one liveness observation to the ring. On a dead→alive
@@ -279,23 +493,57 @@ func (cl *clusterState) noteLiveness(id string, alive bool) {
 // ---------- replication ----------
 
 // replicateEntry ships a freshly solved entry to the shards that own its
-// instance. Failure leaves the local result intact and correct — it is
-// counted and reported, not hidden, but does not fail the solve.
-func (s *Server) replicateEntry(e *entry) {
+// instance, under the triggering request's deadline budget (or the
+// background replication budget when the request has none — never a
+// hardcoded 30s that pins goroutines per entry). Each target leg is gated by
+// the peer's circuit breaker and feeds its outcome back. Failure leaves the
+// local result intact and correct — counted and reported, not hidden, but
+// never failing the solve.
+func (s *Server) replicateEntry(ctx context.Context, e *entry) {
 	cl := s.cl
 	rep, err := encodeEntry(e)
 	if err != nil {
 		cl.replicateErrors.Add(1)
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	rctx, cancel := cl.replicationContext(ctx)
 	defer cancel()
 	// Routed by the instance hash: a solution lives where its instance does.
-	if err := cl.node.PutKeyed(ctx, e.instHash, e.id, rep, cl.cfg.replicas()); err != nil {
+	targets := cl.ring.Successors(e.instHash, cl.cfg.replicas())
+	if len(targets) == 0 {
 		cl.replicateErrors.Add(1)
 		return
 	}
-	cl.replicated.Add(1)
+	shipped := false
+	for _, m := range targets {
+		if err := cl.replicateEntryTo(rctx, m.ID, e.id, rep); err != nil {
+			cl.replicateErrors.Add(1)
+			continue
+		}
+		shipped = true
+	}
+	if shipped {
+		cl.replicated.Add(1)
+	}
+}
+
+// replicateEntryTo ships one encoded entry to one ring member through the
+// peer's breaker: an open circuit short-circuits the leg instead of waiting
+// out the full ack-retry ladder against a peer known to be failing.
+func (cl *clusterState) replicateEntryTo(ctx context.Context, memberID, key string, rep []byte) error {
+	if memberID == cl.selfID {
+		return cl.node.ReplicateTo(ctx, memberID, key, rep)
+	}
+	br := cl.breakerFor(memberID)
+	if br != nil && !br.Allow() {
+		cl.breakerShort.Add(1)
+		return fmt.Errorf("serve: peer %s: %w", memberID, resilience.ErrBreakerOpen)
+	}
+	err := cl.node.ReplicateTo(ctx, memberID, key, rep)
+	if br != nil {
+		br.Record(err == nil)
+	}
+	return err
 }
 
 // installReplica rebuilds a cache entry from replicated bytes and inserts it
@@ -319,11 +567,15 @@ func (s *Server) installReplica(key string, value []byte) {
 // re-replication from several survivors is benign.
 func (s *Server) reReplicateTo(id string) {
 	cl := s.cl
-	idx, ok := cl.ring.Index(id)
-	if !ok {
+	if _, ok := cl.ring.Index(id); !ok {
 		return
 	}
-	addr := cl.tr.Addr(idx)
+	// An explicit background budget for the whole sweep: re-replication has
+	// no triggering request, but it must not pin goroutines indefinitely if
+	// the revived peer immediately dies again.
+	ctx, cancel := context.WithTimeout(context.Background(), cl.cfg.replicationBudget())
+	defer cancel()
+	hdr := http.Header{forwardedHeader: []string{"1"}}
 	for _, h := range s.st.instanceHashes() {
 		in, ok := s.st.instance(h)
 		if !ok {
@@ -333,19 +585,12 @@ func (s *Server) reReplicateTo(id string) {
 		if err := facloc.WriteInstance(&buf, in); err != nil {
 			continue
 		}
-		req, err := http.NewRequest(http.MethodPost, addr+"/instances", bytes.NewReader(buf.Bytes()))
-		if err != nil {
+		if _, err := cl.peerCall(ctx, id, "/instances", buf.Bytes(), hdr, 0); err != nil {
 			cl.replicateErrors.Add(1)
-			continue
+			if ctx.Err() != nil {
+				return // budget spent; the next revival sweep finishes the job
+			}
 		}
-		req.Header.Set(forwardedHeader, "1")
-		resp, err := cl.client.Do(req)
-		if err != nil {
-			cl.replicateErrors.Add(1)
-			continue
-		}
-		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
-		resp.Body.Close()
 	}
 	replicas := cl.cfg.replicas()
 	for _, e := range s.st.entrySnapshot() {
@@ -364,11 +609,11 @@ func (s *Server) reReplicateTo(id string) {
 			cl.replicateErrors.Add(1)
 			continue
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		err = cl.node.PutKeyed(ctx, e.instHash, e.id, rep, replicas)
-		cancel()
-		if err != nil {
+		if err := cl.replicateEntryTo(ctx, id, e.id, rep); err != nil {
 			cl.replicateErrors.Add(1)
+			if ctx.Err() != nil {
+				return
+			}
 			continue
 		}
 		cl.replicated.Add(1)
@@ -383,7 +628,7 @@ func (s *Server) reReplicateTo(id string) {
 // request should be served here instead: this shard owns the key, the
 // request already hopped once, or the owner is unreachable (counted, and
 // served locally — routing is placement, not correctness).
-func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, key, path string, body []byte) bool {
+func (s *Server) forwardToOwner(ctx context.Context, w http.ResponseWriter, r *http.Request, key, path string, body []byte) bool {
 	cl := s.cl
 	if cl == nil || r.Header.Get(forwardedHeader) != "" {
 		return false
@@ -392,69 +637,78 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, key, pat
 	if !ok || self {
 		return false
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-		cl.tr.Addr(mustIndex(cl.ring, m.ID))+path, bytes.NewReader(body))
-	if err != nil {
-		cl.forwardErrors.Add(1)
-		return false
-	}
-	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
-	req.Header.Set(forwardedHeader, "1")
+	hdr := http.Header{}
+	hdr.Set("Content-Type", r.Header.Get("Content-Type"))
+	hdr.Set(forwardedHeader, "1")
 	if th := r.Header.Get(TraceHeader); th != "" {
-		req.Header.Set(TraceHeader, th)
+		hdr.Set(TraceHeader, th)
 	}
-	resp, err := cl.client.Do(req)
+	resp, err := cl.peerCall(ctx, m.ID, path, body, hdr, 0)
 	if err != nil {
-		// The owner just died and the health loop hasn't noticed yet: mark
-		// it, serve locally. No wrong answer either way.
-		cl.noteLiveness(m.ID, false)
+		// Breaker-open and budget failures are local decisions: the peer may
+		// be fine, so only a transport-level failure flips liveness. Either
+		// way the request serves locally — routing is placement, not
+		// correctness.
+		var unreachable *errPeerUnreachable
+		if errors.As(err, &unreachable) {
+			cl.noteLiveness(m.ID, false)
+		}
 		cl.forwardErrors.Add(1)
 		return false
 	}
-	defer resp.Body.Close()
 	cl.forwarded.Add(1)
-	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
-	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	w.Header().Set("Content-Type", resp.header.Get("Content-Type"))
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
 	return true
 }
 
-// replicateInstance ships a freshly submitted instance to the shard owning
-// its hash, so hash-only requests routed there always find it. Failure is
-// counted, not fatal — the submitter's shard can still serve the instance.
-func (s *Server) replicateInstance(r *http.Request, hash string, body []byte) {
+// replicateInstance ships a freshly submitted instance to every shard in its
+// replica set (owner + successors), so hash-only requests routed there always
+// find it. It runs under the request's deadline budget with each leg gated by
+// the peer's breaker, and returns (acked, total, err) over the replica set —
+// this shard counts as an ack when it is in the set, and err joins every
+// failed leg by name. The handler decides what the counts mean: all for a
+// clean ack, a quorum under allow_degraded. Forwarded submissions return
+// (1, 1, nil): a replica push never fans out again.
+func (s *Server) replicateInstance(ctx context.Context, r *http.Request, hash string, body []byte) (acked, total int, err error) {
 	cl := s.cl
 	if cl == nil || r.Header.Get(forwardedHeader) != "" {
-		return
+		return 1, 1, nil
 	}
-	m, self, ok := cl.owner(hash)
-	if !ok || self {
-		return
+	targets := cl.ring.Successors(hash, cl.cfg.replicas())
+	if len(targets) == 0 {
+		return 1, 1, nil
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-		cl.tr.Addr(mustIndex(cl.ring, m.ID))+"/instances", bytes.NewReader(body))
-	if err != nil {
-		cl.replicateErrors.Add(1)
-		return
+	rctx, cancel := cl.replicationContext(ctx)
+	defer cancel()
+	hdr := http.Header{forwardedHeader: []string{"1"}}
+	var errs []error
+	for _, m := range targets {
+		total++
+		if m.ID == cl.selfID {
+			acked++ // already stored (and persisted) locally
+			continue
+		}
+		resp, perr := cl.peerCall(rctx, m.ID, "/instances", body, hdr, 0)
+		if perr == nil && resp.status != http.StatusOK && resp.status != http.StatusCreated {
+			perr = fmt.Errorf("serve: replica %s: status %d: %s", m.ID, resp.status, bytes.TrimSpace(resp.body))
+		}
+		if perr != nil {
+			cl.replicateErrors.Add(1)
+			errs = append(errs, perr)
+			continue
+		}
+		acked++
 	}
-	req.Header.Set(forwardedHeader, "1")
-	resp, err := cl.client.Do(req)
-	if err != nil {
-		cl.replicateErrors.Add(1)
-		return
-	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
-		cl.replicateErrors.Add(1)
-	}
+	return acked, total, errors.Join(errs...)
 }
 
 // forwardSolve routes a /solve request to the shard owning its instance.
 // With the instance in hand it travels inline (the owner may not hold it
 // yet); a hash-only request the local store cannot answer forwards by hash
 // alone. Returns false when the request should be served here.
-func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, req *SolveRequest, in *facloc.Instance, instHash string) bool {
+func (s *Server) forwardSolve(ctx context.Context, w http.ResponseWriter, r *http.Request, req *SolveRequest, in *facloc.Instance, instHash string) bool {
 	if s.cl == nil || r.Header.Get(forwardedHeader) != "" {
 		return false
 	}
@@ -470,7 +724,7 @@ func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, req *Solve
 	if err != nil {
 		return false
 	}
-	return s.forwardToOwner(w, r, instHash, "/solve", body)
+	return s.forwardToOwner(ctx, w, r, instHash, "/solve", body)
 }
 
 // ---------- distributed solve ----------
@@ -596,20 +850,28 @@ func (s *Server) handleClusterSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	instHash, _, err := s.st.putInstance(in)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, status(err), err)
 		return
 	}
 	if req.Hash != "" && req.Hash != instHash {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: instance hashes to %s, request says %s", instHash, req.Hash))
 		return
 	}
-	release, err := s.acquire(r.Context())
+	// The coordinator's remaining budget arrives on the wire; this leg must
+	// finish (or fail loudly) inside it.
+	bctx, bcancel, err := resilience.FromHeader(r.Context(), r.Header)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer bcancel()
+	release, err := s.acquire(bctx)
 	if err != nil {
 		writeError(w, status(err), err)
 		return
 	}
 	defer release()
-	ctx, cancel := s.solveContext(r.Context(), 0)
+	ctx, cancel := s.solveContext(bctx, 0)
 	defer cancel()
 	opts := facloc.Options{Epsilon: req.Epsilon, Seed: req.Seed, Workers: req.Workers, TrackCost: true, DenseLimit: s.cfg.denseLimit()}
 	if req.TraceID != 0 {
@@ -623,24 +885,67 @@ func (s *Server) handleClusterSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, solveResponse{ID: e.id, InstanceHash: e.instHash, Cached: true, Report: e.reportJSON})
 }
 
+// impaired reports whether the ring is currently unfit for a full
+// distributed solve: a member believed dead, or a peer whose circuit breaker
+// is not closed. Degraded-mode requests consult it to skip a fan-out that is
+// known to fail.
+func (cl *clusterState) impaired() bool {
+	for _, m := range cl.ring.Members() {
+		if m.ID == cl.selfID {
+			continue
+		}
+		if !cl.ring.Alive(m.ID) {
+			return true
+		}
+		if br := cl.breakerFor(m.ID); br != nil && br.State() != resilience.BreakerClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// degradedFallback serves a pd-dist request locally with pd-par: the same
+// approximation guarantee from this shard alone. The result caches under
+// pd-par's own key — honestly earned — and the pd-dist key stays vacant, so
+// a healthy ring later re-runs the real thing; the response is labeled
+// degraded by the caller.
+func (s *Server) degradedFallback(ctx context.Context, in *facloc.Instance, instHash string, opts facloc.Options, traceID uint64, cause error) (*entry, error) {
+	solver, ok := facloc.Lookup("pd-par")
+	if !ok {
+		return nil, fmt.Errorf("serve: degraded fallback has no pd-par solver (cause: %w)", cause)
+	}
+	s.cl.degradedServed.Add(1)
+	s.log.Warn("serving degraded: pd-dist ring impaired, falling back to local pd-par",
+		"trace", obs.FormatTraceID(traceID), "instance", instHash, "cause", cause)
+	e, _, err := s.solve(ctx, in, instHash, solver, opts, traceID)
+	return e, err
+}
+
 // distSolve coordinates a distributed solve across the whole ring: ship the
 // instance and solve ordinal to every peer, run the local leg, and require
-// every leg to succeed. Any shard failing — crashed, lagging, partitioned —
-// fails the request loudly; the solution is never served from a partial
-// round.
-func (s *Server) distSolve(ctx context.Context, in *facloc.Instance, instHash string, opts facloc.Options, traceID uint64) (*entry, error) {
+// every leg to succeed. Any shard failing — crashed, lagging, partitioned,
+// breaker-open — fails the request loudly naming the shard; the solution is
+// never served from a partial round. With allowDegraded set, an impaired
+// ring (or a failed fan-out) instead falls back to a local pd-par solve,
+// returned with degraded=true and never cached under the clean pd-dist key.
+func (s *Server) distSolve(ctx context.Context, in *facloc.Instance, instHash string, opts facloc.Options, traceID uint64, allowDegraded bool) (e *entry, degraded bool, err error) {
 	cl := s.cl
 	key := solveKey(instHash, DistSolverName, opts)
 	if e, ok := s.st.solution(solutionID(key)); ok && e.key == key {
 		s.met.cacheHits.Add(1)
-		return e, nil
+		return e, false, nil
 	}
 	if traceID == 0 {
 		traceID = obs.NewTraceID()
 	}
+	if allowDegraded && cl.impaired() {
+		e, err := s.degradedFallback(ctx, in, instHash, opts, traceID,
+			errors.New("ring impaired (dead peer or open breaker)"))
+		return e, err == nil, err
+	}
 	var buf bytes.Buffer
 	if err := facloc.WriteInstance(&buf, in); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	body, err := json.Marshal(distSolveRequest{
 		SolveID:  solveIDFor(key),
@@ -652,8 +957,9 @@ func (s *Server) distSolve(ctx context.Context, in *facloc.Instance, instHash st
 		Instance: buf.Bytes(),
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	hdr := http.Header{"Content-Type": []string{"application/json"}}
 	members := cl.ring.Members()
 	errs := make([]error, len(members))
 	var wg sync.WaitGroup
@@ -664,34 +970,29 @@ func (s *Server) distSolve(ctx context.Context, in *facloc.Instance, instHash st
 		wg.Add(1)
 		go func(i int, m cluster.Member) {
 			defer wg.Done()
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-				cl.tr.Addr(i)+"/cluster/solve", bytes.NewReader(body))
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			req.Header.Set("Content-Type", "application/json")
-			resp, err := cl.client.Do(req)
+			// One attempt per leg: a retried /cluster/solve would collide
+			// with the first leg still holding the shard's exchange slot.
+			// The breaker and deadline budget still apply.
+			resp, err := cl.peerCall(ctx, m.ID, "/cluster/solve", body, hdr, 1)
 			if err != nil {
 				errs[i] = fmt.Errorf("serve: shard %s: %w", m.ID, err)
 				return
 			}
-			defer resp.Body.Close()
-			b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-			if resp.StatusCode != http.StatusOK {
-				errs[i] = fmt.Errorf("serve: shard %s: %s: %s", m.ID, resp.Status, bytes.TrimSpace(b))
+			if resp.status != http.StatusOK {
+				errs[i] = fmt.Errorf("serve: shard %s: status %d: %s", m.ID, resp.status, bytes.TrimSpace(resp.body))
 			}
 		}(i, m)
 	}
 	e, legErr := s.distLeg(ctx, in, instHash, opts, solveIDFor(key), traceID)
 	wg.Wait()
-	if legErr != nil {
-		return nil, legErr
+	if err := errors.Join(append(errs, legErr)...); err != nil {
+		if allowDegraded {
+			fe, ferr := s.degradedFallback(ctx, in, instHash, opts, traceID, err)
+			return fe, ferr == nil, ferr
+		}
+		return nil, false, err
 	}
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
-	}
-	return e, nil
+	return e, false, nil
 }
 
 // ---------- cluster HTTP surface ----------
@@ -714,11 +1015,14 @@ func (s *Server) handleClusterFrame(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 }
 
-// memberView is one ring row of GET /cluster/ring.
+// memberView is one ring row of GET /cluster/ring. Breaker is this daemon's
+// local circuit state for the peer ("closed"/"open"/"half-open"; self is
+// always "closed" — there is no circuit to yourself).
 type memberView struct {
-	ID    string `json:"id"`
-	Addr  string `json:"addr"`
-	Alive bool   `json:"alive"`
+	ID      string `json:"id"`
+	Addr    string `json:"addr"`
+	Alive   bool   `json:"alive"`
+	Breaker string `json:"breaker"`
 }
 
 type ringView struct {
@@ -734,7 +1038,13 @@ func (s *Server) handleClusterRing(w http.ResponseWriter, r *http.Request) {
 	ms := s.cl.ring.Members()
 	view := ringView{Self: s.cl.selfID, Members: make([]memberView, 0, len(ms))}
 	for _, m := range ms {
-		view.Members = append(view.Members, memberView{ID: m.ID, Addr: m.Addr, Alive: s.cl.ring.Alive(m.ID)})
+		state := resilience.BreakerClosed
+		if br := s.cl.breakerFor(m.ID); br != nil {
+			state = br.State()
+		}
+		view.Members = append(view.Members, memberView{
+			ID: m.ID, Addr: m.Addr, Alive: s.cl.ring.Alive(m.ID), Breaker: state.String(),
+		})
 	}
 	sort.Slice(view.Members, func(a, b int) bool { return view.Members[a].ID < view.Members[b].ID })
 	writeJSON(w, http.StatusOK, view)

@@ -16,7 +16,9 @@ import (
 
 	facloc "repro"
 	"repro/internal/cluster"
+	"repro/internal/durable"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // TraceHeader carries a solve's trace id end to end: a client may supply it
@@ -69,6 +71,12 @@ func status(err error) int {
 		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, errQueueFull), errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable
+	case durable.IsWriteError(err):
+		// The disk, not the request, is the problem: a failed persist is a
+		// retryable server-side fault, never the client's 4xx.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, resilience.ErrBudgetExhausted):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -138,6 +146,10 @@ type instanceMeta struct {
 	NC      int    `json:"nc"`
 	Backing string `json:"backing"`
 	Created bool   `json:"created"`
+	// Degraded marks a put acknowledged at quorum rather than by the full
+	// replica set (allow_degraded only); the caller should expect eventual
+	// repair rather than full durability.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func backing(in *facloc.Instance) string {
@@ -148,6 +160,12 @@ func backing(in *facloc.Instance) string {
 }
 
 func (s *Server) handlePutInstance(w http.ResponseWriter, r *http.Request) {
+	bctx, bcancel, err := resilience.FromHeader(r.Context(), r.Header)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer bcancel()
 	body, err := readCapped(r.Body, s.cfg.maxBody())
 	if err != nil {
 		writeError(w, status(err), err)
@@ -160,17 +178,40 @@ func (s *Server) handlePutInstance(w http.ResponseWriter, r *http.Request) {
 	}
 	hash, created, err := s.st.putInstance(in)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, status(err), err)
 		return
 	}
-	if created {
-		s.replicateInstance(r, hash, body)
+	// Replication runs on every clustered put, not only the creating one:
+	// content addressing makes it idempotent, and a put retried after a
+	// replication shortfall must be able to finish the job rather than
+	// short-circuit on "already stored locally".
+	degraded := false
+	{
+		acked, total, repErr := s.replicateInstance(bctx, r, hash, body)
+		if acked < total {
+			// The instance IS stored locally, so a retry of the same body is
+			// idempotent — the question is only what replication we promise.
+			// Default: every replica acks or the put fails loudly. With
+			// allow_degraded, a majority quorum acks the put, labeled degraded.
+			quorum := total/2 + 1
+			if !boolParam(r.URL.Query().Get("allow_degraded")) || acked < quorum {
+				writeError(w, http.StatusServiceUnavailable, fmt.Errorf(
+					"serve: instance %s replicated to %d of %d replicas: %w", hash, acked, total, repErr))
+				return
+			}
+			degraded = true
+			s.cl.quorumPuts.Add(1)
+			s.cl.degradedServed.Add(1)
+		}
 	}
 	code := http.StatusOK
 	if created {
 		code = http.StatusCreated
 	}
-	writeJSON(w, code, instanceMeta{Hash: hash, NF: in.NF, NC: in.NC, Backing: backing(in), Created: created})
+	writeJSON(w, code, instanceMeta{
+		Hash: hash, NF: in.NF, NC: in.NC, Backing: backing(in),
+		Created: created, Degraded: degraded,
+	})
 }
 
 func (s *Server) handleGetInstance(w http.ResponseWriter, r *http.Request) {
@@ -221,13 +262,27 @@ func renderReport(e *entry) []byte {
 }
 
 type solveResponse struct {
-	ID           string          `json:"id"`
-	InstanceHash string          `json:"instance_hash"`
-	Cached       bool            `json:"cached"`
-	Report       json.RawMessage `json:"report"`
+	ID           string `json:"id"`
+	InstanceHash string `json:"instance_hash"`
+	Cached       bool   `json:"cached"`
+	// Degraded marks a pd-dist request served by the local fallback solver
+	// because the ring was impaired (allow_degraded only). The report is a
+	// real pd-par solution — same guarantee, different computation — and is
+	// never cached under the clean pd-dist key.
+	Degraded bool            `json:"degraded,omitempty"`
+	Report   json.RawMessage `json:"report"`
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	// A caller's remaining deadline budget arrives on the wire; everything
+	// this request does — forwarding, fan-out, the solve itself — runs inside
+	// it, with the shrinking remainder re-stamped on every outbound hop.
+	bctx, bcancel, err := resilience.FromHeader(r.Context(), r.Header)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer bcancel()
 	req, inline, err := DecodeSolveRequest(r.Body, s.cfg.maxBody())
 	if err != nil {
 		writeError(w, status(err), err)
@@ -248,7 +303,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// Inline instances enter the store too, so follow-ups can go by hash.
 		instHash, _, err = s.st.putInstance(inline)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, status(err), err)
 			return
 		}
 		in = inline
@@ -257,7 +312,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		in, ok = s.st.instance(req.Hash)
 		if !ok {
 			// Another shard may hold it: route by the hash before 404ing.
-			if s.forwardSolve(w, r, req, nil, req.Hash) {
+			if s.forwardSolve(bctx, w, r, req, nil, req.Hash) {
 				return
 			}
 			writeError(w, http.StatusNotFound, fmt.Errorf("serve: no instance %s (POST /instances first)", req.Hash))
@@ -285,26 +340,27 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	// A clustered miss solves on the shard owning the instance (one hop —
 	// a forwarded request is always served where it lands).
-	if s.forwardSolve(w, r, req, in, instHash) {
+	if s.forwardSolve(bctx, w, r, req, in, instHash) {
 		return
 	}
 
-	release, err := s.acquire(r.Context())
+	release, err := s.acquire(bctx)
 	if err != nil {
 		writeError(w, status(err), err)
 		return
 	}
 	defer release()
 
-	ctx, cancel := s.solveContext(r.Context(), time.Duration(req.TimeoutMS)*time.Millisecond)
+	ctx, cancel := s.solveContext(bctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 	defer cancel()
 	var e *entry
 	hit := false
+	degraded := false
 	if s.cl != nil && solver.Name() == DistSolverName {
 		// The real thing: every faclocd shard runs one leg, frames over HTTP.
-		e, err = s.distSolve(ctx, in, instHash, opts, traceID)
-		if err == nil {
-			s.replicateEntry(e)
+		e, degraded, err = s.distSolve(ctx, in, instHash, opts, traceID, req.AllowDegraded)
+		if err == nil && !degraded {
+			s.replicateEntry(ctx, e)
 		}
 	} else {
 		e, hit, err = s.solve(ctx, in, instHash, solver, opts, traceID)
@@ -314,7 +370,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, solveResponse{
-		ID: e.id, InstanceHash: e.instHash, Cached: hit, Report: e.reportJSON,
+		ID: e.id, InstanceHash: e.instHash, Cached: hit, Degraded: degraded, Report: e.reportJSON,
 	})
 }
 
@@ -411,6 +467,15 @@ func intParam(v string, def int64) (int64, error) {
 		return def, nil
 	}
 	return strconv.ParseInt(v, 10, 64)
+}
+
+// boolParam reads a query-flag value: present and not explicitly false.
+func boolParam(v string) bool {
+	switch strings.ToLower(v) {
+	case "", "0", "false", "no":
+		return false
+	}
+	return true
 }
 
 func (s *Server) lookupHandle(w http.ResponseWriter, r *http.Request) (*entry, bool) {

@@ -34,6 +34,12 @@ type SolveRequest struct {
 	// daemon's default). Expired solves return an error, never a partial
 	// solution.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// AllowDegraded opts a pd-dist request into degraded-mode serving: when
+	// the ring is impaired (dead peer, open breaker, failed fan-out) the
+	// request falls back to a local single-shard solve instead of failing.
+	// The response is labeled degraded:true and never pollutes the clean
+	// pd-dist cache key. Off by default — whole answers or loud errors.
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
 }
 
 // readCapped reads r to EOF, failing with errBodyTooLarge past maxBytes.

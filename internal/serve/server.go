@@ -486,7 +486,7 @@ func (s *Server) solve(ctx context.Context, in *facloc.Instance, instHash string
 	// The winning insert replicates to the shards owning the instance; a
 	// racing loser's entry is already on its way from the winner.
 	if s.cl != nil && stored == e {
-		s.replicateEntry(stored)
+		s.replicateEntry(ctx, stored)
 	}
 	return stored, false, nil
 }

@@ -158,6 +158,7 @@ func (st *store) putInstance(in *facloc.Instance) (string, bool, error) {
 		}
 		created, err := st.dur.Put(durable.KindInstances, h, buf.Bytes())
 		if err != nil {
+			st.met.storeWriteErrors.Add(1)
 			return "", false, fmt.Errorf("serve: persisting instance: %w", err)
 		}
 		if created {

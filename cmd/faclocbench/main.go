@@ -82,6 +82,7 @@ func main() {
 	out := flag.String("o", "", "write markdown to this file instead of stdout")
 	registryMode := flag.Bool("registry", false, "benchmark every registered solver through the batch engine")
 	sketchMode := flag.Bool("sketch", false, "benchmark direct vs coreset k-median on growing point sets")
+	mpcMode := flag.Bool("mpc", false, "benchmark beyond-RAM streaming solves across a points × budget × chunks grid")
 	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_<mode>.json")
 	count := flag.Int("count", 64, "registry mode: workload size (instances)")
 	nf := flag.Int("nf", 16, "registry mode: facilities per instance")
@@ -131,6 +132,12 @@ func main() {
 		return
 	case *sketchMode:
 		if err := runSketchSweep(os.Stdout, *jsonOut, *history, *tracePath, *full, *k, *masterSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "faclocbench:", err)
+			os.Exit(1)
+		}
+		return
+	case *mpcMode:
+		if err := runMPCSweep(os.Stdout, *jsonOut, *history, *full, *k, *masterSeed); err != nil {
 			fmt.Fprintln(os.Stderr, "faclocbench:", err)
 			os.Exit(1)
 		}
@@ -478,7 +485,11 @@ func runCompare(w *os.File, oldPath, newPath string, tolerance, workTolerance fl
 		o := oldRecs[key]
 		n, found := newRecs[key]
 		if !found {
-			fmt.Fprintf(w, "| %s | %.1fms | - | - | - | - | - | missing in %s |\n", key, o.WallMS, newPath)
+			// A solver that vanished from the new sweep is a named failure,
+			// not a silent skip: a deleted/renamed solver must fail the perf
+			// gate, or regressions hide behind removals.
+			fmt.Fprintf(w, "| %s | %.1fms | - | - | - | - | - | MISSING in %s |\n", key, o.WallMS, newPath)
+			ok = false
 			continue
 		}
 		compared++
@@ -499,7 +510,7 @@ func runCompare(w *os.File, oldPath, newPath string, tolerance, workTolerance fl
 		return false, fmt.Errorf("no common solvers between %s and %s", oldPath, newPath)
 	}
 	if !ok {
-		fmt.Fprintf(w, "\nFAIL: regression beyond tolerance (wall %.0f%%, work %.0f%%)\n",
+		fmt.Fprintf(w, "\nFAIL: regression beyond tolerance (wall %.0f%%, work %.0f%%) or solver missing from new sweep\n",
 			100*tolerance, 100*workTolerance)
 	}
 	return ok, nil

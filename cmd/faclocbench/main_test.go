@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSweep(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareMissingSolverFails pins the perf-gate bugfix: a solver present
+// in the baseline but absent from the new sweep must fail the comparison,
+// not silently pass — otherwise deleting a solver hides its regression.
+func TestCompareMissingSolverFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSweep(t, dir, "old.json",
+		`[{"solver":"greedy-par","solved":1,"mean_cost":1,"wall_ms":10,"work":100},
+		  {"solver":"pd-par","solved":1,"mean_cost":1,"wall_ms":10,"work":100}]`)
+	newPath := writeSweep(t, dir, "new.json",
+		`[{"solver":"greedy-par","solved":1,"mean_cost":1,"wall_ms":10,"work":100}]`)
+
+	sink, err := os.Create(filepath.Join(dir, "out.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	ok, err := runCompare(sink, oldPath, newPath, 0.2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("compare passed with pd-par missing from the new sweep; want failure")
+	}
+
+	// Identical sweeps still pass.
+	ok, err = runCompare(sink, oldPath, oldPath, 0.2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("self-compare failed")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+// The -mpc sweep: beyond-RAM streaming solves across a points × budget ×
+// chunk-count grid, so the cost of tightening the memory budget (deeper
+// trees, more composition distortion) and of finer chunking is visible as a
+// trajectory in BENCH_history.json alongside the registry and sketch sweeps.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	facloc "repro"
+	"repro/internal/core"
+)
+
+// runMPCSweep streams point-form k-median instances of growing size through
+// the kmedian-mpc coreset tree under each (budget, chunks) cell and records
+// one benchRecord per cell. The stream bytes are rendered once per size and
+// replayed per cell, so every cell sees the identical instance.
+func runMPCSweep(w *os.File, jsonOut bool, history string, full bool, k int, seed int64) error {
+	sizes := []int{50_000, 200_000}
+	if full {
+		sizes = append(sizes, 1_000_000)
+	}
+	budgets := []struct {
+		label string
+		bytes int64
+	}{
+		{"4MiB", 4 << 20},
+		{"16MiB", 16 << 20},
+	}
+	chunkCounts := []int{4, 16}
+
+	fmt.Fprintf(w, "# MPC sweep: kmedian-mpc streaming, k=%d, GOMAXPROCS=%d\n\n", k, runtime.GOMAXPROCS(0))
+	fmt.Fprintln(w, "| n | budget | chunks | estimate | rounds | merge | peak | wall |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
+
+	var records []benchRecord
+	for _, n := range sizes {
+		var stream bytes.Buffer
+		if err := core.WriteKInstance(&stream, facloc.GenerateHugeK(seed, n, k)); err != nil {
+			return err
+		}
+		for _, b := range budgets {
+			for _, chunks := range chunkCounts {
+				mo := facloc.MPCOptions{ChunkPoints: n / chunks, BudgetBytes: b.bytes}
+				start := time.Now()
+				rep, err := facloc.SolveMPCStream(context.Background(), "kmedian-mpc",
+					bytes.NewReader(stream.Bytes()),
+					facloc.Options{Seed: seed, TrackCost: true}, mo)
+				if err != nil {
+					return fmt.Errorf("kmedian-mpc at n=%d budget=%s chunks=%d: %w", n, b.label, chunks, err)
+				}
+				wall := time.Since(start)
+				fmt.Fprintf(w, "| %d | %s | %d | %.1f | %d | %dB | %dB | %v |\n",
+					n, b.label, chunks, rep.Estimate, rep.Rounds, rep.MergeBytes,
+					rep.PeakBytes, wall.Round(time.Millisecond))
+				records = append(records, benchRecord{
+					Solver:    fmt.Sprintf("kmedian-mpc@budget=%s,chunks=%d", b.label, chunks),
+					Guarantee: rep.Guarantee.String(), N: n, K: k, Solved: 1,
+					MeanCost: rep.Estimate, WallMS: float64(wall.Microseconds()) / 1000,
+					Work: rep.Stats.Work, Span: rep.Stats.Span, Rounds: int64(rep.Rounds),
+				})
+			}
+		}
+	}
+	if jsonOut {
+		if err := writeBenchJSON("mpc", records); err != nil {
+			return err
+		}
+	}
+	if history != "" {
+		return appendHistory(history, "mpc", records)
+	}
+	return nil
+}

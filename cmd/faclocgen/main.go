@@ -13,11 +13,14 @@
 //	faclocgen -count 200 -seed 42 | faclocsolve -solver pd-par -jobs 8
 //
 // Huge instances: -huge streams point-form NDJSON (coordinates only, no
-// distance matrix) so million-point instances stay O(n) on the wire and in
-// memory; solve them with the *-coreset solvers:
+// distance matrix) generated coordinate-by-coordinate through a reused
+// buffer — constant memory and no per-record allocation, so 100M-point
+// streams are fine. Solve them with the *-coreset solvers, or beyond RAM
+// with faclocsolve -mpc:
 //
 //	faclocgen -huge -kind kmed -n 1000000 -k 50 | faclocsolve -solver kmedian-coreset
 //	faclocgen -huge -kind ufl -nf 500 -nc 1000000 | faclocsolve -solver greedy-coreset
+//	faclocgen -huge -kind kmed -n 100000000 -k 50 | faclocsolve -mpc -solver kmedian -budget 256MiB
 //
 // -stats reports generation throughput (instances, bytes, wall time) on
 // stderr, useful when sizing huge streaming workloads.
@@ -66,6 +69,13 @@ func main() {
 	w = cw
 	start := time.Now()
 
+	// The huge path streams records point-by-point through one reused
+	// writer; it never materializes an instance (see stream.go).
+	var hw *hugeWriter
+	if *huge {
+		hw = newHugeWriter(w)
+	}
+
 	for i := 0; i < *count; i++ {
 		s := *seed
 		if *count > 1 {
@@ -73,26 +83,28 @@ func main() {
 		}
 		switch *kind {
 		case "ufl":
-			var in *core.Instance
 			if *huge {
-				in = facloc.GenerateHugeUFL(s, *nf, *nc)
-			} else {
-				var err error
-				if in, err = genUFL(*family, s, *nf, *nc); err != nil {
+				if err := hw.writeUFL(s, *nf, *nc); err != nil {
 					fatal(err)
 				}
+				continue
+			}
+			in, err := genUFL(*family, s, *nf, *nc)
+			if err != nil {
+				fatal(err)
 			}
 			if err := core.WriteInstance(w, in); err != nil {
 				fatal(err)
 			}
 		case "kmed":
-			var ki *core.KInstance
 			if *huge {
-				ki = facloc.GenerateHugeK(s, *n, *k)
-			} else {
-				rng := rand.New(rand.NewSource(s))
-				ki = core.KFromSpace(nil, metric.GaussianClusters(nil, rng, *n, *k, 2, 100, 2), *k)
+				if err := hw.writeK(s, *n, *k); err != nil {
+					fatal(err)
+				}
+				continue
 			}
+			rng := rand.New(rand.NewSource(s))
+			ki := core.KFromSpace(nil, metric.GaussianClusters(nil, rng, *n, *k, 2, 100, 2), *k)
 			if err := core.WriteKInstance(w, ki); err != nil {
 				fatal(err)
 			}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// hugeWriter streams point-form instances without materializing them: the
+// old -huge path built the full coordinate slab and buffered a JSON encoder
+// per line, which for 100M-point streams meant gigabytes of live heap and an
+// allocation storm. This writer generates each coordinate on the fly from
+// the same counter-based streams the in-memory generators use (so the bytes
+// are identical to the old path) and pushes them through one reused
+// bufio.Writer and one reused numeric scratch buffer — steady-state
+// generation does not allocate per point or per record (pinned by
+// TestHugeWriterAllocs).
+type hugeWriter struct {
+	bw      *bufio.Writer
+	scratch []byte    // one numeric token at a time
+	centers []float64 // blob centers of the current record
+	rng     *rand.Rand
+}
+
+func newHugeWriter(w io.Writer) *hugeWriter {
+	return &hugeWriter{
+		bw:      bufio.NewWriterSize(w, 1<<16),
+		scratch: make([]byte, 0, 32),
+		rng:     rand.New(rand.NewSource(1)),
+	}
+}
+
+// int / float append one token; bufio's sticky error makes per-call checks
+// unnecessary — the record-level Flush reports the first failure.
+func (h *hugeWriter) int(v int) {
+	h.scratch = strconv.AppendInt(h.scratch[:0], int64(v), 10)
+	h.bw.Write(h.scratch)
+}
+
+func (h *hugeWriter) float(v float64) {
+	h.scratch = core.AppendFloat(h.scratch[:0], v)
+	h.bw.Write(h.scratch)
+}
+
+// blobStreams reseeds the record's generator state exactly like
+// facloc.GenerateHuge* do: a fresh math/rand stream per seed, two Uint64
+// draws for the center and noise streams, blob centers uniform in
+// [0, scale]^2.
+func (h *hugeWriter) blobStreams(seed int64, blobs int, scale float64) (centerSeed, noiseSeed uint64) {
+	h.rng.Seed(seed)
+	centerSeed, noiseSeed = h.rng.Uint64(), h.rng.Uint64()
+	if cap(h.centers) < blobs*2 {
+		h.centers = make([]float64, blobs*2)
+	}
+	h.centers = h.centers[:blobs*2]
+	for i := range h.centers {
+		h.centers[i] = par.Unit(centerSeed, i) * scale
+	}
+	return centerSeed, noiseSeed
+}
+
+// coords streams the n Gaussian-blob points of the record: point p belongs
+// to blob p%blobs, coordinate d is center + sigma·N(0,1), drawn from the
+// (noiseSeed, p·2+d) counter stream — the exact values
+// metric.GaussianClusters materializes.
+func (h *hugeWriter) coords(noiseSeed uint64, n, blobs int, sigma float64) {
+	for p := 0; p < n; p++ {
+		base := (p % blobs) * 2
+		for d := 0; d < 2; d++ {
+			if p|d != 0 {
+				h.bw.WriteByte(',')
+			}
+			h.float(h.centers[base+d] + par.Normal(noiseSeed, p*2+d)*sigma)
+		}
+	}
+}
+
+// writeK streams one point-form k-clustering record, byte-identical to
+// core.WriteKInstance(w, facloc.GenerateHugeK(seed, n, k)).
+func (h *hugeWriter) writeK(seed int64, n, k int) error {
+	blobs := k
+	if blobs < 2 {
+		blobs = 2
+	}
+	_, noiseSeed := h.blobStreams(seed, blobs, 1000)
+	h.bw.WriteString(`{"n":`)
+	h.int(n)
+	h.bw.WriteString(`,"k":`)
+	h.int(k)
+	h.bw.WriteString(`,"points":{"dim":2,"coords":[`)
+	h.coords(noiseSeed, n, blobs, 5)
+	h.bw.WriteString("]}}\n")
+	return h.bw.Flush()
+}
+
+// writeUFL streams one point-form UFL record, byte-identical to
+// core.WriteInstance(w, facloc.GenerateHugeUFL(seed, nf, nc)): 16 blobs over
+// nf+nc points, facilities first, uniform opening cost 25.
+func (h *hugeWriter) writeUFL(seed int64, nf, nc int) error {
+	_, noiseSeed := h.blobStreams(seed, 16, 1000)
+	h.bw.WriteString(`{"nf":`)
+	h.int(nf)
+	h.bw.WriteString(`,"nc":`)
+	h.int(nc)
+	h.bw.WriteString(`,"facility_costs":[`)
+	for i := 0; i < nf; i++ {
+		if i > 0 {
+			h.bw.WriteByte(',')
+		}
+		h.bw.WriteString("25")
+	}
+	h.bw.WriteString(`],"points":{"dim":2,"coords":[`)
+	h.coords(noiseSeed, nf+nc, 16, 5)
+	h.bw.WriteString("]}}\n")
+	return h.bw.Flush()
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	facloc "repro"
+	"repro/internal/core"
+)
+
+// TestHugeWriterByteIdentity pins the streaming huge path to the old
+// materialize-then-encode path byte for byte, so downstream consumers (and
+// content-addressed stores keyed on the bytes) see no change.
+func TestHugeWriterByteIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		n, k int
+	}{
+		{1, 64, 4}, {42, 501, 1}, {7, 200, 17},
+	} {
+		var want, got bytes.Buffer
+		if err := core.WriteKInstance(&want, facloc.GenerateHugeK(tc.seed, tc.n, tc.k)); err != nil {
+			t.Fatal(err)
+		}
+		if err := newHugeWriter(&got).writeK(tc.seed, tc.n, tc.k); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("kmed seed=%d n=%d k=%d: streamed bytes diverge from core.WriteKInstance",
+				tc.seed, tc.n, tc.k)
+		}
+	}
+	for _, tc := range []struct {
+		seed   int64
+		nf, nc int
+	}{
+		{1, 16, 64}, {23, 25, 600}, {9, 1, 33},
+	} {
+		var want, got bytes.Buffer
+		if err := core.WriteInstance(&want, facloc.GenerateHugeUFL(tc.seed, tc.nf, tc.nc)); err != nil {
+			t.Fatal(err)
+		}
+		if err := newHugeWriter(&got).writeUFL(tc.seed, tc.nf, tc.nc); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("ufl seed=%d nf=%d nc=%d: streamed bytes diverge from core.WriteInstance",
+				tc.seed, tc.nf, tc.nc)
+		}
+	}
+}
+
+// TestHugeWriterStreamDecodes round-trips a multi-record stream through the
+// normal decoder, the way faclocsolve -jobs consumes it.
+func TestHugeWriterStreamDecodes(t *testing.T) {
+	var buf bytes.Buffer
+	hw := newHugeWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := hw.writeK(facloc.DeriveSeed(5, i), 120, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := core.NewKInstanceDecoder(&buf)
+	for i := 0; i < 3; i++ {
+		ki, err := dec.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if ki.N != 120 || ki.K != 4 || ki.Points == nil {
+			t.Fatalf("record %d decoded wrong: n=%d k=%d", i, ki.N, ki.K)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("want EOF after 3 records, got %v", err)
+	}
+}
+
+// TestHugeWriterAllocs pins the satellite bugfix: steady-state record
+// generation must not allocate per point — allocations for a 50× bigger
+// record stay identical, and near zero.
+func TestHugeWriterAllocs(t *testing.T) {
+	hw := newHugeWriter(io.Discard)
+	allocs := func(n int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if err := hw.writeK(3, n, 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, big := allocs(200), allocs(10000)
+	if small != big {
+		t.Fatalf("allocations scale with record size: %v for n=200 vs %v for n=10000", small, big)
+	}
+	if big > 2 {
+		t.Fatalf("huge record generation allocates %v times per record, want ≤2", big)
+	}
+}

@@ -25,6 +25,13 @@
 //
 //	faclocgen -huge -kind kmed -n 1000000 -k 50 | faclocsolve -solver kmedian-coreset
 //
+// Beyond-RAM instances: -mpc streams the point-form input through the
+// internal/mpc chunker → composable coreset tree under a per-component
+// memory budget, and prints the machine-readable MPCReport JSON (composed
+// guarantee, chunk/round counts, observed peak bytes):
+//
+//	faclocgen -huge -kind kmed -n 100000000 -k 50 | faclocsolve -mpc -solver kmedian -budget 256MiB
+//
 // Client mode: -addr sends the NDJSON instance stream to a running faclocd
 // daemon's POST /batch instead of solving in-process. The daemon emits
 // results in input order through the same encoder, so output is
@@ -76,6 +83,10 @@ func main() {
 	denseLimit := flag.Int("dense-limit", 0, "lazy->dense materialization cap per solve (0 = library default)")
 	addr := flag.String("addr", "", "client mode: submit the NDJSON instance stream to a faclocd daemon (host:port, or a comma-separated cluster seed list)")
 	tracePath := flag.String("trace", "", "single-solve mode: write the solve's per-round trace events to this JSON file")
+	mpcMode := flag.Bool("mpc", false, "stream a point-form instance through the beyond-RAM coreset tree (solver must be, or is made, a *-mpc entry)")
+	budget := flag.String("budget", "", "mpc mode: per-component memory budget (e.g. 256MiB, 1G; empty = unbounded)")
+	chunkPoints := flag.Int("chunk-points", 0, "mpc mode: points per chunk (0 = budget-derived or library default)")
+	coresetSize := flag.Int("coreset-size", 0, "mpc mode: members per coreset node (0 = auto)")
 	list := flag.Bool("list", false, "list registered solvers and exit")
 	flag.Parse()
 
@@ -111,6 +122,10 @@ func main() {
 		in = f
 	}
 
+	if *mpcMode {
+		runMPC(name, in, o, *timeout, *budget, *chunkPoints, *coresetSize)
+		return
+	}
 	if *addr != "" {
 		runRemote(discover(*addr), name, in, o, *jobs, *timeout)
 		return
@@ -207,6 +222,39 @@ func runRemote(addr, solver string, r io.Reader, o facloc.Options, jobs int, tim
 		fatal(fmt.Errorf("result stream from %s aborted: %w", addr, err))
 	}
 	fmt.Fprintf(os.Stderr, "faclocsolve: remote batch complete (%s via %s)\n", solver, addr)
+}
+
+// runMPC streams a point-form instance (faclocgen -huge on stdin, or a file)
+// through the beyond-RAM chunker → coreset tree → inner solve pipeline and
+// prints the MPCReport as JSON — the machine-readable form the CI budget
+// smoke asserts on. The instance is never materialized: peak memory follows
+// the -budget, not the stream size.
+func runMPC(name string, r io.Reader, o facloc.Options, timeout time.Duration, budget string, chunkPoints, coresetSize int) {
+	if !strings.HasSuffix(name, "-mpc") {
+		name += "-mpc"
+	}
+	mo := facloc.MPCOptions{ChunkPoints: chunkPoints, CoresetSize: coresetSize}
+	if budget != "" {
+		b, err := facloc.ParseByteSize(budget)
+		if err != nil {
+			fatal(err)
+		}
+		mo.BudgetBytes = b
+	}
+	ctx, cancel := solveCtx(timeout)
+	defer cancel()
+	rep, err := facloc.SolveMPCStream(ctx, name, r, o, mo)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"faclocsolve: mpc %s: n=%d chunks=%d rounds=%d peak=%dB merge=%dB estimate=%.4f\n",
+		rep.Solver, rep.N, rep.Chunks, rep.Rounds, rep.PeakBytes, rep.MergeBytes, rep.Estimate)
 }
 
 func listSolvers() {

@@ -192,7 +192,7 @@ func DecodeRoundBody(b []byte) (*RoundBody, error) {
 		return nil, fmt.Errorf("cluster: negative exchange index %d", f.Index)
 	}
 	f.Phase = b[12]
-	if f.Phase < primaldual.PhaseFree || f.Phase > primaldual.PhaseFinal {
+	if f.Phase < primaldual.PhaseFree || f.Phase > primaldual.PhaseCoreset {
 		return nil, fmt.Errorf("cluster: unknown exchange phase %d", f.Phase)
 	}
 	nOpen := binary.LittleEndian.Uint32(b[13:17])

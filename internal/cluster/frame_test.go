@@ -142,7 +142,7 @@ func FuzzClusterFrame(f *testing.F) {
 		case FrameRound:
 			if rb, err := DecodeRoundBody(fr.Body); err == nil {
 				ef := &rb.Frame
-				if ef.Index < 0 || ef.Phase < primaldual.PhaseFree || ef.Phase > primaldual.PhaseFinal {
+				if ef.Index < 0 || ef.Phase < primaldual.PhaseFree || ef.Phase > primaldual.PhaseCoreset {
 					t.Fatalf("decoded round body is invalid: %+v", ef)
 				}
 				for _, ev := range ef.Freezes {

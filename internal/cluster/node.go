@@ -300,31 +300,49 @@ func (n *Node) SolveDistributed(ctx context.Context, c *par.Ctx, in *core.Instan
 // additionally receives one "barrier" event per exchange. traceID zero means
 // untraced frames; tracing never changes the solve.
 func (n *Node) SolveDistributedTraced(ctx context.Context, c *par.Ctx, in *core.Instance, opts *primaldual.Options, solveID, traceID uint64) (*primaldual.Result, error) {
+	var tracer par.Tracer
+	if c != nil && (traceID != 0 || c.Tracing()) {
+		tracer = c.Trace
+	}
+	var res *primaldual.Result
+	err := n.RunExchange(solveID, traceID, tracer, func(ex *Exchange) error {
+		var serr error
+		res, serr = primaldual.Distributed(ctx, c, in, opts, n.self, n.tr.N(), ex)
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunExchange claims the node's exchange slot for one solve, runs fn with a
+// fresh Exchange wired to the frame dispatcher, and releases the slot when fn
+// returns. It is how solvers other than the built-in primal-dual leg — the
+// MPC coreset tree's barrier driver, tests — borrow the node's allgather.
+// traceID is stamped on every outbound frame (zero = untraced); tracer, if
+// non-nil, receives one "barrier" event per completed exchange. On completion
+// the exchange stays registered (replaced by the next solve's): a shard that
+// finishes first must keep answering NACKs for its final barriers, or a peer
+// still recovering lost frames would starve into a spurious loud failure.
+func (n *Node) RunExchange(solveID, traceID uint64, tracer par.Tracer, fn func(ex *Exchange) error) error {
 	ex := NewExchange(n.tr, &n.seqs, solveID, n.timeout, n.retries)
-	if traceID != 0 || c.Tracing() {
-		var tr par.Tracer
-		if c != nil {
-			tr = c.Trace
-		}
-		ex.SetTrace(traceID, tr)
+	if traceID != 0 || tracer != nil {
+		ex.SetTrace(traceID, tracer)
 	}
 	n.mu.Lock()
 	if n.exBusy {
 		n.mu.Unlock()
-		return nil, fmt.Errorf("cluster: shard %d already has a solve in flight", n.self)
+		return fmt.Errorf("cluster: shard %d already has a solve in flight", n.self)
 	}
 	n.ex, n.exBusy = ex, true
 	n.mu.Unlock()
-	// On completion the exchange stays registered (replaced by the next
-	// solve's): a shard that finishes first must keep answering NACKs for
-	// its final barriers, or a peer still recovering lost frames would
-	// starve into a spurious loud failure.
 	defer func() {
 		n.mu.Lock()
 		n.exBusy = false
 		n.mu.Unlock()
 	}()
-	return primaldual.Distributed(ctx, c, in, opts, n.self, n.tr.N(), ex)
+	return fn(ex)
 }
 
 // VirtualCluster is N Nodes over one VirtualFabric: the whole cluster —

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// AppendFloat appends f to dst exactly as encoding/json renders it: shortest
+// round-trip form, fixed notation except for very small or very large
+// magnitudes, and two-digit negative exponents stripped of their leading
+// zero. The streaming writers (faclocgen's -huge path, the mpc chunk codec)
+// use it to produce byte-identical output to json.Encoder without building
+// the value in memory. f must be finite — json has no encoding for NaN or
+// the infinities, so AppendFloat panics on them rather than invent one.
+func AppendFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic(fmt.Sprintf("core: AppendFloat(%v): not a JSON number", f))
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Trim "e-09" to "e-9", as encoding/json does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}

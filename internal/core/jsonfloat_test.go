@@ -1,0 +1,47 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func TestAppendFloatMatchesEncodingJSON(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.5, -0.25, 3.1415926535897931, 1e-6, 9.999999e-7, 1e-7,
+		-1e-7, 1e21, 9.999999999999999e20, -1e21, 1e-9, -2.5e-321, 5e-324,
+		math.MaxFloat64, -math.MaxFloat64, 1234.5678, 1e20, 123456789.123456789,
+	}
+	// A deterministic spray across magnitudes, including the e/f boundary
+	// regions where the formatting decision flips.
+	for i := 0; i < 4096; i++ {
+		u := par.Unit(99, i)
+		exp := int(par.Mix64(uint64(i))%64) - 32
+		cases = append(cases, (u-0.5)*math.Pow(10, float64(exp)))
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("json.Marshal(%v): %v", f, err)
+		}
+		got := AppendFloat(nil, f)
+		if string(got) != string(want) {
+			t.Fatalf("AppendFloat(%v) = %q, json.Marshal = %q", f, got, want)
+		}
+	}
+}
+
+func TestAppendFloatPanicsOnNonFinite(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AppendFloat(%v) did not panic", f)
+				}
+			}()
+			AppendFloat(nil, f)
+		}()
+	}
+}

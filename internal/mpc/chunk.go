@@ -1,0 +1,465 @@
+package mpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Kind discriminates the two streamable instance forms.
+type Kind uint8
+
+const (
+	// KindK is a point-form k-clustering instance: {"n","k","points"}.
+	KindK Kind = iota + 1
+	// KindUFL is a point-form UFL instance:
+	// {"nf","nc","facility_costs","points"}, facilities first in the stream.
+	KindUFL
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case KindK:
+		return "kmed"
+	case KindUFL:
+		return "ufl"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Header is a streamed instance's metadata — everything that precedes the
+// coordinate stream on the wire, which is exactly what a bounded-memory
+// reader may materialize eagerly. N counts the chunked points: all n points
+// of a k-clustering instance, the nc client points of a UFL instance (whose
+// nf facilities are small and captured whole in FacCost/FacCoords).
+type Header struct {
+	Kind Kind
+	N    int
+	K    int // KindK only
+	NF   int // KindUFL only
+	Dim  int
+	// FacCost and FacCoords are the UFL facility table: nf opening costs and
+	// nf·dim coordinates (the first nf points of the stream).
+	FacCost   []float64
+	FacCoords []float64
+}
+
+// maxDim bounds declared dimensionality — past it, per-point footprints stop
+// making sense and a hostile header could inflate budget math.
+const maxDim = 1 << 16
+
+// Chunk is one fixed-size slice of the chunked point stream. Coords aliases
+// the reader's reusable slab: it is valid until the next call to Next, and a
+// consumer that needs the points past that must copy them (the coreset builds
+// do, implicitly, by sampling into fresh buffers).
+type Chunk struct {
+	Index  int
+	Start  int // global ordinal of the first point, in chunked-point space
+	Points int
+	Coords []float64 // Points·Dim
+}
+
+// ChunkReader streams a point-form NDJSON instance — a faclocgen -huge line
+// or an HTTP body — as fixed-size chunks, without ever materializing more
+// than the header, the facility table, and one chunk slab. The full header
+// is parsed (and budget-accounted) in NewChunkReader; dense matrices and
+// pre-weighted instances do not stream and are rejected loudly.
+type ChunkReader struct {
+	dec    *json.Decoder
+	h      Header
+	plan   Plan
+	slab   []float64
+	read   int
+	chunk  int
+	closed bool
+}
+
+// NewChunkReader parses the stream's header, captures the facility table for
+// UFL instances, and accounts the fixed components (facility table, chunk
+// slab) against ct's budget before any coordinate is read.
+func NewChunkReader(r io.Reader, o Options, ct *Counters) (*ChunkReader, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	cr := &ChunkReader{dec: dec}
+	if err := cr.expectDelim('{'); err != nil {
+		return nil, fmt.Errorf("mpc: stream: %w", err)
+	}
+
+	ints := make(map[string]int64)
+	var facCost []float64
+	seen := make(map[string]bool)
+meta:
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("mpc: stream header: %w", noEOF(err))
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return nil, errors.New("mpc: stream: instance ends before points")
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("mpc: stream: duplicate key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "n", "k", "nf", "nc":
+			v, err := cr.intValue(key)
+			if err != nil {
+				return nil, err
+			}
+			ints[key] = v
+		case "facility_costs":
+			var err error
+			if facCost, err = cr.floatArray(key); err != nil {
+				return nil, err
+			}
+		case "points":
+			break meta
+		case "distance":
+			return nil, errors.New("mpc: stream: dense distance matrices do not stream; use point form")
+		case "weights", "client_weights":
+			return nil, errors.New("mpc: stream: pre-weighted instances do not stream; weights arise from coresets")
+		default:
+			return nil, fmt.Errorf("mpc: stream: unknown key %q before points", key)
+		}
+	}
+
+	// Inside "points": dim strictly before coords — a reader that met coords
+	// first could not even size a point.
+	if err := cr.expectDelim('{'); err != nil {
+		return nil, fmt.Errorf("mpc: stream points: %w", err)
+	}
+	dim := 0
+points:
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("mpc: stream points: %w", noEOF(err))
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return nil, errors.New("mpc: stream: points object has no coords")
+		}
+		switch key {
+		case "dim":
+			v, err := cr.intValue(key)
+			if err != nil {
+				return nil, err
+			}
+			if v < 1 || v > maxDim {
+				return nil, fmt.Errorf("mpc: stream: dim %d out of range [1,%d]", v, maxDim)
+			}
+			dim = int(v)
+		case "coords":
+			if dim == 0 {
+				return nil, errors.New("mpc: stream: coords before dim")
+			}
+			if err := cr.expectDelim('['); err != nil {
+				return nil, fmt.Errorf("mpc: stream coords: %w", err)
+			}
+			break points
+		default:
+			return nil, fmt.Errorf("mpc: stream: unknown key %q in points", key)
+		}
+	}
+
+	h := &cr.h
+	h.Dim = dim
+	_, hasN := ints["n"]
+	_, hasNF := ints["nf"]
+	_, hasNC := ints["nc"]
+	switch {
+	case hasN:
+		if hasNF || hasNC || facCost != nil {
+			return nil, errors.New("mpc: stream: instance mixes k-clustering and UFL keys")
+		}
+		n, k := ints["n"], ints["k"]
+		if n < 1 || n > math.MaxInt32 {
+			return nil, fmt.Errorf("mpc: stream: n=%d out of range", n)
+		}
+		if k < 1 || k > n {
+			return nil, fmt.Errorf("mpc: stream: k=%d out of range [1,%d]", k, n)
+		}
+		h.Kind, h.N, h.K = KindK, int(n), int(k)
+	case hasNF || hasNC:
+		nf, nc := ints["nf"], ints["nc"]
+		if nf < 1 || nc < 1 || nf+nc > math.MaxInt32 {
+			return nil, fmt.Errorf("mpc: stream: nf=%d nc=%d out of range", nf, nc)
+		}
+		if int64(len(facCost)) != nf {
+			return nil, fmt.Errorf("mpc: stream: %d facility costs for nf=%d", len(facCost), nf)
+		}
+		for i, c := range facCost {
+			if c < 0 || math.IsInf(c, 0) {
+				return nil, fmt.Errorf("mpc: stream: facility cost %d is %v", i, c)
+			}
+		}
+		h.Kind, h.N, h.NF = KindUFL, int(nc), int(nf)
+		h.FacCost = facCost
+	default:
+		return nil, errors.New("mpc: stream: no instance metadata before points")
+	}
+
+	// Account the fixed components against the budget before reading a single
+	// coordinate: a stream whose facility table or chunk slab cannot fit
+	// fails here, loudly, with nothing allocated.
+	if h.Kind == KindUFL {
+		if err := ct.AccountComponent(fmt.Sprintf("facility table (%d facilities)", h.NF),
+			int64(h.NF)*(int64(dim)*8+8)); err != nil {
+			return nil, err
+		}
+	}
+	cr.plan = NewPlan(h.N, o.chunkPoints(dim), o.Seed)
+	if err := ct.AccountComponent(fmt.Sprintf("chunk slab (%d points)", cr.plan.ChunkPoints),
+		int64(cr.plan.ChunkPoints)*pointBytes(dim)); err != nil {
+		return nil, err
+	}
+
+	if h.Kind == KindUFL {
+		for i := 0; i < h.NF*dim; i++ {
+			f, ok, err := cr.coord()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("mpc: stream: coords ended inside the %d facility points", h.NF)
+			}
+			h.FacCoords = append(h.FacCoords, f)
+		}
+	}
+	return cr, nil
+}
+
+// Header returns the stream's parsed metadata; Plan the chunking shape over
+// the chunked points.
+func (cr *ChunkReader) Header() *Header { return &cr.h }
+func (cr *ChunkReader) Plan() Plan      { return cr.plan }
+
+// Next returns the next chunk, or io.EOF after the last one (having verified
+// the coordinate stream carried exactly the declared point count and the
+// enclosing JSON closed properly). The returned chunk's Coords alias a slab
+// reused by the following call.
+func (cr *ChunkReader) Next() (*Chunk, error) {
+	if cr.read >= cr.h.N {
+		if err := cr.finish(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	lo, hi := cr.plan.Leaf(cr.chunk)
+	want := (hi - lo) * cr.h.Dim
+	cr.slab = cr.slab[:0]
+	for i := 0; i < want; i++ {
+		f, ok, err := cr.coord()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("mpc: stream: coords ended after %d of %d points",
+				cr.read+i/cr.h.Dim, cr.h.N)
+		}
+		cr.slab = append(cr.slab, f)
+	}
+	ck := &Chunk{Index: cr.chunk, Start: lo, Points: hi - lo, Coords: cr.slab}
+	cr.read = hi
+	cr.chunk++
+	return ck, nil
+}
+
+// finish consumes the stream's closing structure exactly once: end of the
+// coords array, end of the points object, end of the instance object (which
+// must carry no further keys — anything after points would have to be
+// buffered unboundedly to honor, so it is rejected instead).
+func (cr *ChunkReader) finish() error {
+	if cr.closed {
+		return nil
+	}
+	if _, ok, err := cr.coord(); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("mpc: stream: more coords than the declared %d points", cr.h.N)
+	}
+	if err := cr.expectDelim('}'); err != nil {
+		return fmt.Errorf("mpc: stream: after coords: %w", err)
+	}
+	tok, err := cr.dec.Token()
+	if err != nil {
+		return fmt.Errorf("mpc: stream: closing instance: %w", noEOF(err))
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '}' {
+		return fmt.Errorf("mpc: stream: unexpected %v after points (keys after coords do not stream)", tok)
+	}
+	cr.closed = true
+	return nil
+}
+
+// coord reads one number from the current array; ok=false means the array's
+// closing bracket was read instead.
+func (cr *ChunkReader) coord() (f float64, ok bool, err error) {
+	tok, err := cr.dec.Token()
+	if err != nil {
+		return 0, false, fmt.Errorf("mpc: stream coords: %w", noEOF(err))
+	}
+	switch v := tok.(type) {
+	case json.Number:
+		f, err := strconv.ParseFloat(v.String(), 64)
+		if err != nil {
+			return 0, false, fmt.Errorf("mpc: stream: coordinate %q: %w", v, err)
+		}
+		return f, true, nil
+	case json.Delim:
+		if v == ']' {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("mpc: stream: nested %v inside a number array", v)
+	default:
+		return 0, false, fmt.Errorf("mpc: stream: non-numeric array element %v", tok)
+	}
+}
+
+// intValue reads one non-negative integer value for key.
+func (cr *ChunkReader) intValue(key string) (int64, error) {
+	tok, err := cr.dec.Token()
+	if err != nil {
+		return 0, fmt.Errorf("mpc: stream: value of %q: %w", key, noEOF(err))
+	}
+	num, ok := tok.(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("mpc: stream: %q is %v, want an integer", key, tok)
+	}
+	v, err := strconv.ParseInt(num.String(), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("mpc: stream: %q=%s is not a non-negative integer", key, num)
+	}
+	return v, nil
+}
+
+// floatArray reads one flat number array (the facility cost list).
+func (cr *ChunkReader) floatArray(key string) ([]float64, error) {
+	if err := cr.expectDelim('['); err != nil {
+		return nil, fmt.Errorf("mpc: stream: value of %q: %w", key, err)
+	}
+	var out []float64
+	for {
+		f, ok, err := cr.coord()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, f)
+	}
+}
+
+// expectDelim consumes one token and requires it to be the given delimiter.
+func (cr *ChunkReader) expectDelim(want json.Delim) error {
+	tok, err := cr.dec.Token()
+	if err != nil {
+		return noEOF(err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("have %v, want %v", tok, want)
+	}
+	return nil
+}
+
+// noEOF turns a bare io.EOF into an explicit truncation error — inside a
+// document, EOF is never a clean end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// EncodeStream writes the canonical wire form of a streamed instance —
+// byte-identical to encoding/json's rendering of the core wire structs, which
+// is what lets the fuzz harness assert that accepted inputs re-encode
+// losslessly and lets faclocgen's allocation-free writer share the format.
+// chunks carry the chunked (client) points' coordinates in order; facility
+// coordinates come from the header.
+func EncodeStream(w io.Writer, h *Header, chunks [][]float64) error {
+	buf := make([]byte, 0, 1<<15)
+	flush := func(force bool) error {
+		if len(buf) < 1<<14 && !force {
+			return nil
+		}
+		_, err := w.Write(buf)
+		buf = buf[:0]
+		return err
+	}
+	num := func(f float64) error {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("mpc: stream: %v is not a JSON number", f)
+		}
+		buf = core.AppendFloat(buf, f)
+		return nil
+	}
+
+	switch h.Kind {
+	case KindK:
+		buf = append(buf, `{"n":`...)
+		buf = strconv.AppendInt(buf, int64(h.N), 10)
+		buf = append(buf, `,"k":`...)
+		buf = strconv.AppendInt(buf, int64(h.K), 10)
+	case KindUFL:
+		buf = append(buf, `{"nf":`...)
+		buf = strconv.AppendInt(buf, int64(h.NF), 10)
+		buf = append(buf, `,"nc":`...)
+		buf = strconv.AppendInt(buf, int64(h.N), 10)
+		buf = append(buf, `,"facility_costs":[`...)
+		for i, c := range h.FacCost {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			if err := num(c); err != nil {
+				return err
+			}
+			if err := flush(false); err != nil {
+				return err
+			}
+		}
+		buf = append(buf, ']')
+	default:
+		return fmt.Errorf("mpc: stream: cannot encode kind %v", h.Kind)
+	}
+	buf = append(buf, `,"points":{"dim":`...)
+	buf = strconv.AppendInt(buf, int64(h.Dim), 10)
+	buf = append(buf, `,"coords":[`...)
+	first := true
+	coords := func(cs []float64) error {
+		for _, f := range cs {
+			if !first {
+				buf = append(buf, ',')
+			}
+			first = false
+			if err := num(f); err != nil {
+				return err
+			}
+			if err := flush(false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if h.Kind == KindUFL {
+		if err := coords(h.FacCoords); err != nil {
+			return err
+		}
+	}
+	for _, ck := range chunks {
+		if err := coords(ck); err != nil {
+			return err
+		}
+	}
+	buf = append(buf, ']', '}', '}', '\n')
+	return flush(true)
+}

@@ -1,0 +1,143 @@
+package mpc
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/par"
+	"repro/internal/primaldual"
+	"repro/internal/resilience"
+)
+
+// cut is the fixed block partition shared with the distributed primal-dual
+// solve: shard s of p owns tasks [cut(n,p,s), cut(n,p,s+1)). A pure function
+// of (n, p), so every shard derives the same ownership map with no
+// negotiation.
+func cut(n, parts, idx int) int {
+	return int(int64(n) * int64(idx) / int64(parts))
+}
+
+// ClusterRounds executes tree levels across the PR 6 shard cluster. Each
+// shard builds only the nodes it owns under the fixed block partition, then
+// the shards allgather — one bounded frame per shard per merge barrier,
+// carrying the owned nodes as (id, weight, task) triples over the existing
+// cluster.Exchange wire format (PhaseCoreset frames). Every exchange leg runs
+// under the resilience layer: the deadline budget caps each attempt, the
+// breaker sheds legs to a shard that has stopped answering, and the backoff
+// schedule spaces retries deterministically.
+//
+// All shards must call SolveTree with identical inputs and a connected
+// Exchanger; each returns the full bitwise-identical tree (every node is
+// reconstructed from the gathered frames, never from local floats, so the
+// shards cannot quietly diverge).
+type ClusterRounds struct {
+	// Ex is the allgather, normally borrowed from a cluster.Node via
+	// Node.RunExchange. Self/Shards locate this shard in the fixed partition.
+	Ex           primaldual.Exchanger
+	Self, Shards int
+	// Policy shapes the per-leg attempt timeout, attempt count, and backoff;
+	// the zero value takes the resilience defaults. Breaker, if non-nil, is
+	// consulted before and recorded after every leg.
+	Policy  resilience.Policy
+	Breaker *resilience.Breaker
+
+	barrier int32
+}
+
+// Level implements Rounds.
+func (r *ClusterRounds) Level(ctx context.Context, level, tasks int, build func(task int) (*Node, error)) ([]*Node, error) {
+	if r.Shards <= 0 || r.Self < 0 || r.Self >= r.Shards {
+		return nil, fmt.Errorf("mpc: shard %d of %d out of range", r.Self, r.Shards)
+	}
+	lo, hi := cut(tasks, r.Shards, r.Self), cut(tasks, r.Shards, r.Self+1)
+	frame := &primaldual.ExchangeFrame{
+		Index:  r.barrier,
+		Phase:  primaldual.PhaseCoreset,
+		Opened: []int32{int32(level)},
+	}
+	for t := lo; t < hi; t++ {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
+		nd, err := build(t)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: shard %d level %d task %d: %w", r.Self, level, t, err)
+		}
+		for m, id := range nd.Ids {
+			frame.Freezes = append(frame.Freezes, primaldual.FreezeEvent{
+				Client: id, Alpha: nd.Weight[m], Freely: int32(t),
+			})
+		}
+	}
+
+	frames, err := r.exchange(ctx, frame)
+	if err != nil {
+		return nil, err
+	}
+	r.barrier++
+
+	if len(frames) != r.Shards {
+		return nil, fmt.Errorf("mpc: shard %d barrier %d: %d frames from %d shards", r.Self, frame.Index, len(frames), r.Shards)
+	}
+	nodes := make([]*Node, tasks)
+	for k, rf := range frames {
+		if rf == nil || rf.Index != frame.Index || rf.Phase != primaldual.PhaseCoreset ||
+			len(rf.Opened) != 1 || rf.Opened[0] != int32(level) {
+			return nil, fmt.Errorf("mpc: shard %d barrier %d (level %d): shard %d out of lockstep", r.Self, frame.Index, level, k)
+		}
+		kLo, kHi := cut(tasks, r.Shards, k), cut(tasks, r.Shards, k+1)
+		for _, ev := range rf.Freezes {
+			t := int(ev.Freely)
+			if t < kLo || t >= kHi {
+				return nil, fmt.Errorf("mpc: shard %d: shard %d sent node for task %d outside its range [%d,%d)", r.Self, k, t, kLo, kHi)
+			}
+			if math.IsInf(ev.Alpha, 0) || ev.Alpha < 0 {
+				return nil, fmt.Errorf("mpc: shard %d: shard %d sent weight %v for task %d", r.Self, k, ev.Alpha, t)
+			}
+			nd := nodes[t]
+			if nd == nil {
+				nd = &Node{}
+				nodes[t] = nd
+			}
+			if n := nd.Len(); n > 0 && ev.Client <= nd.Ids[n-1] {
+				return nil, fmt.Errorf("mpc: shard %d: shard %d sent non-ascending ids for task %d", r.Self, k, t)
+			}
+			nd.Ids = append(nd.Ids, ev.Client)
+			nd.Weight = append(nd.Weight, ev.Alpha)
+		}
+	}
+	for t, nd := range nodes {
+		if nd == nil || nd.Len() == 0 {
+			return nil, fmt.Errorf("mpc: barrier %d (level %d): no node for task %d", frame.Index, level, t)
+		}
+	}
+	return nodes, nil
+}
+
+// exchange runs one allgather leg under the resilience envelope: breaker
+// admission, per-attempt deadline clipped to the remaining budget, and the
+// deterministic backoff schedule between attempts. The Exchange itself
+// deduplicates retransmitted frames, so retrying a barrier is idempotent.
+func (r *ClusterRounds) exchange(ctx context.Context, f *primaldual.ExchangeFrame) ([]*primaldual.ExchangeFrame, error) {
+	if r.Breaker != nil && !r.Breaker.Allow() {
+		return nil, fmt.Errorf("mpc: shard %d barrier %d: %w", r.Self, f.Index, resilience.ErrBreakerOpen)
+	}
+	var frames []*primaldual.ExchangeFrame
+	err := r.Policy.Backoff.Retry(ctx, r.Policy.AttemptsOrDefault(), nil, func(ctx context.Context) error {
+		actx, cancel, err := resilience.Attempt(ctx, r.Policy.AttemptTimeoutOrDefault())
+		if err != nil {
+			return err
+		}
+		defer cancel()
+		frames, err = r.Ex.Exchange(actx, f)
+		return err
+	})
+	if r.Breaker != nil {
+		r.Breaker.Record(err == nil)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mpc: shard %d barrier %d exchange: %w", r.Self, f.Index, err)
+	}
+	return frames, nil
+}

@@ -1,0 +1,86 @@
+package mpc
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// drain reads a stream to completion, copying each chunk out of the reused
+// slab. A nil error means the whole stream was accepted.
+func drain(in string, o Options) (*Header, [][]float64, error) {
+	cr, err := NewChunkReader(strings.NewReader(in), o, &Counters{})
+	if err != nil {
+		return nil, nil, err
+	}
+	var chunks [][]float64
+	for {
+		ck, err := cr.Next()
+		if err == io.EOF {
+			return cr.Header(), chunks, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		chunks = append(chunks, append([]float64(nil), ck.Coords...))
+	}
+}
+
+// FuzzChunkDecoder asserts the chunker's two safety properties on arbitrary
+// bytes: it never panics, and any stream it accepts re-encodes canonically to
+// a byte-identical fixpoint carrying the same header and coordinates.
+func FuzzChunkDecoder(f *testing.F) {
+	f.Add(`{"n":4,"k":2,"points":{"dim":2,"coords":[0,1,2,3,4,5,6,7]}}`)
+	f.Add(`{"nf":1,"nc":2,"facility_costs":[2.5],"points":{"dim":1,"coords":[0,1,2]}}`)
+	f.Add(`{"n":1,"k":1,"points":{"dim":1,"coords":[1e-7]}}`)
+	f.Add(`{"n":2,"k":1,"points":{"dim":1,"coords":[-0,1e21]}}`)
+	f.Add(`{"n":4,"k":2,"distance":[[0]],"points":{"dim":1,"coords":[1]}}`)
+	f.Add(`{"n":4,"k":2,"points":{"coords":[1],"dim":1}}`)
+	f.Add(`{"n":1000000000,"k":2,"points":{"dim":65536,"coords":[`)
+
+	o := Options{ChunkPoints: 3}
+	f.Fuzz(func(t *testing.T, in string) {
+		h, chunks, err := drain(in, o)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeStream(&buf, h, chunks); err != nil {
+			t.Fatalf("accepted stream fails to encode: %v", err)
+		}
+		h2, chunks2, err := drain(buf.String(), o)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, buf.String())
+		}
+		if h2.Kind != h.Kind || h2.N != h.N || h2.K != h.K || h2.NF != h.NF || h2.Dim != h.Dim {
+			t.Fatalf("header changed: %+v vs %+v", h2, h)
+		}
+		if len(chunks2) != len(chunks) {
+			t.Fatalf("%d chunks became %d", len(chunks), len(chunks2))
+		}
+		same := func(a, b []float64, what string) {
+			if len(a) != len(b) {
+				t.Fatalf("%s length changed: %d vs %d", what, len(b), len(a))
+			}
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("%s[%d]: %v became %v", what, i, a[i], b[i])
+				}
+			}
+		}
+		same(h.FacCost, h2.FacCost, "facility costs")
+		same(h.FacCoords, h2.FacCoords, "facility coords")
+		for i := range chunks {
+			same(chunks[i], chunks2[i], "chunk coords")
+		}
+		var buf2 bytes.Buffer
+		if err := EncodeStream(&buf2, h2, chunks2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("canonical form is not a fixpoint:\n%s\n%s", buf.Bytes(), buf2.Bytes())
+		}
+	})
+}

@@ -1,0 +1,418 @@
+package mpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+func testSpace(n, dim int) *metric.Euclidean {
+	rng := rand.New(rand.NewSource(7))
+	return metric.GaussianClusters(nil, rng, n, 4, dim, 1000, 5)
+}
+
+func nodesEqual(t *testing.T, want, got *Node, label string) {
+	t.Helper()
+	if len(want.Ids) != len(got.Ids) {
+		t.Fatalf("%s: root size %d, want %d", label, len(got.Ids), len(want.Ids))
+	}
+	for i := range want.Ids {
+		if want.Ids[i] != got.Ids[i] {
+			t.Fatalf("%s: id[%d] = %d, want %d", label, i, got.Ids[i], want.Ids[i])
+		}
+		if math.Float64bits(want.Weight[i]) != math.Float64bits(got.Weight[i]) {
+			t.Fatalf("%s: weight[%d] = %v, want %v (bitwise)", label, i, got.Weight[i], want.Weight[i])
+		}
+	}
+}
+
+func TestPlanShape(t *testing.T) {
+	for _, tc := range []struct {
+		n, cp, chunks, levels int
+	}{
+		{1, 100, 1, 0}, {100, 100, 1, 0}, {101, 100, 2, 1},
+		{300, 100, 3, 2}, {500, 100, 5, 3}, {1600, 100, 16, 4},
+	} {
+		p := NewPlan(tc.n, tc.cp, 1)
+		if p.Chunks != tc.chunks || p.Levels != tc.levels {
+			t.Fatalf("NewPlan(%d,%d): chunks=%d levels=%d, want %d/%d",
+				tc.n, tc.cp, p.Chunks, p.Levels, tc.chunks, tc.levels)
+		}
+		if p.Width(p.Levels) != 1 {
+			t.Fatalf("NewPlan(%d,%d): top width %d", tc.n, tc.cp, p.Width(p.Levels))
+		}
+		// Leaves tile [0, n) exactly.
+		at := 0
+		for i := 0; i < p.Chunks; i++ {
+			lo, hi := p.Leaf(i)
+			if lo != at || hi <= lo {
+				t.Fatalf("NewPlan(%d,%d): leaf %d = [%d,%d), cursor %d", tc.n, tc.cp, i, lo, hi, at)
+			}
+			at = hi
+		}
+		if at != tc.n {
+			t.Fatalf("NewPlan(%d,%d): leaves cover %d of %d", tc.n, tc.cp, at, tc.n)
+		}
+	}
+	// Node seeds are distinct across (level, ordinal) and differ per plan seed.
+	p1, p2 := NewPlan(1000, 100, 1), NewPlan(1000, 100, 2)
+	seen := make(map[int64]bool)
+	for l := 0; l <= p1.Levels; l++ {
+		for j := 0; j < p1.Width(l); j++ {
+			s := p1.NodeSeed(l, j)
+			if seen[s] {
+				t.Fatalf("duplicate node seed at level %d node %d", l, j)
+			}
+			seen[s] = true
+			if s == p2.NodeSeed(l, j) {
+				t.Fatalf("plan seed does not reach node (%d,%d)", l, j)
+			}
+		}
+	}
+}
+
+func TestSolveTreeWorkerInvariance(t *testing.T) {
+	sp := testSpace(600, 3)
+	o := Options{ChunkPoints: 150, CoresetSize: 64, Seed: 11}
+	var roots []*TreeResult
+	for _, w := range []int{1, 4} {
+		tr, err := SolveTree(context.Background(), &par.Ctx{Workers: w}, sp, 4, core.KMedian, nil, o, Local{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		roots = append(roots, tr)
+	}
+	nodesEqual(t, roots[0].Root, roots[1].Root, "workers 1 vs 4")
+	if roots[0].Counters != roots[1].Counters {
+		t.Fatalf("counters diverge across workers: %+v vs %+v", roots[0].Counters, roots[1].Counters)
+	}
+	ct := roots[0].Counters
+	if ct.Chunks != 4 || ct.Levels != 2 || ct.Rounds != 3 {
+		t.Fatalf("tree shape: %+v", ct)
+	}
+	if ct.Identity || ct.EffEpsilon <= 0 {
+		t.Fatalf("sampled tree reported identity: %+v", ct)
+	}
+	wantEps := math.Pow(1.3, 3) - 1
+	if math.Abs(ct.EffEpsilon-wantEps) > 1e-12 {
+		t.Fatalf("EffEpsilon = %v, want %v", ct.EffEpsilon, wantEps)
+	}
+	if ct.MergeBytes == 0 || ct.PeakBytes == 0 {
+		t.Fatalf("counters not accounted: %+v", ct)
+	}
+}
+
+func TestSolveTreeIdentity(t *testing.T) {
+	sp := testSpace(200, 2)
+	tr, err := SolveTree(context.Background(), nil, sp, 3, core.KMedian, nil, Options{ChunkPoints: 1 << 17}, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Identity || tr.EffEpsilon != 0 {
+		t.Fatalf("small instance should be identity: %+v", tr.Counters)
+	}
+	if tr.Root.Len() != 200 {
+		t.Fatalf("identity root has %d members", tr.Root.Len())
+	}
+	for i, id := range tr.Root.Ids {
+		if int(id) != i || tr.Root.Weight[i] != 1 {
+			t.Fatalf("identity member %d: id=%d w=%v", i, id, tr.Root.Weight[i])
+		}
+	}
+}
+
+func TestSolveTreeBudget(t *testing.T) {
+	sp := testSpace(400, 2)
+	_, err := SolveTree(context.Background(), nil, sp, 3, core.KMedian, nil,
+		Options{ChunkPoints: 400, BudgetBytes: 100}, Local{})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestSolveTreeWeighted(t *testing.T) {
+	sp := testSpace(300, 2)
+	w := make([]float64, 300)
+	for i := range w {
+		w[i] = 1 + float64(i%5)
+	}
+	tr, err := SolveTree(context.Background(), nil, sp, 4, core.KMeans, w, Options{ChunkPoints: 100, CoresetSize: 48, Seed: 3}, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, wTotal float64
+	for _, x := range w {
+		wTotal += x
+	}
+	for _, x := range tr.Root.Weight {
+		total += x
+	}
+	// The estimator is unbiased, not exactly mass-preserving: the root's
+	// total weight should land near the source total, not on it.
+	if total < 0.5*wTotal || total > 1.5*wTotal {
+		t.Fatalf("root weight %v, want ≈ source weight %v", total, wTotal)
+	}
+}
+
+// collectTracer records mpc round events.
+type collectTracer struct {
+	mu sync.Mutex
+	ev []par.TraceEvent
+}
+
+func (c *collectTracer) Emit(ev par.TraceEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ev.Solver == "mpc" {
+		c.ev = append(c.ev, ev)
+	}
+}
+
+func TestSolveTreeEmitsRounds(t *testing.T) {
+	sp := testSpace(500, 2)
+	tc := &collectTracer{}
+	c := &par.Ctx{Workers: 2, Trace: tc}
+	tr, err := SolveTree(context.Background(), c, sp, 4, core.KMedian, nil, Options{ChunkPoints: 100, CoresetSize: 32}, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.ev) != tr.Rounds {
+		t.Fatalf("%d trace events for %d rounds", len(tc.ev), tr.Rounds)
+	}
+	for l, ev := range tc.ev {
+		if ev.Round != l || ev.Phase != "round" || ev.Opened == 0 || ev.Live == 0 {
+			t.Fatalf("round %d event malformed: %+v", l, ev)
+		}
+	}
+}
+
+func TestSolveStreamMatchesSolveTree(t *testing.T) {
+	const n, k, dim = 500, 4, 3
+	sp := testSpace(n, dim)
+	o := Options{ChunkPoints: 120, CoresetSize: 48, Seed: 9}
+
+	tr, err := SolveTree(context.Background(), nil, sp, k, core.KMedian, nil, o, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	h := &Header{Kind: KindK, N: n, K: k, Dim: dim}
+	if err := EncodeStream(&buf, h, [][]float64{sp.Coords}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveStream(context.Background(), nil, &buf, o,
+		func(h *Header) (int, core.KObjective, error) { return h.K, core.KMedian, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Len() != tr.Root.Len() {
+		t.Fatalf("stream root %d members, tree root %d", res.Len(), tr.Root.Len())
+	}
+	for i, id := range tr.Root.Ids {
+		if math.Float64bits(res.Weight[i]) != math.Float64bits(tr.Root.Weight[i]) {
+			t.Fatalf("weight[%d] differs: %v vs %v", i, res.Weight[i], tr.Root.Weight[i])
+		}
+		want := sp.Coords[int(id)*dim : (int(id)+1)*dim]
+		got := res.Coords[i*dim : (i+1)*dim]
+		for d := range want {
+			if math.Float64bits(want[d]) != math.Float64bits(got[d]) {
+				t.Fatalf("member %d coord %d differs: %v vs %v", i, d, got[d], want[d])
+			}
+		}
+	}
+	if res.Chunks != tr.Chunks || res.Levels != tr.Levels || res.Rounds != tr.Rounds ||
+		res.MergeBytes != tr.MergeBytes || res.EffEpsilon != tr.EffEpsilon || res.Identity != tr.Identity {
+		t.Fatalf("counters diverge: stream %+v, tree %+v", res.Counters, tr.Counters)
+	}
+}
+
+// Odd chunk counts exercise the EOF carry fold; they must still match the
+// offline level order bitwise.
+func TestSolveStreamOddCarry(t *testing.T) {
+	for _, chunks := range []int{3, 5, 7} {
+		const dim = 2
+		n := chunks * 90
+		sp := testSpace(n, dim)
+		o := Options{ChunkPoints: 90, CoresetSize: 40, Seed: int64(chunks)}
+		tr, err := SolveTree(context.Background(), nil, sp, 4, core.KMedian, nil, o, Local{})
+		if err != nil {
+			t.Fatalf("chunks=%d: %v", chunks, err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeStream(&buf, &Header{Kind: KindK, N: n, K: 4, Dim: dim}, [][]float64{sp.Coords}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveStream(context.Background(), nil, &buf, o,
+			func(h *Header) (int, core.KObjective, error) { return h.K, core.KMedian, nil })
+		if err != nil {
+			t.Fatalf("chunks=%d: %v", chunks, err)
+		}
+		if res.Chunks != chunks {
+			t.Fatalf("plan made %d chunks, want %d", res.Chunks, chunks)
+		}
+		if res.MergeBytes != tr.MergeBytes {
+			t.Fatalf("chunks=%d: MergeBytes %d vs %d", chunks, res.MergeBytes, tr.MergeBytes)
+		}
+		for i, id := range tr.Root.Ids {
+			if math.Float64bits(res.Weight[i]) != math.Float64bits(tr.Root.Weight[i]) {
+				t.Fatalf("chunks=%d: weight[%d] differs", chunks, i)
+			}
+			if math.Float64bits(res.Coords[i*dim]) != math.Float64bits(sp.Coords[int(id)*dim]) {
+				t.Fatalf("chunks=%d: member %d coords differ", chunks, i)
+			}
+		}
+	}
+}
+
+func TestClusterRoundsMatchesLocal(t *testing.T) {
+	const shards = 3
+	sp := testSpace(600, 2)
+	o := Options{ChunkPoints: 100, CoresetSize: 40, Seed: 21}
+	want, err := SolveTree(context.Background(), nil, sp, 4, core.KMedian, nil, o, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vc, err := cluster.NewVirtualCluster(shards, cluster.FaultPlan{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	results := make([]*TreeResult, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = vc.Node(i).RunExchange(77, 0, nil, func(ex *cluster.Exchange) error {
+				r := &ClusterRounds{Ex: ex, Self: i, Shards: shards}
+				tr, err := SolveTree(context.Background(), &par.Ctx{Workers: 2}, sp, 4, core.KMedian, nil, o, r)
+				results[i] = tr
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < shards; i++ {
+		if errs[i] != nil {
+			t.Fatalf("shard %d: %v", i, errs[i])
+		}
+		nodesEqual(t, want.Root, results[i].Root, "cluster shard vs local")
+		if results[i].Counters != want.Counters {
+			t.Fatalf("shard %d counters diverge: %+v vs %+v", i, results[i].Counters, want.Counters)
+		}
+	}
+}
+
+func TestChunkReaderRoundTrip(t *testing.T) {
+	h := &Header{Kind: KindUFL, N: 5, NF: 2, Dim: 2,
+		FacCost:   []float64{10, 2.5},
+		FacCoords: []float64{0, 0, 1, 1},
+	}
+	cli := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, h, [][]float64{cli}); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+
+	cr, err := NewChunkReader(strings.NewReader(first), Options{ChunkPoints: 2}, &Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cr.Header()
+	if g.Kind != KindUFL || g.N != 5 || g.NF != 2 || g.Dim != 2 {
+		t.Fatalf("header: %+v", g)
+	}
+	var got []float64
+	chunks := 0
+	for {
+		ck, err := cr.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		got = append(got, ck.Coords...)
+		chunks++
+	}
+	if chunks != 3 {
+		t.Fatalf("read %d chunks, want 3", chunks)
+	}
+	for i := range cli {
+		if got[i] != cli[i] {
+			t.Fatalf("coord %d: %v, want %v", i, got[i], cli[i])
+		}
+	}
+	// Re-encode: canonical form is a fixpoint.
+	var buf2 bytes.Buffer
+	if err := EncodeStream(&buf2, g, [][]float64{got}); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Fatalf("re-encode differs:\n%s\n%s", buf2.String(), first)
+	}
+}
+
+func TestChunkReaderRejects(t *testing.T) {
+	cases := map[string]string{
+		"dense":        `{"nf":1,"nc":1,"facility_costs":[1],"distance":[[1]],"points":{"dim":1,"coords":[1,2]}}`,
+		"weights":      `{"n":2,"k":1,"client_weights":[1,2],"points":{"dim":1,"coords":[1,2]}}`,
+		"mixed":        `{"n":2,"k":1,"nf":1,"points":{"dim":1,"coords":[1,2]}}`,
+		"noDim":        `{"n":2,"k":1,"points":{"coords":[1,2]}}`,
+		"badK":         `{"n":2,"k":3,"points":{"dim":1,"coords":[1,2]}}`,
+		"dup":          `{"n":2,"n":2,"k":1,"points":{"dim":1,"coords":[1,2]}}`,
+		"unknown":      `{"n":2,"k":1,"colour":"red","points":{"dim":1,"coords":[1,2]}}`,
+		"noMeta":       `{"points":{"dim":1,"coords":[1,2]}}`,
+		"costsMissing": `{"nf":2,"nc":1,"facility_costs":[1],"points":{"dim":1,"coords":[1,2,3]}}`,
+	}
+	for name, in := range cases {
+		if _, err := NewChunkReader(strings.NewReader(in), Options{ChunkPoints: 2}, &Counters{}); err == nil {
+			t.Fatalf("%s: accepted %s", name, in)
+		}
+	}
+
+	// Structural failures that only surface while chunking.
+	chunkCases := map[string]string{
+		"truncated": `{"n":4,"k":1,"points":{"dim":2,"coords":[1,2,3`,
+		"extra":     `{"n":1,"k":1,"points":{"dim":1,"coords":[1,2]}}`,
+		"trailing":  `{"n":1,"k":1,"points":{"dim":1,"coords":[1]},"extra":1}`,
+	}
+	for name, in := range chunkCases {
+		cr, err := NewChunkReader(strings.NewReader(in), Options{ChunkPoints: 2}, &Counters{})
+		if err != nil {
+			t.Fatalf("%s: header rejected: %v", name, err)
+		}
+		for err == nil {
+			_, err = cr.Next()
+		}
+		if err == io.EOF {
+			t.Fatalf("%s: stream accepted", name)
+		}
+	}
+}
+
+func TestChunkReaderBudget(t *testing.T) {
+	in := `{"n":100,"k":1,"points":{"dim":2,"coords":[]}}`
+	ct := &Counters{BudgetBytes: 64}
+	_, err := NewChunkReader(strings.NewReader(in), Options{ChunkPoints: 50}, ct)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}

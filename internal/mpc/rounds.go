@@ -1,0 +1,40 @@
+package mpc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Rounds executes the synchronous rounds of a coreset tree. Level runs all
+// tasks of one level and returns their nodes in task order; drivers may run
+// tasks in any order and on any machine, but the returned slice — and every
+// node in it — must be bitwise independent of that placement. SolveTree calls
+// Level once per round, never concurrently.
+type Rounds interface {
+	Level(ctx context.Context, level, tasks int, build func(task int) (*Node, error)) ([]*Node, error)
+}
+
+// Local executes every task of every level in-process. Tasks run sequentially
+// here; the parallelism lives inside each coreset build, which fans out on
+// par's pooled scheduler through the *par.Ctx threaded into SolveTree. That
+// keeps the worker count a pure throughput knob: it never changes task
+// ordering, so it can never change the bits.
+type Local struct{}
+
+// Level implements Rounds.
+func (Local) Level(ctx context.Context, level, tasks int, build func(task int) (*Node, error)) ([]*Node, error) {
+	nodes := make([]*Node, tasks)
+	for t := 0; t < tasks; t++ {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
+		nd, err := build(t)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: level %d task %d: %w", level, t, err)
+		}
+		nodes[t] = nd
+	}
+	return nodes, nil
+}

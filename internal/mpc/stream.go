@@ -1,0 +1,177 @@
+package mpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/coreset"
+	"repro/internal/metric"
+	"repro/internal/par"
+)
+
+// StreamResult is the root of a streamed coreset tree: the surviving weighted
+// points by coordinate (ground-set ids no longer exist once the stream is
+// gone) plus the run counters. For the same seed and chunk size it is
+// bitwise identical to what SolveTree computes on the resident point set.
+type StreamResult struct {
+	Header *Header
+	Coords []float64 // root members' coordinates, Len·Dim flat
+	Weight []float64
+	Counters
+}
+
+// Len returns the root coreset size.
+func (r *StreamResult) Len() int { return len(r.Weight) }
+
+// streamNode is a tree node in coordinate form — what survives of a chunk
+// once its slab has been recycled.
+type streamNode struct {
+	coords []float64
+	w      []float64
+}
+
+func (n *streamNode) len() int { return len(n.w) }
+
+// pickStream gathers a coreset's members out of their source coordinate
+// buffer into a fresh, minimal node.
+func pickStream(cs *coreset.Coreset, src []float64, dim int) *streamNode {
+	nd := &streamNode{w: cs.Weight, coords: make([]float64, 0, cs.Len()*dim)}
+	for _, p := range cs.Points {
+		nd.coords = append(nd.coords, src[p*dim:(p+1)*dim]...)
+	}
+	return nd
+}
+
+// SolveStream runs the coreset tree over a point stream in one pass, holding
+// only O(log chunks) pending nodes: an eager binary-counter merge — chunk i
+// arrives, reduces to a leaf, and immediately cascades every merge its
+// ordinal completes, so sibling subtrees never coexist unreduced. The merge
+// order, seeds, and therefore every output bit equal SolveTree's offline
+// level-order on the same plan; the leftovers at EOF fold lowest level first,
+// reproducing the offline odd-node carry.
+//
+// pick chooses the sampling shape once the header is known: the k and
+// objective the sensitivity sampler targets (for KindK instances normally
+// h.K itself; for UFL a nominal client-clustering k).
+func SolveStream(ctx context.Context, c *par.Ctx, r io.Reader, o Options, pick func(h *Header) (k int, obj core.KObjective, err error)) (*StreamResult, error) {
+	ct := &Counters{BudgetBytes: o.BudgetBytes}
+	cr, err := NewChunkReader(r, o, ct)
+	if err != nil {
+		return nil, err
+	}
+	h := cr.Header()
+	k, obj, err := pick(h)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("mpc: stream: sampling k=%d", k)
+	}
+	plan := cr.Plan()
+	ct.Chunks, ct.Levels = plan.Chunks, plan.Levels
+	dim := h.Dim
+
+	lvCount := make([]int, plan.Levels+1)
+	lvLive := make([]int64, plan.Levels+1)
+	lvBytes := make([]int64, plan.Levels+1)
+	pending := make([]*streamNode, plan.Levels+1)
+	pendingOrd := make([]int, plan.Levels+1)
+	var root *streamNode
+
+	merge := func(left, right *streamNode, level, ord int) (*streamNode, error) {
+		in := left.len() + right.len()
+		if err := ct.AccountComponent(fmt.Sprintf("level %d merge %d (%d members)", level, ord, in), int64(in)*pointBytes(dim)); err != nil {
+			return nil, err
+		}
+		coords := append(append(make([]float64, 0, in*dim), left.coords...), right.coords...)
+		w := append(append(make([]float64, 0, in), left.w...), right.w...)
+		cs, err := coreset.Build(ctx, c, &metric.Euclidean{Dim: dim, Coords: coords}, k, obj, w, o.co(plan.NodeSeed(level, ord)))
+		if err != nil {
+			return nil, fmt.Errorf("mpc: stream level %d merge %d: %w", level, ord, err)
+		}
+		return pickStream(cs, coords, dim), nil
+	}
+	var add func(nd *streamNode, level, ord int) error
+	add = func(nd *streamNode, level, ord int) error {
+		lvCount[level]++
+		lvLive[level] += int64(nd.len())
+		if level > 0 {
+			lvBytes[level] += int64(nd.len()) * memberBytes
+		}
+		if level == plan.Levels {
+			root = nd
+			return nil
+		}
+		if pending[level] == nil {
+			pending[level], pendingOrd[level] = nd, ord
+			return nil
+		}
+		left := pending[level]
+		pending[level] = nil
+		parent, err := merge(left, nd, level+1, ord/2)
+		if err != nil {
+			return err
+		}
+		return add(parent, level+1, ord/2)
+	}
+
+	for {
+		ck, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
+		if err := ct.AccountComponent(fmt.Sprintf("chunk %d build (%d points)", ck.Index, ck.Points), int64(ck.Points)*pointBytes(dim)); err != nil {
+			return nil, err
+		}
+		cs, err := coreset.Build(ctx, c, &metric.Euclidean{Dim: dim, Coords: ck.Coords}, k, obj, nil, o.co(plan.NodeSeed(0, ck.Index)))
+		if err != nil {
+			return nil, fmt.Errorf("mpc: stream chunk %d: %w", ck.Index, err)
+		}
+		if err := add(pickStream(cs, ck.Coords, dim), 0, ck.Index); err != nil {
+			return nil, err
+		}
+	}
+	// EOF fold: leftover pending nodes are the offline plan's odd carries;
+	// folding lowest level first reproduces its level order exactly.
+	for l := 0; l < plan.Levels; l++ {
+		if pending[l] == nil {
+			continue
+		}
+		nd, ord := pending[l], pendingOrd[l]
+		pending[l] = nil
+		if err := add(nd, l+1, ord/2); err != nil {
+			return nil, err
+		}
+	}
+	if root == nil {
+		return nil, errors.New("mpc: stream: produced no chunks")
+	}
+
+	ct.Rounds = plan.Levels + 1
+	for l := 1; l <= plan.Levels; l++ {
+		ct.MergeBytes += lvBytes[l]
+	}
+	ct.Identity = root.len() == h.N
+	if !ct.Identity {
+		ct.EffEpsilon = math.Pow(1+o.Epsilon01(), float64(plan.Levels+1)) - 1
+	}
+	if c.Tracing() {
+		for l := 0; l <= plan.Levels; l++ {
+			c.Emit(par.TraceEvent{
+				Solver: "mpc", Phase: "round", Round: l,
+				Opened: lvCount[l], Live: lvLive[l], Bytes: int(lvBytes[l]),
+			})
+		}
+	}
+	return &StreamResult{Header: h, Coords: root.coords, Weight: root.w, Counters: *ct}, nil
+}

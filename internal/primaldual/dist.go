@@ -34,13 +34,16 @@ import (
 // a peer that skipped or replayed a barrier — aborts with an error rather
 // than risk a divergent (wrong) solution.
 
-// Exchange phases; ExchangeFrame.Phase takes one of these.
+// Exchange phases; ExchangeFrame.Phase takes one of these. PhaseCoreset is
+// not part of the primal-dual lockstep — it marks the mpc coreset tree's
+// merge barriers, which ride the same frame format over the same Exchanger.
 const (
 	PhaseFree uint8 = iota + 1
 	PhaseAbsorb
 	PhaseOpen
 	PhaseFreeze
 	PhaseFinal
+	PhaseCoreset
 	phaseMax
 )
 

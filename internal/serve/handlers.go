@@ -36,6 +36,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /instances", s.handlePutInstance)
 	mux.HandleFunc("GET /instances/{hash}", s.handleGetInstance)
 	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /solve-stream", s.handleSolveStream)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /solutions/{id}", s.handleGetSolution)
 	mux.HandleFunc("GET /solutions/{id}/assign", s.handleAssign)

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	facloc "repro"
@@ -124,6 +125,11 @@ type metrics struct {
 	queriesTotal obs.Counter
 	batchTotal   obs.Counter
 
+	// Beyond-RAM streaming solves (POST /solve-stream).
+	mpcRounds     obs.Counter
+	mpcChunks     obs.Counter
+	mpcMergeBytes obs.Counter
+
 	// Durable-store counters (exposed only when DataDir is set).
 	storeLoads       obs.Counter
 	storeWrites      obs.Counter
@@ -156,6 +162,11 @@ type Server struct {
 
 	sem   chan struct{} // in-flight solve slots
 	queue chan struct{} // in-flight + waiting slots
+
+	// mpcPeak is the largest accounted component footprint any streaming
+	// solve has reached — the number the budget smoke asserts stays under
+	// the configured budget.
+	mpcPeak atomic.Int64
 
 	mu       sync.Mutex
 	draining bool
@@ -226,6 +237,11 @@ func (s *Server) registerMetrics() {
 	r.RegisterCounter("faclocd_rejected_total", "Admissions refused (queue full or draining).", &s.met.rejected)
 	r.RegisterCounter("faclocd_queries_total", "Assignment and nearest-facility queries answered.", &s.met.queriesTotal)
 	r.RegisterCounter("faclocd_batch_requests_total", "Batch solve requests accepted.", &s.met.batchTotal)
+	r.RegisterCounter("faclocd_mpc_rounds", "Coreset-tree rounds executed by streaming solves.", &s.met.mpcRounds)
+	r.RegisterCounter("faclocd_mpc_chunks", "Chunks streamed through /solve-stream.", &s.met.mpcChunks)
+	r.RegisterCounter("faclocd_mpc_merge_bytes", "Node payload bytes crossing coreset-tree merge barriers.", &s.met.mpcMergeBytes)
+	r.GaugeFunc("faclocd_mpc_peak_budget_bytes", "Largest accounted component footprint of any streaming solve.",
+		func() float64 { return float64(s.mpcPeak.Load()) })
 	r.GaugeFunc("faclocd_draining", "1 while the server is draining, else 0.",
 		func() float64 {
 			if s.Draining() {

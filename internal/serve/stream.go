@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	facloc "repro"
+	"repro/internal/mpc"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// handleSolveStream is the beyond-RAM solve path: POST /solve-stream pipes
+// the request body — a point-form instance far larger than the daemon's
+// memory — straight through the mpc chunker into a composable coreset tree.
+// The instance is never materialized and never enters the instance store;
+// the body is deliberately exempt from MaxBody (boundedness comes from the
+// mpc budget, which caps every component of the run, not from the wire).
+//
+// Query parameters: solver (required, a *-mpc registry entry), budget
+// (per-component byte budget, "256MiB" forms accepted), chunk_points,
+// coreset_size, ufl_k, seed, eps, workers, timeout_ms.
+func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
+	bctx, bcancel, err := resilience.FromHeader(r.Context(), r.Header)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer bcancel()
+
+	q := r.URL.Query()
+	name := q.Get("solver")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("serve: /solve-stream needs a solver query parameter"))
+		return
+	}
+	if !strings.HasSuffix(name, "-mpc") {
+		writeError(w, http.StatusNotFound, &unknownSolverError{name: name})
+		return
+	}
+	seed, err1 := intParam(q.Get("seed"), 0)
+	workers, err2 := intParam(q.Get("workers"), 0)
+	timeoutMS, err3 := intParam(q.Get("timeout_ms"), 0)
+	chunkPoints, err4 := intParam(q.Get("chunk_points"), 0)
+	coresetSize, err5 := intParam(q.Get("coreset_size"), 0)
+	uflK, err6 := intParam(q.Get("ufl_k"), 0)
+	eps := 0.0
+	var err7 error
+	if v := q.Get("eps"); v != "" {
+		eps, err7 = strconv.ParseFloat(v, 64)
+	}
+	var budget int64
+	var err8 error
+	if v := q.Get("budget"); v != "" {
+		budget, err8 = facloc.ParseByteSize(v)
+	}
+	if err := errors.Join(err1, err2, err3, err4, err5, err6, err7, err8); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	traceID, ok := obs.ParseTraceID(r.Header.Get(TraceHeader))
+	if !ok {
+		traceID = obs.NewTraceID()
+	}
+	w.Header().Set(TraceHeader, obs.FormatTraceID(traceID))
+
+	release, err := s.acquire(bctx)
+	if err != nil {
+		writeError(w, status(err), err)
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.solveContext(bctx, time.Duration(timeoutMS)*time.Millisecond)
+	defer cancel()
+
+	rec := &obs.Recorder{}
+	opts := facloc.Options{
+		Epsilon: eps, Seed: seed, Workers: int(workers), TrackCost: true, Trace: rec,
+	}
+	mo := facloc.MPCOptions{
+		ChunkPoints: int(chunkPoints),
+		BudgetBytes: budget,
+		CoresetSize: int(coresetSize),
+		UFLSampleK:  int(uflK),
+	}
+	s.met.solvesTotal.Add(1)
+	s.met.cacheMisses.Add(1) // streams are never cacheable: the body is gone
+	start := time.Now()
+	rep, err := facloc.SolveMPCStream(ctx, name, r.Body, opts, mo)
+	if err != nil {
+		s.met.solveErrors.Add(1)
+		s.log.Warn("solve-stream failed", "trace", obs.FormatTraceID(traceID),
+			"solver", name, "err", err)
+		writeError(w, streamStatus(err), err)
+		return
+	}
+	wall := time.Since(start)
+	s.solveDur.Observe(wall.Seconds())
+	s.bySolver.With(name).Inc()
+	s.met.mpcRounds.Add(int64(rep.Rounds))
+	s.met.mpcChunks.Add(int64(rep.Chunks))
+	s.met.mpcMergeBytes.Add(rep.MergeBytes)
+	s.maxPeak(rep.PeakBytes)
+	s.flight.Record(&obs.SolveTrace{
+		TraceID:     obs.FormatTraceID(traceID),
+		Solver:      name,
+		Instance:    fmt.Sprintf("stream:%s:%d", rep.Kind, rep.N),
+		Start:       start,
+		WallSeconds: wall.Seconds(),
+		Rounds:      rec.Rounds(),
+		Events:      rec.Events(),
+	})
+	s.log.Info("solve-stream", "trace", obs.FormatTraceID(traceID), "solver", name,
+		"kind", rep.Kind, "n", rep.N, "chunks", rep.Chunks, "rounds", rep.Rounds,
+		"peak_bytes", rep.PeakBytes, "wall_ms", float64(wall)/float64(time.Millisecond))
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// streamStatus refines the generic solve status map for the streaming path:
+// a budget the stream cannot fit under is the request's problem, reported as
+// 413 so clients distinguish "raise the budget" from "bad instance".
+func streamStatus(err error) int {
+	if errors.Is(err, mpc.ErrBudget) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return status(err)
+}
+
+// maxPeak folds one run's peak component footprint into the monotone
+// faclocd_mpc_peak_budget_bytes gauge.
+func (s *Server) maxPeak(peak int64) {
+	for {
+		cur := s.mpcPeak.Load()
+		if peak <= cur || s.mpcPeak.CompareAndSwap(cur, peak) {
+			return
+		}
+	}
+}

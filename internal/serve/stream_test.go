@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	facloc "repro"
+	"repro/internal/metric"
+	"repro/internal/mpc"
+)
+
+// kStreamBody renders a point-form k-median instance in the chunker's wire
+// format — the same stream `faclocgen -huge` emits.
+func kStreamBody(t *testing.T, n, k, dim int) *bytes.Buffer {
+	t.Helper()
+	sp := metric.GaussianClusters(nil, rand.New(rand.NewSource(5)), n, k, dim, 100, 3)
+	var buf bytes.Buffer
+	h := &mpc.Header{Kind: mpc.KindK, N: n, K: k, Dim: dim}
+	if err := mpc.EncodeStream(&buf, h, [][]float64{sp.Coords}); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func postStream(t *testing.T, url, query string, body io.Reader) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/solve-stream?"+query, "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// metricValue digs one un-labelled sample out of a Prometheus text page.
+func metricValue(t *testing.T, page, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad sample %q: %v", name, line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in scrape", name)
+	return 0
+}
+
+// TestSolveStream posts a point-form instance through /solve-stream and
+// checks the report shape, the composed guarantee, and that all four
+// faclocd_mpc_* metrics moved.
+func TestSolveStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const n, k, dim = 600, 4, 2
+
+	code, body := postStream(t, ts.URL,
+		"solver=kmedian-mpc&chunk_points=150&coreset_size=96&seed=7&workers=2&eps=0.3",
+		kStreamBody(t, n, k, dim))
+	if code != http.StatusOK {
+		t.Fatalf("solve-stream: %d %s", code, body)
+	}
+	var rep facloc.MPCReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("decode report: %v\n%s", err, body)
+	}
+	if rep.Solver != "kmedian-mpc" || rep.Kind != "kmed" || rep.N != n || rep.K != k {
+		t.Fatalf("report identity wrong: %+v", rep)
+	}
+	if rep.Chunks != 4 || rep.Rounds < 2 {
+		t.Fatalf("expected 4 chunks and a multi-round tree, got chunks=%d rounds=%d", rep.Chunks, rep.Rounds)
+	}
+	if len(rep.Centers) != k*dim {
+		t.Fatalf("want %d center coords, got %d", k*dim, len(rep.Centers))
+	}
+	if rep.Estimate <= 0 || rep.PeakBytes <= 0 || rep.MergeBytes <= 0 {
+		t.Fatalf("degenerate counters: %+v", rep)
+	}
+	if rep.EffEpsilon <= 0 {
+		t.Fatalf("sampled multi-level run must report composed distortion, got %g", rep.EffEpsilon)
+	}
+	if rep.Guarantee.Factor <= 1 {
+		t.Fatalf("composed guarantee not widened: %+v", rep.Guarantee)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	pg := string(page)
+	if v := metricValue(t, pg, "faclocd_mpc_rounds"); v != float64(rep.Rounds) {
+		t.Fatalf("faclocd_mpc_rounds = %g, want %d", v, rep.Rounds)
+	}
+	if v := metricValue(t, pg, "faclocd_mpc_chunks"); v != float64(rep.Chunks) {
+		t.Fatalf("faclocd_mpc_chunks = %g, want %d", v, rep.Chunks)
+	}
+	if v := metricValue(t, pg, "faclocd_mpc_merge_bytes"); v != float64(rep.MergeBytes) {
+		t.Fatalf("faclocd_mpc_merge_bytes = %g, want %d", v, rep.MergeBytes)
+	}
+	if v := metricValue(t, pg, "faclocd_mpc_peak_budget_bytes"); v != float64(rep.PeakBytes) {
+		t.Fatalf("faclocd_mpc_peak_budget_bytes = %g, want %d", v, rep.PeakBytes)
+	}
+}
+
+// TestSolveStreamDeterministic posts the identical stream twice and requires
+// byte-identical reports modulo the stats block (wall time varies).
+func TestSolveStreamDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const q = "solver=kmeans-mpc&chunk_points=100&coreset_size=64&seed=11"
+
+	var reps [2]facloc.MPCReport
+	for i := range reps {
+		code, body := postStream(t, ts.URL, q, kStreamBody(t, 400, 4, 3))
+		if code != http.StatusOK {
+			t.Fatalf("run %d: %d %s", i, code, body)
+		}
+		if err := json.Unmarshal(body, &reps[i]); err != nil {
+			t.Fatal(err)
+		}
+		reps[i].Stats = facloc.Stats{}
+	}
+	a, _ := json.Marshal(reps[0])
+	b, _ := json.Marshal(reps[1])
+	if !bytes.Equal(a, b) {
+		t.Fatalf("repeat streams diverge:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSolveStreamBudget pins the 413 path: a budget no component can fit
+// under must fail with ErrBudget mapped to RequestEntityTooLarge, and count
+// as a solve error.
+func TestSolveStreamBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := postStream(t, ts.URL,
+		"solver=kmedian-mpc&chunk_points=150&budget=256", kStreamBody(t, 600, 4, 2))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("tiny budget: got %d %s, want 413", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if v := metricValue(t, string(page), "faclocd_solve_errors_total"); v != 1 {
+		t.Fatalf("faclocd_solve_errors_total = %g, want 1", v)
+	}
+}
+
+// TestSolveStreamRejects covers the parameter-validation edges.
+func TestSolveStreamRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, query string
+		want        int
+	}{
+		{"no solver", "", http.StatusBadRequest},
+		{"non-mpc solver", "solver=kmedian", http.StatusNotFound},
+		{"unknown base", "solver=nope-mpc", http.StatusBadRequest},
+		{"bad budget", "solver=kmedian-mpc&budget=lots", http.StatusBadRequest},
+		{"bad seed", "solver=kmedian-mpc&seed=x", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postStream(t, ts.URL, tc.query, kStreamBody(t, 40, 2, 2))
+			if code != tc.want {
+				t.Fatalf("got %d %s, want %d", code, body, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,376 @@
+package facloc
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/mpc"
+	"repro/internal/par"
+)
+
+// MPCOptions configures the beyond-RAM solving layer (internal/mpc): chunk
+// size, memory budget, and per-node coreset size of the composable coreset
+// tree. The zero value auto-sizes everything.
+type MPCOptions struct {
+	// ChunkPoints is the streaming chunk size in points (0 = derived from
+	// BudgetBytes, or the mpc default). It is a quality parameter like ε:
+	// changing it changes which coreset is sampled, never reproducibility.
+	ChunkPoints int
+	// BudgetBytes caps the accounted footprint of every component of the run;
+	// a component that cannot fit is a loud mpc.ErrBudget error, never an OOM.
+	BudgetBytes int64
+	// CoresetSize is the per-node coreset size (0 = auto; under a budget the
+	// auto size keeps the root's dense sub-instance inside the budget).
+	CoresetSize int
+	// UFLSampleK is the nominal client-clustering k the sensitivity sampler
+	// targets on UFL streams, where no k exists in the instance (0 = 16).
+	UFLSampleK int
+}
+
+func (mo MPCOptions) uflSampleK() int {
+	if mo.UFLSampleK > 0 {
+		return mo.UFLSampleK
+	}
+	return 16
+}
+
+// mpc lowers the facade options into the subsystem's option set; the solve
+// seed and ε thread through so one Options value drives the whole pipeline.
+func (mo MPCOptions) mpc(o Options) mpc.Options {
+	return mpc.Options{
+		ChunkPoints: mo.ChunkPoints,
+		BudgetBytes: mo.BudgetBytes,
+		CoresetSize: mo.CoresetSize,
+		Epsilon:     o.Epsilon,
+		Seed:        o.Seed,
+	}
+}
+
+// mpcGuarantee composes an inner solver's guarantee with the coreset tree's
+// distortion: each sampling level multiplies (1+ε), so effEps is the composed
+// (1+ε)^levels−1 slack — 0 for identity runs, where the composition is exact.
+func mpcGuarantee(inner Guarantee, effEps float64) Guarantee {
+	f := inner.Factor
+	if inner.Exact {
+		f = 1
+	}
+	return Guarantee{
+		Factor:   f * (1 + effEps),
+		EpsSlack: inner.EpsSlack,
+		Note:     fmt.Sprintf("%s × mpc coreset tree (1+%.3g) composed distortion", inner.Note, effEps),
+	}
+}
+
+// mpcKSolver runs the composable coreset tree over a resident instance's
+// point space, hands the root coreset to the inner solver, and evaluates the
+// lifted centers on the full instance. Small instances whose tree degenerates
+// to the identity short-circuit to the inner (direct) solve.
+type mpcKSolver struct {
+	name  string
+	inner KSolver
+	mo    MPCOptions
+	// rounds overrides the round driver (nil = Local); the conformance suite
+	// injects ClusterRounds here to pin cluster and local runs to each other.
+	rounds mpc.Rounds
+}
+
+// MPC wraps a k-clustering solver in the composable coreset tree under the
+// given options — the programmatic form of the registry's *-mpc entries.
+func MPC(inner KSolver, mo MPCOptions) KSolver {
+	return &mpcKSolver{name: inner.Name() + "-mpc", inner: inner, mo: mo}
+}
+
+// MPCUFL is the UFL counterpart of MPC.
+func MPCUFL(inner Solver, mo MPCOptions) Solver {
+	return &mpcSolver{name: inner.Name() + "-mpc", inner: inner, mo: mo}
+}
+
+func roundsOrLocal(r mpc.Rounds) mpc.Rounds {
+	if r != nil {
+		return r
+	}
+	return mpc.Local{}
+}
+
+func (s *mpcKSolver) Name() string         { return s.name }
+func (s *mpcKSolver) Objective() Objective { return s.inner.Objective() }
+func (s *mpcKSolver) Guarantee() Guarantee {
+	// Static view: one sampling level at the nominal ε. Per-run reports
+	// compose the actual tree depth (see SolveMPCStream).
+	return mpcGuarantee(s.inner.Guarantee(), mpc.Options{}.Epsilon01())
+}
+
+func (s *mpcKSolver) SolveK(ctx context.Context, pc *par.Ctx, ki *core.KInstance, opts Options) (*KSolution, error) {
+	obj := core.KObjective(s.inner.Objective())
+	tr, err := mpc.SolveTree(ctx, pc, ki.Space(), ki.K, obj, ki.Weight, s.mo.mpc(opts), roundsOrLocal(s.rounds))
+	if err != nil {
+		return nil, err
+	}
+	if tr.Identity && ki.Dist != nil {
+		// The root coreset is the whole (already dense) instance: the tree is
+		// the identity and the inner solve is the direct solve.
+		return s.inner.SolveK(ctx, pc, ki, opts)
+	}
+	root := tr.Root
+	n := root.Len()
+	if err := tr.AccountComponent("root sub-instance", int64(n)*int64(n)*8); err != nil {
+		return nil, err
+	}
+	pts := make([]int, n)
+	for i, id := range root.Ids {
+		pts[i] = int(id)
+	}
+	sub := &core.KInstance{N: n, K: ki.K, Dist: metric.SubmatrixRows(pc, ki.Space(), pts, pts), Weight: root.Weight}
+	subSol, err := s.inner.SolveK(ctx, pc, sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := par.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	centers := make([]int, len(subSol.Centers))
+	for a, ci := range subSol.Centers {
+		centers[a] = pts[ci]
+	}
+	return core.EvalCenters(pc, ki, centers, obj), nil
+}
+
+// mpcSolver is the UFL counterpart: the tree reduces the clients of a
+// point-backed instance to a weighted root coreset, the inner solver runs on
+// the facilities × root-clients sub-instance, and the open set lifts back to
+// a full nearest-open assignment. Dense-backed instances pass through.
+type mpcSolver struct {
+	name   string
+	inner  Solver
+	mo     MPCOptions
+	rounds mpc.Rounds
+}
+
+func (s *mpcSolver) Name() string { return s.name }
+func (s *mpcSolver) Guarantee() Guarantee {
+	return mpcGuarantee(s.inner.Guarantee(), mpc.Options{}.Epsilon01())
+}
+
+func (s *mpcSolver) Solve(ctx context.Context, pc *par.Ctx, in *core.Instance, opts Options) (*Solution, error) {
+	if in.Points == nil {
+		return s.inner.Solve(ctx, pc, in, opts)
+	}
+	cli := &idxSpace{sp: in.Points, idx: in.CliIdx}
+	tr, err := mpc.SolveTree(ctx, pc, cli, s.mo.uflSampleK(), core.KMedian, in.CWeight, s.mo.mpc(opts), roundsOrLocal(s.rounds))
+	if err != nil {
+		return nil, err
+	}
+	root := tr.Root
+	nc := root.Len()
+	if err := tr.AccountComponent("root sub-instance", int64(in.NF)*int64(nc)*8); err != nil {
+		return nil, err
+	}
+	cliIdx := make([]int, nc)
+	for i, id := range root.Ids {
+		cliIdx[i] = in.CliIdx[int(id)]
+	}
+	sub := &core.Instance{
+		NF: in.NF, NC: nc, FacCost: in.FacCost,
+		D:       metric.SubmatrixRows(pc, in.Points, in.FacIdx, cliIdx),
+		CWeight: root.Weight,
+	}
+	subSol, err := s.inner.Solve(ctx, pc, sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := par.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return core.EvalOpen(pc, in, subSol.Open), nil
+}
+
+// idxSpace views an index subset of a space (the client block of a lazy UFL
+// instance) as a space of its own.
+type idxSpace struct {
+	sp  metric.Space
+	idx []int
+}
+
+func (s *idxSpace) N() int                { return len(s.idx) }
+func (s *idxSpace) Dist(i, j int) float64 { return s.sp.Dist(s.idx[i], s.idx[j]) }
+
+// registerMPC adds the beyond-RAM entries to the registry. Called at the end
+// of the solvers.go init, after the inner solvers exist.
+func registerMPC() {
+	mustK := func(name string) KSolver {
+		s, ok := LookupK(name)
+		if !ok {
+			panic("facloc: mpc registration before " + name)
+		}
+		return s
+	}
+	must := func(name string) Solver {
+		s, ok := Lookup(name)
+		if !ok {
+			panic("facloc: mpc registration before " + name)
+		}
+		return s
+	}
+	RegisterK(&mpcKSolver{name: "kmedian-mpc", inner: mustK("kmedian")})
+	RegisterK(&mpcKSolver{name: "kmeans-mpc", inner: mustK("kmeans")})
+	Register(&mpcSolver{name: "greedy-mpc", inner: must("greedy-par")})
+}
+
+// ParseByteSize parses a human byte size: a plain integer (bytes) or one
+// with a binary suffix — "8MiB", "64KiB", "2GiB" (also accepted: K/M/G and
+// KB/MB/GB, all binary). Shared by the -budget CLI flags and the
+// /solve-stream budget parameter.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(t)
+	for _, sfx := range []struct {
+		s string
+		m int64
+	}{
+		{"GIB", 1 << 30}, {"MIB", 1 << 20}, {"KIB", 1 << 10},
+		{"GB", 1 << 30}, {"MB", 1 << 20}, {"KB", 1 << 10},
+		{"G", 1 << 30}, {"M", 1 << 20}, {"K", 1 << 10},
+	} {
+		if strings.HasSuffix(upper, sfx.s) {
+			mult = sfx.m
+			t = strings.TrimSpace(t[:len(t)-len(sfx.s)])
+			break
+		}
+	}
+	v, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("facloc: bad byte size %q", s)
+	}
+	if v > (1<<63-1)/mult {
+		return 0, fmt.Errorf("facloc: byte size %q overflows", s)
+	}
+	return v * mult, nil
+}
+
+// MPCReport is the outcome of a streamed beyond-RAM solve: the solution in
+// coordinate form (the stream is gone, so there are no ground-set indices to
+// report), the composed guarantee over the actual tree depth, and the run's
+// budget counters. Estimate is the inner solver's objective on the weighted
+// root coreset — an estimate of the true cost within the composed distortion,
+// reported without a second pass over the stream.
+type MPCReport struct {
+	Solver    string    `json:"solver"`
+	Guarantee Guarantee `json:"guarantee"`
+	Kind      string    `json:"kind"`
+	N         int       `json:"n"`
+	K         int       `json:"k,omitempty"`
+	NF        int       `json:"nf,omitempty"`
+	Dim       int       `json:"dim"`
+	// Centers holds the chosen centers' coordinates (k×dim flat) for
+	// k-clustering streams; Open the chosen facility indices for UFL streams.
+	Centers []float64 `json:"centers,omitempty"`
+	Open    []int     `json:"open,omitempty"`
+	// FacilityCost is the open facilities' total cost (UFL only).
+	FacilityCost float64 `json:"facility_cost,omitempty"`
+	Estimate     float64 `json:"estimate"`
+	Chunks       int     `json:"chunks"`
+	Rounds       int     `json:"rounds"`
+	MergeBytes   int64   `json:"merge_bytes"`
+	PeakBytes    int64   `json:"peak_bytes"`
+	BudgetBytes  int64   `json:"budget_bytes,omitempty"`
+	EffEpsilon   float64 `json:"eff_epsilon"`
+	Identity     bool    `json:"identity,omitempty"`
+	Stats        Stats   `json:"stats"`
+}
+
+// SolveMPCStream streams a point-form instance through the chunker and the
+// composable coreset tree, then solves the root coreset with the solver
+// behind name ("kmedian-mpc", "kmeans-mpc", "greedy-mpc" — the inner solver
+// is the name minus "-mpc"). The instance is never materialized: no component
+// exceeds the configured budget, and the whole run is bitwise deterministic
+// per (seed, chunk size) at any worker count.
+func SolveMPCStream(ctx context.Context, name string, r io.Reader, opts Options, mo MPCOptions) (*MPCReport, error) {
+	base := strings.TrimSuffix(name, "-mpc")
+	if base == name {
+		return nil, fmt.Errorf("facloc: %q is not an -mpc solver", name)
+	}
+	kSolver, isK := LookupK(base)
+	uSolver, isU := Lookup(base)
+	if !isK && !isU {
+		return nil, fmt.Errorf("facloc: unknown solver %q", name)
+	}
+	c, tally := opts.ctx()
+	start := time.Now()
+	pick := func(h *mpc.Header) (int, core.KObjective, error) {
+		switch h.Kind {
+		case mpc.KindK:
+			if !isK {
+				return 0, 0, fmt.Errorf("facloc: %s cannot solve a k-clustering stream", name)
+			}
+			return h.K, core.KObjective(kSolver.Objective()), nil
+		case mpc.KindUFL:
+			if !isU {
+				return 0, 0, fmt.Errorf("facloc: %s cannot solve a UFL stream", name)
+			}
+			return mo.uflSampleK(), core.KMedian, nil
+		}
+		return 0, 0, fmt.Errorf("facloc: unknown stream kind %v", h.Kind)
+	}
+	res, err := mpc.SolveStream(ctx, c, r, mo.mpc(opts), pick)
+	if err != nil {
+		return nil, err
+	}
+	h := res.Header
+	rep := &MPCReport{
+		Solver: name, Kind: h.Kind.String(), N: h.N, Dim: h.Dim,
+		Chunks: res.Chunks, Rounds: res.Rounds, MergeBytes: res.MergeBytes,
+		BudgetBytes: res.BudgetBytes, EffEpsilon: res.EffEpsilon, Identity: res.Identity,
+	}
+	s := res.Len()
+	sp := &metric.Euclidean{Dim: h.Dim, Coords: res.Coords}
+	switch h.Kind {
+	case mpc.KindK:
+		rep.K = h.K
+		rep.Guarantee = mpcGuarantee(kSolver.Guarantee(), res.EffEpsilon)
+		if err := res.AccountComponent("root sub-instance", int64(s)*int64(s)*8); err != nil {
+			return nil, err
+		}
+		ids := par.Iota(c, s)
+		sub := &core.KInstance{N: s, K: h.K, Dist: metric.SubmatrixRows(c, sp, ids, ids), Weight: res.Weight}
+		subSol, err := kSolver.SolveK(ctx, c, sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Estimate = subSol.Value
+		for _, ci := range subSol.Centers {
+			rep.Centers = append(rep.Centers, sp.Point(ci)...)
+		}
+	case mpc.KindUFL:
+		rep.NF = h.NF
+		rep.Guarantee = mpcGuarantee(uSolver.Guarantee(), res.EffEpsilon)
+		if err := res.AccountComponent("root sub-instance", int64(h.NF)*int64(s)*8); err != nil {
+			return nil, err
+		}
+		all := &metric.Euclidean{Dim: h.Dim,
+			Coords: append(append(make([]float64, 0, len(h.FacCoords)+len(res.Coords)), h.FacCoords...), res.Coords...)}
+		fac := par.Iota(c, h.NF)
+		cli := make([]int, s)
+		for i := range cli {
+			cli[i] = h.NF + i
+		}
+		sub := &core.Instance{NF: h.NF, NC: s, FacCost: h.FacCost,
+			D: metric.SubmatrixRows(c, all, fac, cli), CWeight: res.Weight}
+		subSol, err := uSolver.Solve(ctx, c, sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Open = subSol.Open
+		rep.FacilityCost = subSol.FacilityCost
+		rep.Estimate = subSol.Cost()
+	}
+	rep.PeakBytes = res.PeakBytes
+	rep.Stats = statsFrom(tally, time.Since(start))
+	return rep, nil
+}

@@ -435,4 +435,5 @@ func init() {
 
 	// Composed coreset entries ride on the solvers registered above.
 	registerSketched()
+	registerMPC()
 }
